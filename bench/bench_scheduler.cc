@@ -1,0 +1,92 @@
+// §6 "Using Ultraverse for Concurrency Control": throughput of the
+// dependency-analysis-driven deterministic batch scheduler vs serial
+// execution, across conflict rates (fraction of transactions touching one
+// hot row). The analysis-derived conflict DAG replaces Calvin/Bohm's
+// speculative read-lock detection + restarts.
+#include <cstdio>
+
+#include "bench_util.h"
+#include "core/txn_scheduler.h"
+#include "sqldb/parser.h"
+
+namespace ultraverse::bench {
+namespace {
+
+void Run() {
+  PrintHeader("§6 application: dependency-driven transaction scheduling",
+              "discussion section: Ultraverse's R/W analysis gives "
+              "schedulers prior dependency knowledge (no restarts)");
+  size_t batch_size = 2000 * size_t(HistoryScale());
+  double conflict_rates[] = {0.0, 0.1, 0.5, 1.0};
+
+  // On this container (often 1 vCPU) wall-time cannot show parallelism;
+  // like the replay engine, the comparable metric is round trips: serial
+  // = N x RTT, scheduled = critical-path x RTT (chains serialize, §4.4).
+  PrintRow({"conflict", "serial", "scheduled", "critpath", "rtt-speedup"});
+  for (double rate : conflict_rates) {
+    double secs[2];
+    size_t crit = 0;
+    for (int scheduled = 0; scheduled < 2; ++scheduled) {
+      sql::Database db;
+      if (!db.ExecuteSql("CREATE TABLE acct (id INT PRIMARY KEY, bal INT)", 1)
+               .ok()) {
+        std::exit(1);
+      }
+      for (int i = 1; i <= 200; ++i) {
+        if (!db.ExecuteSql("INSERT INTO acct VALUES (" + std::to_string(i) +
+                           ", 100)",
+                           uint64_t(1 + i))
+                 .ok()) {
+          std::exit(1);
+        }
+      }
+      Rng rng(7);
+      std::vector<sql::StatementPtr> batch;
+      for (size_t i = 0; i < batch_size; ++i) {
+        int id = rng.Bernoulli(rate) ? 1 : int(rng.UniformInt(2, 200));
+        batch.push_back(*sql::Parser::ParseStatement(
+            "UPDATE acct SET bal = bal + 1 WHERE id = " +
+            std::to_string(id)));
+      }
+      Stopwatch watch;
+      if (scheduled) {
+        core::QueryAnalyzer analyzer;
+        sql::LogEntry ddl;
+        ddl.stmt = *sql::Parser::ParseStatement(
+            "CREATE TABLE acct (id INT PRIMARY KEY, bal INT)");
+        if (!analyzer.AnalyzeEntry(ddl).ok()) std::exit(1);
+        core::TxnScheduler scheduler(&db, &analyzer,
+                                     core::TxnScheduler::Options{8});
+        auto stats = scheduler.ExecuteBatch(batch, 1000);
+        if (!stats.ok()) std::exit(1);
+        crit = stats->critical_path;
+      } else {
+        for (size_t i = 0; i < batch.size(); ++i) {
+          sql::ExecContext ctx;
+          if (!db.Execute(*batch[i], 1000 + i, &ctx).ok()) std::exit(1);
+        }
+      }
+      secs[scheduled] = watch.ElapsedSeconds();
+    }
+    char rate_buf[16], speed_buf[16];
+    std::snprintf(rate_buf, sizeof(rate_buf), "%.0f%%", rate * 100);
+    double rtt = 1e-3;  // 1 ms per transaction round trip
+    std::snprintf(speed_buf, sizeof(speed_buf), "%.1fx",
+                  (secs[0] + double(batch_size) * rtt) /
+                      (secs[1] + double(crit) * rtt));
+    PrintRow({rate_buf, FmtSeconds(secs[0] + double(batch_size) * rtt),
+              FmtSeconds(secs[1] + double(crit) * rtt),
+              std::to_string(crit), speed_buf});
+  }
+  std::printf("\nShape check: the conflict-DAG critical path grows with the\n"
+              "conflict rate; independent transactions schedule in parallel\n"
+              "without speculative restarts (§6).\n");
+}
+
+}  // namespace
+}  // namespace ultraverse::bench
+
+int main() {
+  ultraverse::bench::Run();
+  return 0;
+}

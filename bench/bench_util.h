@@ -1,0 +1,123 @@
+#ifndef ULTRAVERSE_BENCH_BENCH_UTIL_H_
+#define ULTRAVERSE_BENCH_BENCH_UTIL_H_
+
+#include <cstdio>
+#include <cstdlib>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/ultraverse.h"
+#include "workloads/workload.h"
+
+namespace ultraverse::bench {
+
+/// Benchmark sizing. Default sizes complete the whole suite in minutes;
+/// UV_BENCH_SCALE=full enlarges histories ~8x for paper-shaped runs.
+inline int HistoryScale() {
+  const char* env = std::getenv("UV_BENCH_SCALE");
+  if (env && std::string(env) == "full") return 8;
+  return 1;
+}
+
+struct Instance {
+  std::unique_ptr<core::Ultraverse> uv;
+  uint64_t retro_target = 0;
+};
+
+struct InstanceOptions {
+  std::string workload;
+  size_t history_txns = 300;
+  int db_scale = 1;
+  double dependency_rate = 0.5;
+  // Histories commit through the transpiled procedures: identical final
+  // state (tested), ~4x faster to build, and procedure-variable capture
+  // enables the §4.3 RI concretization during analysis.
+  core::SystemMode commit_mode = core::SystemMode::kT;
+  bool hash_jumper = false;
+  bool eager_analysis = false;
+  bool eager_hash_log = false;
+  uint64_t seed = 1;
+  uint64_t rtt_micros = 1000;
+  int replay_threads = 8;
+};
+
+/// Builds a populated instance with a committed history and a designated
+/// retroactive target. Aborts the process on setup failure (benchmarks
+/// have no meaningful fallback).
+inline Instance BuildInstance(const InstanceOptions& opts) {
+  Instance inst;
+  core::Ultraverse::Options uv_opts;
+  uv_opts.rtt_micros = opts.rtt_micros;
+  uv_opts.replay_threads = opts.replay_threads;
+  uv_opts.hash_jumper = opts.hash_jumper;
+  uv_opts.eager_analysis = opts.eager_analysis;
+  uv_opts.eager_hash_log = opts.eager_hash_log;
+  inst.uv = std::make_unique<core::Ultraverse>(uv_opts);
+
+  workload::Driver::Config config;
+  config.scale = opts.db_scale;
+  config.dependency_rate = opts.dependency_rate;
+  config.commit_mode = opts.commit_mode;
+  config.seed = opts.seed;
+  workload::Driver driver(
+      workload::MakeWorkload(opts.workload, opts.db_scale), inst.uv.get(),
+      config);
+  Status st = driver.Setup();
+  if (st.ok()) st = driver.RunHistory(opts.history_txns);
+  if (!st.ok()) {
+    std::fprintf(stderr, "bench setup failed (%s): %s\n",
+                 opts.workload.c_str(), st.ToString().c_str());
+    std::exit(1);
+  }
+  inst.retro_target = driver.retro_target_index();
+  return inst;
+}
+
+/// What-if "runtime" combining measured wall time with the simulated
+/// client<->server RTT cost (see DESIGN.md's RTT substitution).
+inline double TotalSeconds(const core::ReplayStats& stats) {
+  return stats.total_seconds + double(stats.virtual_rtt_micros) / 1e6;
+}
+
+inline std::string FmtSeconds(double s) {
+  char buf[32];
+  if (s >= 3600) {
+    std::snprintf(buf, sizeof(buf), "%.2fH", s / 3600);
+  } else if (s >= 1) {
+    std::snprintf(buf, sizeof(buf), "%.2fs", s);
+  } else {
+    std::snprintf(buf, sizeof(buf), "%.0fms", s * 1000);
+  }
+  return buf;
+}
+
+inline std::string FmtBytes(size_t bytes) {
+  char buf[32];
+  if (bytes >= (size_t(1) << 30)) {
+    std::snprintf(buf, sizeof(buf), "%.1fGB", double(bytes) / (1 << 30));
+  } else if (bytes >= (1 << 20)) {
+    std::snprintf(buf, sizeof(buf), "%.1fMB", double(bytes) / (1 << 20));
+  } else {
+    std::snprintf(buf, sizeof(buf), "%.1fKB", double(bytes) / (1 << 10));
+  }
+  return buf;
+}
+
+/// Prints a row of fixed-width cells.
+inline void PrintRow(const std::vector<std::string>& cells, int width = 12) {
+  for (const auto& c : cells) std::printf("%-*s", width, c.c_str());
+  std::printf("\n");
+}
+
+inline void PrintHeader(const std::string& title,
+                        const std::string& paper_note) {
+  std::printf("\n================================================================\n");
+  std::printf("%s\n", title.c_str());
+  std::printf("Paper reference: %s\n", paper_note.c_str());
+  std::printf("================================================================\n");
+}
+
+}  // namespace ultraverse::bench
+
+#endif  // ULTRAVERSE_BENCH_BENCH_UTIL_H_

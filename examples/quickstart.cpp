@@ -1,0 +1,76 @@
+// Quickstart: the paper's Figure 1 end to end in ~60 lines.
+//
+//  1. Write an application-level transaction in UvScript (the JS-like
+//     application language).
+//  2. LoadApplication() runs dynamic symbolic execution + transpilation,
+//     producing the equivalent SQL PROCEDURE (Figure 4).
+//  3. Serve regular traffic; every transaction is logged.
+//  4. Ask a what-if question: "what if Alice had never registered her
+//     address?" — Ultraverse replays only the dependent transactions and
+//     the application-level branch flips.
+#include <cstdio>
+
+#include "core/ultraverse.h"
+
+using ultraverse::app::AppValue;
+using ultraverse::core::RetroOp;
+using ultraverse::core::SystemMode;
+using ultraverse::core::Ultraverse;
+
+static const char* kApp = R"JS(
+function NewOrder(orderer_uid, order_id) {
+  var rows = SQL_exec("SELECT COUNT(*) FROM Address WHERE owner_uid = '" +
+                      orderer_uid + "'");
+  if (rows[0]["COUNT(*)"] != 0) {
+    SQL_exec("INSERT INTO Orders (oid, ord_uid) VALUES ('" + order_id +
+             "', '" + orderer_uid + "')");
+  } else {
+    return "Error: User " + orderer_uid + " has no address";
+  }
+}
+)JS";
+
+int main() {
+  Ultraverse uv;
+
+  // Schema + application.
+  uv.ExecuteSql("CREATE TABLE Address (owner_uid VARCHAR(16))");
+  uv.ExecuteSql(
+      "CREATE TABLE Orders (oid VARCHAR(8) PRIMARY KEY, ord_uid VARCHAR(16))");
+  auto st = uv.LoadApplication(kApp);
+  if (!st.ok()) {
+    std::fprintf(stderr, "load: %s\n", st.ToString().c_str());
+    return 1;
+  }
+  std::printf("Transpiled PROCEDURE (Figure 4 equivalent):\n%s\n\n",
+              uv.FindTranspiled("NewOrder")->ToSqlText().c_str());
+
+  // Regular operation: Alice registers an address, then orders.
+  uv.ExecuteSql("INSERT INTO Address VALUES ('alice')");
+  uint64_t address_commit = uv.log()->last_index();
+  auto r = uv.RunTransaction(
+      "NewOrder", {AppValue::String("alice"), AppValue::String("o1")},
+      SystemMode::kT);
+  if (!r.ok()) return 1;
+
+  auto orders = uv.db()->ExecuteSql("SELECT COUNT(*) FROM Orders", 1000);
+  std::printf("Orders before what-if: %lld\n",
+              (long long)orders->rows[0][0].AsInt());
+
+  // What-if: retroactively remove Alice's address registration.
+  RetroOp op;
+  op.kind = RetroOp::Kind::kRemove;
+  op.index = address_commit;
+  auto stats = uv.WhatIf(op, SystemMode::kTD);
+  if (!stats.ok()) {
+    std::fprintf(stderr, "what-if: %s\n", stats.status().ToString().c_str());
+    return 1;
+  }
+  orders = uv.db()->ExecuteSql("SELECT COUNT(*) FROM Orders", 1001);
+  std::printf("Orders after what-if:  %lld  (replayed %zu, skipped %zu)\n",
+              (long long)orders->rows[0][0].AsInt(), stats->replayed,
+              stats->skipped);
+  std::printf("The NewOrder replay took the application-level false branch:"
+              " the order is gone.\n");
+  return 0;
+}

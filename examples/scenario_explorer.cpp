@@ -1,0 +1,78 @@
+// Scenario exploration (§6 "Managing Many what-if Scenarios"): a business
+// analyst branches several hypothetical universes off the same committed
+// history — different reservation policies for an airline — tags each
+// scenario, and compares outcomes. Also demonstrates the Hash-jumper: a
+// what-if whose effects get overwritten later terminates early (§4.5).
+#include <cstdio>
+
+#include "core/ultraverse.h"
+#include "workloads/workload.h"
+
+using namespace ultraverse;
+using core::RetroOp;
+using core::SystemMode;
+
+namespace {
+
+double FlightSeats(core::Ultraverse* uv) {
+  auto r = uv->db()->ExecuteSql(
+      "SELECT F_SEATS_LEFT FROM flight WHERE F_ID = 1", 80000);
+  return r.ok() && !r->rows.empty() ? r->rows[0][0].AsDouble() : -1;
+}
+
+struct Scenario {
+  std::string name;
+  RetroOp::Kind kind;
+  std::string new_sql;  // empty for remove
+};
+
+}  // namespace
+
+int main() {
+  core::Ultraverse::Options uv_opts;
+  uv_opts.hash_jumper = true;
+  uv_opts.eager_hash_log = true;
+
+  // Build one committed history; each scenario runs on a fresh copy built
+  // from the same seed (the scenario tag marks the branch point).
+  Scenario scenarios[] = {
+      {"baseline (no change)", RetroOp::Kind::kChange,
+       "CALL NewReservation(1, 1, 7)"},  // identical txn: Hash-jumper hit
+      {"seat-7 booking never happened", RetroOp::Kind::kRemove, ""},
+      {"customer booked flight 2 instead", RetroOp::Kind::kChange,
+       "CALL NewReservation(1, 2, 7)"},
+  };
+
+  std::printf("%-40s %-12s %-10s %-10s %s\n", "scenario", "seats(f1)",
+              "replayed", "hash-jump", "fingerprint");
+  for (const Scenario& s : scenarios) {
+    core::Ultraverse uv(uv_opts);
+    workload::Driver::Config config;
+    config.dependency_rate = 0.5;
+    config.commit_mode = SystemMode::kT;
+    config.seed = 77;
+    workload::Driver driver(workload::MakeWorkload("seats", 1), &uv, config);
+    if (!driver.Setup().ok()) return 1;
+    if (!driver.RunHistory(200).ok()) return 1;
+    uv.TagScenario(s.name);  // §6: mark the branch point of this universe
+
+    auto op = s.new_sql.empty()
+                  ? uv.MakeOp(s.kind, driver.retro_target_index(), "")
+                  : uv.MakeOp(s.kind, driver.retro_target_index(), s.new_sql);
+    if (!op.ok()) return 1;
+    auto stats = uv.WhatIf(*op, SystemMode::kTD);
+    if (!stats.ok()) {
+      std::fprintf(stderr, "%s: %s\n", s.name.c_str(),
+                   stats.status().ToString().c_str());
+      return 1;
+    }
+    std::printf("%-40s %-12.0f %-10zu %-10s %.16s...\n", s.name.c_str(),
+                FlightSeats(&uv), stats->replayed,
+                stats->hash_jump ? "yes" : "no",
+                uv.StateFingerprint().c_str());
+  }
+  std::printf("\nThe no-op scenario hash-jumps (its replay reconverges with "
+              "the original\ntimeline immediately); the real scenarios land "
+              "in distinct universes.\n");
+  return 0;
+}

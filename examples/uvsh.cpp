@@ -1,0 +1,191 @@
+// uvsh — an interactive Ultraverse shell.
+//
+// A REPL over the full framework: execute SQL, load UvScript applications,
+// run application-level transactions, inspect the committed log, and ask
+// what-if questions — the workflow a what-if analyst would use.
+//
+//   $ ./build/examples/uvsh
+//   uv> CREATE TABLE t (id INT PRIMARY KEY, v INT);
+//   uv> INSERT INTO t VALUES (1, 10);
+//   uv> UPDATE t SET v = v + 5 WHERE id = 1;
+//   uv> .log
+//   uv> .whatif remove 2
+//   uv> SELECT * FROM t;
+//
+// Commands: plain SQL statements end with ';'.
+//   .help                      this text
+//   .log [n]                   show the last n committed entries (default 10)
+//   .loadapp <file>            load a UvScript application file
+//   .call <fn> <args...>       run an application transaction (T mode)
+//   .whatif remove <idx>       retroactively remove entry <idx>
+//   .whatif change <idx> <sql> retroactively replace entry <idx>
+//   .whatif add <idx> <sql>    retroactively insert <sql> before <idx>
+//   .mode B|T|D|TD             configuration used by .whatif (default TD)
+//   .tables                    list tables with row counts
+//   .quit
+#include <cstdio>
+#include <fstream>
+#include <iostream>
+#include <sstream>
+
+#include "core/ultraverse.h"
+
+using namespace ultraverse;
+using core::RetroOp;
+using core::SystemMode;
+
+namespace {
+
+void PrintResult(const sql::ExecResult& res) {
+  if (!res.column_names.empty()) {
+    for (const auto& c : res.column_names) std::printf("%-16s", c.c_str());
+    std::printf("\n");
+    for (const auto& row : res.rows) {
+      for (const auto& v : row) {
+        std::printf("%-16s", v.ToDisplayString().c_str());
+      }
+      std::printf("\n");
+    }
+    std::printf("(%zu rows)\n", res.rows.size());
+  } else {
+    std::printf("OK, %lld row(s) affected\n", (long long)res.affected);
+  }
+}
+
+std::vector<std::string> Tokens(const std::string& line) {
+  std::istringstream in(line);
+  std::vector<std::string> out;
+  std::string tok;
+  while (in >> tok) out.push_back(tok);
+  return out;
+}
+
+app::AppValue ParseArg(const std::string& s) {
+  char* end = nullptr;
+  double d = std::strtod(s.c_str(), &end);
+  if (end && *end == '\0' && !s.empty()) return app::AppValue::Number(d);
+  return app::AppValue::String(s);
+}
+
+}  // namespace
+
+int main() {
+  core::Ultraverse uv;
+  SystemMode mode = SystemMode::kTD;
+  std::printf("uvsh — Ultraverse interactive shell (.help for commands)\n");
+
+  std::string buffer;
+  std::string line;
+  while (true) {
+    std::printf(buffer.empty() ? "uv> " : "...> ");
+    std::fflush(stdout);
+    if (!std::getline(std::cin, line)) break;
+    if (line.empty() && buffer.empty()) continue;
+
+    if (buffer.empty() && line[0] == '.') {
+      std::vector<std::string> cmd = Tokens(line);
+      if (cmd[0] == ".quit" || cmd[0] == ".exit") break;
+      if (cmd[0] == ".help") {
+        std::printf("SQL ends with ';'. Commands: .log [n], .loadapp <file>,"
+                    " .call <fn> <args>,\n.whatif remove|change|add <idx>"
+                    " [sql], .mode B|T|D|TD, .tables, .quit\n");
+      } else if (cmd[0] == ".log") {
+        size_t n = cmd.size() > 1 ? std::stoul(cmd[1]) : 10;
+        const auto& entries = uv.log()->entries();
+        size_t from = entries.size() > n ? entries.size() - n : 0;
+        for (size_t i = from; i < entries.size(); ++i) {
+          std::printf("%5llu  %s%s\n", (unsigned long long)entries[i].index,
+                      entries[i].app_txn.empty()
+                          ? ""
+                          : ("[" + entries[i].app_txn + "] ").c_str(),
+                      entries[i].sql.substr(0, 100).c_str());
+        }
+      } else if (cmd[0] == ".tables") {
+        for (const auto& name : uv.db()->TableNames()) {
+          std::printf("%-24s %zu rows\n", name.c_str(),
+                      uv.db()->FindTable(name)->LiveRowCount());
+        }
+      } else if (cmd[0] == ".mode" && cmd.size() > 1) {
+        mode = cmd[1] == "B"   ? SystemMode::kB
+               : cmd[1] == "T" ? SystemMode::kT
+               : cmd[1] == "D" ? SystemMode::kD
+                               : SystemMode::kTD;
+        std::printf("what-if mode = %s\n", core::SystemModeName(mode));
+      } else if (cmd[0] == ".loadapp" && cmd.size() > 1) {
+        std::ifstream f(cmd[1]);
+        if (!f) {
+          std::printf("cannot open %s\n", cmd[1].c_str());
+          continue;
+        }
+        std::stringstream src;
+        src << f.rdbuf();
+        Status st = uv.LoadApplication(src.str());
+        if (!st.ok()) {
+          std::printf("load failed: %s\n", st.ToString().c_str());
+        } else {
+          std::printf("loaded; transpiled %zu transaction(s) in %.1f ms\n",
+                      uv.program()->functions.size(),
+                      uv.transpile_seconds() * 1000);
+        }
+      } else if (cmd[0] == ".call" && cmd.size() > 1) {
+        std::vector<app::AppValue> args;
+        for (size_t i = 2; i < cmd.size(); ++i) args.push_back(ParseArg(cmd[i]));
+        auto r = uv.RunTransaction(cmd[1], std::move(args), SystemMode::kT);
+        if (!r.ok()) {
+          std::printf("error: %s\n", r.status().ToString().c_str());
+        } else {
+          std::printf("-> %s  (commit %llu)\n", r->ToStr().c_str(),
+                      (unsigned long long)uv.log()->last_index());
+        }
+      } else if (cmd[0] == ".whatif" && cmd.size() > 2) {
+        RetroOp::Kind kind = cmd[1] == "remove"   ? RetroOp::Kind::kRemove
+                             : cmd[1] == "change" ? RetroOp::Kind::kChange
+                                                  : RetroOp::Kind::kAdd;
+        uint64_t idx = std::stoull(cmd[2]);
+        std::string new_sql;
+        for (size_t i = 3; i < cmd.size(); ++i) {
+          if (!new_sql.empty()) new_sql += " ";
+          new_sql += cmd[i];
+        }
+        auto op = uv.MakeOp(kind, idx, new_sql);
+        if (!op.ok()) {
+          std::printf("bad op: %s\n", op.status().ToString().c_str());
+          continue;
+        }
+        auto stats = uv.WhatIf(*op, mode);
+        if (!stats.ok()) {
+          std::printf("what-if failed: %s\n",
+                      stats.status().ToString().c_str());
+        } else {
+          std::printf("alternate universe applied: replayed %zu, skipped %zu"
+                      " (of %zu), %zu mutated table(s)%s\n",
+                      stats->replayed, stats->skipped, stats->suffix_size,
+                      stats->mutated_tables,
+                      stats->hash_jump ? ", hash-jumped" : "");
+        }
+      } else {
+        std::printf("unknown command (try .help)\n");
+      }
+      continue;
+    }
+
+    buffer += line;
+    if (buffer.find(';') == std::string::npos) {
+      buffer += " ";
+      continue;  // multi-line statement
+    }
+    std::string sql = buffer;
+    buffer.clear();
+    while (!sql.empty() && (sql.back() == ';' || sql.back() == ' ')) {
+      sql.pop_back();
+    }
+    if (sql.empty()) continue;
+    auto r = uv.ExecuteSql(sql);
+    if (!r.ok()) {
+      std::printf("error: %s\n", r.status().ToString().c_str());
+    } else {
+      PrintResult(*r);
+    }
+  }
+  return 0;
+}

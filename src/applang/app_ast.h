@@ -1,0 +1,125 @@
+#ifndef ULTRAVERSE_APPLANG_APP_AST_H_
+#define ULTRAVERSE_APPLANG_APP_AST_H_
+
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "applang/app_value.h"
+
+namespace ultraverse::app {
+
+// ---------------------------------------------------------------------------
+// UvScript AST — a compact JS-like dynamic language. See DESIGN.md for why
+// this stands in for the paper's JavaScript applications: it reproduces the
+// dynamism the SQL transpiler must handle (dynamic typing & coercion,
+// dynamic call targets, blackbox/nondeterministic APIs, SQL built from
+// runtime string concatenation / template literals).
+// ---------------------------------------------------------------------------
+
+enum class AppExprKind {
+  kLiteral,     // number/string/bool/null
+  kIdent,       // variable or function name
+  kBinary,      // + - * / % == != < <= > >= && ||
+  kUnary,       // ! -
+  kCall,        // callee(args) — callee is any expression (dynamic targets)
+  kMember,      // obj.prop
+  kIndex,       // obj[expr]
+  kArrayLit,    // [a, b, ...]
+  kObjectLit,   // {k: v, ...}
+  kTemplate,    // `...${expr}...` — children alternate literal/expr parts
+};
+
+enum class AppBinOp {
+  kAdd, kSub, kMul, kDiv, kMod,
+  kEq, kNe, kLt, kLe, kGt, kGe,
+  kAnd, kOr,
+};
+
+enum class AppUnOp { kNot, kNeg };
+
+struct AppExpr;
+using AppExprPtr = std::shared_ptr<AppExpr>;
+
+struct AppExpr {
+  AppExprKind kind;
+
+  AppValue literal;              // kLiteral
+  std::string name;              // kIdent / kMember (property name)
+  AppBinOp bin_op = AppBinOp::kAdd;
+  AppUnOp un_op = AppUnOp::kNot;
+  std::vector<AppExprPtr> children;  // operands / call args / elements
+  std::vector<std::string> object_keys;      // kObjectLit key per child
+  std::vector<std::string> template_parts;   // kTemplate: N+1 literal parts
+                                             // around N child expressions
+
+  static AppExprPtr Literal(AppValue v) {
+    auto e = std::make_shared<AppExpr>();
+    e->kind = AppExprKind::kLiteral;
+    e->literal = std::move(v);
+    return e;
+  }
+  static AppExprPtr Ident(std::string n) {
+    auto e = std::make_shared<AppExpr>();
+    e->kind = AppExprKind::kIdent;
+    e->name = std::move(n);
+    return e;
+  }
+  static AppExprPtr Binary(AppBinOp op, AppExprPtr a, AppExprPtr b) {
+    auto e = std::make_shared<AppExpr>();
+    e->kind = AppExprKind::kBinary;
+    e->bin_op = op;
+    e->children = {std::move(a), std::move(b)};
+    return e;
+  }
+};
+
+enum class AppStmtKind {
+  kVarDecl,   // var name = expr;
+  kAssign,    // target = expr; target is ident/member/index
+  kExpr,      // expression statement (e.g. a call)
+  kIf,        // if (...) block else block
+  kWhile,     // while (...) block
+  kFor,       // for (init; cond; step) block
+  kReturn,    // return expr?;
+  kBlock,     // { ... }
+};
+
+struct AppStmt;
+using AppStmtPtr = std::shared_ptr<AppStmt>;
+
+struct AppStmt {
+  AppStmtKind kind;
+
+  std::string var_name;      // kVarDecl
+  AppExprPtr target;         // kAssign (lvalue expression)
+  AppExprPtr expr;           // value / condition / return value
+  std::vector<AppStmtPtr> body;       // kIf then / kWhile / kFor / kBlock
+  std::vector<AppStmtPtr> else_body;  // kIf
+  AppStmtPtr for_init;       // kFor
+  AppExprPtr for_cond;       // kFor
+  AppStmtPtr for_step;       // kFor
+
+  static AppStmtPtr Make(AppStmtKind k) {
+    auto s = std::make_shared<AppStmt>();
+    s->kind = k;
+    return s;
+  }
+};
+
+/// function name(params) { body }
+struct AppFunction {
+  std::string name;
+  std::vector<std::string> params;
+  std::vector<AppStmtPtr> body;
+};
+
+/// A parsed UvScript module: the application's transaction functions.
+struct AppProgram {
+  std::map<std::string, AppFunction> functions;
+};
+
+}  // namespace ultraverse::app
+
+#endif  // ULTRAVERSE_APPLANG_APP_AST_H_

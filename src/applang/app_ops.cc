@@ -1,0 +1,66 @@
+#include "applang/app_ops.h"
+
+#include <cmath>
+
+namespace ultraverse::app {
+
+AppValue ApplyAppBinary(AppBinOp op, const AppValue& l, const AppValue& r) {
+  using K = AppValue::Kind;
+  switch (op) {
+    case AppBinOp::kAdd:
+      // JS: string if either side is a string, numeric otherwise.
+      if (l.kind == K::kString || r.kind == K::kString) {
+        return AppValue::String(l.ToStr() + r.ToStr());
+      }
+      return AppValue::Number(l.ToNum() + r.ToNum());
+    case AppBinOp::kSub: return AppValue::Number(l.ToNum() - r.ToNum());
+    case AppBinOp::kMul: return AppValue::Number(l.ToNum() * r.ToNum());
+    case AppBinOp::kDiv: return AppValue::Number(l.ToNum() / r.ToNum());
+    case AppBinOp::kMod: {
+      double d = r.ToNum();
+      if (d == 0) return AppValue::Number(std::nan(""));
+      return AppValue::Number(double(int64_t(l.ToNum()) % int64_t(d)));
+    }
+    case AppBinOp::kEq:
+    case AppBinOp::kNe: {
+      bool eq;
+      if (l.kind == K::kNull || r.kind == K::kNull) {
+        eq = l.kind == K::kNull && r.kind == K::kNull;
+      } else if (l.kind == K::kString && r.kind == K::kString) {
+        eq = l.str == r.str;
+      } else {
+        eq = l.ToNum() == r.ToNum();  // loose coercion
+      }
+      return AppValue::Bool(op == AppBinOp::kEq ? eq : !eq);
+    }
+    case AppBinOp::kLt:
+    case AppBinOp::kLe:
+    case AppBinOp::kGt:
+    case AppBinOp::kGe: {
+      int cmp;
+      if (l.kind == K::kString && r.kind == K::kString) {
+        int c = l.str.compare(r.str);
+        cmp = c < 0 ? -1 : (c > 0 ? 1 : 0);
+      } else {
+        double x = l.ToNum(), y = r.ToNum();
+        cmp = x < y ? -1 : (x > y ? 1 : 0);
+      }
+      switch (op) {
+        case AppBinOp::kLt: return AppValue::Bool(cmp < 0);
+        case AppBinOp::kLe: return AppValue::Bool(cmp <= 0);
+        case AppBinOp::kGt: return AppValue::Bool(cmp > 0);
+        default: return AppValue::Bool(cmp >= 0);
+      }
+    }
+    case AppBinOp::kAnd: return AppValue::Bool(l.Truthy() && r.Truthy());
+    case AppBinOp::kOr: return AppValue::Bool(l.Truthy() || r.Truthy());
+  }
+  return AppValue::Null();
+}
+
+AppValue ApplyAppUnary(AppUnOp op, const AppValue& v) {
+  if (op == AppUnOp::kNot) return AppValue::Bool(!v.Truthy());
+  return AppValue::Number(-v.ToNum());
+}
+
+}  // namespace ultraverse::app

@@ -1,0 +1,19 @@
+#ifndef ULTRAVERSE_APPLANG_APP_OPS_H_
+#define ULTRAVERSE_APPLANG_APP_OPS_H_
+
+#include "applang/app_ast.h"
+#include "applang/app_value.h"
+
+namespace ultraverse::app {
+
+/// Concrete UvScript binary-operator semantics (JS-like coercions).
+/// Shared by the interpreter and the symbolic-expression evaluator so
+/// concolic execution and constraint solving agree exactly.
+AppValue ApplyAppBinary(AppBinOp op, const AppValue& l, const AppValue& r);
+
+/// Concrete unary-operator semantics.
+AppValue ApplyAppUnary(AppUnOp op, const AppValue& v);
+
+}  // namespace ultraverse::app
+
+#endif  // ULTRAVERSE_APPLANG_APP_OPS_H_

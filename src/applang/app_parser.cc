@@ -1,0 +1,640 @@
+#include "applang/app_parser.h"
+
+#include <cctype>
+#include <cstdlib>
+
+namespace ultraverse::app {
+
+namespace {
+
+enum class TokType { kIdent, kNumber, kString, kTemplate, kPunct, kEnd };
+
+struct Tok {
+  TokType type = TokType::kEnd;
+  std::string text;
+  // For kTemplate: literal parts + raw expression source segments.
+  std::vector<std::string> template_literals;
+  std::vector<std::string> template_exprs;
+  size_t offset = 0;
+};
+
+class Tokenizer {
+ public:
+  explicit Tokenizer(const std::string& src) : src_(src) {}
+
+  Result<std::vector<Tok>> Run() {
+    std::vector<Tok> out;
+    while (i_ < src_.size()) {
+      char c = src_[i_];
+      if (std::isspace(static_cast<unsigned char>(c))) {
+        ++i_;
+        continue;
+      }
+      if (c == '/' && Peek(1) == '/') {
+        while (i_ < src_.size() && src_[i_] != '\n') ++i_;
+        continue;
+      }
+      if (c == '/' && Peek(1) == '*') {
+        i_ += 2;
+        while (i_ + 1 < src_.size() && !(src_[i_] == '*' && src_[i_ + 1] == '/'))
+          ++i_;
+        i_ = std::min(i_ + 2, src_.size());
+        continue;
+      }
+      Tok tok;
+      tok.offset = i_;
+      if (std::isalpha(static_cast<unsigned char>(c)) || c == '_' || c == '$') {
+        size_t start = i_;
+        while (i_ < src_.size() &&
+               (std::isalnum(static_cast<unsigned char>(src_[i_])) ||
+                src_[i_] == '_' || src_[i_] == '$')) {
+          ++i_;
+        }
+        tok.type = TokType::kIdent;
+        tok.text = src_.substr(start, i_ - start);
+        out.push_back(std::move(tok));
+        continue;
+      }
+      if (std::isdigit(static_cast<unsigned char>(c)) ||
+          (c == '.' && std::isdigit(static_cast<unsigned char>(Peek(1))))) {
+        size_t start = i_;
+        while (i_ < src_.size() &&
+               (std::isdigit(static_cast<unsigned char>(src_[i_])) ||
+                src_[i_] == '.')) {
+          ++i_;
+        }
+        tok.type = TokType::kNumber;
+        tok.text = src_.substr(start, i_ - start);
+        out.push_back(std::move(tok));
+        continue;
+      }
+      if (c == '\'' || c == '"') {
+        UV_ASSIGN_OR_RETURN(std::string s, ReadQuoted(c));
+        tok.type = TokType::kString;
+        tok.text = std::move(s);
+        out.push_back(std::move(tok));
+        continue;
+      }
+      if (c == '`') {
+        UV_RETURN_NOT_OK(ReadTemplate(&tok));
+        out.push_back(std::move(tok));
+        continue;
+      }
+      // Punctuation, longest-match first.
+      static const char* kOps[] = {"===", "!==", "==", "!=", "<=", ">=",
+                                   "&&",  "||",  "+=", "-=", "++", "--"};
+      bool matched = false;
+      for (const char* op : kOps) {
+        size_t len = std::char_traits<char>::length(op);
+        if (src_.compare(i_, len, op) == 0) {
+          tok.type = TokType::kPunct;
+          tok.text = op;
+          // Normalize === / !== to == / !=.
+          if (tok.text == "===") tok.text = "==";
+          if (tok.text == "!==") tok.text = "!=";
+          i_ += len;
+          matched = true;
+          break;
+        }
+      }
+      if (matched) {
+        out.push_back(std::move(tok));
+        continue;
+      }
+      static const std::string kSingle = "(){}[];,.<>+-*/%=!:";
+      if (kSingle.find(c) != std::string::npos) {
+        tok.type = TokType::kPunct;
+        tok.text = std::string(1, c);
+        ++i_;
+        out.push_back(std::move(tok));
+        continue;
+      }
+      return Status::ParseError(std::string("unexpected character '") + c +
+                                "' at offset " + std::to_string(i_));
+    }
+    Tok end;
+    end.offset = src_.size();
+    out.push_back(end);
+    return out;
+  }
+
+ private:
+  char Peek(size_t k) const {
+    return i_ + k < src_.size() ? src_[i_ + k] : '\0';
+  }
+
+  Result<std::string> ReadQuoted(char quote) {
+    ++i_;  // opening quote
+    std::string s;
+    while (i_ < src_.size()) {
+      char c = src_[i_];
+      if (c == quote) {
+        ++i_;
+        return s;
+      }
+      if (c == '\\' && i_ + 1 < src_.size()) {
+        char e = src_[i_ + 1];
+        switch (e) {
+          case 'n': s.push_back('\n'); break;
+          case 't': s.push_back('\t'); break;
+          default: s.push_back(e);
+        }
+        i_ += 2;
+        continue;
+      }
+      s.push_back(c);
+      ++i_;
+    }
+    return Status::ParseError("unterminated string literal");
+  }
+
+  Status ReadTemplate(Tok* tok) {
+    ++i_;  // opening backtick
+    tok->type = TokType::kTemplate;
+    std::string current;
+    while (i_ < src_.size()) {
+      char c = src_[i_];
+      if (c == '`') {
+        ++i_;
+        tok->template_literals.push_back(std::move(current));
+        return Status::OK();
+      }
+      if (c == '$' && Peek(1) == '{') {
+        tok->template_literals.push_back(std::move(current));
+        current.clear();
+        i_ += 2;
+        // Capture the raw expression up to the matching '}'.
+        int depth = 1;
+        std::string expr_src;
+        while (i_ < src_.size() && depth > 0) {
+          if (src_[i_] == '{') ++depth;
+          if (src_[i_] == '}') {
+            --depth;
+            if (depth == 0) break;
+          }
+          expr_src.push_back(src_[i_]);
+          ++i_;
+        }
+        if (depth != 0) return Status::ParseError("unterminated ${...}");
+        ++i_;  // closing '}'
+        tok->template_exprs.push_back(std::move(expr_src));
+        continue;
+      }
+      if (c == '\\' && i_ + 1 < src_.size()) {
+        current.push_back(src_[i_ + 1]);
+        i_ += 2;
+        continue;
+      }
+      current.push_back(c);
+      ++i_;
+    }
+    return Status::ParseError("unterminated template literal");
+  }
+
+  const std::string& src_;
+  size_t i_ = 0;
+};
+
+class ParserImpl {
+ public:
+  explicit ParserImpl(std::vector<Tok> toks) : toks_(std::move(toks)) {}
+
+  Result<AppProgram> ParseProgram() {
+    AppProgram prog;
+    while (!AtEnd()) {
+      UV_RETURN_NOT_OK(ExpectIdent("function"));
+      AppFunction fn;
+      UV_ASSIGN_OR_RETURN(fn.name, ExpectAnyIdent());
+      UV_RETURN_NOT_OK(ExpectPunct("("));
+      if (!MatchPunct(")")) {
+        for (;;) {
+          UV_ASSIGN_OR_RETURN(std::string p, ExpectAnyIdent());
+          fn.params.push_back(std::move(p));
+          if (!MatchPunct(",")) break;
+        }
+        UV_RETURN_NOT_OK(ExpectPunct(")"));
+      }
+      UV_RETURN_NOT_OK(ExpectPunct("{"));
+      UV_ASSIGN_OR_RETURN(fn.body, ParseBlockBody());
+      prog.functions[fn.name] = std::move(fn);
+    }
+    return prog;
+  }
+
+  Result<AppExprPtr> ParseSingleExpression() {
+    UV_ASSIGN_OR_RETURN(AppExprPtr e, ParseExpr());
+    if (!AtEnd()) return Status::ParseError("trailing tokens after expression");
+    return e;
+  }
+
+ private:
+  const Tok& Peek(size_t k = 0) const {
+    size_t idx = pos_ + k;
+    if (idx >= toks_.size()) idx = toks_.size() - 1;
+    return toks_[idx];
+  }
+  bool AtEnd() const { return Peek().type == TokType::kEnd; }
+  Tok Advance() {
+    Tok t = Peek();
+    if (pos_ + 1 < toks_.size()) ++pos_;
+    return t;
+  }
+  bool PeekPunct(const std::string& p, size_t k = 0) const {
+    return Peek(k).type == TokType::kPunct && Peek(k).text == p;
+  }
+  bool MatchPunct(const std::string& p) {
+    if (PeekPunct(p)) {
+      Advance();
+      return true;
+    }
+    return false;
+  }
+  Status ExpectPunct(const std::string& p) {
+    if (!MatchPunct(p)) {
+      return Status::ParseError("expected '" + p + "' at offset " +
+                                std::to_string(Peek().offset));
+    }
+    return Status::OK();
+  }
+  bool PeekIdent(const std::string& name, size_t k = 0) const {
+    return Peek(k).type == TokType::kIdent && Peek(k).text == name;
+  }
+  bool MatchIdent(const std::string& name) {
+    if (PeekIdent(name)) {
+      Advance();
+      return true;
+    }
+    return false;
+  }
+  Status ExpectIdent(const std::string& name) {
+    if (!MatchIdent(name)) {
+      return Status::ParseError("expected '" + name + "' at offset " +
+                                std::to_string(Peek().offset));
+    }
+    return Status::OK();
+  }
+  Result<std::string> ExpectAnyIdent() {
+    if (Peek().type != TokType::kIdent) {
+      return Status::ParseError("expected identifier at offset " +
+                                std::to_string(Peek().offset));
+    }
+    return Advance().text;
+  }
+
+  Result<std::vector<AppStmtPtr>> ParseBlockBody() {
+    std::vector<AppStmtPtr> body;
+    while (!MatchPunct("}")) {
+      if (AtEnd()) return Status::ParseError("unterminated block");
+      UV_ASSIGN_OR_RETURN(AppStmtPtr stmt, ParseStatement());
+      body.push_back(std::move(stmt));
+    }
+    return body;
+  }
+
+  Result<AppStmtPtr> ParseStatement() {
+    if (MatchPunct(";")) {
+      return AppStmt::Make(AppStmtKind::kBlock);  // empty statement
+    }
+    if (PeekIdent("var") || PeekIdent("let") || PeekIdent("const")) {
+      Advance();
+      auto stmt = AppStmt::Make(AppStmtKind::kVarDecl);
+      UV_ASSIGN_OR_RETURN(stmt->var_name, ExpectAnyIdent());
+      if (MatchPunct("=")) {
+        UV_ASSIGN_OR_RETURN(stmt->expr, ParseExpr());
+      }
+      MatchPunct(";");
+      return stmt;
+    }
+    if (MatchIdent("if")) {
+      auto stmt = AppStmt::Make(AppStmtKind::kIf);
+      UV_RETURN_NOT_OK(ExpectPunct("("));
+      UV_ASSIGN_OR_RETURN(stmt->expr, ParseExpr());
+      UV_RETURN_NOT_OK(ExpectPunct(")"));
+      UV_ASSIGN_OR_RETURN(stmt->body, ParseStatementOrBlock());
+      if (MatchIdent("else")) {
+        UV_ASSIGN_OR_RETURN(stmt->else_body, ParseStatementOrBlock());
+      }
+      return stmt;
+    }
+    if (MatchIdent("while")) {
+      auto stmt = AppStmt::Make(AppStmtKind::kWhile);
+      UV_RETURN_NOT_OK(ExpectPunct("("));
+      UV_ASSIGN_OR_RETURN(stmt->expr, ParseExpr());
+      UV_RETURN_NOT_OK(ExpectPunct(")"));
+      UV_ASSIGN_OR_RETURN(stmt->body, ParseStatementOrBlock());
+      return stmt;
+    }
+    if (MatchIdent("for")) {
+      auto stmt = AppStmt::Make(AppStmtKind::kFor);
+      UV_RETURN_NOT_OK(ExpectPunct("("));
+      if (!PeekPunct(";")) {
+        UV_ASSIGN_OR_RETURN(stmt->for_init, ParseStatement());
+      } else {
+        Advance();
+      }
+      if (!PeekPunct(";")) {
+        UV_ASSIGN_OR_RETURN(stmt->for_cond, ParseExpr());
+      }
+      UV_RETURN_NOT_OK(ExpectPunct(";"));
+      if (!PeekPunct(")")) {
+        UV_ASSIGN_OR_RETURN(stmt->for_step, ParseSimpleStatement());
+      }
+      UV_RETURN_NOT_OK(ExpectPunct(")"));
+      UV_ASSIGN_OR_RETURN(stmt->body, ParseStatementOrBlock());
+      return stmt;
+    }
+    if (MatchIdent("return")) {
+      auto stmt = AppStmt::Make(AppStmtKind::kReturn);
+      if (!PeekPunct(";") && !PeekPunct("}")) {
+        UV_ASSIGN_OR_RETURN(stmt->expr, ParseExpr());
+      }
+      MatchPunct(";");
+      return stmt;
+    }
+    if (MatchPunct("{")) {
+      auto stmt = AppStmt::Make(AppStmtKind::kBlock);
+      UV_ASSIGN_OR_RETURN(stmt->body, ParseBlockBody());
+      return stmt;
+    }
+    UV_ASSIGN_OR_RETURN(AppStmtPtr stmt, ParseSimpleStatement());
+    MatchPunct(";");
+    return stmt;
+  }
+
+  /// Assignment or expression statement (no trailing ';' consumed).
+  Result<AppStmtPtr> ParseSimpleStatement() {
+    UV_ASSIGN_OR_RETURN(AppExprPtr lhs, ParseExpr());
+    if (MatchPunct("=")) {
+      auto stmt = AppStmt::Make(AppStmtKind::kAssign);
+      stmt->target = std::move(lhs);
+      UV_ASSIGN_OR_RETURN(stmt->expr, ParseExpr());
+      return stmt;
+    }
+    if (PeekPunct("+=") || PeekPunct("-=")) {
+      std::string op = Advance().text;
+      auto stmt = AppStmt::Make(AppStmtKind::kAssign);
+      stmt->target = lhs;
+      UV_ASSIGN_OR_RETURN(AppExprPtr rhs, ParseExpr());
+      stmt->expr = AppExpr::Binary(
+          op == "+=" ? AppBinOp::kAdd : AppBinOp::kSub, lhs, std::move(rhs));
+      return stmt;
+    }
+    if (PeekPunct("++") || PeekPunct("--")) {
+      std::string op = Advance().text;
+      auto stmt = AppStmt::Make(AppStmtKind::kAssign);
+      stmt->target = lhs;
+      stmt->expr = AppExpr::Binary(
+          op == "++" ? AppBinOp::kAdd : AppBinOp::kSub, lhs,
+          AppExpr::Literal(AppValue::Number(1)));
+      return stmt;
+    }
+    auto stmt = AppStmt::Make(AppStmtKind::kExpr);
+    stmt->expr = std::move(lhs);
+    return stmt;
+  }
+
+  Result<std::vector<AppStmtPtr>> ParseStatementOrBlock() {
+    if (MatchPunct("{")) return ParseBlockBody();
+    std::vector<AppStmtPtr> body;
+    UV_ASSIGN_OR_RETURN(AppStmtPtr stmt, ParseStatement());
+    body.push_back(std::move(stmt));
+    return body;
+  }
+
+  // Expressions: || < && < equality < relational < additive <
+  // multiplicative < unary < postfix (call/member/index) < primary.
+  Result<AppExprPtr> ParseExpr() { return ParseOr(); }
+
+  Result<AppExprPtr> ParseOr() {
+    UV_ASSIGN_OR_RETURN(AppExprPtr lhs, ParseAndExpr());
+    while (PeekPunct("||")) {
+      Advance();
+      UV_ASSIGN_OR_RETURN(AppExprPtr rhs, ParseAndExpr());
+      lhs = AppExpr::Binary(AppBinOp::kOr, std::move(lhs), std::move(rhs));
+    }
+    return lhs;
+  }
+
+  Result<AppExprPtr> ParseAndExpr() {
+    UV_ASSIGN_OR_RETURN(AppExprPtr lhs, ParseEquality());
+    while (PeekPunct("&&")) {
+      Advance();
+      UV_ASSIGN_OR_RETURN(AppExprPtr rhs, ParseEquality());
+      lhs = AppExpr::Binary(AppBinOp::kAnd, std::move(lhs), std::move(rhs));
+    }
+    return lhs;
+  }
+
+  Result<AppExprPtr> ParseEquality() {
+    UV_ASSIGN_OR_RETURN(AppExprPtr lhs, ParseRelational());
+    for (;;) {
+      if (PeekPunct("==")) {
+        Advance();
+        UV_ASSIGN_OR_RETURN(AppExprPtr rhs, ParseRelational());
+        lhs = AppExpr::Binary(AppBinOp::kEq, std::move(lhs), std::move(rhs));
+      } else if (PeekPunct("!=")) {
+        Advance();
+        UV_ASSIGN_OR_RETURN(AppExprPtr rhs, ParseRelational());
+        lhs = AppExpr::Binary(AppBinOp::kNe, std::move(lhs), std::move(rhs));
+      } else {
+        return lhs;
+      }
+    }
+  }
+
+  Result<AppExprPtr> ParseRelational() {
+    UV_ASSIGN_OR_RETURN(AppExprPtr lhs, ParseAdditive());
+    for (;;) {
+      AppBinOp op;
+      if (PeekPunct("<")) op = AppBinOp::kLt;
+      else if (PeekPunct("<=")) op = AppBinOp::kLe;
+      else if (PeekPunct(">")) op = AppBinOp::kGt;
+      else if (PeekPunct(">=")) op = AppBinOp::kGe;
+      else return lhs;
+      Advance();
+      UV_ASSIGN_OR_RETURN(AppExprPtr rhs, ParseAdditive());
+      lhs = AppExpr::Binary(op, std::move(lhs), std::move(rhs));
+    }
+  }
+
+  Result<AppExprPtr> ParseAdditive() {
+    UV_ASSIGN_OR_RETURN(AppExprPtr lhs, ParseMultiplicative());
+    for (;;) {
+      AppBinOp op;
+      if (PeekPunct("+")) op = AppBinOp::kAdd;
+      else if (PeekPunct("-")) op = AppBinOp::kSub;
+      else return lhs;
+      Advance();
+      UV_ASSIGN_OR_RETURN(AppExprPtr rhs, ParseMultiplicative());
+      lhs = AppExpr::Binary(op, std::move(lhs), std::move(rhs));
+    }
+  }
+
+  Result<AppExprPtr> ParseMultiplicative() {
+    UV_ASSIGN_OR_RETURN(AppExprPtr lhs, ParseUnary());
+    for (;;) {
+      AppBinOp op;
+      if (PeekPunct("*")) op = AppBinOp::kMul;
+      else if (PeekPunct("/")) op = AppBinOp::kDiv;
+      else if (PeekPunct("%")) op = AppBinOp::kMod;
+      else return lhs;
+      Advance();
+      UV_ASSIGN_OR_RETURN(AppExprPtr rhs, ParseUnary());
+      lhs = AppExpr::Binary(op, std::move(lhs), std::move(rhs));
+    }
+  }
+
+  Result<AppExprPtr> ParseUnary() {
+    if (MatchPunct("!")) {
+      UV_ASSIGN_OR_RETURN(AppExprPtr child, ParseUnary());
+      auto e = std::make_shared<AppExpr>();
+      e->kind = AppExprKind::kUnary;
+      e->un_op = AppUnOp::kNot;
+      e->children.push_back(std::move(child));
+      return AppExprPtr(e);
+    }
+    if (MatchPunct("-")) {
+      UV_ASSIGN_OR_RETURN(AppExprPtr child, ParseUnary());
+      auto e = std::make_shared<AppExpr>();
+      e->kind = AppExprKind::kUnary;
+      e->un_op = AppUnOp::kNeg;
+      e->children.push_back(std::move(child));
+      return AppExprPtr(e);
+    }
+    return ParsePostfix();
+  }
+
+  Result<AppExprPtr> ParsePostfix() {
+    UV_ASSIGN_OR_RETURN(AppExprPtr e, ParsePrimary());
+    for (;;) {
+      if (MatchPunct("(")) {
+        auto call = std::make_shared<AppExpr>();
+        call->kind = AppExprKind::kCall;
+        call->children.push_back(std::move(e));
+        if (!MatchPunct(")")) {
+          for (;;) {
+            UV_ASSIGN_OR_RETURN(AppExprPtr arg, ParseExpr());
+            call->children.push_back(std::move(arg));
+            if (!MatchPunct(",")) break;
+          }
+          UV_RETURN_NOT_OK(ExpectPunct(")"));
+        }
+        e = std::move(call);
+        continue;
+      }
+      if (MatchPunct(".")) {
+        UV_ASSIGN_OR_RETURN(std::string prop, ExpectAnyIdent());
+        auto member = std::make_shared<AppExpr>();
+        member->kind = AppExprKind::kMember;
+        member->name = std::move(prop);
+        member->children.push_back(std::move(e));
+        e = std::move(member);
+        continue;
+      }
+      if (MatchPunct("[")) {
+        auto index = std::make_shared<AppExpr>();
+        index->kind = AppExprKind::kIndex;
+        index->children.push_back(std::move(e));
+        UV_ASSIGN_OR_RETURN(AppExprPtr key, ParseExpr());
+        index->children.push_back(std::move(key));
+        UV_RETURN_NOT_OK(ExpectPunct("]"));
+        e = std::move(index);
+        continue;
+      }
+      return e;
+    }
+  }
+
+  Result<AppExprPtr> ParsePrimary() {
+    const Tok& tok = Peek();
+    if (tok.type == TokType::kNumber) {
+      return AppExpr::Literal(
+          AppValue::Number(std::strtod(Advance().text.c_str(), nullptr)));
+    }
+    if (tok.type == TokType::kString) {
+      return AppExpr::Literal(AppValue::String(Advance().text));
+    }
+    if (tok.type == TokType::kTemplate) {
+      Tok t = Advance();
+      auto e = std::make_shared<AppExpr>();
+      e->kind = AppExprKind::kTemplate;
+      e->template_parts = t.template_literals;
+      for (const std::string& src : t.template_exprs) {
+        UV_ASSIGN_OR_RETURN(AppExprPtr sub,
+                            AppParser::ParseExpressionText(src));
+        e->children.push_back(std::move(sub));
+      }
+      return AppExprPtr(e);
+    }
+    if (tok.type == TokType::kIdent) {
+      if (MatchIdent("null") || MatchIdent("undefined")) {
+        return AppExpr::Literal(AppValue::Null());
+      }
+      if (MatchIdent("true")) return AppExpr::Literal(AppValue::Bool(true));
+      if (MatchIdent("false")) return AppExpr::Literal(AppValue::Bool(false));
+      return AppExpr::Ident(Advance().text);
+    }
+    if (MatchPunct("(")) {
+      UV_ASSIGN_OR_RETURN(AppExprPtr e, ParseExpr());
+      UV_RETURN_NOT_OK(ExpectPunct(")"));
+      return e;
+    }
+    if (MatchPunct("[")) {
+      auto e = std::make_shared<AppExpr>();
+      e->kind = AppExprKind::kArrayLit;
+      if (!MatchPunct("]")) {
+        for (;;) {
+          UV_ASSIGN_OR_RETURN(AppExprPtr item, ParseExpr());
+          e->children.push_back(std::move(item));
+          if (!MatchPunct(",")) break;
+        }
+        UV_RETURN_NOT_OK(ExpectPunct("]"));
+      }
+      return AppExprPtr(e);
+    }
+    if (MatchPunct("{")) {
+      auto e = std::make_shared<AppExpr>();
+      e->kind = AppExprKind::kObjectLit;
+      if (!MatchPunct("}")) {
+        for (;;) {
+          std::string key;
+          if (Peek().type == TokType::kString) {
+            key = Advance().text;
+          } else {
+            UV_ASSIGN_OR_RETURN(key, ExpectAnyIdent());
+          }
+          UV_RETURN_NOT_OK(ExpectPunct(":"));
+          UV_ASSIGN_OR_RETURN(AppExprPtr v, ParseExpr());
+          e->object_keys.push_back(std::move(key));
+          e->children.push_back(std::move(v));
+          if (!MatchPunct(",")) break;
+        }
+        UV_RETURN_NOT_OK(ExpectPunct("}"));
+      }
+      return AppExprPtr(e);
+    }
+    return Status::ParseError("unexpected token at offset " +
+                              std::to_string(tok.offset));
+  }
+
+  std::vector<Tok> toks_;
+  size_t pos_ = 0;
+};
+
+}  // namespace
+
+Result<AppProgram> AppParser::Parse(const std::string& source) {
+  Tokenizer tz(source);
+  UV_ASSIGN_OR_RETURN(std::vector<Tok> toks, tz.Run());
+  ParserImpl parser(std::move(toks));
+  return parser.ParseProgram();
+}
+
+Result<AppExprPtr> AppParser::ParseExpressionText(const std::string& source) {
+  Tokenizer tz(source);
+  UV_ASSIGN_OR_RETURN(std::vector<Tok> toks, tz.Run());
+  ParserImpl parser(std::move(toks));
+  return parser.ParseSingleExpression();
+}
+
+}  // namespace ultraverse::app

@@ -1,0 +1,25 @@
+#ifndef ULTRAVERSE_APPLANG_APP_PARSER_H_
+#define ULTRAVERSE_APPLANG_APP_PARSER_H_
+
+#include <string>
+
+#include "applang/app_ast.h"
+#include "util/status.h"
+
+namespace ultraverse::app {
+
+/// Parses UvScript source into an AppProgram. The grammar is a small JS
+/// subset: `function f(a, b) { ... }` declarations containing var/assign/
+/// if/while/for/return statements and expressions with JS operators,
+/// template literals, member/index access and dynamic calls.
+class AppParser {
+ public:
+  static Result<AppProgram> Parse(const std::string& source);
+
+  /// Parses a single standalone expression (tests).
+  static Result<AppExprPtr> ParseExpressionText(const std::string& source);
+};
+
+}  // namespace ultraverse::app
+
+#endif  // ULTRAVERSE_APPLANG_APP_PARSER_H_

@@ -1,0 +1,76 @@
+#include "applang/app_value.h"
+
+#include <cmath>
+#include <cstdio>
+
+namespace ultraverse::app {
+
+bool AppValue::Truthy() const {
+  switch (kind) {
+    case Kind::kNull: return false;
+    case Kind::kNumber: return num != 0;
+    case Kind::kString: return !str.empty();
+    case Kind::kBool: return boolean;
+    case Kind::kArray:
+    case Kind::kObject: return true;
+  }
+  return false;
+}
+
+std::string AppValue::ToStr() const {
+  switch (kind) {
+    case Kind::kNull: return "null";
+    case Kind::kNumber: {
+      if (num == std::floor(num) && std::abs(num) < 1e15) {
+        char buf[32];
+        std::snprintf(buf, sizeof(buf), "%lld", (long long)num);
+        return buf;
+      }
+      char buf[32];
+      std::snprintf(buf, sizeof(buf), "%.10g", num);
+      return buf;
+    }
+    case Kind::kString: return str;
+    case Kind::kBool: return boolean ? "true" : "false";
+    case Kind::kArray: return "[array]";
+    case Kind::kObject: return "[object]";
+  }
+  return "";
+}
+
+double AppValue::ToNum() const {
+  switch (kind) {
+    case Kind::kNull: return 0;
+    case Kind::kNumber: return num;
+    case Kind::kString: return std::strtod(str.c_str(), nullptr);
+    case Kind::kBool: return boolean ? 1 : 0;
+    default: return 0;
+  }
+}
+
+sql::Value AppValue::ToSqlValue() const {
+  switch (kind) {
+    case Kind::kNull: return sql::Value::Null();
+    case Kind::kNumber:
+      if (num == std::floor(num) && std::abs(num) < 9.2e18) {
+        return sql::Value::Int(int64_t(num));
+      }
+      return sql::Value::Double(num);
+    case Kind::kString: return sql::Value::String(str);
+    case Kind::kBool: return sql::Value::Bool(boolean);
+    default: return sql::Value::Null();
+  }
+}
+
+AppValue AppValue::FromSqlValue(const sql::Value& v) {
+  switch (v.type()) {
+    case sql::DataType::kNull: return Null();
+    case sql::DataType::kInt: return Number(double(v.AsInt()));
+    case sql::DataType::kDouble: return Number(v.AsDouble());
+    case sql::DataType::kString: return String(v.AsStringRef());
+    case sql::DataType::kBool: return Bool(v.AsBool());
+  }
+  return Null();
+}
+
+}  // namespace ultraverse::app

@@ -1,0 +1,81 @@
+#ifndef ULTRAVERSE_APPLANG_APP_VALUE_H_
+#define ULTRAVERSE_APPLANG_APP_VALUE_H_
+
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "sqldb/value.h"
+#include "util/status.h"
+
+namespace ultraverse::app {
+
+/// Dynamically typed UvScript value (JS-like): null, number (double),
+/// string, bool, array, object. Arrays/objects have reference semantics.
+///
+/// `tag` is an opaque annotation slot the interpreter threads through every
+/// operation; the DSE engine (src/symexec) stores symbolic expressions
+/// there without applang depending on symexec.
+struct AppValue {
+  enum class Kind { kNull, kNumber, kString, kBool, kArray, kObject };
+
+  Kind kind = Kind::kNull;
+  double num = 0;
+  std::string str;
+  bool boolean = false;
+  std::shared_ptr<std::vector<AppValue>> arr;
+  std::shared_ptr<std::map<std::string, AppValue>> obj;
+
+  std::shared_ptr<const void> tag;
+
+  static AppValue Null() { return AppValue{}; }
+  static AppValue Number(double v) {
+    AppValue a;
+    a.kind = Kind::kNumber;
+    a.num = v;
+    return a;
+  }
+  static AppValue String(std::string v) {
+    AppValue a;
+    a.kind = Kind::kString;
+    a.str = std::move(v);
+    return a;
+  }
+  static AppValue Bool(bool v) {
+    AppValue a;
+    a.kind = Kind::kBool;
+    a.boolean = v;
+    return a;
+  }
+  static AppValue Array() {
+    AppValue a;
+    a.kind = Kind::kArray;
+    a.arr = std::make_shared<std::vector<AppValue>>();
+    return a;
+  }
+  static AppValue Object() {
+    AppValue a;
+    a.kind = Kind::kObject;
+    a.obj = std::make_shared<std::map<std::string, AppValue>>();
+    return a;
+  }
+
+  bool IsNull() const { return kind == Kind::kNull; }
+
+  /// JS-style truthiness.
+  bool Truthy() const;
+  /// JS-style string coercion (numbers render without trailing zeros).
+  std::string ToStr() const;
+  /// JS-style numeric coercion.
+  double ToNum() const;
+
+  /// Conversion to/from SQL values (SQL NULL <-> null, INT/DOUBLE <->
+  /// number, etc.). Arrays/objects are not convertible to SQL.
+  sql::Value ToSqlValue() const;
+  static AppValue FromSqlValue(const sql::Value& v);
+};
+
+}  // namespace ultraverse::app
+
+#endif  // ULTRAVERSE_APPLANG_APP_VALUE_H_

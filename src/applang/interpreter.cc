@@ -1,0 +1,444 @@
+#include "applang/interpreter.h"
+
+#include <cmath>
+
+#include "applang/app_ops.h"
+
+namespace ultraverse::app {
+
+namespace {
+InterpreterHooks* NoopHooks() {
+  static InterpreterHooks* hooks = new InterpreterHooks();
+  return hooks;
+}
+constexpr int kMaxCallDepth = 128;
+}  // namespace
+
+Interpreter::Interpreter(const AppProgram* program, SqlBridge* bridge,
+                         InterpreterHooks* hooks, Options options)
+    : program_(program),
+      bridge_(bridge),
+      hooks_(hooks ? hooks : NoopHooks()),
+      options_(options),
+      rng_(options.rng_seed) {}
+
+Status Interpreter::Step() {
+  if (++steps_ > options_.max_steps) {
+    return Status::Timeout("interpreter step budget exceeded");
+  }
+  return Status::OK();
+}
+
+Result<AppValue> Interpreter::CallFunction(const std::string& name,
+                                           std::vector<AppValue> args) {
+  auto it = program_->functions.find(name);
+  if (it == program_->functions.end()) {
+    return Status::NotFound("function " + name);
+  }
+  const AppFunction& fn = it->second;
+  if (args.size() < fn.params.size()) {
+    args.resize(fn.params.size());  // missing args are null, JS-style
+  }
+  if (++call_depth_ > kMaxCallDepth) {
+    --call_depth_;
+    return Status::Internal("call depth limit");
+  }
+  hooks_->OnFunctionEnter(fn, &args);
+  if (call_depth_ == 1 && on_txn_log) {
+    // The augmented application asynchronously records the transaction
+    // invocation (Figure 3, line 2).
+    on_txn_log(name, args);
+  }
+
+  Frame frame;
+  frame.scopes.emplace_back();
+  for (size_t i = 0; i < fn.params.size(); ++i) {
+    frame.scopes.back()[fn.params[i]] = std::move(args[i]);
+  }
+  Status st = ExecBlock(fn.body, &frame);
+  --call_depth_;
+  if (!st.ok()) return st;
+  return frame.return_value;
+}
+
+Status Interpreter::ExecBlock(const std::vector<AppStmtPtr>& body,
+                              Frame* frame) {
+  frame->scopes.emplace_back();
+  Status st = Status::OK();
+  for (const auto& stmt : body) {
+    st = ExecStmt(*stmt, frame);
+    if (!st.ok() || frame->returned) break;
+  }
+  frame->scopes.pop_back();
+  return st;
+}
+
+Status Interpreter::ExecStmt(const AppStmt& stmt, Frame* frame) {
+  UV_RETURN_NOT_OK(Step());
+  switch (stmt.kind) {
+    case AppStmtKind::kVarDecl: {
+      AppValue v;
+      if (stmt.expr) {
+        UV_ASSIGN_OR_RETURN(v, Eval(*stmt.expr, frame));
+      }
+      frame->scopes.back()[stmt.var_name] = std::move(v);
+      return Status::OK();
+    }
+    case AppStmtKind::kAssign: {
+      UV_ASSIGN_OR_RETURN(AppValue v, Eval(*stmt.expr, frame));
+      return Assign(*stmt.target, std::move(v), frame);
+    }
+    case AppStmtKind::kExpr: {
+      UV_ASSIGN_OR_RETURN(AppValue v, Eval(*stmt.expr, frame));
+      (void)v;
+      return Status::OK();
+    }
+    case AppStmtKind::kIf: {
+      UV_ASSIGN_OR_RETURN(AppValue cond, Eval(*stmt.expr, frame));
+      bool taken = cond.Truthy();
+      hooks_->OnBranch(cond, taken);
+      return ExecBlock(taken ? stmt.body : stmt.else_body, frame);
+    }
+    case AppStmtKind::kWhile: {
+      for (;;) {
+        UV_RETURN_NOT_OK(Step());
+        UV_ASSIGN_OR_RETURN(AppValue cond, Eval(*stmt.expr, frame));
+        bool taken = cond.Truthy();
+        hooks_->OnBranch(cond, taken);
+        if (!taken) return Status::OK();
+        UV_RETURN_NOT_OK(ExecBlock(stmt.body, frame));
+        if (frame->returned) return Status::OK();
+      }
+    }
+    case AppStmtKind::kFor: {
+      frame->scopes.emplace_back();
+      Status st = Status::OK();
+      if (stmt.for_init) st = ExecStmt(*stmt.for_init, frame);
+      while (st.ok() && !frame->returned) {
+        if (!Step().ok()) {
+          st = Status::Timeout("interpreter step budget exceeded");
+          break;
+        }
+        bool taken = true;
+        if (stmt.for_cond) {
+          Result<AppValue> cond = Eval(*stmt.for_cond, frame);
+          if (!cond.ok()) {
+            st = cond.status();
+            break;
+          }
+          taken = cond->Truthy();
+          hooks_->OnBranch(*cond, taken);
+        }
+        if (!taken) break;
+        st = ExecBlock(stmt.body, frame);
+        if (!st.ok() || frame->returned) break;
+        if (stmt.for_step) st = ExecStmt(*stmt.for_step, frame);
+      }
+      frame->scopes.pop_back();
+      return st;
+    }
+    case AppStmtKind::kReturn: {
+      if (stmt.expr) {
+        UV_ASSIGN_OR_RETURN(frame->return_value, Eval(*stmt.expr, frame));
+      }
+      frame->returned = true;
+      return Status::OK();
+    }
+    case AppStmtKind::kBlock:
+      return ExecBlock(stmt.body, frame);
+  }
+  return Status::Internal("unhandled statement kind");
+}
+
+AppValue* Interpreter::FindVar(Frame* frame, const std::string& name) {
+  for (auto it = frame->scopes.rbegin(); it != frame->scopes.rend(); ++it) {
+    auto found = it->find(name);
+    if (found != it->end()) return &found->second;
+  }
+  return nullptr;
+}
+
+Status Interpreter::Assign(const AppExpr& target, AppValue value,
+                           Frame* frame) {
+  switch (target.kind) {
+    case AppExprKind::kIdent: {
+      AppValue* slot = FindVar(frame, target.name);
+      if (slot) {
+        *slot = std::move(value);
+      } else {
+        frame->scopes.back()[target.name] = std::move(value);
+      }
+      return Status::OK();
+    }
+    case AppExprKind::kMember: {
+      UV_ASSIGN_OR_RETURN(AppValue obj, Eval(*target.children[0], frame));
+      if (obj.kind != AppValue::Kind::kObject) {
+        return Status::TypeError("member assignment on non-object");
+      }
+      (*obj.obj)[target.name] = std::move(value);
+      return Status::OK();
+    }
+    case AppExprKind::kIndex: {
+      UV_ASSIGN_OR_RETURN(AppValue obj, Eval(*target.children[0], frame));
+      UV_ASSIGN_OR_RETURN(AppValue key, Eval(*target.children[1], frame));
+      if (obj.kind == AppValue::Kind::kArray) {
+        size_t idx = size_t(key.ToNum());
+        if (idx >= obj.arr->size()) obj.arr->resize(idx + 1);
+        (*obj.arr)[idx] = std::move(value);
+        return Status::OK();
+      }
+      if (obj.kind == AppValue::Kind::kObject) {
+        (*obj.obj)[key.ToStr()] = std::move(value);
+        return Status::OK();
+      }
+      return Status::TypeError("index assignment on non-container");
+    }
+    default:
+      return Status::TypeError("invalid assignment target");
+  }
+}
+
+Result<AppValue> Interpreter::Eval(const AppExpr& e, Frame* frame) {
+  UV_RETURN_NOT_OK(Step());
+  switch (e.kind) {
+    case AppExprKind::kLiteral:
+      return e.literal;
+    case AppExprKind::kIdent: {
+      AppValue* v = FindVar(frame, e.name);
+      if (v) return *v;
+      // A bare function name evaluates to a string naming the function —
+      // this is how UvScript models JS first-class function references
+      // (dynamic control-flow targets, §3.4).
+      if (program_->functions.count(e.name)) {
+        return AppValue::String(e.name);
+      }
+      return Status::NotFound("undefined variable '" + e.name + "'");
+    }
+    case AppExprKind::kBinary: {
+      if (e.bin_op == AppBinOp::kAnd || e.bin_op == AppBinOp::kOr) {
+        UV_ASSIGN_OR_RETURN(AppValue l, Eval(*e.children[0], frame));
+        // JS short-circuit (result coerced to bool for simplicity).
+        if (e.bin_op == AppBinOp::kAnd && !l.Truthy()) {
+          return AppValue::Bool(false);
+        }
+        if (e.bin_op == AppBinOp::kOr && l.Truthy()) {
+          return AppValue::Bool(true);
+        }
+        UV_ASSIGN_OR_RETURN(AppValue r, Eval(*e.children[1], frame));
+        AppValue result = AppValue::Bool(r.Truthy());
+        hooks_->OnBinary(e.bin_op, l, r, &result);
+        return result;
+      }
+      UV_ASSIGN_OR_RETURN(AppValue l, Eval(*e.children[0], frame));
+      UV_ASSIGN_OR_RETURN(AppValue r, Eval(*e.children[1], frame));
+      AppValue result = ApplyAppBinary(e.bin_op, l, r);
+      hooks_->OnBinary(e.bin_op, l, r, &result);
+      return result;
+    }
+    case AppExprKind::kUnary: {
+      UV_ASSIGN_OR_RETURN(AppValue v, Eval(*e.children[0], frame));
+      AppValue result = e.un_op == AppUnOp::kNot
+                            ? AppValue::Bool(!v.Truthy())
+                            : AppValue::Number(-v.ToNum());
+      hooks_->OnUnary(e.un_op, v, &result);
+      return result;
+    }
+    case AppExprKind::kCall:
+      return EvalCall(e, frame);
+    case AppExprKind::kMember: {
+      UV_ASSIGN_OR_RETURN(AppValue obj, Eval(*e.children[0], frame));
+      AppValue result;
+      if (obj.kind == AppValue::Kind::kObject) {
+        auto it = obj.obj->find(e.name);
+        if (it != obj.obj->end()) result = it->second;
+      } else if (obj.kind == AppValue::Kind::kArray && e.name == "length") {
+        result = AppValue::Number(double(obj.arr->size()));
+      } else if (obj.kind == AppValue::Kind::kString && e.name == "length") {
+        result = AppValue::Number(double(obj.str.size()));
+      }
+      hooks_->OnAccess(obj, e.name, &result);
+      return result;
+    }
+    case AppExprKind::kIndex: {
+      UV_ASSIGN_OR_RETURN(AppValue obj, Eval(*e.children[0], frame));
+      UV_ASSIGN_OR_RETURN(AppValue key, Eval(*e.children[1], frame));
+      AppValue result;
+      if (obj.kind == AppValue::Kind::kArray) {
+        size_t idx = size_t(key.ToNum());
+        if (idx < obj.arr->size()) result = (*obj.arr)[idx];
+      } else if (obj.kind == AppValue::Kind::kObject) {
+        auto it = obj.obj->find(key.ToStr());
+        if (it != obj.obj->end()) result = it->second;
+      }
+      hooks_->OnAccess(obj, key.ToStr(), &result);
+      return result;
+    }
+    case AppExprKind::kArrayLit: {
+      AppValue arr = AppValue::Array();
+      for (const auto& child : e.children) {
+        UV_ASSIGN_OR_RETURN(AppValue v, Eval(*child, frame));
+        arr.arr->push_back(std::move(v));
+      }
+      return arr;
+    }
+    case AppExprKind::kObjectLit: {
+      AppValue obj = AppValue::Object();
+      for (size_t i = 0; i < e.children.size(); ++i) {
+        UV_ASSIGN_OR_RETURN(AppValue v, Eval(*e.children[i], frame));
+        (*obj.obj)[e.object_keys[i]] = std::move(v);
+      }
+      return obj;
+    }
+    case AppExprKind::kTemplate: {
+      // `a${x}b${y}` desugars to (("a" + x) + "b") + y ... so hooks see
+      // ordinary string concatenation and can track symbolic parts.
+      AppValue acc = AppValue::String(e.template_parts.empty()
+                                          ? ""
+                                          : e.template_parts[0]);
+      for (size_t i = 0; i < e.children.size(); ++i) {
+        UV_ASSIGN_OR_RETURN(AppValue part, Eval(*e.children[i], frame));
+        AppValue combined = ApplyAppBinary(AppBinOp::kAdd, acc, part);
+        hooks_->OnBinary(AppBinOp::kAdd, acc, part, &combined);
+        acc = std::move(combined);
+        const std::string& lit = i + 1 < e.template_parts.size()
+                                     ? e.template_parts[i + 1]
+                                     : "";
+        if (!lit.empty()) {
+          AppValue lit_v = AppValue::String(lit);
+          AppValue next = ApplyAppBinary(AppBinOp::kAdd, acc, lit_v);
+          hooks_->OnBinary(AppBinOp::kAdd, acc, lit_v, &next);
+          acc = std::move(next);
+        }
+      }
+      return acc;
+    }
+  }
+  return Status::Internal("unhandled expression kind");
+}
+
+Result<AppValue> Interpreter::EvalCall(const AppExpr& e, Frame* frame) {
+  const AppExpr& callee = *e.children[0];
+  std::vector<AppValue> args;
+  for (size_t i = 1; i < e.children.size(); ++i) {
+    UV_ASSIGN_OR_RETURN(AppValue v, Eval(*e.children[i], frame));
+    args.push_back(std::move(v));
+  }
+
+  // Builtins are addressed by a direct identifier only.
+  if (callee.kind == AppExprKind::kIdent && !FindVar(frame, callee.name)) {
+    bool handled = false;
+    Result<AppValue> builtin = CallBuiltin(callee.name, args, &handled);
+    if (handled) return builtin;
+    if (program_->functions.count(callee.name)) {
+      return CallFunction(callee.name, std::move(args));
+    }
+    return Status::NotFound("unknown function '" + callee.name + "'");
+  }
+
+  // Dynamic call target: evaluate the callee; a string naming a program
+  // function dispatches to it (myObject[methodName](...) etc.).
+  UV_ASSIGN_OR_RETURN(AppValue target, Eval(callee, frame));
+  if (target.kind == AppValue::Kind::kString &&
+      program_->functions.count(target.str)) {
+    return CallFunction(target.str, std::move(args));
+  }
+  return Status::TypeError("call target is not a function");
+}
+
+Result<AppValue> Interpreter::CallBuiltin(const std::string& name,
+                                          std::vector<AppValue> args,
+                                          bool* handled) {
+  *handled = true;
+
+  // SQL access: SQL_exec / sql are the paper's database API (Figure 1).
+  if (name == "SQL_exec" || name == "sql") {
+    if (args.empty()) return Status::InvalidArgument("sql() needs a query");
+    AppValue result;
+    if (hooks_->OnSqlExec(args[0], &result)) return result;
+    if (!bridge_) return Status::Internal("no SQL bridge configured");
+    return bridge_->ExecuteAppSql(args[0].ToStr());
+  }
+  if (name == "Ultraverse_log") {
+    // Augmented-code logging call (Figure 3); the interpreter-level
+    // on_txn_log callback already records top-level transactions, so the
+    // explicit call is a no-op that keeps augmented sources runnable.
+    return AppValue::Null();
+  }
+  if (name == "log" || name == "print") {
+    std::string line;
+    for (const auto& a : args) line += a.ToStr();
+    console_.push_back(std::move(line));
+    return AppValue::Null();
+  }
+
+  // Nondeterministic / blackbox APIs: hooks may spawn symbols (§3.3).
+  if (name == "rand" || name == "random") {
+    AppValue result;
+    if (hooks_->OnBuiltin(name, args, &result)) return result;
+    return AppValue::Number(rng_.UniformDouble());
+  }
+  if (name == "now" || name == "gettime") {
+    AppValue result;
+    if (hooks_->OnBuiltin(name, args, &result)) return result;
+    return AppValue::Number(double(++clock_));
+  }
+  if (name == "dom_input" || name == "user_agent") {
+    // Client-side values (§3.3): the webpage's <input> DOM nodes and the
+    // client-identity fingerprint are symbols during DSE; concretely they
+    // resolve from the configured client environment.
+    AppValue result;
+    if (hooks_->OnBuiltin(name, args, &result)) return result;
+    std::string key = name == "user_agent"
+                          ? "user_agent"
+                          : (args.empty() ? "" : args[0].ToStr());
+    auto it = client_env.find(key);
+    if (it != client_env.end()) return it->second;
+    return AppValue::String("");
+  }
+  if (name == "http_send") {
+    AppValue result;
+    if (hooks_->OnBuiltin(name, args, &result)) return result;
+    if (http_endpoint) return http_endpoint(args.empty() ? AppValue() : args[0]);
+    AppValue response = AppValue::Object();
+    (*response.obj)["code"] = AppValue::Number(1);
+    (*response.obj)["error"] = AppValue::String("");
+    return response;
+  }
+
+  // Small pure standard library.
+  if (name == "str") {
+    return AppValue::String(args.empty() ? "" : args[0].ToStr());
+  }
+  if (name == "num") {
+    return AppValue::Number(args.empty() ? 0 : args[0].ToNum());
+  }
+  if (name == "floor") {
+    return AppValue::Number(std::floor(args.empty() ? 0 : args[0].ToNum()));
+  }
+  if (name == "len") {
+    if (args.empty()) return AppValue::Number(0);
+    if (args[0].kind == AppValue::Kind::kArray) {
+      return AppValue::Number(double(args[0].arr->size()));
+    }
+    if (args[0].kind == AppValue::Kind::kString) {
+      return AppValue::Number(double(args[0].str.size()));
+    }
+    return AppValue::Number(0);
+  }
+  if (name == "push") {
+    if (args.size() >= 2 && args[0].kind == AppValue::Kind::kArray) {
+      args[0].arr->push_back(args[1]);
+    }
+    return AppValue::Null();
+  }
+  if (name == "concat") {
+    std::string out;
+    for (const auto& a : args) out += a.ToStr();
+    return AppValue::String(std::move(out));
+  }
+
+  *handled = false;
+  return AppValue::Null();
+}
+
+}  // namespace ultraverse::app

@@ -1,0 +1,147 @@
+#ifndef ULTRAVERSE_APPLANG_INTERPRETER_H_
+#define ULTRAVERSE_APPLANG_INTERPRETER_H_
+
+#include <functional>
+#include <map>
+#include <memory>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "applang/app_ast.h"
+#include "applang/app_value.h"
+#include "util/rng.h"
+#include "util/status.h"
+
+namespace ultraverse::app {
+
+/// How the application reaches its SQL database. The production bridge
+/// (core/app_client) executes against the in-memory engine, charges RTTs,
+/// and logs queries; tests can supply canned results.
+class SqlBridge {
+ public:
+  virtual ~SqlBridge() = default;
+  /// Executes one SQL statement issued by application code. SELECTs return
+  /// an array of row objects (column name -> value); DML returns a number
+  /// (affected rows).
+  virtual Result<AppValue> ExecuteAppSql(const std::string& sql) = 0;
+};
+
+/// Instrumentation hooks — the "injected hook at every operation" of §3.2
+/// Step 1. The DSE engine implements these to build symbolic expressions in
+/// AppValue::tag, record path conditions, and bypass real DBMS access.
+/// Default implementations are no-ops (plain concrete execution).
+class InterpreterHooks {
+ public:
+  virtual ~InterpreterHooks() = default;
+
+  /// Called after parameters are bound, before the body runs. `args` may be
+  /// re-tagged (DSE marks transaction inputs symbolic).
+  virtual void OnFunctionEnter(const AppFunction& fn,
+                               std::vector<AppValue>* args) {
+    (void)fn;
+    (void)args;
+  }
+  /// Called after a binary op computed `result` from l/r (tag propagation).
+  virtual void OnBinary(AppBinOp op, const AppValue& l, const AppValue& r,
+                        AppValue* result) {
+    (void)op; (void)l; (void)r; (void)result;
+  }
+  virtual void OnUnary(AppUnOp op, const AppValue& v, AppValue* result) {
+    (void)op; (void)v; (void)result;
+  }
+  /// Called when a conditional (if/while/for) evaluated `cond` and will
+  /// take the `taken` direction (path-condition collection).
+  virtual void OnBranch(const AppValue& cond, bool taken) {
+    (void)cond; (void)taken;
+  }
+  /// Returns true when the hook handled the SQL call itself (DSE treats the
+  /// DBMS as a blackbox and returns a symbolic result set, §3.2 Step 2).
+  virtual bool OnSqlExec(const AppValue& query, AppValue* result) {
+    (void)query; (void)result;
+    return false;
+  }
+  /// Returns true when the hook handled a builtin (rand/now/http_send...):
+  /// DSE spawns blackbox symbols for these (§3.3 "Blackbox APIs").
+  virtual bool OnBuiltin(const std::string& name,
+                         const std::vector<AppValue>& args, AppValue* result) {
+    (void)name; (void)args; (void)result;
+    return false;
+  }
+  /// Called after member/index access so symbolic result sets can mint
+  /// per-cell child symbols.
+  virtual void OnAccess(const AppValue& container, const std::string& key,
+                        AppValue* result) {
+    (void)container; (void)key; (void)result;
+  }
+};
+
+/// Tree-walking UvScript interpreter (the "unmodified runtime language
+/// interpreter" executing instrumented code, §3.2).
+class Interpreter {
+ public:
+  struct Options {
+    uint64_t rng_seed = 1;
+    /// Iteration/step budget guarding runaway programs.
+    int64_t max_steps = 50'000'000;
+  };
+
+  Interpreter(const AppProgram* program, SqlBridge* bridge,
+              InterpreterHooks* hooks, Options options);
+  Interpreter(const AppProgram* program, SqlBridge* bridge,
+              InterpreterHooks* hooks = nullptr)
+      : Interpreter(program, bridge, hooks, Options()) {}
+
+  /// Calls a top-level application transaction function.
+  Result<AppValue> CallFunction(const std::string& name,
+                                std::vector<AppValue> args);
+
+  /// Hook point used by the augmented application code: invoked whenever a
+  /// top-level transaction starts, mirroring Ultraverse_log() in Figure 3.
+  std::function<void(const std::string& fn, const std::vector<AppValue>&)>
+      on_txn_log;
+
+  /// Pluggable blackbox endpoint for http_send(); defaults to
+  /// {code: 1, error: ""}.
+  std::function<AppValue(const AppValue&)> http_endpoint;
+
+  /// Client-side environment (§3.3 Server-Client Communication): values
+  /// behind dom_input("name") and user_agent(). During DSE these become
+  /// client-side symbols; during regular runs they come from this map.
+  std::map<std::string, AppValue> client_env;
+
+  /// Collected log() output (tests).
+  const std::vector<std::string>& console() const { return console_; }
+
+ private:
+  struct Frame {
+    std::vector<std::unordered_map<std::string, AppValue>> scopes;
+    AppValue return_value;
+    bool returned = false;
+  };
+
+  Status ExecBlock(const std::vector<AppStmtPtr>& body, Frame* frame);
+  Status ExecStmt(const AppStmt& stmt, Frame* frame);
+  Result<AppValue> Eval(const AppExpr& e, Frame* frame);
+  Result<AppValue> EvalCall(const AppExpr& e, Frame* frame);
+  Result<AppValue> CallBuiltin(const std::string& name,
+                               std::vector<AppValue> args, bool* handled);
+  Status Assign(const AppExpr& target, AppValue value, Frame* frame);
+  AppValue* FindVar(Frame* frame, const std::string& name);
+  Status Step();
+
+
+  const AppProgram* program_;
+  SqlBridge* bridge_;
+  InterpreterHooks* hooks_;
+  Options options_;
+  Rng rng_;
+  int64_t clock_ = 0;
+  int64_t steps_ = 0;
+  int call_depth_ = 0;
+  std::vector<std::string> console_;
+};
+
+}  // namespace ultraverse::app
+
+#endif  // ULTRAVERSE_APPLANG_INTERPRETER_H_

@@ -1,0 +1,208 @@
+#include "core/dep_graph.h"
+
+#include <map>
+#include <string>
+
+namespace ultraverse::core {
+
+namespace {
+
+/// Generic single-granularity replay-set computation (Theorems 11 & 19):
+/// one ascending pass maintaining the accumulated writes (rule-1
+/// dependencies, transitive because members join the accumulator) and
+/// accumulated reads (Props. 9/10: later writers to a read cell replay so
+/// consulted tables evolve correctly).
+template <typename Sets>
+std::set<uint64_t> ClosureOneGranularity(
+    const std::vector<QueryRW>& analysis, uint64_t target_index,
+    const QueryRW& target_rw, bool target_is_replayed, Sets sets) {
+  auto acc_w = sets.Writes(target_rw);  // by value: accumulators
+  auto acc_r = sets.Reads(target_rw);
+  (void)target_is_replayed;
+
+  std::set<uint64_t> members;
+  for (uint64_t idx = target_index; idx <= analysis.size(); ++idx) {
+    if (idx == target_index) continue;  // the target itself is seeded above
+    const QueryRW& rw = analysis[idx - 1];
+    if (sets.WriteEmpty(rw)) continue;  // read-only queries never replay
+    bool rule1 = sets.Intersect(sets.Reads(rw), acc_w);
+    bool read_then_write = sets.Intersect(sets.Writes(rw), acc_r);
+    if (rule1 || read_then_write) {
+      members.insert(idx);
+      sets.MergeInto(&acc_w, sets.Writes(rw));
+      sets.MergeInto(&acc_r, sets.Reads(rw));
+    }
+  }
+  return members;
+}
+
+struct ColumnGranularity {
+  const ColumnSet& Reads(const QueryRW& rw) const { return rw.rc; }
+  const ColumnSet& Writes(const QueryRW& rw) const { return rw.wc; }
+  bool WriteEmpty(const QueryRW& rw) const { return rw.wc.empty(); }
+  bool Intersect(const ColumnSet& a, const ColumnSet& b) const {
+    return a.Intersects(b);
+  }
+  void MergeInto(ColumnSet* acc, const ColumnSet& s) const { acc->Merge(s); }
+};
+
+struct RowGranularity {
+  const RowSet& Reads(const QueryRW& rw) const { return rw.rr; }
+  const RowSet& Writes(const QueryRW& rw) const { return rw.wr; }
+  bool WriteEmpty(const QueryRW& rw) const { return rw.wr.empty(); }
+  bool Intersect(const RowSet& a, const RowSet& b) const {
+    return a.Intersects(b);
+  }
+  void MergeInto(RowSet* acc, const RowSet& s) const { acc->Merge(s); }
+};
+
+}  // namespace
+
+ReplayPlan ComputeReplayPlan(const std::vector<QueryRW>& analysis,
+                             uint64_t target_index, const QueryRW& target_rw,
+                             bool target_is_replayed,
+                             const DependencyOptions& options) {
+  ReplayPlan plan;
+
+  std::set<uint64_t> members;
+  if (options.column_wise && options.row_wise) {
+    // Theorem 20: 𝕀 = 𝕀_c ∩ 𝕀_r.
+    std::set<uint64_t> col = ClosureOneGranularity(
+        analysis, target_index, target_rw, target_is_replayed,
+        ColumnGranularity{});
+    std::set<uint64_t> row = ClosureOneGranularity(
+        analysis, target_index, target_rw, target_is_replayed,
+        RowGranularity{});
+    for (uint64_t idx : col) {
+      if (row.count(idx)) members.insert(idx);
+    }
+  } else if (options.column_wise) {
+    members = ClosureOneGranularity(analysis, target_index, target_rw,
+                                    target_is_replayed, ColumnGranularity{});
+  } else {
+    // No dependency analysis: replay the whole suffix (baseline behaviour).
+    for (uint64_t idx = target_index; idx <= analysis.size(); ++idx) {
+      if (idx != target_index) members.insert(idx);
+    }
+  }
+
+  plan.replay_indices.assign(members.begin(), members.end());
+
+  // §4.4 table classification over the replayed queries + the target.
+  auto classify = [&](const QueryRW& rw) {
+    plan.mutated_tables.insert(rw.write_tables.begin(), rw.write_tables.end());
+    for (const auto& t : rw.read_tables) plan.consulted_tables.insert(t);
+    if (rw.is_ddl) plan.needs_schema_rebuild = true;
+  };
+  classify(target_rw);
+  for (uint64_t idx : plan.replay_indices) classify(analysis[idx - 1]);
+  for (const auto& t : plan.mutated_tables) plan.consulted_tables.erase(t);
+  return plan;
+}
+
+std::vector<std::vector<uint32_t>> BuildConflictDag(
+    const std::vector<const QueryRW*>& ordered) {
+  // Per (table-column) cell tracking. Wildcard accesses touch every RI
+  // value of the column; a wildcard write acts as a barrier.
+  struct ColState {
+    int last_wild_writer = -1;
+    std::vector<int> wild_readers;                  // since last wild write
+    std::map<std::string, int> last_writer;         // RI value -> position
+    std::map<std::string, std::vector<int>> readers_since_write;
+  };
+  std::map<std::string, ColState> cols;
+
+  // Row values of query q for table t (from its rr/wr maps, whose keys are
+  // "t.<ri_col>" or "_S.t").
+  struct RowVals {
+    bool wildcard = true;
+    const std::set<std::string>* values = nullptr;
+  };
+  auto row_vals_for = [](const RowSet& rs, const std::string& table,
+                         bool is_schema) -> RowVals {
+    RowVals rv;
+    for (const auto& [col, vals] : rs.cols) {
+      bool schema_key = col.rfind("_S.", 0) == 0;
+      if (schema_key != is_schema) continue;
+      std::string t = is_schema ? col.substr(3) : col.substr(0, col.find('.'));
+      if (t != table) continue;
+      rv.wildcard = vals.wildcard;
+      rv.values = &vals.values;
+      return rv;
+    }
+    return rv;  // no row info recorded: wildcard (conservative)
+  };
+
+  std::vector<std::vector<uint32_t>> deps(ordered.size());
+  for (size_t i = 0; i < ordered.size(); ++i) {
+    const QueryRW& rw = *ordered[i];
+    std::set<uint32_t> my_deps;
+    auto add_dep = [&](int pos) {
+      if (pos >= 0 && pos != int(i)) my_deps.insert(uint32_t(pos));
+    };
+
+    auto table_of = [](const std::string& col) {
+      if (col.rfind("_S.", 0) == 0) return col.substr(3);
+      return col.substr(0, col.find('.'));
+    };
+
+    // Reads first (RW dependencies onto earlier writers).
+    for (const auto& c : rw.rc.items) {
+      ColState& st = cols[c];
+      bool is_schema = c.rfind("_S.", 0) == 0;
+      RowVals rv = row_vals_for(rw.rr, table_of(c), is_schema);
+      add_dep(st.last_wild_writer);
+      if (rv.wildcard || !rv.values) {
+        for (const auto& [v, w] : st.last_writer) {
+          (void)v;
+          add_dep(w);
+        }
+        st.wild_readers.push_back(int(i));
+      } else {
+        for (const auto& v : *rv.values) {
+          auto it = st.last_writer.find(v);
+          if (it != st.last_writer.end()) add_dep(it->second);
+          st.readers_since_write[v].push_back(int(i));
+        }
+      }
+    }
+    // Writes (WR onto earlier readers, WW onto earlier writers).
+    for (const auto& c : rw.wc.items) {
+      ColState& st = cols[c];
+      bool is_schema = c.rfind("_S.", 0) == 0;
+      RowVals rv = row_vals_for(rw.wr, table_of(c), is_schema);
+      add_dep(st.last_wild_writer);
+      if (rv.wildcard || !rv.values) {
+        for (const auto& [v, w] : st.last_writer) {
+          (void)v;
+          add_dep(w);
+        }
+        for (int r : st.wild_readers) add_dep(r);
+        for (const auto& [v, readers] : st.readers_since_write) {
+          (void)v;
+          for (int r : readers) add_dep(r);
+        }
+        st.last_writer.clear();
+        st.readers_since_write.clear();
+        st.wild_readers.clear();
+        st.last_wild_writer = int(i);
+      } else {
+        for (int r : st.wild_readers) add_dep(r);
+        for (const auto& v : *rv.values) {
+          auto it = st.last_writer.find(v);
+          if (it != st.last_writer.end()) add_dep(it->second);
+          auto rit = st.readers_since_write.find(v);
+          if (rit != st.readers_since_write.end()) {
+            for (int r : rit->second) add_dep(r);
+            rit->second.clear();
+          }
+          st.last_writer[v] = int(i);
+        }
+      }
+    }
+    deps[i].assign(my_deps.begin(), my_deps.end());
+  }
+  return deps;
+}
+
+}  // namespace ultraverse::core

@@ -1,0 +1,62 @@
+#ifndef ULTRAVERSE_CORE_DEP_GRAPH_H_
+#define ULTRAVERSE_CORE_DEP_GRAPH_H_
+
+#include <cstdint>
+#include <set>
+#include <vector>
+
+#include "core/rw_sets.h"
+
+namespace ultraverse::core {
+
+/// Which granularities participate in dependency pruning. T+D uses both
+/// (Theorem 20: replay 𝕀_c ∩ 𝕀_r); the column-only configuration is the
+/// ablation of §4.2 without §4.3.
+struct DependencyOptions {
+  bool column_wise = true;
+  bool row_wise = true;
+};
+
+/// The pruned rollback & replay plan for one retroactive operation.
+struct ReplayPlan {
+  /// Log indices (1-based) to roll back and replay, ascending. For a
+  /// retroactive *remove*, the target itself is excluded from replay (but
+  /// still rolled back). For add/change the new query executes at τ.
+  std::vector<uint64_t> replay_indices;
+
+  /// §4.4 table classification.
+  std::set<std::string> mutated_tables;
+  std::set<std::string> consulted_tables;
+
+  /// True when the plan involves schema (DDL) replay: the engine must then
+  /// rebuild the temporary database from a checkpoint instead of undoing
+  /// table journals.
+  bool needs_schema_rebuild = false;
+};
+
+/// Computes the replay set 𝕀 of Appendix E: the closure of queries
+/// (write-sets non-empty) that depend on the target or on another member
+/// (Prop. 7, transitive via ascending order), plus every later writer to a
+/// cell read by a member (Props. 9/10, which keep consulted tables
+/// replayable). Column-wise and row-wise sets are computed independently
+/// and intersected (Theorem 20).
+///
+/// `analysis[i]` corresponds to log index i+1. `target_rw` is the R/W set
+/// of the retroactive target: for remove it is the old query's sets; for
+/// add it is the new query's; for change the union of both.
+ReplayPlan ComputeReplayPlan(const std::vector<QueryRW>& analysis,
+                             uint64_t target_index, const QueryRW& target_rw,
+                             bool target_is_replayed,
+                             const DependencyOptions& options);
+
+/// Conflict edges for parallel replay scheduling (§4.4): a replay arrow
+/// Qn -> Qm exists when n < m and the two queries conflict (read-write,
+/// write-read, or write-write) on the same column and RI value ("cell").
+/// `ordered` is the replay sequence in commit order; the result holds, for
+/// each position i, the predecessor positions that must complete first.
+std::vector<std::vector<uint32_t>> BuildConflictDag(
+    const std::vector<const QueryRW*>& ordered);
+
+}  // namespace ultraverse::core
+
+#endif  // ULTRAVERSE_CORE_DEP_GRAPH_H_

@@ -1,0 +1,508 @@
+#include "core/replay.h"
+
+#include <algorithm>
+#include <atomic>
+#include <map>
+#include <mutex>
+#include <set>
+
+#include "sqldb/parser.h"
+#include <thread>
+
+#include "util/mpmc_queue.h"
+#include "util/thread_pool.h"
+#include "util/virtual_clock.h"
+
+namespace ultraverse::core {
+
+namespace {
+
+/// Original-timeline table hashes: for each table, the (commit index,
+/// digest) sequence logged by the Hash-jumper logger (§4.5).
+class HashTimeline {
+ public:
+  explicit HashTimeline(const sql::QueryLog& log) {
+    for (const auto& entry : log.entries()) {
+      for (const auto& [table, digest] : entry.table_hashes) {
+        per_table_[table].emplace_back(entry.index, digest);
+      }
+    }
+  }
+
+  /// The logged digest of `table` at the last write at-or-before `index`;
+  /// nullptr when no logged write precedes it.
+  const Digest256* HashAt(const std::string& table, uint64_t index) const {
+    auto it = per_table_.find(table);
+    if (it == per_table_.end()) return nullptr;
+    const auto& seq = it->second;
+    auto pos = std::upper_bound(
+        seq.begin(), seq.end(), index,
+        [](uint64_t idx, const auto& p) { return idx < p.first; });
+    if (pos == seq.begin()) return nullptr;
+    return &std::prev(pos)->second;
+  }
+
+ private:
+  std::map<std::string, std::vector<std::pair<uint64_t, Digest256>>>
+      per_table_;
+};
+
+}  // namespace
+
+RetroactiveEngine::RetroactiveEngine(sql::Database* db,
+                                     const sql::QueryLog* log, Options options)
+    : db_(db), log_(log), options_(options) {
+  entry_executor_ = [](sql::Database* target, const sql::LogEntry& entry,
+                       uint64_t commit_index) -> Status {
+    sql::ExecContext ctx;
+    ctx.StartReplaying(&entry.nondet);
+    Result<sql::ExecResult> r = target->Execute(*entry.stmt, commit_index, &ctx);
+    // SIGNAL traps from transpiled procedures surface to the caller;
+    // other errors abort the replay.
+    return r.ok() ? Status::OK() : r.status();
+  };
+}
+
+Status RetroactiveEngine::ExecuteSlot(sql::Database* db, const Slot& slot,
+                                      const RetroOp& op,
+                                      uint64_t commit_index) {
+  Status st;
+  if (!slot.is_new && !parsed_rules_.empty()) {
+    const sql::LogEntry& entry = log_->at(slot.log_index);
+    if (!entry.app_txn.empty()) {
+      for (const auto& [fn, cond] : parsed_rules_) {
+        if (!fn.empty() && fn != entry.app_txn) continue;
+        sql::ExecContext ctx;
+        Result<sql::ExecResult> when = db->Execute(*cond, commit_index, &ctx);
+        if (when.ok() && !when->rows.empty() && !when->rows[0].empty() &&
+            !when->rows[0][0].is_null() && when->rows[0][0].AsBool()) {
+          suppressed_.fetch_add(1, std::memory_order_relaxed);
+          return Status::OK();  // the simulated human decided not to act
+        }
+      }
+    }
+  }
+  if (slot.is_new) {
+    sql::ExecContext ctx;
+    sql::NondetRecord fresh;
+    ctx.StartRecording(&fresh);  // a new query generates fresh nondeterminism
+    Result<sql::ExecResult> r = db->Execute(*op.new_stmt, commit_index, &ctx);
+    st = r.ok() ? Status::OK() : r.status();
+  } else {
+    st = entry_executor_(db, log_->at(slot.log_index), commit_index);
+  }
+  if (!st.ok() && st.code() != StatusCode::kInternal) {
+    // A replayed query may legitimately fail in the alternate universe
+    // (e.g. it inserts into a table whose CREATE was retroactively
+    // removed, or a NOT NULL constraint now trips). The statement's own
+    // effects rolled back atomically; the replay continues without it.
+    return Status::OK();
+  }
+  return st;
+}
+
+Result<ReplayStats> RetroactiveEngine::Execute(
+    const RetroOp& op, const std::vector<QueryRW>& analysis,
+    QueryAnalyzer* analyzer) {
+  if (op.index == 0 || op.index > log_->size() + 1) {
+    return Status::InvalidArgument("retroactive index out of range");
+  }
+  if (op.kind != RetroOp::Kind::kAdd && op.index > log_->size()) {
+    return Status::InvalidArgument("no such query to remove/change");
+  }
+  // The replay horizon is the analyzed prefix: queries committed after the
+  // analysis snapshot belong to the next catch-up phase (§4.4).
+  const uint64_t horizon = std::min<uint64_t>(analysis.size(), log_->size());
+  if (op.index > horizon + 1) {
+    return Status::InvalidArgument("analysis does not cover the target");
+  }
+
+  parsed_rules_.clear();
+  suppressed_.store(0, std::memory_order_relaxed);
+  for (const auto& rule : options_.rules) {
+    UV_ASSIGN_OR_RETURN(sql::StatementPtr cond,
+                        sql::Parser::ParseStatement(rule.when_sql));
+    parsed_rules_.emplace_back(rule.function, std::move(cond));
+  }
+
+  ReplayStats stats;
+  stats.history_size = horizon;
+  stats.suffix_size = horizon >= op.index ? horizon - op.index + 1 : 0;
+  stats.workers = options_.parallel ? options_.num_threads : 1;
+  Stopwatch total_watch;
+
+  // --- 1. Dependency analysis / replay plan ------------------------------
+  Stopwatch analysis_watch;
+  QueryRW target_rw;
+  bool replay_target = op.kind != RetroOp::Kind::kRemove;
+  if (op.kind == RetroOp::Kind::kRemove) {
+    target_rw = analysis[op.index - 1];
+  } else {
+    UV_ASSIGN_OR_RETURN(target_rw,
+                        analyzer->AnalyzeStatement(*op.new_stmt, nullptr));
+    if (op.kind == RetroOp::Kind::kChange) {
+      // Union old + new effects: dependents of either must replay.
+      target_rw.rc.Merge(analysis[op.index - 1].rc);
+      target_rw.wc.Merge(analysis[op.index - 1].wc);
+      target_rw.rr.Merge(analysis[op.index - 1].rr);
+      target_rw.wr.Merge(analysis[op.index - 1].wr);
+      const auto& old_rw = analysis[op.index - 1];
+      target_rw.read_tables.insert(old_rw.read_tables.begin(),
+                                   old_rw.read_tables.end());
+      target_rw.write_tables.insert(old_rw.write_tables.begin(),
+                                    old_rw.write_tables.end());
+      target_rw.is_ddl = target_rw.is_ddl || old_rw.is_ddl;
+    }
+  }
+  ReplayPlan plan = ComputeReplayPlan(analysis, op.index, target_rw,
+                                      replay_target, options_.deps);
+  // kChange replaces the old query: it must not replay verbatim.
+  if (op.kind == RetroOp::Kind::kChange || op.kind == RetroOp::Kind::kRemove) {
+    plan.replay_indices.erase(std::remove(plan.replay_indices.begin(),
+                                          plan.replay_indices.end(), op.index),
+                              plan.replay_indices.end());
+  }
+  // With dependency analysis off (B/T modes) every suffix query replays,
+  // including ones that only read: the baseline cannot know better. Keep
+  // plan as computed (write-only queries) — the paper's baselines also
+  // skip pure reads during replay since they cannot change state.
+  stats.planned_replay = plan.replay_indices.size() + (replay_target ? 1 : 0);
+  stats.replayed = stats.planned_replay;
+  stats.skipped = stats.suffix_size > plan.replay_indices.size()
+                      ? stats.suffix_size - plan.replay_indices.size()
+                      : 0;
+  stats.mutated_tables = plan.mutated_tables.size();
+  stats.consulted_tables = plan.consulted_tables.size();
+  stats.schema_rebuild = plan.needs_schema_rebuild;
+  stats.analysis_seconds = analysis_watch.ElapsedSeconds();
+
+  // --- 2. Stage the temporary database ------------------------------------
+  Stopwatch rollback_watch;
+  std::vector<std::string> affected(plan.mutated_tables.begin(),
+                                    plan.mutated_tables.end());
+  affected.insert(affected.end(), plan.consulted_tables.begin(),
+                  plan.consulted_tables.end());
+  // Journal horizon: if a checkpoint trimmed the undo entries of a commit
+  // we must roll back (§5 rollback option (iii)), the journal cannot stage
+  // the rollback; rebuild from the log instead.
+  if (!plan.needs_schema_rebuild) {
+    uint64_t trimmed = 0;
+    for (const auto& t : plan.mutated_tables) {
+      const sql::Table* table = db_->FindTable(t);
+      if (table) trimmed = std::max(trimmed, table->trimmed_before());
+    }
+    bool undo_before_horizon =
+        op.kind != RetroOp::Kind::kAdd && op.index < trimmed;
+    for (uint64_t idx : plan.replay_indices) {
+      if (idx < trimmed) undo_before_horizon = true;
+    }
+    if (undo_before_horizon) {
+      plan.needs_schema_rebuild = true;
+      stats.schema_rebuild = true;
+    }
+  }
+  if (plan.needs_schema_rebuild) {
+    // The rebuilt temporary database starts empty, so *every* suffix write
+    // must replay — a pruned plan would lose the cell-independent writes
+    // that journal rollback preserves. The rebuild path therefore widens
+    // the plan to the full write-suffix (it is the slow path regardless).
+    std::set<uint64_t> widened(plan.replay_indices.begin(),
+                               plan.replay_indices.end());
+    for (uint64_t idx = op.index; idx <= horizon; ++idx) {
+      if (idx == op.index && op.kind != RetroOp::Kind::kAdd) continue;
+      const QueryRW& rw = analysis[idx - 1];
+      if (rw.wc.empty()) continue;
+      widened.insert(idx);
+      plan.mutated_tables.insert(rw.write_tables.begin(),
+                                 rw.write_tables.end());
+    }
+    plan.replay_indices.assign(widened.begin(), widened.end());
+    stats.replayed = plan.replay_indices.size() + (replay_target ? 1 : 0);
+    stats.planned_replay = stats.replayed;
+    stats.mutated_tables = plan.mutated_tables.size();
+  }
+  if (plan.needs_schema_rebuild) {
+    // Schema changes cannot be undone from table journals: rebuild the
+    // prefix universe from scratch (checkpoint-less slow path).
+    temp_db_ = std::make_unique<sql::Database>();
+    for (uint64_t idx = 1; idx < op.index; ++idx) {
+      Slot slot{false, idx};
+      UV_RETURN_NOT_OK(ExecuteSlot(temp_db_.get(), slot, op, idx));
+    }
+  } else {
+    if (options_.db_mutex) {
+      std::lock_guard<std::mutex> g(*options_.db_mutex);
+      temp_db_ = db_->Clone();
+    } else {
+      temp_db_ = db_->Clone();
+    }
+    // Query-selective rollback (Appendix E): undo exactly the replayed
+    // commits (plus the removed/changed target). Cell-independent commits
+    // of the same tables keep their effects.
+    std::set<uint64_t> undo_commits(plan.replay_indices.begin(),
+                                    plan.replay_indices.end());
+    if (op.kind != RetroOp::Kind::kAdd) undo_commits.insert(op.index);
+    std::vector<std::string> rollback_tables(plan.mutated_tables.begin(),
+                                             plan.mutated_tables.end());
+    temp_db_->RollbackCommitsInTables(undo_commits, rollback_tables);
+  }
+  stats.rollback_seconds = rollback_watch.ElapsedSeconds();
+
+  // Hash-jumper baselines: the rolled-back state at τ-1 is the original
+  // timeline's state for tables without later logged writes.
+  HashTimeline timeline(*log_);
+  std::map<std::string, Digest256> baseline;
+  if (options_.hash_jumper) {
+    for (const auto& t : plan.mutated_tables) {
+      if (const sql::Table* table = temp_db_->FindTable(t)) {
+        baseline[t] = table->table_hash().value();
+      }
+    }
+  }
+
+  // --- 3. Replay ----------------------------------------------------------
+  Stopwatch replay_watch;
+  std::vector<Slot> slots;
+  if (replay_target) slots.push_back(Slot{true, op.index});
+  for (uint64_t idx : plan.replay_indices) slots.push_back(Slot{false, idx});
+
+  stats.critical_path = slots.size();
+
+  // Hash-hit test at original commit index `idx` (§4.5): every mutated
+  // table's replayed hash equals its original-timeline hash.
+  auto hashes_match_at = [&](uint64_t idx) {
+    for (const auto& t : plan.mutated_tables) {
+      const sql::Table* table = temp_db_->FindTable(t);
+      if (!table) return false;
+      const Digest256* original = timeline.HashAt(t, idx);
+      const Digest256& replayed = table->table_hash().value();
+      if (original) {
+        if (!(replayed == *original)) return false;
+      } else {
+        auto it = baseline.find(t);
+        if (it == baseline.end() || !(replayed == it->second)) return false;
+      }
+    }
+    return true;
+  };
+
+  Status replay_status = Status::OK();
+  bool hash_jumped = false;
+  bool hash_verified = false;
+  uint64_t jump_index = 0;
+  std::atomic<size_t> executed_slots{0};
+
+  // §4.5 literal-comparison option: materialize the original timeline's
+  // table at `idx` from a cloned journal and compare row multisets.
+  auto literal_hit_check = [&](uint64_t idx) {
+    for (const auto& t : plan.mutated_tables) {
+      const sql::Table* replayed = temp_db_->FindTable(t);
+      const sql::Table* live = db_->FindTable(t);
+      if (!replayed || !live) return false;
+      std::unique_ptr<sql::Table> original = live->Clone();
+      original->RollbackToIndex(idx);
+      std::multiset<std::string> a, b;
+      replayed->Scan([&](sql::RowId, const sql::Row& row) {
+        a.insert(sql::EncodeRow(row));
+        return true;
+      });
+      original->Scan([&](sql::RowId, const sql::Row& row) {
+        b.insert(sql::EncodeRow(row));
+        return true;
+      });
+      if (a != b) return false;
+    }
+    return true;
+  };
+
+  if (!options_.parallel || slots.size() < 2) {
+    uint64_t next_commit = log_->last_index() + 1;
+    for (size_t i = 0; i < slots.size(); ++i) {
+      replay_status = ExecuteSlot(temp_db_.get(), slots[i], op, next_commit++);
+      executed_slots.fetch_add(1, std::memory_order_relaxed);
+      if (!replay_status.ok()) break;
+      if (options_.hash_jumper && !slots[i].is_new &&
+          hashes_match_at(slots[i].log_index)) {
+        if (options_.verify_hash_hits) {
+          if (!literal_hit_check(slots[i].log_index)) continue;
+          hash_verified = true;
+        }
+        hash_jumped = true;
+        jump_index = slots[i].log_index;
+        break;
+      }
+    }
+  } else {
+    // Parallel replay over the conflict DAG (§4.4).
+    std::vector<const QueryRW*> ordered;
+    ordered.reserve(slots.size());
+    for (const auto& slot : slots) {
+      ordered.push_back(slot.is_new ? &target_rw
+                                    : &analysis[slot.log_index - 1]);
+    }
+    std::vector<std::vector<uint32_t>> preds = BuildConflictDag(ordered);
+    // Critical path of the conflict DAG: chains of conflicting queries
+    // serialize their round trips; independent chains overlap (§4.4).
+    {
+      std::vector<uint32_t> depth(slots.size(), 1);
+      uint32_t longest = slots.empty() ? 0 : 1;
+      for (size_t i = 0; i < slots.size(); ++i) {
+        for (uint32_t p : preds[i]) {
+          depth[i] = std::max(depth[i], depth[p] + 1);
+        }
+        longest = std::max(longest, depth[i]);
+      }
+      stats.critical_path = longest;
+    }
+    std::vector<std::vector<uint32_t>> succs(slots.size());
+    std::vector<std::atomic<int>> pending(slots.size());
+    for (size_t i = 0; i < slots.size(); ++i) {
+      pending[i].store(int(preds[i].size()), std::memory_order_relaxed);
+      for (uint32_t p : preds[i]) succs[p].push_back(uint32_t(i));
+    }
+
+    // Ready queue: lock-free MPMC ring dequeued by the worker pool.
+    MpmcQueue<uint32_t> ready(slots.size() + 16);
+    std::atomic<size_t> completed{0};
+    std::atomic<bool> stop{false};
+    std::mutex status_mu;
+    // Per-table locks guard physical row storage; the DAG already orders
+    // all logically conflicting queries.
+    std::map<std::string, std::unique_ptr<std::mutex>> table_locks;
+    {
+      std::set<std::string> tables = plan.mutated_tables;
+      tables.insert(plan.consulted_tables.begin(),
+                    plan.consulted_tables.end());
+      for (const auto& t : tables) {
+        table_locks.emplace(t, std::make_unique<std::mutex>());
+      }
+    }
+    std::vector<std::atomic<uint8_t>> done_flags(slots.size());
+    for (auto& f : done_flags) f.store(0, std::memory_order_relaxed);
+    std::atomic<size_t> watermark{0};  // completed prefix length
+
+    uint64_t base_commit = log_->last_index() + 1;
+    for (size_t i = 0; i < slots.size(); ++i) {
+      if (pending[i].load(std::memory_order_relaxed) == 0) {
+        ready.TryPush(uint32_t(i));
+      }
+    }
+
+    ThreadPool pool(size_t(options_.num_threads));
+    std::atomic<size_t> active_workers{0};
+    auto worker = [&]() {
+      uint32_t pos;
+      while (!stop.load(std::memory_order_relaxed) &&
+             completed.load(std::memory_order_relaxed) < slots.size()) {
+        if (!ready.TryPop(&pos)) {
+          std::this_thread::yield();
+          continue;
+        }
+        const Slot& slot = slots[pos];
+
+        // Lock the tables this query touches, in sorted (map) order.
+        const QueryRW& rw = *ordered[pos];
+        std::vector<std::mutex*> held;
+        for (auto& [name, mu] : table_locks) {
+          if (rw.read_tables.count(name) || rw.write_tables.count(name)) {
+            mu->lock();
+            held.push_back(mu.get());
+          }
+        }
+        Status st =
+            ExecuteSlot(temp_db_.get(), slot, op, base_commit + pos);
+        executed_slots.fetch_add(1, std::memory_order_relaxed);
+        for (auto it = held.rbegin(); it != held.rend(); ++it) (*it)->unlock();
+
+        if (!st.ok()) {
+          std::lock_guard<std::mutex> g(status_mu);
+          if (replay_status.ok()) replay_status = st;
+          stop.store(true, std::memory_order_relaxed);
+        }
+        done_flags[pos].store(1, std::memory_order_release);
+        completed.fetch_add(1, std::memory_order_acq_rel);
+
+        // Advance the completed-prefix watermark and run the Hash-jumper
+        // check at each newly completed prefix position.
+        if (options_.hash_jumper) {
+          size_t w = watermark.load(std::memory_order_acquire);
+          while (w < slots.size() &&
+                 done_flags[w].load(std::memory_order_acquire)) {
+            if (watermark.compare_exchange_strong(w, w + 1)) {
+              // Only meaningful when the completed prefix is the entire
+              // completed set (nothing ran ahead of the watermark).
+              if (!slots[w].is_new &&
+                  completed.load(std::memory_order_acquire) == w + 1) {
+                std::lock_guard<std::mutex> g(status_mu);
+                // Block writers while reading table hashes.
+                std::vector<std::mutex*> all;
+                for (auto& [name, mu] : table_locks) {
+                  (void)name;
+                  mu->lock();
+                  all.push_back(mu.get());
+                }
+                bool hit = !stop.load(std::memory_order_relaxed) &&
+                           hashes_match_at(slots[w].log_index) &&
+                           completed.load(std::memory_order_acquire) == w + 1;
+                for (auto it = all.rbegin(); it != all.rend(); ++it) {
+                  (*it)->unlock();
+                }
+                if (hit && options_.verify_hash_hits) {
+                  hit = literal_hit_check(slots[w].log_index);
+                  hash_verified = hit;
+                }
+                if (hit) {
+                  hash_jumped = true;
+                  jump_index = slots[w].log_index;
+                  stop.store(true, std::memory_order_relaxed);
+                }
+              }
+              w = watermark.load(std::memory_order_acquire);
+            }
+          }
+        }
+
+        for (uint32_t next : succs[pos]) {
+          if (pending[next].fetch_sub(1, std::memory_order_acq_rel) == 1) {
+            while (!ready.TryPush(next)) std::this_thread::yield();
+          }
+        }
+      }
+    };
+    for (int i = 0; i < options_.num_threads; ++i) pool.Submit(worker);
+    pool.WaitIdle();
+  }
+  stats.replay_seconds = replay_watch.ElapsedSeconds();
+  UV_RETURN_NOT_OK(replay_status);
+  // Charge round trips for what actually ran: the Hash-jumper cuts the
+  // tail off (§4.5). In parallel mode only the conflict-DAG critical path
+  // serializes round trips.
+  size_t executed = executed_slots.load(std::memory_order_relaxed);
+  stats.replayed = executed + (stats.replayed - slots.size());
+  stats.virtual_rtt_micros =
+      options_.rtt_micros_per_query *
+      (options_.parallel ? std::min(stats.critical_path, executed)
+                         : executed);
+
+  stats.suppressed = suppressed_.load(std::memory_order_relaxed);
+  stats.hash_jump = hash_jumped;
+  stats.hash_jump_index = jump_index;
+  stats.hash_hit_verified = hash_verified;
+  stats.temp_db_bytes = temp_db_->ApproxMemoryBytes();
+
+  // --- 4. Database update --------------------------------------------------
+  if (!hash_jumped) {
+    std::vector<std::string> mutated(plan.mutated_tables.begin(),
+                                     plan.mutated_tables.end());
+    if (options_.db_mutex) {
+      std::lock_guard<std::mutex> g(*options_.db_mutex);
+      UV_RETURN_NOT_OK(db_->AdoptTables(*temp_db_, mutated));
+    } else {
+      UV_RETURN_NOT_OK(db_->AdoptTables(*temp_db_, mutated));
+    }
+  }
+  stats.total_seconds = total_watch.ElapsedSeconds();
+  return stats;
+}
+
+}  // namespace ultraverse::core

@@ -1,0 +1,151 @@
+#ifndef ULTRAVERSE_CORE_REPLAY_H_
+#define ULTRAVERSE_CORE_REPLAY_H_
+
+#include <atomic>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "core/dep_graph.h"
+#include "core/rw_sets.h"
+#include "sqldb/database.h"
+#include "sqldb/query_log.h"
+#include "util/status.h"
+
+namespace ultraverse::core {
+
+/// A retroactive operation (§4): add a new query right before commit index
+/// `index`, remove the query at `index`, or change it to `new_stmt`.
+struct RetroOp {
+  enum class Kind { kAdd, kRemove, kChange };
+  Kind kind = Kind::kRemove;
+  uint64_t index = 0;            // τ (1-based commit index)
+  sql::StatementPtr new_stmt;    // for kAdd / kChange
+  std::string new_sql;           // textual form of new_stmt (logging)
+};
+
+/// A configurable human-decision rule (§6 "Replaying Interactive Human
+/// Decisions"): during what-if replay, an application transaction is
+/// suppressed when the rule's condition holds in the evolving alternate
+/// universe — e.g. "suppress Alice's StockPurchase while the symbol trades
+/// above her threshold".
+struct ReplayRule {
+  /// Application transaction the rule applies to (empty = any app txn).
+  std::string function;
+  /// SQL SELECT evaluated against the temporary database right before the
+  /// entry would replay; a truthy first cell fires the rule.
+  std::string when_sql;
+  /// What happens when the rule fires (suppression is the paper's example;
+  /// the enum leaves room for arg-rewriting policies).
+  enum class Action { kSuppress } action = Action::kSuppress;
+};
+
+/// Outcome metrics of one retroactive operation.
+struct ReplayStats {
+  size_t history_size = 0;       // |Q|
+  size_t suffix_size = 0;        // queries at or after τ
+  size_t replayed = 0;           // dependent queries actually replayed
+  size_t planned_replay = 0;     // plan size before any Hash-jumper cutoff
+  size_t suppressed = 0;         // entries skipped by ReplayRules (§6)
+  size_t skipped = 0;            // pruned by dependency analysis
+  size_t mutated_tables = 0;
+  size_t consulted_tables = 0;
+  bool schema_rebuild = false;
+
+  bool hash_jump = false;        // Hash-jumper early termination fired
+  uint64_t hash_jump_index = 0;  // commit index of the hash-hit
+  bool hash_hit_verified = false;  // literal comparison ran and passed
+
+  /// Longest chain of conflicting queries in the replay DAG: the number
+  /// of round trips a parallel replay cannot overlap.
+  size_t critical_path = 0;
+
+  double analysis_seconds = 0;   // dependency-plan computation
+  double rollback_seconds = 0;
+  double replay_seconds = 0;
+  double total_seconds = 0;
+  uint64_t virtual_rtt_micros = 0;  // simulated client<->server RTT charged
+  size_t temp_db_bytes = 0;         // temporary database footprint
+  int workers = 1;
+};
+
+/// Executes the rollback & replay protocol of §4.4 against a Database +
+/// QueryLog pair:
+///  1) build the pruned replay plan from the dependency analysis,
+///  2) stage a temporary database and roll back mutated+consulted tables
+///     to τ-1 (or rebuild from scratch when the plan replays DDL),
+///  3) replay dependent queries — serially, or in parallel over the
+///     conflict DAG with a lock-free ready queue,
+///  4) Hash-jumper (§4.5): early-stop when the replayed state provably
+///     reconverges with the original timeline,
+///  5) adopt mutated tables back into the live database.
+class RetroactiveEngine {
+ public:
+  struct Options {
+    DependencyOptions deps;      // which pruning granularities are on
+    bool parallel = true;
+    int num_threads = 8;
+    bool hash_jumper = false;
+    /// §4.5: on a hash-hit, additionally compare the replayed tables'
+    /// literal contents against the original timeline before jumping
+    /// (guards against the 2^-256 collision case).
+    bool verify_hash_hits = false;
+    /// Per-query virtual round-trip cost charged during replay (the
+    /// DBMS-client RTT the T-version saves; see DESIGN.md).
+    uint64_t rtt_micros_per_query = 0;
+    /// Human-decision rules applied to replayed application transactions
+    /// (§6); parsed once at Execute() start.
+    std::vector<ReplayRule> rules;
+    /// When set, held while snapshotting the live database and while
+    /// adopting mutated tables back (§4.4 step 3 lock) so regular traffic
+    /// can proceed during the replay itself.
+    std::mutex* db_mutex = nullptr;
+  };
+
+  /// Replays one log entry against `db` at `commit_index`. The default
+  /// executor runs entry.stmt directly (transpiled/T modes); the facade
+  /// installs an interpreter-backed executor for B/D modes.
+  using EntryExecutor = std::function<Status(
+      sql::Database* db, const sql::LogEntry& entry, uint64_t commit_index)>;
+
+  RetroactiveEngine(sql::Database* db, const sql::QueryLog* log,
+                    Options options);
+
+  void set_entry_executor(EntryExecutor executor) {
+    entry_executor_ = std::move(executor);
+  }
+
+  /// Runs the retroactive operation. `analysis[i]` must describe log entry
+  /// i+1; `analyzer` supplies R/W analysis for the op's new statement.
+  Result<ReplayStats> Execute(const RetroOp& op,
+                              const std::vector<QueryRW>& analysis,
+                              QueryAnalyzer* analyzer);
+
+  /// The temporary database of the last Execute() call (tests inspect the
+  /// alternate universe even after a hash-jump).
+  const sql::Database* last_temp_db() const { return temp_db_.get(); }
+
+ private:
+  struct Slot {
+    bool is_new = false;
+    uint64_t log_index = 0;  // original entry (when !is_new)
+  };
+
+  Status ExecuteSlot(sql::Database* db, const Slot& slot, const RetroOp& op,
+                     uint64_t commit_index);
+
+  sql::Database* db_;
+  const sql::QueryLog* log_;
+  Options options_;
+  EntryExecutor entry_executor_;
+  std::unique_ptr<sql::Database> temp_db_;
+  /// (function, parsed when-condition) pairs from Options::rules.
+  std::vector<std::pair<std::string, sql::StatementPtr>> parsed_rules_;
+  std::atomic<size_t> suppressed_{0};
+};
+
+}  // namespace ultraverse::core
+
+#endif  // ULTRAVERSE_CORE_REPLAY_H_

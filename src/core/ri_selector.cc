@@ -1,0 +1,168 @@
+#include "core/ri_selector.h"
+
+#include "util/string_util.h"
+
+namespace ultraverse::core {
+
+namespace {
+
+using sql::Expr;
+using sql::ExprKind;
+using sql::Statement;
+using sql::StatementKind;
+
+/// Collects `col = <resolvable>` conjuncts of a WHERE clause attributed to
+/// `table` into `counts`. OR disjuncts still count: they enumerate rows.
+void CountEqualities(const Expr* where, const std::string& table,
+                     const SchemaRegistry& reg,
+                     std::map<std::string, size_t>* counts) {
+  if (!where) return;
+  switch (where->kind) {
+    case ExprKind::kBinary:
+      if (where->binary_op == sql::BinaryOp::kAnd ||
+          where->binary_op == sql::BinaryOp::kOr) {
+        CountEqualities(where->children[0].get(), table, reg, counts);
+        CountEqualities(where->children[1].get(), table, reg, counts);
+        return;
+      }
+      if (where->binary_op == sql::BinaryOp::kEq) {
+        const Expr* col = where->children[0].get();
+        const Expr* val = where->children[1].get();
+        if (col->kind != ExprKind::kColumnRef) std::swap(col, val);
+        if (col->kind != ExprKind::kColumnRef) return;
+        if (!col->table.empty() && !EqualsIgnoreCase(col->table, table)) {
+          return;
+        }
+        const auto* info = reg.FindTable(table);
+        if (!info) return;
+        for (const auto& c : info->columns) {
+          if (EqualsIgnoreCase(c.name, col->column)) {
+            ++(*counts)[c.name];
+            return;
+          }
+        }
+      }
+      return;
+    case ExprKind::kInList: {
+      const Expr* col = where->children[0].get();
+      if (col->kind == ExprKind::kColumnRef) {
+        ++(*counts)[col->column];
+      }
+      return;
+    }
+    default:
+      return;
+  }
+}
+
+/// Walks one statement (through procedure bodies) accumulating per-table
+/// equality counts.
+void CountStatement(const Statement& stmt, const SchemaRegistry& reg,
+                    std::map<std::string, std::map<std::string, size_t>>* by_table,
+                    int depth) {
+  if (depth > 8) return;
+  switch (stmt.kind) {
+    case StatementKind::kSelect:
+      if (!stmt.select->from_table.empty()) {
+        CountEqualities(stmt.select->where.get(), stmt.select->from_table, reg,
+                        &(*by_table)[stmt.select->from_table]);
+      }
+      break;
+    case StatementKind::kUpdate:
+      CountEqualities(stmt.update.where.get(), stmt.update.table, reg,
+                      &(*by_table)[stmt.update.table]);
+      break;
+    case StatementKind::kDelete:
+      CountEqualities(stmt.del.where.get(), stmt.del.table, reg,
+                      &(*by_table)[stmt.del.table]);
+      break;
+    case StatementKind::kCall: {
+      const auto* proc = reg.FindProcedure(stmt.call.procedure);
+      if (proc) {
+        for (const auto& inner : proc->body) {
+          CountStatement(*inner, reg, by_table, depth + 1);
+        }
+      }
+      break;
+    }
+    case StatementKind::kTransaction:
+      for (const auto& inner : stmt.transaction.statements) {
+        CountStatement(*inner, reg, by_table, depth + 1);
+      }
+      break;
+    case StatementKind::kIf:
+      for (const auto& branch : stmt.if_stmt.branches) {
+        for (const auto& inner : branch.body) {
+          CountStatement(*inner, reg, by_table, depth + 1);
+        }
+      }
+      break;
+    case StatementKind::kWhile:
+      for (const auto& inner : stmt.while_stmt.body) {
+        CountStatement(*inner, reg, by_table, depth + 1);
+      }
+      break;
+    default:
+      break;
+  }
+}
+
+}  // namespace
+
+std::map<std::string, RiSelector::Choice> RiSelector::SelectFromLog(
+    const sql::QueryLog& log) {
+  SchemaRegistry reg;
+  std::map<std::string, std::map<std::string, size_t>> by_table;
+  for (const auto& entry : log.entries()) {
+    reg.ApplyDdl(*entry.stmt);
+    CountStatement(*entry.stmt, reg, &by_table, 0);
+  }
+
+  std::map<std::string, Choice> out;
+  for (const auto& table : reg.TableNames()) {
+    const auto* info = reg.FindTable(table);
+    Choice choice;
+    auto counts_it = by_table.find(table);
+    if (counts_it != by_table.end()) choice.equality_counts = counts_it->second;
+
+    // Primary key name (if any).
+    std::string pk;
+    for (const auto& c : info->columns) {
+      if (c.primary_key) pk = c.name;
+    }
+
+    // Winner: most-equated column; the PK wins ties and the no-data case.
+    std::string best = pk;
+    size_t best_count = pk.empty() ? 0 : choice.equality_counts[pk];
+    for (const auto& [col, count] : choice.equality_counts) {
+      if (count > best_count) {
+        best = col;
+        best_count = count;
+      }
+    }
+    if (best.empty() && !info->columns.empty()) {
+      best = info->columns[0].name;  // degenerate: no predicates, no PK
+    }
+    choice.ri_column = best;
+
+    // Aliases: other heavily-equated columns (they address the same rows
+    // through insert-time mappings, §4.3 "Alias RI Column").
+    for (const auto& [col, count] : choice.equality_counts) {
+      if (col != best && best_count > 0 && count * 4 >= best_count) {
+        choice.aliases.push_back(col);
+      }
+    }
+    out[table] = std::move(choice);
+  }
+  return out;
+}
+
+void RiSelector::Apply(const sql::QueryLog& log, QueryAnalyzer* analyzer) {
+  for (auto& [table, choice] : SelectFromLog(log)) {
+    if (!choice.ri_column.empty()) {
+      analyzer->ConfigureRi(table, choice.ri_column, choice.aliases);
+    }
+  }
+}
+
+}  // namespace ultraverse::core

@@ -1,0 +1,43 @@
+#ifndef ULTRAVERSE_CORE_RI_SELECTOR_H_
+#define ULTRAVERSE_CORE_RI_SELECTOR_H_
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "core/rw_sets.h"
+#include "sqldb/query_log.h"
+
+namespace ultraverse::core {
+
+/// Automatic row-identifier column selection (§4.3 "Selection of an RI
+/// Column"): Ultraverse scans the query log and picks, per table, the
+/// column whose WHERE-equality usage maximizes row-wise separation during
+/// retroactive replay. Appendix D's hand-picked configurations exist for
+/// the benchmarks; this class derives equivalent choices from the log.
+class RiSelector {
+ public:
+  struct Choice {
+    std::string ri_column;
+    std::vector<std::string> aliases;
+    // Diagnostics: how often each column appeared in a WHERE equality.
+    std::map<std::string, size_t> equality_counts;
+  };
+
+  /// Scans the committed log (replaying its DDL into a scratch registry)
+  /// and returns the per-table choice. Selection rule:
+  ///  1. candidate columns are those referenced by WHERE equalities with
+  ///     resolvable values (wildcard-producing predicates don't help);
+  ///  2. the primary key wins ties (it is unique by construction);
+  ///  3. other frequently-equated columns (>= 25% of the winner's count)
+  ///     become alias RI columns, translated via insert-time mappings.
+  static std::map<std::string, Choice> SelectFromLog(const sql::QueryLog& log);
+
+  /// Convenience: runs SelectFromLog and applies every choice to the
+  /// analyzer via ConfigureRi.
+  static void Apply(const sql::QueryLog& log, QueryAnalyzer* analyzer);
+};
+
+}  // namespace ultraverse::core
+
+#endif  // ULTRAVERSE_CORE_RI_SELECTOR_H_

@@ -1,0 +1,166 @@
+#ifndef ULTRAVERSE_CORE_RW_SETS_H_
+#define ULTRAVERSE_CORE_RW_SETS_H_
+
+#include <map>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "sqldb/ast.h"
+#include "sqldb/query_log.h"
+#include "util/status.h"
+
+namespace ultraverse::core {
+
+/// Column-wise read/write sets (§4.2). Elements are "Table.column" names,
+/// or "_S.<name>" entries of the virtual schema-monitoring table (Appendix
+/// A): DDL writes _S.<name>, every query reading an object reads it.
+struct ColumnSet {
+  std::set<std::string> items;
+
+  bool Contains(const std::string& s) const { return items.count(s) > 0; }
+  void Add(std::string s) { items.insert(std::move(s)); }
+  void Merge(const ColumnSet& other) {
+    items.insert(other.items.begin(), other.items.end());
+  }
+  bool Intersects(const ColumnSet& other) const;
+  bool empty() const { return items.empty(); }
+};
+
+/// Row-wise read/write sets (§4.3): per RI column, either a wildcard
+/// (any row) or a set of encoded RI values. The column is qualified
+/// ("Users.uid") or a schema pseudo-row ("_S.Users").
+struct RowSet {
+  struct Vals {
+    bool wildcard = false;
+    std::set<std::string> values;  // canonical encoded sql::Value
+  };
+  std::map<std::string, Vals> cols;
+
+  void AddWildcard(const std::string& column) { cols[column].wildcard = true; }
+  void AddValue(const std::string& column, std::string value_enc) {
+    cols[column].values.insert(std::move(value_enc));
+  }
+  void Merge(const RowSet& other);
+  /// True when some column has a wildcard-vs-anything or value-vs-value
+  /// overlap with `other`.
+  bool Intersects(const RowSet& other) const;
+  bool empty() const { return cols.empty(); }
+};
+
+/// Per-query analysis record: both granularities plus bookkeeping used by
+/// the benchmarks (Ultraverse log size, Table 7(b)).
+struct QueryRW {
+  ColumnSet rc, wc;
+  RowSet rr, wr;
+
+  /// Tables named in the write set (mutated candidates) / read set.
+  std::set<std::string> write_tables;
+  std::set<std::string> read_tables;
+
+  /// True for schema-changing statements: retroactive replay of these
+  /// requires rebuilding the temporary database from a checkpoint.
+  bool is_ddl = false;
+
+  /// Serialized size of Ultraverse's per-query dependency log record.
+  size_t ApproxLogBytes() const;
+};
+
+/// Catalog snapshot the analyzer evolves as it walks DDL in the log. It
+/// mirrors the database catalog but is independent so analysis can run on a
+/// copied log on another machine (§5.3).
+class SchemaRegistry {
+ public:
+  struct TableInfo {
+    std::vector<sql::ColumnDef> columns;
+    std::vector<sql::ForeignKey> foreign_keys;
+    std::string ri_column;                 // row-identifier column (§4.3)
+    std::vector<std::string> ri_aliases;   // alias RI columns
+  };
+
+  /// Applies DDL effects (CREATE/DROP/ALTER of tables/views/procs/triggers).
+  void ApplyDdl(const sql::Statement& stmt);
+
+  const TableInfo* FindTable(const std::string& name) const;
+  TableInfo* FindTableMutable(const std::string& name);
+  const sql::CreateProcedureStatement* FindProcedure(
+      const std::string& name) const;
+  const std::shared_ptr<sql::SelectStatement>* FindView(
+      const std::string& name) const;
+  /// Triggers firing on (table, event).
+  std::vector<const sql::CreateTriggerStatement*> TriggersOn(
+      const std::string& table, sql::TriggerEvent event) const;
+  /// Tables whose foreign keys reference `table`.
+  std::vector<std::string> TablesReferencing(const std::string& table) const;
+
+  /// Declares the RI column for a table (defaults to its primary key when
+  /// the table is created). See RiSelector for automatic selection.
+  void SetRiColumn(const std::string& table, const std::string& column);
+  void AddRiAlias(const std::string& table, const std::string& alias_column);
+
+  std::vector<std::string> TableNames() const;
+
+ private:
+  std::map<std::string, TableInfo> tables_;
+  std::map<std::string, std::shared_ptr<sql::SelectStatement>> views_;
+  std::map<std::string, sql::CreateProcedureStatement> procedures_;
+  std::map<std::string, sql::CreateTriggerStatement> triggers_;
+};
+
+/// Derives per-query R/W sets from a committed-query log. The analyzer is
+/// the asynchronous background "query analyzer" of Figure 2: it replays
+/// DDL into its SchemaRegistry, learns alias-RI mappings and merged RI
+/// values, and emits a QueryRW per log entry.
+class QueryAnalyzer {
+ public:
+  QueryAnalyzer() = default;
+
+  SchemaRegistry* registry() { return &registry_; }
+
+  /// Configures the RI column (and optional alias columns) used for table
+  /// `table` in row-wise analysis. Overrides survive re-analysis: they are
+  /// re-applied whenever the table's CREATE TABLE is (re)processed.
+  /// Without a configuration the primary key is selected (see RiSelector).
+  void ConfigureRi(const std::string& table, const std::string& ri_column,
+                   std::vector<std::string> aliases = {});
+
+  /// Analyzes the complete log (two passes: extraction + canonicalization
+  /// under the final merged-RI union-find). Entry i of the result aligns
+  /// with log entry index i+1.
+  Result<std::vector<QueryRW>> AnalyzeLog(const sql::QueryLog& log);
+
+  /// Analyzes a single statement against the current registry state
+  /// (used for retroactive target queries that are not in the log).
+  Result<QueryRW> AnalyzeStatement(const sql::Statement& stmt,
+                                   const sql::NondetRecord* nondet);
+
+  /// Incremental pass-1 analysis of one newly committed entry: evolves the
+  /// registry / alias / merge state and returns the raw (uncanonicalized)
+  /// sets. Callers canonicalize with CanonicalizeRowSets before matching.
+  Result<QueryRW> AnalyzeEntry(const sql::LogEntry& entry);
+
+  /// Rewrites RI values in `rw` to their merged-RI representatives under
+  /// the current union-find (§4.3 "Merging RI values").
+  void CanonicalizeRowSets(QueryRW* rw);
+
+ private:
+  friend class AnalyzerImpl;
+  struct RiConfig {
+    std::string ri_column;
+    std::vector<std::string> aliases;
+  };
+  SchemaRegistry registry_;
+  std::map<std::string, RiConfig> ri_overrides_;
+  // Union-find over canonical RI value keys ("Table.col|value_enc").
+  std::map<std::string, std::string> merge_parent_;
+  // Alias translation: "Table.alias|value_enc" -> set of RI value encs.
+  std::map<std::string, std::set<std::string>> alias_to_ri_;
+
+  std::string Find(const std::string& key);
+  void Union(const std::string& a, const std::string& b);
+  void ReapplyRiConfig(const std::string& table);
+};
+
+}  // namespace ultraverse::core
+
+#endif  // ULTRAVERSE_CORE_RW_SETS_H_

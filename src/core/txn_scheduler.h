@@ -1,0 +1,49 @@
+#ifndef ULTRAVERSE_CORE_TXN_SCHEDULER_H_
+#define ULTRAVERSE_CORE_TXN_SCHEDULER_H_
+
+#include <vector>
+
+#include "core/rw_sets.h"
+#include "sqldb/database.h"
+#include "util/status.h"
+
+namespace ultraverse::core {
+
+/// §6 "Using Ultraverse for Concurrency Control": a deterministic batch
+/// transaction scheduler in the Calvin/Bohm mold. Those systems must
+/// discover read/write sets by (speculatively) executing transactions and
+/// restart the schedule on dirty reads; Ultraverse's fine-grained query
+/// dependency analysis provides the sets *before* execution, so the batch
+/// runs in parallel along its conflict DAG with no aborts and a final state
+/// identical to serial commit order (strong serializability).
+class TxnScheduler {
+ public:
+  struct Options {
+    int num_threads = 8;
+  };
+
+  struct Stats {
+    size_t executed = 0;
+    /// Longest conflicting chain: the batch's inherent serial fraction.
+    size_t critical_path = 0;
+    double analysis_seconds = 0;
+    double execute_seconds = 0;
+  };
+
+  TxnScheduler(sql::Database* db, QueryAnalyzer* analyzer, Options options)
+      : db_(db), analyzer_(analyzer), options_(options) {}
+
+  /// Executes the batch with the effects of serial order `batch[0..n)`.
+  /// `base_commit` tags undo-journal entries (use the next free index).
+  Result<Stats> ExecuteBatch(const std::vector<sql::StatementPtr>& batch,
+                             uint64_t base_commit);
+
+ private:
+  sql::Database* db_;
+  QueryAnalyzer* analyzer_;
+  Options options_;
+};
+
+}  // namespace ultraverse::core
+
+#endif  // ULTRAVERSE_CORE_TXN_SCHEDULER_H_

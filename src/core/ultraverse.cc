@@ -1,0 +1,575 @@
+#include "core/ultraverse.h"
+
+#include <algorithm>
+#include <atomic>
+
+#include "applang/app_parser.h"
+#include "sqldb/parser.h"
+#include "util/sha256.h"
+
+namespace ultraverse::core {
+
+namespace {
+
+using app::AppValue;
+
+/// Converts an engine ExecResult to the application-level shape: SELECTs
+/// become arrays of row objects, DML becomes the affected-row count.
+AppValue ExecResultToApp(const sql::ExecResult& res, bool is_select) {
+  if (!is_select) return AppValue::Number(double(res.affected));
+  AppValue arr = AppValue::Array();
+  for (const auto& row : res.rows) {
+    AppValue obj = AppValue::Object();
+    for (size_t i = 0; i < row.size() && i < res.column_names.size(); ++i) {
+      (*obj.obj)[res.column_names[i]] = AppValue::FromSqlValue(row[i]);
+    }
+    arr.arr->push_back(std::move(obj));
+  }
+  return arr;
+}
+
+/// Blackbox-recording instrumentation used while serving a transaction with
+/// the original application code (B/D regular operation): generates
+/// nondeterministic API results and records them under the same symbol
+/// names the DSE mints, so all four configurations replay identically.
+class RecordingHooks : public app::InterpreterHooks {
+ public:
+  RecordingHooks(Rng* rng, int64_t* clock,
+                 const std::map<std::string, sql::Value>* client_env)
+      : rng_(rng), clock_(clock), client_env_(client_env) {}
+
+  bool OnBuiltin(const std::string& name, const std::vector<AppValue>& args,
+                 AppValue* result) override {
+    (void)args;
+    std::string sym = "bb_" + name + "_" + std::to_string(++counter_);
+    if (name == "rand" || name == "random") {
+      double v = rng_->UniformDouble();
+      recorded_[sym] = sql::Value::Double(v);
+      *result = AppValue::Number(v);
+      return true;
+    }
+    if (name == "now" || name == "gettime") {
+      double v = double(++(*clock_));
+      recorded_[sym] = sql::Value::Double(v);
+      *result = AppValue::Number(v);
+      return true;
+    }
+    if (name == "http_send") {
+      AppValue resp = AppValue::Object();
+      (*resp.obj)["code"] = AppValue::Number(1);
+      (*resp.obj)["error"] = AppValue::String("");
+      for (const auto& [key, value] : *resp.obj) {
+        recorded_[sym + "." + key] = value.ToSqlValue();
+      }
+      *result = std::move(resp);
+      return true;
+    }
+    if (name == "dom_input" || name == "user_agent") {
+      // Record under the stable client-symbol name the DSE also uses.
+      std::string stable = name == "user_agent"
+                               ? "client_user_agent"
+                               : "dom_" + (args.empty() ? "" : args[0].ToStr());
+      sql::Value v = sql::Value::String("");
+      if (client_env_) {
+        auto it = client_env_->find(stable);
+        if (it != client_env_->end()) v = it->second;
+      }
+      recorded_[stable] = v;
+      *result = AppValue::FromSqlValue(v);
+      return true;
+    }
+    return false;
+  }
+
+  const std::map<std::string, sql::Value>& recorded() const {
+    return recorded_;
+  }
+
+ private:
+  Rng* rng_;
+  int64_t* clock_;
+  const std::map<std::string, sql::Value>* client_env_;
+  int counter_ = 0;
+  std::map<std::string, sql::Value> recorded_;
+};
+
+/// Replay counterpart: re-injects the recorded blackbox values (§4.4
+/// "Replaying Non-determinism").
+class ReplayHooks : public app::InterpreterHooks {
+ public:
+  explicit ReplayHooks(const std::map<std::string, sql::Value>* recorded)
+      : recorded_(recorded) {}
+
+  bool OnBuiltin(const std::string& name, const std::vector<AppValue>& args,
+                 AppValue* result) override {
+    (void)args;
+    std::string sym = "bb_" + name + "_" + std::to_string(++counter_);
+    if (name == "http_send") {
+      AppValue resp = AppValue::Object();
+      std::string prefix = sym + ".";
+      for (const auto& [key, value] : *recorded_) {
+        if (key.rfind(prefix, 0) == 0) {
+          (*resp.obj)[key.substr(prefix.size())] =
+              AppValue::FromSqlValue(value);
+        }
+      }
+      if (resp.obj->empty()) {
+        (*resp.obj)["code"] = AppValue::Number(1);
+        (*resp.obj)["error"] = AppValue::String("");
+      }
+      *result = std::move(resp);
+      return true;
+    }
+    if (name == "rand" || name == "random" || name == "now" ||
+        name == "gettime") {
+      auto it = recorded_->find(sym);
+      *result = it != recorded_->end() ? AppValue::FromSqlValue(it->second)
+                                       : AppValue::Number(0);
+      return true;
+    }
+    if (name == "dom_input" || name == "user_agent") {
+      std::string stable = name == "user_agent"
+                               ? "client_user_agent"
+                               : "dom_" + (args.empty() ? "" : args[0].ToStr());
+      auto it = recorded_->find(stable);
+      *result = it != recorded_->end() ? AppValue::FromSqlValue(it->second)
+                                       : AppValue::String("");
+      return true;
+    }
+    return false;
+  }
+
+ private:
+  const std::map<std::string, sql::Value>* recorded_;
+  int counter_ = 0;
+};
+
+}  // namespace
+
+const char* SystemModeName(SystemMode mode) {
+  switch (mode) {
+    case SystemMode::kB: return "B";
+    case SystemMode::kT: return "T";
+    case SystemMode::kD: return "D";
+    case SystemMode::kTD: return "T+D";
+  }
+  return "?";
+}
+
+// ---------------------------------------------------------------------------
+// Bridges
+// ---------------------------------------------------------------------------
+
+/// Live-traffic SQL bridge: each SQL_exec from application code is one
+/// client->server round trip against the live database.
+class Ultraverse::RegularBridge : public app::SqlBridge {
+ public:
+  RegularBridge(sql::Database* db, sql::ExecContext* ctx,
+                uint64_t commit_index, VirtualClock* clock)
+      : db_(db), ctx_(ctx), commit_index_(commit_index), clock_(clock) {}
+
+  Result<AppValue> ExecuteAppSql(const std::string& sql_text) override {
+    clock_->ChargeRoundTrip();
+    ++statements_;
+    UV_ASSIGN_OR_RETURN(sql::StatementPtr stmt,
+                        sql::Parser::ParseStatement(sql_text));
+    UV_ASSIGN_OR_RETURN(sql::ExecResult res,
+                        db_->Execute(*stmt, commit_index_, ctx_));
+    return ExecResultToApp(res, stmt->kind == sql::StatementKind::kSelect);
+  }
+
+  int statements() const { return statements_; }
+
+ private:
+  sql::Database* db_;
+  sql::ExecContext* ctx_;
+  uint64_t commit_index_;
+  VirtualClock* clock_;
+  int statements_ = 0;
+};
+
+/// Replay-time bridge: executes against the temporary database, consuming
+/// the entry's recorded SQL-level nondeterminism, and counts round trips
+/// into the replay RTT accumulator.
+class Ultraverse::ReplayBridge : public app::SqlBridge {
+ public:
+  ReplayBridge(sql::Database* db, sql::ExecContext* ctx, uint64_t commit_index,
+               std::atomic<uint64_t>* rtt_counter, uint64_t rtt_micros)
+      : db_(db),
+        ctx_(ctx),
+        commit_index_(commit_index),
+        rtt_counter_(rtt_counter),
+        rtt_micros_(rtt_micros) {}
+
+  Result<AppValue> ExecuteAppSql(const std::string& sql_text) override {
+    if (rtt_counter_) {
+      rtt_counter_->fetch_add(rtt_micros_, std::memory_order_relaxed);
+    }
+    UV_ASSIGN_OR_RETURN(sql::StatementPtr stmt,
+                        sql::Parser::ParseStatement(sql_text));
+    UV_ASSIGN_OR_RETURN(sql::ExecResult res,
+                        db_->Execute(*stmt, commit_index_, ctx_));
+    return ExecResultToApp(res, stmt->kind == sql::StatementKind::kSelect);
+  }
+
+ private:
+  sql::Database* db_;
+  sql::ExecContext* ctx_;
+  uint64_t commit_index_;
+  std::atomic<uint64_t>* rtt_counter_;
+  uint64_t rtt_micros_;
+};
+
+// ---------------------------------------------------------------------------
+// Facade
+// ---------------------------------------------------------------------------
+
+Ultraverse::Ultraverse(Options options)
+    : options_(options), clock_(options.rtt_micros), rng_(options.rng_seed) {}
+
+Status Ultraverse::LoadApplication(const std::string& source) {
+  return LoadApplication(source, sym::DseEngine::Options());
+}
+
+Status Ultraverse::LoadApplication(const std::string& source,
+                                   sym::DseEngine::Options dse_options) {
+  Stopwatch watch;
+  UV_ASSIGN_OR_RETURN(app::AppProgram program, app::AppParser::Parse(source));
+  // The instrumented application is executed by DSE function by function
+  // (§3.2 Step 2), then each path tree is transpiled to a PROCEDURE.
+  sym::DseEngine engine(&program, dse_options);
+  std::vector<transpiler::TranspiledTransaction> transpiled;
+  for (const auto& [name, fn] : program.functions) {
+    (void)fn;
+    UV_ASSIGN_OR_RETURN(sym::DseResult dse, engine.Explore(name));
+    UV_ASSIGN_OR_RETURN(transpiler::TranspiledTransaction tt,
+                        transpiler::Transpiler::Transpile(dse));
+    transpiled.push_back(std::move(tt));
+  }
+  program_ = std::move(program);
+  transpile_seconds_ = watch.ElapsedSeconds();
+
+  // Install the procedures as committed DDL so DDL<->DML dependency rules
+  // apply to them (_S.<procedure> read/write entries, §4.2).
+  for (auto& tt : transpiled) {
+    sql::LogEntry entry;
+    entry.stmt = tt.create_procedure;
+    entry.sql = tt.ToSqlText();
+    entry.timestamp = db_.NextTimestamp();
+    sql::ExecContext ctx;
+    Result<sql::ExecResult> r =
+        db_.Execute(*entry.stmt, log_.size() + 1, &ctx);
+    if (!r.ok()) return r.status();
+    UV_RETURN_NOT_OK(CommitEntry(std::move(entry)));
+    transpiled_[tt.function] = std::move(tt);
+  }
+  return Status::OK();
+}
+
+const transpiler::TranspiledTransaction* Ultraverse::FindTranspiled(
+    const std::string& fn) const {
+  auto it = transpiled_.find(fn);
+  return it == transpiled_.end() ? nullptr : &it->second;
+}
+
+void Ultraverse::ConfigureRi(const std::string& table,
+                             const std::string& ri_column,
+                             std::vector<std::string> aliases) {
+  analyzer_.ConfigureRi(table, ri_column, std::move(aliases));
+}
+
+Status Ultraverse::CommitEntry(sql::LogEntry entry) {
+  // Hash-jumper logging: per-table digests of everything this commit
+  // changed (§4.5). Incremental hashes make this O(tables).
+  if (options_.eager_hash_log) {
+    for (const auto& name : db_.TableNames()) {
+      const sql::Table* t = db_.FindTable(name);
+      const Digest256& h = t->table_hash().value();
+      auto it = last_hash_.find(name);
+      if (it == last_hash_.end() || !(it->second == h)) {
+        entry.table_hashes[name] = h;
+        last_hash_[name] = h;
+      }
+    }
+  }
+  log_.Append(std::move(entry));
+  if (options_.eager_analysis) {
+    UV_ASSIGN_OR_RETURN(QueryRW rw,
+                        analyzer_.AnalyzeEntry(log_.entries().back()));
+    raw_analysis_.push_back(std::move(rw));
+  }
+  canonical_dirty_ = true;
+  return Status::OK();
+}
+
+Result<sql::ExecResult> Ultraverse::ExecuteSql(const std::string& sql_text) {
+  UV_ASSIGN_OR_RETURN(sql::StatementPtr stmt,
+                      sql::Parser::ParseStatement(sql_text));
+  uint64_t commit_index = log_.size() + 1;
+  sql::LogEntry entry;
+  entry.sql = sql_text;
+  entry.stmt = stmt;
+  entry.timestamp = db_.NextTimestamp();
+  sql::ExecContext ctx;
+  ctx.StartRecording(&entry.nondet);
+  clock_.ChargeRoundTrip();
+  std::lock_guard<std::mutex> g(commit_mu_);
+  Result<sql::ExecResult> res = db_.Execute(*stmt, commit_index, &ctx);
+  if (!res.ok()) {
+    db_.RollbackToIndex(commit_index - 1);
+    return res.status();
+  }
+  UV_RETURN_NOT_OK(CommitEntry(std::move(entry)));
+  return res;
+}
+
+Result<AppValue> Ultraverse::RunTransaction(const std::string& fn,
+                                            std::vector<AppValue> args,
+                                            SystemMode mode) {
+  const transpiler::TranspiledTransaction* tt = FindTranspiled(fn);
+  if (!tt) return Status::NotFound("no transpiled transaction " + fn);
+
+  uint64_t commit_index = log_.size() + 1;
+  sql::LogEntry entry;
+  entry.app_txn = fn;
+  for (const auto& a : args) entry.app_args.push_back(a.ToSqlValue());
+  entry.timestamp = db_.NextTimestamp();
+
+  std::lock_guard<std::mutex> g(commit_mu_);
+
+  AppValue ret;
+  bool use_app_code = mode == SystemMode::kB || mode == SystemMode::kD;
+retry_with_app_code:
+  if (use_app_code) {
+    // Original (augmented) application code: N statements, N round trips.
+    sql::ExecContext ctx;
+    ctx.StartRecording(&entry.nondet);
+    RegularBridge bridge(&db_, &ctx, commit_index, &clock_);
+    RecordingHooks hooks(&rng_, &bb_clock_, &client_env_);
+    app::Interpreter interp(&program_, &bridge, &hooks);
+    for (const auto& [k, v] : client_env_) {
+      interp.client_env[k] = AppValue::FromSqlValue(v);
+    }
+    Result<AppValue> r = interp.CallFunction(fn, std::move(args));
+    if (!r.ok()) {
+      db_.RollbackToIndex(commit_index - 1);
+      return r.status();
+    }
+    ret = std::move(*r);
+    entry.app_blackbox = hooks.recorded();
+  } else {
+    // Transpiled fast path: one CALL, one round trip. Blackbox parameters
+    // are materialized up front (§3.3 option 2, simplified: the client
+    // evaluates the native API and passes its value into the procedure).
+    for (const auto& bb : tt->blackbox_params) {
+      sql::Value v;
+      if (bb.rfind("dom_", 0) == 0 || bb.rfind("client_", 0) == 0) {
+        // Client-side symbols (§3.3): supplied per request through the
+        // client environment; empty when the caller provided none.
+        auto it = client_env_.find(bb);
+        v = it != client_env_.end() ? it->second : sql::Value::String("");
+      } else if (bb.find("rand") != std::string::npos) {
+        v = sql::Value::Double(rng_.UniformDouble());
+      } else if (bb.find("now") != std::string::npos ||
+                 bb.find("gettime") != std::string::npos) {
+        v = sql::Value::Int(++bb_clock_);
+      } else if (bb.find("http_send") != std::string::npos) {
+        size_t dot = bb.find('.');
+        std::string field = dot == std::string::npos ? "" : bb.substr(dot + 1);
+        if (field == "code") {
+          v = sql::Value::Int(1);
+        } else {
+          v = sql::Value::String("");
+        }
+      }
+      entry.app_blackbox[bb] = v;
+    }
+  }
+
+  // Build the equivalent CALL entry (this is what the retroactive plugin
+  // analyzes and what T/T+D replay executes).
+  auto call = sql::Statement::Make(sql::StatementKind::kCall);
+  call->call.procedure = tt->procedure_name;
+  for (const auto& a : entry.app_args) {
+    call->call.args.push_back(sql::Expr::MakeLiteral(a));
+  }
+  for (const auto& bb : tt->blackbox_params) {
+    auto it = entry.app_blackbox.find(bb);
+    call->call.args.push_back(sql::Expr::MakeLiteral(
+        it != entry.app_blackbox.end() ? it->second : sql::Value::Null()));
+  }
+  entry.stmt = call;
+  entry.sql = sql::ToSql(*call);
+
+  if (!use_app_code) {
+    clock_.ChargeRoundTrip();
+    sql::ExecContext ctx;
+    ctx.StartRecording(&entry.nondet);
+    ctx.set_var_capture(&entry.captured_vars);
+    Result<sql::ExecResult> r = db_.Execute(*call, commit_index, &ctx);
+    if (!r.ok()) {
+      db_.RollbackToIndex(commit_index - 1);
+      if (r.status().code() == StatusCode::kSignal) {
+        // Unexplored-path trap (§3.3): fall back to the original
+        // application code for this invocation; a production deployment
+        // would run delta-DSE here and patch the procedure.
+        use_app_code = true;
+        entry.app_blackbox.clear();
+        entry.nondet = sql::NondetRecord{};
+        args.clear();
+        for (const auto& a : entry.app_args) {
+          args.push_back(AppValue::FromSqlValue(a));
+        }
+        goto retry_with_app_code;
+      }
+      return r.status();
+    }
+  }
+
+  UV_RETURN_NOT_OK(CommitEntry(std::move(entry)));
+  return ret;
+}
+
+Result<const std::vector<QueryRW>*> Ultraverse::EnsureAnalysis() {
+  // Serialize against commits: the analyzer state and the analysis vector
+  // evolve with the log, and WhatIf snapshots a consistent prefix.
+  std::lock_guard<std::mutex> g(commit_mu_);
+  while (raw_analysis_.size() < log_.size()) {
+    UV_ASSIGN_OR_RETURN(
+        QueryRW rw, analyzer_.AnalyzeEntry(log_.at(raw_analysis_.size() + 1)));
+    raw_analysis_.push_back(std::move(rw));
+    canonical_dirty_ = true;
+  }
+  if (canonical_dirty_) {
+    canonical_analysis_ = raw_analysis_;
+    for (auto& rw : canonical_analysis_) analyzer_.CanonicalizeRowSets(&rw);
+    canonical_dirty_ = false;
+  }
+  return &canonical_analysis_;
+}
+
+size_t Ultraverse::UltraverseLogBytes() {
+  auto analysis = EnsureAnalysis();
+  if (!analysis.ok()) return 0;
+  size_t bytes = 0;
+  for (const auto& rw : **analysis) bytes += rw.ApproxLogBytes();
+  return bytes;
+}
+
+Status Ultraverse::InterpreterReplayExecutor(
+    sql::Database* target, const sql::LogEntry& entry, uint64_t commit_index,
+    std::atomic<uint64_t>* rtt_counter) {
+  if (entry.app_txn.empty()) {
+    // Raw SQL entry: execute directly with recorded nondeterminism.
+    if (rtt_counter) {
+      rtt_counter->fetch_add(options_.rtt_micros, std::memory_order_relaxed);
+    }
+    sql::ExecContext ctx;
+    ctx.StartReplaying(&entry.nondet);
+    Result<sql::ExecResult> r = target->Execute(*entry.stmt, commit_index, &ctx);
+    return r.ok() ? Status::OK() : r.status();
+  }
+  sql::ExecContext ctx;
+  ctx.StartReplaying(&entry.nondet);
+  ReplayBridge bridge(target, &ctx, commit_index, rtt_counter,
+                      options_.rtt_micros);
+  ReplayHooks hooks(&entry.app_blackbox);
+  app::Interpreter interp(&program_, &bridge, &hooks);
+  std::vector<AppValue> args;
+  args.reserve(entry.app_args.size());
+  for (const auto& a : entry.app_args) {
+    args.push_back(AppValue::FromSqlValue(a));
+  }
+  Result<AppValue> r = interp.CallFunction(entry.app_txn, std::move(args));
+  if (!r.ok()) {
+    target->RollbackToIndex(commit_index - 1);
+    return r.status();
+  }
+  return Status::OK();
+}
+
+Result<RetroOp> Ultraverse::MakeOp(RetroOp::Kind kind, uint64_t index,
+                                   const std::string& new_sql) {
+  RetroOp op;
+  op.kind = kind;
+  op.index = index;
+  if (kind != RetroOp::Kind::kRemove) {
+    UV_ASSIGN_OR_RETURN(op.new_stmt, sql::Parser::ParseStatement(new_sql));
+    op.new_sql = new_sql;
+  }
+  return op;
+}
+
+Result<ReplayStats> Ultraverse::WhatIf(const RetroOp& op, SystemMode mode,
+                                       std::vector<ReplayRule> rules) {
+  Stopwatch analysis_watch;
+  UV_ASSIGN_OR_RETURN(const std::vector<QueryRW>* analysis, EnsureAnalysis());
+  double ensure_seconds = analysis_watch.ElapsedSeconds();
+
+  RetroactiveEngine::Options eopts;
+  bool dep = mode == SystemMode::kD || mode == SystemMode::kTD;
+  eopts.deps.column_wise = dep;
+  eopts.deps.row_wise = dep;
+  eopts.parallel = dep;
+  eopts.num_threads = options_.replay_threads;
+  eopts.hash_jumper = options_.hash_jumper && dep;
+  eopts.verify_hash_hits = options_.verify_hash_hits;
+  eopts.rules = std::move(rules);
+  eopts.db_mutex = &commit_mu_;
+
+  bool use_app_code = mode == SystemMode::kB || mode == SystemMode::kD;
+  std::atomic<uint64_t> rtt_counter{0};
+  if (!use_app_code) {
+    eopts.rtt_micros_per_query = options_.rtt_micros;  // 1 RTT per CALL
+  }
+
+  RetroactiveEngine engine(&db_, &log_, eopts);
+  if (use_app_code) {
+    engine.set_entry_executor(
+        [this, &rtt_counter](sql::Database* target, const sql::LogEntry& entry,
+                             uint64_t commit_index) {
+          return InterpreterReplayExecutor(target, entry, commit_index,
+                                           &rtt_counter);
+        });
+  }
+  UV_ASSIGN_OR_RETURN(ReplayStats stats, engine.Execute(op, *analysis,
+                                                        &analyzer_));
+  stats.analysis_seconds += ensure_seconds;
+  stats.total_seconds += ensure_seconds;
+  uint64_t counted = rtt_counter.load(std::memory_order_relaxed);
+  if (eopts.parallel && stats.replayed > 0) {
+    // Statement round trips counted across all replayed transactions
+    // overlap along independent DAG chains: only the critical path's
+    // share is wall time.
+    counted = counted * stats.critical_path / stats.replayed;
+  }
+  stats.virtual_rtt_micros += counted;
+  return stats;
+}
+
+void Ultraverse::Checkpoint() {
+  std::lock_guard<std::mutex> g(commit_mu_);
+  db_.TrimJournalsBefore(log_.last_index() + 1);
+}
+
+void Ultraverse::TagScenario(const std::string& name) {
+  scenario_tags_[name] = log_.last_index();
+}
+
+std::string Ultraverse::StateFingerprint() const {
+  Sha256 hasher;
+  for (const auto& name : db_.TableNames()) {
+    const sql::Table* t = db_.FindTable(name);
+    hasher.Update(name);
+    std::vector<std::string> rows;
+    t->Scan([&](sql::RowId, const sql::Row& row) {
+      rows.push_back(sql::EncodeRow(row));
+      return true;
+    });
+    std::sort(rows.begin(), rows.end());
+    for (const auto& r : rows) hasher.Update(r);
+  }
+  return hasher.Finish().ToHex();
+}
+
+}  // namespace ultraverse::core

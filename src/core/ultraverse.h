@@ -1,0 +1,185 @@
+#ifndef ULTRAVERSE_CORE_ULTRAVERSE_H_
+#define ULTRAVERSE_CORE_ULTRAVERSE_H_
+
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "applang/interpreter.h"
+#include "core/replay.h"
+#include "core/rw_sets.h"
+#include "sqldb/database.h"
+#include "sqldb/query_log.h"
+#include "symexec/dse.h"
+#include "transpiler/transpiler.h"
+#include "util/rng.h"
+#include "util/virtual_clock.h"
+
+namespace ultraverse::core {
+
+/// The four evaluated system configurations (§5):
+///   kB  — baseline: original application replay, serial, no pruning.
+///   kT  — transpiled procedures replayed serially, no pruning.
+///   kD  — original application replay + dependency analysis + parallel.
+///   kTD — transpiled procedures + dependency analysis + parallel.
+enum class SystemMode { kB, kT, kD, kTD };
+
+const char* SystemModeName(SystemMode mode);
+
+/// Top-level framework facade: owns the database, the committed-query log,
+/// the transpiled application, the analyzer, and the retroactive engine.
+///
+/// Regular operation: RunTransaction()/ExecuteSql() serve traffic against
+/// the live database while logging one entry per application-level
+/// transaction (the augmented-code protocol of Figure 3).
+/// What-if analysis: WhatIf() executes a retroactive operation under any of
+/// the four system configurations.
+class Ultraverse {
+ public:
+  struct Options {
+    /// Virtual client<->server round-trip cost (see VirtualClock).
+    uint64_t rtt_micros = 1000;
+    int replay_threads = 8;
+    bool hash_jumper = false;
+    /// Literal table comparison on hash-hits (§4.5).
+    bool verify_hash_hits = false;
+    /// Maintain R/W dependency logs at commit time (the asynchronous
+    /// logger whose overhead Table 7(c) measures). Off = compute lazily at
+    /// what-if time.
+    bool eager_analysis = false;
+    /// Log per-table hashes at commit (needed by Hash-jumper).
+    bool eager_hash_log = false;
+    uint64_t rng_seed = 42;
+  };
+
+  Ultraverse() : Ultraverse(Options()) {}
+  explicit Ultraverse(Options options);
+
+  sql::Database* db() { return &db_; }
+  sql::QueryLog* log() { return &log_; }
+  QueryAnalyzer* analyzer() { return &analyzer_; }
+  VirtualClock* clock() { return &clock_; }
+  const app::AppProgram* program() const { return &program_; }
+
+  // --- Setup ---------------------------------------------------------------
+
+  /// Parses the UvScript application, runs DSE + transpilation on every
+  /// function (§3), installs the transpiled procedures into the database as
+  /// committed DDL, and keeps the augmented program for B/D execution.
+  Status LoadApplication(const std::string& source);
+  Status LoadApplication(const std::string& source,
+                         sym::DseEngine::Options dse_options);
+
+  /// Seconds spent in DSE + transpilation by the last LoadApplication.
+  double transpile_seconds() const { return transpile_seconds_; }
+
+  const transpiler::TranspiledTransaction* FindTranspiled(
+      const std::string& fn) const;
+
+  /// Declares row-identifier columns (§4.3 / Appendix D).
+  void ConfigureRi(const std::string& table, const std::string& ri_column,
+                   std::vector<std::string> aliases = {});
+
+  // --- Regular operation ----------------------------------------------------
+
+  /// Raw SQL client traffic: executes + logs one entry.
+  Result<sql::ExecResult> ExecuteSql(const std::string& sql_text);
+
+  /// Runs one application-level transaction. kB/kD execute the (augmented)
+  /// application through the interpreter, issuing its SQL statement by
+  /// statement (N round trips); kT/kTD execute the transpiled procedure
+  /// (1 round trip). Both log the equivalent CALL entry.
+  Result<app::AppValue> RunTransaction(const std::string& fn,
+                                       std::vector<app::AppValue> args,
+                                       SystemMode mode);
+
+  // --- Analysis --------------------------------------------------------------
+
+  /// Ensures per-entry R/W analysis covers the whole log; returns the
+  /// canonicalized analysis (entry i+1 -> element i).
+  Result<const std::vector<QueryRW>*> EnsureAnalysis();
+
+  /// Ultraverse's additional dependency-log footprint (Table 7(b)).
+  size_t UltraverseLogBytes();
+
+  // --- What-if ---------------------------------------------------------------
+
+  /// Executes a retroactive operation under the given system configuration
+  /// and updates the live database to the alternate-universe state.
+  /// `rules` optionally simulate interactive human decisions during the
+  /// replay (§6): matching application transactions are suppressed while
+  /// their condition holds in the alternate universe.
+  Result<ReplayStats> WhatIf(const RetroOp& op, SystemMode mode,
+                             std::vector<ReplayRule> rules = {});
+
+  /// Convenience: builds a RetroOp from SQL text ("" = remove).
+  Result<RetroOp> MakeOp(RetroOp::Kind kind, uint64_t index,
+                         const std::string& new_sql);
+
+  /// Sets a client-side environment value (§3.3): the next transactions'
+  /// dom_input("name") / user_agent() calls observe it, and it is recorded
+  /// for faithful replay. Keys use the client-symbol names ("dom_<name>",
+  /// "client_user_agent").
+  void SetClientEnv(const std::string& key, sql::Value value) {
+    client_env_[key] = std::move(value);
+  }
+
+  /// Tags the current history position as a named what-if scenario branch
+  /// (§6 "Managing Many what-if Scenarios").
+  void TagScenario(const std::string& name);
+  const std::map<std::string, uint64_t>& scenario_tags() const {
+    return scenario_tags_;
+  }
+
+  /// Checkpoint (§5 rollback option (iii)): trims undo journals before the
+  /// current history position. Bounds journal memory; what-ifs targeting
+  /// older commits transparently rebuild the prefix from the log.
+  void Checkpoint();
+
+  /// Serializes the full database state (all tables, sorted rows) — used
+  /// by tests and benches to compare universes across configurations.
+  std::string StateFingerprint() const;
+
+ private:
+  class RegularBridge;
+  class ReplayBridge;
+
+  Status CommitEntry(sql::LogEntry entry);
+  Status InterpreterReplayExecutor(sql::Database* target,
+                                   const sql::LogEntry& entry,
+                                   uint64_t commit_index,
+                                   std::atomic<uint64_t>* rtt_counter);
+
+  Options options_;
+  sql::Database db_;
+  sql::QueryLog log_;
+  QueryAnalyzer analyzer_;
+  VirtualClock clock_;
+  Rng rng_;
+  int64_t bb_clock_ = 0;
+
+  app::AppProgram program_;
+  std::map<std::string, transpiler::TranspiledTransaction> transpiled_;
+  double transpile_seconds_ = 0;
+
+  // Raw (uncanonicalized) per-entry analysis, maintained incrementally.
+  std::vector<QueryRW> raw_analysis_;
+  std::vector<QueryRW> canonical_analysis_;
+  bool canonical_dirty_ = true;
+
+  // Last logged hash per table (eager hash logging).
+  std::map<std::string, Digest256> last_hash_;
+
+  // Client-side environment for dom_input()/user_agent() (§3.3).
+  std::map<std::string, sql::Value> client_env_;
+
+  std::map<std::string, uint64_t> scenario_tags_;
+
+  std::mutex commit_mu_;  // regular ops vs what-if adoption
+};
+
+}  // namespace ultraverse::core
+
+#endif  // ULTRAVERSE_CORE_ULTRAVERSE_H_

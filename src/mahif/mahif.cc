@@ -1,0 +1,354 @@
+#include "mahif/mahif.h"
+
+#include <algorithm>
+#include <cmath>
+#include <functional>
+#include <unordered_map>
+
+#include "sqldb/parser.h"
+#include "util/virtual_clock.h"
+
+namespace ultraverse::mahif {
+
+namespace {
+using sql::Expr;
+using sql::ExprKind;
+using sql::Statement;
+using sql::StatementKind;
+}  // namespace
+
+/// Symbolic expression node over doubles (booleans are 0/1).
+struct MahifEngine::Node {
+  enum class Kind { kConst, kBinary, kIf };
+  Kind kind = Kind::kConst;
+  double value = 0;                   // kConst
+  sql::BinaryOp op = sql::BinaryOp::kAdd;  // kBinary
+  NodePtr a, b, c;                    // operands; kIf uses a(cond), b, c
+};
+
+namespace {
+
+double EvalNode(const MahifEngine::Node* n,
+                std::unordered_map<const void*, double>* memo);
+
+double EvalBinary(sql::BinaryOp op, double x, double y) {
+  switch (op) {
+    case sql::BinaryOp::kAdd: return x + y;
+    case sql::BinaryOp::kSub: return x - y;
+    case sql::BinaryOp::kMul: return x * y;
+    case sql::BinaryOp::kDiv: return y == 0 ? 0 : x / y;
+    case sql::BinaryOp::kMod:
+      return y == 0 ? 0 : double(int64_t(x) % int64_t(y));
+    case sql::BinaryOp::kEq: return x == y ? 1 : 0;
+    case sql::BinaryOp::kNe: return x != y ? 1 : 0;
+    case sql::BinaryOp::kLt: return x < y ? 1 : 0;
+    case sql::BinaryOp::kLe: return x <= y ? 1 : 0;
+    case sql::BinaryOp::kGt: return x > y ? 1 : 0;
+    case sql::BinaryOp::kGe: return x >= y ? 1 : 0;
+    case sql::BinaryOp::kAnd: return (x != 0 && y != 0) ? 1 : 0;
+    case sql::BinaryOp::kOr: return (x != 0 || y != 0) ? 1 : 0;
+  }
+  return 0;
+}
+
+double EvalNode(const MahifEngine::Node* n,
+                std::unordered_map<const void*, double>* memo) {
+  auto it = memo->find(n);
+  if (it != memo->end()) return it->second;
+  double out = 0;
+  switch (n->kind) {
+    case MahifEngine::Node::Kind::kConst:
+      out = n->value;
+      break;
+    case MahifEngine::Node::Kind::kBinary:
+      out = EvalBinary(n->op, EvalNode(n->a.get(), memo),
+                       EvalNode(n->b.get(), memo));
+      break;
+    case MahifEngine::Node::Kind::kIf:
+      out = EvalNode(n->a.get(), memo) != 0 ? EvalNode(n->b.get(), memo)
+                                            : EvalNode(n->c.get(), memo);
+      break;
+  }
+  (*memo)[n] = out;
+  return out;
+}
+
+}  // namespace
+
+Status MahifEngine::LoadHistory(const std::vector<std::string>& queries) {
+  history_.clear();
+  for (const auto& q : queries) {
+    UV_ASSIGN_OR_RETURN(sql::StatementPtr stmt, sql::Parser::ParseStatement(q));
+    switch (stmt->kind) {
+      case StatementKind::kCreateTable: {
+        for (const auto& col : stmt->create_table.schema.columns) {
+          if (col.type == sql::DataType::kString ||
+              col.type == sql::DataType::kBool) {
+            return Status::Unsupported(
+                "Mahif does not support string/bool/datetime attributes "
+                "(table " + stmt->create_table.schema.name + ")");
+          }
+        }
+        break;
+      }
+      case StatementKind::kInsert:
+      case StatementKind::kUpdate:
+      case StatementKind::kDelete:
+        break;
+      case StatementKind::kCall:
+      case StatementKind::kTransaction:
+        return Status::Unsupported(
+            "Mahif does not support TRANSACTION/PROCEDURE semantics");
+      case StatementKind::kSelect:
+        break;  // reads are ignored: they carry no state
+      default:
+        return Status::Unsupported("Mahif does not support DDL beyond "
+                                   "numeric CREATE TABLE");
+    }
+    history_.push_back(std::move(stmt));
+  }
+  return Status::OK();
+}
+
+Result<MahifEngine::Stats> MahifEngine::WhatIfRemove(uint64_t tau) {
+  return Run(tau, nullptr);
+}
+
+Result<MahifEngine::Stats> MahifEngine::WhatIfChange(
+    uint64_t tau, const std::string& replacement_sql) {
+  UV_ASSIGN_OR_RETURN(sql::StatementPtr stmt,
+                      sql::Parser::ParseStatement(replacement_sql));
+  return Run(tau, stmt);
+}
+
+Status MahifEngine::ApplySymbolic(const Statement& stmt,
+                                  std::map<std::string, SymTable>* state,
+                                  Stats* stats) {
+  auto make_const = [&](double v) {
+    auto n = std::make_shared<Node>();
+    n->value = v;
+    ++stats->expr_nodes;
+    return NodePtr(n);
+  };
+  auto make_bin = [&](sql::BinaryOp op, NodePtr a, NodePtr b) {
+    auto n = std::make_shared<Node>();
+    n->kind = Node::Kind::kBinary;
+    n->op = op;
+    n->a = std::move(a);
+    n->b = std::move(b);
+    ++stats->expr_nodes;
+    return NodePtr(n);
+  };
+  auto make_if = [&](NodePtr cond, NodePtr then_v, NodePtr else_v) {
+    auto n = std::make_shared<Node>();
+    n->kind = Node::Kind::kIf;
+    n->a = std::move(cond);
+    n->b = std::move(then_v);
+    n->c = std::move(else_v);
+    ++stats->expr_nodes;
+    return NodePtr(n);
+  };
+
+  // Converts a SQL expression to a symbolic node over one tuple. Every
+  // conversion allocates fresh nodes per tuple: the unsimplified expression
+  // accumulation that makes Mahif's cost superlinear in history length.
+  std::function<Result<NodePtr>(const Expr&, const SymTable&,
+                                const SymTuple&)>
+      convert = [&](const Expr& e, const SymTable& table,
+                    const SymTuple& tuple) -> Result<NodePtr> {
+    switch (e.kind) {
+      case ExprKind::kLiteral:
+        if (e.literal.type() == sql::DataType::kString) {
+          return Status::Unsupported("Mahif: string literal in expression");
+        }
+        return make_const(e.literal.AsDouble());
+      case ExprKind::kColumnRef: {
+        for (size_t i = 0; i < table.columns.size(); ++i) {
+          if (table.columns[i] == e.column) return tuple.attrs[i];
+        }
+        return Status::Unsupported("Mahif: unknown column " + e.column);
+      }
+      case ExprKind::kBinary: {
+        UV_ASSIGN_OR_RETURN(NodePtr a, convert(*e.children[0], table, tuple));
+        UV_ASSIGN_OR_RETURN(NodePtr b, convert(*e.children[1], table, tuple));
+        return make_bin(e.binary_op, std::move(a), std::move(b));
+      }
+      case ExprKind::kUnary: {
+        UV_ASSIGN_OR_RETURN(NodePtr a, convert(*e.children[0], table, tuple));
+        if (e.unary_op == sql::UnaryOp::kNeg) {
+          return make_bin(sql::BinaryOp::kSub, make_const(0), std::move(a));
+        }
+        return make_bin(sql::BinaryOp::kEq, std::move(a), make_const(0));
+      }
+      default:
+        return Status::Unsupported("Mahif: unsupported expression form");
+    }
+  };
+
+  switch (stmt.kind) {
+    case StatementKind::kCreateTable: {
+      SymTable table;
+      for (const auto& col : stmt.create_table.schema.columns) {
+        table.columns.push_back(col.name);
+      }
+      (*state)[stmt.create_table.schema.name] = std::move(table);
+      return Status::OK();
+    }
+    case StatementKind::kInsert: {
+      auto it = state->find(stmt.insert.table);
+      if (it == state->end()) return Status::NotFound(stmt.insert.table);
+      SymTable& table = it->second;
+      std::vector<int> col_idx;
+      if (stmt.insert.columns.empty()) {
+        for (size_t i = 0; i < table.columns.size(); ++i) {
+          col_idx.push_back(int(i));
+        }
+      } else {
+        for (const auto& c : stmt.insert.columns) {
+          auto pos = std::find(table.columns.begin(), table.columns.end(), c);
+          if (pos == table.columns.end()) return Status::NotFound(c);
+          col_idx.push_back(int(pos - table.columns.begin()));
+        }
+      }
+      for (const auto& row : stmt.insert.rows) {
+        SymTuple tuple;
+        tuple.attrs.assign(table.columns.size(), make_const(0));
+        for (size_t i = 0; i < row.size() && i < col_idx.size(); ++i) {
+          UV_ASSIGN_OR_RETURN(tuple.attrs[col_idx[i]],
+                              convert(*row[i], table, tuple));
+        }
+        tuple.alive = make_const(1);
+        table.tuples.push_back(std::move(tuple));
+      }
+      return Status::OK();
+    }
+    case StatementKind::kUpdate: {
+      auto it = state->find(stmt.update.table);
+      if (it == state->end()) return Status::NotFound(stmt.update.table);
+      SymTable& table = it->second;
+      for (auto& tuple : table.tuples) {
+        NodePtr pred;
+        if (stmt.update.where) {
+          UV_ASSIGN_OR_RETURN(pred, convert(*stmt.update.where, table, tuple));
+          pred = make_bin(sql::BinaryOp::kAnd, pred, tuple.alive);
+        } else {
+          pred = tuple.alive;
+        }
+        SymTuple old = tuple;
+        for (const auto& [col, e] : stmt.update.assignments) {
+          auto pos = std::find(table.columns.begin(), table.columns.end(), col);
+          if (pos == table.columns.end()) return Status::NotFound(col);
+          size_t idx = size_t(pos - table.columns.begin());
+          UV_ASSIGN_OR_RETURN(NodePtr val, convert(*e, table, old));
+          tuple.attrs[idx] = make_if(pred, std::move(val), old.attrs[idx]);
+        }
+      }
+      return Status::OK();
+    }
+    case StatementKind::kDelete: {
+      auto it = state->find(stmt.del.table);
+      if (it == state->end()) return Status::NotFound(stmt.del.table);
+      SymTable& table = it->second;
+      for (auto& tuple : table.tuples) {
+        NodePtr pred;
+        if (stmt.del.where) {
+          UV_ASSIGN_OR_RETURN(pred, convert(*stmt.del.where, table, tuple));
+        } else {
+          pred = make_const(1);
+        }
+        tuple.alive = make_if(std::move(pred), make_const(0), tuple.alive);
+      }
+      return Status::OK();
+    }
+    case StatementKind::kSelect:
+      return Status::OK();  // stateless
+    default:
+      return Status::Unsupported("Mahif: unsupported statement");
+  }
+}
+
+Result<MahifEngine::Stats> MahifEngine::Run(uint64_t tau,
+                                            const sql::StatementPtr& repl) {
+  if (tau == 0 || tau > history_.size()) {
+    return Status::InvalidArgument("tau out of range");
+  }
+  Stats stats;
+  Stopwatch watch;
+
+  // Symbolically execute the entire modified history from the beginning:
+  // Mahif has no dependency pruning, so every query folds its guarded
+  // expressions onto every tuple it might touch.
+  std::map<std::string, SymTable> state;
+  for (uint64_t idx = 1; idx <= history_.size(); ++idx) {
+    const sql::StatementPtr* stmt = &history_[idx - 1];
+    if (idx == tau) {
+      if (!repl) continue;  // what-if remove
+      stmt = &repl;
+    }
+    UV_RETURN_NOT_OK(ApplySymbolic(**stmt, &state, &stats));
+    ++stats.history_applied;
+    // Mahif materializes the intermediate what-if result after every
+    // historical step (its per-step delta computation): each step walks
+    // the accumulated symbolic expressions, which is what makes its cost
+    // superlinear in the history length (§5.1).
+    {
+      std::unordered_map<const void*, double> step_memo;
+      for (auto& [name, table] : state) {
+        (void)name;
+        for (auto& tuple : table.tuples) {
+          EvalNode(tuple.alive.get(), &step_memo);
+          for (auto& attr : tuple.attrs) EvalNode(attr.get(), &step_memo);
+        }
+      }
+      stats.approx_bytes =
+          std::max(stats.approx_bytes,
+                   stats.expr_nodes * (sizeof(Node) + 16) + step_memo.size() * 48);
+    }
+    if (stats.expr_nodes > options_.max_expr_nodes) {
+      return Status::Timeout("Mahif exceeded its expression-node budget");
+    }
+    if (watch.ElapsedSeconds() > options_.timeout_seconds) {
+      return Status::Timeout("Mahif what-if timed out");
+    }
+  }
+
+  // Concretize the alternate universe (full expression evaluation).
+  std::unordered_map<const void*, double> memo;
+  for (auto& [name, table] : state) {
+    (void)name;
+    for (auto& tuple : table.tuples) {
+      EvalNode(tuple.alive.get(), &memo);
+      for (auto& attr : tuple.attrs) EvalNode(attr.get(), &memo);
+    }
+    if (watch.ElapsedSeconds() > options_.timeout_seconds) {
+      return Status::Timeout("Mahif evaluation timed out");
+    }
+  }
+
+  stats.seconds = watch.ElapsedSeconds();
+  stats.approx_bytes =
+      std::max(stats.approx_bytes,
+               stats.expr_nodes * (sizeof(Node) + 16) + memo.size() * 48);
+  last_result_ = std::move(state);
+  return stats;
+}
+
+Result<std::vector<std::vector<double>>> MahifEngine::FinalState(
+    const std::string& table) const {
+  auto it = last_result_.find(table);
+  if (it == last_result_.end()) return Status::NotFound(table);
+  std::unordered_map<const void*, double> memo;
+  std::vector<std::vector<double>> rows;
+  for (const auto& tuple : it->second.tuples) {
+    if (EvalNode(tuple.alive.get(), &memo) == 0) continue;
+    std::vector<double> row;
+    for (const auto& attr : tuple.attrs) {
+      row.push_back(EvalNode(attr.get(), &memo));
+    }
+    rows.push_back(std::move(row));
+  }
+  std::sort(rows.begin(), rows.end());
+  return rows;
+}
+
+}  // namespace ultraverse::mahif

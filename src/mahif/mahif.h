@@ -1,0 +1,91 @@
+#ifndef ULTRAVERSE_MAHIF_MAHIF_H_
+#define ULTRAVERSE_MAHIF_MAHIF_H_
+
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "sqldb/ast.h"
+#include "util/status.h"
+
+namespace ultraverse::mahif {
+
+/// Reimplementation of the Mahif baseline (Campbell et al., SIGMOD'22:
+/// "Efficient Answering of Historical What-if Queries") at the fidelity
+/// Table 4 needs:
+///
+///  * It answers a historical what-if (remove/change a past DML query) by
+///    symbolically executing the *entire* remaining history over symbolic
+///    tuples: every UPDATE folds a guarded case-expression onto every
+///    potentially-affected attribute, every DELETE folds one onto the
+///    tuple's liveness predicate. Expressions accumulate without
+///    simplification, so runtime and memory grow superlinearly with the
+///    history length — the scaling wall §5.1 measures.
+///  * Documented feature limits are enforced: numeric attributes only
+///    (string/bool/datetime predicates are rejected — hence SEATS is N/A),
+///    no TRANSACTION/PROCEDURE/DDL, no application-level semantics.
+///
+/// This is a baseline, not part of Ultraverse: it lives in its own library
+/// and shares only the SQL parser.
+class MahifEngine {
+ public:
+  struct Options {
+    size_t max_expr_nodes = 400'000'000;  // memory wall guard
+    double timeout_seconds = 120.0;
+  };
+
+  struct Stats {
+    double seconds = 0;
+    size_t expr_nodes = 0;       // symbolic expression nodes allocated
+    size_t approx_bytes = 0;     // ~48 bytes per node + tuple overhead
+    size_t history_applied = 0;  // queries symbolically executed
+  };
+
+  MahifEngine() : MahifEngine(Options()) {}
+  explicit MahifEngine(Options options) : options_(options) {}
+
+  /// Loads a committed history (raw SQL text, already executed elsewhere).
+  /// Fails with Unsupported on queries outside Mahif's dialect.
+  Status LoadHistory(const std::vector<std::string>& queries);
+
+  /// Answers the what-if "what if query τ had not been executed" (or had
+  /// been `replacement_sql` instead). Returns timing/memory stats; the
+  /// alternate final state is kept for FinalState().
+  Result<Stats> WhatIfRemove(uint64_t tau);
+  Result<Stats> WhatIfChange(uint64_t tau, const std::string& replacement_sql);
+
+  /// The alternate-universe contents of `table` after the last what-if:
+  /// rows of doubles, sorted, for comparison against Ultraverse's answer.
+  Result<std::vector<std::vector<double>>> FinalState(
+      const std::string& table) const;
+
+ public:
+  // Symbolic expression node (public so file-local helpers can walk trees).
+  struct Node;
+
+ private:
+  using NodePtr = std::shared_ptr<const Node>;
+
+  struct SymTuple {
+    std::vector<NodePtr> attrs;
+    NodePtr alive;
+  };
+  struct SymTable {
+    std::vector<std::string> columns;
+    std::vector<SymTuple> tuples;
+  };
+
+  Result<Stats> Run(uint64_t tau, const sql::StatementPtr& replacement);
+  Status ApplySymbolic(const sql::Statement& stmt,
+                       std::map<std::string, SymTable>* state, Stats* stats);
+
+  Options options_;
+  std::vector<sql::StatementPtr> history_;
+  std::map<std::string, SymTable> last_result_;
+  mutable size_t live_nodes_ = 0;
+};
+
+}  // namespace ultraverse::mahif
+
+#endif  // ULTRAVERSE_MAHIF_MAHIF_H_

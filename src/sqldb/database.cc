@@ -1,0 +1,627 @@
+#include "sqldb/database.h"
+
+#include <algorithm>
+
+#include "sqldb/evaluator.h"
+#include "sqldb/parser.h"
+#include "util/string_util.h"
+
+namespace ultraverse::sql {
+
+namespace {
+constexpr int kMaxTriggerDepth = 8;
+
+std::vector<std::string> SchemaColumnNames(const TableSchema& schema) {
+  std::vector<std::string> names;
+  names.reserve(schema.columns.size());
+  for (const auto& c : schema.columns) names.push_back(c.name);
+  return names;
+}
+}  // namespace
+
+void ExecContext::SetVar(const std::string& name, Value v) {
+  if (var_capture_ && var_capture_->size() < 256) {
+    auto& vals = (*var_capture_)[name];
+    if (vals.size() < 16) vals.push_back(v);
+  }
+  for (auto it = scopes_.rbegin(); it != scopes_.rend(); ++it) {
+    auto found = it->find(name);
+    if (found != it->end()) {
+      found->second = std::move(v);
+      return;
+    }
+  }
+  scopes_.back()[name] = std::move(v);
+}
+
+const Value* ExecContext::FindVar(const std::string& name) const {
+  for (auto it = scopes_.rbegin(); it != scopes_.rend(); ++it) {
+    auto found = it->find(name);
+    if (found != it->end()) return &found->second;
+  }
+  return nullptr;
+}
+
+Table* Database::FindTable(const std::string& name) {
+  auto it = tables_.find(name);
+  return it == tables_.end() ? nullptr : it->second.get();
+}
+
+const Table* Database::FindTable(const std::string& name) const {
+  auto it = tables_.find(name);
+  return it == tables_.end() ? nullptr : it->second.get();
+}
+
+const std::shared_ptr<SelectStatement>* Database::FindView(
+    const std::string& name) const {
+  auto it = views_.find(name);
+  return it == views_.end() ? nullptr : &it->second;
+}
+
+const CreateProcedureStatement* Database::FindProcedure(
+    const std::string& name) const {
+  auto it = procedures_.find(name);
+  return it == procedures_.end() ? nullptr : &it->second;
+}
+
+const CreateTriggerStatement* Database::FindTrigger(
+    const std::string& name) const {
+  auto it = triggers_.find(name);
+  return it == triggers_.end() ? nullptr : &it->second;
+}
+
+std::vector<std::string> Database::TableNames() const {
+  std::vector<std::string> names;
+  names.reserve(tables_.size());
+  for (const auto& [name, table] : tables_) {
+    (void)table;
+    names.push_back(name);
+  }
+  return names;
+}
+
+std::vector<std::string> Database::ProcedureNames() const {
+  std::vector<std::string> names;
+  names.reserve(procedures_.size());
+  for (const auto& [name, proc] : procedures_) {
+    (void)proc;
+    names.push_back(name);
+  }
+  return names;
+}
+
+Result<ExecResult> Database::ExecuteSql(const std::string& sql,
+                                        uint64_t commit_index) {
+  UV_ASSIGN_OR_RETURN(StatementPtr stmt, Parser::ParseStatement(sql));
+  ExecContext ctx;
+  return Execute(*stmt, commit_index, &ctx);
+}
+
+Result<ExecResult> Database::Execute(const Statement& stmt,
+                                     uint64_t commit_index, ExecContext* ctx) {
+  switch (stmt.kind) {
+    case StatementKind::kCreateTable:
+      return ExecCreateTable(stmt.create_table);
+    case StatementKind::kAlterTable:
+      return ExecAlterTable(stmt.alter_table);
+    case StatementKind::kDropTable:
+      return ExecDropTable(stmt);
+    case StatementKind::kTruncateTable:
+      return ExecTruncate(stmt.truncate_table);
+    case StatementKind::kCreateView:
+      return ExecCreateView(stmt.create_view);
+    case StatementKind::kDropView: {
+      if (!views_.erase(stmt.drop_name) && !stmt.drop_if_exists) {
+        return Status::NotFound("view " + stmt.drop_name);
+      }
+      return ExecResult{};
+    }
+    case StatementKind::kCreateIndex:
+      return ExecCreateIndex(stmt.create_index);
+    case StatementKind::kCreateProcedure: {
+      procedures_[stmt.create_procedure.name] = stmt.create_procedure;
+      return ExecResult{};
+    }
+    case StatementKind::kDropProcedure: {
+      if (!procedures_.erase(stmt.drop_name) && !stmt.drop_if_exists) {
+        return Status::NotFound("procedure " + stmt.drop_name);
+      }
+      return ExecResult{};
+    }
+    case StatementKind::kCreateTrigger: {
+      if (!FindTable(stmt.create_trigger.table)) {
+        return Status::NotFound("trigger table " + stmt.create_trigger.table);
+      }
+      triggers_[stmt.create_trigger.name] = stmt.create_trigger;
+      return ExecResult{};
+    }
+    case StatementKind::kDropTrigger: {
+      if (!triggers_.erase(stmt.drop_name) && !stmt.drop_if_exists) {
+        return Status::NotFound("trigger " + stmt.drop_name);
+      }
+      return ExecResult{};
+    }
+    case StatementKind::kInsert:
+      return ExecInsert(stmt.insert, commit_index, ctx);
+    case StatementKind::kUpdate:
+      return ExecUpdate(stmt.update, commit_index, ctx);
+    case StatementKind::kDelete:
+      return ExecDelete(stmt.del, commit_index, ctx);
+    case StatementKind::kSelect: {
+      Evaluator ev(this, ctx, commit_index);
+      return ev.EvalSelect(*stmt.select, nullptr);
+    }
+    case StatementKind::kCall:
+      return ExecCall(stmt.call, commit_index, ctx);
+    case StatementKind::kTransaction: {
+      // Atomic block: on any failure, undo this commit index entirely.
+      for (const auto& inner : stmt.transaction.statements) {
+        Result<ExecResult> r = Execute(*inner, commit_index, ctx);
+        if (!r.ok()) {
+          RollbackToIndex(commit_index - 1);
+          return r.status();
+        }
+      }
+      return ExecResult{};
+    }
+    case StatementKind::kDeclareVar: {
+      Value init;
+      if (stmt.declare_var.init) {
+        Evaluator ev(this, ctx, commit_index);
+        UV_ASSIGN_OR_RETURN(init, ev.Eval(*stmt.declare_var.init, nullptr));
+      }
+      ctx->DeclareVar(stmt.declare_var.name, std::move(init));
+      return ExecResult{};
+    }
+    case StatementKind::kSetVar: {
+      Evaluator ev(this, ctx, commit_index);
+      UV_ASSIGN_OR_RETURN(Value v, ev.Eval(*stmt.set_var.value, nullptr));
+      ctx->SetVar(stmt.set_var.name, std::move(v));
+      return ExecResult{};
+    }
+    case StatementKind::kIf: {
+      Evaluator ev(this, ctx, commit_index);
+      for (const auto& branch : stmt.if_stmt.branches) {
+        bool take = true;
+        if (branch.condition) {
+          UV_ASSIGN_OR_RETURN(Value c, ev.Eval(*branch.condition, nullptr));
+          take = !c.is_null() && c.AsBool();
+        }
+        if (take) {
+          UV_RETURN_NOT_OK(ExecBlock(branch.body, commit_index, ctx));
+          break;
+        }
+      }
+      return ExecResult{};
+    }
+    case StatementKind::kWhile: {
+      Evaluator ev(this, ctx, commit_index);
+      int64_t guard = 0;
+      for (;;) {
+        UV_ASSIGN_OR_RETURN(Value c, ev.Eval(*stmt.while_stmt.condition,
+                                             nullptr));
+        if (c.is_null() || !c.AsBool()) break;
+        UV_RETURN_NOT_OK(ExecBlock(stmt.while_stmt.body, commit_index, ctx));
+        if (ctx->leave_requested) break;
+        if (++guard > 10'000'000) {
+          return Status::Internal("WHILE loop exceeded iteration guard");
+        }
+      }
+      return ExecResult{};
+    }
+    case StatementKind::kLeave:
+      ctx->leave_requested = true;
+      return ExecResult{};
+    case StatementKind::kSignal:
+      return Status::Signal(stmt.signal.sqlstate +
+                            (stmt.signal.message.empty()
+                                 ? ""
+                                 : ": " + stmt.signal.message));
+  }
+  return Status::Internal("unhandled statement kind");
+}
+
+Result<ExecResult> Database::ExecCreateTable(const CreateTableStatement& stmt) {
+  if (tables_.count(stmt.schema.name)) {
+    if (stmt.if_not_exists) return ExecResult{};
+    return Status::AlreadyExists("table " + stmt.schema.name);
+  }
+  auto table = std::make_unique<Table>(stmt.schema);
+  // Primary keys are always hash-indexed for point lookups.
+  int pk = stmt.schema.PrimaryKeyIndex();
+  if (pk >= 0) UV_RETURN_NOT_OK(table->CreateIndex(pk));
+  tables_[stmt.schema.name] = std::move(table);
+  auto_increment_[stmt.schema.name] = 1;
+  return ExecResult{};
+}
+
+Result<ExecResult> Database::ExecAlterTable(const AlterTableStatement& stmt) {
+  Table* table = FindTable(stmt.table);
+  if (!table) return Status::NotFound("table " + stmt.table);
+  if (stmt.action == AlterAction::kAddColumn) {
+    // Widen every row with NULL; rebuilding derived state keeps the hash
+    // and indexes in sync with the restructured rows.
+    TableSchema schema = table->schema();
+    if (schema.ColumnIndex(stmt.add_column.name) >= 0) {
+      return Status::AlreadyExists("column " + stmt.add_column.name);
+    }
+    schema.columns.push_back(stmt.add_column);
+    auto new_table = std::make_unique<Table>(schema);
+    int pk = schema.PrimaryKeyIndex();
+    if (pk >= 0) UV_RETURN_NOT_OK(new_table->CreateIndex(pk));
+    table->Scan([&](RowId, const Row& row) {
+      Row wide = row;
+      wide.push_back(Value::Null());
+      (void)new_table->Insert(std::move(wide), 0);
+      return true;
+    });
+    tables_[stmt.table] = std::move(new_table);
+    return ExecResult{};
+  }
+  // Drop column.
+  TableSchema schema = table->schema();
+  int drop = schema.ColumnIndex(stmt.drop_column);
+  if (drop < 0) return Status::NotFound("column " + stmt.drop_column);
+  schema.columns.erase(schema.columns.begin() + drop);
+  auto new_table = std::make_unique<Table>(schema);
+  int pk = schema.PrimaryKeyIndex();
+  if (pk >= 0) UV_RETURN_NOT_OK(new_table->CreateIndex(pk));
+  table->Scan([&](RowId, const Row& row) {
+    Row narrow = row;
+    narrow.erase(narrow.begin() + drop);
+    (void)new_table->Insert(std::move(narrow), 0);
+    return true;
+  });
+  tables_[stmt.table] = std::move(new_table);
+  return ExecResult{};
+}
+
+Result<ExecResult> Database::ExecDropTable(const Statement& stmt) {
+  if (!tables_.erase(stmt.drop_name) && !stmt.drop_if_exists) {
+    return Status::NotFound("table " + stmt.drop_name);
+  }
+  auto_increment_.erase(stmt.drop_name);
+  return ExecResult{};
+}
+
+Result<ExecResult> Database::ExecTruncate(const std::string& name) {
+  Table* table = FindTable(name);
+  if (!table) return Status::NotFound("table " + name);
+  auto fresh = std::make_unique<Table>(table->schema());
+  int pk = fresh->schema().PrimaryKeyIndex();
+  if (pk >= 0) UV_RETURN_NOT_OK(fresh->CreateIndex(pk));
+  tables_[name] = std::move(fresh);
+  return ExecResult{};
+}
+
+Result<ExecResult> Database::ExecCreateView(const CreateViewStatement& stmt) {
+  if (views_.count(stmt.name) && !stmt.or_replace) {
+    return Status::AlreadyExists("view " + stmt.name);
+  }
+  views_[stmt.name] = stmt.select;
+  return ExecResult{};
+}
+
+Result<ExecResult> Database::ExecCreateIndex(const CreateIndexStatement& stmt) {
+  Table* table = FindTable(stmt.table);
+  if (!table) return Status::NotFound("table " + stmt.table);
+  for (const auto& col : stmt.columns) {
+    int idx = table->schema().ColumnIndex(col);
+    if (idx < 0) return Status::NotFound("column " + col);
+    UV_RETURN_NOT_OK(table->CreateIndex(idx));
+  }
+  return ExecResult{};
+}
+
+Result<std::string> Database::ResolveWritableTarget(const std::string& name,
+                                                    ExprPtr* extra_where) const {
+  if (tables_.count(name)) return name;
+  auto it = views_.find(name);
+  if (it == views_.end()) return Status::NotFound("table or view " + name);
+  const SelectStatement& sel = *it->second;
+  // Updatable view: single table, no joins/aggregates/group/limit, and all
+  // items plain column refs or star (§4.2 "Updatable VIEWs").
+  if (sel.from_table.empty() || !sel.joins.empty() || !sel.group_by.empty() ||
+      sel.limit >= 0) {
+    return Status::Unsupported("view " + name + " is not updatable");
+  }
+  for (const auto& item : sel.items) {
+    if (item.expr->kind != ExprKind::kColumnRef &&
+        item.expr->kind != ExprKind::kStar) {
+      return Status::Unsupported("view " + name + " is not updatable");
+    }
+  }
+  if (extra_where) *extra_where = sel.where;
+  if (!tables_.count(sel.from_table)) {
+    return Status::Unsupported("view-on-view writes are not supported");
+  }
+  return sel.from_table;
+}
+
+Result<ExecResult> Database::ExecInsert(const InsertStatement& stmt,
+                                        uint64_t commit_index,
+                                        ExecContext* ctx) {
+  ExprPtr view_where;
+  UV_ASSIGN_OR_RETURN(std::string target,
+                      ResolveWritableTarget(stmt.table, &view_where));
+  Table* table = FindTable(target);
+  const TableSchema& schema = table->schema();
+  Evaluator ev(this, ctx, commit_index);
+
+  // Column list: explicit or full schema order.
+  std::vector<int> col_indexes;
+  if (stmt.columns.empty()) {
+    for (size_t i = 0; i < schema.columns.size(); ++i) {
+      col_indexes.push_back(int(i));
+    }
+  } else {
+    for (const auto& col : stmt.columns) {
+      int idx = schema.ColumnIndex(col);
+      if (idx < 0) {
+        return Status::NotFound("column " + col + " in " + target);
+      }
+      col_indexes.push_back(idx);
+    }
+  }
+
+  std::vector<Row> value_rows;
+  if (stmt.select) {
+    UV_ASSIGN_OR_RETURN(ExecResult sub, ev.EvalSelect(*stmt.select, nullptr));
+    value_rows = std::move(sub.rows);
+  } else {
+    for (const auto& exprs : stmt.rows) {
+      Row r;
+      for (const auto& e : exprs) {
+        UV_ASSIGN_OR_RETURN(Value v, ev.Eval(*e, nullptr));
+        r.push_back(std::move(v));
+      }
+      value_rows.push_back(std::move(r));
+    }
+  }
+
+  ExecResult result;
+  for (Row& src : value_rows) {
+    if (src.size() != col_indexes.size()) {
+      return Status::InvalidArgument("INSERT value count mismatch");
+    }
+    Row row(schema.columns.size(), Value::Null());
+    for (size_t i = 0; i < col_indexes.size(); ++i) {
+      row[col_indexes[i]] = std::move(src[i]);
+    }
+    // AUTO_INCREMENT: fill a missing/NULL key; record/replay the id (§4.4).
+    for (size_t i = 0; i < schema.columns.size(); ++i) {
+      if (schema.columns[i].auto_increment && row[i].is_null()) {
+        int64_t id = ctx->NextAutoIncId([&] {
+          int64_t& next = auto_increment_[target];
+          return next++;
+        });
+        int64_t& next = auto_increment_[target];
+        if (id >= next) next = id + 1;
+        row[i] = Value::Int(id);
+      }
+    }
+    for (size_t i = 0; i < schema.columns.size(); ++i) {
+      if (schema.columns[i].not_null && row[i].is_null()) {
+        return Status::ConstraintViolation("NOT NULL column " +
+                                           schema.columns[i].name);
+      }
+    }
+    UV_ASSIGN_OR_RETURN(RowId id, table->Insert(std::move(row), commit_index));
+    ++result.affected;
+    const Row& stored = table->GetRow(id);
+    UV_RETURN_NOT_OK(FireTriggers(target, TriggerEvent::kInsert, nullptr,
+                                  &stored, commit_index, ctx));
+  }
+  return result;
+}
+
+Result<ExecResult> Database::ExecUpdate(const UpdateStatement& stmt,
+                                        uint64_t commit_index,
+                                        ExecContext* ctx) {
+  ExprPtr view_where;
+  UV_ASSIGN_OR_RETURN(std::string target,
+                      ResolveWritableTarget(stmt.table, &view_where));
+  Table* table = FindTable(target);
+  const TableSchema& schema = table->schema();
+  Evaluator ev(this, ctx, commit_index);
+
+  ExprPtr where = stmt.where;
+  if (view_where) {
+    where = where ? Expr::MakeBinary(BinaryOp::kAnd, view_where, where)
+                  : view_where;
+  }
+  UV_ASSIGN_OR_RETURN(std::vector<RowId> ids,
+                      ev.MatchRows(table, where, nullptr));
+
+  std::vector<std::string> columns = SchemaColumnNames(schema);
+  ExecResult result;
+  for (RowId id : ids) {
+    if (!table->IsLive(id)) continue;
+    Row old_row = table->GetRow(id);
+    RowScope scope;
+    scope.bindings.push_back({schema.name, &columns, &old_row});
+    Row new_row = old_row;
+    for (const auto& [col, expr] : stmt.assignments) {
+      int idx = schema.ColumnIndex(col);
+      if (idx < 0) return Status::NotFound("column " + col);
+      UV_ASSIGN_OR_RETURN(Value v, ev.Eval(*expr, &scope));
+      new_row[idx] = std::move(v);
+    }
+    UV_RETURN_NOT_OK(table->Update(id, new_row, commit_index));
+    ++result.affected;
+    UV_RETURN_NOT_OK(FireTriggers(target, TriggerEvent::kUpdate, &old_row,
+                                  &new_row, commit_index, ctx));
+  }
+  return result;
+}
+
+Result<ExecResult> Database::ExecDelete(const DeleteStatement& stmt,
+                                        uint64_t commit_index,
+                                        ExecContext* ctx) {
+  ExprPtr view_where;
+  UV_ASSIGN_OR_RETURN(std::string target,
+                      ResolveWritableTarget(stmt.table, &view_where));
+  Table* table = FindTable(target);
+  Evaluator ev(this, ctx, commit_index);
+
+  ExprPtr where = stmt.where;
+  if (view_where) {
+    where = where ? Expr::MakeBinary(BinaryOp::kAnd, view_where, where)
+                  : view_where;
+  }
+  UV_ASSIGN_OR_RETURN(std::vector<RowId> ids,
+                      ev.MatchRows(table, where, nullptr));
+
+  ExecResult result;
+  for (RowId id : ids) {
+    if (!table->IsLive(id)) continue;
+    Row old_row = table->GetRow(id);
+    UV_RETURN_NOT_OK(table->Delete(id, commit_index));
+    ++result.affected;
+    UV_RETURN_NOT_OK(FireTriggers(target, TriggerEvent::kDelete, &old_row,
+                                  nullptr, commit_index, ctx));
+  }
+  return result;
+}
+
+Result<ExecResult> Database::ExecCall(const CallStatement& stmt,
+                                      uint64_t commit_index, ExecContext* ctx) {
+  const CreateProcedureStatement* proc = FindProcedure(stmt.procedure);
+  if (!proc) return Status::NotFound("procedure " + stmt.procedure);
+  if (stmt.args.size() != proc->params.size()) {
+    return Status::InvalidArgument("CALL " + stmt.procedure +
+                                   ": argument count mismatch");
+  }
+  Evaluator ev(this, ctx, commit_index);
+  std::vector<Value> args;
+  for (const auto& arg : stmt.args) {
+    UV_ASSIGN_OR_RETURN(Value v, ev.Eval(*arg, nullptr));
+    args.push_back(std::move(v));
+  }
+  ctx->PushScope();
+  for (size_t i = 0; i < args.size(); ++i) {
+    ctx->DeclareVar(proc->params[i].name, std::move(args[i]));
+  }
+  Status st = ExecBlock(proc->body, commit_index, ctx);
+  ctx->leave_requested = false;  // LEAVE unwinds only to the procedure edge.
+  ctx->PopScope();
+  if (!st.ok()) {
+    // Procedures execute atomically: undo this commit's partial effects.
+    RollbackToIndex(commit_index - 1);
+    return st;
+  }
+  return ExecResult{};
+}
+
+Status Database::ExecBlock(const std::vector<StatementPtr>& body,
+                           uint64_t commit_index, ExecContext* ctx) {
+  for (const auto& stmt : body) {
+    Result<ExecResult> r = Execute(*stmt, commit_index, ctx);
+    if (!r.ok()) return r.status();
+    if (ctx->leave_requested) return Status::OK();
+  }
+  return Status::OK();
+}
+
+Status Database::FireTriggers(const std::string& table, TriggerEvent event,
+                              const Row* old_row, const Row* new_row,
+                              uint64_t commit_index, ExecContext* ctx) {
+  if (ctx->trigger_depth >= kMaxTriggerDepth) {
+    return Status::Internal("trigger recursion limit");
+  }
+  for (const auto& [name, trig] : triggers_) {
+    (void)name;
+    if (trig.table != table || trig.event != event) continue;
+    Table* t = FindTable(table);
+    std::vector<std::string> columns = SchemaColumnNames(t->schema());
+
+    // Bind NEW.col / OLD.col as variables for the trigger body.
+    ctx->PushScope();
+    if (new_row) {
+      for (size_t i = 0; i < columns.size(); ++i) {
+        ctx->DeclareVar("NEW." + columns[i], (*new_row)[i]);
+      }
+    }
+    if (old_row) {
+      for (size_t i = 0; i < columns.size(); ++i) {
+        ctx->DeclareVar("OLD." + columns[i], (*old_row)[i]);
+      }
+    }
+    ++ctx->trigger_depth;
+    Status st = ExecBlock(trig.body, commit_index, ctx);
+    --ctx->trigger_depth;
+    ctx->PopScope();
+    UV_RETURN_NOT_OK(st);
+  }
+  return Status::OK();
+}
+
+void Database::RollbackToIndex(uint64_t commit_index) {
+  for (auto& [name, table] : tables_) {
+    (void)name;
+    table->RollbackToIndex(commit_index);
+  }
+}
+
+void Database::RollbackTablesToIndex(const std::vector<std::string>& tables,
+                                     uint64_t commit_index) {
+  for (const auto& name : tables) {
+    Table* t = FindTable(name);
+    if (t) t->RollbackToIndex(commit_index);
+  }
+}
+
+void Database::RollbackCommitsInTables(const std::set<uint64_t>& commits,
+                                       const std::vector<std::string>& tables) {
+  for (const auto& name : tables) {
+    Table* t = FindTable(name);
+    if (t) t->RollbackCommits(commits);
+  }
+}
+
+void Database::TrimJournalsBefore(uint64_t commit_index) {
+  for (auto& [name, table] : tables_) {
+    (void)name;
+    table->TrimJournalBefore(commit_index);
+  }
+}
+
+std::unique_ptr<Database> Database::Clone() const {
+  auto copy = std::make_unique<Database>();
+  for (const auto& [name, table] : tables_) {
+    copy->tables_[name] = table->Clone();
+  }
+  copy->views_ = views_;
+  copy->procedures_ = procedures_;
+  copy->triggers_ = triggers_;
+  copy->auto_increment_ = auto_increment_;
+  copy->logical_time_ = logical_time_;
+  return copy;
+}
+
+Status Database::AdoptTables(const Database& src,
+                             const std::vector<std::string>& names) {
+  for (const auto& name : names) {
+    const Table* t = src.FindTable(name);
+    if (!t) {
+      // The table was retroactively dropped in the alternate universe.
+      tables_.erase(name);
+      auto_increment_.erase(name);
+      continue;
+    }
+    tables_[name] = t->Clone();
+    auto it = src.auto_increment_.find(name);
+    if (it != src.auto_increment_.end()) auto_increment_[name] = it->second;
+  }
+  return Status::OK();
+}
+
+size_t Database::ApproxMemoryBytes() const {
+  size_t bytes = sizeof(Database);
+  for (const auto& [name, table] : tables_) {
+    bytes += name.size() + table->ApproxMemoryBytes();
+  }
+  return bytes;
+}
+
+}  // namespace ultraverse::sql

@@ -1,0 +1,211 @@
+#ifndef ULTRAVERSE_SQLDB_DATABASE_H_
+#define ULTRAVERSE_SQLDB_DATABASE_H_
+
+#include <map>
+#include <set>
+#include <memory>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "sqldb/ast.h"
+#include "sqldb/table.h"
+#include "util/rng.h"
+#include "util/status.h"
+
+namespace ultraverse::sql {
+
+/// Result of executing one statement.
+struct ExecResult {
+  std::vector<std::string> column_names;  // for SELECT
+  std::vector<Row> rows;                  // for SELECT
+  int64_t affected = 0;                   // for DML
+};
+
+/// Concrete values consumed by one top-level query execution that are not
+/// functions of the database state: NOW()/RAND()/CURTIME() results and
+/// AUTO_INCREMENT assignments. Recorded during regular operation and
+/// re-injected during retroactive replay (§4.4 "Replaying Non-determinism").
+struct NondetRecord {
+  std::vector<Value> values;
+  std::vector<int64_t> auto_inc_ids;
+};
+
+/// Per-execution context: procedure variable scopes, nondeterminism
+/// record/replay channels, and control-flow flags.
+class ExecContext {
+ public:
+  ExecContext() { PushScope(); }
+
+  void PushScope() { scopes_.emplace_back(); }
+  void PopScope() { scopes_.pop_back(); }
+
+  void DeclareVar(const std::string& name, Value v) {
+    scopes_.back()[name] = std::move(v);
+  }
+  /// Sets an existing variable (innermost scope wins); declares in the
+  /// innermost scope when absent.
+  void SetVar(const std::string& name, Value v);
+  /// Looks a variable up through the scope chain; nullptr when absent.
+  const Value* FindVar(const std::string& name) const;
+
+  /// Record mode: nondeterministic values are appended to `record`.
+  void StartRecording(NondetRecord* record) { record_ = record; }
+  /// Replay mode: nondeterministic values are consumed from `replay`.
+  void StartReplaying(const NondetRecord* replay) {
+    replay_ = replay;
+    replay_value_cursor_ = 0;
+    replay_auto_cursor_ = 0;
+  }
+
+  /// Returns the next nondeterministic value: consumes the replay record
+  /// when available, otherwise calls `generate` (and records it).
+  template <typename Fn>
+  Value NextNondetValue(Fn&& generate) {
+    if (replay_ && replay_value_cursor_ < replay_->values.size()) {
+      return replay_->values[replay_value_cursor_++];
+    }
+    Value v = generate();
+    if (record_) record_->values.push_back(v);
+    return v;
+  }
+
+  /// Same protocol for AUTO_INCREMENT ids.
+  template <typename Fn>
+  int64_t NextAutoIncId(Fn&& generate) {
+    if (replay_ && replay_auto_cursor_ < replay_->auto_inc_ids.size()) {
+      return replay_->auto_inc_ids[replay_auto_cursor_++];
+    }
+    int64_t id = generate();
+    if (record_) record_->auto_inc_ids.push_back(id);
+    return id;
+  }
+
+  bool leave_requested = false;  // LEAVE unwinds the current procedure
+  int trigger_depth = 0;
+
+  /// When set, every procedure-variable assignment is appended here
+  /// (name -> all values it held). The retroactive analyzer uses these to
+  /// concretize symbolic RI values "at the moment of retroactive
+  /// operation" (§4.3) instead of widening them to wildcards.
+  void set_var_capture(std::map<std::string, std::vector<Value>>* capture) {
+    var_capture_ = capture;
+  }
+
+ private:
+  std::vector<std::unordered_map<std::string, Value>> scopes_;
+  std::map<std::string, std::vector<Value>>* var_capture_ = nullptr;
+  NondetRecord* record_ = nullptr;
+  const NondetRecord* replay_ = nullptr;
+  size_t replay_value_cursor_ = 0;
+  size_t replay_auto_cursor_ = 0;
+};
+
+/// In-memory SQL database: catalog (tables, views, procedures, triggers,
+/// indexes) plus the statement executor. Stands in for the paper's
+/// unmodified MySQL server (see DESIGN.md substitution table).
+///
+/// Thread safety: Execute() is not internally synchronized; the replay
+/// scheduler serializes conflicting queries via the dependency DAG and
+/// guards shared tables with its own per-table locks.
+class Database {
+ public:
+  Database() : rng_(0xDBDB) {}
+
+  /// Executes one statement. `commit_index` tags undo-journal entries so
+  /// the whole statement (procedures/transactions included) can be undone
+  /// atomically; pass a fresh, strictly increasing index per top-level
+  /// query. On failure, partial effects are rolled back.
+  Result<ExecResult> Execute(const Statement& stmt, uint64_t commit_index,
+                             ExecContext* ctx);
+
+  /// Convenience: parse + execute one statement with a scratch context.
+  Result<ExecResult> ExecuteSql(const std::string& sql, uint64_t commit_index);
+
+  // --- Catalog access -----------------------------------------------------
+  Table* FindTable(const std::string& name);
+  const Table* FindTable(const std::string& name) const;
+  bool HasView(const std::string& name) const { return views_.count(name); }
+  const std::shared_ptr<SelectStatement>* FindView(
+      const std::string& name) const;
+  const CreateProcedureStatement* FindProcedure(const std::string& name) const;
+  const CreateTriggerStatement* FindTrigger(const std::string& name) const;
+  std::vector<std::string> TableNames() const;
+  std::vector<std::string> ProcedureNames() const;
+
+  /// Rolls every table back to its state right after `commit_index`.
+  void RollbackToIndex(uint64_t commit_index);
+  /// Rolls only `tables` back (the §4.4 mutated/consulted-only rollback).
+  void RollbackTablesToIndex(const std::vector<std::string>& tables,
+                             uint64_t commit_index);
+
+  /// Query-selective rollback: undoes exactly the journal entries of the
+  /// given commits inside `tables` (Appendix E's M^-1(D, I); see
+  /// Table::RollbackCommits for the column-masked UPDATE semantics).
+  void RollbackCommitsInTables(const std::set<uint64_t>& commits,
+                               const std::vector<std::string>& tables);
+
+  /// Checkpoint support (rollback option (iii) of §5 Implementation):
+  /// drops undo-journal entries older than `commit_index`. Retroactive
+  /// targets older than the trim horizon then take the rebuild-from-log
+  /// path instead of journal rollback.
+  void TrimJournalsBefore(uint64_t commit_index);
+
+  /// Deep copy of catalog + data (temporary replay database).
+  std::unique_ptr<Database> Clone() const;
+
+  /// Copies table contents of `names` from `src` into this database
+  /// (the §4.4 "Database Update" step: mutated tables flow back).
+  Status AdoptTables(const Database& src, const std::vector<std::string>& names);
+
+  size_t ApproxMemoryBytes() const;
+
+  /// Logical clock feeding NOW()/CURTIME(); advances per call.
+  int64_t NextTimestamp() { return ++logical_time_; }
+  void SetLogicalTime(int64_t t) { logical_time_ = t; }
+
+ private:
+  friend class Evaluator;
+
+  // DDL.
+  Result<ExecResult> ExecCreateTable(const CreateTableStatement& stmt);
+  Result<ExecResult> ExecAlterTable(const AlterTableStatement& stmt);
+  Result<ExecResult> ExecDropTable(const Statement& stmt);
+  Result<ExecResult> ExecTruncate(const std::string& table);
+  Result<ExecResult> ExecCreateView(const CreateViewStatement& stmt);
+  Result<ExecResult> ExecCreateIndex(const CreateIndexStatement& stmt);
+
+  // DML.
+  Result<ExecResult> ExecInsert(const InsertStatement& stmt,
+                                uint64_t commit_index, ExecContext* ctx);
+  Result<ExecResult> ExecUpdate(const UpdateStatement& stmt,
+                                uint64_t commit_index, ExecContext* ctx);
+  Result<ExecResult> ExecDelete(const DeleteStatement& stmt,
+                                uint64_t commit_index, ExecContext* ctx);
+  Result<ExecResult> ExecCall(const CallStatement& stmt, uint64_t commit_index,
+                              ExecContext* ctx);
+  Status ExecBlock(const std::vector<StatementPtr>& body,
+                   uint64_t commit_index, ExecContext* ctx);
+
+  Status FireTriggers(const std::string& table, TriggerEvent event,
+                      const Row* old_row, const Row* new_row,
+                      uint64_t commit_index, ExecContext* ctx);
+
+  /// Resolves an updatable view to its base table + extra WHERE; returns
+  /// the table name unchanged when it is a real table.
+  Result<std::string> ResolveWritableTarget(const std::string& name,
+                                            ExprPtr* extra_where) const;
+
+  std::map<std::string, std::unique_ptr<Table>> tables_;
+  std::map<std::string, std::shared_ptr<SelectStatement>> views_;
+  std::map<std::string, CreateProcedureStatement> procedures_;
+  std::map<std::string, CreateTriggerStatement> triggers_;
+  std::map<std::string, int64_t> auto_increment_;  // table -> next id
+
+  int64_t logical_time_ = 0;
+  Rng rng_;
+};
+
+}  // namespace ultraverse::sql
+
+#endif  // ULTRAVERSE_SQLDB_DATABASE_H_

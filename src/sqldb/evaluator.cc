@@ -1,0 +1,669 @@
+#include "sqldb/evaluator.h"
+
+#include <algorithm>
+#include <set>
+#include <cmath>
+#include <map>
+
+#include "util/string_util.h"
+
+namespace ultraverse::sql {
+
+const Value* RowScope::Resolve(const std::string& table,
+                               const std::string& column) const {
+  for (const Binding& b : bindings) {
+    if (!table.empty() && !EqualsIgnoreCase(b.alias, table)) continue;
+    for (size_t i = 0; i < b.columns->size(); ++i) {
+      if (EqualsIgnoreCase((*b.columns)[i], column)) return &(*b.row)[i];
+    }
+  }
+  if (parent) return parent->Resolve(table, column);
+  return nullptr;
+}
+
+namespace {
+
+std::vector<std::string> SchemaColumnNames(const TableSchema& schema) {
+  std::vector<std::string> names;
+  names.reserve(schema.columns.size());
+  for (const auto& c : schema.columns) names.push_back(c.name);
+  return names;
+}
+
+bool IsTruthy(const Value& v) { return !v.is_null() && v.AsBool(); }
+
+/// SQL LIKE: '%' matches any run, '_' matches one character.
+bool LikeMatch(const std::string& s, const std::string& pat, size_t si = 0,
+               size_t pi = 0) {
+  while (pi < pat.size()) {
+    char pc = pat[pi];
+    if (pc == '%') {
+      // Collapse consecutive %'s, then try every split point.
+      while (pi < pat.size() && pat[pi] == '%') ++pi;
+      if (pi == pat.size()) return true;
+      for (size_t k = si; k <= s.size(); ++k) {
+        if (LikeMatch(s, pat, k, pi)) return true;
+      }
+      return false;
+    }
+    if (si >= s.size()) return false;
+    if (pc != '_' && pc != s[si]) return false;
+    ++si;
+    ++pi;
+  }
+  return si == s.size();
+}
+
+}  // namespace
+
+Value Evaluator::CompareSql(const Value& a, const Value& b, BinaryOp op) {
+  if (a.is_null() || b.is_null()) return Value::Null();
+  int cmp;
+  bool a_num = a.type() == DataType::kInt || a.type() == DataType::kDouble ||
+               a.type() == DataType::kBool;
+  bool b_num = b.type() == DataType::kInt || b.type() == DataType::kDouble ||
+               b.type() == DataType::kBool;
+  if (a.type() == DataType::kString && b.type() == DataType::kString) {
+    cmp = a.AsStringRef().compare(b.AsStringRef());
+    cmp = cmp < 0 ? -1 : (cmp > 0 ? 1 : 0);
+  } else if (a_num || b_num) {
+    // MySQL-style numeric coercion when either side is numeric.
+    double x = a.AsDouble(), y = b.AsDouble();
+    cmp = x < y ? -1 : (x > y ? 1 : 0);
+  } else {
+    cmp = a.Compare(b);
+  }
+  switch (op) {
+    case BinaryOp::kEq: return Value::Bool(cmp == 0);
+    case BinaryOp::kNe: return Value::Bool(cmp != 0);
+    case BinaryOp::kLt: return Value::Bool(cmp < 0);
+    case BinaryOp::kLe: return Value::Bool(cmp <= 0);
+    case BinaryOp::kGt: return Value::Bool(cmp > 0);
+    case BinaryOp::kGe: return Value::Bool(cmp >= 0);
+    default: return Value::Null();
+  }
+}
+
+Result<Value> Evaluator::Eval(const Expr& e, const RowScope* scope) {
+  switch (e.kind) {
+    case ExprKind::kLiteral:
+      return e.literal;
+    case ExprKind::kStar:
+      return Status::InvalidArgument("* is only valid inside COUNT(*)");
+    case ExprKind::kColumnRef: {
+      if (scope) {
+        const Value* v = scope->Resolve(e.table, e.column);
+        if (v) return *v;
+      }
+      if (ctx_) {
+        // Procedure variables; trigger bodies reference NEW.col / OLD.col
+        // which are bound as variables named "NEW.col" / "OLD.col".
+        const std::string key =
+            e.table.empty() ? e.column : e.table + "." + e.column;
+        const Value* var = ctx_->FindVar(key);
+        if (var) return *var;
+      }
+      return Status::NotFound("unresolved name '" +
+                              (e.table.empty() ? e.column
+                                               : e.table + "." + e.column) +
+                              "'");
+    }
+    case ExprKind::kVarRef: {
+      if (ctx_) {
+        const Value* var = ctx_->FindVar(e.var_name);
+        if (var) return *var;
+      }
+      return Status::NotFound("unresolved variable '" + e.var_name + "'");
+    }
+    case ExprKind::kUnary: {
+      UV_ASSIGN_OR_RETURN(Value child, Eval(*e.children[0], scope));
+      if (e.unary_op == UnaryOp::kNeg) {
+        if (child.is_null()) return Value::Null();
+        if (child.type() == DataType::kInt) return Value::Int(-child.AsInt());
+        return Value::Double(-child.AsDouble());
+      }
+      if (child.is_null()) return Value::Null();
+      return Value::Bool(!child.AsBool());
+    }
+    case ExprKind::kBinary: {
+      BinaryOp op = e.binary_op;
+      if (op == BinaryOp::kAnd || op == BinaryOp::kOr) {
+        UV_ASSIGN_OR_RETURN(Value lhs, Eval(*e.children[0], scope));
+        // Kleene three-valued logic with short-circuit.
+        if (op == BinaryOp::kAnd && !lhs.is_null() && !lhs.AsBool()) {
+          return Value::Bool(false);
+        }
+        if (op == BinaryOp::kOr && !lhs.is_null() && lhs.AsBool()) {
+          return Value::Bool(true);
+        }
+        UV_ASSIGN_OR_RETURN(Value rhs, Eval(*e.children[1], scope));
+        if (op == BinaryOp::kAnd) {
+          if (!rhs.is_null() && !rhs.AsBool()) return Value::Bool(false);
+          if (lhs.is_null() || rhs.is_null()) return Value::Null();
+          return Value::Bool(true);
+        }
+        if (!rhs.is_null() && rhs.AsBool()) return Value::Bool(true);
+        if (lhs.is_null() || rhs.is_null()) return Value::Null();
+        return Value::Bool(false);
+      }
+      UV_ASSIGN_OR_RETURN(Value lhs, Eval(*e.children[0], scope));
+      UV_ASSIGN_OR_RETURN(Value rhs, Eval(*e.children[1], scope));
+      switch (op) {
+        case BinaryOp::kEq: case BinaryOp::kNe: case BinaryOp::kLt:
+        case BinaryOp::kLe: case BinaryOp::kGt: case BinaryOp::kGe:
+          return CompareSql(lhs, rhs, op);
+        case BinaryOp::kAdd: case BinaryOp::kSub: case BinaryOp::kMul: {
+          if (lhs.is_null() || rhs.is_null()) return Value::Null();
+          bool both_int = lhs.type() == DataType::kInt &&
+                          rhs.type() == DataType::kInt;
+          double x = lhs.AsDouble(), y = rhs.AsDouble();
+          double r = op == BinaryOp::kAdd ? x + y
+                     : op == BinaryOp::kSub ? x - y
+                                            : x * y;
+          if (both_int) return Value::Int(int64_t(std::llround(r)));
+          return Value::Double(r);
+        }
+        case BinaryOp::kDiv: {
+          if (lhs.is_null() || rhs.is_null()) return Value::Null();
+          double y = rhs.AsDouble();
+          if (y == 0.0) return Value::Null();  // MySQL: x/0 is NULL
+          return Value::Double(lhs.AsDouble() / y);
+        }
+        case BinaryOp::kMod: {
+          if (lhs.is_null() || rhs.is_null()) return Value::Null();
+          int64_t y = rhs.AsInt();
+          if (y == 0) return Value::Null();
+          return Value::Int(lhs.AsInt() % y);
+        }
+        default:
+          return Status::Internal("unhandled binary op");
+      }
+    }
+    case ExprKind::kFuncCall:
+      return EvalFunc(e, scope);
+    case ExprKind::kSubquery: {
+      RowScope sub_parent;
+      UV_ASSIGN_OR_RETURN(ExecResult res, EvalSelect(*e.subquery, scope));
+      if (res.rows.empty()) return Value::Null();
+      if (res.rows[0].empty()) return Value::Null();
+      return res.rows[0][0];
+    }
+    case ExprKind::kInList: {
+      UV_ASSIGN_OR_RETURN(Value needle, Eval(*e.children[0], scope));
+      if (needle.is_null()) return Value::Null();
+      bool saw_null = false;
+      for (size_t i = 1; i < e.children.size(); ++i) {
+        UV_ASSIGN_OR_RETURN(Value item, Eval(*e.children[i], scope));
+        Value eq = CompareSql(needle, item, BinaryOp::kEq);
+        if (eq.is_null()) saw_null = true;
+        else if (eq.AsBool()) return Value::Bool(true);
+      }
+      if (saw_null) return Value::Null();
+      return Value::Bool(false);
+    }
+  }
+  return Status::Internal("unhandled expression kind");
+}
+
+Result<Value> Evaluator::EvalFunc(const Expr& e, const RowScope* scope) {
+  const std::string& f = e.func_name;
+  if (IsAggregateFunction(f)) {
+    return Status::InvalidArgument("aggregate " + f +
+                                   " outside SELECT aggregation");
+  }
+  std::vector<Value> args;
+  args.reserve(e.children.size());
+  for (const auto& child : e.children) {
+    UV_ASSIGN_OR_RETURN(Value v, Eval(*child, scope));
+    args.push_back(std::move(v));
+  }
+
+  if (f == "CONCAT") {
+    std::string out;
+    for (const Value& v : args) {
+      if (v.is_null()) return Value::Null();
+      out += v.ToDisplayString();
+    }
+    return Value::String(std::move(out));
+  }
+  if (f == "LIKE") {
+    if (args.size() != 2) return Status::InvalidArgument("LIKE arity");
+    if (args[0].is_null() || args[1].is_null()) return Value::Null();
+    return Value::Bool(
+        LikeMatch(args[0].ToDisplayString(), args[1].ToDisplayString()));
+  }
+  if (f == "COALESCE" || f == "IFNULL") {
+    for (const Value& v : args) {
+      if (!v.is_null()) return v;
+    }
+    return Value::Null();
+  }
+  if (f == "ISNULL") {
+    if (args.size() != 1) return Status::InvalidArgument("ISNULL arity");
+    return Value::Bool(args[0].is_null());
+  }
+  if (f == "ABS") {
+    if (args.empty() || args[0].is_null()) return Value::Null();
+    if (args[0].type() == DataType::kInt) {
+      return Value::Int(std::llabs(args[0].AsInt()));
+    }
+    return Value::Double(std::fabs(args[0].AsDouble()));
+  }
+  if (f == "FLOOR") {
+    if (args.empty() || args[0].is_null()) return Value::Null();
+    return Value::Int(int64_t(std::floor(args[0].AsDouble())));
+  }
+  if (f == "CEIL" || f == "CEILING") {
+    if (args.empty() || args[0].is_null()) return Value::Null();
+    return Value::Int(int64_t(std::ceil(args[0].AsDouble())));
+  }
+  if (f == "MOD") {
+    if (args.size() != 2 || args[0].is_null() || args[1].is_null()) {
+      return Value::Null();
+    }
+    int64_t y = args[1].AsInt();
+    if (y == 0) return Value::Null();
+    return Value::Int(args[0].AsInt() % y);
+  }
+  if (f == "UPPER") {
+    if (args.empty() || args[0].is_null()) return Value::Null();
+    return Value::String(ToUpper(args[0].ToDisplayString()));
+  }
+  if (f == "LOWER") {
+    if (args.empty() || args[0].is_null()) return Value::Null();
+    return Value::String(ToLower(args[0].ToDisplayString()));
+  }
+  if (f == "LENGTH") {
+    if (args.empty() || args[0].is_null()) return Value::Null();
+    return Value::Int(int64_t(args[0].ToDisplayString().size()));
+  }
+  if (f == "SUBSTR" || f == "SUBSTRING") {
+    if (args.size() < 2 || args[0].is_null()) return Value::Null();
+    std::string s = args[0].ToDisplayString();
+    int64_t start = args[1].AsInt();  // 1-based
+    if (start < 1) start = 1;
+    size_t from = size_t(start - 1);
+    if (from >= s.size()) return Value::String("");
+    size_t len = args.size() > 2 ? size_t(std::max<int64_t>(0, args[2].AsInt()))
+                                 : std::string::npos;
+    return Value::String(s.substr(from, len));
+  }
+  // Nondeterministic functions: recorded/replayed via ExecContext (§4.4).
+  if (f == "NOW" || f == "CURTIME" || f == "CURRENT_TIMESTAMP" ||
+      f == "UNIX_TIMESTAMP") {
+    return ctx_->NextNondetValue(
+        [&] { return Value::Int(db_->NextTimestamp()); });
+  }
+  if (f == "RAND" || f == "RANDOM") {
+    return ctx_->NextNondetValue(
+        [&] { return Value::Double(db_->rng_.UniformDouble()); });
+  }
+  return Status::Unsupported("unknown function " + f);
+}
+
+bool Evaluator::ContainsAggregate(const Expr& e) {
+  if (e.kind == ExprKind::kFuncCall && IsAggregateFunction(e.func_name)) {
+    return true;
+  }
+  for (const auto& child : e.children) {
+    if (ContainsAggregate(*child)) return true;
+  }
+  return false;
+}
+
+Result<Evaluator::Source> Evaluator::MaterializeSource(const std::string& name,
+                                                       const std::string& alias,
+                                                       const RowScope* outer) {
+  Source src;
+  src.alias = alias.empty() ? name : alias;
+  if (const Table* table = db_->FindTable(name)) {
+    src.columns = SchemaColumnNames(table->schema());
+    src.rows.reserve(table->LiveRowCount());
+    table->Scan([&](RowId, const Row& row) {
+      src.rows.push_back(row);
+      return true;
+    });
+    return src;
+  }
+  if (const auto* view = db_->FindView(name)) {
+    UV_ASSIGN_OR_RETURN(ExecResult res, EvalSelect(**view, outer));
+    src.columns = std::move(res.column_names);
+    src.rows = std::move(res.rows);
+    return src;
+  }
+  return Status::NotFound("unknown table or view '" + name + "'");
+}
+
+Result<std::vector<RowId>> Evaluator::MatchRows(Table* table,
+                                                const ExprPtr& where,
+                                                const RowScope* outer) {
+  std::vector<std::string> columns = SchemaColumnNames(table->schema());
+  std::vector<RowId> candidates;
+  bool used_index = false;
+
+  // Index fast path: WHERE <col> = <expr-not-referencing-row> [AND ...].
+  if (where) {
+    const Expr* eq = where.get();
+    // Walk the left spine of ANDs looking for an indexable equality.
+    std::vector<const Expr*> stack = {eq};
+    while (!stack.empty() && !used_index) {
+      const Expr* cur = stack.back();
+      stack.pop_back();
+      if (cur->kind == ExprKind::kBinary && cur->binary_op == BinaryOp::kAnd) {
+        stack.push_back(cur->children[0].get());
+        stack.push_back(cur->children[1].get());
+        continue;
+      }
+      if (cur->kind == ExprKind::kBinary && cur->binary_op == BinaryOp::kEq) {
+        const Expr* lhs = cur->children[0].get();
+        const Expr* rhs = cur->children[1].get();
+        if (lhs->kind != ExprKind::kColumnRef) std::swap(lhs, rhs);
+        if (lhs->kind != ExprKind::kColumnRef) continue;
+        int col = table->schema().ColumnIndex(lhs->column);
+        if (col < 0 || !table->HasIndex(col)) continue;
+        // RHS must evaluate without the row scope (constants, vars, outer).
+        Result<Value> rv = Eval(*rhs, outer);
+        if (!rv.ok()) continue;
+        candidates = table->IndexLookup(col, *rv);
+        used_index = true;
+      }
+    }
+  }
+  if (!used_index) candidates = table->LiveRowIds();
+
+  if (!where) return candidates;
+  std::vector<RowId> out;
+  for (RowId id : candidates) {
+    if (!table->IsLive(id)) continue;
+    RowScope scope;
+    scope.parent = outer;
+    const Row& row = table->GetRow(id);
+    scope.bindings.push_back({table->schema().name, &columns, &row});
+    UV_ASSIGN_OR_RETURN(Value match, Eval(*where, &scope));
+    if (IsTruthy(match)) out.push_back(id);
+  }
+  return out;
+}
+
+Result<ExecResult> Evaluator::EvalSelect(const SelectStatement& sel,
+                                         const RowScope* outer) {
+  ExecResult result;
+
+  // Materialize sources (FROM + JOINs).
+  std::vector<Source> sources;
+  if (!sel.from_table.empty()) {
+    UV_ASSIGN_OR_RETURN(
+        Source s, MaterializeSource(sel.from_table, sel.from_alias, outer));
+    sources.push_back(std::move(s));
+    for (const auto& join : sel.joins) {
+      UV_ASSIGN_OR_RETURN(Source js,
+                          MaterializeSource(join.table, join.alias, outer));
+      sources.push_back(std::move(js));
+    }
+  }
+
+  // Expand * into column refs; derive output column names.
+  std::vector<SelectItem> items;
+  for (const auto& item : sel.items) {
+    if (item.expr->kind == ExprKind::kStar) {
+      for (const auto& src : sources) {
+        if (!item.expr->table.empty() &&
+            !EqualsIgnoreCase(item.expr->table, src.alias)) {
+          continue;
+        }
+        for (const auto& col : src.columns) {
+          SelectItem expanded;
+          expanded.expr = Expr::MakeColumn(src.alias, col);
+          expanded.alias = col;
+          items.push_back(std::move(expanded));
+        }
+      }
+    } else {
+      items.push_back(item);
+    }
+  }
+  for (const auto& item : items) {
+    if (!item.alias.empty()) {
+      result.column_names.push_back(item.alias);
+    } else {
+      result.column_names.push_back(ToSql(*item.expr));
+    }
+  }
+
+  // Enumerate joined tuples that satisfy ON + WHERE.
+  struct Tuple {
+    std::vector<const Row*> rows;
+  };
+  std::vector<Tuple> tuples;
+  {
+    Tuple current;
+    current.rows.resize(sources.size(), nullptr);
+    // Recursive nested-loop join.
+    auto make_scope = [&](size_t depth, RowScope* scope) {
+      scope->bindings.clear();
+      scope->parent = outer;
+      for (size_t i = 0; i < depth; ++i) {
+        scope->bindings.push_back(
+            {sources[i].alias, &sources[i].columns, current.rows[i]});
+      }
+    };
+    Status join_status = Status::OK();
+    auto recurse = [&](auto&& self, size_t depth) -> void {
+      if (!join_status.ok()) return;
+      if (depth == sources.size()) {
+        if (sel.where) {
+          RowScope scope;
+          make_scope(depth, &scope);
+          Result<Value> m = Eval(*sel.where, &scope);
+          if (!m.ok()) {
+            join_status = m.status();
+            return;
+          }
+          if (!IsTruthy(*m)) return;
+        }
+        tuples.push_back(current);
+        return;
+      }
+      for (const Row& row : sources[depth].rows) {
+        current.rows[depth] = &row;
+        if (depth > 0 && depth - 1 < sel.joins.size() &&
+            sel.joins[depth - 1].on) {
+          RowScope scope;
+          make_scope(depth + 1, &scope);
+          Result<Value> m = Eval(*sel.joins[depth - 1].on, &scope);
+          if (!m.ok()) {
+            join_status = m.status();
+            return;
+          }
+          if (!IsTruthy(*m)) continue;
+        }
+        self(self, depth + 1);
+      }
+    };
+    if (sources.empty()) {
+      // Table-less SELECT evaluates items once (WHERE still applies).
+      bool pass = true;
+      if (sel.where) {
+        UV_ASSIGN_OR_RETURN(Value m, Eval(*sel.where, outer));
+        pass = IsTruthy(m);
+      }
+      if (pass) tuples.push_back(current);
+    } else {
+      recurse(recurse, 0);
+      UV_RETURN_NOT_OK(join_status);
+    }
+  }
+
+  bool has_aggregate = !sel.group_by.empty();
+  for (const auto& item : items) {
+    if (ContainsAggregate(*item.expr)) has_aggregate = true;
+  }
+
+  // Sort keys computed alongside projection so ORDER BY can reference
+  // source columns that are not projected.
+  struct OutRow {
+    Row values;
+    Row sort_keys;
+  };
+  std::vector<OutRow> out_rows;
+
+  auto scope_for_tuple = [&](const Tuple& t, RowScope* scope) {
+    scope->bindings.clear();
+    scope->parent = outer;
+    for (size_t i = 0; i < sources.size(); ++i) {
+      scope->bindings.push_back(
+          {sources[i].alias, &sources[i].columns, t.rows[i]});
+    }
+  };
+
+  if (has_aggregate) {
+    // Group tuples by GROUP BY key (single group when no GROUP BY).
+    std::map<std::string, std::vector<const Tuple*>> groups;
+    for (const Tuple& t : tuples) {
+      RowScope scope;
+      scope_for_tuple(t, &scope);
+      std::string key;
+      for (const auto& g : sel.group_by) {
+        UV_ASSIGN_OR_RETURN(Value v, Eval(*g, &scope));
+        v.EncodeTo(&key);
+      }
+      groups[key].push_back(&t);
+    }
+    if (groups.empty() && sel.group_by.empty()) {
+      groups[""] = {};  // Aggregates over an empty input produce one row.
+    }
+    for (auto& [key, group_tuples] : groups) {
+      (void)key;
+      std::vector<RowScope> scopes(group_tuples.size());
+      std::vector<const RowScope*> scope_ptrs;
+      for (size_t i = 0; i < group_tuples.size(); ++i) {
+        scope_for_tuple(*group_tuples[i], &scopes[i]);
+        scope_ptrs.push_back(&scopes[i]);
+      }
+      const RowScope* rep = scope_ptrs.empty() ? outer : scope_ptrs[0];
+      if (sel.having) {
+        UV_ASSIGN_OR_RETURN(Value keep,
+                            EvalInGroup(*sel.having, scope_ptrs, rep));
+        if (!IsTruthy(keep)) continue;
+      }
+      OutRow out;
+      for (const auto& item : items) {
+        UV_ASSIGN_OR_RETURN(Value v, EvalInGroup(*item.expr, scope_ptrs, rep));
+        out.values.push_back(std::move(v));
+      }
+      for (const auto& ob : sel.order_by) {
+        UV_ASSIGN_OR_RETURN(Value v, EvalInGroup(*ob.expr, scope_ptrs, rep));
+        out.sort_keys.push_back(std::move(v));
+      }
+      out_rows.push_back(std::move(out));
+    }
+  } else {
+    for (const Tuple& t : tuples) {
+      RowScope scope;
+      scope_for_tuple(t, &scope);
+      OutRow out;
+      for (const auto& item : items) {
+        UV_ASSIGN_OR_RETURN(Value v, Eval(*item.expr, &scope));
+        out.values.push_back(std::move(v));
+      }
+      for (const auto& ob : sel.order_by) {
+        UV_ASSIGN_OR_RETURN(Value v, Eval(*ob.expr, &scope));
+        out.sort_keys.push_back(std::move(v));
+      }
+      out_rows.push_back(std::move(out));
+    }
+  }
+
+  if (!sel.order_by.empty()) {
+    std::stable_sort(out_rows.begin(), out_rows.end(),
+                     [&](const OutRow& a, const OutRow& b) {
+                       for (size_t i = 0; i < sel.order_by.size(); ++i) {
+                         int c = a.sort_keys[i].Compare(b.sort_keys[i]);
+                         if (c != 0) {
+                           return sel.order_by[i].descending ? c > 0 : c < 0;
+                         }
+                       }
+                       return false;
+                     });
+  }
+  if (sel.distinct) {
+    std::set<std::string> seen;
+    std::vector<OutRow> unique;
+    for (auto& row : out_rows) {
+      if (seen.insert(EncodeRow(row.values)).second) {
+        unique.push_back(std::move(row));
+      }
+    }
+    out_rows = std::move(unique);
+  }
+  if (sel.limit >= 0 && int64_t(out_rows.size()) > sel.limit) {
+    out_rows.resize(size_t(sel.limit));
+  }
+
+  result.rows.reserve(out_rows.size());
+  for (auto& r : out_rows) result.rows.push_back(std::move(r.values));
+
+  // SELECT ... INTO var(s): bind the first row (NULLs when empty).
+  if (!sel.into_vars.empty() && ctx_) {
+    for (size_t i = 0; i < sel.into_vars.size(); ++i) {
+      Value v = (!result.rows.empty() && i < result.rows[0].size())
+                    ? result.rows[0][i]
+                    : Value::Null();
+      ctx_->SetVar(sel.into_vars[i], std::move(v));
+    }
+  }
+  return result;
+}
+
+Result<Value> Evaluator::EvalInGroup(const Expr& e,
+                                     const std::vector<const RowScope*>& group,
+                                     const RowScope* representative) {
+  if (e.kind == ExprKind::kFuncCall && IsAggregateFunction(e.func_name)) {
+    const std::string& f = e.func_name;
+    if (f == "COUNT" && (e.star_arg || e.children.empty())) {
+      return Value::Int(int64_t(group.size()));
+    }
+    if (e.children.empty()) {
+      return Status::InvalidArgument(f + " requires an argument");
+    }
+    int64_t count = 0;
+    double sum = 0;
+    bool all_int = true;
+    Value min_v, max_v;
+    for (const RowScope* scope : group) {
+      UV_ASSIGN_OR_RETURN(Value v, Eval(*e.children[0], scope));
+      if (v.is_null()) continue;
+      ++count;
+      sum += v.AsDouble();
+      if (v.type() != DataType::kInt) all_int = false;
+      if (min_v.is_null() || v.Compare(min_v) < 0) min_v = v;
+      if (max_v.is_null() || v.Compare(max_v) > 0) max_v = v;
+    }
+    if (f == "COUNT") return Value::Int(count);
+    if (count == 0) return Value::Null();
+    if (f == "SUM") {
+      return all_int ? Value::Int(int64_t(std::llround(sum)))
+                     : Value::Double(sum);
+    }
+    if (f == "AVG") return Value::Double(sum / double(count));
+    if (f == "MIN") return min_v;
+    if (f == "MAX") return max_v;
+    return Status::Internal("unhandled aggregate");
+  }
+  if (!ContainsAggregate(e)) {
+    // Plain expression inside an aggregate query: evaluate against the
+    // representative row (MySQL-permissive semantics).
+    return Eval(e, representative);
+  }
+  // Mixed node: recurse, combining aggregate children.
+  Expr combined = e;
+  combined.children.clear();
+  std::vector<Value> child_values;
+  for (const auto& child : e.children) {
+    UV_ASSIGN_OR_RETURN(Value v, EvalInGroup(*child, group, representative));
+    combined.children.push_back(Expr::MakeLiteral(std::move(v)));
+  }
+  return Eval(combined, representative);
+}
+
+}  // namespace ultraverse::sql

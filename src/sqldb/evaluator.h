@@ -1,0 +1,75 @@
+#ifndef ULTRAVERSE_SQLDB_EVALUATOR_H_
+#define ULTRAVERSE_SQLDB_EVALUATOR_H_
+
+#include <string>
+#include <vector>
+
+#include "sqldb/ast.h"
+#include "sqldb/database.h"
+#include "util/status.h"
+
+namespace ultraverse::sql {
+
+/// Name scope for column references during row-at-a-time evaluation.
+/// Each binding exposes one row under an alias; unqualified names search
+/// bindings innermost-first, then the parent scope (correlated subqueries),
+/// then procedure variables in the ExecContext.
+struct RowScope {
+  struct Binding {
+    std::string alias;                       // table alias, "NEW", "OLD", ...
+    const std::vector<std::string>* columns;  // column names
+    const Row* row;
+  };
+  std::vector<Binding> bindings;
+  const RowScope* parent = nullptr;
+
+  /// Returns the value bound to (table, column); nullptr when unresolved.
+  const Value* Resolve(const std::string& table,
+                       const std::string& column) const;
+};
+
+/// Evaluates expressions and SELECT statements against a Database.
+/// One Evaluator is scoped to a single statement execution.
+class Evaluator {
+ public:
+  Evaluator(Database* db, ExecContext* ctx, uint64_t commit_index)
+      : db_(db), ctx_(ctx), commit_index_(commit_index) {}
+
+  Result<Value> Eval(const Expr& e, const RowScope* scope);
+
+  Result<ExecResult> EvalSelect(const SelectStatement& sel,
+                                const RowScope* outer);
+
+  /// Row ids of `table` matching `where` (index-accelerated when `where`
+  /// contains an equality on an indexed column). `where` may be null.
+  Result<std::vector<RowId>> MatchRows(Table* table, const ExprPtr& where,
+                                       const RowScope* outer);
+
+  /// SQL comparison with numeric coercion; NULL yields NULL (returned as
+  /// Value::Null). Exposed for reuse by IN-lists and the row-wise analyzer.
+  static Value CompareSql(const Value& a, const Value& b, BinaryOp op);
+
+ private:
+  struct Source {
+    std::string alias;
+    std::vector<std::string> columns;
+    std::vector<Row> rows;
+  };
+
+  Result<Source> MaterializeSource(const std::string& name,
+                                   const std::string& alias,
+                                   const RowScope* outer);
+  Result<Value> EvalFunc(const Expr& e, const RowScope* scope);
+  Result<Value> EvalInGroup(const Expr& e,
+                            const std::vector<const RowScope*>& group,
+                            const RowScope* representative);
+  static bool ContainsAggregate(const Expr& e);
+
+  Database* db_;
+  ExecContext* ctx_;
+  uint64_t commit_index_;
+};
+
+}  // namespace ultraverse::sql
+
+#endif  // ULTRAVERSE_SQLDB_EVALUATOR_H_

@@ -1,0 +1,146 @@
+#include "sqldb/lexer.h"
+
+#include <cctype>
+
+namespace ultraverse::sql {
+
+Result<std::vector<Token>> Lexer::Tokenize(const std::string& input) {
+  std::vector<Token> tokens;
+  size_t i = 0;
+  const size_t n = input.size();
+
+  auto peek = [&](size_t k) -> char { return i + k < n ? input[i + k] : '\0'; };
+
+  while (i < n) {
+    char c = input[i];
+    if (std::isspace(static_cast<unsigned char>(c))) {
+      ++i;
+      continue;
+    }
+    // Comments.
+    if (c == '-' && peek(1) == '-') {
+      while (i < n && input[i] != '\n') ++i;
+      continue;
+    }
+    if (c == '/' && peek(1) == '*') {
+      i += 2;
+      while (i + 1 < n && !(input[i] == '*' && input[i + 1] == '/')) ++i;
+      i = (i + 1 < n) ? i + 2 : n;
+      continue;
+    }
+
+    Token tok;
+    tok.offset = i;
+
+    if (std::isalpha(static_cast<unsigned char>(c)) || c == '_' || c == '`') {
+      bool quoted = (c == '`');
+      if (quoted) ++i;
+      size_t start = i;
+      while (i < n && (std::isalnum(static_cast<unsigned char>(input[i])) ||
+                       input[i] == '_')) {
+        ++i;
+      }
+      tok.type = TokenType::kIdentifier;
+      tok.text = input.substr(start, i - start);
+      if (quoted) {
+        if (i >= n || input[i] != '`') {
+          return Status::ParseError("unterminated `identifier`");
+        }
+        ++i;
+      }
+      tokens.push_back(std::move(tok));
+      continue;
+    }
+
+    if (std::isdigit(static_cast<unsigned char>(c)) ||
+        (c == '.' && std::isdigit(static_cast<unsigned char>(peek(1))))) {
+      size_t start = i;
+      bool is_double = false;
+      while (i < n && std::isdigit(static_cast<unsigned char>(input[i]))) ++i;
+      if (i < n && input[i] == '.') {
+        is_double = true;
+        ++i;
+        while (i < n && std::isdigit(static_cast<unsigned char>(input[i]))) ++i;
+      }
+      if (i < n && (input[i] == 'e' || input[i] == 'E')) {
+        is_double = true;
+        ++i;
+        if (i < n && (input[i] == '+' || input[i] == '-')) ++i;
+        while (i < n && std::isdigit(static_cast<unsigned char>(input[i]))) ++i;
+      }
+      tok.type = TokenType::kNumber;
+      tok.text = input.substr(start, i - start);
+      tok.is_double = is_double;
+      tokens.push_back(std::move(tok));
+      continue;
+    }
+
+    if (c == '\'' || c == '"') {
+      char quote = c;
+      ++i;
+      std::string s;
+      bool closed = false;
+      while (i < n) {
+        if (input[i] == quote) {
+          if (peek(1) == quote) {  // '' escape
+            s.push_back(quote);
+            i += 2;
+            continue;
+          }
+          ++i;
+          closed = true;
+          break;
+        }
+        if (input[i] == '\\' && i + 1 < n) {  // backslash escapes
+          char e = input[i + 1];
+          switch (e) {
+            case 'n': s.push_back('\n'); break;
+            case 't': s.push_back('\t'); break;
+            default: s.push_back(e);
+          }
+          i += 2;
+          continue;
+        }
+        s.push_back(input[i]);
+        ++i;
+      }
+      if (!closed) return Status::ParseError("unterminated string literal");
+      tok.type = TokenType::kString;
+      tok.text = std::move(s);
+      tokens.push_back(std::move(tok));
+      continue;
+    }
+
+    // Multi-char operators first.
+    auto two = [&](const char* op) {
+      tok.type = TokenType::kSymbol;
+      tok.text = op;
+      i += 2;
+      tokens.push_back(tok);
+    };
+    if (c == '!' && peek(1) == '=') { two("!="); continue; }
+    if (c == '<' && peek(1) == '>') { two("!="); continue; }
+    if (c == '<' && peek(1) == '=') { two("<="); continue; }
+    if (c == '>' && peek(1) == '=') { two(">="); continue; }
+
+    static const std::string kSingles = "(),.;*+-/%=<>:";
+    if (kSingles.find(c) != std::string::npos) {
+      tok.type = TokenType::kSymbol;
+      tok.text = std::string(1, c);
+      ++i;
+      tokens.push_back(std::move(tok));
+      continue;
+    }
+
+    return Status::ParseError(std::string("unexpected character '") + c +
+                              "' at offset " + std::to_string(i));
+  }
+
+  Token end;
+  end.type = TokenType::kEnd;
+  end.offset = n;
+  tokens.push_back(end);
+  return tokens;
+}
+
+}  // namespace ultraverse::sql

@@ -1,0 +1,36 @@
+#ifndef ULTRAVERSE_SQLDB_LEXER_H_
+#define ULTRAVERSE_SQLDB_LEXER_H_
+
+#include <string>
+#include <vector>
+
+#include "util/status.h"
+
+namespace ultraverse::sql {
+
+enum class TokenType {
+  kIdentifier,  // also keywords; parser matches case-insensitively
+  kNumber,      // integer or decimal literal
+  kString,      // single-quoted literal, unescaped
+  kSymbol,      // punctuation / operator, text holds the exact symbol
+  kEnd,
+};
+
+struct Token {
+  TokenType type = TokenType::kEnd;
+  std::string text;   // identifier spelled as written; symbol text; etc.
+  bool is_double = false;  // for kNumber: literal contained '.' or exponent
+  size_t offset = 0;  // byte offset in the input, for error messages
+};
+
+/// Tokenizes SQL text. Recognized symbols: ( ) , . ; * + - / % = != <> < <=
+/// > >= and quoted strings with '' escaping. Comments (-- and /* */) are
+/// skipped.
+class Lexer {
+ public:
+  static Result<std::vector<Token>> Tokenize(const std::string& input);
+};
+
+}  // namespace ultraverse::sql
+
+#endif  // ULTRAVERSE_SQLDB_LEXER_H_

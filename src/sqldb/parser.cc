@@ -1,0 +1,889 @@
+#include "sqldb/parser.h"
+
+#include <cstdlib>
+
+#include "util/string_util.h"
+
+namespace ultraverse::sql {
+
+namespace {
+Status UnexpectedToken(const Token& tok, const std::string& expected) {
+  std::string got = tok.type == TokenType::kEnd ? "<end>" : tok.text;
+  return Status::ParseError("expected " + expected + " but got '" + got +
+                            "' at offset " + std::to_string(tok.offset));
+}
+}  // namespace
+
+const Token& Parser::Peek(size_t k) const {
+  size_t idx = pos_ + k;
+  if (idx >= tokens_.size()) idx = tokens_.size() - 1;
+  return tokens_[idx];
+}
+
+Token Parser::Advance() {
+  Token t = Peek();
+  if (pos_ + 1 < tokens_.size()) ++pos_;
+  return t;
+}
+
+bool Parser::MatchSymbol(const std::string& sym) {
+  if (Peek().type == TokenType::kSymbol && Peek().text == sym) {
+    Advance();
+    return true;
+  }
+  return false;
+}
+
+bool Parser::PeekKeyword(const std::string& kw, size_t k) const {
+  const Token& t = Peek(k);
+  return t.type == TokenType::kIdentifier && EqualsIgnoreCase(t.text, kw);
+}
+
+bool Parser::MatchKeyword(const std::string& kw) {
+  if (PeekKeyword(kw)) {
+    Advance();
+    return true;
+  }
+  return false;
+}
+
+Status Parser::ExpectSymbol(const std::string& sym) {
+  if (!MatchSymbol(sym)) return UnexpectedToken(Peek(), "'" + sym + "'");
+  return Status::OK();
+}
+
+Status Parser::ExpectKeyword(const std::string& kw) {
+  if (!MatchKeyword(kw)) return UnexpectedToken(Peek(), kw);
+  return Status::OK();
+}
+
+Result<std::string> Parser::ExpectIdentifier() {
+  if (Peek().type != TokenType::kIdentifier) {
+    return UnexpectedToken(Peek(), "identifier");
+  }
+  return Advance().text;
+}
+
+Result<StatementPtr> Parser::ParseStatement(const std::string& sql) {
+  UV_ASSIGN_OR_RETURN(std::vector<Token> tokens, Lexer::Tokenize(sql));
+  Parser p(std::move(tokens));
+  UV_ASSIGN_OR_RETURN(StatementPtr stmt, p.ParseOneStatement());
+  p.MatchSymbol(";");
+  if (!p.AtEnd()) {
+    return UnexpectedToken(p.Peek(), "end of statement");
+  }
+  return stmt;
+}
+
+Result<std::vector<StatementPtr>> Parser::ParseScript(const std::string& sql) {
+  UV_ASSIGN_OR_RETURN(std::vector<Token> tokens, Lexer::Tokenize(sql));
+  Parser p(std::move(tokens));
+  std::vector<StatementPtr> out;
+  while (!p.AtEnd()) {
+    if (p.MatchSymbol(";")) continue;
+    UV_ASSIGN_OR_RETURN(StatementPtr stmt, p.ParseOneStatement());
+    out.push_back(std::move(stmt));
+  }
+  return out;
+}
+
+Result<ExprPtr> Parser::ParseExpression(const std::string& text) {
+  UV_ASSIGN_OR_RETURN(std::vector<Token> tokens, Lexer::Tokenize(text));
+  Parser p(std::move(tokens));
+  UV_ASSIGN_OR_RETURN(ExprPtr e, p.ParseExpr());
+  if (!p.AtEnd()) return UnexpectedToken(p.Peek(), "end of expression");
+  return e;
+}
+
+Result<StatementPtr> Parser::ParseOneStatement() {
+  if (PeekKeyword("CREATE") || PeekKeyword("DECLARE")) {
+    // "DECLARE PROCEDURE" appears in the paper's listings; accept it as a
+    // synonym for CREATE PROCEDURE.
+    return ParseCreate();
+  }
+  if (PeekKeyword("ALTER")) return ParseAlter();
+  if (PeekKeyword("DROP")) return ParseDrop();
+  if (PeekKeyword("TRUNCATE")) {
+    Advance();
+    MatchKeyword("TABLE");
+    UV_ASSIGN_OR_RETURN(std::string name, ExpectIdentifier());
+    auto s = Statement::Make(StatementKind::kTruncateTable);
+    s->truncate_table = std::move(name);
+    return s;
+  }
+  if (PeekKeyword("INSERT")) return ParseInsert();
+  if (PeekKeyword("UPDATE")) return ParseUpdate();
+  if (PeekKeyword("DELETE")) return ParseDelete();
+  if (PeekKeyword("SELECT")) return ParseSelectStmt();
+  if (PeekKeyword("CALL")) return ParseCall();
+  if (PeekKeyword("BEGIN") || PeekKeyword("START")) {
+    return ParseTransactionBlock();
+  }
+  return UnexpectedToken(Peek(), "statement keyword");
+}
+
+Result<StatementPtr> Parser::ParseCreate() {
+  Advance();  // CREATE or DECLARE
+  bool or_replace = false;
+  if (MatchKeyword("OR")) {
+    UV_RETURN_NOT_OK(ExpectKeyword("REPLACE"));
+    or_replace = true;
+  }
+  if (MatchKeyword("TABLE")) {
+    bool ine = false;
+    if (MatchKeyword("IF")) {
+      UV_RETURN_NOT_OK(ExpectKeyword("NOT"));
+      UV_RETURN_NOT_OK(ExpectKeyword("EXISTS"));
+      ine = true;
+    }
+    return ParseCreateTable(ine);
+  }
+  if (MatchKeyword("VIEW")) return ParseCreateView(or_replace);
+  if (MatchKeyword("INDEX") || (MatchKeyword("UNIQUE") && MatchKeyword("INDEX"))) {
+    return ParseCreateIndex();
+  }
+  if (MatchKeyword("PROCEDURE")) return ParseCreateProcedure();
+  if (MatchKeyword("TRIGGER")) return ParseCreateTrigger();
+  return UnexpectedToken(Peek(), "TABLE/VIEW/INDEX/PROCEDURE/TRIGGER");
+}
+
+Result<DataType> Parser::ParseDataType() {
+  UV_ASSIGN_OR_RETURN(std::string name, ExpectIdentifier());
+  std::string upper = ToUpper(name);
+  DataType type;
+  if (upper == "INT" || upper == "INTEGER" || upper == "BIGINT" ||
+      upper == "SMALLINT" || upper == "TINYINT") {
+    type = DataType::kInt;
+  } else if (upper == "DOUBLE" || upper == "FLOAT" || upper == "DECIMAL" ||
+             upper == "NUMERIC" || upper == "REAL") {
+    type = DataType::kDouble;
+  } else if (upper == "VARCHAR" || upper == "CHAR" || upper == "TEXT" ||
+             upper == "DATETIME" || upper == "TIMESTAMP" || upper == "DATE") {
+    type = DataType::kString;
+  } else if (upper == "BOOLEAN" || upper == "BOOL") {
+    type = DataType::kBool;
+  } else {
+    return Status::ParseError("unknown data type '" + name + "'");
+  }
+  // Optional (len[,scale]) suffix.
+  if (MatchSymbol("(")) {
+    while (Peek().type == TokenType::kNumber) Advance();
+    MatchSymbol(",");
+    while (Peek().type == TokenType::kNumber) Advance();
+    UV_RETURN_NOT_OK(ExpectSymbol(")"));
+  }
+  return type;
+}
+
+Result<StatementPtr> Parser::ParseCreateTable(bool if_not_exists) {
+  auto stmt = Statement::Make(StatementKind::kCreateTable);
+  stmt->create_table.if_not_exists = if_not_exists;
+  TableSchema& schema = stmt->create_table.schema;
+  UV_ASSIGN_OR_RETURN(schema.name, ExpectIdentifier());
+  UV_RETURN_NOT_OK(ExpectSymbol("("));
+  for (;;) {
+    if (PeekKeyword("PRIMARY")) {
+      Advance();
+      UV_RETURN_NOT_OK(ExpectKeyword("KEY"));
+      UV_RETURN_NOT_OK(ExpectSymbol("("));
+      for (;;) {
+        UV_ASSIGN_OR_RETURN(std::string col, ExpectIdentifier());
+        int idx = schema.ColumnIndex(col);
+        if (idx < 0) return Status::ParseError("PRIMARY KEY on unknown column");
+        schema.columns[idx].primary_key = true;
+        if (!MatchSymbol(",")) break;
+      }
+      UV_RETURN_NOT_OK(ExpectSymbol(")"));
+    } else if (PeekKeyword("FOREIGN")) {
+      Advance();
+      UV_RETURN_NOT_OK(ExpectKeyword("KEY"));
+      UV_RETURN_NOT_OK(ExpectSymbol("("));
+      ForeignKey fk;
+      UV_ASSIGN_OR_RETURN(fk.column, ExpectIdentifier());
+      UV_RETURN_NOT_OK(ExpectSymbol(")"));
+      UV_RETURN_NOT_OK(ExpectKeyword("REFERENCES"));
+      UV_ASSIGN_OR_RETURN(fk.ref_table, ExpectIdentifier());
+      UV_RETURN_NOT_OK(ExpectSymbol("("));
+      UV_ASSIGN_OR_RETURN(fk.ref_column, ExpectIdentifier());
+      UV_RETURN_NOT_OK(ExpectSymbol(")"));
+      schema.foreign_keys.push_back(std::move(fk));
+    } else {
+      ColumnDef col;
+      UV_ASSIGN_OR_RETURN(col.name, ExpectIdentifier());
+      UV_ASSIGN_OR_RETURN(col.type, ParseDataType());
+      for (;;) {
+        if (MatchKeyword("PRIMARY")) {
+          UV_RETURN_NOT_OK(ExpectKeyword("KEY"));
+          col.primary_key = true;
+        } else if (MatchKeyword("AUTO_INCREMENT")) {
+          col.auto_increment = true;
+        } else if (MatchKeyword("NOT")) {
+          UV_RETURN_NOT_OK(ExpectKeyword("NULL"));
+          col.not_null = true;
+        } else if (MatchKeyword("DEFAULT")) {
+          Advance();  // swallow the default literal (unused by the engine)
+        } else {
+          break;
+        }
+      }
+      schema.columns.push_back(std::move(col));
+    }
+    if (!MatchSymbol(",")) break;
+  }
+  UV_RETURN_NOT_OK(ExpectSymbol(")"));
+  return stmt;
+}
+
+Result<StatementPtr> Parser::ParseCreateView(bool or_replace) {
+  auto stmt = Statement::Make(StatementKind::kCreateView);
+  stmt->create_view.or_replace = or_replace;
+  UV_ASSIGN_OR_RETURN(stmt->create_view.name, ExpectIdentifier());
+  UV_RETURN_NOT_OK(ExpectKeyword("AS"));
+  UV_RETURN_NOT_OK(ExpectKeyword("SELECT"));
+  UV_ASSIGN_OR_RETURN(stmt->create_view.select, ParseSelectBody());
+  return stmt;
+}
+
+Result<StatementPtr> Parser::ParseCreateIndex() {
+  auto stmt = Statement::Make(StatementKind::kCreateIndex);
+  UV_ASSIGN_OR_RETURN(stmt->create_index.name, ExpectIdentifier());
+  UV_RETURN_NOT_OK(ExpectKeyword("ON"));
+  UV_ASSIGN_OR_RETURN(stmt->create_index.table, ExpectIdentifier());
+  UV_RETURN_NOT_OK(ExpectSymbol("("));
+  for (;;) {
+    UV_ASSIGN_OR_RETURN(std::string col, ExpectIdentifier());
+    stmt->create_index.columns.push_back(std::move(col));
+    if (!MatchSymbol(",")) break;
+  }
+  UV_RETURN_NOT_OK(ExpectSymbol(")"));
+  return stmt;
+}
+
+Result<StatementPtr> Parser::ParseCreateProcedure() {
+  auto stmt = Statement::Make(StatementKind::kCreateProcedure);
+  auto& proc = stmt->create_procedure;
+  UV_ASSIGN_OR_RETURN(proc.name, ExpectIdentifier());
+  UV_RETURN_NOT_OK(ExpectSymbol("("));
+  if (!MatchSymbol(")")) {
+    for (;;) {
+      ProcedureParam param;
+      if (MatchKeyword("IN")) {
+        param.is_out = false;
+      } else if (MatchKeyword("OUT")) {
+        param.is_out = true;
+      } else if (MatchKeyword("INOUT")) {
+        param.is_out = true;
+      }
+      UV_ASSIGN_OR_RETURN(param.name, ExpectIdentifier());
+      UV_ASSIGN_OR_RETURN(param.type, ParseDataType());
+      proc.params.push_back(std::move(param));
+      if (!MatchSymbol(",")) break;
+    }
+    UV_RETURN_NOT_OK(ExpectSymbol(")"));
+  }
+  // Optional label: `name_Label: BEGIN`.
+  if (Peek().type == TokenType::kIdentifier &&
+      Peek(1).type == TokenType::kSymbol && Peek(1).text == ":" ) {
+    Advance();
+    Advance();
+  }
+  UV_RETURN_NOT_OK(ExpectKeyword("BEGIN"));
+  UV_ASSIGN_OR_RETURN(proc.body, ParseProcBodyUntil({"END"}));
+  UV_RETURN_NOT_OK(ExpectKeyword("END"));
+  return stmt;
+}
+
+Result<StatementPtr> Parser::ParseCreateTrigger() {
+  auto stmt = Statement::Make(StatementKind::kCreateTrigger);
+  auto& trig = stmt->create_trigger;
+  UV_ASSIGN_OR_RETURN(trig.name, ExpectIdentifier());
+  if (MatchKeyword("AFTER")) {
+    trig.after = true;
+  } else if (MatchKeyword("BEFORE")) {
+    trig.after = false;
+  } else {
+    return UnexpectedToken(Peek(), "AFTER or BEFORE");
+  }
+  if (MatchKeyword("INSERT")) {
+    trig.event = TriggerEvent::kInsert;
+  } else if (MatchKeyword("UPDATE")) {
+    trig.event = TriggerEvent::kUpdate;
+  } else if (MatchKeyword("DELETE")) {
+    trig.event = TriggerEvent::kDelete;
+  } else {
+    return UnexpectedToken(Peek(), "INSERT/UPDATE/DELETE");
+  }
+  UV_RETURN_NOT_OK(ExpectKeyword("ON"));
+  UV_ASSIGN_OR_RETURN(trig.table, ExpectIdentifier());
+  UV_RETURN_NOT_OK(ExpectKeyword("FOR"));
+  UV_RETURN_NOT_OK(ExpectKeyword("EACH"));
+  UV_RETURN_NOT_OK(ExpectKeyword("ROW"));
+  if (MatchKeyword("BEGIN")) {
+    UV_ASSIGN_OR_RETURN(trig.body, ParseProcBodyUntil({"END"}));
+    UV_RETURN_NOT_OK(ExpectKeyword("END"));
+  } else {
+    UV_ASSIGN_OR_RETURN(StatementPtr body, ParseProcBodyStatement());
+    trig.body.push_back(std::move(body));
+  }
+  return stmt;
+}
+
+Result<StatementPtr> Parser::ParseAlter() {
+  Advance();  // ALTER
+  UV_RETURN_NOT_OK(ExpectKeyword("TABLE"));
+  auto stmt = Statement::Make(StatementKind::kAlterTable);
+  UV_ASSIGN_OR_RETURN(stmt->alter_table.table, ExpectIdentifier());
+  if (MatchKeyword("ADD")) {
+    MatchKeyword("COLUMN");
+    stmt->alter_table.action = AlterAction::kAddColumn;
+    UV_ASSIGN_OR_RETURN(stmt->alter_table.add_column.name, ExpectIdentifier());
+    UV_ASSIGN_OR_RETURN(stmt->alter_table.add_column.type, ParseDataType());
+    return stmt;
+  }
+  if (MatchKeyword("DROP")) {
+    MatchKeyword("COLUMN");
+    stmt->alter_table.action = AlterAction::kDropColumn;
+    UV_ASSIGN_OR_RETURN(stmt->alter_table.drop_column, ExpectIdentifier());
+    return stmt;
+  }
+  return UnexpectedToken(Peek(), "ADD or DROP");
+}
+
+Result<StatementPtr> Parser::ParseDrop() {
+  Advance();  // DROP
+  StatementKind kind;
+  if (MatchKeyword("TABLE")) {
+    kind = StatementKind::kDropTable;
+  } else if (MatchKeyword("VIEW")) {
+    kind = StatementKind::kDropView;
+  } else if (MatchKeyword("PROCEDURE")) {
+    kind = StatementKind::kDropProcedure;
+  } else if (MatchKeyword("TRIGGER")) {
+    kind = StatementKind::kDropTrigger;
+  } else {
+    return UnexpectedToken(Peek(), "TABLE/VIEW/PROCEDURE/TRIGGER");
+  }
+  auto stmt = Statement::Make(kind);
+  if (MatchKeyword("IF")) {
+    UV_RETURN_NOT_OK(ExpectKeyword("EXISTS"));
+    stmt->drop_if_exists = true;
+  }
+  UV_ASSIGN_OR_RETURN(stmt->drop_name, ExpectIdentifier());
+  return stmt;
+}
+
+Result<StatementPtr> Parser::ParseInsert() {
+  Advance();  // INSERT
+  UV_RETURN_NOT_OK(ExpectKeyword("INTO"));
+  auto stmt = Statement::Make(StatementKind::kInsert);
+  UV_ASSIGN_OR_RETURN(stmt->insert.table, ExpectIdentifier());
+  if (MatchSymbol("(")) {
+    for (;;) {
+      UV_ASSIGN_OR_RETURN(std::string col, ExpectIdentifier());
+      stmt->insert.columns.push_back(std::move(col));
+      if (!MatchSymbol(",")) break;
+    }
+    UV_RETURN_NOT_OK(ExpectSymbol(")"));
+  }
+  if (MatchKeyword("VALUES") || MatchKeyword("VALUE")) {
+    for (;;) {
+      UV_RETURN_NOT_OK(ExpectSymbol("("));
+      std::vector<ExprPtr> row;
+      if (!MatchSymbol(")")) {
+        for (;;) {
+          UV_ASSIGN_OR_RETURN(ExprPtr e, ParseExpr());
+          row.push_back(std::move(e));
+          if (!MatchSymbol(",")) break;
+        }
+        UV_RETURN_NOT_OK(ExpectSymbol(")"));
+      }
+      stmt->insert.rows.push_back(std::move(row));
+      if (!MatchSymbol(",")) break;
+    }
+    return stmt;
+  }
+  if (MatchKeyword("SELECT")) {
+    UV_ASSIGN_OR_RETURN(stmt->insert.select, ParseSelectBody());
+    return stmt;
+  }
+  return UnexpectedToken(Peek(), "VALUES or SELECT");
+}
+
+Result<StatementPtr> Parser::ParseUpdate() {
+  Advance();  // UPDATE
+  auto stmt = Statement::Make(StatementKind::kUpdate);
+  UV_ASSIGN_OR_RETURN(stmt->update.table, ExpectIdentifier());
+  UV_RETURN_NOT_OK(ExpectKeyword("SET"));
+  for (;;) {
+    UV_ASSIGN_OR_RETURN(std::string col, ExpectIdentifier());
+    UV_RETURN_NOT_OK(ExpectSymbol("="));
+    UV_ASSIGN_OR_RETURN(ExprPtr e, ParseExpr());
+    stmt->update.assignments.emplace_back(std::move(col), std::move(e));
+    if (!MatchSymbol(",")) break;
+  }
+  if (MatchKeyword("WHERE")) {
+    UV_ASSIGN_OR_RETURN(stmt->update.where, ParseExpr());
+  }
+  return stmt;
+}
+
+Result<StatementPtr> Parser::ParseDelete() {
+  Advance();  // DELETE
+  MatchKeyword("FROM");
+  auto stmt = Statement::Make(StatementKind::kDelete);
+  UV_ASSIGN_OR_RETURN(stmt->del.table, ExpectIdentifier());
+  if (MatchKeyword("WHERE")) {
+    UV_ASSIGN_OR_RETURN(stmt->del.where, ParseExpr());
+  }
+  return stmt;
+}
+
+Result<StatementPtr> Parser::ParseSelectStmt() {
+  Advance();  // SELECT
+  auto stmt = Statement::Make(StatementKind::kSelect);
+  UV_ASSIGN_OR_RETURN(stmt->select, ParseSelectBody());
+  return stmt;
+}
+
+Result<std::shared_ptr<SelectStatement>> Parser::ParseSelectBody() {
+  auto sel = std::make_shared<SelectStatement>();
+  sel->distinct = MatchKeyword("DISTINCT");
+  // Select items.
+  for (;;) {
+    SelectItem item;
+    if (MatchSymbol("*")) {
+      item.expr = Expr::MakeStar();
+    } else {
+      UV_ASSIGN_OR_RETURN(item.expr, ParseExpr());
+      if (MatchKeyword("AS")) {
+        UV_ASSIGN_OR_RETURN(item.alias, ExpectIdentifier());
+      } else if (Peek().type == TokenType::kIdentifier &&
+                 !PeekKeyword("FROM") && !PeekKeyword("INTO") &&
+                 !PeekKeyword("WHERE") && !PeekKeyword("GROUP") &&
+                 !PeekKeyword("ORDER") && !PeekKeyword("LIMIT") &&
+                 !PeekKeyword("JOIN")) {
+        item.alias = Advance().text;  // bare alias
+      }
+    }
+    sel->items.push_back(std::move(item));
+    if (!MatchSymbol(",")) break;
+  }
+  // MySQL-style SELECT ... INTO var before FROM.
+  if (MatchKeyword("INTO")) {
+    for (;;) {
+      UV_ASSIGN_OR_RETURN(std::string v, ExpectIdentifier());
+      sel->into_vars.push_back(std::move(v));
+      if (!MatchSymbol(",")) break;
+    }
+  }
+  if (MatchKeyword("FROM")) {
+    UV_ASSIGN_OR_RETURN(sel->from_table, ExpectIdentifier());
+    if (MatchKeyword("AS")) {
+      UV_ASSIGN_OR_RETURN(sel->from_alias, ExpectIdentifier());
+    } else if (Peek().type == TokenType::kIdentifier && !PeekKeyword("JOIN") &&
+               !PeekKeyword("INNER") && !PeekKeyword("WHERE") &&
+               !PeekKeyword("GROUP") && !PeekKeyword("ORDER") &&
+               !PeekKeyword("LIMIT") && !PeekKeyword("INTO")) {
+      sel->from_alias = Advance().text;
+    }
+    while (PeekKeyword("JOIN") || PeekKeyword("INNER")) {
+      MatchKeyword("INNER");
+      UV_RETURN_NOT_OK(ExpectKeyword("JOIN"));
+      JoinClause join;
+      UV_ASSIGN_OR_RETURN(join.table, ExpectIdentifier());
+      if (MatchKeyword("AS")) {
+        UV_ASSIGN_OR_RETURN(join.alias, ExpectIdentifier());
+      } else if (Peek().type == TokenType::kIdentifier && !PeekKeyword("ON")) {
+        join.alias = Advance().text;
+      }
+      UV_RETURN_NOT_OK(ExpectKeyword("ON"));
+      UV_ASSIGN_OR_RETURN(join.on, ParseExpr());
+      sel->joins.push_back(std::move(join));
+    }
+  }
+  if (MatchKeyword("WHERE")) {
+    UV_ASSIGN_OR_RETURN(sel->where, ParseExpr());
+  }
+  if (MatchKeyword("GROUP")) {
+    UV_RETURN_NOT_OK(ExpectKeyword("BY"));
+    for (;;) {
+      UV_ASSIGN_OR_RETURN(ExprPtr e, ParseExpr());
+      sel->group_by.push_back(std::move(e));
+      if (!MatchSymbol(",")) break;
+    }
+  }
+  if (MatchKeyword("HAVING")) {
+    UV_ASSIGN_OR_RETURN(sel->having, ParseExpr());
+  }
+  if (MatchKeyword("ORDER")) {
+    UV_RETURN_NOT_OK(ExpectKeyword("BY"));
+    for (;;) {
+      OrderByItem item;
+      UV_ASSIGN_OR_RETURN(item.expr, ParseExpr());
+      if (MatchKeyword("DESC")) {
+        item.descending = true;
+      } else {
+        MatchKeyword("ASC");
+      }
+      sel->order_by.push_back(std::move(item));
+      if (!MatchSymbol(",")) break;
+    }
+  }
+  if (MatchKeyword("LIMIT")) {
+    if (Peek().type != TokenType::kNumber) {
+      return UnexpectedToken(Peek(), "LIMIT count");
+    }
+    sel->limit = std::strtoll(Advance().text.c_str(), nullptr, 10);
+  }
+  // Standard SQL SELECT ... INTO after everything (also accepted).
+  if (MatchKeyword("INTO")) {
+    for (;;) {
+      UV_ASSIGN_OR_RETURN(std::string v, ExpectIdentifier());
+      sel->into_vars.push_back(std::move(v));
+      if (!MatchSymbol(",")) break;
+    }
+  }
+  return sel;
+}
+
+Result<StatementPtr> Parser::ParseCall() {
+  Advance();  // CALL
+  auto stmt = Statement::Make(StatementKind::kCall);
+  UV_ASSIGN_OR_RETURN(stmt->call.procedure, ExpectIdentifier());
+  if (MatchSymbol("(")) {
+    if (!MatchSymbol(")")) {
+      for (;;) {
+        UV_ASSIGN_OR_RETURN(ExprPtr e, ParseExpr());
+        stmt->call.args.push_back(std::move(e));
+        if (!MatchSymbol(",")) break;
+      }
+      UV_RETURN_NOT_OK(ExpectSymbol(")"));
+    }
+  }
+  return stmt;
+}
+
+Result<StatementPtr> Parser::ParseTransactionBlock() {
+  if (MatchKeyword("START")) {
+    UV_RETURN_NOT_OK(ExpectKeyword("TRANSACTION"));
+  } else {
+    UV_RETURN_NOT_OK(ExpectKeyword("BEGIN"));
+  }
+  MatchSymbol(";");
+  auto stmt = Statement::Make(StatementKind::kTransaction);
+  while (!PeekKeyword("COMMIT")) {
+    if (AtEnd()) return Status::ParseError("transaction missing COMMIT");
+    UV_ASSIGN_OR_RETURN(StatementPtr inner, ParseOneStatement());
+    stmt->transaction.statements.push_back(std::move(inner));
+    MatchSymbol(";");
+  }
+  UV_RETURN_NOT_OK(ExpectKeyword("COMMIT"));
+  return stmt;
+}
+
+Result<std::vector<StatementPtr>> Parser::ParseProcBodyUntil(
+    const std::vector<std::string>& terminators) {
+  std::vector<StatementPtr> body;
+  for (;;) {
+    if (AtEnd()) return Status::ParseError("unterminated procedure body");
+    bool done = false;
+    for (const auto& term : terminators) {
+      if (PeekKeyword(term)) {
+        done = true;
+        break;
+      }
+    }
+    if (done) break;
+    if (MatchSymbol(";")) continue;
+    UV_ASSIGN_OR_RETURN(StatementPtr stmt, ParseProcBodyStatement());
+    body.push_back(std::move(stmt));
+  }
+  return body;
+}
+
+Result<StatementPtr> Parser::ParseProcBodyStatement() {
+  if (PeekKeyword("DECLARE")) {
+    // Distinguish DECLARE var TYPE from DECLARE PROCEDURE (top-level only).
+    Advance();
+    auto stmt = Statement::Make(StatementKind::kDeclareVar);
+    UV_ASSIGN_OR_RETURN(stmt->declare_var.name, ExpectIdentifier());
+    UV_ASSIGN_OR_RETURN(stmt->declare_var.type, ParseDataType());
+    if (MatchKeyword("DEFAULT")) {
+      UV_ASSIGN_OR_RETURN(stmt->declare_var.init, ParseExpr());
+    }
+    return stmt;
+  }
+  if (PeekKeyword("SET")) {
+    Advance();
+    auto stmt = Statement::Make(StatementKind::kSetVar);
+    UV_ASSIGN_OR_RETURN(stmt->set_var.name, ExpectIdentifier());
+    UV_RETURN_NOT_OK(ExpectSymbol("="));
+    UV_ASSIGN_OR_RETURN(stmt->set_var.value, ParseExpr());
+    return stmt;
+  }
+  if (PeekKeyword("IF")) {
+    Advance();
+    auto stmt = Statement::Make(StatementKind::kIf);
+    for (;;) {
+      IfBranch branch;
+      UV_ASSIGN_OR_RETURN(branch.condition, ParseExpr());
+      UV_RETURN_NOT_OK(ExpectKeyword("THEN"));
+      UV_ASSIGN_OR_RETURN(branch.body,
+                          ParseProcBodyUntil({"ELSEIF", "ELIF", "ELSE", "END"}));
+      stmt->if_stmt.branches.push_back(std::move(branch));
+      if (MatchKeyword("ELSEIF") || MatchKeyword("ELIF")) continue;
+      break;
+    }
+    if (MatchKeyword("ELSE")) {
+      IfBranch els;
+      UV_ASSIGN_OR_RETURN(els.body, ParseProcBodyUntil({"END"}));
+      stmt->if_stmt.branches.push_back(std::move(els));
+    }
+    UV_RETURN_NOT_OK(ExpectKeyword("END"));
+    UV_RETURN_NOT_OK(ExpectKeyword("IF"));
+    return stmt;
+  }
+  if (PeekKeyword("WHILE")) {
+    Advance();
+    auto stmt = Statement::Make(StatementKind::kWhile);
+    UV_ASSIGN_OR_RETURN(stmt->while_stmt.condition, ParseExpr());
+    UV_RETURN_NOT_OK(ExpectKeyword("DO"));
+    UV_ASSIGN_OR_RETURN(stmt->while_stmt.body, ParseProcBodyUntil({"END"}));
+    UV_RETURN_NOT_OK(ExpectKeyword("END"));
+    UV_RETURN_NOT_OK(ExpectKeyword("WHILE"));
+    return stmt;
+  }
+  if (PeekKeyword("LEAVE")) {
+    Advance();
+    auto stmt = Statement::Make(StatementKind::kLeave);
+    if (Peek().type == TokenType::kIdentifier) {
+      stmt->leave_label = Advance().text;
+    }
+    return stmt;
+  }
+  if (PeekKeyword("SIGNAL")) {
+    Advance();
+    UV_RETURN_NOT_OK(ExpectKeyword("SQLSTATE"));
+    auto stmt = Statement::Make(StatementKind::kSignal);
+    if (Peek().type != TokenType::kString) {
+      return UnexpectedToken(Peek(), "SQLSTATE string");
+    }
+    stmt->signal.sqlstate = Advance().text;
+    if (MatchKeyword("SET")) {
+      UV_RETURN_NOT_OK(ExpectKeyword("MESSAGE_TEXT"));
+      UV_RETURN_NOT_OK(ExpectSymbol("="));
+      if (Peek().type != TokenType::kString) {
+        return UnexpectedToken(Peek(), "message string");
+      }
+      stmt->signal.message = Advance().text;
+    }
+    return stmt;
+  }
+  return ParseOneStatement();
+}
+
+// ---------------------------------------------------------------------------
+// Expressions
+// ---------------------------------------------------------------------------
+
+Result<ExprPtr> Parser::ParseExpr() {
+  UV_ASSIGN_OR_RETURN(ExprPtr lhs, ParseAnd());
+  while (PeekKeyword("OR")) {
+    Advance();
+    UV_ASSIGN_OR_RETURN(ExprPtr rhs, ParseAnd());
+    lhs = Expr::MakeBinary(BinaryOp::kOr, std::move(lhs), std::move(rhs));
+  }
+  return lhs;
+}
+
+Result<ExprPtr> Parser::ParseAnd() {
+  UV_ASSIGN_OR_RETURN(ExprPtr lhs, ParseNot());
+  while (PeekKeyword("AND")) {
+    Advance();
+    UV_ASSIGN_OR_RETURN(ExprPtr rhs, ParseNot());
+    lhs = Expr::MakeBinary(BinaryOp::kAnd, std::move(lhs), std::move(rhs));
+  }
+  return lhs;
+}
+
+Result<ExprPtr> Parser::ParseNot() {
+  if (MatchKeyword("NOT")) {
+    UV_ASSIGN_OR_RETURN(ExprPtr child, ParseNot());
+    return Expr::MakeUnary(UnaryOp::kNot, std::move(child));
+  }
+  return ParseComparison();
+}
+
+Result<ExprPtr> Parser::ParseComparison() {
+  UV_ASSIGN_OR_RETURN(ExprPtr lhs, ParseAdditive());
+  if (Peek().type == TokenType::kSymbol) {
+    const std::string& sym = Peek().text;
+    BinaryOp op;
+    bool matched = true;
+    if (sym == "=") op = BinaryOp::kEq;
+    else if (sym == "!=") op = BinaryOp::kNe;
+    else if (sym == "<") op = BinaryOp::kLt;
+    else if (sym == "<=") op = BinaryOp::kLe;
+    else if (sym == ">") op = BinaryOp::kGt;
+    else if (sym == ">=") op = BinaryOp::kGe;
+    else matched = false;
+    if (matched) {
+      Advance();
+      UV_ASSIGN_OR_RETURN(ExprPtr rhs, ParseAdditive());
+      return Expr::MakeBinary(op, std::move(lhs), std::move(rhs));
+    }
+  }
+  if (PeekKeyword("IS")) {
+    Advance();
+    bool negate = MatchKeyword("NOT");
+    UV_RETURN_NOT_OK(ExpectKeyword("NULL"));
+    ExprPtr isnull = Expr::MakeFunc("ISNULL", {std::move(lhs)});
+    if (negate) return Expr::MakeUnary(UnaryOp::kNot, std::move(isnull));
+    return isnull;
+  }
+  if (PeekKeyword("BETWEEN")) {
+    Advance();
+    UV_ASSIGN_OR_RETURN(ExprPtr lo, ParseAdditive());
+    UV_RETURN_NOT_OK(ExpectKeyword("AND"));
+    UV_ASSIGN_OR_RETURN(ExprPtr hi, ParseAdditive());
+    // Desugars to lhs >= lo AND lhs <= hi.
+    return Expr::MakeBinary(
+        BinaryOp::kAnd, Expr::MakeBinary(BinaryOp::kGe, lhs, std::move(lo)),
+        Expr::MakeBinary(BinaryOp::kLe, lhs, std::move(hi)));
+  }
+  if (PeekKeyword("LIKE") || (PeekKeyword("NOT") && PeekKeyword("LIKE", 1))) {
+    bool negate = MatchKeyword("NOT");
+    UV_RETURN_NOT_OK(ExpectKeyword("LIKE"));
+    UV_ASSIGN_OR_RETURN(ExprPtr pattern, ParseAdditive());
+    ExprPtr like =
+        Expr::MakeFunc("LIKE", {std::move(lhs), std::move(pattern)});
+    if (negate) return Expr::MakeUnary(UnaryOp::kNot, std::move(like));
+    return like;
+  }
+  if (PeekKeyword("IN") || (PeekKeyword("NOT") && PeekKeyword("IN", 1))) {
+    bool negate = MatchKeyword("NOT");
+    UV_RETURN_NOT_OK(ExpectKeyword("IN"));
+    UV_RETURN_NOT_OK(ExpectSymbol("("));
+    std::vector<ExprPtr> list;
+    for (;;) {
+      UV_ASSIGN_OR_RETURN(ExprPtr e, ParseExpr());
+      list.push_back(std::move(e));
+      if (!MatchSymbol(",")) break;
+    }
+    UV_RETURN_NOT_OK(ExpectSymbol(")"));
+    ExprPtr in = Expr::MakeInList(std::move(lhs), std::move(list));
+    if (negate) return Expr::MakeUnary(UnaryOp::kNot, std::move(in));
+    return in;
+  }
+  return lhs;
+}
+
+Result<ExprPtr> Parser::ParseAdditive() {
+  UV_ASSIGN_OR_RETURN(ExprPtr lhs, ParseMultiplicative());
+  for (;;) {
+    if (MatchSymbol("+")) {
+      UV_ASSIGN_OR_RETURN(ExprPtr rhs, ParseMultiplicative());
+      lhs = Expr::MakeBinary(BinaryOp::kAdd, std::move(lhs), std::move(rhs));
+    } else if (MatchSymbol("-")) {
+      UV_ASSIGN_OR_RETURN(ExprPtr rhs, ParseMultiplicative());
+      lhs = Expr::MakeBinary(BinaryOp::kSub, std::move(lhs), std::move(rhs));
+    } else {
+      return lhs;
+    }
+  }
+}
+
+Result<ExprPtr> Parser::ParseMultiplicative() {
+  UV_ASSIGN_OR_RETURN(ExprPtr lhs, ParseUnary());
+  for (;;) {
+    if (MatchSymbol("*")) {
+      UV_ASSIGN_OR_RETURN(ExprPtr rhs, ParseUnary());
+      lhs = Expr::MakeBinary(BinaryOp::kMul, std::move(lhs), std::move(rhs));
+    } else if (MatchSymbol("/")) {
+      UV_ASSIGN_OR_RETURN(ExprPtr rhs, ParseUnary());
+      lhs = Expr::MakeBinary(BinaryOp::kDiv, std::move(lhs), std::move(rhs));
+    } else if (MatchSymbol("%")) {
+      UV_ASSIGN_OR_RETURN(ExprPtr rhs, ParseUnary());
+      lhs = Expr::MakeBinary(BinaryOp::kMod, std::move(lhs), std::move(rhs));
+    } else {
+      return lhs;
+    }
+  }
+}
+
+Result<ExprPtr> Parser::ParseUnary() {
+  if (MatchSymbol("-")) {
+    UV_ASSIGN_OR_RETURN(ExprPtr child, ParseUnary());
+    return Expr::MakeUnary(UnaryOp::kNeg, std::move(child));
+  }
+  return ParsePrimary();
+}
+
+Result<ExprPtr> Parser::ParsePrimary() {
+  const Token& tok = Peek();
+  if (tok.type == TokenType::kNumber) {
+    Token t = Advance();
+    if (t.is_double) {
+      return Expr::MakeLiteral(Value::Double(std::strtod(t.text.c_str(), nullptr)));
+    }
+    return Expr::MakeLiteral(
+        Value::Int(std::strtoll(t.text.c_str(), nullptr, 10)));
+  }
+  if (tok.type == TokenType::kString) {
+    return Expr::MakeLiteral(Value::String(Advance().text));
+  }
+  if (tok.type == TokenType::kSymbol && tok.text == "(") {
+    Advance();
+    if (PeekKeyword("SELECT")) {
+      Advance();
+      UV_ASSIGN_OR_RETURN(auto sel, ParseSelectBody());
+      UV_RETURN_NOT_OK(ExpectSymbol(")"));
+      return Expr::MakeSubquery(std::move(sel));
+    }
+    UV_ASSIGN_OR_RETURN(ExprPtr e, ParseExpr());
+    UV_RETURN_NOT_OK(ExpectSymbol(")"));
+    return e;
+  }
+  if (tok.type == TokenType::kIdentifier) {
+    if (MatchKeyword("NULL")) return Expr::MakeLiteral(Value::Null());
+    if (MatchKeyword("TRUE")) return Expr::MakeLiteral(Value::Bool(true));
+    if (MatchKeyword("FALSE")) return Expr::MakeLiteral(Value::Bool(false));
+
+    std::string name = Advance().text;
+    if (MatchSymbol("(")) {  // function call
+      std::vector<ExprPtr> args;
+      bool star = false;
+      if (MatchSymbol("*")) {
+        star = true;
+        UV_RETURN_NOT_OK(ExpectSymbol(")"));
+      } else if (!MatchSymbol(")")) {
+        for (;;) {
+          UV_ASSIGN_OR_RETURN(ExprPtr e, ParseExpr());
+          args.push_back(std::move(e));
+          if (!MatchSymbol(",")) break;
+        }
+        UV_RETURN_NOT_OK(ExpectSymbol(")"));
+      }
+      return Expr::MakeFunc(ToUpper(name), std::move(args), star);
+    }
+    if (MatchSymbol(".")) {  // table.column
+      if (MatchSymbol("*")) {
+        // table.* — treated like bare * scoped to the table.
+        auto e = Expr::MakeStar();
+        e->table = name;
+        return e;
+      }
+      UV_ASSIGN_OR_RETURN(std::string col, ExpectIdentifier());
+      return Expr::MakeColumn(std::move(name), std::move(col));
+    }
+    return Expr::MakeColumn("", std::move(name));
+  }
+  return UnexpectedToken(tok, "expression");
+}
+
+bool IsAggregateFunction(const std::string& upper_name) {
+  return upper_name == "COUNT" || upper_name == "SUM" || upper_name == "MIN" ||
+         upper_name == "MAX" || upper_name == "AVG";
+}
+
+}  // namespace ultraverse::sql

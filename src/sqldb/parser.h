@@ -1,0 +1,78 @@
+#ifndef ULTRAVERSE_SQLDB_PARSER_H_
+#define ULTRAVERSE_SQLDB_PARSER_H_
+
+#include <string>
+#include <vector>
+
+#include "sqldb/ast.h"
+#include "sqldb/lexer.h"
+#include "util/status.h"
+
+namespace ultraverse::sql {
+
+/// Recursive-descent parser for the SQL dialect the engine supports (a
+/// MySQL-flavored subset: DDL, DML, views, indexes, procedures with control
+/// flow, triggers, transactions, SIGNAL). Statements are ';'-separated.
+class Parser {
+ public:
+  /// Parses exactly one statement (a trailing ';' is allowed).
+  static Result<StatementPtr> ParseStatement(const std::string& sql);
+
+  /// Parses a ';'-separated script into a statement list.
+  static Result<std::vector<StatementPtr>> ParseScript(const std::string& sql);
+
+  /// Parses a standalone expression (used by tests and the transpiler).
+  static Result<ExprPtr> ParseExpression(const std::string& text);
+
+ private:
+  explicit Parser(std::vector<Token> tokens) : tokens_(std::move(tokens)) {}
+
+  const Token& Peek(size_t k = 0) const;
+  bool AtEnd() const { return Peek().type == TokenType::kEnd; }
+  Token Advance();
+  bool MatchSymbol(const std::string& sym);
+  bool MatchKeyword(const std::string& kw);
+  bool PeekKeyword(const std::string& kw, size_t k = 0) const;
+  Status ExpectSymbol(const std::string& sym);
+  Status ExpectKeyword(const std::string& kw);
+  Result<std::string> ExpectIdentifier();
+
+  Result<StatementPtr> ParseOneStatement();
+  Result<StatementPtr> ParseCreate();
+  Result<StatementPtr> ParseCreateTable(bool if_not_exists);
+  Result<StatementPtr> ParseCreateView(bool or_replace);
+  Result<StatementPtr> ParseCreateIndex();
+  Result<StatementPtr> ParseCreateProcedure();
+  Result<StatementPtr> ParseCreateTrigger();
+  Result<StatementPtr> ParseAlter();
+  Result<StatementPtr> ParseDrop();
+  Result<StatementPtr> ParseInsert();
+  Result<StatementPtr> ParseUpdate();
+  Result<StatementPtr> ParseDelete();
+  Result<StatementPtr> ParseSelectStmt();
+  Result<StatementPtr> ParseCall();
+  Result<StatementPtr> ParseTransactionBlock();
+  Result<StatementPtr> ParseProcBodyStatement();
+  Result<std::vector<StatementPtr>> ParseProcBodyUntil(
+      const std::vector<std::string>& terminators);
+
+  Result<std::shared_ptr<SelectStatement>> ParseSelectBody();
+  Result<DataType> ParseDataType();
+
+  // Expression precedence climbing.
+  Result<ExprPtr> ParseExpr();        // OR
+  Result<ExprPtr> ParseAnd();
+  Result<ExprPtr> ParseNot();
+  Result<ExprPtr> ParseComparison();
+  Result<ExprPtr> ParseAdditive();
+  Result<ExprPtr> ParseMultiplicative();
+  Result<ExprPtr> ParseUnary();
+  Result<ExprPtr> ParsePrimary();
+
+  std::vector<Token> tokens_;
+  size_t pos_ = 0;
+};
+
+}  // namespace ultraverse::sql
+
+#endif  // ULTRAVERSE_SQLDB_PARSER_H_

@@ -1,0 +1,440 @@
+#include <string>
+
+#include "sqldb/ast.h"
+#include "util/string_util.h"
+
+namespace ultraverse::sql {
+
+namespace {
+
+void PrintExpr(const Expr& e, std::string* out);
+void PrintSelect(const SelectStatement& sel, std::string* out);
+void PrintStatement(const Statement& stmt, std::string* out);
+
+const char* BinaryOpText(BinaryOp op) {
+  switch (op) {
+    case BinaryOp::kAdd: return "+";
+    case BinaryOp::kSub: return "-";
+    case BinaryOp::kMul: return "*";
+    case BinaryOp::kDiv: return "/";
+    case BinaryOp::kMod: return "%";
+    case BinaryOp::kEq: return "=";
+    case BinaryOp::kNe: return "!=";
+    case BinaryOp::kLt: return "<";
+    case BinaryOp::kLe: return "<=";
+    case BinaryOp::kGt: return ">";
+    case BinaryOp::kGe: return ">=";
+    case BinaryOp::kAnd: return "AND";
+    case BinaryOp::kOr: return "OR";
+  }
+  return "?";
+}
+
+void PrintExpr(const Expr& e, std::string* out) {
+  switch (e.kind) {
+    case ExprKind::kLiteral:
+      out->append(e.literal.ToSqlLiteral());
+      break;
+    case ExprKind::kColumnRef:
+      if (!e.table.empty()) {
+        out->append(e.table);
+        out->push_back('.');
+      }
+      out->append(e.column);
+      break;
+    case ExprKind::kVarRef:
+      out->append(e.var_name);
+      break;
+    case ExprKind::kUnary:
+      if (e.unary_op == UnaryOp::kNot) {
+        out->append("NOT (");
+        PrintExpr(*e.children[0], out);
+        out->push_back(')');
+      } else {
+        out->append("-(");
+        PrintExpr(*e.children[0], out);
+        out->push_back(')');
+      }
+      break;
+    case ExprKind::kBinary:
+      out->push_back('(');
+      PrintExpr(*e.children[0], out);
+      out->push_back(' ');
+      out->append(BinaryOpText(e.binary_op));
+      out->push_back(' ');
+      PrintExpr(*e.children[1], out);
+      out->push_back(')');
+      break;
+    case ExprKind::kFuncCall:
+      out->append(e.func_name);
+      out->push_back('(');
+      if (e.star_arg) {
+        out->push_back('*');
+      } else {
+        for (size_t i = 0; i < e.children.size(); ++i) {
+          if (i) out->append(", ");
+          PrintExpr(*e.children[i], out);
+        }
+      }
+      out->push_back(')');
+      break;
+    case ExprKind::kSubquery:
+      out->push_back('(');
+      PrintSelect(*e.subquery, out);
+      out->push_back(')');
+      break;
+    case ExprKind::kInList:
+      PrintExpr(*e.children[0], out);
+      out->append(" IN (");
+      for (size_t i = 1; i < e.children.size(); ++i) {
+        if (i > 1) out->append(", ");
+        PrintExpr(*e.children[i], out);
+      }
+      out->push_back(')');
+      break;
+    case ExprKind::kStar:
+      if (!e.table.empty()) {
+        out->append(e.table);
+        out->push_back('.');
+      }
+      out->push_back('*');
+      break;
+  }
+}
+
+void PrintSelect(const SelectStatement& sel, std::string* out) {
+  out->append("SELECT ");
+  if (sel.distinct) out->append("DISTINCT ");
+  for (size_t i = 0; i < sel.items.size(); ++i) {
+    if (i) out->append(", ");
+    PrintExpr(*sel.items[i].expr, out);
+    if (!sel.items[i].alias.empty()) {
+      out->append(" AS ");
+      out->append(sel.items[i].alias);
+    }
+  }
+  if (!sel.into_vars.empty()) {
+    out->append(" INTO ");
+    out->append(Join(sel.into_vars, ", "));
+  }
+  if (!sel.from_table.empty()) {
+    out->append(" FROM ");
+    out->append(sel.from_table);
+    if (!sel.from_alias.empty()) {
+      out->push_back(' ');
+      out->append(sel.from_alias);
+    }
+    for (const auto& join : sel.joins) {
+      out->append(" JOIN ");
+      out->append(join.table);
+      if (!join.alias.empty()) {
+        out->push_back(' ');
+        out->append(join.alias);
+      }
+      out->append(" ON ");
+      PrintExpr(*join.on, out);
+    }
+  }
+  if (sel.where) {
+    out->append(" WHERE ");
+    PrintExpr(*sel.where, out);
+  }
+  if (!sel.group_by.empty()) {
+    out->append(" GROUP BY ");
+    for (size_t i = 0; i < sel.group_by.size(); ++i) {
+      if (i) out->append(", ");
+      PrintExpr(*sel.group_by[i], out);
+    }
+  }
+  if (sel.having) {
+    out->append(" HAVING ");
+    PrintExpr(*sel.having, out);
+  }
+  if (!sel.order_by.empty()) {
+    out->append(" ORDER BY ");
+    for (size_t i = 0; i < sel.order_by.size(); ++i) {
+      if (i) out->append(", ");
+      PrintExpr(*sel.order_by[i].expr, out);
+      if (sel.order_by[i].descending) out->append(" DESC");
+    }
+  }
+  if (sel.limit >= 0) {
+    out->append(" LIMIT ");
+    out->append(std::to_string(sel.limit));
+  }
+}
+
+void PrintBody(const std::vector<StatementPtr>& body, std::string* out) {
+  for (const auto& stmt : body) {
+    out->push_back(' ');
+    PrintStatement(*stmt, out);
+    out->push_back(';');
+  }
+}
+
+void PrintStatement(const Statement& stmt, std::string* out) {
+  switch (stmt.kind) {
+    case StatementKind::kCreateTable: {
+      const TableSchema& s = stmt.create_table.schema;
+      out->append("CREATE TABLE ");
+      if (stmt.create_table.if_not_exists) out->append("IF NOT EXISTS ");
+      out->append(s.name);
+      out->append(" (");
+      for (size_t i = 0; i < s.columns.size(); ++i) {
+        if (i) out->append(", ");
+        const ColumnDef& c = s.columns[i];
+        out->append(c.name);
+        out->push_back(' ');
+        out->append(DataTypeName(c.type));
+        if (c.primary_key) out->append(" PRIMARY KEY");
+        if (c.auto_increment) out->append(" AUTO_INCREMENT");
+        if (c.not_null) out->append(" NOT NULL");
+      }
+      for (const auto& fk : s.foreign_keys) {
+        out->append(", FOREIGN KEY (");
+        out->append(fk.column);
+        out->append(") REFERENCES ");
+        out->append(fk.ref_table);
+        out->push_back('(');
+        out->append(fk.ref_column);
+        out->push_back(')');
+      }
+      out->push_back(')');
+      break;
+    }
+    case StatementKind::kAlterTable:
+      out->append("ALTER TABLE ");
+      out->append(stmt.alter_table.table);
+      if (stmt.alter_table.action == AlterAction::kAddColumn) {
+        out->append(" ADD COLUMN ");
+        out->append(stmt.alter_table.add_column.name);
+        out->push_back(' ');
+        out->append(DataTypeName(stmt.alter_table.add_column.type));
+      } else {
+        out->append(" DROP COLUMN ");
+        out->append(stmt.alter_table.drop_column);
+      }
+      break;
+    case StatementKind::kDropTable:
+      out->append("DROP TABLE ");
+      if (stmt.drop_if_exists) out->append("IF EXISTS ");
+      out->append(stmt.drop_name);
+      break;
+    case StatementKind::kTruncateTable:
+      out->append("TRUNCATE TABLE ");
+      out->append(stmt.truncate_table);
+      break;
+    case StatementKind::kCreateView:
+      out->append("CREATE ");
+      if (stmt.create_view.or_replace) out->append("OR REPLACE ");
+      out->append("VIEW ");
+      out->append(stmt.create_view.name);
+      out->append(" AS ");
+      PrintSelect(*stmt.create_view.select, out);
+      break;
+    case StatementKind::kDropView:
+      out->append("DROP VIEW ");
+      out->append(stmt.drop_name);
+      break;
+    case StatementKind::kCreateIndex:
+      out->append("CREATE INDEX ");
+      out->append(stmt.create_index.name);
+      out->append(" ON ");
+      out->append(stmt.create_index.table);
+      out->append(" (");
+      out->append(Join(stmt.create_index.columns, ", "));
+      out->push_back(')');
+      break;
+    case StatementKind::kCreateProcedure: {
+      const auto& p = stmt.create_procedure;
+      out->append("CREATE PROCEDURE ");
+      out->append(p.name);
+      out->append(" (");
+      for (size_t i = 0; i < p.params.size(); ++i) {
+        if (i) out->append(", ");
+        out->append(p.params[i].is_out ? "OUT " : "IN ");
+        out->append(p.params[i].name);
+        out->push_back(' ');
+        out->append(DataTypeName(p.params[i].type));
+      }
+      out->append(") BEGIN");
+      PrintBody(p.body, out);
+      out->append(" END");
+      break;
+    }
+    case StatementKind::kDropProcedure:
+      out->append("DROP PROCEDURE ");
+      out->append(stmt.drop_name);
+      break;
+    case StatementKind::kCreateTrigger: {
+      const auto& t = stmt.create_trigger;
+      out->append("CREATE TRIGGER ");
+      out->append(t.name);
+      out->append(t.after ? " AFTER " : " BEFORE ");
+      switch (t.event) {
+        case TriggerEvent::kInsert: out->append("INSERT"); break;
+        case TriggerEvent::kUpdate: out->append("UPDATE"); break;
+        case TriggerEvent::kDelete: out->append("DELETE"); break;
+      }
+      out->append(" ON ");
+      out->append(t.table);
+      out->append(" FOR EACH ROW BEGIN");
+      PrintBody(t.body, out);
+      out->append(" END");
+      break;
+    }
+    case StatementKind::kDropTrigger:
+      out->append("DROP TRIGGER ");
+      out->append(stmt.drop_name);
+      break;
+    case StatementKind::kInsert: {
+      const auto& ins = stmt.insert;
+      out->append("INSERT INTO ");
+      out->append(ins.table);
+      if (!ins.columns.empty()) {
+        out->append(" (");
+        out->append(Join(ins.columns, ", "));
+        out->push_back(')');
+      }
+      if (ins.select) {
+        out->push_back(' ');
+        PrintSelect(*ins.select, out);
+      } else {
+        out->append(" VALUES ");
+        for (size_t r = 0; r < ins.rows.size(); ++r) {
+          if (r) out->append(", ");
+          out->push_back('(');
+          for (size_t i = 0; i < ins.rows[r].size(); ++i) {
+            if (i) out->append(", ");
+            PrintExpr(*ins.rows[r][i], out);
+          }
+          out->push_back(')');
+        }
+      }
+      break;
+    }
+    case StatementKind::kUpdate: {
+      out->append("UPDATE ");
+      out->append(stmt.update.table);
+      out->append(" SET ");
+      for (size_t i = 0; i < stmt.update.assignments.size(); ++i) {
+        if (i) out->append(", ");
+        out->append(stmt.update.assignments[i].first);
+        out->append(" = ");
+        PrintExpr(*stmt.update.assignments[i].second, out);
+      }
+      if (stmt.update.where) {
+        out->append(" WHERE ");
+        PrintExpr(*stmt.update.where, out);
+      }
+      break;
+    }
+    case StatementKind::kDelete:
+      out->append("DELETE FROM ");
+      out->append(stmt.del.table);
+      if (stmt.del.where) {
+        out->append(" WHERE ");
+        PrintExpr(*stmt.del.where, out);
+      }
+      break;
+    case StatementKind::kSelect:
+      PrintSelect(*stmt.select, out);
+      break;
+    case StatementKind::kCall:
+      out->append("CALL ");
+      out->append(stmt.call.procedure);
+      out->push_back('(');
+      for (size_t i = 0; i < stmt.call.args.size(); ++i) {
+        if (i) out->append(", ");
+        PrintExpr(*stmt.call.args[i], out);
+      }
+      out->push_back(')');
+      break;
+    case StatementKind::kTransaction:
+      out->append("BEGIN;");
+      for (const auto& inner : stmt.transaction.statements) {
+        out->push_back(' ');
+        PrintStatement(*inner, out);
+        out->push_back(';');
+      }
+      out->append(" COMMIT");
+      break;
+    case StatementKind::kDeclareVar:
+      out->append("DECLARE ");
+      out->append(stmt.declare_var.name);
+      out->push_back(' ');
+      out->append(DataTypeName(stmt.declare_var.type));
+      if (stmt.declare_var.init) {
+        out->append(" DEFAULT ");
+        PrintExpr(*stmt.declare_var.init, out);
+      }
+      break;
+    case StatementKind::kSetVar:
+      out->append("SET ");
+      out->append(stmt.set_var.name);
+      out->append(" = ");
+      PrintExpr(*stmt.set_var.value, out);
+      break;
+    case StatementKind::kIf: {
+      bool first = true;
+      for (const auto& branch : stmt.if_stmt.branches) {
+        if (branch.condition) {
+          out->append(first ? "IF " : " ELSEIF ");
+          PrintExpr(*branch.condition, out);
+          out->append(" THEN");
+        } else {
+          out->append(" ELSE");
+        }
+        PrintBody(branch.body, out);
+        first = false;
+      }
+      out->append(" END IF");
+      break;
+    }
+    case StatementKind::kWhile:
+      out->append("WHILE ");
+      PrintExpr(*stmt.while_stmt.condition, out);
+      out->append(" DO");
+      PrintBody(stmt.while_stmt.body, out);
+      out->append(" END WHILE");
+      break;
+    case StatementKind::kLeave:
+      out->append("LEAVE");
+      if (!stmt.leave_label.empty()) {
+        out->push_back(' ');
+        out->append(stmt.leave_label);
+      }
+      break;
+    case StatementKind::kSignal:
+      out->append("SIGNAL SQLSTATE '");
+      out->append(stmt.signal.sqlstate);
+      out->push_back('\'');
+      if (!stmt.signal.message.empty()) {
+        out->append(" SET MESSAGE_TEXT = ");
+        out->append(SqlQuote(stmt.signal.message));
+      }
+      break;
+  }
+}
+
+}  // namespace
+
+std::string ToSql(const Statement& stmt) {
+  std::string out;
+  PrintStatement(stmt, &out);
+  return out;
+}
+
+std::string ToSql(const SelectStatement& sel) {
+  std::string out;
+  PrintSelect(sel, &out);
+  return out;
+}
+
+std::string ToSql(const Expr& expr) {
+  std::string out;
+  PrintExpr(expr, &out);
+  return out;
+}
+
+}  // namespace ultraverse::sql

@@ -1,0 +1,17 @@
+#include "sqldb/query_log.h"
+
+namespace ultraverse::sql {
+
+uint64_t QueryLog::Append(LogEntry entry) {
+  entry.index = entries_.size() + 1;
+  entries_.push_back(std::move(entry));
+  return entries_.back().index;
+}
+
+size_t QueryLog::MySqlStyleBytes() const {
+  size_t bytes = 0;
+  for (const auto& e : entries_) bytes += e.sql.size() + 60;
+  return bytes;
+}
+
+}  // namespace ultraverse::sql

@@ -1,0 +1,72 @@
+#ifndef ULTRAVERSE_SQLDB_QUERY_LOG_H_
+#define ULTRAVERSE_SQLDB_QUERY_LOG_H_
+
+#include <cstdint>
+#include <deque>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "sqldb/ast.h"
+#include "sqldb/database.h"
+#include "util/sha256.h"
+
+namespace ultraverse::sql {
+
+/// One committed top-level query (stands in for a MySQL binary-log event).
+struct LogEntry {
+  uint64_t index = 0;     // commit order, 1-based
+  std::string sql;        // statement text as committed
+  StatementPtr stmt;      // parsed form (shared, immutable after commit)
+  NondetRecord nondet;    // recorded nondeterminism for faithful replay
+  int64_t timestamp = 0;  // logical commit time
+
+  /// Application-level transaction tag (from the augmented application's
+  /// Ultraverse_log call); empty for raw SQL traffic.
+  std::string app_txn;
+  std::vector<Value> app_args;
+
+  /// Application-level blackbox/nondeterministic API results observed when
+  /// the transaction originally ran, keyed by deterministic symbol name
+  /// (e.g. "bb_rand_1", "bb_http_send_1.code"). Replays of the original
+  /// application code re-inject these (§4.4).
+  std::map<std::string, Value> app_blackbox;
+
+  /// Values every procedure variable held while this entry originally
+  /// executed (recorded when the transpiled procedure ran). Row-wise
+  /// analysis concretizes SELECT-INTO-derived RI values from these (§4.3).
+  std::map<std::string, std::vector<Value>> captured_vars;
+
+  /// Hash-jumper: post-commit table hashes of the tables this query
+  /// modified (§4.5). Logged asynchronously by the analyzer.
+  std::map<std::string, Digest256> table_hashes;
+};
+
+/// Append-only committed-query log. Entries live in a deque so references
+/// to committed entries stay valid while regular traffic appends new ones
+/// (a what-if replay reads old entries concurrently, §4.4).
+class QueryLog {
+ public:
+  /// Appends and assigns the next commit index (returned).
+  uint64_t Append(LogEntry entry);
+
+  const std::deque<LogEntry>& entries() const { return entries_; }
+  std::deque<LogEntry>& mutable_entries() { return entries_; }
+  size_t size() const { return entries_.size(); }
+  const LogEntry& at(uint64_t index) const { return entries_[index - 1]; }
+  LogEntry& at_mutable(uint64_t index) { return entries_[index - 1]; }
+  uint64_t last_index() const { return entries_.size(); }
+
+  /// Byte size a MySQL-style binary log would use: statement text plus a
+  /// fixed per-event header (MySQL binlog v4 events carry a 19-byte common
+  /// header plus query-event metadata; we charge 60 bytes, matching the
+  /// order of magnitude of Table 7(b)'s MySQL column).
+  size_t MySqlStyleBytes() const;
+
+ private:
+  std::deque<LogEntry> entries_;
+};
+
+}  // namespace ultraverse::sql
+
+#endif  // ULTRAVERSE_SQLDB_QUERY_LOG_H_

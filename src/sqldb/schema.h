@@ -1,0 +1,62 @@
+#ifndef ULTRAVERSE_SQLDB_SCHEMA_H_
+#define ULTRAVERSE_SQLDB_SCHEMA_H_
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "sqldb/value.h"
+
+namespace ultraverse::sql {
+
+/// Column definition inside a CREATE TABLE.
+struct ColumnDef {
+  std::string name;
+  DataType type = DataType::kString;
+  bool primary_key = false;
+  bool auto_increment = false;
+  bool not_null = false;
+};
+
+/// FOREIGN KEY (column) REFERENCES ref_table(ref_column).
+/// Foreign keys drive the "red arrow" dependency edges of §4.2 and the
+/// R/W-set policies of Appendix A; referential enforcement itself is not
+/// what the paper evaluates.
+struct ForeignKey {
+  std::string column;
+  std::string ref_table;
+  std::string ref_column;
+};
+
+/// Logical table schema. `ri_column`/`ri_alias` carry the row-identifier
+/// metadata of §4.3 (chosen automatically by RiSelector or set explicitly).
+struct TableSchema {
+  std::string name;
+  std::vector<ColumnDef> columns;
+  std::vector<ForeignKey> foreign_keys;
+
+  /// Index of the column whose values identify rows for row-wise analysis;
+  /// -1 when not yet selected (analysis then degrades to wildcards).
+  int ri_column = -1;
+  /// Optional alias RI columns: maps of alias column index -> RI values are
+  /// learned at commit time by the analyzer (see core/rowset).
+  std::vector<int> ri_alias_columns;
+
+  int ColumnIndex(const std::string& col) const {
+    for (size_t i = 0; i < columns.size(); ++i) {
+      if (columns[i].name == col) return int(i);
+    }
+    return -1;
+  }
+
+  int PrimaryKeyIndex() const {
+    for (size_t i = 0; i < columns.size(); ++i) {
+      if (columns[i].primary_key) return int(i);
+    }
+    return -1;
+  }
+};
+
+}  // namespace ultraverse::sql
+
+#endif  // ULTRAVERSE_SQLDB_SCHEMA_H_

@@ -1,0 +1,239 @@
+#include "sqldb/table.h"
+
+#include <algorithm>
+
+namespace ultraverse::sql {
+
+Result<RowId> Table::Insert(Row row, uint64_t commit_index) {
+  if (row.size() != schema_.columns.size()) {
+    return Status::InvalidArgument("row width mismatch for table " +
+                                   schema_.name);
+  }
+  RowId id = rows_.size();
+  rows_.push_back(std::move(row));
+  alive_.push_back(1);
+  ++live_count_;
+  IndexAdd(id, rows_[id]);
+  hash_.AddRow(EncodeRow(rows_[id]));
+  journal_.push_back({commit_index, UndoOp::kInsert, id, {}, {}});
+  return id;
+}
+
+Status Table::Delete(RowId id, uint64_t commit_index) {
+  if (!IsLive(id)) return Status::NotFound("row not live");
+  IndexRemove(id, rows_[id]);
+  hash_.RemoveRow(EncodeRow(rows_[id]));
+  alive_[id] = 0;
+  --live_count_;
+  journal_.push_back({commit_index, UndoOp::kDelete, id, rows_[id], {}});
+  return Status::OK();
+}
+
+Status Table::Update(RowId id, Row new_row, uint64_t commit_index) {
+  if (!IsLive(id)) return Status::NotFound("row not live");
+  if (new_row.size() != schema_.columns.size()) {
+    return Status::InvalidArgument("row width mismatch for table " +
+                                   schema_.name);
+  }
+  IndexRemove(id, rows_[id]);
+  hash_.RemoveRow(EncodeRow(rows_[id]));
+  std::vector<uint8_t> mask(rows_[id].size(), 0);
+  for (size_t i = 0; i < rows_[id].size(); ++i) {
+    if (!rows_[id][i].Equals(new_row[i])) mask[i] = 1;
+  }
+  journal_.push_back(
+      {commit_index, UndoOp::kUpdate, id, rows_[id], std::move(mask)});
+  rows_[id] = std::move(new_row);
+  IndexAdd(id, rows_[id]);
+  hash_.AddRow(EncodeRow(rows_[id]));
+  return Status::OK();
+}
+
+std::vector<RowId> Table::LiveRowIds() const {
+  std::vector<RowId> ids;
+  ids.reserve(live_count_);
+  for (RowId id = 0; id < rows_.size(); ++id) {
+    if (alive_[id]) ids.push_back(id);
+  }
+  return ids;
+}
+
+Status Table::CreateIndex(int column_index) {
+  if (column_index < 0 || column_index >= int(schema_.columns.size())) {
+    return Status::InvalidArgument("index column out of range");
+  }
+  auto& idx = indexes_[column_index];
+  idx.clear();
+  for (RowId id = 0; id < rows_.size(); ++id) {
+    if (!alive_[id]) continue;
+    idx.emplace(rows_[id][column_index].Encode(), id);
+  }
+  return Status::OK();
+}
+
+std::vector<RowId> Table::IndexLookup(int column_index, const Value& v) const {
+  std::vector<RowId> out;
+  auto it = indexes_.find(column_index);
+  if (it == indexes_.end()) return out;
+  auto range = it->second.equal_range(v.Encode());
+  for (auto i = range.first; i != range.second; ++i) out.push_back(i->second);
+  return out;
+}
+
+void Table::IndexAdd(RowId id, const Row& row) {
+  for (auto& [col, idx] : indexes_) {
+    idx.emplace(row[col].Encode(), id);
+  }
+}
+
+void Table::IndexRemove(RowId id, const Row& row) {
+  for (auto& [col, idx] : indexes_) {
+    auto range = idx.equal_range(row[col].Encode());
+    for (auto i = range.first; i != range.second; ++i) {
+      if (i->second == id) {
+        idx.erase(i);
+        break;
+      }
+    }
+  }
+}
+
+void Table::RollbackToIndex(uint64_t commit_index) {
+  while (!journal_.empty() && journal_.back().commit_index > commit_index) {
+    UndoEntry entry = std::move(journal_.back());
+    journal_.pop_back();
+    switch (entry.op) {
+      case UndoOp::kInsert:
+        if (alive_[entry.row_id]) {
+          IndexRemove(entry.row_id, rows_[entry.row_id]);
+          hash_.RemoveRow(EncodeRow(rows_[entry.row_id]));
+          alive_[entry.row_id] = 0;
+          --live_count_;
+        }
+        break;
+      case UndoOp::kDelete:
+        if (!alive_[entry.row_id]) {
+          rows_[entry.row_id] = std::move(entry.old_row);
+          alive_[entry.row_id] = 1;
+          ++live_count_;
+          IndexAdd(entry.row_id, rows_[entry.row_id]);
+          hash_.AddRow(EncodeRow(rows_[entry.row_id]));
+        }
+        break;
+      case UndoOp::kUpdate:
+        IndexRemove(entry.row_id, rows_[entry.row_id]);
+        hash_.RemoveRow(EncodeRow(rows_[entry.row_id]));
+        rows_[entry.row_id] = std::move(entry.old_row);
+        IndexAdd(entry.row_id, rows_[entry.row_id]);
+        hash_.AddRow(EncodeRow(rows_[entry.row_id]));
+        break;
+    }
+  }
+}
+
+
+void Table::RollbackCommits(const std::set<uint64_t>& commits) {
+  // Undo matching entries newest-first, keeping the others.
+  std::vector<UndoEntry> kept;
+  kept.reserve(journal_.size());
+  for (auto it = journal_.rbegin(); it != journal_.rend(); ++it) {
+    UndoEntry& entry = *it;
+    if (!commits.count(entry.commit_index)) {
+      kept.push_back(std::move(entry));
+      continue;
+    }
+    switch (entry.op) {
+      case UndoOp::kInsert:
+        if (alive_[entry.row_id]) {
+          IndexRemove(entry.row_id, rows_[entry.row_id]);
+          hash_.RemoveRow(EncodeRow(rows_[entry.row_id]));
+          alive_[entry.row_id] = 0;
+          --live_count_;
+        }
+        break;
+      case UndoOp::kDelete:
+        if (!alive_[entry.row_id]) {
+          rows_[entry.row_id] = std::move(entry.old_row);
+          alive_[entry.row_id] = 1;
+          ++live_count_;
+          IndexAdd(entry.row_id, rows_[entry.row_id]);
+          hash_.AddRow(EncodeRow(rows_[entry.row_id]));
+        }
+        break;
+      case UndoOp::kUpdate: {
+        // Column-masked: restore only the columns this entry changed, so
+        // later cell-independent writes by unselected commits survive.
+        Row& row = rows_[entry.row_id];
+        IndexRemove(entry.row_id, row);
+        hash_.RemoveRow(EncodeRow(row));
+        for (size_t i = 0; i < row.size() && i < entry.old_row.size(); ++i) {
+          if (entry.changed_mask.empty() || entry.changed_mask[i]) {
+            row[i] = std::move(entry.old_row[i]);
+          }
+        }
+        IndexAdd(entry.row_id, row);
+        hash_.AddRow(EncodeRow(row));
+        break;
+      }
+    }
+  }
+  journal_.assign(std::make_move_iterator(kept.rbegin()),
+                  std::make_move_iterator(kept.rend()));
+}
+
+void Table::TrimJournalBefore(uint64_t commit_index) {
+  trimmed_before_ = std::max(trimmed_before_, commit_index);
+  size_t keep_from = 0;
+  while (keep_from < journal_.size() &&
+         journal_[keep_from].commit_index < commit_index) {
+    ++keep_from;
+  }
+  if (keep_from > 0) {
+    journal_.erase(journal_.begin(), journal_.begin() + keep_from);
+  }
+}
+
+void Table::RebuildDerivedState() {
+  hash_.Reset();
+  for (auto& [col, idx] : indexes_) {
+    (void)col;
+    idx.clear();
+  }
+  for (RowId id = 0; id < rows_.size(); ++id) {
+    if (!alive_[id]) continue;
+    IndexAdd(id, rows_[id]);
+    hash_.AddRow(EncodeRow(rows_[id]));
+  }
+}
+
+std::unique_ptr<Table> Table::Clone() const {
+  auto copy = std::make_unique<Table>(schema_);
+  copy->rows_ = rows_;
+  copy->alive_ = alive_;
+  copy->live_count_ = live_count_;
+  copy->journal_ = journal_;
+  copy->indexes_ = indexes_;
+  copy->hash_ = hash_;
+  return copy;
+}
+
+size_t Table::ApproxMemoryBytes() const {
+  size_t bytes = sizeof(Table);
+  auto row_bytes = [](const Row& row) {
+    size_t b = sizeof(Row) + row.size() * sizeof(Value);
+    for (const Value& v : row) {
+      if (v.type() == DataType::kString) b += v.AsStringRef().capacity();
+    }
+    return b;
+  };
+  for (const Row& row : rows_) bytes += row_bytes(row);
+  bytes += alive_.capacity();
+  for (const auto& e : journal_) bytes += sizeof(e) + row_bytes(e.old_row);
+  for (const auto& [col, idx] : indexes_) {
+    (void)col;
+    bytes += idx.size() * (sizeof(RowId) + 24);
+  }
+  return bytes;
+}
+
+}  // namespace ultraverse::sql

@@ -1,0 +1,131 @@
+#ifndef ULTRAVERSE_SQLDB_TABLE_H_
+#define ULTRAVERSE_SQLDB_TABLE_H_
+
+#include <cstdint>
+#include <set>
+#include <memory>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "sqldb/schema.h"
+#include "sqldb/value.h"
+#include "util/status.h"
+#include "util/table_hash.h"
+
+namespace ultraverse::sql {
+
+using RowId = uint64_t;
+
+/// A heap table: slotted row storage with tombstones, optional secondary
+/// hash indexes, an undo journal providing point-in-time rollback (the
+/// "system versioning" rollback option of §5), and an incremental
+/// Hash-jumper table hash maintained on every write.
+class Table {
+ public:
+  explicit Table(TableSchema schema) : schema_(std::move(schema)) {}
+
+  const TableSchema& schema() const { return schema_; }
+  TableSchema* mutable_schema() { return &schema_; }
+
+  /// Number of live rows.
+  size_t LiveRowCount() const { return live_count_; }
+
+  /// Inserts a row (must match schema width). `commit_index` tags the undo
+  /// journal entry. Returns the new row's id.
+  Result<RowId> Insert(Row row, uint64_t commit_index);
+
+  /// Deletes a live row by id.
+  Status Delete(RowId id, uint64_t commit_index);
+
+  /// Overwrites a live row by id.
+  Status Update(RowId id, Row new_row, uint64_t commit_index);
+
+  bool IsLive(RowId id) const { return id < rows_.size() && alive_[id]; }
+  const Row& GetRow(RowId id) const { return rows_[id]; }
+
+  /// Visits every live row; `fn` returning false stops the scan.
+  template <typename Fn>
+  void Scan(Fn&& fn) const {
+    for (RowId id = 0; id < rows_.size(); ++id) {
+      if (!alive_[id]) continue;
+      if (!fn(id, rows_[id])) return;
+    }
+  }
+
+  /// All live row ids (stable snapshot for mutating scans).
+  std::vector<RowId> LiveRowIds() const;
+
+  // --- Secondary hash indexes -------------------------------------------
+
+  /// Builds (or rebuilds) a hash index over `column_index`.
+  Status CreateIndex(int column_index);
+  bool HasIndex(int column_index) const {
+    return indexes_.count(column_index) > 0;
+  }
+  /// Row ids whose `column_index` equals `v` (only if indexed).
+  std::vector<RowId> IndexLookup(int column_index, const Value& v) const;
+
+  // --- Undo journal / time travel ---------------------------------------
+
+  /// Rolls the table content back to its state right after `commit_index`
+  /// committed (entries tagged with larger indices are undone).
+  void RollbackToIndex(uint64_t commit_index);
+
+  /// Query-selective rollback (Appendix E's M^-1(D, I)): undoes, in reverse
+  /// journal order, exactly the journal entries of the given commits.
+  /// UPDATE entries restore only the columns that entry changed, so writes
+  /// of cell-independent commits are preserved.
+  void RollbackCommits(const std::set<uint64_t>& commits);
+
+  /// Drops undo entries older than `commit_index` (checkpoint trim).
+  void TrimJournalBefore(uint64_t commit_index);
+
+  size_t JournalSize() const { return journal_.size(); }
+
+  /// Commits before this index have had their undo entries trimmed by a
+  /// checkpoint; they can no longer be rolled back from the journal.
+  uint64_t trimmed_before() const { return trimmed_before_; }
+
+  // --- Hash-jumper -------------------------------------------------------
+
+  const TableHash& table_hash() const { return hash_; }
+
+  /// Schema changes (ALTER) restructure all rows: callers use this after
+  /// mutating rows in place to keep hash/indexes consistent.
+  void RebuildDerivedState();
+
+  /// Deep copy (used to stage temporary replay databases).
+  std::unique_ptr<Table> Clone() const;
+
+  /// Rough memory footprint in bytes (for the RAM-overhead benchmarks).
+  size_t ApproxMemoryBytes() const;
+
+ private:
+  enum class UndoOp { kInsert, kDelete, kUpdate };
+  struct UndoEntry {
+    uint64_t commit_index;
+    UndoOp op;
+    RowId row_id;
+    Row old_row;  // for kDelete / kUpdate
+    /// kUpdate: which columns this entry changed (column-masked undo).
+    std::vector<uint8_t> changed_mask;
+  };
+
+  void IndexAdd(RowId id, const Row& row);
+  void IndexRemove(RowId id, const Row& row);
+
+  TableSchema schema_;
+  std::vector<Row> rows_;
+  std::vector<uint8_t> alive_;
+  size_t live_count_ = 0;
+  std::vector<UndoEntry> journal_;
+  uint64_t trimmed_before_ = 0;
+  // column index -> (encoded value -> row ids)
+  std::unordered_map<int, std::unordered_multimap<std::string, RowId>> indexes_;
+  TableHash hash_;
+};
+
+}  // namespace ultraverse::sql
+
+#endif  // ULTRAVERSE_SQLDB_TABLE_H_

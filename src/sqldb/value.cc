@@ -1,0 +1,172 @@
+#include "sqldb/value.h"
+
+#include <cmath>
+#include <cstdio>
+#include <cstring>
+#include <functional>
+
+#include "util/string_util.h"
+
+namespace ultraverse::sql {
+
+const char* DataTypeName(DataType t) {
+  switch (t) {
+    case DataType::kNull: return "NULL";
+    case DataType::kInt: return "INT";
+    case DataType::kDouble: return "DOUBLE";
+    case DataType::kString: return "VARCHAR";
+    case DataType::kBool: return "BOOLEAN";
+  }
+  return "?";
+}
+
+int64_t Value::AsInt() const {
+  switch (type()) {
+    case DataType::kInt: return std::get<int64_t>(data_);
+    case DataType::kDouble: return int64_t(std::llround(std::get<double>(data_)));
+    case DataType::kBool: return std::get<bool>(data_) ? 1 : 0;
+    case DataType::kString: {
+      const std::string& s = std::get<std::string>(data_);
+      return std::strtoll(s.c_str(), nullptr, 10);
+    }
+    case DataType::kNull: return 0;
+  }
+  return 0;
+}
+
+double Value::AsDouble() const {
+  switch (type()) {
+    case DataType::kInt: return double(std::get<int64_t>(data_));
+    case DataType::kDouble: return std::get<double>(data_);
+    case DataType::kBool: return std::get<bool>(data_) ? 1.0 : 0.0;
+    case DataType::kString: {
+      const std::string& s = std::get<std::string>(data_);
+      return std::strtod(s.c_str(), nullptr);
+    }
+    case DataType::kNull: return 0.0;
+  }
+  return 0.0;
+}
+
+bool Value::AsBool() const {
+  switch (type()) {
+    case DataType::kBool: return std::get<bool>(data_);
+    case DataType::kInt: return std::get<int64_t>(data_) != 0;
+    case DataType::kDouble: return std::get<double>(data_) != 0.0;
+    case DataType::kString: return !std::get<std::string>(data_).empty();
+    case DataType::kNull: return false;
+  }
+  return false;
+}
+
+const std::string& Value::AsStringRef() const {
+  static const std::string kEmpty;
+  if (type() != DataType::kString) return kEmpty;
+  return std::get<std::string>(data_);
+}
+
+std::string Value::ToDisplayString() const {
+  switch (type()) {
+    case DataType::kNull: return "NULL";
+    case DataType::kInt: return std::to_string(std::get<int64_t>(data_));
+    case DataType::kDouble: {
+      char buf[32];
+      double d = std::get<double>(data_);
+      if (d == std::floor(d) && std::abs(d) < 1e15) {
+        std::snprintf(buf, sizeof(buf), "%.1f", d);
+      } else {
+        std::snprintf(buf, sizeof(buf), "%.10g", d);
+      }
+      return buf;
+    }
+    case DataType::kString: return std::get<std::string>(data_);
+    case DataType::kBool: return std::get<bool>(data_) ? "TRUE" : "FALSE";
+  }
+  return "?";
+}
+
+std::string Value::ToSqlLiteral() const {
+  if (type() == DataType::kString) return SqlQuote(std::get<std::string>(data_));
+  return ToDisplayString();
+}
+
+int Value::Compare(const Value& other) const {
+  DataType a = type(), b = other.type();
+  auto rank = [](DataType t) {
+    switch (t) {
+      case DataType::kNull: return 0;
+      case DataType::kBool: return 1;
+      case DataType::kInt:
+      case DataType::kDouble: return 2;
+      case DataType::kString: return 3;
+    }
+    return 4;
+  };
+  // Numeric family compares by value across int/double.
+  if (rank(a) == 2 && rank(b) == 2) {
+    if (a == DataType::kInt && b == DataType::kInt) {
+      int64_t x = std::get<int64_t>(data_);
+      int64_t y = std::get<int64_t>(other.data_);
+      return x < y ? -1 : (x > y ? 1 : 0);
+    }
+    double x = AsDouble(), y = other.AsDouble();
+    return x < y ? -1 : (x > y ? 1 : 0);
+  }
+  if (rank(a) != rank(b)) return rank(a) < rank(b) ? -1 : 1;
+  switch (a) {
+    case DataType::kNull: return 0;
+    case DataType::kBool: {
+      bool x = std::get<bool>(data_), y = std::get<bool>(other.data_);
+      return x == y ? 0 : (x ? 1 : -1);
+    }
+    case DataType::kString: {
+      int c = std::get<std::string>(data_).compare(
+          std::get<std::string>(other.data_));
+      return c < 0 ? -1 : (c > 0 ? 1 : 0);
+    }
+    default: return 0;
+  }
+}
+
+void Value::EncodeTo(std::string* out) const {
+  switch (type()) {
+    case DataType::kNull:
+      out->push_back('N');
+      break;
+    case DataType::kBool:
+      out->push_back('B');
+      out->push_back(std::get<bool>(data_) ? '1' : '0');
+      break;
+    case DataType::kInt:
+    case DataType::kDouble: {
+      // Numerics encode canonically so 3 and 3.0 hash identically.
+      out->push_back('D');
+      double d = AsDouble();
+      char buf[40];
+      std::snprintf(buf, sizeof(buf), "%.17g", d);
+      out->append(buf);
+      break;
+    }
+    case DataType::kString: {
+      const std::string& s = std::get<std::string>(data_);
+      out->push_back('S');
+      uint32_t n = uint32_t(s.size());
+      out->append(reinterpret_cast<const char*>(&n), sizeof(n));
+      out->append(s);
+      break;
+    }
+  }
+  out->push_back('|');
+}
+
+size_t Value::Hash() const {
+  return std::hash<std::string>{}(Encode());
+}
+
+std::string EncodeRow(const Row& row) {
+  std::string out;
+  for (const Value& v : row) v.EncodeTo(&out);
+  return out;
+}
+
+}  // namespace ultraverse::sql

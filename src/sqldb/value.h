@@ -1,0 +1,103 @@
+#ifndef ULTRAVERSE_SQLDB_VALUE_H_
+#define ULTRAVERSE_SQLDB_VALUE_H_
+
+#include <cstdint>
+#include <string>
+#include <variant>
+#include <vector>
+
+#include "util/status.h"
+
+namespace ultraverse::sql {
+
+/// SQL column types supported by the engine. The set covers everything the
+/// paper's benchmarks need (Mahif's *lack* of string/bool/datetime support
+/// is part of what Table 4 demonstrates, so our engine must have them).
+enum class DataType {
+  kNull,
+  kInt,     // 64-bit signed.
+  kDouble,  // IEEE double (DECIMAL is mapped here).
+  kString,  // VARCHAR/TEXT.
+  kBool,    // BOOLEAN.
+};
+
+const char* DataTypeName(DataType t);
+
+/// A dynamically typed SQL value.
+///
+/// Values are small and copyable; rows are std::vector<Value>. Comparison
+/// follows SQL semantics with numeric coercion between INT and DOUBLE;
+/// NULL compares equal only to NULL under `Equals` (used for row identity
+/// and grouping) while three-valued logic lives in the expression evaluator.
+class Value {
+ public:
+  Value() : data_(std::monostate{}) {}
+  static Value Null() { return Value(); }
+  static Value Int(int64_t v) { return Value(v); }
+  static Value Double(double v) { return Value(v); }
+  static Value String(std::string v) { return Value(std::move(v)); }
+  static Value Bool(bool v) { return Value(v); }
+
+  DataType type() const {
+    switch (data_.index()) {
+      case 0: return DataType::kNull;
+      case 1: return DataType::kInt;
+      case 2: return DataType::kDouble;
+      case 3: return DataType::kString;
+      case 4: return DataType::kBool;
+    }
+    return DataType::kNull;
+  }
+
+  bool is_null() const { return data_.index() == 0; }
+
+  int64_t AsInt() const;        // Coerces double/bool/string-of-digits.
+  double AsDouble() const;      // Coerces int/bool.
+  bool AsBool() const;          // SQL truthiness: nonzero, non-empty handled.
+  const std::string& AsStringRef() const;  // Requires kString.
+  std::string ToDisplayString() const;     // Human/SQL-literal free form.
+  std::string ToSqlLiteral() const;        // Quoted, parseable back.
+
+  /// Total order used for ORDER BY / index keys: NULL < bool < numeric <
+  /// string; numerics compare by value across INT/DOUBLE.
+  int Compare(const Value& other) const;
+
+  /// SQL equality used for row identity: NULL equals NULL here.
+  bool Equals(const Value& other) const { return Compare(other) == 0; }
+
+  /// Stable byte encoding used for table hashing and RI-key maps.
+  void EncodeTo(std::string* out) const;
+  std::string Encode() const {
+    std::string s;
+    EncodeTo(&s);
+    return s;
+  }
+
+  /// Hash consistent with Equals (numeric 3 == 3.0 hash equal).
+  size_t Hash() const;
+
+  friend bool operator==(const Value& a, const Value& b) {
+    return a.Equals(b);
+  }
+
+ private:
+  explicit Value(int64_t v) : data_(v) {}
+  explicit Value(double v) : data_(v) {}
+  explicit Value(std::string v) : data_(std::move(v)) {}
+  explicit Value(bool v) : data_(v) {}
+
+  std::variant<std::monostate, int64_t, double, std::string, bool> data_;
+};
+
+using Row = std::vector<Value>;
+
+struct ValueHasher {
+  size_t operator()(const Value& v) const { return v.Hash(); }
+};
+
+/// Encodes a whole row (stable across runs; used by Hash-jumper).
+std::string EncodeRow(const Row& row);
+
+}  // namespace ultraverse::sql
+
+#endif  // ULTRAVERSE_SQLDB_VALUE_H_

@@ -1,0 +1,339 @@
+#include "symexec/dse.h"
+
+#include <deque>
+
+#include "applang/interpreter.h"
+#include "util/virtual_clock.h"
+
+namespace ultraverse::sym {
+
+namespace {
+
+using app::AppValue;
+
+SymExprPtr TagOf(const AppValue& v) {
+  return std::static_pointer_cast<const SymExpr>(v.tag);
+}
+
+void SetTag(AppValue* v, SymExprPtr tag) { v->tag = std::move(tag); }
+
+SymExprPtr ExprOf(const AppValue& v) {
+  if (SymExprPtr tag = TagOf(v)) return tag;
+  AppValue bare = v;
+  bare.tag = nullptr;
+  return SymExpr::Const(std::move(bare));
+}
+
+/// Instrumentation for one concolic execution (§3.2 Step 1): builds
+/// symbolic expressions in value tags, bypasses the DBMS, spawns blackbox
+/// symbols, and records the path condition.
+class DseHooks : public app::InterpreterHooks {
+ public:
+  DseHooks(std::string root_function, Assignment assignment)
+      : root_function_(std::move(root_function)),
+        assignment_(std::move(assignment)) {}
+
+  void OnFunctionEnter(const app::AppFunction& fn,
+                       std::vector<AppValue>* args) override {
+    if (entered_ || fn.name != root_function_) return;
+    entered_ = true;
+    for (size_t i = 0; i < fn.params.size(); ++i) {
+      std::string name = "arg_" + fn.params[i];
+      auto it = assignment_.find(name);
+      if (it != assignment_.end()) {
+        AppValue v = it->second;
+        v.tag = nullptr;
+        (*args)[i] = std::move(v);
+      }
+      SetTag(&(*args)[i], SymExpr::Symbol(name, SymbolOrigin::kTxnArg));
+    }
+  }
+
+  void OnBinary(app::AppBinOp op, const AppValue& l, const AppValue& r,
+                AppValue* result) override {
+    if (!TagOf(l) && !TagOf(r)) return;
+    bool concat = op == app::AppBinOp::kAdd &&
+                  result->kind == AppValue::Kind::kString;
+    SetTag(result, SymExpr::Binary(op, ExprOf(l), ExprOf(r), concat));
+  }
+
+  void OnUnary(app::AppUnOp op, const AppValue& v, AppValue* result) override {
+    if (!TagOf(v)) return;
+    SetTag(result, SymExpr::Unary(op, ExprOf(v)));
+  }
+
+  void OnBranch(const AppValue& cond, bool taken) override {
+    SymExprPtr tag = TagOf(cond);
+    if (!tag) return;  // concrete branch: fixed on every replay of this path
+    DseEvent e;
+    e.kind = DseEvent::Kind::kBranch;
+    e.cond = std::move(tag);
+    e.taken = taken;
+    path_.events.push_back(std::move(e));
+  }
+
+  bool OnSqlExec(const AppValue& query, AppValue* result) override {
+    // Always intercept: DSE treats the DBMS as a blackbox (§3.2 Step 2).
+    DseEvent e;
+    e.kind = DseEvent::Kind::kSql;
+    e.sql.result_symbol = "sql_out" + std::to_string(++sql_counter_);
+    RenderTemplate(*ExprOf(query), &e.sql);
+    path_.events.push_back(std::move(e));
+
+    AppValue rs = AppValue::Array();
+    SetTag(&rs, SymExpr::Symbol(path_.events.back().sql.result_symbol,
+                                SymbolOrigin::kSqlResult));
+    *result = std::move(rs);
+    return true;
+  }
+
+  bool OnBuiltin(const std::string& name, const std::vector<AppValue>& args,
+                 AppValue* result) override {
+    // Nondeterministic / blackbox native API: spawn a fresh symbol (§3.3).
+    // Client-side values (DOM inputs, navigator.userAgent) are named after
+    // their source so every path shares one symbol per input field.
+    std::string sym;
+    if (name == "dom_input" && !args.empty()) {
+      sym = "dom_" + args[0].ToStr();
+    } else if (name == "user_agent") {
+      sym = "client_user_agent";
+    } else {
+      sym = "bb_" + name + "_" + std::to_string(++bb_counter_);
+    }
+    if (std::find(blackbox_symbols_.begin(), blackbox_symbols_.end(), sym) ==
+        blackbox_symbols_.end()) {
+      blackbox_symbols_.push_back(sym);
+    }
+    if (name == "http_send") {
+      // Opaque response object: field reads mint child symbols via OnAccess.
+      AppValue obj = AppValue::Object();
+      SetTag(&obj, SymExpr::Symbol(sym, SymbolOrigin::kBlackbox));
+      *result = std::move(obj);
+      return true;
+    }
+    AppValue v = Concretize(sym);
+    SetTag(&v, SymExpr::Symbol(sym, SymbolOrigin::kBlackbox));
+    *result = std::move(v);
+    return true;
+  }
+
+  void OnAccess(const AppValue& container, const std::string& key,
+                AppValue* result) override {
+    SymExprPtr tag = TagOf(container);
+    if (!tag || tag->kind != SymKind::kSymbol ||
+        tag->origin == SymbolOrigin::kTxnArg) {
+      return;
+    }
+    const std::string& parent = tag->symbol_name;
+    bool numeric_key = !key.empty() && key.find_first_not_of("0123456789") ==
+                                           std::string::npos;
+    std::string child =
+        numeric_key ? parent + "[" + key + "]" : parent + "." + key;
+
+    bool is_row_object = numeric_key && parent.find('[') == std::string::npos &&
+                         parent.find('.') == std::string::npos &&
+                         container.kind == AppValue::Kind::kArray;
+    if (is_row_object) {
+      // rows[i]: an opaque row object whose field reads mint leaf symbols.
+      AppValue row = AppValue::Object();
+      SetTag(&row, SymExpr::Symbol(child, tag->origin));
+      *result = std::move(row);
+      return;
+    }
+    // Leaf cell: concrete value from the current testcase.
+    if (tag->origin == SymbolOrigin::kSqlResult) {
+      RecordCell(parent, key, numeric_key);
+    }
+    AppValue v = Concretize(child);
+    SetTag(&v, SymExpr::Symbol(child, tag->origin));
+    *result = std::move(v);
+  }
+
+  DsePath TakePath(Assignment inputs) {
+    path_.inputs = std::move(inputs);
+    return std::move(path_);
+  }
+  const std::vector<std::string>& blackbox_symbols() const {
+    return blackbox_symbols_;
+  }
+
+ private:
+  AppValue Concretize(const std::string& symbol) const {
+    auto it = assignment_.find(symbol);
+    if (it != assignment_.end()) {
+      AppValue v = it->second;
+      v.tag = nullptr;
+      return v;
+    }
+    return AppValue::Number(0);  // must match EvalSym's default
+  }
+
+  void RecordCell(const std::string& parent, const std::string& key,
+                  bool numeric_key) {
+    // Attribute the cell to its root sql_out symbol.
+    std::string root = parent;
+    std::string path_suffix;
+    size_t cut = root.find_first_of(".[");
+    if (cut != std::string::npos) {
+      path_suffix = root.substr(cut);
+      root = root.substr(0, cut);
+    }
+    path_suffix += numeric_key ? "[" + key + "]" : "." + key;
+    path_.result_cells[root].insert(path_suffix);
+  }
+
+  /// Flattens the query's symbolic string tree into literal text plus
+  /// `__uv_sym_k` markers for the symbolic fragments.
+  void RenderTemplate(const SymExpr& e, SqlCall* call) {
+    if (e.kind == SymKind::kConst) {
+      call->template_sql += e.constant.ToStr();
+      return;
+    }
+    if (e.kind == SymKind::kBinary && e.bin_op == app::AppBinOp::kAdd &&
+        e.string_concat) {
+      RenderTemplate(*e.children[0], call);
+      RenderTemplate(*e.children[1], call);
+      return;
+    }
+    // Symbolic fragment (a symbol or an arithmetic subtree): marker.
+    std::string marker = "__uv_sym_" + std::to_string(call->markers.size());
+    call->markers[marker] = SymExprPtr(new SymExpr(e));
+    call->template_sql += marker;
+  }
+
+  std::string root_function_;
+  Assignment assignment_;
+  bool entered_ = false;
+  int sql_counter_ = 0;
+  int bb_counter_ = 0;
+  DsePath path_;
+  std::vector<std::string> blackbox_symbols_;
+};
+
+std::string PathSignature(const DsePath& path) {
+  std::string sig;
+  for (const auto& e : path.events) {
+    switch (e.kind) {
+      case DseEvent::Kind::kBranch:
+        sig += "B" + std::string(e.taken ? "T" : "F") + e.cond->ToZ3Script();
+        break;
+      case DseEvent::Kind::kSql:
+        sig += "Q" + e.sql.template_sql;
+        break;
+      case DseEvent::Kind::kReturn:
+        sig += "R";
+        if (e.ret) sig += e.ret->ToZ3Script();
+        break;
+    }
+    sig += "|";
+  }
+  return sig;
+}
+
+}  // namespace
+
+Result<DseResult> DseEngine::Explore(const std::string& function) {
+  auto fn_it = program_->functions.find(function);
+  if (fn_it == program_->functions.end()) {
+    return Status::NotFound("function " + function);
+  }
+  const app::AppFunction& fn = fn_it->second;
+
+  DseResult result;
+  result.function = function;
+  result.params = fn.params;
+
+  Stopwatch watch;
+  std::deque<Assignment> pending;
+  pending.push_back(Assignment{});  // randomized/default seed testcase
+  std::set<std::string> seen_paths;
+  std::set<std::string> attempted_flips;
+
+  while (!pending.empty() && int(result.paths.size()) < options_.max_paths) {
+    if (watch.ElapsedSeconds() > options_.timeout_seconds) break;
+    Assignment assignment = std::move(pending.front());
+    pending.pop_front();
+
+    // Execute the instrumented transaction concretely (§3.2 Step 2).
+    DseHooks hooks(function, assignment);
+    app::Interpreter::Options interp_opts;
+    interp_opts.max_steps = 2'000'000;
+    app::Interpreter interp(program_, /*bridge=*/nullptr, &hooks, interp_opts);
+
+    std::vector<AppValue> args;
+    for (const auto& p : fn.params) {
+      auto it = assignment.find("arg_" + p);
+      args.push_back(it != assignment.end() ? it->second
+                                            : AppValue::Number(0));
+    }
+    Result<AppValue> ret = interp.CallFunction(function, std::move(args));
+    ++result.executions;
+    if (!ret.ok()) {
+      // A runtime error terminates this path; it is still a valid path for
+      // transpilation purposes only if it produced events — skip otherwise.
+      continue;
+    }
+    DsePath path = hooks.TakePath(assignment);
+    {
+      DseEvent ret_event;
+      ret_event.kind = DseEvent::Kind::kReturn;
+      if (!ret->IsNull() || ret->tag) ret_event.ret = ExprOf(*ret);
+      path.events.push_back(std::move(ret_event));
+    }
+    for (const auto& bb : hooks.blackbox_symbols()) {
+      if (std::find(result.blackbox_symbols.begin(),
+                    result.blackbox_symbols.end(),
+                    bb) == result.blackbox_symbols.end()) {
+        result.blackbox_symbols.push_back(bb);
+      }
+    }
+
+    std::string sig = PathSignature(path);
+    if (!seen_paths.insert(sig).second) continue;
+
+    // Generate flipped testcases for every symbolic branch on the path.
+    std::vector<SymExprPtr> prefix;
+    for (const auto& e : path.events) {
+      if (e.kind != DseEvent::Kind::kBranch) continue;
+      SymExprPtr hold = e.taken ? e.cond : SymExpr::Not(e.cond);
+      SymExprPtr flip = e.taken ? SymExpr::Not(e.cond) : e.cond;
+
+      // Loop summarization stand-in (§3.3): if this structurally-identical
+      // condition already appears max_loop_unroll times in the prefix, stop
+      // unrolling further.
+      int repeats = 0;
+      for (const auto& p : prefix) {
+        const SymExpr* bare = p.get();
+        if (bare->kind == SymKind::kUnary &&
+            bare->un_op == app::AppUnOp::kNot) {
+          bare = bare->children[0].get();
+        }
+        if (SymShapeEquals(*bare, *e.cond)) ++repeats;
+      }
+      if (repeats >= options_.max_loop_unroll) {
+        ++result.loop_capped_branches;
+        prefix.push_back(std::move(hold));
+        continue;
+      }
+
+      std::vector<SymExprPtr> constraints = prefix;
+      constraints.push_back(flip);
+      std::string flip_sig;
+      for (const auto& c : constraints) flip_sig += c->ToZ3Script() + ";";
+      if (attempted_flips.insert(flip_sig).second) {
+        std::optional<Assignment> solved = solver_.Solve(constraints);
+        if (solved) {
+          pending.push_back(std::move(*solved));
+        } else {
+          ++result.unsolved_branches;
+        }
+      }
+      prefix.push_back(std::move(hold));
+    }
+
+    result.paths.push_back(std::move(path));
+  }
+  return result;
+}
+
+}  // namespace ultraverse::sym

@@ -1,0 +1,95 @@
+#ifndef ULTRAVERSE_SYMEXEC_DSE_H_
+#define ULTRAVERSE_SYMEXEC_DSE_H_
+
+#include <map>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "applang/app_ast.h"
+#include "symexec/solver.h"
+#include "symexec/sym_expr.h"
+#include "util/status.h"
+
+namespace ultraverse::sym {
+
+/// One SQL_exec() site observed on a path. `template_sql` is the query text
+/// with each symbolic fragment replaced by a `__uv_sym_<k>` marker;
+/// `markers` maps marker names back to the symbolic expressions so the
+/// transpiler can emit SQL expressions over procedure parameters.
+struct SqlCall {
+  std::string template_sql;
+  std::map<std::string, SymExprPtr> markers;
+  /// Symbol naming this call's result set, e.g. "sql_out1" (Figure 5).
+  std::string result_symbol;
+};
+
+/// One event on a concrete execution path.
+struct DseEvent {
+  enum class Kind { kSql, kBranch, kReturn };
+  Kind kind = Kind::kBranch;
+
+  SqlCall sql;          // kSql
+  SymExprPtr cond;      // kBranch: symbolic branch condition
+  bool taken = false;   // kBranch
+  SymExprPtr ret;       // kReturn: may be null for value-less returns
+};
+
+/// A fully executed path: the testcase inputs that reached it plus the
+/// ordered symbolic events along it.
+struct DsePath {
+  Assignment inputs;
+  std::vector<DseEvent> events;
+  /// For each SQL result symbol: the cell paths the code read from it
+  /// (e.g. "[0].COUNT(*)", ".length") — these become SELECT ... INTO
+  /// variables in the transpiled procedure.
+  std::map<std::string, std::set<std::string>> result_cells;
+  bool truncated = false;
+};
+
+/// Output of exploring one application-level transaction: the execution
+/// path tree of §3.2 Step 2, flattened into its root-to-leaf paths.
+struct DseResult {
+  std::string function;
+  std::vector<std::string> params;
+  std::vector<DsePath> paths;
+  /// Blackbox symbols (rand/now/http_send results) across all paths, in
+  /// first-seen order: they become extra procedure parameters (§3.3).
+  std::vector<std::string> blackbox_symbols;
+  /// Branch flips the solver failed within budget — each one becomes a
+  /// SIGNAL SQLSTATE trap in the transpiled procedure (§3.3).
+  int unsolved_branches = 0;
+  /// Branch flips suppressed by the loop-summarization cap.
+  int loop_capped_branches = 0;
+  int executions = 0;
+};
+
+/// Concolic dynamic-symbolic-execution engine (§3.1-§3.2): executes the
+/// instrumented UvScript transaction with concrete seed inputs, collects
+/// the path condition, asks the solver for inputs flipping each branch, and
+/// repeats until no new paths remain or budgets are exhausted.
+class DseEngine {
+ public:
+  struct Options {
+    int max_paths = 64;
+    int max_loop_unroll = 3;   // §3.3 path-explosion guard
+    double timeout_seconds = 20.0;
+    Solver::Options solver;
+  };
+
+  explicit DseEngine(const app::AppProgram* program)
+      : DseEngine(program, Options()) {}
+  DseEngine(const app::AppProgram* program, Options options)
+      : program_(program), options_(options), solver_(options.solver) {}
+
+  Result<DseResult> Explore(const std::string& function);
+
+ private:
+  const app::AppProgram* program_;
+  Options options_;
+  Solver solver_;
+};
+
+}  // namespace ultraverse::sym
+
+#endif  // ULTRAVERSE_SYMEXEC_DSE_H_

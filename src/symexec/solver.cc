@@ -1,0 +1,170 @@
+#include "symexec/solver.h"
+
+#include <algorithm>
+
+#include "util/rng.h"
+
+namespace ultraverse::sym {
+
+namespace {
+
+using app::AppBinOp;
+using app::AppValue;
+
+bool AllSatisfied(const std::vector<SymExprPtr>& constraints,
+                  const Assignment& a) {
+  for (const auto& c : constraints) {
+    if (!EvalSym(*c, a).Truthy()) return false;
+  }
+  return true;
+}
+
+/// Mines constant leaves reachable in `e` into the candidate pools.
+void MineConstants(const SymExpr& e, std::vector<double>* nums,
+                   std::vector<std::string>* strs) {
+  if (e.kind == SymKind::kConst) {
+    switch (e.constant.kind) {
+      case AppValue::Kind::kNumber:
+        nums->push_back(e.constant.num);
+        break;
+      case AppValue::Kind::kString:
+        strs->push_back(e.constant.str);
+        break;
+      case AppValue::Kind::kBool:
+        nums->push_back(e.constant.boolean ? 1 : 0);
+        break;
+      default:
+        break;
+    }
+  }
+  for (const auto& child : e.children) MineConstants(*child, nums, strs);
+}
+
+/// Unit propagation: sym == <ground expr> pins the symbol.
+void PropagateEqualities(const std::vector<SymExprPtr>& constraints,
+                         Assignment* a) {
+  bool changed = true;
+  int rounds = 0;
+  while (changed && ++rounds < 8) {
+    changed = false;
+    for (const auto& c : constraints) {
+      const SymExpr* e = c.get();
+      // Peel double negation.
+      while (e->kind == SymKind::kUnary && e->un_op == app::AppUnOp::kNot &&
+             e->children[0]->kind == SymKind::kUnary &&
+             e->children[0]->un_op == app::AppUnOp::kNot) {
+        e = e->children[0]->children[0].get();
+      }
+      if (e->kind != SymKind::kBinary || e->bin_op != AppBinOp::kEq) continue;
+      const SymExpr* lhs = e->children[0].get();
+      const SymExpr* rhs = e->children[1].get();
+      if (lhs->kind != SymKind::kSymbol) std::swap(lhs, rhs);
+      if (lhs->kind != SymKind::kSymbol) continue;
+      if (a->count(lhs->symbol_name)) continue;
+      // RHS must be ground given current assignment.
+      std::set<std::string> syms;
+      CollectSymbols(*rhs, &syms);
+      bool ground = true;
+      for (const auto& s : syms) {
+        if (!a->count(s)) {
+          ground = false;
+          break;
+        }
+      }
+      if (!ground) continue;
+      (*a)[lhs->symbol_name] = EvalSym(*rhs, *a);
+      changed = true;
+    }
+  }
+}
+
+}  // namespace
+
+std::optional<Assignment> Solver::Solve(
+    const std::vector<SymExprPtr>& constraints) const {
+  if (constraints.empty()) return Assignment{};
+
+  std::set<std::string> symbols;
+  std::vector<double> num_pool = {0, 1, -1, 2, 100};
+  std::vector<std::string> str_pool = {"", "a", "uv"};
+  for (const auto& c : constraints) {
+    CollectSymbols(*c, &symbols);
+    MineConstants(*c, &num_pool, &str_pool);
+  }
+
+  // Enrich numeric pool with +-1 neighbors (flips strict inequalities).
+  {
+    std::vector<double> extra;
+    for (double v : num_pool) {
+      extra.push_back(v + 1);
+      extra.push_back(v - 1);
+    }
+    num_pool.insert(num_pool.end(), extra.begin(), extra.end());
+    std::sort(num_pool.begin(), num_pool.end());
+    num_pool.erase(std::unique(num_pool.begin(), num_pool.end()),
+                   num_pool.end());
+    std::sort(str_pool.begin(), str_pool.end());
+    str_pool.erase(std::unique(str_pool.begin(), str_pool.end()),
+                   str_pool.end());
+    if (int(num_pool.size()) > options_.max_candidates_per_symbol) {
+      num_pool.resize(options_.max_candidates_per_symbol);
+    }
+  }
+
+  Assignment base;
+  PropagateEqualities(constraints, &base);
+  if (AllSatisfied(constraints, base)) return base;
+
+  std::vector<std::string> free_syms;
+  for (const auto& s : symbols) {
+    if (!base.count(s)) free_syms.push_back(s);
+  }
+
+  // Candidate values per symbol: numbers, strings, bools.
+  std::vector<AppValue> candidates;
+  for (double v : num_pool) candidates.push_back(AppValue::Number(v));
+  for (const auto& s : str_pool) candidates.push_back(AppValue::String(s));
+  candidates.push_back(AppValue::Bool(true));
+  candidates.push_back(AppValue::Bool(false));
+  candidates.push_back(AppValue::Null());
+
+  // Exhaustive search when the combination count is small.
+  double combos = 1;
+  for (size_t i = 0; i < free_syms.size() && combos < 1e7; ++i) {
+    combos *= double(candidates.size());
+  }
+  if (!free_syms.empty() && combos <= 20000) {
+    std::vector<size_t> idx(free_syms.size(), 0);
+    for (;;) {
+      Assignment a = base;
+      for (size_t i = 0; i < free_syms.size(); ++i) {
+        a[free_syms[i]] = candidates[idx[i]];
+      }
+      PropagateEqualities(constraints, &a);
+      if (AllSatisfied(constraints, a)) return a;
+      // Next combination.
+      size_t k = 0;
+      while (k < idx.size()) {
+        if (++idx[k] < candidates.size()) break;
+        idx[k] = 0;
+        ++k;
+      }
+      if (k == idx.size()) break;
+    }
+    return std::nullopt;
+  }
+
+  // Randomized search for larger spaces.
+  Rng rng(options_.rng_seed);
+  for (int t = 0; t < options_.max_random_tries; ++t) {
+    Assignment a = base;
+    for (const auto& s : free_syms) {
+      a[s] = candidates[size_t(rng.Next() % candidates.size())];
+    }
+    PropagateEqualities(constraints, &a);
+    if (AllSatisfied(constraints, a)) return a;
+  }
+  return std::nullopt;
+}
+
+}  // namespace ultraverse::sym

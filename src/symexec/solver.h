@@ -1,0 +1,45 @@
+#ifndef ULTRAVERSE_SYMEXEC_SOLVER_H_
+#define ULTRAVERSE_SYMEXEC_SOLVER_H_
+
+#include <optional>
+#include <vector>
+
+#include "symexec/sym_expr.h"
+
+namespace ultraverse::sym {
+
+/// SMT-lite constraint solver for DSE path conditions.
+///
+/// The class of constraints the paper's benchmarks generate is
+/// (in)equalities between symbols, constants, and small arithmetic/concat
+/// expressions. The solver combines:
+///   1. unit propagation for `sym == const` / `sym != const` constraints,
+///   2. interval narrowing for numeric bounds on single symbols,
+///   3. a bounded search over "interesting" candidate values mined from the
+///      constraint set (constants, +-1 neighbors, mined strings),
+/// and validates every candidate by concretely evaluating the constraint
+/// conjunction with EvalSym. Incompleteness is expected and handled: an
+/// unsolved branch becomes a SIGNAL SQLSTATE trap in the transpiled
+/// procedure (§3.3 "Handling Unreached Path").
+class Solver {
+ public:
+  struct Options {
+    int max_candidates_per_symbol = 24;
+    int max_random_tries = 4000;
+    uint64_t rng_seed = 7;
+  };
+
+  Solver() : Solver(Options()) {}
+  explicit Solver(Options options) : options_(options) {}
+
+  /// Finds an assignment making every constraint truthy, or nullopt.
+  std::optional<Assignment> Solve(
+      const std::vector<SymExprPtr>& constraints) const;
+
+ private:
+  Options options_;
+};
+
+}  // namespace ultraverse::sym
+
+#endif  // ULTRAVERSE_SYMEXEC_SOLVER_H_

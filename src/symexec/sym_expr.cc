@@ -1,0 +1,152 @@
+#include "symexec/sym_expr.h"
+
+#include <cctype>
+
+#include "applang/app_ops.h"
+
+namespace ultraverse::sym {
+
+SymExprPtr SymExpr::Symbol(std::string name, SymbolOrigin origin) {
+  auto e = std::make_shared<SymExpr>();
+  e->kind = SymKind::kSymbol;
+  e->symbol_name = std::move(name);
+  e->origin = origin;
+  return e;
+}
+
+SymExprPtr SymExpr::Const(app::AppValue v) {
+  auto e = std::make_shared<SymExpr>();
+  e->kind = SymKind::kConst;
+  e->constant = std::move(v);
+  return e;
+}
+
+SymExprPtr SymExpr::Binary(app::AppBinOp op, SymExprPtr a, SymExprPtr b,
+                           bool string_concat) {
+  auto e = std::make_shared<SymExpr>();
+  e->kind = SymKind::kBinary;
+  e->bin_op = op;
+  e->string_concat = string_concat;
+  e->children = {std::move(a), std::move(b)};
+  return e;
+}
+
+SymExprPtr SymExpr::Unary(app::AppUnOp op, SymExprPtr a) {
+  auto e = std::make_shared<SymExpr>();
+  e->kind = SymKind::kUnary;
+  e->un_op = op;
+  e->children = {std::move(a)};
+  return e;
+}
+
+namespace {
+const char* Z3Op(app::AppBinOp op, bool string_concat) {
+  using B = app::AppBinOp;
+  switch (op) {
+    case B::kAdd: return string_concat ? "str.++" : "+";
+    case B::kSub: return "-";
+    case B::kMul: return "*";
+    case B::kDiv: return "/";
+    case B::kMod: return "mod";
+    case B::kEq: return "=";
+    case B::kNe: return "distinct";
+    case B::kLt: return "<";
+    case B::kLe: return "<=";
+    case B::kGt: return ">";
+    case B::kGe: return ">=";
+    case B::kAnd: return "and";
+    case B::kOr: return "or";
+  }
+  return "?";
+}
+}  // namespace
+
+std::string SymExpr::ToZ3Script() const {
+  switch (kind) {
+    case SymKind::kSymbol:
+      return symbol_name;
+    case SymKind::kConst:
+      if (constant.kind == app::AppValue::Kind::kString) {
+        return "\"" + constant.str + "\"";
+      }
+      return constant.ToStr();
+    case SymKind::kBinary:
+      return "(" + std::string(Z3Op(bin_op, string_concat)) + " " +
+             children[0]->ToZ3Script() + " " + children[1]->ToZ3Script() + ")";
+    case SymKind::kUnary:
+      return std::string(un_op == app::AppUnOp::kNot ? "(not " : "(- ") +
+             children[0]->ToZ3Script() + ")";
+  }
+  return "?";
+}
+
+app::AppValue EvalSym(const SymExpr& e, const Assignment& assignment) {
+  switch (e.kind) {
+    case SymKind::kConst:
+      return e.constant;
+    case SymKind::kSymbol: {
+      auto it = assignment.find(e.symbol_name);
+      if (it != assignment.end()) return it->second;
+      return app::AppValue::Number(0);  // default seed value
+    }
+    case SymKind::kBinary: {
+      app::AppValue l = EvalSym(*e.children[0], assignment);
+      app::AppValue r = EvalSym(*e.children[1], assignment);
+      return app::ApplyAppBinary(e.bin_op, l, r);
+    }
+    case SymKind::kUnary:
+      return app::ApplyAppUnary(e.un_op, EvalSym(*e.children[0], assignment));
+  }
+  return app::AppValue::Null();
+}
+
+void CollectSymbols(const SymExpr& e, std::set<std::string>* out) {
+  if (e.kind == SymKind::kSymbol) out->insert(e.symbol_name);
+  for (const auto& child : e.children) CollectSymbols(*child, out);
+}
+
+namespace {
+bool EqualsImpl(const SymExpr& a, const SymExpr& b, bool shape_only) {
+  if (a.kind != b.kind) return false;
+  switch (a.kind) {
+    case SymKind::kSymbol:
+      if (shape_only) {
+        // sql_out result symbols get fresh per-iteration numbers; strip
+        // trailing digits so successive loop bodies share a shape.
+        auto stem = [](const std::string& s) {
+          size_t end = s.size();
+          while (end > 0 && std::isdigit(static_cast<unsigned char>(s[end - 1])))
+            --end;
+          return s.substr(0, end);
+        };
+        return stem(a.symbol_name) == stem(b.symbol_name);
+      }
+      return a.symbol_name == b.symbol_name;
+    case SymKind::kConst:
+      if (shape_only) return true;
+      return a.constant.kind == b.constant.kind &&
+             a.constant.ToStr() == b.constant.ToStr();
+    case SymKind::kBinary:
+      if (a.bin_op != b.bin_op) return false;
+      break;
+    case SymKind::kUnary:
+      if (a.un_op != b.un_op) return false;
+      break;
+  }
+  if (a.children.size() != b.children.size()) return false;
+  for (size_t i = 0; i < a.children.size(); ++i) {
+    if (!EqualsImpl(*a.children[i], *b.children[i], shape_only)) return false;
+  }
+  return true;
+}
+}  // namespace
+
+bool SymEquals(const SymExpr& a, const SymExpr& b) {
+  return EqualsImpl(a, b, /*shape_only=*/false);
+}
+
+bool SymShapeEquals(const SymExpr& a, const SymExpr& b) {
+  return EqualsImpl(a, b, /*shape_only=*/true);
+}
+
+}  // namespace ultraverse::sym

@@ -1,0 +1,85 @@
+#ifndef ULTRAVERSE_SYMEXEC_SYM_EXPR_H_
+#define ULTRAVERSE_SYMEXEC_SYM_EXPR_H_
+
+#include <map>
+#include <memory>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "applang/app_ast.h"
+#include "applang/app_value.h"
+
+namespace ultraverse::sym {
+
+/// Where a symbol came from. The three origins match §3.2: transaction
+/// input parameters, database API return values, and nondeterministic
+/// (blackbox) native API return values.
+enum class SymbolOrigin { kTxnArg, kSqlResult, kBlackbox };
+
+enum class SymKind {
+  kSymbol,  // free variable
+  kConst,   // concrete AppValue
+  kBinary,  // UvScript binary op over children[0], children[1]
+  kUnary,   // UvScript unary op over children[0]
+};
+
+struct SymExpr;
+using SymExprPtr = std::shared_ptr<const SymExpr>;
+
+/// Immutable symbolic expression over UvScript semantics. These are the
+/// expressions the instrumentation hooks build "in the Z3 script language"
+/// (§3.2); ToZ3Script() renders that form for logs and tests.
+struct SymExpr {
+  SymKind kind = SymKind::kConst;
+
+  // kSymbol
+  std::string symbol_name;  // unique, e.g. "arg_orderer_uid", "sql_out1[0].c"
+  SymbolOrigin origin = SymbolOrigin::kTxnArg;
+
+  // kConst
+  app::AppValue constant;
+
+  // kBinary / kUnary
+  app::AppBinOp bin_op = app::AppBinOp::kAdd;
+  app::AppUnOp un_op = app::AppUnOp::kNot;
+  /// kAdd where either operand was a string at runtime: string concat
+  /// (transpiles to SQL CONCAT rather than +).
+  bool string_concat = false;
+
+  std::vector<SymExprPtr> children;
+
+  static SymExprPtr Symbol(std::string name, SymbolOrigin origin);
+  static SymExprPtr Const(app::AppValue v);
+  static SymExprPtr Binary(app::AppBinOp op, SymExprPtr a, SymExprPtr b,
+                           bool string_concat = false);
+  static SymExprPtr Unary(app::AppUnOp op, SymExprPtr a);
+  static SymExprPtr Not(SymExprPtr a) {
+    return Unary(app::AppUnOp::kNot, std::move(a));
+  }
+
+  /// Z3-script-style rendering, e.g. (str.++ "a" arg_x), (= sql_out1 0).
+  std::string ToZ3Script() const;
+};
+
+/// Symbol name -> concrete value: one DSE testcase (§3.2 Step 2).
+using Assignment = std::map<std::string, app::AppValue>;
+
+/// Evaluates `e` under `assignment`; symbols missing from the assignment
+/// take type-appropriate defaults (number 0 / "" / false).
+app::AppValue EvalSym(const SymExpr& e, const Assignment& assignment);
+
+/// Collects the names of all symbols in `e` into `out`.
+void CollectSymbols(const SymExpr& e, std::set<std::string>* out);
+
+/// Structural equality (used for loop-pattern detection).
+bool SymEquals(const SymExpr& a, const SymExpr& b);
+
+/// Shape equality: like SymEquals but any two constants compare equal.
+/// Successive unrollings of a loop guard (0 < n, 1 < n, ...) share a shape,
+/// which is how the path-explosion guard recognizes them (§3.3).
+bool SymShapeEquals(const SymExpr& a, const SymExpr& b);
+
+}  // namespace ultraverse::sym
+
+#endif  // ULTRAVERSE_SYMEXEC_SYM_EXPR_H_

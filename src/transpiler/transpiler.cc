@@ -1,0 +1,537 @@
+#include "transpiler/transpiler.h"
+
+#include <algorithm>
+#include <map>
+#include <set>
+
+#include "sqldb/parser.h"
+#include "util/string_util.h"
+
+namespace ultraverse::transpiler {
+
+namespace {
+
+using sym::DseEvent;
+using sym::DsePath;
+using sym::SymExpr;
+using sym::SymExprPtr;
+using sym::SymKind;
+using sym::SymbolOrigin;
+
+/// Maps a symbol name to a legal SQL identifier, e.g.
+/// "sql_out1[0].COUNT(*)" -> "sql_out1_0_COUNT".
+std::string SanitizeIdent(const std::string& symbol) {
+  std::string out;
+  for (char c : symbol) {
+    if (std::isalnum(static_cast<unsigned char>(c)) || c == '_') {
+      out.push_back(c);
+    } else if (!out.empty() && out.back() != '_') {
+      out.push_back('_');
+    }
+  }
+  while (!out.empty() && out.back() == '_') out.pop_back();
+  return out;
+}
+
+sql::DataType SqlTypeOfAppKind(app::AppValue::Kind kind) {
+  switch (kind) {
+    case app::AppValue::Kind::kNumber: return sql::DataType::kDouble;
+    case app::AppValue::Kind::kBool: return sql::DataType::kBool;
+    default: return sql::DataType::kString;
+  }
+}
+
+class TranspileBuilder {
+ public:
+  explicit TranspileBuilder(const sym::DseResult& dse) : dse_(dse) {}
+
+  Result<TranspiledTransaction> Build() {
+    TranspiledTransaction out;
+    out.function = dse_.function;
+    out.procedure_name = dse_.function;
+
+    if (dse_.paths.empty()) {
+      return Status::InvalidArgument("DSE produced no paths for " +
+                                     dse_.function);
+    }
+
+    // Group all paths and emit the decision tree.
+    std::vector<const DsePath*> all;
+    for (const auto& p : dse_.paths) all.push_back(&p);
+    UV_ASSIGN_OR_RETURN(std::vector<sql::StatementPtr> body,
+                        EmitGroup(all, /*depth=*/0));
+
+    auto stmt = sql::Statement::Make(sql::StatementKind::kCreateProcedure);
+    auto& proc = stmt->create_procedure;
+    proc.name = out.procedure_name;
+    for (const auto& p : dse_.params) {
+      sql::ProcedureParam param;
+      param.name = "arg_" + p;
+      param.type = sql::DataType::kString;  // dynamic at runtime
+      proc.params.push_back(param);
+      out.arg_params.push_back(param.name);
+    }
+    // Blackbox symbol leaves become extra IN parameters (Figure 11c).
+    for (const auto& bb : blackbox_leaves_) {
+      sql::ProcedureParam param;
+      param.name = SanitizeIdent(bb);
+      param.type = sql::DataType::kString;
+      proc.params.push_back(param);
+      out.blackbox_params.push_back(bb);
+    }
+    // DECLARE every SELECT-INTO variable up front.
+    for (const auto& var : declares_) {
+      auto decl = sql::Statement::Make(sql::StatementKind::kDeclareVar);
+      decl->declare_var.name = var;
+      decl->declare_var.type = sql::DataType::kString;
+      proc.body.push_back(decl);
+    }
+    for (auto& s : body) proc.body.push_back(std::move(s));
+
+    out.create_procedure = std::move(stmt);
+    out.signal_traps = signal_traps_;
+    out.path_count = int(dse_.paths.size());
+    return out;
+  }
+
+ private:
+  /// Emits statements for the group of paths that share the same event
+  /// prefix up to `depth`.
+  Result<std::vector<sql::StatementPtr>> EmitGroup(
+      std::vector<const DsePath*> group, size_t depth) {
+    std::vector<sql::StatementPtr> body;
+    for (;;) {
+      // Paths that already ended contribute nothing further.
+      std::vector<const DsePath*> active;
+      for (const DsePath* p : group) {
+        if (depth < p->events.size()) active.push_back(p);
+      }
+      if (active.empty()) return body;
+      group = std::move(active);
+
+      const DseEvent& head = group[0]->events[depth];
+      for (const DsePath* p : group) {
+        if (p->events[depth].kind != head.kind) {
+          return Status::Unsupported(
+              "divergent event structure without a symbolic branch");
+        }
+      }
+
+      switch (head.kind) {
+        case DseEvent::Kind::kSql: {
+          UV_ASSIGN_OR_RETURN(std::vector<sql::StatementPtr> stmts,
+                              EmitSqlCall(head.sql, group));
+          for (auto& s : stmts) body.push_back(std::move(s));
+          ++depth;
+          continue;
+        }
+        case DseEvent::Kind::kReturn: {
+          if (head.ret) {
+            UV_ASSIGN_OR_RETURN(sql::ExprPtr e, ConvertExpr(*head.ret));
+            auto sel = sql::Statement::Make(sql::StatementKind::kSelect);
+            sel->select = std::make_shared<sql::SelectStatement>();
+            sel->select->items.push_back({std::move(e), "result"});
+            body.push_back(std::move(sel));
+          }
+          ++depth;
+          continue;
+        }
+        case DseEvent::Kind::kBranch: {
+          std::vector<const DsePath*> taken, not_taken;
+          for (const DsePath* p : group) {
+            (p->events[depth].taken ? taken : not_taken).push_back(p);
+          }
+          UV_ASSIGN_OR_RETURN(sql::ExprPtr cond, ConvertExpr(*head.cond));
+
+          auto if_stmt = sql::Statement::Make(sql::StatementKind::kIf);
+          sql::IfBranch then_branch;
+          then_branch.condition = cond;
+          if (!taken.empty()) {
+            UV_ASSIGN_OR_RETURN(then_branch.body, EmitGroup(taken, depth + 1));
+          } else {
+            then_branch.body.push_back(MakeTrap());
+          }
+          if_stmt->if_stmt.branches.push_back(std::move(then_branch));
+
+          sql::IfBranch else_branch;  // condition null = ELSE
+          if (!not_taken.empty()) {
+            UV_ASSIGN_OR_RETURN(else_branch.body,
+                                EmitGroup(not_taken, depth + 1));
+          } else {
+            else_branch.body.push_back(MakeTrap());
+          }
+          if_stmt->if_stmt.branches.push_back(std::move(else_branch));
+          body.push_back(std::move(if_stmt));
+          return body;  // both subtrees handled the remaining depth
+        }
+      }
+    }
+  }
+
+  /// SIGNAL trap for an execution path DSE did not reach (§3.3): hitting it
+  /// at replay time reports the inputs and triggers delta-DSE.
+  sql::StatementPtr MakeTrap() {
+    ++signal_traps_;
+    auto trap = sql::Statement::Make(sql::StatementKind::kSignal);
+    trap->signal.sqlstate = "45001";
+    trap->signal.message =
+        "Ultraverse: unexplored path trap #" + std::to_string(signal_traps_);
+    return trap;
+  }
+
+  Result<std::vector<sql::StatementPtr>> EmitSqlCall(
+      const sym::SqlCall& call, const std::vector<const DsePath*>& group) {
+    // Parse the marker template into a statement AST.
+    UV_ASSIGN_OR_RETURN(sql::StatementPtr stmt,
+                        sql::Parser::ParseStatement(call.template_sql));
+    UV_RETURN_NOT_OK(SubstituteMarkers(stmt.get(), call));
+
+    std::vector<sql::StatementPtr> out;
+    // Union of the result cells read on ANY path through this call site:
+    // paths diverge after the call, and each may read different columns.
+    std::set<std::string> cells;
+    for (const DsePath* p : group) {
+      auto it = p->result_cells.find(call.result_symbol);
+      if (it != p->result_cells.end()) {
+        cells.insert(it->second.begin(), it->second.end());
+      }
+    }
+    bool cells_read = !cells.empty();
+
+    if (stmt->kind != sql::StatementKind::kSelect) {
+      // DML executes for its database effect; result values (affected
+      // counts) do not flow back in the supported dialect.
+      out.push_back(std::move(stmt));
+      return out;
+    }
+
+    if (!cells_read) {
+      // A SELECT whose result the application never reads has no data flow
+      // into the database: the transpiler prunes it (§3 "prunes application
+      // logic that doesn't affect persistent storage").
+      return out;
+    }
+
+    const sql::SelectStatement& sel = *stmt->select;
+    // ".length" cell: row count via SELECT COUNT(*) INTO.
+    for (const std::string& cell : cells) {
+      if (cell != ".length") continue;
+      auto count_stmt = sql::Statement::Make(sql::StatementKind::kSelect);
+      auto count_sel = std::make_shared<sql::SelectStatement>(sel);
+      count_sel->items.clear();
+      count_sel->items.push_back(
+          {sql::Expr::MakeFunc("COUNT", {}, /*star=*/true), ""});
+      count_sel->order_by.clear();
+      count_sel->limit = -1;
+      count_sel->into_vars = {
+          SanitizeIdent(call.result_symbol + ".length")};
+      declares_.insert(count_sel->into_vars[0]);
+      count_stmt->select = std::move(count_sel);
+      out.push_back(std::move(count_stmt));
+    }
+
+    // "[0].<column>" cells: one SELECT col... INTO var... LIMIT 1.
+    std::vector<std::string> wanted_cols;
+    std::vector<std::string> into_vars;
+    for (const std::string& cell : cells) {
+      if (cell == ".length") continue;
+      if (cell.rfind("[0].", 0) != 0) {
+        // Rows beyond the first cannot feed SELECT ... INTO; trap instead.
+        out.push_back(MakeTrap());
+        continue;
+      }
+      wanted_cols.push_back(cell.substr(4));
+      into_vars.push_back(SanitizeIdent(call.result_symbol + cell));
+    }
+    if (!wanted_cols.empty()) {
+      auto into_stmt = sql::Statement::Make(sql::StatementKind::kSelect);
+      auto into_sel = std::make_shared<sql::SelectStatement>(sel);
+      into_sel->items.clear();
+      for (size_t i = 0; i < wanted_cols.size(); ++i) {
+        UV_ASSIGN_OR_RETURN(sql::SelectItem item,
+                            FindSelectItem(sel, wanted_cols[i]));
+        into_sel->items.push_back(std::move(item));
+        declares_.insert(into_vars[i]);
+      }
+      into_sel->into_vars = into_vars;
+      into_sel->limit = 1;
+      into_stmt->select = std::move(into_sel);
+      out.push_back(std::move(into_stmt));
+    }
+    return out;
+  }
+
+  /// Locates the select item producing result column `key` (matched by
+  /// alias, printed expression, or bare column name).
+  Result<sql::SelectItem> FindSelectItem(const sql::SelectStatement& sel,
+                                         const std::string& key) {
+    for (const auto& item : sel.items) {
+      if (!item.alias.empty() && EqualsIgnoreCase(item.alias, key)) {
+        return item;
+      }
+      if (item.expr->kind == sql::ExprKind::kColumnRef &&
+          EqualsIgnoreCase(item.expr->column, key)) {
+        return item;
+      }
+      if (EqualsIgnoreCase(sql::ToSql(*item.expr), key)) return item;
+      if (item.expr->kind == sql::ExprKind::kStar) {
+        // SELECT *: project the named column directly.
+        return sql::SelectItem{sql::Expr::MakeColumn("", key), key};
+      }
+    }
+    return Status::Unsupported("result column '" + key +
+                               "' not found in SELECT items");
+  }
+
+  /// Replaces __uv_sym_k markers (parsed as column refs or embedded in
+  /// string literals) with converted symbolic expressions.
+  Status SubstituteMarkers(sql::Statement* stmt, const sym::SqlCall& call) {
+    Status st = Status::OK();
+    auto fix_expr = [&](sql::ExprPtr* e) {
+      if (st.ok()) st = FixExpr(e, call);
+    };
+    VisitStatementExprs(stmt, fix_expr);
+    return st;
+  }
+
+  template <typename Fn>
+  void VisitSelectExprs(sql::SelectStatement* sel, Fn&& fn) {
+    for (auto& item : sel->items) fn(&item.expr);
+    for (auto& join : sel->joins) fn(&join.on);
+    if (sel->where) fn(&sel->where);
+    for (auto& g : sel->group_by) fn(&g);
+    if (sel->having) fn(&sel->having);
+    for (auto& o : sel->order_by) fn(&o.expr);
+  }
+
+  template <typename Fn>
+  void VisitStatementExprs(sql::Statement* stmt, Fn&& fn) {
+    switch (stmt->kind) {
+      case sql::StatementKind::kInsert:
+        for (auto& row : stmt->insert.rows) {
+          for (auto& e : row) fn(&e);
+        }
+        if (stmt->insert.select) VisitSelectExprs(stmt->insert.select.get(), fn);
+        break;
+      case sql::StatementKind::kUpdate:
+        for (auto& [col, e] : stmt->update.assignments) {
+          (void)col;
+          fn(&e);
+        }
+        if (stmt->update.where) fn(&stmt->update.where);
+        break;
+      case sql::StatementKind::kDelete:
+        if (stmt->del.where) fn(&stmt->del.where);
+        break;
+      case sql::StatementKind::kSelect:
+        VisitSelectExprs(stmt->select.get(), fn);
+        break;
+      case sql::StatementKind::kCall:
+        for (auto& e : stmt->call.args) fn(&e);
+        break;
+      default:
+        break;
+    }
+  }
+
+  Status FixExpr(sql::ExprPtr* e, const sym::SqlCall& call) {
+    // Recurse into children first.
+    for (auto& child : (*e)->children) {
+      UV_RETURN_NOT_OK(FixExpr(&child, call));
+    }
+    if ((*e)->kind == sql::ExprKind::kSubquery && (*e)->subquery) {
+      Status st = Status::OK();
+      auto fix = [&](sql::ExprPtr* sub) {
+        if (st.ok()) st = FixExpr(sub, call);
+      };
+      VisitSelectExprs((*e)->subquery.get(), fix);
+      UV_RETURN_NOT_OK(st);
+    }
+    // Bare marker parsed as a column reference.
+    if ((*e)->kind == sql::ExprKind::kColumnRef && (*e)->table.empty()) {
+      auto it = call.markers.find((*e)->column);
+      if (it != call.markers.end()) {
+        UV_ASSIGN_OR_RETURN(*e, ConvertExpr(*it->second));
+      }
+      return Status::OK();
+    }
+    // Marker(s) inside a string literal: split into CONCAT pieces.
+    if ((*e)->kind == sql::ExprKind::kLiteral &&
+        (*e)->literal.type() == sql::DataType::kString) {
+      const std::string& s = (*e)->literal.AsStringRef();
+      if (s.find("__uv_sym_") == std::string::npos) return Status::OK();
+      std::vector<sql::ExprPtr> pieces;
+      size_t pos = 0;
+      while (pos < s.size()) {
+        size_t m = s.find("__uv_sym_", pos);
+        if (m == std::string::npos) {
+          pieces.push_back(
+              sql::Expr::MakeLiteral(sql::Value::String(s.substr(pos))));
+          break;
+        }
+        if (m > pos) {
+          pieces.push_back(sql::Expr::MakeLiteral(
+              sql::Value::String(s.substr(pos, m - pos))));
+        }
+        size_t end = m + 9;  // len("__uv_sym_")
+        while (end < s.size() &&
+               std::isdigit(static_cast<unsigned char>(s[end]))) {
+          ++end;
+        }
+        std::string marker = s.substr(m, end - m);
+        auto it = call.markers.find(marker);
+        if (it == call.markers.end()) {
+          return Status::Internal("unknown marker " + marker);
+        }
+        UV_ASSIGN_OR_RETURN(sql::ExprPtr conv, ConvertExpr(*it->second));
+        pieces.push_back(std::move(conv));
+        pos = end;
+      }
+      if (pieces.size() == 1) {
+        *e = pieces[0];
+      } else {
+        *e = sql::Expr::MakeFunc("CONCAT", std::move(pieces));
+      }
+    }
+    return Status::OK();
+  }
+
+  /// SymExpr -> SQL expression (the Z3-operator-to-SQL-operator mapping of
+  /// §3.2 Step 3, e.g. str.++ -> CONCAT).
+  Result<sql::ExprPtr> ConvertExpr(const SymExpr& e) {
+    switch (e.kind) {
+      case SymKind::kConst: {
+        return sql::Expr::MakeLiteral(e.constant.ToSqlValue());
+      }
+      case SymKind::kSymbol: {
+        if (e.origin == SymbolOrigin::kBlackbox) {
+          if (std::find(blackbox_leaves_.begin(), blackbox_leaves_.end(),
+                        e.symbol_name) == blackbox_leaves_.end()) {
+            blackbox_leaves_.push_back(e.symbol_name);
+          }
+        }
+        if (e.origin == SymbolOrigin::kSqlResult) {
+          declares_.insert(SanitizeIdent(e.symbol_name));
+        }
+        return sql::Expr::MakeVar(SanitizeIdent(e.symbol_name));
+      }
+      case SymKind::kBinary: {
+        UV_ASSIGN_OR_RETURN(sql::ExprPtr l, ConvertExpr(*e.children[0]));
+        UV_ASSIGN_OR_RETURN(sql::ExprPtr r, ConvertExpr(*e.children[1]));
+        if (e.bin_op == app::AppBinOp::kAdd && e.string_concat) {
+          return sql::Expr::MakeFunc("CONCAT",
+                                     {std::move(l), std::move(r)});
+        }
+        sql::BinaryOp op;
+        switch (e.bin_op) {
+          case app::AppBinOp::kAdd: op = sql::BinaryOp::kAdd; break;
+          case app::AppBinOp::kSub: op = sql::BinaryOp::kSub; break;
+          case app::AppBinOp::kMul: op = sql::BinaryOp::kMul; break;
+          case app::AppBinOp::kDiv: op = sql::BinaryOp::kDiv; break;
+          case app::AppBinOp::kMod: op = sql::BinaryOp::kMod; break;
+          case app::AppBinOp::kEq: op = sql::BinaryOp::kEq; break;
+          case app::AppBinOp::kNe: op = sql::BinaryOp::kNe; break;
+          case app::AppBinOp::kLt: op = sql::BinaryOp::kLt; break;
+          case app::AppBinOp::kLe: op = sql::BinaryOp::kLe; break;
+          case app::AppBinOp::kGt: op = sql::BinaryOp::kGt; break;
+          case app::AppBinOp::kGe: op = sql::BinaryOp::kGe; break;
+          case app::AppBinOp::kAnd: op = sql::BinaryOp::kAnd; break;
+          case app::AppBinOp::kOr: op = sql::BinaryOp::kOr; break;
+          default:
+            return Status::Unsupported("operator not expressible in SQL");
+        }
+        return sql::Expr::MakeBinary(op, std::move(l), std::move(r));
+      }
+      case SymKind::kUnary: {
+        UV_ASSIGN_OR_RETURN(sql::ExprPtr child, ConvertExpr(*e.children[0]));
+        return sql::Expr::MakeUnary(e.un_op == app::AppUnOp::kNot
+                                        ? sql::UnaryOp::kNot
+                                        : sql::UnaryOp::kNeg,
+                                    std::move(child));
+      }
+    }
+    return Status::Internal("unhandled SymExpr kind");
+  }
+
+  const sym::DseResult& dse_;
+  std::set<std::string> declares_;
+  std::vector<std::string> blackbox_leaves_;
+  int signal_traps_ = 0;
+};
+
+}  // namespace
+
+Result<TranspiledTransaction> Transpiler::Transpile(
+    const sym::DseResult& dse) {
+  TranspileBuilder builder(dse);
+  return builder.Build();
+}
+
+Result<TranspiledTransaction> Transpiler::DeltaUpdate(
+    const sym::DseResult& base, const sym::DseResult& delta) {
+  if (base.function != delta.function) {
+    return Status::InvalidArgument("delta update across different functions");
+  }
+  sym::DseResult merged = base;
+  for (const auto& p : delta.paths) merged.paths.push_back(p);
+  for (const auto& bb : delta.blackbox_symbols) {
+    if (std::find(merged.blackbox_symbols.begin(),
+                  merged.blackbox_symbols.end(),
+                  bb) == merged.blackbox_symbols.end()) {
+      merged.blackbox_symbols.push_back(bb);
+    }
+  }
+  return Transpile(merged);
+}
+
+std::string GenerateAugmentedSource(const std::string& original_source) {
+  // Textual augmentation mirroring Figure 3: after each
+  // `function name(p1, p2) {`, insert `Ultraverse_log(...)`.
+  std::string out;
+  size_t pos = 0;
+  const std::string kFn = "function";
+  while (pos < original_source.size()) {
+    size_t f = original_source.find(kFn, pos);
+    if (f == std::string::npos) {
+      out += original_source.substr(pos);
+      break;
+    }
+    size_t open = original_source.find('(', f);
+    size_t close = open == std::string::npos
+                       ? std::string::npos
+                       : original_source.find(')', open);
+    size_t brace = close == std::string::npos
+                       ? std::string::npos
+                       : original_source.find('{', close);
+    if (brace == std::string::npos) {
+      out += original_source.substr(pos);
+      break;
+    }
+    out += original_source.substr(pos, brace + 1 - pos);
+    std::string name = original_source.substr(
+        f + kFn.size(), open - f - kFn.size());
+    std::string params =
+        original_source.substr(open + 1, close - open - 1);
+    // Trim whitespace from the name.
+    size_t b = name.find_first_not_of(" \t\n");
+    size_t e = name.find_last_not_of(" \t\n");
+    name = b == std::string::npos ? "" : name.substr(b, e - b + 1);
+    out += "\n  Ultraverse_log(`function " + name + "(";
+    bool first = true;
+    for (const std::string& p : Split(params, ',')) {
+      std::string t = p;
+      size_t tb = t.find_first_not_of(" \t\n");
+      size_t te = t.find_last_not_of(" \t\n");
+      if (tb == std::string::npos) continue;
+      t = t.substr(tb, te - tb + 1);
+      if (!first) out += ", ";
+      out += "${" + t + "}";
+      first = false;
+    }
+    out += ")`);";
+    pos = brace + 1;
+  }
+  return out;
+}
+
+}  // namespace ultraverse::transpiler

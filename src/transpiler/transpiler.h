@@ -1,0 +1,58 @@
+#ifndef ULTRAVERSE_TRANSPILER_TRANSPILER_H_
+#define ULTRAVERSE_TRANSPILER_TRANSPILER_H_
+
+#include <string>
+#include <vector>
+
+#include "sqldb/ast.h"
+#include "symexec/dse.h"
+#include "util/status.h"
+
+namespace ultraverse::transpiler {
+
+/// A transpiled application-level transaction: the SQL PROCEDURE that has
+/// the same effect on the persistent database as the original UvScript
+/// function (§3.2 Step 3, Figure 4).
+struct TranspiledTransaction {
+  std::string function;        // application transaction name
+  std::string procedure_name;  // == function (CALL NewOrder(...))
+  sql::StatementPtr create_procedure;
+
+  /// Procedure parameters, in CALL order: one "arg_<param>" per application
+  /// argument followed by one parameter per blackbox symbol leaf.
+  std::vector<std::string> arg_params;
+  std::vector<std::string> blackbox_params;  // e.g. "bb_rand_1", "bb_now_2"
+
+  /// Branches the DSE could not explore: each is guarded by a SIGNAL
+  /// SQLSTATE trap (§3.3) and triggers delta-DSE when hit at runtime.
+  int signal_traps = 0;
+
+  /// Execution paths the procedure covers (size of the DSE path tree).
+  int path_count = 0;
+
+  std::string ToSqlText() const { return sql::ToSql(*create_procedure); }
+};
+
+/// Converts a DSE execution path tree into an equivalent SQL PROCEDURE.
+class Transpiler {
+ public:
+  /// Z3-to-SQL transpilation (§3.2 Step 3). Fails with Unsupported for
+  /// constructs outside the engine's dialect; callers treat that as "keep
+  /// running the original application transaction" (no transpiled fast
+  /// path), which is always sound.
+  static Result<TranspiledTransaction> Transpile(const sym::DseResult& dse);
+
+  /// Delta update (§3.3/§3.4): merges newly discovered paths into an
+  /// existing analysis and re-transpiles.
+  static Result<TranspiledTransaction> DeltaUpdate(
+      const sym::DseResult& base, const sym::DseResult& delta);
+};
+
+/// Generates the augmented application source of Figure 3: inserts an
+/// `Ultraverse_log(...)` call at the top of every function body so regular
+/// service operation records which application-level transaction ran.
+std::string GenerateAugmentedSource(const std::string& original_source);
+
+}  // namespace ultraverse::transpiler
+
+#endif  // ULTRAVERSE_TRANSPILER_TRANSPILER_H_

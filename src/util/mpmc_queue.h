@@ -1,0 +1,110 @@
+#ifndef ULTRAVERSE_UTIL_MPMC_QUEUE_H_
+#define ULTRAVERSE_UTIL_MPMC_QUEUE_H_
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace ultraverse {
+
+/// Bounded lock-free multi-producer/multi-consumer ring queue.
+///
+/// This is the classic sequence-stamped ring (as popularized by the DPDK
+/// ring library and Vyukov's MPMC queue) that the paper's replay scheduler
+/// uses to let worker threads dequeue ready-to-replay queries without lock
+/// contention: producers/consumers claim slots with compare-and-swap on the
+/// head/tail tickets and then synchronize on a per-cell sequence number.
+///
+/// Capacity is rounded up to a power of two. TryPush/TryPop never block;
+/// they return false when the ring is full/empty.
+template <typename T>
+class MpmcQueue {
+ public:
+  explicit MpmcQueue(size_t capacity) {
+    size_t cap = 1;
+    while (cap < capacity) cap <<= 1;
+    mask_ = cap - 1;
+    cells_ = std::vector<Cell>(cap);
+    for (size_t i = 0; i < cap; ++i) {
+      cells_[i].sequence.store(i, std::memory_order_relaxed);
+    }
+    head_.store(0, std::memory_order_relaxed);
+    tail_.store(0, std::memory_order_relaxed);
+  }
+
+  MpmcQueue(const MpmcQueue&) = delete;
+  MpmcQueue& operator=(const MpmcQueue&) = delete;
+
+  bool TryPush(T value) {
+    Cell* cell;
+    size_t pos = head_.load(std::memory_order_relaxed);
+    for (;;) {
+      cell = &cells_[pos & mask_];
+      size_t seq = cell->sequence.load(std::memory_order_acquire);
+      intptr_t diff = intptr_t(seq) - intptr_t(pos);
+      if (diff == 0) {
+        // Slot is free at this ticket; try to claim it with CAS.
+        if (head_.compare_exchange_weak(pos, pos + 1,
+                                        std::memory_order_relaxed)) {
+          break;
+        }
+      } else if (diff < 0) {
+        return false;  // Ring is full.
+      } else {
+        pos = head_.load(std::memory_order_relaxed);
+      }
+    }
+    cell->value = std::move(value);
+    cell->sequence.store(pos + 1, std::memory_order_release);
+    return true;
+  }
+
+  bool TryPop(T* out) {
+    Cell* cell;
+    size_t pos = tail_.load(std::memory_order_relaxed);
+    for (;;) {
+      cell = &cells_[pos & mask_];
+      size_t seq = cell->sequence.load(std::memory_order_acquire);
+      intptr_t diff = intptr_t(seq) - intptr_t(pos + 1);
+      if (diff == 0) {
+        if (tail_.compare_exchange_weak(pos, pos + 1,
+                                        std::memory_order_relaxed)) {
+          break;
+        }
+      } else if (diff < 0) {
+        return false;  // Ring is empty.
+      } else {
+        pos = tail_.load(std::memory_order_relaxed);
+      }
+    }
+    *out = std::move(cell->value);
+    cell->sequence.store(pos + mask_ + 1, std::memory_order_release);
+    return true;
+  }
+
+  size_t ApproxSize() const {
+    size_t head = head_.load(std::memory_order_relaxed);
+    size_t tail = tail_.load(std::memory_order_relaxed);
+    return head >= tail ? head - tail : 0;
+  }
+
+  size_t capacity() const { return mask_ + 1; }
+
+ private:
+  struct Cell {
+    std::atomic<size_t> sequence{0};
+    T value{};
+  };
+
+  // Head/tail on separate cache lines to avoid false sharing between
+  // producer and consumer tickets.
+  alignas(64) std::atomic<size_t> head_{0};
+  alignas(64) std::atomic<size_t> tail_{0};
+  std::vector<Cell> cells_;
+  size_t mask_ = 0;
+};
+
+}  // namespace ultraverse
+
+#endif  // ULTRAVERSE_UTIL_MPMC_QUEUE_H_

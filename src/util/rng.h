@@ -1,0 +1,46 @@
+#ifndef ULTRAVERSE_UTIL_RNG_H_
+#define ULTRAVERSE_UTIL_RNG_H_
+
+#include <cstdint>
+#include <string>
+
+namespace ultraverse {
+
+/// Deterministic splitmix64-based RNG. Workload generators and the DSE
+/// seed-input generator must be reproducible across runs, so all randomness
+/// in the library flows through explicitly seeded Rng instances.
+class Rng {
+ public:
+  explicit Rng(uint64_t seed) : state_(seed ^ 0x9e3779b97f4a7c15ull) {}
+
+  uint64_t Next() {
+    uint64_t z = (state_ += 0x9e3779b97f4a7c15ull);
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ull;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebull;
+    return z ^ (z >> 31);
+  }
+
+  /// Uniform in [lo, hi] inclusive; requires lo <= hi.
+  int64_t UniformInt(int64_t lo, int64_t hi) {
+    uint64_t span = uint64_t(hi - lo) + 1;
+    return lo + int64_t(Next() % span);
+  }
+
+  double UniformDouble() { return double(Next() >> 11) / double(1ull << 53); }
+
+  bool Bernoulli(double p) { return UniformDouble() < p; }
+
+  /// Random lowercase ASCII string of exactly `len` characters.
+  std::string RandomString(size_t len) {
+    std::string s(len, 'a');
+    for (auto& c : s) c = char('a' + Next() % 26);
+    return s;
+  }
+
+ private:
+  uint64_t state_;
+};
+
+}  // namespace ultraverse
+
+#endif  // ULTRAVERSE_UTIL_RNG_H_

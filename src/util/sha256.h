@@ -1,0 +1,50 @@
+#ifndef ULTRAVERSE_UTIL_SHA256_H_
+#define ULTRAVERSE_UTIL_SHA256_H_
+
+#include <array>
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+namespace ultraverse {
+
+/// 256-bit digest, stored as 4 little-endian 64-bit limbs so digests can be
+/// treated as integers mod 2^256 by TableHash (Hash-jumper, §4.5).
+struct Digest256 {
+  std::array<uint64_t, 4> limbs{};
+
+  friend bool operator==(const Digest256&, const Digest256&) = default;
+
+  /// Lowercase hex rendering (limb 3 first, i.e. most significant first).
+  std::string ToHex() const;
+};
+
+/// Streaming SHA-256 (FIPS 180-4). Self-contained: the repo has no crypto
+/// dependency, and Hash-jumper only needs collision resistance + uniformity.
+class Sha256 {
+ public:
+  Sha256() { Reset(); }
+
+  void Reset();
+  void Update(const void* data, size_t len);
+  void Update(std::string_view s) { Update(s.data(), s.size()); }
+
+  /// Finishes the hash; the object must be Reset() before reuse.
+  Digest256 Finish();
+
+  /// One-shot convenience.
+  static Digest256 Hash(std::string_view s);
+
+ private:
+  void ProcessBlock(const uint8_t* block);
+
+  uint32_t state_[8];
+  uint64_t bit_count_;
+  uint8_t buffer_[64];
+  size_t buffer_len_;
+};
+
+}  // namespace ultraverse
+
+#endif  // ULTRAVERSE_UTIL_SHA256_H_

@@ -1,0 +1,146 @@
+#ifndef ULTRAVERSE_UTIL_STATUS_H_
+#define ULTRAVERSE_UTIL_STATUS_H_
+
+#include <optional>
+#include <string>
+#include <utility>
+
+namespace ultraverse {
+
+/// Error categories used across the library. The set mirrors the failure
+/// modes of a SQL engine plus the analysis layers built on top of it.
+enum class StatusCode {
+  kOk = 0,
+  kInvalidArgument,
+  kNotFound,
+  kAlreadyExists,
+  kParseError,
+  kTypeError,
+  kConstraintViolation,
+  kUnsupported,
+  kInternal,
+  kTimeout,
+  kSignal,  // SQL SIGNAL SQLSTATE raised (used for unreached-path traps).
+};
+
+/// Arrow/RocksDB-style status object. Functions that can fail return a
+/// Status (or Result<T>); exceptions are not used across library boundaries.
+class Status {
+ public:
+  Status() : code_(StatusCode::kOk) {}
+  Status(StatusCode code, std::string message)
+      : code_(code), message_(std::move(message)) {}
+
+  static Status OK() { return Status(); }
+  static Status InvalidArgument(std::string m) {
+    return Status(StatusCode::kInvalidArgument, std::move(m));
+  }
+  static Status NotFound(std::string m) {
+    return Status(StatusCode::kNotFound, std::move(m));
+  }
+  static Status AlreadyExists(std::string m) {
+    return Status(StatusCode::kAlreadyExists, std::move(m));
+  }
+  static Status ParseError(std::string m) {
+    return Status(StatusCode::kParseError, std::move(m));
+  }
+  static Status TypeError(std::string m) {
+    return Status(StatusCode::kTypeError, std::move(m));
+  }
+  static Status ConstraintViolation(std::string m) {
+    return Status(StatusCode::kConstraintViolation, std::move(m));
+  }
+  static Status Unsupported(std::string m) {
+    return Status(StatusCode::kUnsupported, std::move(m));
+  }
+  static Status Internal(std::string m) {
+    return Status(StatusCode::kInternal, std::move(m));
+  }
+  static Status Timeout(std::string m) {
+    return Status(StatusCode::kTimeout, std::move(m));
+  }
+  static Status Signal(std::string sqlstate) {
+    return Status(StatusCode::kSignal, std::move(sqlstate));
+  }
+
+  bool ok() const { return code_ == StatusCode::kOk; }
+  StatusCode code() const { return code_; }
+  const std::string& message() const { return message_; }
+
+  std::string ToString() const {
+    if (ok()) return "OK";
+    return CodeName(code_) + ": " + message_;
+  }
+
+  static std::string CodeName(StatusCode code) {
+    switch (code) {
+      case StatusCode::kOk: return "OK";
+      case StatusCode::kInvalidArgument: return "InvalidArgument";
+      case StatusCode::kNotFound: return "NotFound";
+      case StatusCode::kAlreadyExists: return "AlreadyExists";
+      case StatusCode::kParseError: return "ParseError";
+      case StatusCode::kTypeError: return "TypeError";
+      case StatusCode::kConstraintViolation: return "ConstraintViolation";
+      case StatusCode::kUnsupported: return "Unsupported";
+      case StatusCode::kInternal: return "Internal";
+      case StatusCode::kTimeout: return "Timeout";
+      case StatusCode::kSignal: return "Signal";
+    }
+    return "Unknown";
+  }
+
+ private:
+  StatusCode code_;
+  std::string message_;
+};
+
+/// Result<T> carries either a value or an error Status.
+template <typename T>
+class Result {
+ public:
+  Result(T value) : value_(std::move(value)) {}  // NOLINT(runtime/explicit)
+  Result(Status status) : status_(std::move(status)) {}  // NOLINT
+
+  bool ok() const { return status_.ok(); }
+  const Status& status() const { return status_; }
+
+  const T& value() const& { return *value_; }
+  T& value() & { return *value_; }
+  T&& value() && { return std::move(*value_); }
+
+  const T& operator*() const& { return *value_; }
+  T& operator*() & { return *value_; }
+  const T* operator->() const { return &*value_; }
+  T* operator->() { return &*value_; }
+
+  /// Returns the value or `fallback` when this result holds an error.
+  T value_or(T fallback) const {
+    return ok() ? *value_ : std::move(fallback);
+  }
+
+ private:
+  Status status_;
+  std::optional<T> value_;
+};
+
+// Propagates errors to the caller, Arrow-style.
+#define UV_RETURN_NOT_OK(expr)                    \
+  do {                                            \
+    ::ultraverse::Status _st = (expr);            \
+    if (!_st.ok()) return _st;                    \
+  } while (0)
+
+#define UV_ASSIGN_OR_RETURN_IMPL(var, tmp, expr) \
+  auto tmp = (expr);                             \
+  if (!tmp.ok()) return tmp.status();            \
+  var = std::move(tmp).value();
+
+#define UV_CONCAT_(a, b) a##b
+#define UV_CONCAT(a, b) UV_CONCAT_(a, b)
+
+#define UV_ASSIGN_OR_RETURN(var, expr) \
+  UV_ASSIGN_OR_RETURN_IMPL(var, UV_CONCAT(_uv_result_, __LINE__), expr)
+
+}  // namespace ultraverse
+
+#endif  // ULTRAVERSE_UTIL_STATUS_H_

@@ -1,0 +1,28 @@
+#ifndef ULTRAVERSE_UTIL_STRING_UTIL_H_
+#define ULTRAVERSE_UTIL_STRING_UTIL_H_
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace ultraverse {
+
+/// Case-insensitive ASCII equality (SQL keywords and identifiers).
+bool EqualsIgnoreCase(std::string_view a, std::string_view b);
+
+/// Uppercases ASCII in place-free fashion.
+std::string ToUpper(std::string_view s);
+std::string ToLower(std::string_view s);
+
+/// Joins `parts` with `sep`.
+std::string Join(const std::vector<std::string>& parts, std::string_view sep);
+
+/// Splits on a single character, keeping empty fields.
+std::vector<std::string> Split(std::string_view s, char sep);
+
+/// Escapes a string for embedding in a single-quoted SQL literal.
+std::string SqlQuote(std::string_view s);
+
+}  // namespace ultraverse
+
+#endif  // ULTRAVERSE_UTIL_STRING_UTIL_H_

@@ -1,0 +1,31 @@
+#include "util/table_hash.h"
+
+namespace ultraverse {
+
+void TableHash::Add(const Digest256& d) {
+  unsigned __int128 carry = 0;
+  for (int i = 0; i < 4; ++i) {
+    unsigned __int128 sum =
+        (unsigned __int128)value_.limbs[i] + d.limbs[i] + carry;
+    value_.limbs[i] = (uint64_t)sum;
+    carry = sum >> 64;
+  }
+  // Overflow past limb 3 is dropped: arithmetic is mod 2^256.
+}
+
+void TableHash::Subtract(const Digest256& d) {
+  unsigned __int128 borrow = 0;
+  for (int i = 0; i < 4; ++i) {
+    unsigned __int128 lhs = value_.limbs[i];
+    unsigned __int128 rhs = (unsigned __int128)d.limbs[i] + borrow;
+    if (lhs >= rhs) {
+      value_.limbs[i] = (uint64_t)(lhs - rhs);
+      borrow = 0;
+    } else {
+      value_.limbs[i] = (uint64_t)((((unsigned __int128)1) << 64) + lhs - rhs);
+      borrow = 1;
+    }
+  }
+}
+
+}  // namespace ultraverse

@@ -1,0 +1,46 @@
+#ifndef ULTRAVERSE_UTIL_THREAD_POOL_H_
+#define ULTRAVERSE_UTIL_THREAD_POOL_H_
+
+#include <condition_variable>
+#include <deque>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace ultraverse {
+
+/// Minimal fixed-size thread pool used by the replay scheduler and by
+/// benchmarks that run regular traffic concurrently with a what-if replay.
+class ThreadPool {
+ public:
+  explicit ThreadPool(size_t num_threads);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  /// Enqueues a task. Tasks may enqueue further tasks.
+  void Submit(std::function<void()> task);
+
+  /// Blocks until every submitted task (including tasks submitted by other
+  /// tasks during the wait) has finished.
+  void WaitIdle();
+
+  size_t num_threads() const { return threads_.size(); }
+
+ private:
+  void WorkerLoop();
+
+  std::mutex mu_;
+  std::condition_variable work_cv_;
+  std::condition_variable idle_cv_;
+  std::deque<std::function<void()>> tasks_;
+  size_t active_ = 0;
+  bool stop_ = false;
+  std::vector<std::thread> threads_;
+};
+
+}  // namespace ultraverse
+
+#endif  // ULTRAVERSE_UTIL_THREAD_POOL_H_

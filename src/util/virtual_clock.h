@@ -1,0 +1,55 @@
+#ifndef ULTRAVERSE_UTIL_VIRTUAL_CLOCK_H_
+#define ULTRAVERSE_UTIL_VIRTUAL_CLOCK_H_
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+
+namespace ultraverse {
+
+/// Accounts simulated client<->server round-trip time.
+///
+/// The paper's T-version speedup comes from collapsing N per-statement round
+/// trips into 1 procedure-call round trip. Re-running that over a real
+/// network would only add noise, so the client channel charges each round
+/// trip to this clock instead (the substitution is documented in DESIGN.md).
+class VirtualClock {
+ public:
+  explicit VirtualClock(uint64_t rtt_micros = 1000) : rtt_micros_(rtt_micros) {}
+
+  void ChargeRoundTrip(uint64_t count = 1) {
+    virtual_micros_.fetch_add(count * rtt_micros_, std::memory_order_relaxed);
+  }
+
+  uint64_t virtual_micros() const {
+    return virtual_micros_.load(std::memory_order_relaxed);
+  }
+  uint64_t rtt_micros() const { return rtt_micros_; }
+  void Reset() { virtual_micros_.store(0, std::memory_order_relaxed); }
+
+ private:
+  const uint64_t rtt_micros_;
+  std::atomic<uint64_t> virtual_micros_{0};
+};
+
+/// Wall-clock stopwatch for benchmark harnesses.
+class Stopwatch {
+ public:
+  Stopwatch() : start_(std::chrono::steady_clock::now()) {}
+  void Restart() { start_ = std::chrono::steady_clock::now(); }
+  double ElapsedSeconds() const {
+    return std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                         start_)
+        .count();
+  }
+  uint64_t ElapsedMicros() const {
+    return uint64_t(ElapsedSeconds() * 1e6);
+  }
+
+ private:
+  std::chrono::steady_clock::time_point start_;
+};
+
+}  // namespace ultraverse
+
+#endif  // ULTRAVERSE_UTIL_VIRTUAL_CLOCK_H_

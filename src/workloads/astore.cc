@@ -1,0 +1,206 @@
+#include "workloads/workload_base.h"
+
+namespace ultraverse::workload {
+
+namespace {
+
+/// AStore: the open-source e-commerce web application the paper uses as
+/// its macro-benchmark. The UvScript transactions mirror its ExpressJS
+/// request handlers; PlaceOrder is the paper's Figure-1 pattern (an
+/// address check gating the order insert) extended with a blackbox
+/// http_send notification whose response gates a message insert (§3.3).
+class Astore : public WorkloadBase {
+ public:
+  explicit Astore(int scale) : WorkloadBase("astore", scale) {
+    users_ = 40 * this->scale();
+    products_ = 30 * this->scale();
+  }
+
+  std::string SchemaSql() const override {
+    return R"SQL(
+      CREATE TABLE Users (UserID INT PRIMARY KEY, Email VARCHAR(64),
+                          Nick VARCHAR(32));
+      CREATE TABLE Addresses (AddressID INT PRIMARY KEY AUTO_INCREMENT,
+                              UserID INT, Addr VARCHAR(64));
+      CREATE TABLE Categories (CategoryID INT PRIMARY KEY, Name VARCHAR(32));
+      CREATE TABLE Products (ProductID INT PRIMARY KEY, CategoryID INT,
+                             Price DOUBLE, Stock INT);
+      CREATE TABLE Orders (OrderID INT PRIMARY KEY AUTO_INCREMENT,
+                           UserID INT, Total DOUBLE, Status VARCHAR(16));
+      CREATE TABLE OrderDetails (OrderID INT, ProductID INT, Qty INT,
+                                 Amount DOUBLE);
+      CREATE TABLE Messages (MessageID INT PRIMARY KEY AUTO_INCREMENT,
+                             UserID INT, Body VARCHAR(128));
+      CREATE TABLE Subscribers (Email VARCHAR(64) PRIMARY KEY, Active INT);
+    )SQL";
+  }
+
+  std::string AppSource() const override {
+    return R"JS(
+function Register(uid, email, nick) {
+  SQL_exec("INSERT INTO Users VALUES (" + uid + ", '" + email + "', '" +
+           nick + "')");
+}
+function AddAddress(uid, addr) {
+  SQL_exec("INSERT INTO Addresses (UserID, Addr) VALUES (" + uid + ", '" +
+           addr + "')");
+}
+function PlaceOrder(uid, pid, qty) {
+  var a = SQL_exec("SELECT COUNT(*) FROM Addresses WHERE UserID = " + uid);
+  if (a[0]["COUNT(*)"] != 0) {
+    var p = SQL_exec("SELECT Price, Stock FROM Products WHERE ProductID = " +
+                     pid);
+    if (p[0]["Stock"] >= qty) {
+      var total = p[0]["Price"] * qty;
+      SQL_exec("INSERT INTO Orders (UserID, Total, Status) VALUES (" + uid +
+               ", " + total + ", 'placed')");
+      SQL_exec("INSERT INTO OrderDetails VALUES ((SELECT MAX(OrderID) FROM" +
+               " Orders), " + pid + ", " + qty + ", " + total + ")");
+      SQL_exec("UPDATE Products SET Stock = Stock - " + qty +
+               " WHERE ProductID = " + pid);
+      var resp = http_send("order-notify");
+      if (resp["code"] == 1) {
+        SQL_exec("INSERT INTO Messages (UserID, Body) VALUES (" + uid +
+                 ", 'order confirmed')");
+      } else {
+        SQL_exec("INSERT INTO Messages (UserID, Body) VALUES (" + uid +
+                 ", 'notify failed: " + resp["error"] + "')");
+      }
+    } else {
+      return "Error: product " + pid + " out of stock";
+    }
+  } else {
+    return "Error: User " + uid + " has no address";
+  }
+}
+function CancelOrder(uid, oid) {
+  SQL_exec("UPDATE Orders SET Status = 'cancelled' WHERE OrderID = " + oid +
+           " AND UserID = " + uid);
+  SQL_exec("INSERT INTO Messages (UserID, Body) VALUES (" + uid +
+           ", 'order cancelled')");
+}
+function UpdateProfile(uid, nick) {
+  SQL_exec("UPDATE Users SET Nick = '" + nick + "' WHERE UserID = " + uid);
+}
+function PostMessage(uid, body) {
+  SQL_exec("INSERT INTO Messages (UserID, Body) VALUES (" + uid + ", '" +
+           body + "')");
+}
+function Subscribe(email) {
+  SQL_exec("INSERT INTO Subscribers VALUES ('" + email + "', 1)");
+}
+function Unsubscribe(email) {
+  SQL_exec("UPDATE Subscribers SET Active = 0 WHERE Email = '" + email + "'");
+}
+function UpdatePrice(pid, price) {
+  SQL_exec("UPDATE Products SET Price = " + price + " WHERE ProductID = " +
+           pid);
+}
+function Restock(pid, qty) {
+  SQL_exec("UPDATE Products SET Stock = Stock + " + qty +
+           " WHERE ProductID = " + pid);
+}
+function UpdateOrderStatus(oid, status) {
+  SQL_exec("UPDATE Orders SET Status = '" + status + "' WHERE OrderID = " +
+           oid);
+}
+function DeleteMessage(mid) {
+  SQL_exec("DELETE FROM Messages WHERE MessageID = " + mid);
+}
+)JS";
+  }
+
+  void ConfigureRi(core::Ultraverse* uv) const override {
+    // Appendix D.5.
+    uv->ConfigureRi("Users", "UserID");
+    uv->ConfigureRi("Addresses", "UserID");
+    uv->ConfigureRi("Categories", "CategoryID");
+    uv->ConfigureRi("Products", "ProductID");
+    uv->ConfigureRi("Orders", "UserID");
+    uv->ConfigureRi("OrderDetails", "ProductID");
+    uv->ConfigureRi("Messages", "UserID");
+    uv->ConfigureRi("Subscribers", "Email");
+  }
+
+  Status Populate(core::Ultraverse* uv, Rng* rng) override {
+    std::vector<std::string> rows;
+    for (int u = 1; u <= users_; ++u) {
+      rows.push_back(std::to_string(u) + ", 'u" + std::to_string(u) +
+                     "@shop.io', 'nick" + std::to_string(u) + "'");
+    }
+    UV_RETURN_NOT_OK(BulkInsert(uv, "Users", rows));
+    // Every user except the hot user (1) starts with an address: removing
+    // the hot user's AddAddress is the headline what-if scenario.
+    rows.clear();
+    for (int u = 2; u <= users_; ++u) {
+      rows.push_back("NULL, " + std::to_string(u) + ", '" +
+                     std::to_string(100 + u) + " Main St'");
+    }
+    UV_RETURN_NOT_OK(BulkInsert(uv, "Addresses", rows));
+    rows.clear();
+    for (int c = 1; c <= 5; ++c) {
+      rows.push_back(std::to_string(c) + ", 'cat" + std::to_string(c) + "'");
+    }
+    UV_RETURN_NOT_OK(BulkInsert(uv, "Categories", rows));
+    rows.clear();
+    for (int p = 1; p <= products_; ++p) {
+      rows.push_back(std::to_string(p) + ", " +
+                     std::to_string(1 + p % 5) + ", " +
+                     std::to_string(rng->UniformInt(3, 80)) + ".0, 100000");
+    }
+    return BulkInsert(uv, "Products", rows);
+  }
+
+  TxnCall RetroSeedTransaction() override {
+    // Figure 1 / §1: user 1 registers their shipping address.
+    return {"AddAddress", {Num(1), Str("1 Hot Ave")}, true};
+  }
+
+  TxnCall NextTransaction(Rng* rng, double dependency_rate) override {
+    bool hot = rng->Bernoulli(dependency_rate);
+    int64_t uid = hot ? 1 : rng->UniformInt(2, users_);
+    int64_t pid = rng->UniformInt(1, products_);
+    switch (rng->UniformInt(0, 7)) {
+      case 0:
+      case 1:  // orders dominate the mix
+        return {"PlaceOrder",
+                {Num(double(uid)), Num(double(pid)),
+                 Num(double(rng->UniformInt(1, 4)))},
+                hot};
+      case 2:
+        return {"UpdateProfile", {Num(double(uid)), Str(rng->RandomString(6))},
+                hot};
+      case 3:
+        return {"PostMessage", {Num(double(uid)), Str(rng->RandomString(16))},
+                hot};
+      case 4:
+        return {"Subscribe",
+                {Str(rng->RandomString(8) + "@mail.io")},
+                false};
+      case 5:
+        return {"UpdatePrice",
+                {Num(double(pid)), Num(double(rng->UniformInt(3, 90)))},
+                false};
+      case 6:
+        return {"Restock",
+                {Num(double(pid)), Num(double(rng->UniformInt(5, 50)))},
+                false};
+      default:
+        return {"CancelOrder",
+                {Num(double(uid)), Num(double(rng->UniformInt(1, 50)))},
+                hot};
+    }
+  }
+
+ private:
+  int users_;
+  int products_;
+};
+
+}  // namespace
+
+std::unique_ptr<Workload> MakeAstore(int scale) {
+  return std::make_unique<Astore>(scale);
+}
+
+}  // namespace ultraverse::workload

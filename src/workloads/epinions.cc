@@ -1,0 +1,126 @@
+#include "workloads/workload_base.h"
+
+namespace ultraverse::workload {
+
+namespace {
+
+/// Epinions (BenchBase): consumer-review social network. 4 database-
+/// updating transactions, each a single query — which is why Epinions
+/// benefits most from dependency pruning (its column-wise transaction
+/// dependency graph is empty, Figure 12).
+class Epinions : public WorkloadBase {
+ public:
+  explicit Epinions(int scale) : WorkloadBase("epinions", scale) {
+    users_ = 50 * this->scale();
+    items_ = 50 * this->scale();
+  }
+
+  std::string SchemaSql() const override {
+    return R"SQL(
+      CREATE TABLE useracct (u_id INT PRIMARY KEY, name VARCHAR(32));
+      CREATE TABLE item (i_id INT PRIMARY KEY, title VARCHAR(64));
+      CREATE TABLE review (a_id INT PRIMARY KEY AUTO_INCREMENT,
+                           i_id INT, u_id INT, rating INT);
+      CREATE TABLE trust (source_u_id INT, target_u_id INT, trust INT);
+    )SQL";
+  }
+
+  std::string AppSource() const override {
+    return R"JS(
+function UpdateUserName(u_id, name) {
+  SQL_exec("UPDATE useracct SET name = '" + name + "' WHERE u_id = " + u_id);
+}
+function UpdateItemTitle(i_id, title) {
+  SQL_exec("UPDATE item SET title = '" + title + "' WHERE i_id = " + i_id);
+}
+function AddReview(u_id, i_id, rating) {
+  SQL_exec("INSERT INTO review (i_id, u_id, rating) VALUES (" + i_id + ", " +
+           u_id + ", " + rating + ")");
+}
+function UpdateReviewRating(u_id, i_id, rating) {
+  SQL_exec("UPDATE review SET rating = " + rating + " WHERE i_id = " + i_id +
+           " AND u_id = " + u_id);
+}
+function UpdateTrustRating(source_u_id, target_u_id, trust) {
+  SQL_exec("UPDATE trust SET trust = " + trust + " WHERE source_u_id = " +
+           source_u_id + " AND target_u_id = " + target_u_id);
+}
+)JS";
+  }
+
+  void ConfigureRi(core::Ultraverse* uv) const override {
+    // Appendix D.1 (adapted to single-column RI keys).
+    uv->ConfigureRi("useracct", "u_id");
+    uv->ConfigureRi("item", "i_id");
+    uv->ConfigureRi("review", "i_id");
+    uv->ConfigureRi("trust", "source_u_id");
+  }
+
+  Status Populate(core::Ultraverse* uv, Rng* rng) override {
+    std::vector<std::string> rows;
+    for (int u = 1; u <= users_; ++u) {
+      rows.push_back(std::to_string(u) + ", 'user" + std::to_string(u) + "'");
+    }
+    UV_RETURN_NOT_OK(BulkInsert(uv, "useracct", rows));
+    rows.clear();
+    for (int i = 1; i <= items_; ++i) {
+      rows.push_back(std::to_string(i) + ", 'item" + std::to_string(i) + "'");
+    }
+    UV_RETURN_NOT_OK(BulkInsert(uv, "item", rows));
+    rows.clear();
+    for (int t = 0; t < users_ * 2; ++t) {
+      rows.push_back(std::to_string(rng->UniformInt(1, users_)) + ", " +
+                     std::to_string(rng->UniformInt(1, users_)) + ", " +
+                     std::to_string(rng->UniformInt(0, 1)));
+    }
+    return BulkInsert(uv, "trust", rows);
+  }
+
+  TxnCall RetroSeedTransaction() override {
+    // The review all hot rating-updates later rewrite.
+    return {"AddReview", {Num(1), Num(1), Num(3)}, true};
+  }
+
+  TxnCall NextTransaction(Rng* rng, double dependency_rate) override {
+    bool hot = rng->Bernoulli(dependency_rate);
+    int64_t user = hot ? 1 : rng->UniformInt(2, users_);
+    int64_t item = hot ? 1 : rng->UniformInt(2, items_);
+    switch (rng->UniformInt(0, 4)) {
+      case 0:
+        return {"UpdateUserName",
+                {Num(double(user)), Str(rng->RandomString(8))},
+                hot};
+      case 1:
+        return {"UpdateItemTitle",
+                {Num(double(item)), Str(rng->RandomString(12))},
+                hot};
+      case 2:
+        return {"AddReview",
+                {Num(double(user)), Num(double(item)),
+                 Num(double(rng->UniformInt(1, 5)))},
+                hot};
+      case 3:
+        return {"UpdateReviewRating",
+                {Num(double(user)), Num(double(item)),
+                 Num(double(rng->UniformInt(1, 5)))},
+                hot};
+      default:
+        return {"UpdateTrustRating",
+                {Num(double(user)), Num(double(rng->UniformInt(1, users_))),
+                 Num(double(rng->UniformInt(0, 1)))},
+                hot};
+    }
+  }
+
+ private:
+  int users_;
+  int items_;
+};
+
+}  // namespace
+
+std::unique_ptr<Workload> MakeEpinions(int scale) {
+  return std::make_unique<Epinions>(scale);
+}
+
+}  // namespace ultraverse::workload

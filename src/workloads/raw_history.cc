@@ -1,0 +1,121 @@
+#include "workloads/raw_history.h"
+
+#include "util/rng.h"
+
+namespace ultraverse::workload {
+
+namespace {
+
+/// Numeric-only projections of each benchmark's core tables. Key layout is
+/// shared so one generator covers all five: a "subject" table keyed by id
+/// with two numeric attributes, plus a "detail" table keyed by the same id.
+struct Shape {
+  std::string subject;       // e.g. "review"
+  std::string subject_key;   // id column
+  std::string attr1, attr2;  // numeric attribute columns
+  std::string detail;        // second table
+  bool strings = false;      // SEATS: keep a string column (Mahif rejects)
+};
+
+Shape ShapeFor(const std::string& benchmark) {
+  if (benchmark == "epinions") {
+    return {"review", "i_id", "rating", "helpful", "trust", false};
+  }
+  if (benchmark == "tatp") {
+    return {"subscriber", "s_id", "bit_1", "vlr_location", "call_fwd", false};
+  }
+  if (benchmark == "seats") {
+    return {"reservation", "f_id", "seat", "price", "flight", true};
+  }
+  if (benchmark == "tpcc") {
+    return {"stock", "i_id", "quantity", "ytd", "order_line", false};
+  }
+  return {"product", "p_id", "stock", "price", "order_detail", false};
+}
+
+}  // namespace
+
+RawHistory MakeRawHistory(const std::string& benchmark, size_t num_queries,
+                          double dependency_rate, uint64_t seed) {
+  Shape shape = ShapeFor(benchmark);
+  Rng rng(seed);
+  RawHistory out;
+  out.benchmark = benchmark;
+  out.check_table = shape.subject;
+
+  std::string note_col =
+      shape.strings ? ", note VARCHAR(16)" : "";
+  out.schema_sql.push_back("CREATE TABLE " + shape.subject + " (" +
+                           shape.subject_key + " INT PRIMARY KEY, " +
+                           shape.attr1 + " INT, " + shape.attr2 + " INT" +
+                           note_col + ")");
+  out.schema_sql.push_back("CREATE TABLE " + shape.detail + " (id INT, " +
+                           shape.subject_key + " INT, amount INT)");
+
+  const int64_t hot_key = 1;
+  int64_t next_key = 2;
+  int64_t next_detail = 1;
+  std::vector<int64_t> live_keys;
+
+  auto key_str = [&](int64_t k) { return std::to_string(k); };
+  std::string note_val = shape.strings ? ", 'seatA'" : "";
+
+  // Seed: the retroactive target creates the hot subject row.
+  out.queries.push_back("INSERT INTO " + shape.subject + " VALUES (" +
+                        key_str(hot_key) + ", 10, 100" + note_val + ")");
+  out.retro_index = 1;
+  live_keys.push_back(hot_key);
+
+  while (out.queries.size() < num_queries) {
+    bool hot = rng.Bernoulli(dependency_rate);
+    int64_t key;
+    if (hot) {
+      key = hot_key;
+    } else if (!live_keys.empty() && rng.Bernoulli(0.5)) {
+      key = live_keys[size_t(rng.Next() % live_keys.size())];
+      if (key == hot_key) key = next_key - 1 > 1 ? next_key - 1 : hot_key;
+    } else {
+      key = next_key;
+    }
+    switch (rng.UniformInt(0, 3)) {
+      case 0:
+        if (key == next_key) {
+          out.queries.push_back(
+              "INSERT INTO " + shape.subject + " VALUES (" + key_str(key) +
+              ", " + std::to_string(rng.UniformInt(0, 20)) + ", " +
+              std::to_string(rng.UniformInt(0, 200)) + note_val + ")");
+          live_keys.push_back(key);
+          ++next_key;
+        } else {
+          out.queries.push_back(
+              "UPDATE " + shape.subject + " SET " + shape.attr1 + " = " +
+              shape.attr1 + " + 1 WHERE " + shape.subject_key + " = " +
+              key_str(key));
+        }
+        break;
+      case 1:
+        out.queries.push_back(
+            "UPDATE " + shape.subject + " SET " + shape.attr2 + " = " +
+            std::to_string(rng.UniformInt(0, 500)) + " WHERE " +
+            shape.subject_key + " = " + key_str(key == next_key ? hot_key
+                                                                : key));
+        break;
+      case 2:
+        out.queries.push_back("INSERT INTO " + shape.detail + " VALUES (" +
+                              std::to_string(next_detail++) + ", " +
+                              key_str(key == next_key ? hot_key : key) + ", " +
+                              std::to_string(rng.UniformInt(1, 50)) + ")");
+        break;
+      default:
+        out.queries.push_back("DELETE FROM " + shape.detail +
+                              " WHERE amount > 45 AND " + shape.subject_key +
+                              " = " + key_str(key == next_key ? hot_key
+                                                              : key));
+        break;
+    }
+  }
+  out.queries.resize(num_queries);
+  return out;
+}
+
+}  // namespace ultraverse::workload

@@ -1,0 +1,33 @@
+#ifndef ULTRAVERSE_WORKLOADS_RAW_HISTORY_H_
+#define ULTRAVERSE_WORKLOADS_RAW_HISTORY_H_
+
+#include <string>
+#include <vector>
+
+#include "util/status.h"
+
+namespace ultraverse::workload {
+
+/// A flat history of the four basic query types — the only shape the Mahif
+/// baseline supports (§5.1). Each benchmark gets a numeric projection of
+/// its schema (SEATS deliberately keeps string attributes in its DML, so
+/// Mahif rejects it: the "x" cells of Table 4).
+struct RawHistory {
+  std::string benchmark;
+  std::vector<std::string> schema_sql;  // numeric CREATE TABLEs
+  std::vector<std::string> queries;     // INSERT/UPDATE/DELETE stream
+  /// Index (1-based, into `queries`) of the designated retroactive target.
+  uint64_t retro_index = 0;
+  /// Table to compare across engines for correctness.
+  std::string check_table;
+};
+
+/// Generates a raw history for `benchmark` ("epinions", "tatp", "seats",
+/// "tpcc", "astore") with `num_queries` DML queries, where ~dependency_rate
+/// of the stream touches the hot key the retro target also touches.
+RawHistory MakeRawHistory(const std::string& benchmark, size_t num_queries,
+                          double dependency_rate, uint64_t seed);
+
+}  // namespace ultraverse::workload
+
+#endif  // ULTRAVERSE_WORKLOADS_RAW_HISTORY_H_

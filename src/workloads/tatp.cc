@@ -1,0 +1,129 @@
+#include "workloads/workload_base.h"
+
+namespace ultraverse::workload {
+
+namespace {
+
+/// TATP (BenchBase): telecom subscriber management. 4 database-updating
+/// transactions; UpdateLocation addresses subscribers by sub_nbr, the
+/// paper's example of an alias RI column (Appendix D.2).
+class Tatp : public WorkloadBase {
+ public:
+  explicit Tatp(int scale) : WorkloadBase("tatp", scale) {
+    subscribers_ = 100 * this->scale();
+  }
+
+  std::string SchemaSql() const override {
+    return R"SQL(
+      CREATE TABLE subscriber (s_id INT PRIMARY KEY, sub_nbr VARCHAR(16),
+                               bit_1 INT, vlr_location INT);
+      CREATE TABLE special_facility (s_id INT, sf_type INT, is_active INT);
+      CREATE TABLE call_forwarding (s_id INT, sf_type INT, start_time INT,
+                                    end_time INT, numberx VARCHAR(16));
+    )SQL";
+  }
+
+  std::string AppSource() const override {
+    return R"JS(
+function UpdateSubscriberData(s_id, bit, sf_type, active) {
+  var n = SQL_exec("UPDATE subscriber SET bit_1 = " + bit +
+                   " WHERE s_id = " + s_id);
+  SQL_exec("UPDATE special_facility SET is_active = " + active +
+           " WHERE s_id = " + s_id + " AND sf_type = " + sf_type);
+}
+function UpdateLocation(sub_nbr, location) {
+  SQL_exec("UPDATE subscriber SET vlr_location = " + location +
+           " WHERE sub_nbr = '" + sub_nbr + "'");
+}
+function InsertCallForwarding(sub_nbr, sf_type, start_time, end_time, num) {
+  var rows = SQL_exec("SELECT s_id FROM subscriber WHERE sub_nbr = '" +
+                      sub_nbr + "'");
+  if (rows[0]["s_id"] != 0) {
+    SQL_exec("INSERT INTO call_forwarding VALUES (" + rows[0]["s_id"] + ", " +
+             sf_type + ", " + start_time + ", " + end_time + ", '" + num +
+             "')");
+  } else {
+    return "Error: unknown subscriber " + sub_nbr;
+  }
+}
+function DeleteCallForwarding(sub_nbr, sf_type, start_time) {
+  var rows = SQL_exec("SELECT s_id FROM subscriber WHERE sub_nbr = '" +
+                      sub_nbr + "'");
+  if (rows[0]["s_id"] != 0) {
+    SQL_exec("DELETE FROM call_forwarding WHERE s_id = " + rows[0]["s_id"] +
+             " AND sf_type = " + sf_type + " AND start_time = " + start_time);
+  }
+}
+)JS";
+  }
+
+  void ConfigureRi(core::Ultraverse* uv) const override {
+    // Appendix D.2: subscriber.sub_nbr is an alias of subscriber.s_id.
+    uv->ConfigureRi("subscriber", "s_id", {"sub_nbr"});
+    uv->ConfigureRi("special_facility", "s_id");
+    uv->ConfigureRi("call_forwarding", "s_id");
+  }
+
+  Status Populate(core::Ultraverse* uv, Rng* rng) override {
+    std::vector<std::string> rows;
+    for (int s = 1; s <= subscribers_; ++s) {
+      rows.push_back(std::to_string(s) + ", 's" + std::to_string(s) + "', " +
+                     std::to_string(rng->UniformInt(0, 1)) + ", " +
+                     std::to_string(rng->UniformInt(1, 100)));
+    }
+    UV_RETURN_NOT_OK(BulkInsert(uv, "subscriber", rows));
+    rows.clear();
+    for (int s = 1; s <= subscribers_; ++s) {
+      for (int sf = 1; sf <= 2; ++sf) {
+        rows.push_back(std::to_string(s) + ", " + std::to_string(sf) + ", 1");
+      }
+    }
+    return BulkInsert(uv, "special_facility", rows);
+  }
+
+  TxnCall RetroSeedTransaction() override {
+    // Forwarding entry that hot DeleteCallForwarding calls depend on.
+    return {"InsertCallForwarding",
+            {Str("s1"), Num(1), Num(8), Num(17), Str("555-0001")},
+            true};
+  }
+
+  TxnCall NextTransaction(Rng* rng, double dependency_rate) override {
+    bool hot = rng->Bernoulli(dependency_rate);
+    int64_t sid = hot ? 1 : rng->UniformInt(2, subscribers_);
+    std::string nbr = "s" + std::to_string(sid);
+    switch (rng->UniformInt(0, 3)) {
+      case 0:
+        return {"UpdateSubscriberData",
+                {Num(double(sid)), Num(double(rng->UniformInt(0, 1))),
+                 Num(double(rng->UniformInt(1, 2))),
+                 Num(double(rng->UniformInt(0, 1)))},
+                hot};
+      case 1:
+        return {"UpdateLocation",
+                {Str(nbr), Num(double(rng->UniformInt(1, 1000)))},
+                hot};
+      case 2:
+        return {"InsertCallForwarding",
+                {Str(nbr), Num(double(rng->UniformInt(1, 2))),
+                 Num(double(rng->UniformInt(0, 12))), Num(double(17)),
+                 Str("555-" + std::to_string(rng->UniformInt(1000, 9999)))},
+                hot};
+      default:
+        return {"DeleteCallForwarding",
+                {Str(nbr), Num(1), Num(8)},
+                hot};
+    }
+  }
+
+ private:
+  int subscribers_;
+};
+
+}  // namespace
+
+std::unique_ptr<Workload> MakeTatp(int scale) {
+  return std::make_unique<Tatp>(scale);
+}
+
+}  // namespace ultraverse::workload

@@ -1,0 +1,186 @@
+#include "workloads/workload_base.h"
+
+namespace ultraverse::workload {
+
+namespace {
+
+/// TPC-C (BenchBase): order entry. NewOrder loops over order lines
+/// (exercising the transpiler's RTT consolidation) and branches on stock
+/// levels; warehouse-level RI columns make transactions within a warehouse
+/// densely dependent (the paper reports TPC-C only at 100% dependency).
+class Tpcc : public WorkloadBase {
+ public:
+  explicit Tpcc(int scale) : WorkloadBase("tpcc", scale) {
+    warehouses_ = 2 * this->scale();
+    districts_per_w_ = 4;
+    customers_ = 40 * this->scale();
+    items_ = 50 * this->scale();
+  }
+
+  std::string SchemaSql() const override {
+    return R"SQL(
+      CREATE TABLE warehouse (W_ID INT PRIMARY KEY, W_YTD DOUBLE);
+      CREATE TABLE district (D_ID INT PRIMARY KEY, D_W_ID INT,
+                             D_NEXT_O_ID INT, D_YTD DOUBLE);
+      CREATE TABLE customer (C_ID INT PRIMARY KEY, C_W_ID INT, C_D_ID INT,
+                             C_BALANCE DOUBLE);
+      CREATE TABLE item (I_ID INT PRIMARY KEY, I_PRICE DOUBLE);
+      CREATE TABLE stock (S_ID INT PRIMARY KEY, S_I_ID INT, S_W_ID INT,
+                          S_QUANTITY INT);
+      CREATE TABLE orders (O_ID INT PRIMARY KEY AUTO_INCREMENT, O_W_ID INT,
+                           O_D_ID INT, O_C_ID INT, O_CARRIER INT);
+      CREATE TABLE order_line (OL_O_ID INT, OL_W_ID INT, OL_I_ID INT,
+                               OL_QTY INT, OL_AMOUNT DOUBLE);
+      CREATE TABLE history (H_ID INT PRIMARY KEY AUTO_INCREMENT, H_C_ID INT,
+                            H_AMOUNT DOUBLE);
+    )SQL";
+  }
+
+  std::string AppSource() const override {
+    return R"JS(
+function order_item(w_id, o_id, i_id, qty) {
+  var item = SQL_exec("SELECT I_PRICE FROM item WHERE I_ID = " + i_id);
+  SQL_exec("INSERT INTO order_line VALUES (" + o_id + ", " + w_id + ", " +
+           i_id + ", " + qty + ", " + (item[0]["I_PRICE"] * qty) + ")");
+  var s = SQL_exec("SELECT S_QUANTITY FROM stock WHERE S_I_ID = " + i_id +
+                   " AND S_W_ID = " + w_id);
+  if (s[0]["S_QUANTITY"] - qty >= 10) {
+    SQL_exec("UPDATE stock SET S_QUANTITY = S_QUANTITY - " + qty +
+             " WHERE S_I_ID = " + i_id + " AND S_W_ID = " + w_id);
+  } else {
+    SQL_exec("UPDATE stock SET S_QUANTITY = S_QUANTITY + " + (91 - qty) +
+             " WHERE S_I_ID = " + i_id + " AND S_W_ID = " + w_id);
+  }
+}
+function NewOrder(w_id, d_id, c_id, i1, q1, i2, q2, i3, q3) {
+  var d = SQL_exec("SELECT D_NEXT_O_ID FROM district WHERE D_ID = " + d_id);
+  var o_id = d[0]["D_NEXT_O_ID"];
+  SQL_exec("UPDATE district SET D_NEXT_O_ID = " + (o_id + 1) +
+           " WHERE D_ID = " + d_id);
+  SQL_exec("INSERT INTO orders (O_W_ID, O_D_ID, O_C_ID, O_CARRIER) VALUES (" +
+           w_id + ", " + d_id + ", " + c_id + ", 0)");
+  order_item(w_id, o_id, i1, q1);
+  order_item(w_id, o_id, i2, q2);
+  order_item(w_id, o_id, i3, q3);
+}
+function Payment(w_id, d_id, c_id, amount) {
+  SQL_exec("UPDATE warehouse SET W_YTD = W_YTD + " + amount +
+           " WHERE W_ID = " + w_id);
+  SQL_exec("UPDATE district SET D_YTD = D_YTD + " + amount +
+           " WHERE D_ID = " + d_id);
+  SQL_exec("UPDATE customer SET C_BALANCE = C_BALANCE - " + amount +
+           " WHERE C_ID = " + c_id);
+  SQL_exec("INSERT INTO history (H_C_ID, H_AMOUNT) VALUES (" + c_id + ", " +
+           amount + ")");
+}
+function Delivery(w_id, d_id, carrier) {
+  SQL_exec("UPDATE orders SET O_CARRIER = " + carrier + " WHERE O_W_ID = " +
+           w_id + " AND O_D_ID = " + d_id + " AND O_CARRIER = 0");
+  SQL_exec("UPDATE district SET D_YTD = D_YTD + 1 WHERE D_ID = " + d_id);
+}
+)JS";
+  }
+
+  void ConfigureRi(core::Ultraverse* uv) const override {
+    // Appendix D.4: warehouse-id RI columns for warehouse-scoped tables.
+    uv->ConfigureRi("warehouse", "W_ID");
+    uv->ConfigureRi("district", "D_W_ID");
+    uv->ConfigureRi("customer", "C_ID");
+    uv->ConfigureRi("item", "I_ID");
+    uv->ConfigureRi("stock", "S_W_ID");
+    uv->ConfigureRi("orders", "O_W_ID");
+    uv->ConfigureRi("order_line", "OL_W_ID");
+    uv->ConfigureRi("history", "H_C_ID");
+  }
+
+  Status Populate(core::Ultraverse* uv, Rng* rng) override {
+    std::vector<std::string> rows;
+    for (int w = 1; w <= warehouses_; ++w) {
+      rows.push_back(std::to_string(w) + ", 0.0");
+    }
+    UV_RETURN_NOT_OK(BulkInsert(uv, "warehouse", rows));
+    rows.clear();
+    for (int w = 1; w <= warehouses_; ++w) {
+      for (int d = 1; d <= districts_per_w_; ++d) {
+        rows.push_back(std::to_string(w * 100 + d) + ", " + std::to_string(w) +
+                       ", 1, 0.0");
+      }
+    }
+    UV_RETURN_NOT_OK(BulkInsert(uv, "district", rows));
+    rows.clear();
+    for (int c = 1; c <= customers_; ++c) {
+      int w = 1 + (c % warehouses_);
+      rows.push_back(std::to_string(c) + ", " + std::to_string(w) + ", " +
+                     std::to_string(w * 100 + 1 + (c % districts_per_w_)) +
+                     ", 500.0");
+    }
+    UV_RETURN_NOT_OK(BulkInsert(uv, "customer", rows));
+    rows.clear();
+    for (int i = 1; i <= items_; ++i) {
+      rows.push_back(std::to_string(i) + ", " +
+                     std::to_string(rng->UniformInt(5, 100)) + ".0");
+    }
+    UV_RETURN_NOT_OK(BulkInsert(uv, "item", rows));
+    rows.clear();
+    for (int w = 1; w <= warehouses_; ++w) {
+      for (int i = 1; i <= items_; ++i) {
+        rows.push_back(std::to_string(w * 100000 + i) + ", " +
+                       std::to_string(i) + ", " + std::to_string(w) + ", 80");
+      }
+    }
+    return BulkInsert(uv, "stock", rows);
+  }
+
+  TxnCall RetroSeedTransaction() override {
+    // Warehouse 1's first order: later warehouse-1 traffic depends on the
+    // district order counter and stock rows it touched.
+    return {"NewOrder",
+            {Num(1), Num(101), Num(1), Num(1), Num(2), Num(2), Num(1), Num(3),
+             Num(4)},
+            true};
+  }
+
+  TxnCall NextTransaction(Rng* rng, double dependency_rate) override {
+    bool hot = rng->Bernoulli(dependency_rate);
+    int64_t w = hot ? 1 : rng->UniformInt(1, warehouses_);
+    int64_t d = w * 100 + rng->UniformInt(1, districts_per_w_);
+    int64_t c = rng->UniformInt(1, customers_);
+    switch (rng->UniformInt(0, 2)) {
+      case 0: {
+        int64_t i1 = rng->UniformInt(1, items_);
+        int64_t i2 = rng->UniformInt(1, items_);
+        int64_t i3 = rng->UniformInt(1, items_);
+        return {"NewOrder",
+                {Num(double(w)), Num(double(d)), Num(double(c)),
+                 Num(double(i1)), Num(double(rng->UniformInt(1, 5))),
+                 Num(double(i2)), Num(double(rng->UniformInt(1, 5))),
+                 Num(double(i3)), Num(double(rng->UniformInt(1, 5)))},
+                hot};
+      }
+      case 1:
+        return {"Payment",
+                {Num(double(w)), Num(double(d)), Num(double(c)),
+                 Num(double(rng->UniformInt(1, 50)))},
+                hot};
+      default:
+        return {"Delivery",
+                {Num(double(w)), Num(double(d)),
+                 Num(double(rng->UniformInt(1, 10)))},
+                hot};
+    }
+  }
+
+ private:
+  int warehouses_;
+  int districts_per_w_;
+  int customers_;
+  int items_;
+};
+
+}  // namespace
+
+std::unique_ptr<Workload> MakeTpcc(int scale) {
+  return std::make_unique<Tpcc>(scale);
+}
+
+}  // namespace ultraverse::workload

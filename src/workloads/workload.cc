@@ -1,0 +1,93 @@
+#include "workloads/workload.h"
+
+#include "sqldb/parser.h"
+#include "util/string_util.h"
+#include "workloads/workload_base.h"
+
+namespace ultraverse::workload {
+
+Status WorkloadBase::ExecBatch(core::Ultraverse* uv,
+                               const std::string& script) {
+  UV_ASSIGN_OR_RETURN(std::vector<sql::StatementPtr> stmts,
+                      sql::Parser::ParseScript(script));
+  for (const auto& stmt : stmts) {
+    Result<sql::ExecResult> r = uv->ExecuteSql(sql::ToSql(*stmt));
+    if (!r.ok()) return r.status();
+  }
+  return Status::OK();
+}
+
+Status WorkloadBase::BulkInsert(core::Ultraverse* uv, const std::string& table,
+                                const std::vector<std::string>& rows) {
+  constexpr size_t kChunk = 50;
+  for (size_t i = 0; i < rows.size(); i += kChunk) {
+    std::string sql = "INSERT INTO " + table + " VALUES ";
+    for (size_t j = i; j < rows.size() && j < i + kChunk; ++j) {
+      if (j > i) sql += ", ";
+      sql += "(" + rows[j] + ")";
+    }
+    Result<sql::ExecResult> r = uv->ExecuteSql(sql);
+    if (!r.ok()) return r.status();
+  }
+  return Status::OK();
+}
+
+std::vector<std::string> AllWorkloadNames() {
+  return {"epinions", "tatp", "seats", "tpcc", "astore"};
+}
+
+std::unique_ptr<Workload> MakeWorkload(const std::string& name, int scale) {
+  if (name == "epinions") return MakeEpinions(scale);
+  if (name == "tatp") return MakeTatp(scale);
+  if (name == "seats") return MakeSeats(scale);
+  if (name == "tpcc") return MakeTpcc(scale);
+  if (name == "astore") return MakeAstore(scale);
+  return nullptr;
+}
+
+Driver::Driver(std::unique_ptr<Workload> workload, core::Ultraverse* uv,
+               Config config)
+    : workload_(std::move(workload)),
+      uv_(uv),
+      config_(config),
+      rng_(config.seed) {}
+
+Status Driver::Setup() {
+  // 1. Schema DDL (committed through the log: the analyzer's registry and
+  //    the _S dependency rules need it).
+  UV_ASSIGN_OR_RETURN(std::vector<sql::StatementPtr> ddl,
+                      sql::Parser::ParseScript(workload_->SchemaSql()));
+  for (const auto& stmt : ddl) {
+    Result<sql::ExecResult> r = uv_->ExecuteSql(sql::ToSql(*stmt));
+    if (!r.ok()) return r.status();
+  }
+  // 2. DSE + transpilation of the application (§3).
+  UV_RETURN_NOT_OK(uv_->LoadApplication(workload_->AppSource()));
+  // 3. RI configuration (Appendix D).
+  workload_->ConfigureRi(uv_);
+  // 4. Initial dataset.
+  UV_RETURN_NOT_OK(workload_->Populate(uv_, &rng_));
+  // 5. The retroactive seed transaction: the what-if target.
+  TxnCall seed = workload_->RetroSeedTransaction();
+  Result<app::AppValue> r =
+      uv_->RunTransaction(seed.function, seed.args, config_.commit_mode);
+  if (!r.ok()) return r.status();
+  retro_target_index_ = uv_->log()->last_index();
+  return Status::OK();
+}
+
+Status Driver::RunHistory(size_t num_txns) {
+  for (size_t i = 0; i < num_txns; ++i) {
+    TxnCall txn = workload_->NextTransaction(&rng_, config_.dependency_rate);
+    Result<app::AppValue> r =
+        uv_->RunTransaction(txn.function, txn.args, config_.commit_mode);
+    if (!r.ok()) {
+      return Status(r.status().code(),
+                    workload_->name() + "/" + txn.function + ": " +
+                        r.status().message());
+    }
+  }
+  return Status::OK();
+}
+
+}  // namespace ultraverse::workload

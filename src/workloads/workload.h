@@ -1,0 +1,95 @@
+#ifndef ULTRAVERSE_WORKLOADS_WORKLOAD_H_
+#define ULTRAVERSE_WORKLOADS_WORKLOAD_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/ultraverse.h"
+#include "util/rng.h"
+
+namespace ultraverse::workload {
+
+/// One application-level transaction invocation.
+struct TxnCall {
+  std::string function;
+  std::vector<app::AppValue> args;
+  bool hot = false;  // touches the designated hot entity (dependency knob)
+};
+
+/// A benchmark workload: schema, UvScript application, RI configuration
+/// (Appendix D), initial population, and a transaction generator.
+///
+/// The five implementations mirror the paper's §5 suite: BenchBase's TPC-C,
+/// TATP, Epinions and SEATS (transactions re-expressed in UvScript, the
+/// JS stand-in), plus the AStore e-commerce web application.
+class Workload {
+ public:
+  virtual ~Workload() = default;
+
+  virtual const std::string& name() const = 0;
+  /// ';'-separated DDL creating the tables (committed through the log).
+  virtual std::string SchemaSql() const = 0;
+  /// UvScript source of the application-level transactions.
+  virtual std::string AppSource() const = 0;
+  /// Applies the Appendix-D RI column / alias configuration.
+  virtual void ConfigureRi(core::Ultraverse* uv) const = 0;
+
+  /// Loads the initial dataset (the "backup DB" starting point of §5.2).
+  /// Population flows through the facade so the analyzer learns alias-RI
+  /// mappings from the population inserts (§4.3).
+  virtual Status Populate(core::Ultraverse* uv, Rng* rng) = 0;
+
+  /// Generates the next transaction of the regular service stream.
+  /// `dependency_rate` is the probability of touching the hot entity that
+  /// the retroactive target also touches (§5.4 Query Dependency Rate).
+  virtual TxnCall NextTransaction(Rng* rng, double dependency_rate) = 0;
+
+  /// A retroactive target transaction: one the hot entity depends on
+  /// (generated like a hot NextTransaction but deterministic).
+  virtual TxnCall RetroSeedTransaction() = 0;
+};
+
+/// Factory for the five benchmark workloads ("tpcc", "tatp", "epinions",
+/// "seats", "astore"). `scale` multiplies the initial dataset size.
+std::unique_ptr<Workload> MakeWorkload(const std::string& name, int scale);
+
+/// All five names, in the paper's table order.
+std::vector<std::string> AllWorkloadNames();
+
+/// End-to-end driver: sets a workload up inside an Ultraverse instance,
+/// commits a history, and designates a retroactive target.
+class Driver {
+ public:
+  struct Config {
+    int scale = 1;
+    double dependency_rate = 0.5;
+    core::SystemMode commit_mode = core::SystemMode::kT;
+    uint64_t seed = 1;
+  };
+
+  Driver(std::unique_ptr<Workload> workload, core::Ultraverse* uv,
+         Config config);
+
+  /// Schema + application + RI config + population + the retro seed txn.
+  Status Setup();
+
+  /// Commits `num_txns` application transactions.
+  Status RunHistory(size_t num_txns);
+
+  /// Log index of the designated retroactive target (the seed txn).
+  uint64_t retro_target_index() const { return retro_target_index_; }
+
+  Workload* workload() { return workload_.get(); }
+
+ private:
+  std::unique_ptr<Workload> workload_;
+  core::Ultraverse* uv_;
+  Config config_;
+  Rng rng_;
+  uint64_t retro_target_index_ = 0;
+};
+
+}  // namespace ultraverse::workload
+
+#endif  // ULTRAVERSE_WORKLOADS_WORKLOAD_H_

@@ -1,0 +1,48 @@
+#ifndef ULTRAVERSE_WORKLOADS_WORKLOAD_BASE_H_
+#define ULTRAVERSE_WORKLOADS_WORKLOAD_BASE_H_
+
+#include <string>
+#include <vector>
+
+#include "workloads/workload.h"
+
+namespace ultraverse::workload {
+
+/// Shared helpers for the five workload implementations.
+class WorkloadBase : public Workload {
+ public:
+  WorkloadBase(std::string name, int scale)
+      : name_(std::move(name)), scale_(scale < 1 ? 1 : scale) {}
+
+  const std::string& name() const override { return name_; }
+
+ protected:
+  int scale() const { return scale_; }
+
+  /// Executes a ';'-separated batch of SQL through the facade (logged).
+  static Status ExecBatch(core::Ultraverse* uv, const std::string& script);
+
+  /// Inserts `rows` literal tuples into `table` in chunks of 50 (keeps the
+  /// population part of the log compact).
+  static Status BulkInsert(core::Ultraverse* uv, const std::string& table,
+                           const std::vector<std::string>& rows);
+
+  static app::AppValue Num(double v) { return app::AppValue::Number(v); }
+  static app::AppValue Str(std::string s) {
+    return app::AppValue::String(std::move(s));
+  }
+
+  std::string name_;
+  int scale_;
+};
+
+// Per-benchmark factories (defined in the sibling .cc files).
+std::unique_ptr<Workload> MakeEpinions(int scale);
+std::unique_ptr<Workload> MakeTatp(int scale);
+std::unique_ptr<Workload> MakeSeats(int scale);
+std::unique_ptr<Workload> MakeTpcc(int scale);
+std::unique_ptr<Workload> MakeAstore(int scale);
+
+}  // namespace ultraverse::workload
+
+#endif  // ULTRAVERSE_WORKLOADS_WORKLOAD_BASE_H_

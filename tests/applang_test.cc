@@ -1,0 +1,206 @@
+#include <gtest/gtest.h>
+
+#include "applang/app_ops.h"
+#include "applang/app_parser.h"
+#include "applang/interpreter.h"
+
+namespace ultraverse::app {
+namespace {
+
+/// Bridge with canned results for tests.
+class FakeBridge : public SqlBridge {
+ public:
+  Result<AppValue> ExecuteAppSql(const std::string& sql) override {
+    executed.push_back(sql);
+    if (!canned.empty()) {
+      AppValue v = canned.front();
+      canned.erase(canned.begin());
+      return v;
+    }
+    return AppValue::Number(1);
+  }
+  std::vector<std::string> executed;
+  std::vector<AppValue> canned;
+};
+
+AppValue RunFn(const std::string& src, const std::string& fn,
+               std::vector<AppValue> args, FakeBridge* bridge = nullptr) {
+  auto prog = AppParser::Parse(src);
+  EXPECT_TRUE(prog.ok()) << prog.status().ToString();
+  FakeBridge local;
+  Interpreter interp(&*prog, bridge ? bridge : &local);
+  auto r = interp.CallFunction(fn, std::move(args));
+  EXPECT_TRUE(r.ok()) << r.status().ToString();
+  return r.ok() ? *r : AppValue::Null();
+}
+
+// --- Parsing ---------------------------------------------------------------
+
+TEST(AppParserTest, FunctionsAndParams) {
+  auto prog = AppParser::Parse("function f(a, b) { return a + b; }"
+                               "function g() { return 1; }");
+  ASSERT_TRUE(prog.ok());
+  EXPECT_EQ(prog->functions.size(), 2u);
+  EXPECT_EQ(prog->functions.at("f").params.size(), 2u);
+}
+
+TEST(AppParserTest, TemplateLiteralDesugars) {
+  auto prog = AppParser::Parse(
+      "function f(x) { return `a${x}b${x + 1}c`; }");
+  ASSERT_TRUE(prog.ok());
+}
+
+TEST(AppParserTest, RejectsBrokenSource) {
+  EXPECT_FALSE(AppParser::Parse("function f( {").ok());
+  EXPECT_FALSE(AppParser::Parse("function f() { if (x }").ok());
+  EXPECT_FALSE(AppParser::Parse("not_a_function;").ok());
+}
+
+// --- Semantics ---------------------------------------------------------------
+
+TEST(AppInterpreterTest, ArithmeticAndCoercion) {
+  EXPECT_EQ(RunFn("function f(a, b) { return a + b; }", "f",
+                  {AppValue::Number(2), AppValue::Number(3)})
+                .ToNum(),
+            5);
+  // JS-style: + with a string concatenates.
+  EXPECT_EQ(RunFn("function f(a, b) { return a + b; }", "f",
+                  {AppValue::String("x"), AppValue::Number(3)})
+                .ToStr(),
+            "x3");
+  // - always coerces numerically.
+  EXPECT_EQ(RunFn("function f(a, b) { return a - b; }", "f",
+                  {AppValue::String("10"), AppValue::Number(3)})
+                .ToNum(),
+            7);
+}
+
+TEST(AppInterpreterTest, LooseEquality) {
+  AppValue r = RunFn("function f(a) { if (a == '5') return 1; return 0; }",
+                     "f", {AppValue::Number(5)});
+  EXPECT_EQ(r.ToNum(), 1) << "5 == '5' under loose coercion";
+}
+
+TEST(AppInterpreterTest, WhileAndForLoops) {
+  EXPECT_EQ(RunFn("function f(n) { var s = 0; var i = 0;"
+                  " while (i < n) { s = s + i; i = i + 1; } return s; }",
+                  "f", {AppValue::Number(5)})
+                .ToNum(),
+            10);
+  EXPECT_EQ(RunFn("function f(n) { var s = 0;"
+                  " for (var i = 0; i < n; i++) { s += 2; } return s; }",
+                  "f", {AppValue::Number(4)})
+                .ToNum(),
+            8);
+}
+
+TEST(AppInterpreterTest, ArraysAndObjects) {
+  AppValue r = RunFn(
+      "function f() { var a = [1, 2, 3]; var o = {x: 10, 'y': 20};"
+      " a[0] = o.x; o.y = a.length; return a[0] + o.y; }",
+      "f", {});
+  EXPECT_EQ(r.ToNum(), 13);
+}
+
+TEST(AppInterpreterTest, NestedFunctionCalls) {
+  EXPECT_EQ(RunFn("function helper(x) { return x * 2; }"
+                  "function f(n) { return helper(n) + helper(1); }",
+                  "f", {AppValue::Number(5)})
+                .ToNum(),
+            12);
+}
+
+TEST(AppInterpreterTest, DynamicCallTargets) {
+  // §3.4 dynamic control-flow targets: the callee name arrives at runtime.
+  AppValue r = RunFn(
+      "function increment(x) { return x + 1; }"
+      "function decrement(x) { return x - 1; }"
+      "function f(which, v) { var fns = {inc: 'increment', dec: 'decrement'};"
+      " return fns[which](v); }",
+      "f", {AppValue::String("dec"), AppValue::Number(10)});
+  EXPECT_EQ(r.ToNum(), 9);
+}
+
+TEST(AppInterpreterTest, SqlGoesThroughBridge) {
+  FakeBridge bridge;
+  AppValue row = AppValue::Object();
+  (*row.obj)["cnt"] = AppValue::Number(2);
+  AppValue rs = AppValue::Array();
+  rs.arr->push_back(row);
+  bridge.canned.push_back(rs);
+  AppValue r = RunFn(
+      "function f(u) { var rows = SQL_exec('SELECT COUNT(*) AS cnt FROM t"
+      " WHERE u = ' + u); return rows[0]['cnt']; }",
+      "f", {AppValue::Number(9)}, &bridge);
+  EXPECT_EQ(r.ToNum(), 2);
+  ASSERT_EQ(bridge.executed.size(), 1u);
+  EXPECT_EQ(bridge.executed[0], "SELECT COUNT(*) AS cnt FROM t WHERE u = 9");
+}
+
+TEST(AppInterpreterTest, TemplateLiteralBuildsSql) {
+  FakeBridge bridge;
+  RunFn("function f(id) { SQL_exec(`DELETE FROM t WHERE id = ${id + 1}`); }",
+        "f", {AppValue::Number(4)}, &bridge);
+  ASSERT_EQ(bridge.executed.size(), 1u);
+  EXPECT_EQ(bridge.executed[0], "DELETE FROM t WHERE id = 5");
+}
+
+TEST(AppInterpreterTest, StepBudgetStopsInfiniteLoops) {
+  auto prog = AppParser::Parse("function f() { while (1 == 1) { } }");
+  ASSERT_TRUE(prog.ok());
+  FakeBridge bridge;
+  Interpreter::Options opts;
+  opts.max_steps = 10000;
+  Interpreter interp(&*prog, &bridge, nullptr, opts);
+  auto r = interp.CallFunction("f", {});
+  EXPECT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kTimeout);
+}
+
+TEST(AppInterpreterTest, TxnLogCallbackFiresOncePerTopLevelCall) {
+  auto prog = AppParser::Parse(
+      "function inner(x) { return x; }"
+      "function f(a) { return inner(a) + inner(a); }");
+  ASSERT_TRUE(prog.ok());
+  FakeBridge bridge;
+  Interpreter interp(&*prog, &bridge);
+  int logged = 0;
+  interp.on_txn_log = [&](const std::string& fn,
+                          const std::vector<AppValue>&) {
+    ++logged;
+    EXPECT_EQ(fn, "f");
+  };
+  ASSERT_TRUE(interp.CallFunction("f", {AppValue::Number(1)}).ok());
+  EXPECT_EQ(logged, 1);
+}
+
+TEST(AppInterpreterTest, HttpSendDefaultResponse) {
+  AppValue r = RunFn(
+      "function f() { var resp = http_send('msg'); return resp.code; }",
+      "f", {});
+  EXPECT_EQ(r.ToNum(), 1);
+}
+
+TEST(AppOpsTest, TruthyRules) {
+  EXPECT_FALSE(AppValue::Null().Truthy());
+  EXPECT_FALSE(AppValue::Number(0).Truthy());
+  EXPECT_FALSE(AppValue::String("").Truthy());
+  EXPECT_TRUE(AppValue::String("0").Truthy()) << "JS: non-empty string";
+  EXPECT_TRUE(AppValue::Array().Truthy());
+}
+
+TEST(AppOpsTest, NumberToStringDropsTrailingZeros) {
+  EXPECT_EQ(AppValue::Number(42).ToStr(), "42");
+  EXPECT_EQ(AppValue::Number(2.5).ToStr(), "2.5");
+  EXPECT_EQ(AppValue::Number(-7).ToStr(), "-7");
+}
+
+TEST(AppOpsTest, SqlValueRoundTrip) {
+  EXPECT_EQ(AppValue::Number(5).ToSqlValue().type(), sql::DataType::kInt);
+  EXPECT_EQ(AppValue::Number(5.5).ToSqlValue().type(), sql::DataType::kDouble);
+  EXPECT_EQ(AppValue::FromSqlValue(sql::Value::String("s")).ToStr(), "s");
+  EXPECT_TRUE(AppValue::FromSqlValue(sql::Value::Null()).IsNull());
+}
+
+}  // namespace
+}  // namespace ultraverse::app

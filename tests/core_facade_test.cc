@@ -1,0 +1,392 @@
+#include <gtest/gtest.h>
+
+#include <thread>
+
+#include "core/ri_selector.h"
+#include "core/txn_scheduler.h"
+#include "sqldb/parser.h"
+#include "core/ultraverse.h"
+
+namespace ultraverse::core {
+namespace {
+
+using app::AppValue;
+
+// --- RiSelector ---------------------------------------------------------------
+
+class RiSelectorTest : public ::testing::Test {
+ protected:
+  void Commit(const std::string& sql) {
+    ASSERT_TRUE(uv_.ExecuteSql(sql).ok()) << sql;
+  }
+  Ultraverse uv_;
+};
+
+TEST_F(RiSelectorTest, PrimaryKeyWinsByDefault) {
+  Commit("CREATE TABLE t (id INT PRIMARY KEY, v INT)");
+  Commit("INSERT INTO t VALUES (1, 0)");
+  auto choices = RiSelector::SelectFromLog(*uv_.log());
+  EXPECT_EQ(choices.at("t").ri_column, "id");
+}
+
+TEST_F(RiSelectorTest, MostEquatedColumnWinsWithoutPk) {
+  Commit("CREATE TABLE s (a INT, b INT, c INT)");
+  Commit("INSERT INTO s VALUES (1, 2, 3)");
+  for (int i = 0; i < 5; ++i) {
+    Commit("UPDATE s SET c = 9 WHERE b = " + std::to_string(i));
+  }
+  Commit("UPDATE s SET c = 9 WHERE a = 1");
+  auto choices = RiSelector::SelectFromLog(*uv_.log());
+  EXPECT_EQ(choices.at("s").ri_column, "b");
+}
+
+TEST_F(RiSelectorTest, HeavilyEquatedSecondColumnBecomesAlias) {
+  Commit("CREATE TABLE u (uid INT PRIMARY KEY, nick VARCHAR(8))");
+  for (int i = 0; i < 4; ++i) {
+    Commit("INSERT INTO u VALUES (" + std::to_string(i) + ", 'n" +
+           std::to_string(i) + "')");
+    Commit("UPDATE u SET nick = 'x' WHERE uid = " + std::to_string(i));
+    Commit("DELETE FROM u WHERE nick = 'x'");
+    Commit("INSERT INTO u VALUES (" + std::to_string(i) + ", 'n')");
+  }
+  auto choices = RiSelector::SelectFromLog(*uv_.log());
+  const auto& c = choices.at("u");
+  EXPECT_EQ(c.ri_column, "uid");
+  ASSERT_EQ(c.aliases.size(), 1u);
+  EXPECT_EQ(c.aliases[0], "nick");
+}
+
+TEST_F(RiSelectorTest, LooksInsideProcedures) {
+  Commit("CREATE TABLE w (k INT, v INT)");
+  Commit("CREATE PROCEDURE bump (IN x INT) BEGIN"
+         " UPDATE w SET v = v + 1 WHERE k = x; END");
+  Commit("INSERT INTO w VALUES (1, 0)");
+  Commit("CALL bump(1)");
+  Commit("CALL bump(1)");
+  auto choices = RiSelector::SelectFromLog(*uv_.log());
+  EXPECT_EQ(choices.at("w").ri_column, "k");
+}
+
+TEST_F(RiSelectorTest, ApplyEnablesRowPruning) {
+  Commit("CREATE TABLE t (id INT, v INT)");  // no PK: wildcard without RI
+  Commit("INSERT INTO t VALUES (1, 0)");
+  uint64_t target = uv_.log()->last_index();
+  Commit("INSERT INTO t VALUES (2, 0)");
+  for (int i = 0; i < 6; ++i) {
+    Commit("UPDATE t SET v = v + 1 WHERE id = 2");
+  }
+  RiSelector::Apply(*uv_.log(), uv_.analyzer());
+  RetroOp op;
+  op.kind = RetroOp::Kind::kRemove;
+  op.index = target;
+  auto stats = uv_.WhatIf(op, SystemMode::kTD);
+  ASSERT_TRUE(stats.ok());
+  EXPECT_EQ(stats->replayed, 0u)
+      << "with the auto-selected RI column, row 2's updates are independent";
+}
+
+// --- Captured-variable concretization (§4.3) ------------------------------------
+
+TEST(CapturedVarsTest, SelectIntoRiValueIsConcretizedFromCapture) {
+  // TATP-style: the inserted row's key comes from a SELECT ... INTO. When
+  // committed through the transpiled procedure, the variable's runtime
+  // value is captured and row-wise analysis uses it instead of a wildcard.
+  Ultraverse uv;
+  ASSERT_TRUE(uv.ExecuteSql("CREATE TABLE sub (s_id INT PRIMARY KEY,"
+                            " nbr VARCHAR(8))")
+                  .ok());
+  ASSERT_TRUE(uv.ExecuteSql("CREATE TABLE fwd (s_id INT, dest VARCHAR(8))")
+                  .ok());
+  ASSERT_TRUE(uv.LoadApplication(R"JS(
+function AddFwd(nbr, dest) {
+  var rows = SQL_exec("SELECT s_id FROM sub WHERE nbr = '" + nbr + "'");
+  if (rows[0]["s_id"] != 0) {
+    SQL_exec("INSERT INTO fwd VALUES (" + rows[0]["s_id"] + ", '" + dest +
+             "')");
+  }
+}
+function DelFwd(sid) {
+  SQL_exec("DELETE FROM fwd WHERE s_id = " + sid);
+}
+)JS")
+                  .ok());
+  uv.ConfigureRi("sub", "s_id", {"nbr"});
+  uv.ConfigureRi("fwd", "s_id");
+  ASSERT_TRUE(uv.ExecuteSql("INSERT INTO sub VALUES (7, 's7'), (8, 's8')")
+                  .ok());
+
+  // Committed via the transpiled procedure: captures sql_out1_0_s_id = 7.
+  ASSERT_TRUE(uv.RunTransaction("AddFwd",
+                                {AppValue::String("s7"),
+                                 AppValue::String("x")},
+                                SystemMode::kT)
+                  .ok());
+  uint64_t target = uv.log()->last_index();
+  const auto& entry = uv.log()->at(target);
+  EXPECT_FALSE(entry.captured_vars.empty())
+      << "transpiled execution must capture procedure variables";
+
+  // Independent traffic on subscriber 8 must not be dependent.
+  for (int i = 0; i < 5; ++i) {
+    ASSERT_TRUE(uv.RunTransaction("AddFwd",
+                                  {AppValue::String("s8"),
+                                   AppValue::String("y")},
+                                  SystemMode::kT)
+                    .ok());
+    ASSERT_TRUE(uv.RunTransaction("DelFwd", {AppValue::Number(8)},
+                                  SystemMode::kT)
+                    .ok());
+  }
+  RetroOp op;
+  op.kind = RetroOp::Kind::kRemove;
+  op.index = target;
+  auto stats = uv.WhatIf(op, SystemMode::kTD);
+  ASSERT_TRUE(stats.ok());
+  EXPECT_EQ(stats->replayed, 0u)
+      << "s_id=8 traffic is row-independent once the SELECT-INTO value is "
+         "concretized (§4.3)";
+  auto fwd = uv.db()->ExecuteSql("SELECT COUNT(*) FROM fwd WHERE s_id = 7",
+                                 7000);
+  EXPECT_EQ(fwd->rows[0][0].AsInt(), 0) << "the removed insert is gone";
+}
+
+// --- Hash-hit literal verification -----------------------------------------------
+
+TEST(HashVerifyTest, VerifiedHitStillJumps) {
+  Ultraverse::Options opts;
+  opts.hash_jumper = true;
+  opts.verify_hash_hits = true;
+  opts.eager_hash_log = true;
+  Ultraverse uv(opts);
+  ASSERT_TRUE(uv.ExecuteSql("CREATE TABLE m (uid INT PRIMARY KEY, s INT)")
+                  .ok());
+  ASSERT_TRUE(uv.ExecuteSql("INSERT INTO m VALUES (1, 0)").ok());
+  ASSERT_TRUE(
+      uv.ExecuteSql("UPDATE m SET s = s + 5 WHERE uid = 1").ok());
+  uint64_t target = uv.log()->last_index();
+  for (int i = 0; i < 10; ++i) {
+    ASSERT_TRUE(uv.ExecuteSql("UPDATE m SET s = s + 1 WHERE uid = 1").ok());
+  }
+  ASSERT_TRUE(uv.ExecuteSql("UPDATE m SET s = 777 WHERE uid = 1").ok());
+  for (int i = 0; i < 10; ++i) {
+    ASSERT_TRUE(uv.ExecuteSql("UPDATE m SET s = s + 1 WHERE uid = 1").ok());
+  }
+  RetroOp op;
+  op.kind = RetroOp::Kind::kRemove;
+  op.index = target;
+  auto stats = uv.WhatIf(op, SystemMode::kTD);
+  ASSERT_TRUE(stats.ok());
+  EXPECT_TRUE(stats->hash_jump);
+  EXPECT_TRUE(stats->hash_hit_verified)
+      << "the literal comparison must confirm the hash-hit (§4.5)";
+  auto r = uv.db()->ExecuteSql("SELECT s FROM m", 8000);
+  EXPECT_EQ(r->rows[0][0].AsInt(), 787) << "original state retained";
+}
+
+// --- Facade odds and ends ----------------------------------------------------------
+
+TEST(FacadeTest, ScenarioTagsRecordBranchPoints) {
+  Ultraverse uv;
+  ASSERT_TRUE(uv.ExecuteSql("CREATE TABLE t (v INT)").ok());
+  uv.TagScenario("before-data");
+  ASSERT_TRUE(uv.ExecuteSql("INSERT INTO t VALUES (1)").ok());
+  uv.TagScenario("after-data");
+  EXPECT_EQ(uv.scenario_tags().at("before-data"), 1u);
+  EXPECT_EQ(uv.scenario_tags().at("after-data"), 2u);
+}
+
+TEST(FacadeTest, UltraverseLogSmallerThanStatementLog) {
+  Ultraverse uv;
+  ASSERT_TRUE(uv.ExecuteSql("CREATE TABLE t (id INT PRIMARY KEY, v INT)")
+                  .ok());
+  for (int i = 0; i < 50; ++i) {
+    ASSERT_TRUE(uv.ExecuteSql("INSERT INTO t VALUES (" + std::to_string(i) +
+                              ", " + std::to_string(i * 3) + ")")
+                    .ok());
+  }
+  EXPECT_LT(uv.UltraverseLogBytes(), uv.log()->MySqlStyleBytes());
+}
+
+TEST(FacadeTest, StatsFieldsAreCoherent) {
+  Ultraverse uv;
+  ASSERT_TRUE(uv.ExecuteSql("CREATE TABLE t (id INT PRIMARY KEY, v INT)")
+                  .ok());
+  ASSERT_TRUE(uv.ExecuteSql("INSERT INTO t VALUES (1, 0)").ok());
+  uint64_t target = uv.log()->last_index();
+  for (int i = 0; i < 9; ++i) {
+    ASSERT_TRUE(uv.ExecuteSql("UPDATE t SET v = v + 1 WHERE id = 1").ok());
+  }
+  RetroOp op;
+  op.kind = RetroOp::Kind::kRemove;
+  op.index = target;
+  auto stats = uv.WhatIf(op, SystemMode::kTD);
+  ASSERT_TRUE(stats.ok());
+  EXPECT_EQ(stats->history_size, 11u);
+  EXPECT_EQ(stats->suffix_size, 10u);
+  EXPECT_EQ(stats->replayed, 9u);
+  EXPECT_EQ(stats->planned_replay, 9u);
+  EXPECT_EQ(stats->critical_path, 9u) << "RMW chain cannot parallelize";
+  EXPECT_GE(stats->virtual_rtt_micros, 9u * 1000);
+  EXPECT_GT(stats->temp_db_bytes, 0u);
+}
+
+TEST(FacadeTest, ConcurrentCommitsAndWhatIfAreSafe) {
+  Ultraverse uv;
+  ASSERT_TRUE(uv.ExecuteSql("CREATE TABLE t (id INT PRIMARY KEY, v INT)")
+                  .ok());
+  for (int i = 1; i <= 20; ++i) {
+    ASSERT_TRUE(uv.ExecuteSql("INSERT INTO t VALUES (" + std::to_string(i) +
+                              ", 0)")
+                    .ok());
+  }
+  std::atomic<bool> stop{false};
+  std::thread committer([&] {
+    int k = 100;
+    while (!stop.load()) {
+      (void)uv.ExecuteSql("UPDATE t SET v = v + 1 WHERE id = " +
+                          std::to_string(1 + (k++ % 20)));
+    }
+  });
+  for (int i = 0; i < 5; ++i) {
+    RetroOp op;
+    op.kind = RetroOp::Kind::kRemove;
+    op.index = 3;
+    auto stats = uv.WhatIf(op, SystemMode::kTD);
+    EXPECT_TRUE(stats.ok()) << stats.status().ToString();
+  }
+  stop.store(true);
+  committer.join();
+}
+
+// --- Checkpointing (rollback option iii) -------------------------------------------
+
+TEST(CheckpointTest, WhatIfBeforeTrimHorizonRebuildsFromLog) {
+  Ultraverse uv;
+  ASSERT_TRUE(uv.ExecuteSql("CREATE TABLE t (id INT PRIMARY KEY, v INT)")
+                  .ok());
+  ASSERT_TRUE(uv.ExecuteSql("INSERT INTO t VALUES (1, 0)").ok());
+  uint64_t target = uv.log()->last_index() + 1;
+  ASSERT_TRUE(uv.ExecuteSql("UPDATE t SET v = v + 50 WHERE id = 1").ok());
+  ASSERT_TRUE(uv.ExecuteSql("UPDATE t SET v = v * 2 WHERE id = 1").ok());
+  uv.Checkpoint();  // journals trimmed: the target predates the horizon
+  ASSERT_TRUE(uv.ExecuteSql("UPDATE t SET v = v + 1 WHERE id = 1").ok());
+
+  RetroOp op;
+  op.kind = RetroOp::Kind::kRemove;
+  op.index = target;
+  auto stats = uv.WhatIf(op, SystemMode::kTD);
+  ASSERT_TRUE(stats.ok()) << stats.status().ToString();
+  EXPECT_TRUE(stats->schema_rebuild)
+      << "pre-horizon targets must take the rebuild-from-log path";
+  auto r = uv.db()->ExecuteSql("SELECT v FROM t", 9500);
+  EXPECT_EQ(r->rows[0][0].AsInt(), 1) << "(0)*2+1 without the +50";
+}
+
+TEST(CheckpointTest, WhatIfAfterHorizonStillUsesJournals) {
+  Ultraverse uv;
+  ASSERT_TRUE(uv.ExecuteSql("CREATE TABLE t (id INT PRIMARY KEY, v INT)")
+                  .ok());
+  ASSERT_TRUE(uv.ExecuteSql("INSERT INTO t VALUES (1, 0)").ok());
+  uv.Checkpoint();
+  uint64_t target = uv.log()->last_index() + 1;
+  ASSERT_TRUE(uv.ExecuteSql("UPDATE t SET v = v + 50 WHERE id = 1").ok());
+  ASSERT_TRUE(uv.ExecuteSql("UPDATE t SET v = v * 2 WHERE id = 1").ok());
+  RetroOp op;
+  op.kind = RetroOp::Kind::kRemove;
+  op.index = target;
+  auto stats = uv.WhatIf(op, SystemMode::kTD);
+  ASSERT_TRUE(stats.ok());
+  EXPECT_FALSE(stats->schema_rebuild);
+  auto r = uv.db()->ExecuteSql("SELECT v FROM t", 9501);
+  EXPECT_EQ(r->rows[0][0].AsInt(), 0);
+}
+
+TEST(CheckpointTest, TrimBoundsJournalMemory) {
+  Ultraverse uv;
+  ASSERT_TRUE(uv.ExecuteSql("CREATE TABLE t (id INT PRIMARY KEY, v INT)")
+                  .ok());
+  ASSERT_TRUE(uv.ExecuteSql("INSERT INTO t VALUES (1, 0)").ok());
+  for (int i = 0; i < 200; ++i) {
+    ASSERT_TRUE(uv.ExecuteSql("UPDATE t SET v = v + 1 WHERE id = 1").ok());
+  }
+  size_t before = uv.db()->FindTable("t")->JournalSize();
+  uv.Checkpoint();
+  size_t after = uv.db()->FindTable("t")->JournalSize();
+  EXPECT_GT(before, 200u);
+  EXPECT_EQ(after, 0u);
+}
+
+// --- §6 concurrency-control application ---------------------------------------------
+
+TEST(TxnSchedulerTest, ParallelBatchEqualsSerialExecution) {
+  auto build = [](bool scheduled) {
+    sql::Database db;
+    EXPECT_TRUE(db.ExecuteSql("CREATE TABLE acct (id INT PRIMARY KEY,"
+                              " bal INT)",
+                              1)
+                    .ok());
+    for (int i = 1; i <= 10; ++i) {
+      EXPECT_TRUE(db.ExecuteSql("INSERT INTO acct VALUES (" +
+                                std::to_string(i) + ", 100)",
+                                uint64_t(1 + i))
+                      .ok());
+    }
+    Rng rng(42);
+    std::vector<sql::StatementPtr> batch;
+    for (int i = 0; i < 60; ++i) {
+      int id = int(rng.UniformInt(1, 10));
+      auto stmt = sql::Parser::ParseStatement(
+          "UPDATE acct SET bal = bal + " +
+          std::to_string(rng.UniformInt(1, 9)) + " WHERE id = " +
+          std::to_string(id));
+      EXPECT_TRUE(stmt.ok());
+      batch.push_back(*stmt);
+    }
+    if (scheduled) {
+      QueryAnalyzer analyzer;
+      sql::LogEntry ddl;
+      ddl.stmt = *sql::Parser::ParseStatement(
+          "CREATE TABLE acct (id INT PRIMARY KEY, bal INT)");
+      EXPECT_TRUE(analyzer.AnalyzeEntry(ddl).ok());
+      TxnScheduler scheduler(&db, &analyzer, TxnScheduler::Options{8});
+      auto stats = scheduler.ExecuteBatch(batch, 100);
+      EXPECT_TRUE(stats.ok()) << stats.status().ToString();
+      EXPECT_LT(stats->critical_path, batch.size())
+          << "updates of distinct accounts must parallelize";
+    } else {
+      for (size_t i = 0; i < batch.size(); ++i) {
+        sql::ExecContext ctx;
+        EXPECT_TRUE(db.Execute(*batch[i], 100 + i, &ctx).ok());
+      }
+    }
+    auto r = db.ExecuteSql("SELECT SUM(bal) FROM acct", 9999);
+    return r.ok() ? r->rows[0][0].AsInt() : -1;
+  };
+  EXPECT_EQ(build(true), build(false));
+}
+
+TEST(TxnSchedulerTest, FullyConflictingBatchIsAChain) {
+  sql::Database db;
+  ASSERT_TRUE(
+      db.ExecuteSql("CREATE TABLE c (id INT PRIMARY KEY, v INT)", 1).ok());
+  ASSERT_TRUE(db.ExecuteSql("INSERT INTO c VALUES (1, 0)", 2).ok());
+  QueryAnalyzer analyzer;
+  sql::LogEntry ddl;
+  ddl.stmt = *sql::Parser::ParseStatement(
+      "CREATE TABLE c (id INT PRIMARY KEY, v INT)");
+  ASSERT_TRUE(analyzer.AnalyzeEntry(ddl).ok());
+  std::vector<sql::StatementPtr> batch;
+  for (int i = 0; i < 20; ++i) {
+    batch.push_back(*sql::Parser::ParseStatement(
+        "UPDATE c SET v = v + 1 WHERE id = 1"));
+  }
+  TxnScheduler scheduler(&db, &analyzer, TxnScheduler::Options{8});
+  auto stats = scheduler.ExecuteBatch(batch, 100);
+  ASSERT_TRUE(stats.ok());
+  EXPECT_EQ(stats->critical_path, 20u) << "RMW chain on one row is serial";
+  auto r = db.ExecuteSql("SELECT v FROM c", 9999);
+  EXPECT_EQ(r->rows[0][0].AsInt(), 20);
+}
+
+}  // namespace
+}  // namespace ultraverse::core

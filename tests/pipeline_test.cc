@@ -1,0 +1,199 @@
+#include <gtest/gtest.h>
+
+#include "applang/app_parser.h"
+#include "core/ultraverse.h"
+#include "symexec/dse.h"
+#include "transpiler/transpiler.h"
+
+namespace ultraverse::core {
+namespace {
+
+using app::AppValue;
+
+// The paper's running example (Figure 1): an e-commerce request handler
+// whose control flow depends on a SELECT result.
+const char* kNewOrderApp = R"JS(
+function NewOrder(orderer_uid, order_id) {
+  var result_rows = SQL_exec("SELECT COUNT(*) FROM Address WHERE owner_uid = '"
+      + orderer_uid + "'");
+  if (result_rows[0]["COUNT(*)"] != 0) {
+    SQL_exec("INSERT INTO Orders (oid, ord_uid) VALUES ('" + order_id +
+             "', '" + orderer_uid + "')");
+  } else {
+    return "Error: User " + orderer_uid + " has no address";
+  }
+}
+)JS";
+
+class PipelineTest : public ::testing::Test {
+ protected:
+  void SetUpSchema(Ultraverse* uv) {
+    ASSERT_TRUE(uv->ExecuteSql("CREATE TABLE Address (owner_uid VARCHAR(16))")
+                    .ok());
+    ASSERT_TRUE(uv->ExecuteSql("CREATE TABLE Orders (oid VARCHAR(8) PRIMARY "
+                               "KEY, ord_uid VARCHAR(16))")
+                    .ok());
+  }
+};
+
+TEST_F(PipelineTest, DseFindsBothBranches) {
+  auto program = app::AppParser::Parse(kNewOrderApp);
+  ASSERT_TRUE(program.ok()) << program.status().ToString();
+  sym::DseEngine engine(&*program);
+  auto result = engine.Explore("NewOrder");
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  // Figure 5: exactly two reachable paths (address present / absent).
+  EXPECT_EQ(result->paths.size(), 2u);
+  EXPECT_EQ(result->unsolved_branches, 0);
+}
+
+TEST_F(PipelineTest, TranspiledProcedureMatchesFigure4Shape) {
+  auto program = app::AppParser::Parse(kNewOrderApp);
+  ASSERT_TRUE(program.ok());
+  sym::DseEngine engine(&*program);
+  auto dse = engine.Explore("NewOrder");
+  ASSERT_TRUE(dse.ok());
+  auto tt = transpiler::Transpiler::Transpile(*dse);
+  ASSERT_TRUE(tt.ok()) << tt.status().ToString();
+  std::string sql = tt->ToSqlText();
+  // The transpiled procedure holds the SELECT ... INTO, the IF, the INSERT
+  // and the error-path SELECT CONCAT (Figure 4).
+  EXPECT_NE(sql.find("CREATE PROCEDURE NewOrder"), std::string::npos) << sql;
+  EXPECT_NE(sql.find("INTO"), std::string::npos) << sql;
+  EXPECT_NE(sql.find("IF"), std::string::npos) << sql;
+  EXPECT_NE(sql.find("INSERT INTO Orders"), std::string::npos) << sql;
+  EXPECT_NE(sql.find("CONCAT"), std::string::npos) << sql;
+}
+
+TEST_F(PipelineTest, TranspiledExecutionMatchesAppExecution) {
+  // Differential test of §3.4 transpilation correctness: run the same
+  // workload through the original app (B) and the procedure (T); final
+  // database states must match.
+  Ultraverse uv_b, uv_t;
+  SetUpSchema(&uv_b);
+  SetUpSchema(&uv_t);
+  ASSERT_TRUE(uv_b.LoadApplication(kNewOrderApp).ok());
+  ASSERT_TRUE(uv_t.LoadApplication(kNewOrderApp).ok());
+
+  auto run = [&](Ultraverse* uv, SystemMode mode) {
+    ASSERT_TRUE(uv->ExecuteSql("INSERT INTO Address VALUES ('alice')").ok());
+    auto r1 = uv->RunTransaction(
+        "NewOrder", {AppValue::String("alice"), AppValue::String("o1")}, mode);
+    ASSERT_TRUE(r1.ok()) << r1.status().ToString();
+    auto r2 = uv->RunTransaction(
+        "NewOrder", {AppValue::String("bob"), AppValue::String("o2")}, mode);
+    ASSERT_TRUE(r2.ok()) << r2.status().ToString();
+  };
+  run(&uv_b, SystemMode::kB);
+  run(&uv_t, SystemMode::kT);
+  EXPECT_EQ(uv_b.StateFingerprint(), uv_t.StateFingerprint());
+
+  // Only Alice's order exists (Bob had no address).
+  auto count = uv_t.db()->ExecuteSql("SELECT COUNT(*) FROM Orders", 1000);
+  ASSERT_TRUE(count.ok());
+  EXPECT_EQ(count->rows[0][0].AsInt(), 1);
+}
+
+TEST_F(PipelineTest, WhatIfRemoveAddressFlipsBranch) {
+  // The paper's §1 scenario: Alice placed an order; what if she had never
+  // registered an address? The replayed NewOrder must take the false
+  // branch, so the order disappears.
+  for (SystemMode mode : {SystemMode::kB, SystemMode::kT, SystemMode::kD,
+                          SystemMode::kTD}) {
+    Ultraverse uv;
+    SetUpSchema(&uv);
+    ASSERT_TRUE(uv.LoadApplication(kNewOrderApp).ok());
+    ASSERT_TRUE(uv.ExecuteSql("INSERT INTO Address VALUES ('alice')").ok());
+    uint64_t address_commit = uv.log()->last_index();
+    auto r = uv.RunTransaction(
+        "NewOrder", {AppValue::String("alice"), AppValue::String("o1")},
+        mode == SystemMode::kT || mode == SystemMode::kTD ? SystemMode::kT
+                                                          : SystemMode::kB);
+    ASSERT_TRUE(r.ok());
+    auto before = uv.db()->ExecuteSql("SELECT COUNT(*) FROM Orders", 900);
+    ASSERT_TRUE(before.ok());
+    ASSERT_EQ(before->rows[0][0].AsInt(), 1);
+
+    RetroOp op;
+    op.kind = RetroOp::Kind::kRemove;
+    op.index = address_commit;
+    auto stats = uv.WhatIf(op, mode);
+    ASSERT_TRUE(stats.ok()) << SystemModeName(mode) << ": "
+                            << stats.status().ToString();
+    auto after = uv.db()->ExecuteSql("SELECT COUNT(*) FROM Orders", 901);
+    ASSERT_TRUE(after.ok());
+    EXPECT_EQ(after->rows[0][0].AsInt(), 0)
+        << SystemModeName(mode)
+        << ": replay must take the application-level false branch";
+  }
+}
+
+TEST_F(PipelineTest, AllModesAgreeOnAlternateUniverse) {
+  // Build one history, run the same retro op under B/T/D/T+D from four
+  // identical copies; all four final states must be identical.
+  std::string fingerprints[4];
+  SystemMode modes[4] = {SystemMode::kB, SystemMode::kT, SystemMode::kD,
+                         SystemMode::kTD};
+  for (int m = 0; m < 4; ++m) {
+    Ultraverse uv;
+    SetUpSchema(&uv);
+    ASSERT_TRUE(uv.LoadApplication(kNewOrderApp).ok());
+    ASSERT_TRUE(uv.ExecuteSql("INSERT INTO Address VALUES ('alice')").ok());
+    ASSERT_TRUE(uv.ExecuteSql("INSERT INTO Address VALUES ('carol')").ok());
+    uint64_t carol_commit = uv.log()->last_index();
+    for (int i = 0; i < 6; ++i) {
+      std::string user = (i % 2 == 0) ? "alice" : "carol";
+      auto r = uv.RunTransaction("NewOrder",
+                                 {AppValue::String(user),
+                                  AppValue::String("o" + std::to_string(i))},
+                                 SystemMode::kB);
+      ASSERT_TRUE(r.ok());
+    }
+    RetroOp op;
+    op.kind = RetroOp::Kind::kRemove;
+    op.index = carol_commit;
+    auto stats = uv.WhatIf(op, modes[m]);
+    ASSERT_TRUE(stats.ok()) << stats.status().ToString();
+    fingerprints[m] = uv.StateFingerprint();
+    // Carol's 3 orders must be gone, Alice's 3 intact.
+    auto count = uv.db()->ExecuteSql(
+        "SELECT COUNT(*) FROM Orders WHERE ord_uid = 'carol'", 950);
+    ASSERT_TRUE(count.ok());
+    EXPECT_EQ(count->rows[0][0].AsInt(), 0);
+  }
+  EXPECT_EQ(fingerprints[0], fingerprints[1]);
+  EXPECT_EQ(fingerprints[0], fingerprints[2]);
+  EXPECT_EQ(fingerprints[0], fingerprints[3]);
+}
+
+TEST_F(PipelineTest, DependencyAnalysisPrunesIndependentUsers) {
+  // Orders of unrelated users are row-wise independent: removing Carol's
+  // address must not replay Alice's orders (T+D skips them).
+  Ultraverse uv;
+  SetUpSchema(&uv);
+  ASSERT_TRUE(uv.LoadApplication(kNewOrderApp).ok());
+  uv.ConfigureRi("Address", "owner_uid");
+  uv.ConfigureRi("Orders", "ord_uid");
+  ASSERT_TRUE(uv.ExecuteSql("INSERT INTO Address VALUES ('alice')").ok());
+  ASSERT_TRUE(uv.ExecuteSql("INSERT INTO Address VALUES ('carol')").ok());
+  uint64_t carol_commit = uv.log()->last_index();
+  for (int i = 0; i < 10; ++i) {
+    std::string user = (i % 2 == 0) ? "alice" : "carol";
+    ASSERT_TRUE(uv.RunTransaction("NewOrder",
+                                  {AppValue::String(user),
+                                   AppValue::String("o" + std::to_string(i))},
+                                  SystemMode::kT)
+                    .ok());
+  }
+  RetroOp op;
+  op.kind = RetroOp::Kind::kRemove;
+  op.index = carol_commit;
+  auto stats = uv.WhatIf(op, SystemMode::kTD);
+  ASSERT_TRUE(stats.ok()) << stats.status().ToString();
+  // 10 orders follow Carol's insert; only Carol's 5 are dependent.
+  EXPECT_LE(stats->replayed, 5u);
+  EXPECT_GE(stats->skipped, 5u);
+}
+
+}  // namespace
+}  // namespace ultraverse::core

@@ -1,0 +1,244 @@
+#include <gtest/gtest.h>
+
+#include "sqldb/parser.h"
+#include "sqldb/value.h"
+
+namespace ultraverse::sql {
+namespace {
+
+// --- Value semantics ---------------------------------------------------------
+
+TEST(ValueTest, NumericFamilyComparesByValue) {
+  EXPECT_TRUE(Value::Int(3).Equals(Value::Double(3.0)));
+  EXPECT_EQ(Value::Int(2).Compare(Value::Double(2.5)), -1);
+  EXPECT_EQ(Value::Double(10.0).Compare(Value::Int(9)), 1);
+}
+
+TEST(ValueTest, NullEqualsNullForIdentity) {
+  EXPECT_TRUE(Value::Null().Equals(Value::Null()));
+  EXPECT_FALSE(Value::Null().Equals(Value::Int(0)));
+}
+
+TEST(ValueTest, EncodeDistinguishesTypes) {
+  EXPECT_NE(Value::String("1").Encode(), Value::Int(1).Encode());
+  EXPECT_NE(Value::Bool(true).Encode(), Value::Int(1).Encode());
+  EXPECT_EQ(Value::Int(3).Encode(), Value::Double(3.0).Encode())
+      << "numeric family must encode canonically for hashing";
+}
+
+TEST(ValueTest, HashConsistentWithEquals) {
+  EXPECT_EQ(Value::Int(7).Hash(), Value::Double(7.0).Hash());
+  EXPECT_EQ(Value::String("x").Hash(), Value::String("x").Hash());
+}
+
+TEST(ValueTest, SqlLiteralRoundTrip) {
+  auto round_trip = [](const Value& v) {
+    auto expr = Parser::ParseExpression(v.ToSqlLiteral());
+    ASSERT_TRUE(expr.ok()) << v.ToSqlLiteral();
+    ASSERT_EQ((*expr)->kind, ExprKind::kLiteral);
+    EXPECT_TRUE((*expr)->literal.Equals(v)) << v.ToSqlLiteral();
+  };
+  round_trip(Value::Int(42));
+  round_trip(Value::String("it's"));
+  round_trip(Value::Double(2.5));
+}
+
+// --- Lexer edge cases ----------------------------------------------------------
+
+TEST(LexerTest, CommentsAreSkipped) {
+  auto toks = Lexer::Tokenize("SELECT /* block */ 1 -- trailing\n + 2");
+  ASSERT_TRUE(toks.ok());
+  // SELECT, 1, +, 2, END
+  EXPECT_EQ(toks->size(), 5u);
+}
+
+TEST(LexerTest, QuoteEscapes) {
+  auto toks = Lexer::Tokenize("'it''s' \"dq\\\"esc\"");
+  ASSERT_TRUE(toks.ok());
+  EXPECT_EQ((*toks)[0].text, "it's");
+  EXPECT_EQ((*toks)[1].text, "dq\"esc");
+}
+
+TEST(LexerTest, UnterminatedStringFails) {
+  EXPECT_FALSE(Lexer::Tokenize("'oops").ok());
+}
+
+TEST(LexerTest, NotEqualsVariants) {
+  auto toks = Lexer::Tokenize("a != b <> c");
+  ASSERT_TRUE(toks.ok());
+  EXPECT_EQ((*toks)[1].text, "!=");
+  EXPECT_EQ((*toks)[3].text, "!=") << "<> normalizes to !=";
+}
+
+// --- Parser: precedence and errors -----------------------------------------------
+
+TEST(ParserTest, ArithmeticPrecedence) {
+  auto e = Parser::ParseExpression("1 + 2 * 3");
+  ASSERT_TRUE(e.ok());
+  EXPECT_EQ(ToSql(**e), "(1 + (2 * 3))");
+}
+
+TEST(ParserTest, BooleanPrecedence) {
+  auto e = Parser::ParseExpression("a = 1 OR b = 2 AND c = 3");
+  ASSERT_TRUE(e.ok());
+  EXPECT_EQ(ToSql(**e), "((a = 1) OR ((b = 2) AND (c = 3)))");
+}
+
+TEST(ParserTest, NotBindsTighterThanAnd) {
+  auto e = Parser::ParseExpression("NOT a = 1 AND b = 2");
+  ASSERT_TRUE(e.ok());
+  EXPECT_EQ(ToSql(**e), "(NOT ((a = 1)) AND (b = 2))");
+}
+
+TEST(ParserTest, QualifiedColumnsAndFunctions) {
+  auto e = Parser::ParseExpression("CONCAT(t.a, UPPER(b), 'x')");
+  ASSERT_TRUE(e.ok());
+  EXPECT_EQ((*e)->func_name, "CONCAT");
+  EXPECT_EQ((*e)->children[0]->table, "t");
+}
+
+TEST(ParserTest, InListAndIsNull) {
+  auto e = Parser::ParseExpression("x IN (1, 2) AND y IS NOT NULL");
+  ASSERT_TRUE(e.ok());
+  std::string sql = ToSql(**e);
+  EXPECT_NE(sql.find("IN (1, 2)"), std::string::npos) << sql;
+  EXPECT_NE(sql.find("ISNULL"), std::string::npos) << sql;
+}
+
+TEST(ParserTest, RejectsGarbage) {
+  EXPECT_FALSE(Parser::ParseStatement("SELEC * FROM t").ok());
+  EXPECT_FALSE(Parser::ParseStatement("INSERT INTO").ok());
+  EXPECT_FALSE(Parser::ParseStatement("UPDATE t SET").ok());
+  EXPECT_FALSE(Parser::ParseStatement("SELECT * FROM t WHERE").ok());
+  EXPECT_FALSE(Parser::ParseStatement("SELECT 1; SELECT 2; bogus").ok());
+}
+
+TEST(ParserTest, ScriptSplitsStatements) {
+  auto stmts = Parser::ParseScript(
+      "CREATE TABLE t (a INT); INSERT INTO t VALUES (1);;"
+      "SELECT a FROM t;");
+  ASSERT_TRUE(stmts.ok());
+  EXPECT_EQ(stmts->size(), 3u);
+}
+
+TEST(ParserTest, MultiRowInsert) {
+  auto stmt = Parser::ParseStatement("INSERT INTO t (a, b) VALUES (1, 2), "
+                                     "(3, 4), (5, 6)");
+  ASSERT_TRUE(stmt.ok());
+  EXPECT_EQ((*stmt)->insert.rows.size(), 3u);
+  EXPECT_EQ((*stmt)->insert.columns.size(), 2u);
+}
+
+TEST(ParserTest, InsertFromSelect) {
+  auto stmt = Parser::ParseStatement(
+      "INSERT INTO archive SELECT id, v FROM live WHERE v > 3");
+  ASSERT_TRUE(stmt.ok());
+  ASSERT_TRUE((*stmt)->insert.select != nullptr);
+  EXPECT_EQ((*stmt)->insert.select->from_table, "live");
+}
+
+TEST(ParserTest, SelectIntoBothPositions) {
+  // MySQL-style: INTO before FROM; standard: INTO at the end.
+  for (const char* sql : {"SELECT a INTO v FROM t", "SELECT a FROM t INTO v"}) {
+    auto stmt = Parser::ParseStatement(sql);
+    ASSERT_TRUE(stmt.ok()) << sql;
+    ASSERT_EQ((*stmt)->select->into_vars.size(), 1u) << sql;
+    EXPECT_EQ((*stmt)->select->into_vars[0], "v") << sql;
+  }
+}
+
+TEST(ParserTest, JoinWithAliases) {
+  auto stmt = Parser::ParseStatement(
+      "SELECT x.a, y.b FROM t1 x JOIN t2 AS y ON x.id = y.id WHERE x.a > 0");
+  ASSERT_TRUE(stmt.ok());
+  EXPECT_EQ((*stmt)->select->from_alias, "x");
+  ASSERT_EQ((*stmt)->select->joins.size(), 1u);
+  EXPECT_EQ((*stmt)->select->joins[0].alias, "y");
+}
+
+TEST(ParserTest, CreateTableFull) {
+  auto stmt = Parser::ParseStatement(
+      "CREATE TABLE IF NOT EXISTS t (id INT PRIMARY KEY AUTO_INCREMENT,"
+      " name VARCHAR(32) NOT NULL, score DECIMAL(8,2),"
+      " ref INT, FOREIGN KEY (ref) REFERENCES other(id))");
+  ASSERT_TRUE(stmt.ok());
+  const TableSchema& s = (*stmt)->create_table.schema;
+  EXPECT_TRUE((*stmt)->create_table.if_not_exists);
+  ASSERT_EQ(s.columns.size(), 4u);
+  EXPECT_TRUE(s.columns[0].auto_increment);
+  EXPECT_TRUE(s.columns[1].not_null);
+  EXPECT_EQ(s.columns[2].type, DataType::kDouble);
+  ASSERT_EQ(s.foreign_keys.size(), 1u);
+  EXPECT_EQ(s.foreign_keys[0].ref_table, "other");
+}
+
+TEST(ParserTest, ProcedureWithAllControlFlow) {
+  auto stmt = Parser::ParseStatement(
+      "CREATE PROCEDURE p (IN a INT, OUT b VARCHAR(8)) BEGIN"
+      "  DECLARE x INT DEFAULT 0;"
+      "  WHILE x < a DO SET x = x + 1; END WHILE;"
+      "  IF x > 10 THEN SELECT 1; ELSEIF x > 5 THEN SELECT 2;"
+      "  ELSE SIGNAL SQLSTATE '45001' SET MESSAGE_TEXT = 'low'; END IF;"
+      "  LEAVE;"
+      " END");
+  ASSERT_TRUE(stmt.ok());
+  const auto& proc = (*stmt)->create_procedure;
+  EXPECT_EQ(proc.params.size(), 2u);
+  EXPECT_TRUE(proc.params[1].is_out);
+  ASSERT_EQ(proc.body.size(), 4u);
+  EXPECT_EQ(proc.body[0]->kind, StatementKind::kDeclareVar);
+  EXPECT_EQ(proc.body[1]->kind, StatementKind::kWhile);
+  EXPECT_EQ(proc.body[2]->kind, StatementKind::kIf);
+  EXPECT_EQ(proc.body[2]->if_stmt.branches.size(), 3u);
+  EXPECT_EQ(proc.body[3]->kind, StatementKind::kLeave);
+}
+
+TEST(ParserTest, DeclareProcedureSynonym) {
+  // The paper's listings write "DECLARE PROCEDURE".
+  auto stmt = Parser::ParseStatement(
+      "DECLARE PROCEDURE p (IN a INT) BEGIN SELECT a; END");
+  ASSERT_TRUE(stmt.ok());
+  EXPECT_EQ((*stmt)->kind, StatementKind::kCreateProcedure);
+}
+
+TEST(ParserTest, ProcedureLabelAccepted) {
+  auto stmt = Parser::ParseStatement(
+      "CREATE PROCEDURE NewOrder (IN a INT) NewOrder_Label: BEGIN"
+      " SELECT a; END");
+  ASSERT_TRUE(stmt.ok());
+}
+
+TEST(ParserTest, TriggerSingleStatementBody) {
+  auto stmt = Parser::ParseStatement(
+      "CREATE TRIGGER tr AFTER DELETE ON t FOR EACH ROW"
+      " INSERT INTO audit VALUES (OLD.id)");
+  ASSERT_TRUE(stmt.ok());
+  EXPECT_EQ((*stmt)->create_trigger.event, TriggerEvent::kDelete);
+  ASSERT_EQ((*stmt)->create_trigger.body.size(), 1u);
+}
+
+TEST(ParserTest, TransactionBlock) {
+  auto stmt = Parser::ParseStatement(
+      "BEGIN; INSERT INTO t VALUES (1); UPDATE t SET a = 2; COMMIT");
+  ASSERT_TRUE(stmt.ok());
+  EXPECT_EQ((*stmt)->transaction.statements.size(), 2u);
+  auto start = Parser::ParseStatement(
+      "START TRANSACTION; DELETE FROM t; COMMIT");
+  ASSERT_TRUE(start.ok());
+}
+
+TEST(ParserTest, ScalarSubquery) {
+  auto stmt = Parser::ParseStatement(
+      "UPDATE t SET v = (SELECT MAX(v) FROM s) WHERE id = 1");
+  ASSERT_TRUE(stmt.ok());
+  EXPECT_EQ((*stmt)->update.assignments[0].second->kind, ExprKind::kSubquery);
+}
+
+TEST(ParserTest, NegativeNumbersAndUnaryMinus) {
+  auto e = Parser::ParseExpression("-x + -3");
+  ASSERT_TRUE(e.ok());
+  EXPECT_EQ(ToSql(**e), "(-(x) + -(3))");
+}
+
+}  // namespace
+}  // namespace ultraverse::sql

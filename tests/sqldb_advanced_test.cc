@@ -1,0 +1,406 @@
+#include <gtest/gtest.h>
+
+#include "sqldb/database.h"
+#include "sqldb/parser.h"
+#include "sqldb/query_log.h"
+
+namespace ultraverse::sql {
+namespace {
+
+class SqlAdvancedTest : public ::testing::Test {
+ protected:
+  Result<ExecResult> Exec(const std::string& sql) {
+    return db_.ExecuteSql(sql, ++commit_);
+  }
+  ExecResult MustExec(const std::string& sql) {
+    Result<ExecResult> r = Exec(sql);
+    EXPECT_TRUE(r.ok()) << sql << " -> " << r.status().ToString();
+    return r.ok() ? *r : ExecResult{};
+  }
+
+  Database db_;
+  uint64_t commit_ = 0;
+};
+
+// --- Three-valued logic / NULL handling -------------------------------------
+
+TEST_F(SqlAdvancedTest, NullComparisonsNeverMatch) {
+  MustExec("CREATE TABLE t (id INT PRIMARY KEY, v INT)");
+  MustExec("INSERT INTO t VALUES (1, NULL), (2, 5)");
+  EXPECT_EQ(MustExec("SELECT COUNT(*) FROM t WHERE v = 5").rows[0][0].AsInt(),
+            1);
+  EXPECT_EQ(
+      MustExec("SELECT COUNT(*) FROM t WHERE v != 5").rows[0][0].AsInt(), 0)
+      << "NULL != 5 is NULL, not true";
+  EXPECT_EQ(
+      MustExec("SELECT COUNT(*) FROM t WHERE v IS NULL").rows[0][0].AsInt(),
+      1);
+  EXPECT_EQ(MustExec("SELECT COUNT(*) FROM t WHERE v IS NOT NULL")
+                .rows[0][0]
+                .AsInt(),
+            1);
+}
+
+TEST_F(SqlAdvancedTest, KleeneAndOr) {
+  MustExec("CREATE TABLE t (a INT, b INT)");
+  MustExec("INSERT INTO t VALUES (NULL, 1)");
+  // NULL AND FALSE = FALSE -> NOT(...) = TRUE.
+  EXPECT_EQ(MustExec("SELECT COUNT(*) FROM t WHERE NOT (a = 1 AND b = 0)")
+                .rows[0][0]
+                .AsInt(),
+            1);
+  // NULL OR TRUE = TRUE.
+  EXPECT_EQ(MustExec("SELECT COUNT(*) FROM t WHERE a = 1 OR b = 1")
+                .rows[0][0]
+                .AsInt(),
+            1);
+}
+
+TEST_F(SqlAdvancedTest, NullArithmeticPropagates) {
+  ExecResult r = MustExec("SELECT 1 + NULL, COALESCE(NULL, 7), IFNULL(3, 9)");
+  EXPECT_TRUE(r.rows[0][0].is_null());
+  EXPECT_EQ(r.rows[0][1].AsInt(), 7);
+  EXPECT_EQ(r.rows[0][2].AsInt(), 3);
+}
+
+TEST_F(SqlAdvancedTest, DivisionByZeroIsNull) {
+  ExecResult r = MustExec("SELECT 4 / 0, 4 % 0");
+  EXPECT_TRUE(r.rows[0][0].is_null());
+  EXPECT_TRUE(r.rows[0][1].is_null());
+}
+
+// --- Scalar functions ---------------------------------------------------------
+
+TEST_F(SqlAdvancedTest, StringFunctions) {
+  ExecResult r = MustExec(
+      "SELECT CONCAT('a', 1, 'b'), UPPER('mix'), LOWER('MIX'),"
+      " LENGTH('hello'), SUBSTR('abcdef', 2, 3)");
+  EXPECT_EQ(r.rows[0][0].AsStringRef(), "a1b");
+  EXPECT_EQ(r.rows[0][1].AsStringRef(), "MIX");
+  EXPECT_EQ(r.rows[0][2].AsStringRef(), "mix");
+  EXPECT_EQ(r.rows[0][3].AsInt(), 5);
+  EXPECT_EQ(r.rows[0][4].AsStringRef(), "bcd");
+}
+
+TEST_F(SqlAdvancedTest, NumericFunctions) {
+  ExecResult r = MustExec("SELECT ABS(-3), FLOOR(2.7), CEIL(2.1), MOD(7, 3)");
+  EXPECT_EQ(r.rows[0][0].AsInt(), 3);
+  EXPECT_EQ(r.rows[0][1].AsInt(), 2);
+  EXPECT_EQ(r.rows[0][2].AsInt(), 3);
+  EXPECT_EQ(r.rows[0][3].AsInt(), 1);
+}
+
+TEST_F(SqlAdvancedTest, NumericStringCoercionInComparisons) {
+  MustExec("CREATE TABLE t (v VARCHAR(8))");
+  MustExec("INSERT INTO t VALUES ('5'), ('10')");
+  // MySQL-style: numeric coercion when one side is numeric.
+  EXPECT_EQ(MustExec("SELECT COUNT(*) FROM t WHERE v = 5").rows[0][0].AsInt(),
+            1);
+  EXPECT_EQ(
+      MustExec("SELECT COUNT(*) FROM t WHERE v > 6").rows[0][0].AsInt(), 1);
+}
+
+// --- Index behaviour ------------------------------------------------------------
+
+TEST_F(SqlAdvancedTest, SecondaryIndexStaysConsistent) {
+  MustExec("CREATE TABLE t (id INT PRIMARY KEY, tag VARCHAR(8))");
+  MustExec("CREATE INDEX tag_idx ON t (tag)");
+  for (int i = 1; i <= 50; ++i) {
+    MustExec("INSERT INTO t VALUES (" + std::to_string(i) + ", 'g" +
+             std::to_string(i % 5) + "')");
+  }
+  MustExec("UPDATE t SET tag = 'moved' WHERE id <= 10");
+  MustExec("DELETE FROM t WHERE tag = 'g3'");
+  Table* t = db_.FindTable("t");
+  int tag_col = t->schema().ColumnIndex("tag");
+  ASSERT_TRUE(t->HasIndex(tag_col));
+  EXPECT_EQ(t->IndexLookup(tag_col, Value::String("moved")).size(), 10u);
+  EXPECT_EQ(t->IndexLookup(tag_col, Value::String("g3")).size(), 0u);
+  // Index answers must agree with a scan-based WHERE.
+  EXPECT_EQ(
+      MustExec("SELECT COUNT(*) FROM t WHERE tag = 'moved'").rows[0][0].AsInt(),
+      10);
+}
+
+TEST_F(SqlAdvancedTest, IndexFastPathEqualsScanResults) {
+  MustExec("CREATE TABLE t (id INT PRIMARY KEY, v INT)");
+  for (int i = 1; i <= 100; ++i) {
+    MustExec("INSERT INTO t VALUES (" + std::to_string(i) + ", " +
+             std::to_string(i % 7) + ")");
+  }
+  // id is PK-indexed: the point lookup uses the index path.
+  ExecResult by_index = MustExec("SELECT v FROM t WHERE id = 42");
+  ASSERT_EQ(by_index.rows.size(), 1u);
+  EXPECT_EQ(by_index.rows[0][0].AsInt(), 42 % 7);
+  // Compound predicate with the indexed equality still filters correctly.
+  ExecResult compound =
+      MustExec("SELECT COUNT(*) FROM t WHERE id = 42 AND v = 99");
+  EXPECT_EQ(compound.rows[0][0].AsInt(), 0);
+}
+
+// --- ORDER BY / LIMIT / projection ----------------------------------------------
+
+TEST_F(SqlAdvancedTest, OrderByUnprojectedColumn) {
+  MustExec("CREATE TABLE t (id INT PRIMARY KEY, v INT)");
+  MustExec("INSERT INTO t VALUES (1, 30), (2, 10), (3, 20)");
+  ExecResult r = MustExec("SELECT id FROM t ORDER BY v DESC LIMIT 2");
+  ASSERT_EQ(r.rows.size(), 2u);
+  EXPECT_EQ(r.rows[0][0].AsInt(), 1);
+  EXPECT_EQ(r.rows[1][0].AsInt(), 3);
+}
+
+TEST_F(SqlAdvancedTest, SelectWithoutFrom) {
+  ExecResult r = MustExec("SELECT 2 + 3 AS five, 'x'");
+  ASSERT_EQ(r.rows.size(), 1u);
+  EXPECT_EQ(r.rows[0][0].AsInt(), 5);
+  EXPECT_EQ(r.column_names[0], "five");
+}
+
+TEST_F(SqlAdvancedTest, AggregateOverEmptyTable) {
+  MustExec("CREATE TABLE t (v INT)");
+  ExecResult r = MustExec("SELECT COUNT(*), SUM(v), MIN(v) FROM t");
+  ASSERT_EQ(r.rows.size(), 1u);
+  EXPECT_EQ(r.rows[0][0].AsInt(), 0);
+  EXPECT_TRUE(r.rows[0][1].is_null());
+  EXPECT_TRUE(r.rows[0][2].is_null());
+}
+
+TEST_F(SqlAdvancedTest, CountIgnoresNullsSumCoerces) {
+  MustExec("CREATE TABLE t (v INT)");
+  MustExec("INSERT INTO t VALUES (1), (NULL), (3)");
+  ExecResult r = MustExec("SELECT COUNT(v), COUNT(*), AVG(v) FROM t");
+  EXPECT_EQ(r.rows[0][0].AsInt(), 2);
+  EXPECT_EQ(r.rows[0][1].AsInt(), 3);
+  EXPECT_DOUBLE_EQ(r.rows[0][2].AsDouble(), 2.0);
+}
+
+// --- Correlated subqueries / INSERT..SELECT ---------------------------------------
+
+TEST_F(SqlAdvancedTest, CorrelatedScalarSubquery) {
+  MustExec("CREATE TABLE dept (d INT PRIMARY KEY, cap INT)");
+  MustExec("CREATE TABLE emp (e INT PRIMARY KEY, d INT, sal INT)");
+  MustExec("INSERT INTO dept VALUES (1, 100), (2, 50)");
+  MustExec("INSERT INTO emp VALUES (1, 1, 80), (2, 1, 120), (3, 2, 60)");
+  ExecResult r = MustExec(
+      "SELECT e FROM emp WHERE sal > (SELECT cap FROM dept WHERE d = emp.d)"
+      " ORDER BY e");
+  ASSERT_EQ(r.rows.size(), 2u);
+  EXPECT_EQ(r.rows[0][0].AsInt(), 2);
+  EXPECT_EQ(r.rows[1][0].AsInt(), 3);
+}
+
+TEST_F(SqlAdvancedTest, InsertFromSelectCopiesRows) {
+  MustExec("CREATE TABLE live (id INT PRIMARY KEY, v INT)");
+  MustExec("CREATE TABLE archive (id INT PRIMARY KEY, v INT)");
+  MustExec("INSERT INTO live VALUES (1, 5), (2, 50), (3, 500)");
+  ExecResult r = MustExec("INSERT INTO archive SELECT id, v FROM live"
+                          " WHERE v >= 50");
+  EXPECT_EQ(r.affected, 2);
+  EXPECT_EQ(MustExec("SELECT COUNT(*) FROM archive").rows[0][0].AsInt(), 2);
+}
+
+// --- Procedures, triggers, transactions edge cases ---------------------------------
+
+TEST_F(SqlAdvancedTest, ProcedureAtomicityOnSignal) {
+  MustExec("CREATE TABLE t (id INT PRIMARY KEY)");
+  MustExec("CREATE PROCEDURE boom (IN a INT) BEGIN"
+           " INSERT INTO t VALUES (a);"
+           " SIGNAL SQLSTATE '45001';"
+           " END");
+  Result<ExecResult> r = Exec("CALL boom(1)");
+  EXPECT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kSignal);
+  EXPECT_EQ(MustExec("SELECT COUNT(*) FROM t").rows[0][0].AsInt(), 0)
+      << "the partial insert must roll back atomically";
+}
+
+TEST_F(SqlAdvancedTest, ProcedureLeaveSkipsRemainder) {
+  MustExec("CREATE TABLE t (id INT PRIMARY KEY)");
+  MustExec("CREATE PROCEDURE p (IN a INT) BEGIN"
+           " INSERT INTO t VALUES (a);"
+           " IF a > 0 THEN LEAVE; END IF;"
+           " INSERT INTO t VALUES (a + 100);"
+           " END");
+  MustExec("CALL p(1)");
+  EXPECT_EQ(MustExec("SELECT COUNT(*) FROM t").rows[0][0].AsInt(), 1);
+  MustExec("CALL p(0)");
+  EXPECT_EQ(MustExec("SELECT COUNT(*) FROM t").rows[0][0].AsInt(), 3);
+}
+
+TEST_F(SqlAdvancedTest, NestedProcedureCalls) {
+  MustExec("CREATE TABLE t (v INT)");
+  MustExec("CREATE PROCEDURE inner_p (IN x INT) BEGIN"
+           " INSERT INTO t VALUES (x); END");
+  MustExec("CREATE PROCEDURE outer_p (IN x INT) BEGIN"
+           " CALL inner_p(x); CALL inner_p(x + 1); END");
+  MustExec("CALL outer_p(10)");
+  EXPECT_EQ(MustExec("SELECT SUM(v) FROM t").rows[0][0].AsInt(), 21);
+}
+
+TEST_F(SqlAdvancedTest, TriggerOnUpdateSeesOldAndNew) {
+  MustExec("CREATE TABLE acct (id INT PRIMARY KEY, bal INT)");
+  MustExec("CREATE TABLE audit (id INT, before_v INT, after_v INT)");
+  MustExec("CREATE TRIGGER tr AFTER UPDATE ON acct FOR EACH ROW"
+           " INSERT INTO audit VALUES (NEW.id, OLD.bal, NEW.bal)");
+  MustExec("INSERT INTO acct VALUES (1, 100)");
+  MustExec("UPDATE acct SET bal = 150 WHERE id = 1");
+  ExecResult r = MustExec("SELECT before_v, after_v FROM audit");
+  ASSERT_EQ(r.rows.size(), 1u);
+  EXPECT_EQ(r.rows[0][0].AsInt(), 100);
+  EXPECT_EQ(r.rows[0][1].AsInt(), 150);
+}
+
+TEST_F(SqlAdvancedTest, CascadingTriggersRespectDepthLimit) {
+  MustExec("CREATE TABLE a (v INT)");
+  MustExec("CREATE TABLE b (v INT)");
+  // a -> b -> a: recursion must be cut off, not loop forever.
+  MustExec("CREATE TRIGGER t1 AFTER INSERT ON a FOR EACH ROW"
+           " INSERT INTO b VALUES (NEW.v)");
+  MustExec("CREATE TRIGGER t2 AFTER INSERT ON b FOR EACH ROW"
+           " INSERT INTO a VALUES (NEW.v)");
+  Result<ExecResult> r = Exec("INSERT INTO a VALUES (1)");
+  EXPECT_FALSE(r.ok()) << "unbounded trigger recursion must error";
+}
+
+// --- Clone / adopt / memory -----------------------------------------------------
+
+TEST_F(SqlAdvancedTest, CloneIsDeepAndIndependent) {
+  MustExec("CREATE TABLE t (id INT PRIMARY KEY, v INT)");
+  MustExec("INSERT INTO t VALUES (1, 10)");
+  auto clone = db_.Clone();
+  ASSERT_TRUE(clone->ExecuteSql("UPDATE t SET v = 99 WHERE id = 1", 50).ok());
+  EXPECT_EQ(MustExec("SELECT v FROM t").rows[0][0].AsInt(), 10)
+      << "mutating the clone must not touch the original";
+  auto r = clone->ExecuteSql("SELECT v FROM t", 51);
+  EXPECT_EQ(r->rows[0][0].AsInt(), 99);
+}
+
+TEST_F(SqlAdvancedTest, AdoptTablesTransfersContentAndDrops) {
+  MustExec("CREATE TABLE keep (id INT PRIMARY KEY)");
+  MustExec("CREATE TABLE swap (id INT PRIMARY KEY)");
+  MustExec("INSERT INTO swap VALUES (1)");
+  auto alt = db_.Clone();
+  ASSERT_TRUE(alt->ExecuteSql("INSERT INTO swap VALUES (2)", 60).ok());
+  ASSERT_TRUE(db_.AdoptTables(*alt, {"swap"}).ok());
+  EXPECT_EQ(MustExec("SELECT COUNT(*) FROM swap").rows[0][0].AsInt(), 2);
+  // Adopting a table the source dropped removes it here too.
+  ASSERT_TRUE(alt->ExecuteSql("DROP TABLE keep", 61).ok());
+  ASSERT_TRUE(db_.AdoptTables(*alt, {"keep"}).ok());
+  EXPECT_EQ(db_.FindTable("keep"), nullptr);
+}
+
+TEST_F(SqlAdvancedTest, ApproxMemoryGrowsWithData) {
+  MustExec("CREATE TABLE t (id INT PRIMARY KEY, s VARCHAR(64))");
+  size_t before = db_.ApproxMemoryBytes();
+  for (int i = 0; i < 200; ++i) {
+    MustExec("INSERT INTO t VALUES (" + std::to_string(i) +
+             ", 'payload-payload-payload')");
+  }
+  EXPECT_GT(db_.ApproxMemoryBytes(), before + 200 * 20);
+}
+
+// --- Query-selective rollback (column-masked) --------------------------------------
+
+TEST_F(SqlAdvancedTest, RollbackCommitsPreservesIndependentColumnWrites) {
+  MustExec("CREATE TABLE t (id INT PRIMARY KEY, a INT, b INT)");
+  MustExec("INSERT INTO t VALUES (1, 10, 20)");                 // commit 2
+  MustExec("UPDATE t SET a = 11 WHERE id = 1");                 // commit 3
+  MustExec("UPDATE t SET b = 21 WHERE id = 1");                 // commit 4
+  // Undo only commit 3: column a reverts, column b keeps commit 4's write.
+  db_.FindTable("t")->RollbackCommits({3});
+  ExecResult r = MustExec("SELECT a, b FROM t");
+  EXPECT_EQ(r.rows[0][0].AsInt(), 10);
+  EXPECT_EQ(r.rows[0][1].AsInt(), 21);
+}
+
+TEST_F(SqlAdvancedTest, RollbackCommitsUndoesInsertAndDelete) {
+  MustExec("CREATE TABLE t (id INT PRIMARY KEY)");
+  MustExec("INSERT INTO t VALUES (1)");   // commit 2
+  MustExec("INSERT INTO t VALUES (2)");   // commit 3
+  MustExec("DELETE FROM t WHERE id = 1"); // commit 4
+  db_.FindTable("t")->RollbackCommits({3, 4});
+  ExecResult r = MustExec("SELECT id FROM t ORDER BY id");
+  ASSERT_EQ(r.rows.size(), 1u);
+  EXPECT_EQ(r.rows[0][0].AsInt(), 1) << "insert(2) undone, delete(1) undone";
+}
+
+// --- Query log ---------------------------------------------------------------------
+
+TEST(QueryLogTest, AppendAssignsIndicesAndSizes) {
+  QueryLog log;
+  LogEntry e;
+  e.sql = "INSERT INTO t VALUES (1)";
+  auto stmt = Parser::ParseStatement(e.sql);
+  ASSERT_TRUE(stmt.ok());
+  e.stmt = *stmt;
+  EXPECT_EQ(log.Append(e), 1u);
+  EXPECT_EQ(log.Append(e), 2u);
+  EXPECT_EQ(log.at(2).index, 2u);
+  EXPECT_EQ(log.MySqlStyleBytes(), 2 * (e.sql.size() + 60));
+}
+
+// --- DISTINCT / BETWEEN / LIKE ---------------------------------------------------
+
+TEST_F(SqlAdvancedTest, DistinctDeduplicatesRows) {
+  MustExec("CREATE TABLE t (a INT, b INT)");
+  MustExec("INSERT INTO t VALUES (1, 1), (1, 1), (1, 2), (2, 1)");
+  EXPECT_EQ(MustExec("SELECT DISTINCT a, b FROM t").rows.size(), 3u);
+  EXPECT_EQ(MustExec("SELECT DISTINCT a FROM t").rows.size(), 2u);
+}
+
+TEST_F(SqlAdvancedTest, BetweenIsInclusive) {
+  MustExec("CREATE TABLE t (v INT)");
+  MustExec("INSERT INTO t VALUES (1), (5), (10), (11)");
+  EXPECT_EQ(MustExec("SELECT COUNT(*) FROM t WHERE v BETWEEN 5 AND 10")
+                .rows[0][0]
+                .AsInt(),
+            2);
+}
+
+TEST_F(SqlAdvancedTest, LikePatterns) {
+  MustExec("CREATE TABLE t (s VARCHAR(16))");
+  MustExec("INSERT INTO t VALUES ('alice'), ('alfred'), ('bob'), ('al')");
+  EXPECT_EQ(
+      MustExec("SELECT COUNT(*) FROM t WHERE s LIKE 'al%'").rows[0][0].AsInt(),
+      3);
+  EXPECT_EQ(
+      MustExec("SELECT COUNT(*) FROM t WHERE s LIKE '_ob'").rows[0][0].AsInt(),
+      1);
+  EXPECT_EQ(MustExec("SELECT COUNT(*) FROM t WHERE s LIKE '%e'")
+                .rows[0][0]
+                .AsInt(),
+            1);
+  EXPECT_EQ(MustExec("SELECT COUNT(*) FROM t WHERE s NOT LIKE 'al%'")
+                .rows[0][0]
+                .AsInt(),
+            1);
+  EXPECT_EQ(
+      MustExec("SELECT COUNT(*) FROM t WHERE s LIKE 'al'").rows[0][0].AsInt(),
+      1)
+      << "no wildcards = exact match";
+}
+
+TEST_F(SqlAdvancedTest, HavingFiltersGroups) {
+  MustExec("CREATE TABLE sales (region VARCHAR(8), amount INT)");
+  MustExec("INSERT INTO sales VALUES ('east', 10), ('east', 25),"
+           " ('west', 5), ('north', 40)");
+  ExecResult r = MustExec(
+      "SELECT region, SUM(amount) FROM sales GROUP BY region"
+      " HAVING SUM(amount) > 20 ORDER BY region");
+  ASSERT_EQ(r.rows.size(), 2u);
+  EXPECT_EQ(r.rows[0][0].AsStringRef(), "east");
+  EXPECT_EQ(r.rows[1][0].AsStringRef(), "north");
+}
+
+TEST_F(SqlAdvancedTest, HavingRoundTripsThroughPrinter) {
+  auto stmt = Parser::ParseStatement(
+      "SELECT a, COUNT(*) FROM t GROUP BY a HAVING COUNT(*) >= 2");
+  ASSERT_TRUE(stmt.ok());
+  std::string printed = ToSql(**stmt);
+  EXPECT_NE(printed.find("HAVING"), std::string::npos);
+  auto reparsed = Parser::ParseStatement(printed);
+  ASSERT_TRUE(reparsed.ok()) << printed;
+}
+
+}  // namespace
+}  // namespace ultraverse::sql

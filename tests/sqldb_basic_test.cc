@@ -1,0 +1,242 @@
+#include <gtest/gtest.h>
+
+#include "sqldb/database.h"
+#include "sqldb/parser.h"
+
+namespace ultraverse::sql {
+namespace {
+
+class SqlDbTest : public ::testing::Test {
+ protected:
+  Result<ExecResult> Exec(const std::string& sql) {
+    return db_.ExecuteSql(sql, ++commit_);
+  }
+  ExecResult MustExec(const std::string& sql) {
+    Result<ExecResult> r = Exec(sql);
+    EXPECT_TRUE(r.ok()) << sql << " -> " << r.status().ToString();
+    return r.ok() ? *r : ExecResult{};
+  }
+
+  Database db_;
+  uint64_t commit_ = 0;
+};
+
+TEST_F(SqlDbTest, CreateInsertSelect) {
+  MustExec("CREATE TABLE Users (uid VARCHAR(16) PRIMARY KEY, nick VARCHAR(32),"
+           " email VARCHAR(64))");
+  MustExec("INSERT INTO Users VALUES ('alice01', 'Alice', 'al@gmail.com')");
+  MustExec("INSERT INTO Users (uid, nick, email) VALUES ('bob99', 'Bob',"
+           " 'bob@yahoo.com')");
+  ExecResult r = MustExec("SELECT uid, email FROM Users ORDER BY uid");
+  ASSERT_EQ(r.rows.size(), 2u);
+  EXPECT_EQ(r.rows[0][0].AsStringRef(), "alice01");
+  EXPECT_EQ(r.rows[1][1].AsStringRef(), "bob@yahoo.com");
+}
+
+TEST_F(SqlDbTest, UpdateDeleteWhere) {
+  MustExec("CREATE TABLE T (id INT PRIMARY KEY, v INT)");
+  for (int i = 1; i <= 10; ++i) {
+    MustExec("INSERT INTO T VALUES (" + std::to_string(i) + ", " +
+             std::to_string(i * 10) + ")");
+  }
+  ExecResult u = MustExec("UPDATE T SET v = v + 1 WHERE id <= 3");
+  EXPECT_EQ(u.affected, 3);
+  ExecResult r = MustExec("SELECT v FROM T WHERE id = 2");
+  ASSERT_EQ(r.rows.size(), 1u);
+  EXPECT_EQ(r.rows[0][0].AsInt(), 21);
+  ExecResult d = MustExec("DELETE FROM T WHERE v > 50");
+  EXPECT_EQ(d.affected, 5);
+  r = MustExec("SELECT COUNT(*) FROM T");
+  EXPECT_EQ(r.rows[0][0].AsInt(), 5);
+}
+
+TEST_F(SqlDbTest, AggregatesAndGroupBy) {
+  MustExec("CREATE TABLE Sales (region VARCHAR(8), amount INT)");
+  MustExec("INSERT INTO Sales VALUES ('east', 10), ('east', 20),"
+           " ('west', 5)");
+  ExecResult r = MustExec(
+      "SELECT region, SUM(amount), COUNT(*) FROM Sales GROUP BY region"
+      " ORDER BY region");
+  ASSERT_EQ(r.rows.size(), 2u);
+  EXPECT_EQ(r.rows[0][0].AsStringRef(), "east");
+  EXPECT_EQ(r.rows[0][1].AsInt(), 30);
+  EXPECT_EQ(r.rows[1][2].AsInt(), 1);
+  r = MustExec("SELECT AVG(amount), MIN(amount), MAX(amount) FROM Sales");
+  EXPECT_NEAR(r.rows[0][0].AsDouble(), 35.0 / 3, 1e-9);
+  EXPECT_EQ(r.rows[0][1].AsInt(), 5);
+  EXPECT_EQ(r.rows[0][2].AsInt(), 20);
+}
+
+TEST_F(SqlDbTest, JoinTwoTables) {
+  MustExec("CREATE TABLE A (id INT PRIMARY KEY, name VARCHAR(8))");
+  MustExec("CREATE TABLE B (aid INT, score INT)");
+  MustExec("INSERT INTO A VALUES (1, 'x'), (2, 'y')");
+  MustExec("INSERT INTO B VALUES (1, 10), (1, 20), (2, 30)");
+  ExecResult r = MustExec(
+      "SELECT A.name, SUM(B.score) FROM A JOIN B ON A.id = B.aid"
+      " GROUP BY A.name ORDER BY A.name");
+  ASSERT_EQ(r.rows.size(), 2u);
+  EXPECT_EQ(r.rows[0][1].AsInt(), 30);
+  EXPECT_EQ(r.rows[1][1].AsInt(), 30);
+}
+
+TEST_F(SqlDbTest, AutoIncrementAndNotNull) {
+  MustExec("CREATE TABLE O (oid INT PRIMARY KEY AUTO_INCREMENT,"
+           " user VARCHAR(8) NOT NULL)");
+  MustExec("INSERT INTO O (user) VALUES ('a')");
+  MustExec("INSERT INTO O (user) VALUES ('b')");
+  ExecResult r = MustExec("SELECT oid FROM O ORDER BY oid");
+  EXPECT_EQ(r.rows[0][0].AsInt(), 1);
+  EXPECT_EQ(r.rows[1][0].AsInt(), 2);
+  Result<ExecResult> bad = Exec("INSERT INTO O (user) VALUES (NULL)");
+  EXPECT_FALSE(bad.ok());
+}
+
+TEST_F(SqlDbTest, ViewsReadAndWrite) {
+  MustExec("CREATE TABLE P (id INT PRIMARY KEY, cat VARCHAR(8), price INT)");
+  MustExec("INSERT INTO P VALUES (1, 'toy', 5), (2, 'food', 7)");
+  MustExec("CREATE VIEW Toys AS SELECT id, price FROM P WHERE cat = 'toy'");
+  ExecResult r = MustExec("SELECT price FROM Toys");
+  ASSERT_EQ(r.rows.size(), 1u);
+  EXPECT_EQ(r.rows[0][0].AsInt(), 5);
+  // Updatable view: write lands on the base table.
+  MustExec("UPDATE Toys SET price = 9 WHERE id = 1");
+  r = MustExec("SELECT price FROM P WHERE id = 1");
+  EXPECT_EQ(r.rows[0][0].AsInt(), 9);
+}
+
+TEST_F(SqlDbTest, ProceduresWithControlFlow) {
+  MustExec("CREATE TABLE Address (owner_uid VARCHAR(16))");
+  MustExec("CREATE TABLE Orders (ord_uid VARCHAR(16), oid VARCHAR(8))");
+  MustExec(
+      "CREATE PROCEDURE NewOrder (IN orderer_uid VARCHAR(16),"
+      " IN order_id VARCHAR(8)) BEGIN"
+      "  DECLARE cnt INT;"
+      "  SELECT COUNT(*) INTO cnt FROM Address WHERE owner_uid = orderer_uid;"
+      "  IF cnt != 0 THEN"
+      "    INSERT INTO Orders VALUES (orderer_uid, order_id);"
+      "  ELSE"
+      "    SELECT CONCAT('Error: User ', orderer_uid, ' has no address');"
+      "  END IF;"
+      " END");
+  MustExec("INSERT INTO Address VALUES ('alice')");
+  MustExec("CALL NewOrder('alice', 'o1')");
+  MustExec("CALL NewOrder('bob', 'o2')");  // no address -> no insert
+  ExecResult r = MustExec("SELECT COUNT(*) FROM Orders");
+  EXPECT_EQ(r.rows[0][0].AsInt(), 1);
+}
+
+TEST_F(SqlDbTest, WhileLoopInProcedure) {
+  MustExec("CREATE TABLE N (v INT)");
+  MustExec(
+      "CREATE PROCEDURE FillN (IN n INT) BEGIN"
+      "  DECLARE i INT DEFAULT 0;"
+      "  WHILE i < n DO"
+      "    INSERT INTO N VALUES (i);"
+      "    SET i = i + 1;"
+      "  END WHILE;"
+      " END");
+  MustExec("CALL FillN(5)");
+  ExecResult r = MustExec("SELECT COUNT(*), SUM(v) FROM N");
+  EXPECT_EQ(r.rows[0][0].AsInt(), 5);
+  EXPECT_EQ(r.rows[0][1].AsInt(), 10);
+}
+
+TEST_F(SqlDbTest, TriggerFiresOnInsert) {
+  MustExec("CREATE TABLE Audit (what VARCHAR(32))");
+  MustExec("CREATE TABLE Items (name VARCHAR(32))");
+  MustExec(
+      "CREATE TRIGGER LogIns AFTER INSERT ON Items FOR EACH ROW"
+      " INSERT INTO Audit VALUES (NEW.name)");
+  MustExec("INSERT INTO Items VALUES ('widget')");
+  ExecResult r = MustExec("SELECT what FROM Audit");
+  ASSERT_EQ(r.rows.size(), 1u);
+  EXPECT_EQ(r.rows[0][0].AsStringRef(), "widget");
+}
+
+TEST_F(SqlDbTest, TransactionAtomicOnFailure) {
+  MustExec("CREATE TABLE T (id INT PRIMARY KEY, v INT NOT NULL)");
+  Result<ExecResult> r = Exec(
+      "BEGIN; INSERT INTO T VALUES (1, 10);"
+      " INSERT INTO T VALUES (2, NULL); COMMIT");
+  EXPECT_FALSE(r.ok());
+  ExecResult count = MustExec("SELECT COUNT(*) FROM T");
+  EXPECT_EQ(count.rows[0][0].AsInt(), 0) << "partial effects must roll back";
+}
+
+TEST_F(SqlDbTest, RollbackToIndexRestoresState) {
+  MustExec("CREATE TABLE T (id INT PRIMARY KEY, v INT)");       // commit 1
+  MustExec("INSERT INTO T VALUES (1, 10)");                     // commit 2
+  MustExec("INSERT INTO T VALUES (2, 20)");                     // commit 3
+  MustExec("UPDATE T SET v = 99 WHERE id = 1");                 // commit 4
+  MustExec("DELETE FROM T WHERE id = 2");                       // commit 5
+  db_.RollbackToIndex(3);
+  ExecResult r = MustExec("SELECT v FROM T ORDER BY id");
+  ASSERT_EQ(r.rows.size(), 2u);
+  EXPECT_EQ(r.rows[0][0].AsInt(), 10);
+  EXPECT_EQ(r.rows[1][0].AsInt(), 20);
+}
+
+TEST_F(SqlDbTest, NondeterminismRecordReplay) {
+  MustExec("CREATE TABLE R (v DOUBLE)");
+  auto stmt = Parser::ParseStatement("INSERT INTO R VALUES (RAND())");
+  ASSERT_TRUE(stmt.ok());
+  NondetRecord record;
+  ExecContext rec_ctx;
+  rec_ctx.StartRecording(&record);
+  ASSERT_TRUE(db_.Execute(**stmt, ++commit_, &rec_ctx).ok());
+  ASSERT_EQ(record.values.size(), 1u);
+
+  Database db2;
+  ASSERT_TRUE(db2.ExecuteSql("CREATE TABLE R (v DOUBLE)", 1).ok());
+  ExecContext replay_ctx;
+  replay_ctx.StartReplaying(&record);
+  ASSERT_TRUE(db2.Execute(**stmt, 2, &replay_ctx).ok());
+  auto a = db_.ExecuteSql("SELECT v FROM R", 90);
+  auto b = db2.ExecuteSql("SELECT v FROM R", 91);
+  ASSERT_TRUE(a.ok() && b.ok());
+  EXPECT_EQ(a->rows[0][0].AsDouble(), b->rows[0][0].AsDouble());
+}
+
+TEST_F(SqlDbTest, SubqueryAndInList) {
+  MustExec("CREATE TABLE A (id INT PRIMARY KEY, v INT)");
+  MustExec("INSERT INTO A VALUES (1, 5), (2, 10), (3, 20)");
+  ExecResult r =
+      MustExec("SELECT COUNT(*) FROM A WHERE v > (SELECT MIN(v) FROM A)");
+  EXPECT_EQ(r.rows[0][0].AsInt(), 2);
+  r = MustExec("SELECT COUNT(*) FROM A WHERE id IN (1, 3)");
+  EXPECT_EQ(r.rows[0][0].AsInt(), 2);
+}
+
+TEST_F(SqlDbTest, AlterTableAddDropColumn) {
+  MustExec("CREATE TABLE T (id INT PRIMARY KEY)");
+  MustExec("INSERT INTO T VALUES (1)");
+  MustExec("ALTER TABLE T ADD COLUMN note VARCHAR(8)");
+  MustExec("UPDATE T SET note = 'hi' WHERE id = 1");
+  ExecResult r = MustExec("SELECT note FROM T");
+  EXPECT_EQ(r.rows[0][0].AsStringRef(), "hi");
+  MustExec("ALTER TABLE T DROP COLUMN note");
+  Result<ExecResult> bad = Exec("SELECT note FROM T");
+  EXPECT_FALSE(bad.ok());
+}
+
+TEST_F(SqlDbTest, PrinterRoundTrips) {
+  const char* statements[] = {
+      "CREATE TABLE T (id INT PRIMARY KEY, v VARCHAR(8))",
+      "INSERT INTO T (id, v) VALUES (1, 'a')",
+      "UPDATE T SET v = 'b' WHERE id = 1",
+      "DELETE FROM T WHERE id = 1",
+      "SELECT id, v FROM T WHERE id = 1 ORDER BY v DESC LIMIT 3",
+  };
+  for (const char* s : statements) {
+    auto stmt = Parser::ParseStatement(s);
+    ASSERT_TRUE(stmt.ok()) << s;
+    std::string printed = ToSql(**stmt);
+    auto reparsed = Parser::ParseStatement(printed);
+    ASSERT_TRUE(reparsed.ok()) << printed;
+    EXPECT_EQ(printed, ToSql(**reparsed)) << "printer must be a fixpoint";
+  }
+}
+
+}  // namespace
+}  // namespace ultraverse::sql

@@ -1,0 +1,251 @@
+#include <gtest/gtest.h>
+
+#include "applang/app_parser.h"
+#include "symexec/dse.h"
+#include "symexec/solver.h"
+#include "symexec/sym_expr.h"
+
+namespace ultraverse::sym {
+namespace {
+
+using app::AppBinOp;
+using app::AppValue;
+
+SymExprPtr Sym(const std::string& name) {
+  return SymExpr::Symbol(name, SymbolOrigin::kTxnArg);
+}
+SymExprPtr Num(double v) { return SymExpr::Const(AppValue::Number(v)); }
+SymExprPtr Str(const std::string& s) {
+  return SymExpr::Const(AppValue::String(s));
+}
+SymExprPtr Bin(AppBinOp op, SymExprPtr a, SymExprPtr b) {
+  return SymExpr::Binary(op, std::move(a), std::move(b));
+}
+
+// --- SymExpr -----------------------------------------------------------------
+
+TEST(SymExprTest, EvalUnderAssignment) {
+  Assignment a = {{"x", AppValue::Number(4)}};
+  auto e = Bin(AppBinOp::kMul, Sym("x"), Num(3));
+  EXPECT_EQ(EvalSym(*e, a).ToNum(), 12);
+}
+
+TEST(SymExprTest, MissingSymbolDefaultsToZero) {
+  auto e = Bin(AppBinOp::kAdd, Sym("missing"), Num(1));
+  EXPECT_EQ(EvalSym(*e, {}).ToNum(), 1);
+}
+
+TEST(SymExprTest, Z3ScriptRendering) {
+  auto e = Bin(AppBinOp::kEq, Sym("sql_out1"), Num(0));
+  EXPECT_EQ(e->ToZ3Script(), "(= sql_out1 0)");
+  auto cc = SymExpr::Binary(AppBinOp::kAdd, Str("a"), Sym("n"),
+                            /*string_concat=*/true);
+  EXPECT_EQ(cc->ToZ3Script(), "(str.++ \"a\" n)");
+}
+
+TEST(SymExprTest, CollectSymbolsAndEquality) {
+  auto e = Bin(AppBinOp::kAnd, Bin(AppBinOp::kLt, Sym("a"), Sym("b")),
+               Bin(AppBinOp::kGt, Sym("a"), Num(0)));
+  std::set<std::string> syms;
+  CollectSymbols(*e, &syms);
+  EXPECT_EQ(syms, (std::set<std::string>{"a", "b"}));
+  auto e2 = Bin(AppBinOp::kAnd, Bin(AppBinOp::kLt, Sym("a"), Sym("b")),
+                Bin(AppBinOp::kGt, Sym("a"), Num(0)));
+  EXPECT_TRUE(SymEquals(*e, *e2));
+  EXPECT_FALSE(SymEquals(*e, *Sym("a")));
+}
+
+// --- Solver --------------------------------------------------------------------
+
+TEST(SolverTest, EqualityPropagation) {
+  Solver solver;
+  auto sol = solver.Solve({Bin(AppBinOp::kEq, Sym("x"), Num(17))});
+  ASSERT_TRUE(sol.has_value());
+  EXPECT_EQ(sol->at("x").ToNum(), 17);
+}
+
+TEST(SolverTest, ChainedEqualities) {
+  Solver solver;
+  auto sol = solver.Solve({
+      Bin(AppBinOp::kEq, Sym("x"), Num(5)),
+      Bin(AppBinOp::kEq, Sym("y"), Bin(AppBinOp::kAdd, Sym("x"), Num(2))),
+  });
+  ASSERT_TRUE(sol.has_value());
+  EXPECT_EQ(sol->at("y").ToNum(), 7);
+}
+
+TEST(SolverTest, InequalitiesViaNeighborMining) {
+  Solver solver;
+  // x > 10 and x < 13: 11 or 12, both mined as neighbors of the constants.
+  auto sol = solver.Solve({
+      Bin(AppBinOp::kGt, Sym("x"), Num(10)),
+      Bin(AppBinOp::kLt, Sym("x"), Num(13)),
+  });
+  ASSERT_TRUE(sol.has_value());
+  double x = sol->at("x").ToNum();
+  EXPECT_GT(x, 10);
+  EXPECT_LT(x, 13);
+}
+
+TEST(SolverTest, StringEquality) {
+  Solver solver;
+  auto sol = solver.Solve({Bin(AppBinOp::kEq, Sym("s"), Str("increment"))});
+  ASSERT_TRUE(sol.has_value());
+  EXPECT_EQ(sol->at("s").ToStr(), "increment");
+}
+
+TEST(SolverTest, Negation) {
+  Solver solver;
+  auto sol = solver.Solve({SymExpr::Not(Bin(AppBinOp::kEq, Sym("x"), Num(0)))});
+  ASSERT_TRUE(sol.has_value());
+  EXPECT_NE(sol->at("x").ToNum(), 0);
+}
+
+TEST(SolverTest, UnsatisfiableReturnsNullopt) {
+  Solver solver;
+  auto sol = solver.Solve({
+      Bin(AppBinOp::kEq, Sym("x"), Num(1)),
+      Bin(AppBinOp::kEq, Sym("x"), Num(2)),
+  });
+  EXPECT_FALSE(sol.has_value());
+}
+
+TEST(SolverTest, TwoSymbolComparison) {
+  Solver solver;
+  auto sol = solver.Solve({
+      Bin(AppBinOp::kGe, Bin(AppBinOp::kSub, Sym("stock"), Sym("qty")),
+          Num(10)),
+      Bin(AppBinOp::kGt, Sym("qty"), Num(0)),
+  });
+  ASSERT_TRUE(sol.has_value());
+  EXPECT_GE(sol->at("stock").ToNum() - sol->at("qty").ToNum(), 10);
+}
+
+// --- DSE ------------------------------------------------------------------------
+
+Result<DseResult> Explore(const std::string& src, const std::string& fn) {
+  auto prog = app::AppParser::Parse(src);
+  EXPECT_TRUE(prog.ok()) << prog.status().ToString();
+  DseEngine engine(&*prog);
+  return engine.Explore(fn);
+}
+
+TEST(DseTest, StraightLineIsOnePath) {
+  auto r = Explore("function f(a) { SQL_exec('DELETE FROM t WHERE id = ' + a);"
+                   " }",
+                   "f");
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r->paths.size(), 1u);
+  // Template has the argument as a marker.
+  const auto& call = r->paths[0].events[0].sql;
+  EXPECT_EQ(call.template_sql, "DELETE FROM t WHERE id = __uv_sym_0");
+  EXPECT_EQ(call.markers.size(), 1u);
+}
+
+TEST(DseTest, ArgBranchFindsBothSides) {
+  auto r = Explore(
+      "function f(a) { if (a > 100) { SQL_exec('INSERT INTO big VALUES (1)');"
+      " } else { SQL_exec('INSERT INTO small VALUES (1)'); } }",
+      "f");
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r->paths.size(), 2u);
+  EXPECT_EQ(r->unsolved_branches, 0);
+}
+
+TEST(DseTest, SqlResultBranch) {
+  auto r = Explore(
+      "function f(u) { var rows = SQL_exec('SELECT COUNT(*) FROM t WHERE u = '"
+      " + u); if (rows[0]['COUNT(*)'] != 0) {"
+      " SQL_exec('DELETE FROM t WHERE u = ' + u); } }",
+      "f");
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r->paths.size(), 2u);
+  // The result-set cell feeding the branch is recorded for SELECT-INTO.
+  bool found_cell = false;
+  for (const auto& p : r->paths) {
+    auto it = p.result_cells.find("sql_out1");
+    if (it != p.result_cells.end() && it->second.count("[0].COUNT(*)")) {
+      found_cell = true;
+    }
+  }
+  EXPECT_TRUE(found_cell);
+}
+
+TEST(DseTest, NestedBranchesEnumerateAllPaths) {
+  auto r = Explore(
+      "function f(a, b) {"
+      " if (a > 0) { SQL_exec('INSERT INTO t VALUES (1)'); }"
+      " else { SQL_exec('INSERT INTO t VALUES (2)'); }"
+      " if (b > 0) { SQL_exec('INSERT INTO t VALUES (3)'); }"
+      " else { SQL_exec('INSERT INTO t VALUES (4)'); } }",
+      "f");
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r->paths.size(), 4u);
+}
+
+TEST(DseTest, BlackboxApiSpawnsSymbol) {
+  auto r = Explore(
+      "function f(m) { var resp = http_send(m);"
+      " if (resp['code'] == 1) { SQL_exec('INSERT INTO ok VALUES (1)'); }"
+      " else { SQL_exec('INSERT INTO fail VALUES (1)'); } }",
+      "f");
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r->paths.size(), 2u);
+  ASSERT_FALSE(r->blackbox_symbols.empty());
+  EXPECT_EQ(r->blackbox_symbols[0], "bb_http_send_1");
+}
+
+TEST(DseTest, SymbolicLoopIsCappedBySummarizationGuard) {
+  // A loop whose trip count is symbolic would unroll forever; the
+  // loop-summarization guard (§3.3) caps the flips.
+  DseEngine::Options opts;
+  opts.max_loop_unroll = 3;
+  opts.max_paths = 64;
+  auto prog = app::AppParser::Parse(
+      "function f(n) { var i = 0; while (i < n) {"
+      " SQL_exec('INSERT INTO t VALUES (' + i + ')'); i = i + 1; } }");
+  ASSERT_TRUE(prog.ok());
+  DseEngine engine(&*prog, opts);
+  auto r = engine.Explore("f");
+  ASSERT_TRUE(r.ok());
+  EXPECT_LE(r->paths.size(), 6u);
+  EXPECT_GT(r->loop_capped_branches, 0);
+}
+
+TEST(DseTest, DynamicDispatchExploresDiscoveredTargets) {
+  auto r = Explore(
+      "function inc(v) { SQL_exec('UPDATE c SET n = n + ' + v); }"
+      "function dec(v) { SQL_exec('UPDATE c SET n = n - ' + v); }"
+      "function f(which, v) {"
+      " if (which == 'inc') { inc(v); } else { dec(v); } }",
+      "f");
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r->paths.size(), 2u);
+}
+
+TEST(DseTest, PathLabelsMatchFigure5) {
+  // Figure 5's tree for NewOrder: the branch condition mentions the
+  // sql_out symbol in Z3 form.
+  auto r = Explore(
+      "function NewOrder(u, o) {"
+      " var rows = SQL_exec(`SELECT COUNT(*) FROM Address WHERE owner = ${u}`);"
+      " if (rows[0]['COUNT(*)'] != 0) {"
+      "   SQL_exec(`INSERT INTO Orders VALUES (${o}, ${u})`);"
+      " } else { return 'Error'; } }",
+      "NewOrder");
+  ASSERT_TRUE(r.ok());
+  bool saw_cond = false;
+  for (const auto& p : r->paths) {
+    for (const auto& e : p.events) {
+      if (e.kind == DseEvent::Kind::kBranch &&
+          e.cond->ToZ3Script().find("sql_out1[0].COUNT(*)") !=
+              std::string::npos) {
+        saw_cond = true;
+      }
+    }
+  }
+  EXPECT_TRUE(saw_cond);
+}
+
+}  // namespace
+}  // namespace ultraverse::sym

@@ -1,0 +1,206 @@
+#include <gtest/gtest.h>
+
+#include "applang/app_parser.h"
+#include "sqldb/database.h"
+#include "symexec/dse.h"
+#include "transpiler/transpiler.h"
+
+namespace ultraverse::transpiler {
+namespace {
+
+Result<TranspiledTransaction> TranspileFn(const std::string& src,
+                                          const std::string& fn) {
+  auto prog = app::AppParser::Parse(src);
+  EXPECT_TRUE(prog.ok()) << prog.status().ToString();
+  sym::DseEngine engine(&*prog);
+  auto dse = engine.Explore(fn);
+  EXPECT_TRUE(dse.ok()) << dse.status().ToString();
+  return Transpiler::Transpile(*dse);
+}
+
+TEST(TranspilerTest, StraightLineDml) {
+  auto tt = TranspileFn(
+      "function f(a, b) { SQL_exec('INSERT INTO t (x, y) VALUES (' + a + "
+      "', ' + b + ')'); }",
+      "f");
+  ASSERT_TRUE(tt.ok()) << tt.status().ToString();
+  std::string sql = tt->ToSqlText();
+  EXPECT_NE(sql.find("INSERT INTO t (x, y) VALUES (arg_a, arg_b)"),
+            std::string::npos)
+      << sql;
+}
+
+TEST(TranspilerTest, StringArgsQuotedInAppBecomeParams) {
+  auto tt = TranspileFn(
+      "function f(name) { SQL_exec(\"UPDATE u SET n = '\" + name + \"' WHERE"
+      " id = 1\"); }",
+      "f");
+  ASSERT_TRUE(tt.ok());
+  std::string sql = tt->ToSqlText();
+  // The quoted '<marker>' literal is replaced by the parameter itself.
+  EXPECT_NE(sql.find("SET n = arg_name"), std::string::npos) << sql;
+}
+
+TEST(TranspilerTest, EmbeddedMarkerInsideLiteralBecomesConcat) {
+  auto tt = TranspileFn(
+      "function f(who) { SQL_exec(\"INSERT INTO m (b) VALUES ('hello \" +"
+      " who + \"!')\"); }",
+      "f");
+  ASSERT_TRUE(tt.ok());
+  std::string sql = tt->ToSqlText();
+  EXPECT_NE(sql.find("CONCAT('hello ', arg_who, '!')"), std::string::npos)
+      << sql;
+}
+
+TEST(TranspilerTest, ArithmeticOverArgsBecomesSqlExpression) {
+  auto tt = TranspileFn(
+      "function f(a, b) { SQL_exec('UPDATE t SET v = ' + (a * b + 1) +"
+      " ' WHERE id = ' + a); }",
+      "f");
+  ASSERT_TRUE(tt.ok());
+  std::string sql = tt->ToSqlText();
+  EXPECT_NE(sql.find("((arg_a * arg_b) + 1)"), std::string::npos) << sql;
+}
+
+TEST(TranspilerTest, DynamicTypeCoercionFigure9) {
+  // Figure 9: the same parameter is used as a string on one path and as a
+  // number on another; both paths live in one procedure under an IF.
+  auto tt = TranspileFn(
+      "function dynamic_type(userid, input1, input2, is_string) {"
+      " if (is_string == 1) {"
+      "  SQL_exec(`INSERT INTO UserDesc (userid, descr) VALUES (${userid},"
+      " '${input1 + '' + input2}')`);"
+      " } else {"
+      "  SQL_exec(`INSERT INTO UserVal (userid, value) VALUES (${userid},"
+      " ${input1 - input2})`);"
+      " } }",
+      "dynamic_type");
+  ASSERT_TRUE(tt.ok()) << tt.status().ToString();
+  std::string sql = tt->ToSqlText();
+  EXPECT_NE(sql.find("UserDesc"), std::string::npos) << sql;
+  EXPECT_NE(sql.find("UserVal"), std::string::npos) << sql;
+  EXPECT_NE(sql.find("(arg_input1 - arg_input2)"), std::string::npos) << sql;
+  EXPECT_NE(sql.find("IF"), std::string::npos) << sql;
+}
+
+TEST(TranspilerTest, DynamicFunctionCallFigure10) {
+  auto tt = TranspileFn(
+      "function increment(v) { SQL_exec('UPDATE c SET n = n + ' + v); }"
+      "function decrement(v) { SQL_exec('UPDATE c SET n = n - ' + v); }"
+      "function dyn(fn, v) { if (fn == 'increment') { increment(v); }"
+      " else { decrement(v); } }",
+      "dyn");
+  ASSERT_TRUE(tt.ok());
+  std::string sql = tt->ToSqlText();
+  EXPECT_NE(sql.find("n + arg_v"), std::string::npos) << sql;
+  EXPECT_NE(sql.find("n - arg_v"), std::string::npos) << sql;
+}
+
+TEST(TranspilerTest, BlackboxSymbolBecomesParameterFigure11) {
+  auto tt = TranspileFn(
+      "function external_io(message) {"
+      " var response = http_send(message);"
+      " if (response['code'] == 1) {"
+      "  SQL_exec(`INSERT INTO Results (result) VALUES ('success')`);"
+      " } else {"
+      "  SQL_exec(`INSERT INTO Results (result) VALUES ('fail')`);"
+      " } }",
+      "external_io");
+  ASSERT_TRUE(tt.ok());
+  ASSERT_EQ(tt->blackbox_params.size(), 1u);
+  EXPECT_EQ(tt->blackbox_params[0], "bb_http_send_1.code");
+  std::string sql = tt->ToSqlText();
+  EXPECT_NE(sql.find("bb_http_send_1_code"), std::string::npos) << sql;
+}
+
+TEST(TranspilerTest, ErrorReturnBecomesSelect) {
+  auto tt = TranspileFn(
+      "function f(u) { var r = SQL_exec('SELECT COUNT(*) FROM a WHERE u = '"
+      " + u); if (r[0]['COUNT(*)'] != 0) {"
+      " SQL_exec('INSERT INTO o VALUES (' + u + ')'); }"
+      " else { return 'Error: ' + u; } }",
+      "f");
+  ASSERT_TRUE(tt.ok());
+  std::string sql = tt->ToSqlText();
+  EXPECT_NE(sql.find("SELECT CONCAT('Error: ', arg_u) AS result"),
+            std::string::npos)
+      << sql;
+}
+
+TEST(TranspilerTest, PrunesUnreadSelect) {
+  auto tt = TranspileFn(
+      "function f(u) { SQL_exec('SELECT * FROM noise');"
+      " SQL_exec('DELETE FROM t WHERE u = ' + u); }",
+      "f");
+  ASSERT_TRUE(tt.ok());
+  std::string sql = tt->ToSqlText();
+  EXPECT_EQ(sql.find("noise"), std::string::npos)
+      << "a SELECT whose result is never read must be pruned: " << sql;
+}
+
+TEST(TranspilerTest, TranspiledProcedureExecutes) {
+  // End-to-end: install the transpiled procedure and CALL it.
+  auto tt = TranspileFn(
+      "function f(u, v) { var r = SQL_exec('SELECT COUNT(*) FROM acct WHERE"
+      " id = ' + u); if (r[0]['COUNT(*)'] != 0) {"
+      " SQL_exec('UPDATE acct SET bal = bal + ' + v + ' WHERE id = ' + u);"
+      " } }",
+      "f");
+  ASSERT_TRUE(tt.ok());
+  sql::Database db;
+  ASSERT_TRUE(db.ExecuteSql("CREATE TABLE acct (id INT PRIMARY KEY, bal INT)",
+                            1)
+                  .ok());
+  ASSERT_TRUE(db.ExecuteSql("INSERT INTO acct VALUES (1, 100)", 2).ok());
+  sql::ExecContext ctx;
+  ASSERT_TRUE(db.Execute(*tt->create_procedure, 3, &ctx).ok());
+  ASSERT_TRUE(db.ExecuteSql("CALL f(1, 25)", 4).ok());
+  ASSERT_TRUE(db.ExecuteSql("CALL f(2, 25)", 5).ok());  // no row: no update
+  auto r = db.ExecuteSql("SELECT bal FROM acct WHERE id = 1", 6);
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r->rows[0][0].AsInt(), 125);
+}
+
+TEST(TranspilerTest, DeltaUpdateMergesNewPaths) {
+  const char* src =
+      "function f(mode, v) {"
+      " if (mode == 'a') { SQL_exec('INSERT INTO ta VALUES (' + v + ')'); }"
+      " else { if (mode == 'b') { SQL_exec('INSERT INTO tb VALUES (' + v +"
+      " ')'); } else { SQL_exec('INSERT INTO tc VALUES (' + v + ')'); } } }";
+  auto prog = app::AppParser::Parse(src);
+  ASSERT_TRUE(prog.ok());
+  sym::DseEngine engine(&*prog);
+  auto full = engine.Explore("f");
+  ASSERT_TRUE(full.ok());
+  ASSERT_GE(full->paths.size(), 3u);
+
+  // Simulate an initial analysis that found only some paths...
+  sym::DseResult base = *full;
+  base.paths.resize(1);
+  auto partial = Transpiler::Transpile(base);
+  ASSERT_TRUE(partial.ok());
+  EXPECT_GT(partial->signal_traps, 0) << "missing paths become SIGNAL traps";
+
+  // ...then delta-DSE discovers the rest (§3.3).
+  sym::DseResult delta = *full;
+  delta.paths.erase(delta.paths.begin());
+  auto merged = Transpiler::DeltaUpdate(base, delta);
+  ASSERT_TRUE(merged.ok());
+  EXPECT_EQ(merged->signal_traps, 0);
+}
+
+TEST(TranspilerTest, GenerateAugmentedSourceInsertsLogCalls) {
+  std::string augmented = GenerateAugmentedSource(
+      "function NewOrder(orderer_uid, order_id) {\n  return 1;\n}");
+  EXPECT_NE(augmented.find(
+                "Ultraverse_log(`function NewOrder(${orderer_uid}, "
+                "${order_id})`)"),
+            std::string::npos)
+      << augmented;
+  // The augmented source must still parse and run.
+  auto prog = app::AppParser::Parse(augmented);
+  EXPECT_TRUE(prog.ok()) << prog.status().ToString();
+}
+
+}  // namespace
+}  // namespace ultraverse::transpiler

@@ -1,0 +1,243 @@
+// §3.3's unreached-path machinery end to end: a branch the solver cannot
+// flip becomes a SIGNAL trap in the transpiled procedure; hitting the trap
+// during regular service falls back to the original application code (and
+// in a full deployment triggers delta-DSE, tested at the transpiler level
+// in transpiler_test.cc).
+#include <gtest/gtest.h>
+
+#include "applang/app_parser.h"
+#include "core/ultraverse.h"
+#include "symexec/dse.h"
+#include "transpiler/transpiler.h"
+
+namespace ultraverse {
+namespace {
+
+using app::AppValue;
+using core::SystemMode;
+using core::Ultraverse;
+
+// The branch condition hashes the input through repeated blackbox math the
+// SMT-lite solver has no theory for; DSE sees the path but cannot produce
+// inputs for the other side.
+const char* kTrickyApp = R"JS(
+function Tricky(code, v) {
+  var h = (code * 37 + 11) % 1000;
+  if (h * h - 3 * h + 2 == 555770) {
+    SQL_exec("INSERT INTO rare VALUES (" + v + ")");
+  } else {
+    SQL_exec("INSERT INTO common VALUES (" + v + ")");
+  }
+}
+)JS";
+
+TEST(TrapTest, UnsolvedBranchBecomesSignalTrap) {
+  auto prog = app::AppParser::Parse(kTrickyApp);
+  ASSERT_TRUE(prog.ok());
+  sym::DseEngine::Options opts;
+  opts.solver.max_random_tries = 50;  // keep the solver from brute-forcing
+  opts.solver.max_candidates_per_symbol = 6;
+  sym::DseEngine engine(&*prog, opts);
+  auto dse = engine.Explore("Tricky");
+  ASSERT_TRUE(dse.ok());
+  EXPECT_GE(dse->unsolved_branches, 1);
+  auto tt = transpiler::Transpiler::Transpile(*dse);
+  ASSERT_TRUE(tt.ok());
+  EXPECT_GE(tt->signal_traps, 1);
+  EXPECT_NE(tt->ToSqlText().find("SIGNAL SQLSTATE '45001'"),
+            std::string::npos);
+}
+
+TEST(TrapTest, RuntimeTrapFallsBackToApplicationCode) {
+  // A transaction whose branch depends on an argument in a way the limited
+  // solver misses: the transpiled procedure traps on the unexplored side,
+  // and the facade transparently serves the request with the original app.
+  Ultraverse uv;
+  ASSERT_TRUE(uv.ExecuteSql("CREATE TABLE rare (v INT)").ok());
+  ASSERT_TRUE(uv.ExecuteSql("CREATE TABLE common (v INT)").ok());
+  sym::DseEngine::Options opts;
+  opts.solver.max_random_tries = 50;
+  opts.solver.max_candidates_per_symbol = 6;
+  ASSERT_TRUE(uv.LoadApplication(kTrickyApp, opts).ok());
+  const auto* tt = uv.FindTranspiled("Tricky");
+  ASSERT_NE(tt, nullptr);
+  ASSERT_GE(tt->signal_traps, 1);
+
+  // Search for an input that lands on the rare side (h=747 -> code=128):
+  // the limited solver cannot invert the mod-quadratic to find it.
+  int rare_code = -1;
+  for (int code = 0; code < 1000; ++code) {
+    long long h = (code * 37LL + 11) % 1000;
+    if (h * h - 3 * h + 2 == 555770) {
+      rare_code = code;
+      break;
+    }
+  }
+  ASSERT_GE(rare_code, 0) << "test needs a concrete rare input";
+
+  // Common side executes via the procedure.
+  ASSERT_TRUE(uv.RunTransaction("Tricky", {AppValue::Number(1),
+                                           AppValue::Number(10)},
+                                SystemMode::kT)
+                  .ok());
+  // Rare side hits the trap; the fallback must still commit correctly.
+  ASSERT_TRUE(uv.RunTransaction("Tricky",
+                                {AppValue::Number(double(rare_code)),
+                                 AppValue::Number(20)},
+                                SystemMode::kT)
+                  .ok());
+  auto rare = uv.db()->ExecuteSql("SELECT COUNT(*) FROM rare", 9000);
+  auto common = uv.db()->ExecuteSql("SELECT COUNT(*) FROM common", 9001);
+  EXPECT_EQ(rare->rows[0][0].AsInt(), 1);
+  EXPECT_EQ(common->rows[0][0].AsInt(), 1);
+}
+
+TEST(TrapTest, RegressionRowIndependentInsertsSurviveRollback) {
+  // Regression for the table-vs-cell rollback bug: inserts into a
+  // rolled-back table that are row-independent of the target must survive
+  // a pruned what-if (they are neither rolled back nor replayed).
+  Ultraverse uv;
+  ASSERT_TRUE(uv.ExecuteSql("CREATE TABLE r (id INT PRIMARY KEY, i INT,"
+                            " u INT, score INT)")
+                  .ok());
+  uv.ConfigureRi("r", "i");
+  ASSERT_TRUE(
+      uv.ExecuteSql("INSERT INTO r (id, i, u, score) VALUES (1, 1, 1, 3)")
+          .ok());
+  uint64_t target = uv.log()->last_index();
+  // Row-independent inserts (different i): column-wise dependent via the
+  // auto-inc-free id column writes, row-wise independent.
+  for (int k = 2; k <= 6; ++k) {
+    ASSERT_TRUE(uv.ExecuteSql("INSERT INTO r (id, i, u, score) VALUES (" +
+                              std::to_string(k) + ", " + std::to_string(k) +
+                              ", 5, 4)")
+                    .ok());
+  }
+  core::RetroOp op;
+  op.kind = core::RetroOp::Kind::kRemove;
+  op.index = target;
+  auto stats = uv.WhatIf(op, SystemMode::kTD);
+  ASSERT_TRUE(stats.ok());
+  auto r = uv.db()->ExecuteSql("SELECT COUNT(*) FROM r", 9100);
+  EXPECT_EQ(r->rows[0][0].AsInt(), 5)
+      << "the 5 independent inserts survive; only the target is gone";
+}
+
+TEST(TrapTest, RebuildPathKeepsNonDependentWrites) {
+  // Regression: the rebuild-from-log path (taken for DDL targets and
+  // trimmed journals) starts from an empty database, so it must replay the
+  // *full* write-suffix — a pruned plan would lose writes that are
+  // cell-independent of the target.
+  for (auto mode : {SystemMode::kB, SystemMode::kTD}) {
+    Ultraverse uv;
+    ASSERT_TRUE(uv.ExecuteSql("CREATE TABLE keepme (id INT PRIMARY KEY,"
+                              " v INT)")
+                    .ok());
+    ASSERT_TRUE(uv.ExecuteSql("CREATE TABLE doomed (id INT PRIMARY KEY)")
+                    .ok());
+    uint64_t ddl_target = uv.log()->last_index();
+    // Writes after the DDL target that do not depend on it.
+    for (int i = 1; i <= 5; ++i) {
+      ASSERT_TRUE(uv.ExecuteSql("INSERT INTO keepme VALUES (" +
+                                std::to_string(i) + ", " +
+                                std::to_string(i * 10) + ")")
+                      .ok());
+    }
+    ASSERT_TRUE(uv.ExecuteSql("INSERT INTO doomed VALUES (1)").ok());
+    core::RetroOp op;
+    op.kind = core::RetroOp::Kind::kRemove;
+    op.index = ddl_target;
+    auto stats = uv.WhatIf(op, mode);
+    ASSERT_TRUE(stats.ok()) << stats.status().ToString();
+    EXPECT_TRUE(stats->schema_rebuild);
+    EXPECT_EQ(uv.db()->FindTable("doomed"), nullptr);
+    auto r = uv.db()->ExecuteSql("SELECT COUNT(*), SUM(v) FROM keepme", 9200);
+    ASSERT_TRUE(r.ok());
+    EXPECT_EQ(r->rows[0][0].AsInt(), 5)
+        << core::SystemModeName(mode) << ": unrelated writes must survive";
+    EXPECT_EQ(r->rows[0][1].AsInt(), 150);
+  }
+}
+
+// --- §3.3 Server-Client Communication -----------------------------------------------
+
+TEST(ClientSideTest, DomInputsBecomeClientSymbols) {
+  // Client-side webpage logic pre-processes a DOM input before the
+  // server-side write; DSE treats the <input> value as a client symbol and
+  // the transpiled procedure takes it as a parameter.
+  const char* kApp = R"JS(
+function SubmitComment(uid) {
+  var text = dom_input("comment");
+  var agent = user_agent();
+  if (text != "") {
+    SQL_exec("INSERT INTO comments (uid, body, via) VALUES (" + uid + ", '" +
+             text + "', '" + agent + "')");
+  } else {
+    return "Error: empty comment";
+  }
+}
+)JS";
+  auto prog = app::AppParser::Parse(kApp);
+  ASSERT_TRUE(prog.ok());
+  sym::DseEngine engine(&*prog);
+  auto dse = engine.Explore("SubmitComment");
+  ASSERT_TRUE(dse.ok());
+  EXPECT_EQ(dse->paths.size(), 2u) << "empty / non-empty comment";
+  auto tt = transpiler::Transpiler::Transpile(*dse);
+  ASSERT_TRUE(tt.ok()) << tt.status().ToString();
+  bool has_dom = false, has_agent = false;
+  for (const auto& bb : tt->blackbox_params) {
+    if (bb == "dom_comment") has_dom = true;
+    if (bb == "client_user_agent") has_agent = true;
+  }
+  EXPECT_TRUE(has_dom) << tt->ToSqlText();
+  EXPECT_TRUE(has_agent) << tt->ToSqlText();
+}
+
+TEST(ClientSideTest, ClientEnvRoundTripsThroughCommitAndWhatIf) {
+  Ultraverse uv;
+  ASSERT_TRUE(uv.ExecuteSql("CREATE TABLE comments (uid INT,"
+                            " body VARCHAR(64), via VARCHAR(32))")
+                  .ok());
+  ASSERT_TRUE(uv.LoadApplication(R"JS(
+function SubmitComment(uid) {
+  var text = dom_input("comment");
+  var agent = user_agent();
+  if (text != "") {
+    SQL_exec("INSERT INTO comments (uid, body, via) VALUES (" + uid + ", '" +
+             text + "', '" + agent + "')");
+  }
+}
+)JS")
+                  .ok());
+  uv.SetClientEnv("dom_comment", sql::Value::String("great product"));
+  uv.SetClientEnv("client_user_agent", sql::Value::String("uvsh/1.0"));
+  uint64_t seed_commit = uv.log()->last_index() + 1;
+  ASSERT_TRUE(uv.ExecuteSql("INSERT INTO comments VALUES (0, 'seed', '-')")
+                  .ok());
+  for (auto mode : {SystemMode::kB, SystemMode::kT}) {
+    ASSERT_TRUE(
+        uv.RunTransaction("SubmitComment", {AppValue::Number(1)}, mode).ok());
+  }
+  auto r = uv.db()->ExecuteSql(
+      "SELECT COUNT(*) FROM comments WHERE body = 'great product' AND"
+      " via = 'uvsh/1.0'",
+      9300);
+  EXPECT_EQ(r->rows[0][0].AsInt(), 2) << "both modes observe the client env";
+
+  // What-if replay (both interpreter- and procedure-based) must re-inject
+  // the recorded client values.
+  core::RetroOp op;
+  op.kind = core::RetroOp::Kind::kRemove;
+  op.index = seed_commit;
+  for (auto mode : {SystemMode::kB, SystemMode::kTD}) {
+    auto stats = uv.WhatIf(op, mode);
+    ASSERT_TRUE(stats.ok()) << stats.status().ToString();
+  }
+  r = uv.db()->ExecuteSql(
+      "SELECT COUNT(*) FROM comments WHERE body = 'great product'", 9301);
+  EXPECT_EQ(r->rows[0][0].AsInt(), 2) << "client values survive the replay";
+}
+
+}  // namespace
+}  // namespace ultraverse

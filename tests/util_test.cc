@@ -1,0 +1,244 @@
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <set>
+#include <thread>
+
+#include "util/mpmc_queue.h"
+#include "util/rng.h"
+#include "util/sha256.h"
+#include "util/string_util.h"
+#include "util/table_hash.h"
+#include "util/thread_pool.h"
+
+namespace ultraverse {
+namespace {
+
+// --- SHA-256 (FIPS 180-4 vectors) ------------------------------------------
+
+TEST(Sha256Test, EmptyString) {
+  EXPECT_EQ(Sha256::Hash("").ToHex(),
+            "e3b0c44298fc1c149afbf4c8996fb92427ae41e4649b934ca495991b7852b855");
+}
+
+TEST(Sha256Test, Abc) {
+  EXPECT_EQ(Sha256::Hash("abc").ToHex(),
+            "ba7816bf8f01cfea414140de5dae2223b00361a396177a9cb410ff61f20015ad");
+}
+
+TEST(Sha256Test, TwoBlockMessage) {
+  EXPECT_EQ(Sha256::Hash(
+                "abcdbcdecdefdefgefghfghighijhijkijkljklmklmnlmnomnopnopq")
+                .ToHex(),
+            "248d6a61d20638b8e5c026930c3e6039a33ce45964ff2167f6ecedd419db06c1");
+}
+
+TEST(Sha256Test, MillionAs) {
+  Sha256 h;
+  std::string chunk(1000, 'a');
+  for (int i = 0; i < 1000; ++i) h.Update(chunk);
+  EXPECT_EQ(h.Finish().ToHex(),
+            "cdc76e5c9914fb9281a1c7e284d73e67f1809a48a497200e046d39ccc7112cd0");
+}
+
+TEST(Sha256Test, StreamingEqualsOneShot) {
+  std::string data = "the quick brown fox jumps over the lazy dog";
+  for (size_t split = 0; split <= data.size(); split += 7) {
+    Sha256 h;
+    h.Update(data.substr(0, split));
+    h.Update(data.substr(split));
+    EXPECT_EQ(h.Finish().ToHex(), Sha256::Hash(data).ToHex()) << split;
+  }
+}
+
+// --- TableHash (Hash-jumper, §4.5) -----------------------------------------
+
+TEST(TableHashTest, EmptyIsZero) {
+  TableHash h;
+  EXPECT_EQ(h.value(), Digest256{});
+}
+
+TEST(TableHashTest, AddThenRemoveIsIdentity) {
+  TableHash h;
+  h.AddRow("row-a");
+  h.AddRow("row-b");
+  h.RemoveRow("row-a");
+  h.RemoveRow("row-b");
+  EXPECT_EQ(h.value(), Digest256{});
+}
+
+TEST(TableHashTest, OrderInsensitive) {
+  TableHash a, b;
+  a.AddRow("x");
+  a.AddRow("y");
+  a.AddRow("z");
+  b.AddRow("z");
+  b.AddRow("x");
+  b.AddRow("y");
+  EXPECT_EQ(a.value(), b.value());
+}
+
+TEST(TableHashTest, MultisetSemantics) {
+  // Two copies of the same row hash differently from one copy.
+  TableHash one, two;
+  one.AddRow("dup");
+  two.AddRow("dup");
+  two.AddRow("dup");
+  EXPECT_FALSE(one.value() == two.value());
+  two.RemoveRow("dup");
+  EXPECT_EQ(one.value(), two.value());
+}
+
+TEST(TableHashTest, UpdateEqualsDeleteInsert) {
+  TableHash direct, via_update;
+  direct.AddRow("new-version");
+  via_update.AddRow("old-version");
+  via_update.RemoveRow("old-version");
+  via_update.AddRow("new-version");
+  EXPECT_EQ(direct.value(), via_update.value());
+}
+
+TEST(TableHashTest, SubtractWithBorrowAcrossLimbs) {
+  // Force a borrow chain: 0 - d must equal (2^256 - d) so that adding d
+  // back returns to zero.
+  TableHash h;
+  Digest256 d = Sha256::Hash("borrow");
+  h.Subtract(d);
+  h.Add(d);
+  EXPECT_EQ(h.value(), Digest256{});
+}
+
+TEST(TableHashTest, IncrementalMatchesRecompute) {
+  Rng rng(3);
+  std::multiset<std::string> rows;
+  TableHash incremental;
+  for (int step = 0; step < 500; ++step) {
+    if (!rows.empty() && rng.Bernoulli(0.4)) {
+      auto it = rows.begin();
+      std::advance(it, long(rng.Next() % rows.size()));
+      incremental.RemoveRow(*it);
+      rows.erase(it);
+    } else {
+      std::string row = rng.RandomString(12);
+      incremental.AddRow(row);
+      rows.insert(row);
+    }
+  }
+  TableHash recomputed;
+  for (const auto& row : rows) recomputed.AddRow(row);
+  EXPECT_EQ(incremental.value(), recomputed.value());
+}
+
+// --- MpmcQueue ---------------------------------------------------------------
+
+TEST(MpmcQueueTest, FifoSingleThread) {
+  MpmcQueue<int> q(8);
+  for (int i = 0; i < 8; ++i) EXPECT_TRUE(q.TryPush(i));
+  EXPECT_FALSE(q.TryPush(99)) << "ring is full";
+  int v;
+  for (int i = 0; i < 8; ++i) {
+    ASSERT_TRUE(q.TryPop(&v));
+    EXPECT_EQ(v, i);
+  }
+  EXPECT_FALSE(q.TryPop(&v)) << "ring is empty";
+}
+
+TEST(MpmcQueueTest, CapacityRoundsUpToPowerOfTwo) {
+  MpmcQueue<int> q(5);
+  EXPECT_EQ(q.capacity(), 8u);
+}
+
+TEST(MpmcQueueTest, ConcurrentProducersConsumersDeliverEverything) {
+  constexpr int kThreads = 4;
+  constexpr int kPerThread = 5000;
+  MpmcQueue<int> q(256);
+  std::atomic<int64_t> sum{0};
+  std::atomic<int> popped{0};
+  std::vector<std::thread> producers, consumers;
+  for (int t = 0; t < kThreads; ++t) {
+    producers.emplace_back([&, t] {
+      for (int i = 0; i < kPerThread; ++i) {
+        int value = t * kPerThread + i;
+        while (!q.TryPush(value)) std::this_thread::yield();
+      }
+    });
+    consumers.emplace_back([&] {
+      int v;
+      while (popped.load() < kThreads * kPerThread) {
+        if (q.TryPop(&v)) {
+          sum.fetch_add(v);
+          popped.fetch_add(1);
+        } else {
+          std::this_thread::yield();
+        }
+      }
+    });
+  }
+  for (auto& t : producers) t.join();
+  for (auto& t : consumers) t.join();
+  int64_t n = kThreads * kPerThread;
+  EXPECT_EQ(sum.load(), n * (n - 1) / 2);
+}
+
+// --- ThreadPool ---------------------------------------------------------------
+
+TEST(ThreadPoolTest, RunsAllTasks) {
+  ThreadPool pool(4);
+  std::atomic<int> count{0};
+  for (int i = 0; i < 100; ++i) {
+    pool.Submit([&] { count.fetch_add(1); });
+  }
+  pool.WaitIdle();
+  EXPECT_EQ(count.load(), 100);
+}
+
+TEST(ThreadPoolTest, TasksCanSpawnTasks) {
+  ThreadPool pool(2);
+  std::atomic<int> count{0};
+  pool.Submit([&] {
+    count.fetch_add(1);
+    for (int i = 0; i < 10; ++i) {
+      pool.Submit([&] { count.fetch_add(1); });
+    }
+  });
+  pool.WaitIdle();
+  EXPECT_EQ(count.load(), 11);
+}
+
+// --- Rng / strings -------------------------------------------------------------
+
+TEST(RngTest, DeterministicForSameSeed) {
+  Rng a(42), b(42);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.Next(), b.Next());
+}
+
+TEST(RngTest, UniformIntStaysInRange) {
+  Rng rng(7);
+  for (int i = 0; i < 1000; ++i) {
+    int64_t v = rng.UniformInt(-3, 9);
+    EXPECT_GE(v, -3);
+    EXPECT_LE(v, 9);
+  }
+}
+
+TEST(StringUtilTest, EqualsIgnoreCase) {
+  EXPECT_TRUE(EqualsIgnoreCase("SELECT", "select"));
+  EXPECT_TRUE(EqualsIgnoreCase("", ""));
+  EXPECT_FALSE(EqualsIgnoreCase("a", "ab"));
+  EXPECT_FALSE(EqualsIgnoreCase("abc", "abd"));
+}
+
+TEST(StringUtilTest, SqlQuoteEscapesQuotes) {
+  EXPECT_EQ(SqlQuote("o'brien"), "'o''brien'");
+  EXPECT_EQ(SqlQuote(""), "''");
+}
+
+TEST(StringUtilTest, SplitAndJoinRoundTrip) {
+  auto parts = Split("a,b,,c", ',');
+  ASSERT_EQ(parts.size(), 4u);
+  EXPECT_EQ(parts[2], "");
+  EXPECT_EQ(Join(parts, ","), "a,b,,c");
+}
+
+}  // namespace
+}  // namespace ultraverse

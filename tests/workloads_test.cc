@@ -1,0 +1,176 @@
+#include <gtest/gtest.h>
+
+#include "core/ultraverse.h"
+#include "workloads/raw_history.h"
+#include "workloads/workload.h"
+
+namespace ultraverse::workload {
+namespace {
+
+using core::RetroOp;
+using core::SystemMode;
+using core::Ultraverse;
+
+class WorkloadParamTest : public ::testing::TestWithParam<std::string> {};
+
+// Builds one instance with a committed history and returns the driver's
+// retro target.
+struct Built {
+  std::unique_ptr<Ultraverse> uv;
+  uint64_t target = 0;
+};
+
+Built BuildInstance(const std::string& name, size_t txns,
+                    SystemMode commit_mode, double dep_rate = 0.5) {
+  Built built;
+  built.uv = std::make_unique<Ultraverse>();
+  Driver::Config config;
+  config.dependency_rate = dep_rate;
+  config.commit_mode = commit_mode;
+  Driver driver(MakeWorkload(name, 1), built.uv.get(), config);
+  Status st = driver.Setup();
+  EXPECT_TRUE(st.ok()) << name << " setup: " << st.ToString();
+  if (!st.ok()) return built;
+  st = driver.RunHistory(txns);
+  EXPECT_TRUE(st.ok()) << name << " history: " << st.ToString();
+  built.target = driver.retro_target_index();
+  return built;
+}
+
+TEST_P(WorkloadParamTest, SetupAndHistoryCommits) {
+  Built built = BuildInstance(GetParam(), 30, SystemMode::kB);
+  ASSERT_TRUE(built.uv != nullptr);
+  EXPECT_GT(built.target, 0u);
+  EXPECT_GT(built.uv->log()->size(), 30u);
+}
+
+TEST_P(WorkloadParamTest, TranspiledCommitMatchesOriginalCommit) {
+  // §3.4 transpilation correctness at workload scale: committing the same
+  // transaction stream through the original app (B) and through the
+  // transpiled procedures (T) must produce identical databases.
+  Built b = BuildInstance(GetParam(), 40, SystemMode::kB);
+  Built t = BuildInstance(GetParam(), 40, SystemMode::kT);
+  ASSERT_TRUE(b.uv && t.uv);
+  EXPECT_EQ(b.uv->StateFingerprint(), t.uv->StateFingerprint()) << GetParam();
+}
+
+TEST_P(WorkloadParamTest, AllModesAgreeOnRetroactiveRemove) {
+  std::string fp[4];
+  SystemMode modes[4] = {SystemMode::kB, SystemMode::kT, SystemMode::kD,
+                         SystemMode::kTD};
+  size_t replayed[4] = {0, 0, 0, 0};
+  for (int m = 0; m < 4; ++m) {
+    Built built = BuildInstance(GetParam(), 40, SystemMode::kB);
+    ASSERT_TRUE(built.uv != nullptr);
+    RetroOp op;
+    op.kind = RetroOp::Kind::kRemove;
+    op.index = built.target;
+    auto stats = built.uv->WhatIf(op, modes[m]);
+    ASSERT_TRUE(stats.ok()) << GetParam() << "/" << SystemModeName(modes[m])
+                            << ": " << stats.status().ToString();
+    fp[m] = built.uv->StateFingerprint();
+    replayed[m] = stats->replayed;
+  }
+  EXPECT_EQ(fp[0], fp[1]) << GetParam() << ": B vs T";
+  EXPECT_EQ(fp[0], fp[2]) << GetParam() << ": B vs D";
+  EXPECT_EQ(fp[0], fp[3]) << GetParam() << ": B vs T+D";
+  // Dependency analysis can only prune, never add.
+  EXPECT_LE(replayed[3], replayed[0]) << GetParam();
+}
+
+TEST_P(WorkloadParamTest, LowDependencyRatePrunesMore) {
+  size_t replayed_low = 0, replayed_high = 0;
+  {
+    Built built = BuildInstance(GetParam(), 60, SystemMode::kB, 0.05);
+    ASSERT_TRUE(built.uv != nullptr);
+    RetroOp op{RetroOp::Kind::kRemove, built.target, nullptr, ""};
+    auto stats = built.uv->WhatIf(op, SystemMode::kTD);
+    ASSERT_TRUE(stats.ok()) << stats.status().ToString();
+    replayed_low = stats->replayed;
+  }
+  {
+    Built built = BuildInstance(GetParam(), 60, SystemMode::kB, 0.95);
+    ASSERT_TRUE(built.uv != nullptr);
+    RetroOp op{RetroOp::Kind::kRemove, built.target, nullptr, ""};
+    auto stats = built.uv->WhatIf(op, SystemMode::kTD);
+    ASSERT_TRUE(stats.ok()) << stats.status().ToString();
+    replayed_high = stats->replayed;
+  }
+  EXPECT_LE(replayed_low, replayed_high) << GetParam();
+}
+
+INSTANTIATE_TEST_SUITE_P(AllBenchmarks, WorkloadParamTest,
+                         ::testing::ValuesIn(AllWorkloadNames()),
+                         [](const auto& info) { return info.param; });
+
+TEST(RawHistoryTest, GeneratesParseableQueries) {
+  for (const auto& name : AllWorkloadNames()) {
+    RawHistory h = MakeRawHistory(name, 100, 0.5, 7);
+    EXPECT_EQ(h.queries.size(), 100u);
+    Ultraverse uv;
+    for (const auto& ddl : h.schema_sql) {
+      ASSERT_TRUE(uv.ExecuteSql(ddl).ok()) << ddl;
+    }
+    for (const auto& q : h.queries) {
+      ASSERT_TRUE(uv.ExecuteSql(q).ok()) << q;
+    }
+  }
+}
+
+TEST_P(WorkloadParamTest, TranspiledProceduresLookRight) {
+  // Golden-ish checks on the generated SQL: every updating transaction
+  // transpiles without traps, and signature statements appear.
+  auto w = MakeWorkload(GetParam(), 1);
+  Ultraverse uv;
+  ASSERT_TRUE(uv.LoadApplication(w->AppSource()).ok());
+  for (const auto& fn : uv.db()->ProcedureNames()) {
+    const auto* tt = uv.FindTranspiled(fn);
+    ASSERT_NE(tt, nullptr) << fn;
+    EXPECT_EQ(tt->signal_traps, 0)
+        << GetParam() << "/" << fn << ": benchmark transactions must "
+        << "transpile completely:\n" << tt->ToSqlText();
+    EXPECT_GE(tt->path_count, 1) << fn;
+  }
+  if (GetParam() == "tpcc") {
+    const auto* neworder = uv.FindTranspiled("NewOrder");
+    ASSERT_NE(neworder, nullptr);
+    std::string sql = neworder->ToSqlText();
+    EXPECT_NE(sql.find("INSERT INTO order_line"), std::string::npos) << sql;
+    EXPECT_NE(sql.find("UPDATE stock"), std::string::npos) << sql;
+    EXPECT_GE(neworder->path_count, 8) << "3 stock branches = 8 paths";
+  }
+  if (GetParam() == "astore") {
+    const auto* place = uv.FindTranspiled("PlaceOrder");
+    ASSERT_NE(place, nullptr);
+    EXPECT_FALSE(place->blackbox_params.empty())
+        << "http_send must surface as a blackbox parameter";
+  }
+}
+
+TEST_P(WorkloadParamTest, AppendixDRiConfigurationApplies) {
+  Built built = BuildInstance(GetParam(), 5, core::SystemMode::kT);
+  ASSERT_TRUE(built.uv != nullptr);
+  // The analyzer's registry materializes when the log is analyzed.
+  ASSERT_TRUE(built.uv->EnsureAnalysis().ok());
+  const auto* reg = built.uv->analyzer()->registry();
+  for (const auto& table : reg->TableNames()) {
+    const auto* info = reg->FindTable(table);
+    ASSERT_NE(info, nullptr);
+    EXPECT_FALSE(info->ri_column.empty())
+        << GetParam() << "." << table << " must have an RI column";
+  }
+  if (GetParam() == "tatp") {
+    const auto* sub = reg->FindTable("subscriber");
+    ASSERT_NE(sub, nullptr);
+    EXPECT_EQ(sub->ri_column, "s_id");
+    ASSERT_EQ(sub->ri_aliases.size(), 1u);
+    EXPECT_EQ(sub->ri_aliases[0], "sub_nbr") << "Appendix D.2 alias";
+  }
+  if (GetParam() == "tpcc") {
+    EXPECT_EQ(reg->FindTable("stock")->ri_column, "S_W_ID")
+        << "Appendix D.4: warehouse-scoped RI";
+  }
+}
+
+}  // namespace
+}  // namespace ultraverse::workload
