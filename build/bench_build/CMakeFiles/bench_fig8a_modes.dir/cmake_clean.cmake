@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_fig8a_modes"
+  "../bench/bench_fig8a_modes.pdb"
+  "CMakeFiles/bench_fig8a_modes.dir/bench_fig8a_modes.cc.o"
+  "CMakeFiles/bench_fig8a_modes.dir/bench_fig8a_modes.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig8a_modes.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

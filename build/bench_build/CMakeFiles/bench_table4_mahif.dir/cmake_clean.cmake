@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_table4_mahif"
+  "../bench/bench_table4_mahif.pdb"
+  "CMakeFiles/bench_table4_mahif.dir/bench_table4_mahif.cc.o"
+  "CMakeFiles/bench_table4_mahif.dir/bench_table4_mahif.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table4_mahif.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_table5_dbsize"
+  "../bench/bench_table5_dbsize.pdb"
+  "CMakeFiles/bench_table5_dbsize.dir/bench_table5_dbsize.cc.o"
+  "CMakeFiles/bench_table5_dbsize.dir/bench_table5_dbsize.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table5_dbsize.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

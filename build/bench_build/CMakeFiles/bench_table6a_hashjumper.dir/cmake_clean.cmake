@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_table6a_hashjumper"
+  "../bench/bench_table6a_hashjumper.pdb"
+  "CMakeFiles/bench_table6a_hashjumper.dir/bench_table6a_hashjumper.cc.o"
+  "CMakeFiles/bench_table6a_hashjumper.dir/bench_table6a_hashjumper.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table6a_hashjumper.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

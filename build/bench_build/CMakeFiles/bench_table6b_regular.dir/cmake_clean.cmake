@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_table6b_regular"
+  "../bench/bench_table6b_regular.pdb"
+  "CMakeFiles/bench_table6b_regular.dir/bench_table6b_regular.cc.o"
+  "CMakeFiles/bench_table6b_regular.dir/bench_table6b_regular.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table6b_regular.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_table7_overhead"
+  "../bench/bench_table7_overhead.pdb"
+  "CMakeFiles/bench_table7_overhead.dir/bench_table7_overhead.cc.o"
+  "CMakeFiles/bench_table7_overhead.dir/bench_table7_overhead.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table7_overhead.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

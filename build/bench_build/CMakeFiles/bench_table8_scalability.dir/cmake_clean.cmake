@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_table8_scalability"
+  "../bench/bench_table8_scalability.pdb"
+  "CMakeFiles/bench_table8_scalability.dir/bench_table8_scalability.cc.o"
+  "CMakeFiles/bench_table8_scalability.dir/bench_table8_scalability.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table8_scalability.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ecommerce_whatif.dir/ecommerce_whatif.cpp.o"
+  "CMakeFiles/ecommerce_whatif.dir/ecommerce_whatif.cpp.o.d"
+  "ecommerce_whatif"
+  "ecommerce_whatif.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ecommerce_whatif.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

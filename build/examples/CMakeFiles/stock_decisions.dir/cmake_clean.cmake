@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/stock_decisions.dir/stock_decisions.cpp.o"
+  "CMakeFiles/stock_decisions.dir/stock_decisions.cpp.o.d"
+  "stock_decisions"
+  "stock_decisions.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/stock_decisions.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/uvsh.dir/uvsh.cpp.o"
+  "CMakeFiles/uvsh.dir/uvsh.cpp.o.d"
+  "uvsh"
+  "uvsh.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/uvsh.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/applang/app_ops.cc" "src/applang/CMakeFiles/uv_applang.dir/app_ops.cc.o" "gcc" "src/applang/CMakeFiles/uv_applang.dir/app_ops.cc.o.d"
+  "/root/repo/src/applang/app_parser.cc" "src/applang/CMakeFiles/uv_applang.dir/app_parser.cc.o" "gcc" "src/applang/CMakeFiles/uv_applang.dir/app_parser.cc.o.d"
+  "/root/repo/src/applang/app_value.cc" "src/applang/CMakeFiles/uv_applang.dir/app_value.cc.o" "gcc" "src/applang/CMakeFiles/uv_applang.dir/app_value.cc.o.d"
+  "/root/repo/src/applang/interpreter.cc" "src/applang/CMakeFiles/uv_applang.dir/interpreter.cc.o" "gcc" "src/applang/CMakeFiles/uv_applang.dir/interpreter.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/sqldb/CMakeFiles/uv_sqldb.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/uv_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/uv_applang.dir/app_ops.cc.o"
+  "CMakeFiles/uv_applang.dir/app_ops.cc.o.d"
+  "CMakeFiles/uv_applang.dir/app_parser.cc.o"
+  "CMakeFiles/uv_applang.dir/app_parser.cc.o.d"
+  "CMakeFiles/uv_applang.dir/app_value.cc.o"
+  "CMakeFiles/uv_applang.dir/app_value.cc.o.d"
+  "CMakeFiles/uv_applang.dir/interpreter.cc.o"
+  "CMakeFiles/uv_applang.dir/interpreter.cc.o.d"
+  "libuv_applang.a"
+  "libuv_applang.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/uv_applang.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/dep_graph.cc" "src/core/CMakeFiles/uv_core.dir/dep_graph.cc.o" "gcc" "src/core/CMakeFiles/uv_core.dir/dep_graph.cc.o.d"
+  "/root/repo/src/core/replay.cc" "src/core/CMakeFiles/uv_core.dir/replay.cc.o" "gcc" "src/core/CMakeFiles/uv_core.dir/replay.cc.o.d"
+  "/root/repo/src/core/ri_selector.cc" "src/core/CMakeFiles/uv_core.dir/ri_selector.cc.o" "gcc" "src/core/CMakeFiles/uv_core.dir/ri_selector.cc.o.d"
+  "/root/repo/src/core/rw_sets.cc" "src/core/CMakeFiles/uv_core.dir/rw_sets.cc.o" "gcc" "src/core/CMakeFiles/uv_core.dir/rw_sets.cc.o.d"
+  "/root/repo/src/core/txn_scheduler.cc" "src/core/CMakeFiles/uv_core.dir/txn_scheduler.cc.o" "gcc" "src/core/CMakeFiles/uv_core.dir/txn_scheduler.cc.o.d"
+  "/root/repo/src/core/ultraverse.cc" "src/core/CMakeFiles/uv_core.dir/ultraverse.cc.o" "gcc" "src/core/CMakeFiles/uv_core.dir/ultraverse.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/transpiler/CMakeFiles/uv_transpiler.dir/DependInfo.cmake"
+  "/root/repo/build/src/symexec/CMakeFiles/uv_symexec.dir/DependInfo.cmake"
+  "/root/repo/build/src/applang/CMakeFiles/uv_applang.dir/DependInfo.cmake"
+  "/root/repo/build/src/sqldb/CMakeFiles/uv_sqldb.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/uv_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

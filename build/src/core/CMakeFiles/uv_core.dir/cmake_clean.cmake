@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/uv_core.dir/dep_graph.cc.o"
+  "CMakeFiles/uv_core.dir/dep_graph.cc.o.d"
+  "CMakeFiles/uv_core.dir/replay.cc.o"
+  "CMakeFiles/uv_core.dir/replay.cc.o.d"
+  "CMakeFiles/uv_core.dir/ri_selector.cc.o"
+  "CMakeFiles/uv_core.dir/ri_selector.cc.o.d"
+  "CMakeFiles/uv_core.dir/rw_sets.cc.o"
+  "CMakeFiles/uv_core.dir/rw_sets.cc.o.d"
+  "CMakeFiles/uv_core.dir/txn_scheduler.cc.o"
+  "CMakeFiles/uv_core.dir/txn_scheduler.cc.o.d"
+  "CMakeFiles/uv_core.dir/ultraverse.cc.o"
+  "CMakeFiles/uv_core.dir/ultraverse.cc.o.d"
+  "libuv_core.a"
+  "libuv_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/uv_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/uv_mahif.dir/mahif.cc.o"
+  "CMakeFiles/uv_mahif.dir/mahif.cc.o.d"
+  "libuv_mahif.a"
+  "libuv_mahif.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/uv_mahif.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

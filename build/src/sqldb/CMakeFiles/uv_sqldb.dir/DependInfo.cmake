@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/sqldb/database.cc" "src/sqldb/CMakeFiles/uv_sqldb.dir/database.cc.o" "gcc" "src/sqldb/CMakeFiles/uv_sqldb.dir/database.cc.o.d"
+  "/root/repo/src/sqldb/evaluator.cc" "src/sqldb/CMakeFiles/uv_sqldb.dir/evaluator.cc.o" "gcc" "src/sqldb/CMakeFiles/uv_sqldb.dir/evaluator.cc.o.d"
+  "/root/repo/src/sqldb/lexer.cc" "src/sqldb/CMakeFiles/uv_sqldb.dir/lexer.cc.o" "gcc" "src/sqldb/CMakeFiles/uv_sqldb.dir/lexer.cc.o.d"
+  "/root/repo/src/sqldb/parser.cc" "src/sqldb/CMakeFiles/uv_sqldb.dir/parser.cc.o" "gcc" "src/sqldb/CMakeFiles/uv_sqldb.dir/parser.cc.o.d"
+  "/root/repo/src/sqldb/printer.cc" "src/sqldb/CMakeFiles/uv_sqldb.dir/printer.cc.o" "gcc" "src/sqldb/CMakeFiles/uv_sqldb.dir/printer.cc.o.d"
+  "/root/repo/src/sqldb/query_log.cc" "src/sqldb/CMakeFiles/uv_sqldb.dir/query_log.cc.o" "gcc" "src/sqldb/CMakeFiles/uv_sqldb.dir/query_log.cc.o.d"
+  "/root/repo/src/sqldb/table.cc" "src/sqldb/CMakeFiles/uv_sqldb.dir/table.cc.o" "gcc" "src/sqldb/CMakeFiles/uv_sqldb.dir/table.cc.o.d"
+  "/root/repo/src/sqldb/value.cc" "src/sqldb/CMakeFiles/uv_sqldb.dir/value.cc.o" "gcc" "src/sqldb/CMakeFiles/uv_sqldb.dir/value.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/uv_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

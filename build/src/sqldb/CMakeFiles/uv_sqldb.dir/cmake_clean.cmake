@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/uv_sqldb.dir/database.cc.o"
+  "CMakeFiles/uv_sqldb.dir/database.cc.o.d"
+  "CMakeFiles/uv_sqldb.dir/evaluator.cc.o"
+  "CMakeFiles/uv_sqldb.dir/evaluator.cc.o.d"
+  "CMakeFiles/uv_sqldb.dir/lexer.cc.o"
+  "CMakeFiles/uv_sqldb.dir/lexer.cc.o.d"
+  "CMakeFiles/uv_sqldb.dir/parser.cc.o"
+  "CMakeFiles/uv_sqldb.dir/parser.cc.o.d"
+  "CMakeFiles/uv_sqldb.dir/printer.cc.o"
+  "CMakeFiles/uv_sqldb.dir/printer.cc.o.d"
+  "CMakeFiles/uv_sqldb.dir/query_log.cc.o"
+  "CMakeFiles/uv_sqldb.dir/query_log.cc.o.d"
+  "CMakeFiles/uv_sqldb.dir/table.cc.o"
+  "CMakeFiles/uv_sqldb.dir/table.cc.o.d"
+  "CMakeFiles/uv_sqldb.dir/value.cc.o"
+  "CMakeFiles/uv_sqldb.dir/value.cc.o.d"
+  "libuv_sqldb.a"
+  "libuv_sqldb.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/uv_sqldb.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

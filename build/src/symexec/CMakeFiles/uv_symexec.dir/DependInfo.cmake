@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/symexec/dse.cc" "src/symexec/CMakeFiles/uv_symexec.dir/dse.cc.o" "gcc" "src/symexec/CMakeFiles/uv_symexec.dir/dse.cc.o.d"
+  "/root/repo/src/symexec/solver.cc" "src/symexec/CMakeFiles/uv_symexec.dir/solver.cc.o" "gcc" "src/symexec/CMakeFiles/uv_symexec.dir/solver.cc.o.d"
+  "/root/repo/src/symexec/sym_expr.cc" "src/symexec/CMakeFiles/uv_symexec.dir/sym_expr.cc.o" "gcc" "src/symexec/CMakeFiles/uv_symexec.dir/sym_expr.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/applang/CMakeFiles/uv_applang.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/uv_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/sqldb/CMakeFiles/uv_sqldb.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/uv_symexec.dir/dse.cc.o"
+  "CMakeFiles/uv_symexec.dir/dse.cc.o.d"
+  "CMakeFiles/uv_symexec.dir/solver.cc.o"
+  "CMakeFiles/uv_symexec.dir/solver.cc.o.d"
+  "CMakeFiles/uv_symexec.dir/sym_expr.cc.o"
+  "CMakeFiles/uv_symexec.dir/sym_expr.cc.o.d"
+  "libuv_symexec.a"
+  "libuv_symexec.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/uv_symexec.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

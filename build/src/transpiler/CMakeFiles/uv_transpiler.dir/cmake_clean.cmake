@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/uv_transpiler.dir/transpiler.cc.o"
+  "CMakeFiles/uv_transpiler.dir/transpiler.cc.o.d"
+  "libuv_transpiler.a"
+  "libuv_transpiler.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/uv_transpiler.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

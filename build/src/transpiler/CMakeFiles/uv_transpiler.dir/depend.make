@@ -1,0 +1,2 @@
+# Empty dependencies file for uv_transpiler.
+# This may be replaced when dependencies are built.

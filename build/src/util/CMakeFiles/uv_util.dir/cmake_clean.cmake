@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/uv_util.dir/sha256.cc.o"
+  "CMakeFiles/uv_util.dir/sha256.cc.o.d"
+  "CMakeFiles/uv_util.dir/string_util.cc.o"
+  "CMakeFiles/uv_util.dir/string_util.cc.o.d"
+  "CMakeFiles/uv_util.dir/table_hash.cc.o"
+  "CMakeFiles/uv_util.dir/table_hash.cc.o.d"
+  "CMakeFiles/uv_util.dir/thread_pool.cc.o"
+  "CMakeFiles/uv_util.dir/thread_pool.cc.o.d"
+  "libuv_util.a"
+  "libuv_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/uv_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

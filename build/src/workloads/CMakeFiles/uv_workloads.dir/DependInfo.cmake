@@ -1,0 +1,31 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/workloads/astore.cc" "src/workloads/CMakeFiles/uv_workloads.dir/astore.cc.o" "gcc" "src/workloads/CMakeFiles/uv_workloads.dir/astore.cc.o.d"
+  "/root/repo/src/workloads/epinions.cc" "src/workloads/CMakeFiles/uv_workloads.dir/epinions.cc.o" "gcc" "src/workloads/CMakeFiles/uv_workloads.dir/epinions.cc.o.d"
+  "/root/repo/src/workloads/raw_history.cc" "src/workloads/CMakeFiles/uv_workloads.dir/raw_history.cc.o" "gcc" "src/workloads/CMakeFiles/uv_workloads.dir/raw_history.cc.o.d"
+  "/root/repo/src/workloads/seats.cc" "src/workloads/CMakeFiles/uv_workloads.dir/seats.cc.o" "gcc" "src/workloads/CMakeFiles/uv_workloads.dir/seats.cc.o.d"
+  "/root/repo/src/workloads/tatp.cc" "src/workloads/CMakeFiles/uv_workloads.dir/tatp.cc.o" "gcc" "src/workloads/CMakeFiles/uv_workloads.dir/tatp.cc.o.d"
+  "/root/repo/src/workloads/tpcc.cc" "src/workloads/CMakeFiles/uv_workloads.dir/tpcc.cc.o" "gcc" "src/workloads/CMakeFiles/uv_workloads.dir/tpcc.cc.o.d"
+  "/root/repo/src/workloads/workload.cc" "src/workloads/CMakeFiles/uv_workloads.dir/workload.cc.o" "gcc" "src/workloads/CMakeFiles/uv_workloads.dir/workload.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/uv_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/uv_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/transpiler/CMakeFiles/uv_transpiler.dir/DependInfo.cmake"
+  "/root/repo/build/src/symexec/CMakeFiles/uv_symexec.dir/DependInfo.cmake"
+  "/root/repo/build/src/applang/CMakeFiles/uv_applang.dir/DependInfo.cmake"
+  "/root/repo/build/src/sqldb/CMakeFiles/uv_sqldb.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

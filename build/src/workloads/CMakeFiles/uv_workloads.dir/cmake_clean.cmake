@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/uv_workloads.dir/astore.cc.o"
+  "CMakeFiles/uv_workloads.dir/astore.cc.o.d"
+  "CMakeFiles/uv_workloads.dir/epinions.cc.o"
+  "CMakeFiles/uv_workloads.dir/epinions.cc.o.d"
+  "CMakeFiles/uv_workloads.dir/raw_history.cc.o"
+  "CMakeFiles/uv_workloads.dir/raw_history.cc.o.d"
+  "CMakeFiles/uv_workloads.dir/seats.cc.o"
+  "CMakeFiles/uv_workloads.dir/seats.cc.o.d"
+  "CMakeFiles/uv_workloads.dir/tatp.cc.o"
+  "CMakeFiles/uv_workloads.dir/tatp.cc.o.d"
+  "CMakeFiles/uv_workloads.dir/tpcc.cc.o"
+  "CMakeFiles/uv_workloads.dir/tpcc.cc.o.d"
+  "CMakeFiles/uv_workloads.dir/workload.cc.o"
+  "CMakeFiles/uv_workloads.dir/workload.cc.o.d"
+  "libuv_workloads.a"
+  "libuv_workloads.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/uv_workloads.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

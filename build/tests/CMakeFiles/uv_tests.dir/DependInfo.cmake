@@ -1,0 +1,41 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/applang_test.cc" "tests/CMakeFiles/uv_tests.dir/applang_test.cc.o" "gcc" "tests/CMakeFiles/uv_tests.dir/applang_test.cc.o.d"
+  "/root/repo/tests/core_facade_test.cc" "tests/CMakeFiles/uv_tests.dir/core_facade_test.cc.o" "gcc" "tests/CMakeFiles/uv_tests.dir/core_facade_test.cc.o.d"
+  "/root/repo/tests/mahif_test.cc" "tests/CMakeFiles/uv_tests.dir/mahif_test.cc.o" "gcc" "tests/CMakeFiles/uv_tests.dir/mahif_test.cc.o.d"
+  "/root/repo/tests/pipeline_test.cc" "tests/CMakeFiles/uv_tests.dir/pipeline_test.cc.o" "gcc" "tests/CMakeFiles/uv_tests.dir/pipeline_test.cc.o.d"
+  "/root/repo/tests/property_test.cc" "tests/CMakeFiles/uv_tests.dir/property_test.cc.o" "gcc" "tests/CMakeFiles/uv_tests.dir/property_test.cc.o.d"
+  "/root/repo/tests/replay_test.cc" "tests/CMakeFiles/uv_tests.dir/replay_test.cc.o" "gcc" "tests/CMakeFiles/uv_tests.dir/replay_test.cc.o.d"
+  "/root/repo/tests/rw_sets_test.cc" "tests/CMakeFiles/uv_tests.dir/rw_sets_test.cc.o" "gcc" "tests/CMakeFiles/uv_tests.dir/rw_sets_test.cc.o.d"
+  "/root/repo/tests/sql_parser_test.cc" "tests/CMakeFiles/uv_tests.dir/sql_parser_test.cc.o" "gcc" "tests/CMakeFiles/uv_tests.dir/sql_parser_test.cc.o.d"
+  "/root/repo/tests/sqldb_advanced_test.cc" "tests/CMakeFiles/uv_tests.dir/sqldb_advanced_test.cc.o" "gcc" "tests/CMakeFiles/uv_tests.dir/sqldb_advanced_test.cc.o.d"
+  "/root/repo/tests/sqldb_basic_test.cc" "tests/CMakeFiles/uv_tests.dir/sqldb_basic_test.cc.o" "gcc" "tests/CMakeFiles/uv_tests.dir/sqldb_basic_test.cc.o.d"
+  "/root/repo/tests/symexec_test.cc" "tests/CMakeFiles/uv_tests.dir/symexec_test.cc.o" "gcc" "tests/CMakeFiles/uv_tests.dir/symexec_test.cc.o.d"
+  "/root/repo/tests/transpiler_test.cc" "tests/CMakeFiles/uv_tests.dir/transpiler_test.cc.o" "gcc" "tests/CMakeFiles/uv_tests.dir/transpiler_test.cc.o.d"
+  "/root/repo/tests/trap_and_delta_test.cc" "tests/CMakeFiles/uv_tests.dir/trap_and_delta_test.cc.o" "gcc" "tests/CMakeFiles/uv_tests.dir/trap_and_delta_test.cc.o.d"
+  "/root/repo/tests/util_test.cc" "tests/CMakeFiles/uv_tests.dir/util_test.cc.o" "gcc" "tests/CMakeFiles/uv_tests.dir/util_test.cc.o.d"
+  "/root/repo/tests/workloads_test.cc" "tests/CMakeFiles/uv_tests.dir/workloads_test.cc.o" "gcc" "tests/CMakeFiles/uv_tests.dir/workloads_test.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/uv_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/workloads/CMakeFiles/uv_workloads.dir/DependInfo.cmake"
+  "/root/repo/build/src/mahif/CMakeFiles/uv_mahif.dir/DependInfo.cmake"
+  "/root/repo/build/src/transpiler/CMakeFiles/uv_transpiler.dir/DependInfo.cmake"
+  "/root/repo/build/src/symexec/CMakeFiles/uv_symexec.dir/DependInfo.cmake"
+  "/root/repo/build/src/applang/CMakeFiles/uv_applang.dir/DependInfo.cmake"
+  "/root/repo/build/src/sqldb/CMakeFiles/uv_sqldb.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/uv_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")
