@@ -9,13 +9,12 @@
 #include "sqldb/parser.h"
 #include <thread>
 
+#include "util/backoff.h"
 #include "util/mpmc_queue.h"
 #include "util/thread_pool.h"
 #include "util/virtual_clock.h"
 
 namespace ultraverse::core {
-
-namespace {
 
 /// Original-timeline table hashes: for each table, the (commit index,
 /// digest) sequence logged by the Hash-jumper logger (§4.5).
@@ -47,7 +46,15 @@ class HashTimeline {
       per_table_;
 };
 
-}  // namespace
+const HashTimeline* RetroactiveEngine::EnsureTimeline() {
+  if (!timeline_ || timeline_log_size_ != log_->size()) {
+    timeline_ = std::make_unique<HashTimeline>(*log_);
+    timeline_log_size_ = log_->size();
+  }
+  return timeline_.get();
+}
+
+RetroactiveEngine::~RetroactiveEngine() = default;
 
 RetroactiveEngine::RetroactiveEngine(sql::Database* db,
                                      const sql::QueryLog* log, Options options)
@@ -230,15 +237,29 @@ Result<ReplayStats> RetroactiveEngine::Execute(
       UV_RETURN_NOT_OK(ExecuteSlot(temp_db_.get(), slot, op, idx));
     }
   } else {
+    // Selective CoW staging (§4.4): stage only the tables the replay will
+    // write or consult (plus tables the human-decision rules read), as
+    // O(1) copy-on-write clones. Anything a replayed query unexpectedly
+    // touches beyond that faults in lazily through the read fallback.
+    std::set<std::string> staged(affected.begin(), affected.end());
+    for (const auto& [fn, cond] : parsed_rules_) {
+      (void)fn;
+      if (auto rw = analyzer->AnalyzeStatement(*cond, nullptr); rw.ok()) {
+        staged.insert(rw->read_tables.begin(), rw->read_tables.end());
+      }
+    }
+    std::vector<std::string> staged_list(staged.begin(), staged.end());
     if (options_.db_mutex) {
       std::lock_guard<std::mutex> g(*options_.db_mutex);
-      temp_db_ = db_->Clone();
+      temp_db_ = db_->CloneTables(staged_list);
     } else {
-      temp_db_ = db_->Clone();
+      temp_db_ = db_->CloneTables(staged_list);
     }
+    temp_db_->SetReadFallback(db_, options_.db_mutex);
     // Query-selective rollback (Appendix E): undo exactly the replayed
     // commits (plus the removed/changed target). Cell-independent commits
-    // of the same tables keep their effects.
+    // of the same tables keep their effects. On CoW clones this pays only
+    // for the journal suffix and the row pages it actually restores.
     std::set<uint64_t> undo_commits(plan.replay_indices.begin(),
                                     plan.replay_indices.end());
     if (op.kind != RetroOp::Kind::kAdd) undo_commits.insert(op.index);
@@ -249,8 +270,11 @@ Result<ReplayStats> RetroactiveEngine::Execute(
   stats.rollback_seconds = rollback_watch.ElapsedSeconds();
 
   // Hash-jumper baselines: the rolled-back state at τ-1 is the original
-  // timeline's state for tables without later logged writes.
-  HashTimeline timeline(*log_);
+  // timeline's state for tables without later logged writes. The timeline
+  // is only consulted (and only built) when the Hash-jumper is on; it is
+  // cached across Execute() calls keyed by the log size.
+  const HashTimeline* timeline =
+      options_.hash_jumper ? EnsureTimeline() : nullptr;
   std::map<std::string, Digest256> baseline;
   if (options_.hash_jumper) {
     for (const auto& t : plan.mutated_tables) {
@@ -274,7 +298,7 @@ Result<ReplayStats> RetroactiveEngine::Execute(
     for (const auto& t : plan.mutated_tables) {
       const sql::Table* table = temp_db_->FindTable(t);
       if (!table) return false;
-      const Digest256* original = timeline.HashAt(t, idx);
+      const Digest256* original = timeline->HashAt(t, idx);
       const Digest256& replayed = table->table_hash().value();
       if (original) {
         if (!(replayed == *original)) return false;
@@ -299,7 +323,15 @@ Result<ReplayStats> RetroactiveEngine::Execute(
       const sql::Table* replayed = temp_db_->FindTable(t);
       const sql::Table* live = db_->FindTable(t);
       if (!replayed || !live) return false;
-      std::unique_ptr<sql::Table> original = live->Clone();
+      // CoW clone of the live table (O(1) instead of a per-probe deep
+      // copy); the rollback below materializes only the pages it touches.
+      std::unique_ptr<sql::Table> original;
+      if (options_.db_mutex) {
+        std::lock_guard<std::mutex> g(*options_.db_mutex);
+        original = live->Clone();
+      } else {
+        original = live->Clone();
+      }
       original->RollbackToIndex(idx);
       std::multiset<std::string> a, b;
       replayed->Scan([&](sql::RowId, const sql::Row& row) {
@@ -377,6 +409,23 @@ Result<ReplayStats> RetroactiveEngine::Execute(
         table_locks.emplace(t, std::make_unique<std::mutex>());
       }
     }
+    // Per-slot lock lists, precomputed once: each slot looks up only its
+    // own tables (O(k log T)) instead of scanning the whole lock map per
+    // executed query. Name order (== map order) keeps acquisition globally
+    // consistent, so the all-locks hash probe below cannot deadlock.
+    std::vector<std::vector<std::mutex*>> slot_locks(slots.size());
+    for (size_t i = 0; i < slots.size(); ++i) {
+      const QueryRW& rw = *ordered[i];
+      std::vector<std::string> names;
+      names.reserve(rw.read_tables.size() + rw.write_tables.size());
+      std::set_union(rw.read_tables.begin(), rw.read_tables.end(),
+                     rw.write_tables.begin(), rw.write_tables.end(),
+                     std::back_inserter(names));
+      for (const auto& name : names) {
+        auto it = table_locks.find(name);
+        if (it != table_locks.end()) slot_locks[i].push_back(it->second.get());
+      }
+    }
     std::vector<std::atomic<uint8_t>> done_flags(slots.size());
     for (auto& f : done_flags) f.store(0, std::memory_order_relaxed);
     std::atomic<size_t> watermark{0};  // completed prefix length
@@ -392,23 +441,19 @@ Result<ReplayStats> RetroactiveEngine::Execute(
     std::atomic<size_t> active_workers{0};
     auto worker = [&]() {
       uint32_t pos;
+      ExpBackoff backoff;
       while (!stop.load(std::memory_order_relaxed) &&
              completed.load(std::memory_order_relaxed) < slots.size()) {
         if (!ready.TryPop(&pos)) {
-          std::this_thread::yield();
+          backoff.Pause();
           continue;
         }
+        backoff.Reset();
         const Slot& slot = slots[pos];
 
-        // Lock the tables this query touches, in sorted (map) order.
-        const QueryRW& rw = *ordered[pos];
-        std::vector<std::mutex*> held;
-        for (auto& [name, mu] : table_locks) {
-          if (rw.read_tables.count(name) || rw.write_tables.count(name)) {
-            mu->lock();
-            held.push_back(mu.get());
-          }
-        }
+        // Lock the tables this query touches (precomputed, name order).
+        const std::vector<std::mutex*>& held = slot_locks[pos];
+        for (std::mutex* mu : held) mu->lock();
         Status st =
             ExecuteSlot(temp_db_.get(), slot, op, base_commit + pos);
         executed_slots.fetch_add(1, std::memory_order_relaxed);
@@ -464,7 +509,8 @@ Result<ReplayStats> RetroactiveEngine::Execute(
 
         for (uint32_t next : succs[pos]) {
           if (pending[next].fetch_sub(1, std::memory_order_acq_rel) == 1) {
-            while (!ready.TryPush(next)) std::this_thread::yield();
+            ExpBackoff push_backoff;
+            while (!ready.TryPush(next)) push_backoff.Pause();
           }
         }
       }
@@ -488,7 +534,10 @@ Result<ReplayStats> RetroactiveEngine::Execute(
   stats.hash_jump = hash_jumped;
   stats.hash_jump_index = jump_index;
   stats.hash_hit_verified = hash_verified;
-  stats.temp_db_bytes = temp_db_->ApproxMemoryBytes();
+  // Owned bytes: what staging actually allocated. CoW state still shared
+  // with the live database counts as pointers, so workloads touching a
+  // minority of tables report a correspondingly small footprint.
+  stats.temp_db_bytes = temp_db_->ApproxOwnedBytes();
 
   // --- 4. Database update --------------------------------------------------
   if (!hash_jumped) {

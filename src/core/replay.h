@@ -16,6 +16,8 @@
 
 namespace ultraverse::core {
 
+class HashTimeline;  // original-timeline table hashes (replay.cc)
+
 /// A retroactive operation (§4): add a new query right before commit index
 /// `index`, remove the query at `index`, or change it to `new_stmt`.
 struct RetroOp {
@@ -112,6 +114,7 @@ class RetroactiveEngine {
 
   RetroactiveEngine(sql::Database* db, const sql::QueryLog* log,
                     Options options);
+  ~RetroactiveEngine();
 
   void set_entry_executor(EntryExecutor executor) {
     entry_executor_ = std::move(executor);
@@ -136,11 +139,17 @@ class RetroactiveEngine {
   Status ExecuteSlot(sql::Database* db, const Slot& slot, const RetroOp& op,
                      uint64_t commit_index);
 
+  /// Hash-jumper timeline over the query log, rebuilt only when the log
+  /// has grown since the last Execute() (cached keyed by log size).
+  const HashTimeline* EnsureTimeline();
+
   sql::Database* db_;
   const sql::QueryLog* log_;
   Options options_;
   EntryExecutor entry_executor_;
   std::unique_ptr<sql::Database> temp_db_;
+  std::unique_ptr<HashTimeline> timeline_;
+  size_t timeline_log_size_ = 0;
   /// (function, parsed when-condition) pairs from Options::rules.
   std::vector<std::pair<std::string, sql::StatementPtr>> parsed_rules_;
   std::atomic<size_t> suppressed_{0};

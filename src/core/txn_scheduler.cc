@@ -1,11 +1,13 @@
 #include "core/txn_scheduler.h"
 
+#include <algorithm>
 #include <atomic>
 #include <map>
 #include <mutex>
 #include <thread>
 
 #include "core/dep_graph.h"
+#include "util/backoff.h"
 #include "util/mpmc_queue.h"
 #include "util/thread_pool.h"
 #include "util/virtual_clock.h"
@@ -62,6 +64,21 @@ Result<TxnScheduler::Stats> TxnScheduler::ExecuteBatch(
     }
   }
 
+  // Per-slot lock lists, precomputed once (sorted by table name — the
+  // consistent global acquisition order) instead of re-scanning the whole
+  // lock map inside every worker iteration.
+  std::vector<std::vector<std::mutex*>> slot_locks(batch.size());
+  for (size_t i = 0; i < batch.size(); ++i) {
+    std::vector<std::string> names;
+    std::set_union(rw[i].read_tables.begin(), rw[i].read_tables.end(),
+                   rw[i].write_tables.begin(), rw[i].write_tables.end(),
+                   std::back_inserter(names));
+    slot_locks[i].reserve(names.size());
+    for (const auto& name : names) {
+      slot_locks[i].push_back(table_locks.find(name)->second.get());
+    }
+  }
+
   MpmcQueue<uint32_t> ready(batch.size() + 16);
   for (size_t i = 0; i < batch.size(); ++i) {
     if (pending[i].load(std::memory_order_relaxed) == 0) {
@@ -76,20 +93,16 @@ Result<TxnScheduler::Stats> TxnScheduler::ExecuteBatch(
   ThreadPool pool(size_t(options_.num_threads));
   auto worker = [&] {
     uint32_t pos;
+    ExpBackoff backoff;
     while (!failed.load(std::memory_order_relaxed) &&
            completed.load(std::memory_order_relaxed) < batch.size()) {
       if (!ready.TryPop(&pos)) {
-        std::this_thread::yield();
+        backoff.Pause();
         continue;
       }
-      std::vector<std::mutex*> held;
-      for (auto& [name, mu] : table_locks) {
-        if (rw[pos].read_tables.count(name) ||
-            rw[pos].write_tables.count(name)) {
-          mu->lock();
-          held.push_back(mu.get());
-        }
-      }
+      backoff.Reset();
+      const std::vector<std::mutex*>& held = slot_locks[pos];
+      for (std::mutex* mu : held) mu->lock();
       sql::ExecContext ctx;
       Result<sql::ExecResult> r =
           db_->Execute(*batch[pos], base_commit + pos, &ctx);
@@ -102,7 +115,8 @@ Result<TxnScheduler::Stats> TxnScheduler::ExecuteBatch(
       completed.fetch_add(1, std::memory_order_acq_rel);
       for (uint32_t next : succs[pos]) {
         if (pending[next].fetch_sub(1, std::memory_order_acq_rel) == 1) {
-          while (!ready.TryPush(next)) std::this_thread::yield();
+          ExpBackoff push_backoff;
+          while (!ready.TryPush(next)) push_backoff.Pause();
         }
       }
     }

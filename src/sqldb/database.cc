@@ -43,13 +43,51 @@ const Value* ExecContext::FindVar(const std::string& name) const {
 }
 
 Table* Database::FindTable(const std::string& name) {
+  if (read_base_ == nullptr) {
+    auto it = tables_.find(name);
+    return it == tables_.end() ? nullptr : it->second.get();
+  }
+  // Selectively staged database: fast shared-lock lookup first, then fault
+  // the table in from the live base as a CoW clone on first access.
+  {
+    std::shared_lock<std::shared_mutex> rl(catalog_mu_);
+    auto it = tables_.find(name);
+    if (it != tables_.end()) return it->second.get();
+  }
+  std::unique_lock<std::shared_mutex> wl(catalog_mu_);
   auto it = tables_.find(name);
-  return it == tables_.end() ? nullptr : it->second.get();
+  if (it != tables_.end()) return it->second.get();
+  if (dropped_.count(name)) return nullptr;
+  std::unique_ptr<Table> staged;
+  {
+    // Hold the live database's mutex during the clone so a concurrent
+    // writer cannot be mid-materialization of the pages we are sharing.
+    std::unique_lock<std::mutex> base_lock;
+    if (read_base_mu_) {
+      base_lock = std::unique_lock<std::mutex>(*read_base_mu_);
+    }
+    const Table* src = read_base_->FindTable(name);
+    if (!src) return nullptr;
+    staged = src->Clone();
+  }
+  Table* result = staged.get();
+  tables_[name] = std::move(staged);
+  return result;
 }
 
 const Table* Database::FindTable(const std::string& name) const {
-  auto it = tables_.find(name);
-  return it == tables_.end() ? nullptr : it->second.get();
+  if (read_base_ == nullptr) {
+    auto it = tables_.find(name);
+    return it == tables_.end() ? nullptr : it->second.get();
+  }
+  {
+    std::shared_lock<std::shared_mutex> rl(catalog_mu_);
+    auto it = tables_.find(name);
+    if (it != tables_.end()) return it->second.get();
+    if (dropped_.count(name)) return nullptr;
+  }
+  // Const access cannot fault in: read through to the base directly.
+  return read_base_->FindTable(name);
 }
 
 const std::shared_ptr<SelectStatement>* Database::FindView(
@@ -277,6 +315,20 @@ Result<ExecResult> Database::ExecAlterTable(const AlterTableStatement& stmt) {
 }
 
 Result<ExecResult> Database::ExecDropTable(const Statement& stmt) {
+  if (read_base_ != nullptr) {
+    // Staged database: a local DROP must also mask the live base's copy so
+    // the fallback cannot resurrect the table.
+    std::unique_lock<std::shared_mutex> wl(catalog_mu_);
+    bool existed = tables_.erase(stmt.drop_name) > 0 ||
+                   (!dropped_.count(stmt.drop_name) &&
+                    read_base_->FindTable(stmt.drop_name) != nullptr);
+    dropped_.insert(stmt.drop_name);
+    auto_increment_.erase(stmt.drop_name);
+    if (!existed && !stmt.drop_if_exists) {
+      return Status::NotFound("table " + stmt.drop_name);
+    }
+    return ExecResult{};
+  }
   if (!tables_.erase(stmt.drop_name) && !stmt.drop_if_exists) {
     return Status::NotFound("table " + stmt.drop_name);
   }
@@ -315,7 +367,7 @@ Result<ExecResult> Database::ExecCreateIndex(const CreateIndexStatement& stmt) {
 
 Result<std::string> Database::ResolveWritableTarget(const std::string& name,
                                                     ExprPtr* extra_where) const {
-  if (tables_.count(name)) return name;
+  if (FindTable(name) != nullptr) return name;
   auto it = views_.find(name);
   if (it == views_.end()) return Status::NotFound("table or view " + name);
   const SelectStatement& sel = *it->second;
@@ -332,7 +384,7 @@ Result<std::string> Database::ResolveWritableTarget(const std::string& name,
     }
   }
   if (extra_where) *extra_where = sel.where;
-  if (!tables_.count(sel.from_table)) {
+  if (FindTable(sel.from_table) == nullptr) {
     return Status::Unsupported("view-on-view writes are not supported");
   }
   return sel.from_table;
@@ -599,6 +651,29 @@ std::unique_ptr<Database> Database::Clone() const {
   return copy;
 }
 
+std::unique_ptr<Database> Database::CloneTables(
+    const std::vector<std::string>& names) const {
+  auto copy = std::make_unique<Database>();
+  for (const auto& name : names) {
+    if (copy->tables_.count(name)) continue;
+    const Table* table = FindTable(name);
+    if (table) copy->tables_[name] = table->Clone();
+  }
+  // The catalog rides along in full: it is tiny next to table data, and
+  // replayed procedures/triggers/views must resolve without fault-ins.
+  copy->views_ = views_;
+  copy->procedures_ = procedures_;
+  copy->triggers_ = triggers_;
+  copy->auto_increment_ = auto_increment_;
+  copy->logical_time_ = logical_time_;
+  return copy;
+}
+
+void Database::SetReadFallback(const Database* base, std::mutex* mu) {
+  read_base_ = base;
+  read_base_mu_ = mu;
+}
+
 Status Database::AdoptTables(const Database& src,
                              const std::vector<std::string>& names) {
   for (const auto& name : names) {
@@ -620,6 +695,14 @@ size_t Database::ApproxMemoryBytes() const {
   size_t bytes = sizeof(Database);
   for (const auto& [name, table] : tables_) {
     bytes += name.size() + table->ApproxMemoryBytes();
+  }
+  return bytes;
+}
+
+size_t Database::ApproxOwnedBytes() const {
+  size_t bytes = sizeof(Database);
+  for (const auto& [name, table] : tables_) {
+    bytes += name.size() + table->ApproxOwnedBytes();
   }
   return bytes;
 }

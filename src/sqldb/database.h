@@ -2,7 +2,9 @@
 #define ULTRAVERSE_SQLDB_DATABASE_H_
 
 #include <map>
+#include <mutex>
 #include <set>
+#include <shared_mutex>
 #include <memory>
 #include <string>
 #include <unordered_map>
@@ -151,14 +153,36 @@ class Database {
   /// path instead of journal rollback.
   void TrimJournalsBefore(uint64_t commit_index);
 
-  /// Deep copy of catalog + data (temporary replay database).
+  /// Copy-on-write copy of catalog + data (temporary replay database):
+  /// every table is CoW-cloned (see Table::Clone), so the copy is cheap
+  /// and memory is shared until either side writes.
   std::unique_ptr<Database> Clone() const;
+
+  /// Selective staging (§4.4): CoW-clones only `names` (plus the full —
+  /// cheap — catalog of views/procedures/triggers/auto-increment state).
+  /// Combine with SetReadFallback so queries that stray outside the staged
+  /// set still resolve against the live database.
+  std::unique_ptr<Database> CloneTables(
+      const std::vector<std::string>& names) const;
+
+  /// Makes this (temporary) database resolve tables missing from its own
+  /// catalog against `base`: the first access CoW-clones the table in
+  /// (a fault-in, taken with `mu` held when provided so it cannot race
+  /// writers of `base`). Retroactively dropped tables stay dropped — a
+  /// local DROP wins over the fallback.
+  void SetReadFallback(const Database* base, std::mutex* mu);
 
   /// Copies table contents of `names` from `src` into this database
   /// (the §4.4 "Database Update" step: mutated tables flow back).
   Status AdoptTables(const Database& src, const std::vector<std::string>& names);
 
+  /// Full logical footprint (shared CoW state counted in full).
   size_t ApproxMemoryBytes() const;
+
+  /// Bytes uniquely owned by this database: table state still shared with
+  /// a CoW sibling counts only as a pointer. A freshly staged temporary
+  /// database therefore reports only what staging actually allocated.
+  size_t ApproxOwnedBytes() const;
 
   /// Logical clock feeding NOW()/CURTIME(); advances per call.
   int64_t NextTimestamp() { return ++logical_time_; }
@@ -197,6 +221,17 @@ class Database {
                                             ExprPtr* extra_where) const;
 
   std::map<std::string, std::unique_ptr<Table>> tables_;
+
+  /// Read fallback for selectively staged databases (§4.4). When set,
+  /// FindTable faults missing tables in from `read_base_` as CoW clones.
+  /// `catalog_mu_` guards `tables_`/`dropped_` only while a fallback is
+  /// configured (parallel replay workers may fault in concurrently);
+  /// databases without a fallback take the uncontended path.
+  const Database* read_base_ = nullptr;
+  std::mutex* read_base_mu_ = nullptr;
+  mutable std::shared_mutex catalog_mu_;
+  std::set<std::string> dropped_;  // locally dropped: never fault back in
+
   std::map<std::string, std::shared_ptr<SelectStatement>> views_;
   std::map<std::string, CreateProcedureStatement> procedures_;
   std::map<std::string, CreateTriggerStatement> triggers_;

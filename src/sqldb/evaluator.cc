@@ -369,16 +369,39 @@ Result<std::vector<RowId>> Evaluator::MatchRows(Table* table,
       }
     }
   }
-  if (!used_index) candidates = table->LiveRowIds();
+  if (!used_index) {
+    if (!where) return table->LiveRowIds();
+    // Unindexed filter: evaluate inside Scan() so the row pages are walked
+    // in order (one page dereference per page, not per row) instead of
+    // materializing every live id and re-resolving each one.
+    std::vector<RowId> out;
+    Status scan_status = Status::OK();
+    RowScope scope;
+    scope.parent = outer;
+    scope.bindings.push_back({table->schema().name, &columns, nullptr});
+    table->Scan([&](RowId id, const Row& row) {
+      scope.bindings[0].row = &row;
+      Result<Value> match = Eval(*where, &scope);
+      if (!match.ok()) {
+        scan_status = match.status();
+        return false;
+      }
+      if (IsTruthy(*match)) out.push_back(id);
+      return true;
+    });
+    UV_RETURN_NOT_OK(scan_status);
+    return out;
+  }
 
   if (!where) return candidates;
   std::vector<RowId> out;
+  RowScope scope;
+  scope.parent = outer;
+  scope.bindings.push_back({table->schema().name, &columns, nullptr});
   for (RowId id : candidates) {
     if (!table->IsLive(id)) continue;
-    RowScope scope;
-    scope.parent = outer;
     const Row& row = table->GetRow(id);
-    scope.bindings.push_back({table->schema().name, &columns, &row});
+    scope.bindings[0].row = &row;
     UV_ASSIGN_OR_RETURN(Value match, Eval(*where, &scope));
     if (IsTruthy(match)) out.push_back(id);
   }

@@ -4,28 +4,99 @@
 
 namespace ultraverse::sql {
 
+// --- CoW materialization ---------------------------------------------------
+
+Table::RowPage* Table::OwnedPage(RowId id) {
+  std::shared_ptr<RowPage>& page = pages_[PageIndex(id)];
+  if (page.use_count() > 1) page = std::make_shared<RowPage>(*page);
+  return page.get();
+}
+
+Table::IndexMap* Table::OwnedIndexes() {
+  if (indexes_.use_count() > 1) {
+    indexes_ = std::make_shared<IndexMap>(*indexes_);
+  }
+  return indexes_.get();
+}
+
+// --- Journal plumbing ------------------------------------------------------
+
+void Table::SealTail() {
+  if (tail_.empty()) return;
+  JournalChunk chunk;
+  chunk.min_commit = tail_.front().commit_index;
+  chunk.max_commit = 0;
+  for (const UndoEntry& e : tail_) {
+    chunk.min_commit = std::min(chunk.min_commit, e.commit_index);
+    chunk.max_commit = std::max(chunk.max_commit, e.commit_index);
+  }
+  chunk.entries = std::move(tail_);
+  tail_.clear();
+  sealed_entries_ += chunk.entries.size();
+  sealed_.push_back(std::make_shared<const JournalChunk>(std::move(chunk)));
+}
+
+void Table::AppendJournal(UndoEntry entry) {
+  tail_.push_back(std::move(entry));
+  if (tail_.size() >= kJournalChunk) SealTail();
+}
+
+void Table::UnsealLastChunk() {
+  const std::shared_ptr<const JournalChunk>& chunk = sealed_.back();
+  sealed_entries_ -= chunk->entries.size();
+  tail_ = chunk->entries;  // copy: the chunk may be shared with a sibling
+  sealed_.pop_back();
+}
+
+const Table::UndoEntry& Table::LastJournalEntry() const {
+  if (!tail_.empty()) return tail_.back();
+  return sealed_.back()->entries.back();
+}
+
+Table::UndoEntry Table::PopJournalEntry() {
+  if (tail_.empty()) UnsealLastChunk();
+  UndoEntry entry = std::move(tail_.back());
+  tail_.pop_back();
+  return entry;
+}
+
+// --- Mutations -------------------------------------------------------------
+
 Result<RowId> Table::Insert(Row row, uint64_t commit_index) {
   if (row.size() != schema_.columns.size()) {
     return Status::InvalidArgument("row width mismatch for table " +
                                    schema_.name);
   }
-  RowId id = rows_.size();
-  rows_.push_back(std::move(row));
-  alive_.push_back(1);
+  RowId id = row_count_;
+  RowPage* page;
+  if (PageIndex(id) == pages_.size()) {
+    pages_.push_back(std::make_shared<RowPage>());
+    pages_.back()->rows.reserve(kPageRows);
+    pages_.back()->alive.reserve(kPageRows);
+    page = pages_.back().get();
+  } else {
+    page = OwnedPage(id);
+  }
+  page->rows.push_back(std::move(row));
+  page->alive.push_back(1);
+  ++row_count_;
   ++live_count_;
-  IndexAdd(id, rows_[id]);
-  hash_.AddRow(EncodeRow(rows_[id]));
-  journal_.push_back({commit_index, UndoOp::kInsert, id, {}, {}});
+  const Row& stored = page->rows[Slot(id)];
+  IndexAdd(id, stored);
+  hash_.AddRow(EncodeRow(stored));
+  AppendJournal({commit_index, UndoOp::kInsert, id, {}, {}});
   return id;
 }
 
 Status Table::Delete(RowId id, uint64_t commit_index) {
   if (!IsLive(id)) return Status::NotFound("row not live");
-  IndexRemove(id, rows_[id]);
-  hash_.RemoveRow(EncodeRow(rows_[id]));
-  alive_[id] = 0;
+  RowPage* page = OwnedPage(id);
+  Row& row = page->rows[Slot(id)];
+  IndexRemove(id, row);
+  hash_.RemoveRow(EncodeRow(row));
+  page->alive[Slot(id)] = 0;
   --live_count_;
-  journal_.push_back({commit_index, UndoOp::kDelete, id, rows_[id], {}});
+  AppendJournal({commit_index, UndoOp::kDelete, id, row, {}});
   return Status::OK();
 }
 
@@ -35,26 +106,28 @@ Status Table::Update(RowId id, Row new_row, uint64_t commit_index) {
     return Status::InvalidArgument("row width mismatch for table " +
                                    schema_.name);
   }
-  IndexRemove(id, rows_[id]);
-  hash_.RemoveRow(EncodeRow(rows_[id]));
-  std::vector<uint8_t> mask(rows_[id].size(), 0);
-  for (size_t i = 0; i < rows_[id].size(); ++i) {
-    if (!rows_[id][i].Equals(new_row[i])) mask[i] = 1;
+  RowPage* page = OwnedPage(id);
+  Row& row = page->rows[Slot(id)];
+  IndexRemove(id, row);
+  hash_.RemoveRow(EncodeRow(row));
+  std::vector<uint8_t> mask(row.size(), 0);
+  for (size_t i = 0; i < row.size(); ++i) {
+    if (!row[i].Equals(new_row[i])) mask[i] = 1;
   }
-  journal_.push_back(
-      {commit_index, UndoOp::kUpdate, id, rows_[id], std::move(mask)});
-  rows_[id] = std::move(new_row);
-  IndexAdd(id, rows_[id]);
-  hash_.AddRow(EncodeRow(rows_[id]));
+  AppendJournal({commit_index, UndoOp::kUpdate, id, row, std::move(mask)});
+  row = std::move(new_row);
+  IndexAdd(id, row);
+  hash_.AddRow(EncodeRow(row));
   return Status::OK();
 }
 
 std::vector<RowId> Table::LiveRowIds() const {
   std::vector<RowId> ids;
   ids.reserve(live_count_);
-  for (RowId id = 0; id < rows_.size(); ++id) {
-    if (alive_[id]) ids.push_back(id);
-  }
+  Scan([&](RowId id, const Row&) {
+    ids.push_back(id);
+    return true;
+  });
   return ids;
 }
 
@@ -62,32 +135,34 @@ Status Table::CreateIndex(int column_index) {
   if (column_index < 0 || column_index >= int(schema_.columns.size())) {
     return Status::InvalidArgument("index column out of range");
   }
-  auto& idx = indexes_[column_index];
+  auto& idx = (*OwnedIndexes())[column_index];
   idx.clear();
-  for (RowId id = 0; id < rows_.size(); ++id) {
-    if (!alive_[id]) continue;
-    idx.emplace(rows_[id][column_index].Encode(), id);
-  }
+  Scan([&](RowId id, const Row& row) {
+    idx.emplace(row[column_index].Encode(), id);
+    return true;
+  });
   return Status::OK();
 }
 
 std::vector<RowId> Table::IndexLookup(int column_index, const Value& v) const {
   std::vector<RowId> out;
-  auto it = indexes_.find(column_index);
-  if (it == indexes_.end()) return out;
+  auto it = indexes_->find(column_index);
+  if (it == indexes_->end()) return out;
   auto range = it->second.equal_range(v.Encode());
   for (auto i = range.first; i != range.second; ++i) out.push_back(i->second);
   return out;
 }
 
 void Table::IndexAdd(RowId id, const Row& row) {
-  for (auto& [col, idx] : indexes_) {
+  if (indexes_->empty()) return;
+  for (auto& [col, idx] : *OwnedIndexes()) {
     idx.emplace(row[col].Encode(), id);
   }
 }
 
 void Table::IndexRemove(RowId id, const Row& row) {
-  for (auto& [col, idx] : indexes_) {
+  if (indexes_->empty()) return;
+  for (auto& [col, idx] : *OwnedIndexes()) {
     auto range = idx.equal_range(row[col].Encode());
     for (auto i = range.first; i != range.second; ++i) {
       if (i->second == id) {
@@ -98,140 +173,247 @@ void Table::IndexRemove(RowId id, const Row& row) {
   }
 }
 
-void Table::RollbackToIndex(uint64_t commit_index) {
-  while (!journal_.empty() && journal_.back().commit_index > commit_index) {
-    UndoEntry entry = std::move(journal_.back());
-    journal_.pop_back();
-    switch (entry.op) {
-      case UndoOp::kInsert:
-        if (alive_[entry.row_id]) {
-          IndexRemove(entry.row_id, rows_[entry.row_id]);
-          hash_.RemoveRow(EncodeRow(rows_[entry.row_id]));
-          alive_[entry.row_id] = 0;
-          --live_count_;
-        }
-        break;
-      case UndoOp::kDelete:
-        if (!alive_[entry.row_id]) {
-          rows_[entry.row_id] = std::move(entry.old_row);
-          alive_[entry.row_id] = 1;
-          ++live_count_;
-          IndexAdd(entry.row_id, rows_[entry.row_id]);
-          hash_.AddRow(EncodeRow(rows_[entry.row_id]));
-        }
-        break;
-      case UndoOp::kUpdate:
-        IndexRemove(entry.row_id, rows_[entry.row_id]);
-        hash_.RemoveRow(EncodeRow(rows_[entry.row_id]));
-        rows_[entry.row_id] = std::move(entry.old_row);
-        IndexAdd(entry.row_id, rows_[entry.row_id]);
-        hash_.AddRow(EncodeRow(rows_[entry.row_id]));
-        break;
-    }
-  }
-}
+// --- Rollback --------------------------------------------------------------
 
-
-void Table::RollbackCommits(const std::set<uint64_t>& commits) {
-  // Undo matching entries newest-first, keeping the others.
-  std::vector<UndoEntry> kept;
-  kept.reserve(journal_.size());
-  for (auto it = journal_.rbegin(); it != journal_.rend(); ++it) {
-    UndoEntry& entry = *it;
-    if (!commits.count(entry.commit_index)) {
-      kept.push_back(std::move(entry));
-      continue;
-    }
-    switch (entry.op) {
-      case UndoOp::kInsert:
-        if (alive_[entry.row_id]) {
-          IndexRemove(entry.row_id, rows_[entry.row_id]);
-          hash_.RemoveRow(EncodeRow(rows_[entry.row_id]));
-          alive_[entry.row_id] = 0;
-          --live_count_;
-        }
-        break;
-      case UndoOp::kDelete:
-        if (!alive_[entry.row_id]) {
-          rows_[entry.row_id] = std::move(entry.old_row);
-          alive_[entry.row_id] = 1;
-          ++live_count_;
-          IndexAdd(entry.row_id, rows_[entry.row_id]);
-          hash_.AddRow(EncodeRow(rows_[entry.row_id]));
-        }
-        break;
-      case UndoOp::kUpdate: {
+void Table::ApplyUndo(UndoEntry entry, bool masked) {
+  RowPage* page = OwnedPage(entry.row_id);
+  size_t slot = Slot(entry.row_id);
+  switch (entry.op) {
+    case UndoOp::kInsert:
+      if (page->alive[slot]) {
+        IndexRemove(entry.row_id, page->rows[slot]);
+        hash_.RemoveRow(EncodeRow(page->rows[slot]));
+        page->alive[slot] = 0;
+        --live_count_;
+      }
+      break;
+    case UndoOp::kDelete:
+      if (!page->alive[slot]) {
+        page->rows[slot] = std::move(entry.old_row);
+        page->alive[slot] = 1;
+        ++live_count_;
+        IndexAdd(entry.row_id, page->rows[slot]);
+        hash_.AddRow(EncodeRow(page->rows[slot]));
+      }
+      break;
+    case UndoOp::kUpdate: {
+      Row& row = page->rows[slot];
+      IndexRemove(entry.row_id, row);
+      hash_.RemoveRow(EncodeRow(row));
+      if (masked) {
         // Column-masked: restore only the columns this entry changed, so
         // later cell-independent writes by unselected commits survive.
-        Row& row = rows_[entry.row_id];
-        IndexRemove(entry.row_id, row);
-        hash_.RemoveRow(EncodeRow(row));
         for (size_t i = 0; i < row.size() && i < entry.old_row.size(); ++i) {
           if (entry.changed_mask.empty() || entry.changed_mask[i]) {
             row[i] = std::move(entry.old_row[i]);
           }
         }
-        IndexAdd(entry.row_id, row);
-        hash_.AddRow(EncodeRow(row));
-        break;
+      } else {
+        row = std::move(entry.old_row);
       }
+      IndexAdd(entry.row_id, row);
+      hash_.AddRow(EncodeRow(row));
+      break;
     }
   }
-  journal_.assign(std::make_move_iterator(kept.rbegin()),
-                  std::make_move_iterator(kept.rend()));
+}
+
+void Table::RollbackToIndex(uint64_t commit_index) {
+  while (JournalSize() > 0 &&
+         LastJournalEntry().commit_index > commit_index) {
+    ApplyUndo(PopJournalEntry(), /*masked=*/false);
+  }
+}
+
+void Table::RollbackCommits(const std::set<uint64_t>& commits) {
+  if (commits.empty() || JournalSize() == 0) return;
+  // Entries older than the oldest selected commit can neither be undone
+  // nor reordered: leave their (possibly shared) chunks untouched and
+  // work only on the journal suffix. This keeps selective rollback
+  // proportional to the undone history, not to the table's full journal.
+  const uint64_t min_commit = *commits.begin();
+  size_t boundary = sealed_.size();
+  for (size_t i = 0; i < sealed_.size(); ++i) {
+    if (sealed_[i]->max_commit >= min_commit) {
+      boundary = i;
+      break;
+    }
+  }
+  std::vector<UndoEntry> work;
+  for (size_t i = boundary; i < sealed_.size(); ++i) {
+    work.insert(work.end(), sealed_[i]->entries.begin(),
+                sealed_[i]->entries.end());
+    sealed_entries_ -= sealed_[i]->entries.size();
+  }
+  sealed_.resize(boundary);
+  work.insert(work.end(), std::make_move_iterator(tail_.begin()),
+              std::make_move_iterator(tail_.end()));
+  tail_.clear();
+
+  // Undo matching entries newest-first, keeping the others.
+  std::vector<UndoEntry> kept;
+  kept.reserve(work.size());
+  for (auto it = work.rbegin(); it != work.rend(); ++it) {
+    if (!commits.count(it->commit_index)) {
+      kept.push_back(std::move(*it));
+      continue;
+    }
+    ApplyUndo(std::move(*it), /*masked=*/true);
+  }
+  for (auto it = kept.rbegin(); it != kept.rend(); ++it) {
+    AppendJournal(std::move(*it));
+  }
 }
 
 void Table::TrimJournalBefore(uint64_t commit_index) {
   trimmed_before_ = std::max(trimmed_before_, commit_index);
-  size_t keep_from = 0;
-  while (keep_from < journal_.size() &&
-         journal_[keep_from].commit_index < commit_index) {
-    ++keep_from;
+  // Whole chunks below the horizon drop without being copied; the boundary
+  // chunk is filtered with the same stop-at-first-kept-entry semantics the
+  // flat journal used.
+  size_t drop = 0;
+  while (drop < sealed_.size() &&
+         sealed_[drop]->max_commit < commit_index) {
+    sealed_entries_ -= sealed_[drop]->entries.size();
+    ++drop;
   }
-  if (keep_from > 0) {
-    journal_.erase(journal_.begin(), journal_.begin() + keep_from);
+  if (drop > 0) sealed_.erase(sealed_.begin(), sealed_.begin() + drop);
+  if (!sealed_.empty() && sealed_.front()->min_commit < commit_index) {
+    const auto& entries = sealed_.front()->entries;
+    size_t keep_from = 0;
+    while (keep_from < entries.size() &&
+           entries[keep_from].commit_index < commit_index) {
+      ++keep_from;
+    }
+    JournalChunk filtered;
+    filtered.entries.assign(entries.begin() + keep_from, entries.end());
+    sealed_entries_ -= keep_from;
+    if (filtered.entries.empty()) {
+      sealed_.erase(sealed_.begin());
+    } else {
+      filtered.min_commit = filtered.entries.front().commit_index;
+      filtered.max_commit = filtered.min_commit;
+      for (const UndoEntry& e : filtered.entries) {
+        filtered.min_commit = std::min(filtered.min_commit, e.commit_index);
+        filtered.max_commit = std::max(filtered.max_commit, e.commit_index);
+      }
+      sealed_.front() =
+          std::make_shared<const JournalChunk>(std::move(filtered));
+    }
+    return;
+  }
+  if (sealed_.empty() && !tail_.empty()) {
+    size_t keep_from = 0;
+    while (keep_from < tail_.size() &&
+           tail_[keep_from].commit_index < commit_index) {
+      ++keep_from;
+    }
+    if (keep_from > 0) {
+      tail_.erase(tail_.begin(), tail_.begin() + keep_from);
+    }
   }
 }
 
 void Table::RebuildDerivedState() {
   hash_.Reset();
-  for (auto& [col, idx] : indexes_) {
+  IndexMap* indexes = OwnedIndexes();
+  for (auto& [col, idx] : *indexes) {
     (void)col;
     idx.clear();
   }
-  for (RowId id = 0; id < rows_.size(); ++id) {
-    if (!alive_[id]) continue;
-    IndexAdd(id, rows_[id]);
-    hash_.AddRow(EncodeRow(rows_[id]));
-  }
+  Scan([&](RowId id, const Row& row) {
+    for (auto& [col, idx] : *indexes) {
+      idx.emplace(row[col].Encode(), id);
+    }
+    hash_.AddRow(EncodeRow(row));
+    return true;
+  });
 }
+
+// --- Clone / memory --------------------------------------------------------
 
 std::unique_ptr<Table> Table::Clone() const {
   auto copy = std::make_unique<Table>(schema_);
-  copy->rows_ = rows_;
-  copy->alive_ = alive_;
+  copy->pages_ = pages_;      // O(#pages) shared_ptr copies
+  copy->row_count_ = row_count_;
   copy->live_count_ = live_count_;
-  copy->journal_ = journal_;
-  copy->indexes_ = indexes_;
+  copy->sealed_ = sealed_;    // O(#chunks) shared_ptr copies
+  copy->sealed_entries_ = sealed_entries_;
+  copy->tail_ = tail_;        // bounded by kJournalChunk entries
+  copy->trimmed_before_ = trimmed_before_;
+  copy->indexes_ = indexes_;  // shared until either side writes
   copy->hash_ = hash_;
   return copy;
 }
 
+bool Table::SharesCowState() const {
+  if (indexes_.use_count() > 1) return true;
+  for (const auto& page : pages_) {
+    if (page.use_count() > 1) return true;
+  }
+  for (const auto& chunk : sealed_) {
+    if (chunk.use_count() > 1) return true;
+  }
+  return false;
+}
+
+namespace {
+
+size_t RowBytes(const Row& row) {
+  size_t b = sizeof(Row) + row.size() * sizeof(Value);
+  for (const Value& v : row) {
+    if (v.type() == DataType::kString) b += v.AsStringRef().capacity();
+  }
+  return b;
+}
+
+size_t UndoBytes(const std::vector<Value>& old_row) {
+  return sizeof(uint64_t) + sizeof(RowId) + RowBytes(old_row);
+}
+
+}  // namespace
+
 size_t Table::ApproxMemoryBytes() const {
   size_t bytes = sizeof(Table);
-  auto row_bytes = [](const Row& row) {
-    size_t b = sizeof(Row) + row.size() * sizeof(Value);
-    for (const Value& v : row) {
-      if (v.type() == DataType::kString) b += v.AsStringRef().capacity();
-    }
-    return b;
-  };
-  for (const Row& row : rows_) bytes += row_bytes(row);
-  bytes += alive_.capacity();
-  for (const auto& e : journal_) bytes += sizeof(e) + row_bytes(e.old_row);
-  for (const auto& [col, idx] : indexes_) {
+  for (const auto& page : pages_) {
+    bytes += sizeof(RowPage) + page->alive.capacity();
+    for (const Row& row : page->rows) bytes += RowBytes(row);
+  }
+  for (const auto& chunk : sealed_) {
+    for (const auto& e : chunk->entries) bytes += UndoBytes(e.old_row);
+  }
+  for (const auto& e : tail_) bytes += UndoBytes(e.old_row);
+  for (const auto& [col, idx] : *indexes_) {
     (void)col;
     bytes += idx.size() * (sizeof(RowId) + 24);
+  }
+  return bytes;
+}
+
+size_t Table::ApproxOwnedBytes() const {
+  size_t bytes = sizeof(Table);
+  for (const auto& page : pages_) {
+    if (page.use_count() > 1) {
+      bytes += sizeof(page);  // shared: only the reference is ours
+      continue;
+    }
+    bytes += sizeof(RowPage) + page->alive.capacity();
+    for (const Row& row : page->rows) bytes += RowBytes(row);
+  }
+  for (const auto& chunk : sealed_) {
+    if (chunk.use_count() > 1) {
+      bytes += sizeof(chunk);
+      continue;
+    }
+    for (const auto& e : chunk->entries) bytes += UndoBytes(e.old_row);
+  }
+  for (const auto& e : tail_) bytes += UndoBytes(e.old_row);
+  if (indexes_.use_count() > 1) {
+    bytes += sizeof(indexes_);
+  } else {
+    for (const auto& [col, idx] : *indexes_) {
+      (void)col;
+      bytes += idx.size() * (sizeof(RowId) + 24);
+    }
   }
   return bytes;
 }

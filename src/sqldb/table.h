@@ -21,9 +21,18 @@ using RowId = uint64_t;
 /// hash indexes, an undo journal providing point-in-time rollback (the
 /// "system versioning" rollback option of §5), and an incremental
 /// Hash-jumper table hash maintained on every write.
+///
+/// Storage is copy-on-write (§4.4 selective staging): rows live in
+/// shared_ptr-backed pages and the journal in sealed shared chunks, so
+/// Clone() shares everything and costs O(#pages) pointer copies. A clone
+/// (or its source) materializes a private copy of a page/chunk/index set
+/// only when it first mutates it, so staging a temporary replay database
+/// never pays for tables — or pages — the replay does not touch.
 class Table {
  public:
-  explicit Table(TableSchema schema) : schema_(std::move(schema)) {}
+  explicit Table(TableSchema schema)
+      : schema_(std::move(schema)),
+        indexes_(std::make_shared<IndexMap>()) {}
 
   const TableSchema& schema() const { return schema_; }
   TableSchema* mutable_schema() { return &schema_; }
@@ -41,15 +50,20 @@ class Table {
   /// Overwrites a live row by id.
   Status Update(RowId id, Row new_row, uint64_t commit_index);
 
-  bool IsLive(RowId id) const { return id < rows_.size() && alive_[id]; }
-  const Row& GetRow(RowId id) const { return rows_[id]; }
+  bool IsLive(RowId id) const {
+    return id < row_count_ && PageOf(id)->alive[Slot(id)];
+  }
+  const Row& GetRow(RowId id) const { return PageOf(id)->rows[Slot(id)]; }
 
   /// Visits every live row; `fn` returning false stops the scan.
   template <typename Fn>
   void Scan(Fn&& fn) const {
-    for (RowId id = 0; id < rows_.size(); ++id) {
-      if (!alive_[id]) continue;
-      if (!fn(id, rows_[id])) return;
+    RowId id = 0;
+    for (const auto& page : pages_) {
+      for (size_t i = 0; i < page->rows.size(); ++i, ++id) {
+        if (!page->alive[i]) continue;
+        if (!fn(id, page->rows[i])) return;
+      }
     }
   }
 
@@ -61,7 +75,7 @@ class Table {
   /// Builds (or rebuilds) a hash index over `column_index`.
   Status CreateIndex(int column_index);
   bool HasIndex(int column_index) const {
-    return indexes_.count(column_index) > 0;
+    return indexes_->count(column_index) > 0;
   }
   /// Row ids whose `column_index` equals `v` (only if indexed).
   std::vector<RowId> IndexLookup(int column_index, const Value& v) const;
@@ -81,7 +95,7 @@ class Table {
   /// Drops undo entries older than `commit_index` (checkpoint trim).
   void TrimJournalBefore(uint64_t commit_index);
 
-  size_t JournalSize() const { return journal_.size(); }
+  size_t JournalSize() const { return sealed_entries_ + tail_.size(); }
 
   /// Commits before this index have had their undo entries trimmed by a
   /// checkpoint; they can no longer be rolled back from the journal.
@@ -95,11 +109,24 @@ class Table {
   /// mutating rows in place to keep hash/indexes consistent.
   void RebuildDerivedState();
 
-  /// Deep copy (used to stage temporary replay databases).
+  /// Copy-on-write copy (used to stage temporary replay databases): shares
+  /// row pages, sealed journal chunks, and the index set with this table.
+  /// Either side materializes private copies on its first mutation.
   std::unique_ptr<Table> Clone() const;
 
-  /// Rough memory footprint in bytes (for the RAM-overhead benchmarks).
+  /// Rough full logical footprint in bytes (for the RAM-overhead
+  /// benchmarks). Shared CoW state is counted in full — this is the size
+  /// of the table's contents, not of what it uniquely owns.
   size_t ApproxMemoryBytes() const;
+
+  /// Bytes this table uniquely owns: pages/chunks/indexes still shared
+  /// with a CoW sibling count only as a pointer. A fresh clone reports
+  /// near-zero; the figure grows as mutations materialize private copies.
+  size_t ApproxOwnedBytes() const;
+
+  /// True while any row page, journal chunk, or the index set is still
+  /// shared with a CoW sibling (diagnostics/tests).
+  bool SharesCowState() const;
 
  private:
   enum class UndoOp { kInsert, kDelete, kUpdate };
@@ -112,17 +139,62 @@ class Table {
     std::vector<uint8_t> changed_mask;
   };
 
+  /// Rows per CoW page; power of two so id -> (page, slot) is shift/mask.
+  static constexpr size_t kPageRows = 256;
+  static constexpr size_t kPageShift = 8;
+  static constexpr size_t kPageMask = kPageRows - 1;
+  /// Entries per sealed journal chunk.
+  static constexpr size_t kJournalChunk = 256;
+
+  struct RowPage {
+    std::vector<Row> rows;
+    std::vector<uint8_t> alive;
+  };
+  /// Immutable once sealed; min/max commit bounds let rollback and trim
+  /// skip whole chunks without inspecting entries.
+  struct JournalChunk {
+    std::vector<UndoEntry> entries;
+    uint64_t min_commit = 0;
+    uint64_t max_commit = 0;
+  };
+  using IndexMap =
+      std::unordered_map<int, std::unordered_multimap<std::string, RowId>>;
+
+  static size_t PageIndex(RowId id) { return size_t(id) >> kPageShift; }
+  static size_t Slot(RowId id) { return size_t(id) & kPageMask; }
+  const RowPage* PageOf(RowId id) const { return pages_[PageIndex(id)].get(); }
+
+  /// Returns the page holding `id`, materializing a private copy first if
+  /// it is still shared with a CoW sibling.
+  RowPage* OwnedPage(RowId id);
+  /// Materializes a private index set if it is shared.
+  IndexMap* OwnedIndexes();
+
   void IndexAdd(RowId id, const Row& row);
   void IndexRemove(RowId id, const Row& row);
 
+  // Journal plumbing over sealed chunks + owned tail.
+  void AppendJournal(UndoEntry entry);
+  void SealTail();
+  /// Moves the newest sealed chunk's entries back into the tail (copying
+  /// if the chunk is shared). Requires an empty tail.
+  void UnsealLastChunk();
+  const UndoEntry& LastJournalEntry() const;
+  UndoEntry PopJournalEntry();
+
+  /// Undoes one journal entry. `masked` selects the column-masked UPDATE
+  /// semantics of RollbackCommits; RollbackToIndex restores full rows.
+  void ApplyUndo(UndoEntry entry, bool masked);
+
   TableSchema schema_;
-  std::vector<Row> rows_;
-  std::vector<uint8_t> alive_;
+  std::vector<std::shared_ptr<RowPage>> pages_;
+  size_t row_count_ = 0;  // total slots, live + tombstoned
   size_t live_count_ = 0;
-  std::vector<UndoEntry> journal_;
+  std::vector<std::shared_ptr<const JournalChunk>> sealed_;
+  size_t sealed_entries_ = 0;
+  std::vector<UndoEntry> tail_;  // open (always privately owned) chunk
   uint64_t trimmed_before_ = 0;
-  // column index -> (encoded value -> row ids)
-  std::unordered_map<int, std::unordered_multimap<std::string, RowId>> indexes_;
+  std::shared_ptr<IndexMap> indexes_;
   TableHash hash_;
 };
 

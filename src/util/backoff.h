@@ -1,0 +1,53 @@
+#ifndef ULTRAVERSE_UTIL_BACKOFF_H_
+#define ULTRAVERSE_UTIL_BACKOFF_H_
+
+#include <chrono>
+#include <thread>
+
+#if defined(__x86_64__) || defined(__i386__)
+#include <immintrin.h>
+#endif
+
+namespace ultraverse {
+
+/// Exponential-backoff spin for polling loops (e.g. draining an MpmcQueue):
+/// a short pause-instruction ladder first (cheap, keeps the core's
+/// hyperthread sibling productive), then scheduler yields, then brief
+/// sleeps so a drained ready queue stops burning whole cores. Reset() after
+/// every successful poll restores the fast path.
+class ExpBackoff {
+ public:
+  void Pause() {
+    if (round_ < kSpinRounds) {
+      int spins = 1 << round_;
+      for (int i = 0; i < spins; ++i) CpuRelax();
+    } else if (round_ < kSpinRounds + kYieldRounds) {
+      std::this_thread::yield();
+    } else {
+      std::this_thread::sleep_for(std::chrono::microseconds(50));
+    }
+    if (round_ < kSpinRounds + kYieldRounds) ++round_;
+  }
+
+  void Reset() { round_ = 0; }
+
+ private:
+  static constexpr int kSpinRounds = 6;   // 1..32 pause instructions
+  static constexpr int kYieldRounds = 8;  // then sched yields, then sleep
+
+  static void CpuRelax() {
+#if defined(__x86_64__) || defined(__i386__)
+    _mm_pause();
+#elif defined(__aarch64__)
+    asm volatile("yield" ::: "memory");
+#else
+    std::this_thread::yield();
+#endif
+  }
+
+  int round_ = 0;
+};
+
+}  // namespace ultraverse
+
+#endif  // ULTRAVERSE_UTIL_BACKOFF_H_

@@ -1,0 +1,288 @@
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <string>
+
+#include "core/ultraverse.h"
+#include "sqldb/database.h"
+
+namespace ultraverse::sql {
+namespace {
+
+/// Copy-on-write staging semantics (§4.4 selective staging): Clone() /
+/// CloneTables() share row pages, journal chunks, and index sets until a
+/// side writes; SetReadFallback() lets a selectively staged database fault
+/// unstaged tables in lazily.
+class CowStagingTest : public ::testing::Test {
+ protected:
+  Result<ExecResult> Exec(const std::string& sql) {
+    return db_.ExecuteSql(sql, ++commit_);
+  }
+  ExecResult MustExec(const std::string& sql) {
+    Result<ExecResult> r = Exec(sql);
+    EXPECT_TRUE(r.ok()) << sql << " -> " << r.status().ToString();
+    return r.ok() ? *r : ExecResult{};
+  }
+  int64_t Count(Database& db, const std::string& table) {
+    auto r = db.ExecuteSql("SELECT COUNT(*) FROM " + table, ++commit_);
+    EXPECT_TRUE(r.ok()) << r.status().ToString();
+    return r.ok() ? r->rows[0][0].AsInt() : -1;
+  }
+
+  Database db_;
+  uint64_t commit_ = 0;
+};
+
+TEST_F(CowStagingTest, FreshCloneSharesStateAndOwnsAlmostNothing) {
+  MustExec("CREATE TABLE t (id INT PRIMARY KEY, v INT)");
+  for (int i = 0; i < 1000; ++i) {
+    MustExec("INSERT INTO t VALUES (" + std::to_string(i) + ", " +
+             std::to_string(i * 7) + ")");
+  }
+  std::unique_ptr<Database> clone = db_.Clone();
+  const Table* ct = clone->FindTable("t");
+  ASSERT_NE(ct, nullptr);
+  EXPECT_TRUE(ct->SharesCowState());
+  // Full logical footprint is identical on both sides...
+  EXPECT_EQ(ct->ApproxMemoryBytes(), db_.FindTable("t")->ApproxMemoryBytes());
+  // ...but the clone uniquely owns almost none of it.
+  EXPECT_LT(clone->ApproxOwnedBytes(), db_.ApproxMemoryBytes() / 10);
+}
+
+TEST_F(CowStagingTest, CloneWriteIsolationBothDirections) {
+  MustExec("CREATE TABLE t (id INT PRIMARY KEY, v INT)");
+  MustExec("INSERT INTO t VALUES (1, 10), (2, 20), (3, 30)");
+  std::unique_ptr<Database> clone = db_.Clone();
+
+  // Clone-side writes must not leak into the base.
+  uint64_t c = commit_;
+  ASSERT_TRUE(clone->ExecuteSql("UPDATE t SET v = 99 WHERE id = 1", ++c).ok());
+  ASSERT_TRUE(clone->ExecuteSql("DELETE FROM t WHERE id = 2", ++c).ok());
+  ASSERT_TRUE(clone->ExecuteSql("INSERT INTO t VALUES (4, 40)", ++c).ok());
+  EXPECT_EQ(MustExec("SELECT v FROM t WHERE id = 1").rows[0][0].AsInt(), 10);
+  EXPECT_EQ(Count(db_, "t"), 3);
+
+  // Base-side writes must not leak into the clone.
+  MustExec("UPDATE t SET v = 77 WHERE id = 3");
+  auto r = clone->ExecuteSql("SELECT v FROM t WHERE id = 3", ++c);
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r->rows[0][0].AsInt(), 30);
+  r = clone->ExecuteSql("SELECT COUNT(*) FROM t", ++c);
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r->rows[0][0].AsInt(), 3);
+}
+
+TEST_F(CowStagingTest, RollbackOnCloneLeavesBaseUntouched) {
+  MustExec("CREATE TABLE t (id INT PRIMARY KEY, v INT)");
+  MustExec("INSERT INTO t VALUES (1, 0)");
+  uint64_t before_updates = commit_;
+  for (int i = 0; i < 10; ++i) MustExec("UPDATE t SET v = v + 1 WHERE id = 1");
+  uint64_t mid = before_updates + 5;
+
+  std::unique_ptr<Database> clone = db_.Clone();
+  clone->RollbackToIndex(mid);
+  uint64_t c = commit_;
+  auto r = clone->ExecuteSql("SELECT v FROM t WHERE id = 1", ++c);
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r->rows[0][0].AsInt(), 5);
+  // The base still sees all ten updates — rollback materialized private
+  // copies on the clone instead of undoing shared pages in place.
+  EXPECT_EQ(MustExec("SELECT v FROM t WHERE id = 1").rows[0][0].AsInt(), 10);
+}
+
+TEST_F(CowStagingTest, SelectiveRollbackCommitsOnClone) {
+  MustExec("CREATE TABLE t (id INT PRIMARY KEY, a INT, b INT)");
+  MustExec("INSERT INTO t VALUES (1, 0, 0)");
+  uint64_t set_a = commit_ + 1;
+  MustExec("UPDATE t SET a = 5 WHERE id = 1");
+  MustExec("UPDATE t SET b = 7 WHERE id = 1");
+
+  std::unique_ptr<Database> clone = db_.Clone();
+  clone->RollbackCommitsInTables({set_a}, {"t"});
+  uint64_t c = commit_;
+  auto r = clone->ExecuteSql("SELECT a, b FROM t WHERE id = 1", ++c);
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r->rows[0][0].AsInt(), 0) << "selected commit undone";
+  EXPECT_EQ(r->rows[0][1].AsInt(), 7) << "cell-independent commit survives";
+  auto base = MustExec("SELECT a, b FROM t WHERE id = 1");
+  EXPECT_EQ(base.rows[0][0].AsInt(), 5);
+  EXPECT_EQ(base.rows[0][1].AsInt(), 7);
+}
+
+TEST_F(CowStagingTest, CloneTablesStagesOnlyNamedTables) {
+  MustExec("CREATE TABLE small (id INT PRIMARY KEY, v INT)");
+  MustExec("CREATE TABLE bulk (id INT PRIMARY KEY, payload TEXT)");
+  MustExec("INSERT INTO small VALUES (1, 10)");
+  for (int i = 0; i < 500; ++i) {
+    MustExec("INSERT INTO bulk VALUES (" + std::to_string(i) +
+             ", 'payload-payload-payload-" + std::to_string(i) + "')");
+  }
+  std::unique_ptr<Database> temp = db_.CloneTables({"small"});
+  EXPECT_NE(temp->FindTable("small"), nullptr);
+  EXPECT_EQ(static_cast<const Database*>(temp.get())->FindTable("bulk"),
+            nullptr)
+      << "unstaged table absent until a fallback is configured";
+  EXPECT_LT(temp->ApproxMemoryBytes(), db_.ApproxMemoryBytes() / 4)
+      << "staging skipped the bulk table entirely";
+}
+
+TEST_F(CowStagingTest, ReadFallbackFaultsTablesInWithIsolation) {
+  MustExec("CREATE TABLE staged (id INT PRIMARY KEY, v INT)");
+  MustExec("CREATE TABLE unstaged (id INT PRIMARY KEY, v INT)");
+  MustExec("INSERT INTO staged VALUES (1, 1)");
+  MustExec("INSERT INTO unstaged VALUES (1, 100), (2, 200)");
+
+  std::unique_ptr<Database> temp = db_.CloneTables({"staged"});
+  temp->SetReadFallback(&db_, nullptr);
+  uint64_t c = commit_;
+
+  // Reads outside the staged set resolve against the live database.
+  auto r = temp->ExecuteSql("SELECT COUNT(*) FROM unstaged", ++c);
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  EXPECT_EQ(r->rows[0][0].AsInt(), 2);
+
+  // A write faults the table in as a CoW clone; the live copy is isolated.
+  ASSERT_TRUE(
+      temp->ExecuteSql("UPDATE unstaged SET v = 0 WHERE id = 1", ++c).ok());
+  r = temp->ExecuteSql("SELECT v FROM unstaged WHERE id = 1", ++c);
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r->rows[0][0].AsInt(), 0);
+  EXPECT_EQ(MustExec("SELECT v FROM unstaged WHERE id = 1").rows[0][0].AsInt(),
+            100);
+
+  // A local DROP wins over the fallback — the table must not resurrect.
+  ASSERT_TRUE(temp->ExecuteSql("DROP TABLE unstaged", ++c).ok());
+  EXPECT_FALSE(temp->ExecuteSql("SELECT COUNT(*) FROM unstaged", ++c).ok());
+  EXPECT_EQ(Count(db_, "unstaged"), 2) << "live table unaffected";
+}
+
+TEST_F(CowStagingTest, AdoptTablesFromSelectivelyStagedTempDb) {
+  MustExec("CREATE TABLE a (id INT PRIMARY KEY, v INT)");
+  MustExec("CREATE TABLE b (id INT PRIMARY KEY, v INT)");
+  MustExec("INSERT INTO a VALUES (1, 1)");
+  MustExec("INSERT INTO b VALUES (1, 1)");
+
+  std::unique_ptr<Database> temp = db_.CloneTables({"a"});
+  temp->SetReadFallback(&db_, nullptr);
+  uint64_t c = commit_;
+  ASSERT_TRUE(temp->ExecuteSql("UPDATE a SET v = 42 WHERE id = 1", ++c).ok());
+
+  ASSERT_TRUE(db_.AdoptTables(*temp, {"a"}).ok());
+  EXPECT_EQ(MustExec("SELECT v FROM a WHERE id = 1").rows[0][0].AsInt(), 42);
+  EXPECT_EQ(MustExec("SELECT v FROM b WHERE id = 1").rows[0][0].AsInt(), 1);
+}
+
+TEST_F(CowStagingTest, OwnedBytesGrowAsWritesMaterializePages) {
+  MustExec("CREATE TABLE t (id INT PRIMARY KEY, v INT)");
+  for (int i = 0; i < 2000; ++i) {
+    MustExec("INSERT INTO t VALUES (" + std::to_string(i) + ", 0)");
+  }
+  std::unique_ptr<Database> clone = db_.Clone();
+  size_t fresh = clone->ApproxOwnedBytes();
+  uint64_t c = commit_;
+  for (int i = 0; i < 2000; i += 4) {
+    ASSERT_TRUE(clone
+                    ->ExecuteSql("UPDATE t SET v = 1 WHERE id = " +
+                                     std::to_string(i),
+                                 ++c)
+                    .ok());
+  }
+  size_t touched = clone->ApproxOwnedBytes();
+  EXPECT_GT(touched, fresh)
+      << "writes materialize private pages, growing the owned footprint";
+  EXPECT_GE(clone->ApproxMemoryBytes(), touched)
+      << "owned bytes never exceed the full logical footprint";
+}
+
+TEST_F(CowStagingTest, IndexLookupStaysCorrectAcrossCowSplit) {
+  MustExec("CREATE TABLE t (id INT PRIMARY KEY, v INT)");
+  MustExec("INSERT INTO t VALUES (1, 10), (2, 20), (3, 10)");
+  MustExec("CREATE INDEX iv ON t (v)");
+  std::unique_ptr<Database> clone = db_.Clone();
+  uint64_t c = commit_;
+  ASSERT_TRUE(clone->ExecuteSql("UPDATE t SET v = 10 WHERE id = 2", ++c).ok());
+
+  const Table* base_t = db_.FindTable("t");
+  const Table* clone_t = clone->FindTable("t");
+  ASSERT_TRUE(base_t->HasIndex(1));
+  ASSERT_TRUE(clone_t->HasIndex(1));
+  EXPECT_EQ(base_t->IndexLookup(1, Value::Int(10)).size(), 2u);
+  EXPECT_EQ(clone_t->IndexLookup(1, Value::Int(10)).size(), 3u);
+}
+
+TEST_F(CowStagingTest, ChunkedJournalRollbackAndTrimAcrossBoundaries) {
+  MustExec("CREATE TABLE t (id INT PRIMARY KEY, v INT)");
+  // > 2 sealed chunks (256 entries each) plus an open tail.
+  const int kRows = 600;
+  for (int i = 0; i < kRows; ++i) {
+    MustExec("INSERT INTO t VALUES (" + std::to_string(i) + ", 0)");
+  }
+  Table* t = db_.FindTable("t");
+  ASSERT_NE(t, nullptr);
+  EXPECT_EQ(t->JournalSize(), size_t(kRows));
+
+  // Rollback across a chunk boundary on a clone; the base keeps all rows.
+  std::unique_ptr<Database> clone = db_.Clone();
+  uint64_t horizon = commit_ - 300;  // undo the newest 300 inserts
+  clone->RollbackToIndex(horizon);
+  uint64_t c = commit_;
+  auto r = clone->ExecuteSql("SELECT COUNT(*) FROM t", ++c);
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r->rows[0][0].AsInt(), kRows - 300);
+  EXPECT_EQ(Count(db_, "t"), kRows);
+
+  // Trim across a chunk boundary; older commits become unrollbackable.
+  uint64_t trim_at = commit_ - 100;
+  db_.TrimJournalsBefore(trim_at);
+  EXPECT_LE(t->JournalSize(), size_t(150));
+  EXPECT_GE(t->trimmed_before(), trim_at);
+}
+
+}  // namespace
+}  // namespace ultraverse::sql
+
+namespace ultraverse::core {
+namespace {
+
+TEST(SelectiveStagingTest, TempDbSmallerThanFullCloneForMinorityWorkload) {
+  Ultraverse uv;
+  ASSERT_TRUE(
+      uv.ExecuteSql("CREATE TABLE small (id INT PRIMARY KEY, v INT)").ok());
+  ASSERT_TRUE(
+      uv.ExecuteSql("CREATE TABLE bulk (id INT PRIMARY KEY, payload TEXT)")
+          .ok());
+  for (int i = 0; i < 400; ++i) {
+    ASSERT_TRUE(uv.ExecuteSql("INSERT INTO bulk VALUES (" +
+                              std::to_string(i) +
+                              ", 'large-untouched-payload-column-" +
+                              std::to_string(i) + "')")
+                    .ok());
+  }
+  ASSERT_TRUE(uv.ExecuteSql("INSERT INTO small VALUES (1, 0)").ok());
+  ASSERT_TRUE(uv.ExecuteSql("UPDATE small SET v = v + 1 WHERE id = 1").ok());
+  uint64_t target = uv.log()->last_index();  // remove this update
+  for (int i = 0; i < 5; ++i) {
+    ASSERT_TRUE(
+        uv.ExecuteSql("UPDATE small SET v = v + 1 WHERE id = 1").ok());
+  }
+
+  RetroOp op;
+  op.kind = RetroOp::Kind::kRemove;
+  op.index = target;
+  auto stats = uv.WhatIf(op, SystemMode::kTD);
+  ASSERT_TRUE(stats.ok()) << stats.status().ToString();
+  EXPECT_FALSE(stats->schema_rebuild);
+  EXPECT_GT(stats->temp_db_bytes, 0u);
+  // The what-if touches only `small`: the staged temporary database must
+  // cost a fraction of cloning the whole database (which a full deep clone
+  // would — `bulk` dominates the footprint).
+  EXPECT_LT(stats->temp_db_bytes, uv.db()->ApproxMemoryBytes() / 4)
+      << "selective staging paid for the bulk table it never touched";
+  // And the what-if result itself is correct.
+  auto r = uv.ExecuteSql("SELECT v FROM small WHERE id = 1");
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r->rows[0][0].AsInt(), 5);
+}
+
+}  // namespace
+}  // namespace ultraverse::core
