@@ -18,6 +18,7 @@ struct Variant {
 };
 
 void Run() {
+  BenchSession session("ablation_pruning");
   PrintHeader("Ablation: dependency-analysis and parallelism variants",
               "DESIGN.md §6: column-only vs column+row (the Venn "
               "intersection of §4.3) and serial vs parallel replay");
@@ -60,6 +61,10 @@ void Run() {
       PrintRow({name, v.label, std::to_string(stats->replayed),
                 FmtSeconds(TotalSeconds(*stats))},
                18);
+      session.Row({{"workload", name},
+                   {"variant", v.label},
+                   {"replayed", stats->replayed},
+                   {"seconds", TotalSeconds(*stats)}});
     }
   }
   std::printf("\nShape check: each added technique shrinks the replay set or\n"
@@ -70,7 +75,8 @@ void Run() {
 }  // namespace
 }  // namespace ultraverse::bench
 
-int main() {
+int main(int argc, char** argv) {
+  ultraverse::bench::ParseBenchFlags(&argc, argv);
   ultraverse::bench::Run();
   return 0;
 }

@@ -11,6 +11,7 @@ namespace {
 
 void Run() {
   size_t history = 1500 * size_t(HistoryScale());
+  BenchSession session("fig8a_modes");
   PrintHeader("Figure 8(a): what-if runtime, B / T / D / T+D",
               "paper: T+D 23.6x faster than B on average; T ~2x from RTT "
               "consolidation; D gains from pruning + parallel replay");
@@ -41,6 +42,11 @@ void Run() {
         std::exit(1);
       }
       secs[m] = TotalSeconds(*stats);
+      session.Row({{"workload", name},
+                   {"mode", core::SystemModeName(modes[m])},
+                   {"seconds", secs[m]},
+                   {"replayed", stats->replayed},
+                   {"skipped", stats->skipped}});
     }
     char speedup[32];
     std::snprintf(speedup, sizeof(speedup), "%.1fx",
@@ -56,7 +62,8 @@ void Run() {
 }  // namespace
 }  // namespace ultraverse::bench
 
-int main() {
+int main(int argc, char** argv) {
+  ultraverse::bench::ParseBenchFlags(&argc, argv);
   ultraverse::bench::Run();
   return 0;
 }

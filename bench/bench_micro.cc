@@ -8,7 +8,10 @@
 #include <mutex>
 #include <thread>
 
+#include "bench_util.h"
 #include "core/rw_sets.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "sqldb/database.h"
 #include "sqldb/parser.h"
 #include "sqldb/query_log.h"
@@ -16,6 +19,7 @@
 #include "util/mpmc_queue.h"
 #include "util/sha256.h"
 #include "util/table_hash.h"
+#include "workloads/raw_history.h"
 
 namespace ultraverse {
 namespace {
@@ -178,6 +182,97 @@ BENCHMARK(BM_StageSelectiveClone)
     ->ArgsProduct({{1000, 10000, 100000}, {2, 16, 64}})
     ->Unit(benchmark::kMicrosecond);
 
+// --- Observability overhead (DESIGN.md "Observability") ---------------------
+// The obs subsystem's contract: counters are one relaxed add to a thread-
+// local shard; a disabled TraceSpan/ScopedLatency is one relaxed load and
+// must never read the clock.
+
+void BM_ObsCounterAdd(benchmark::State& state) {
+  static obs::Counter* const c =
+      obs::Registry::Global().counter("bench.micro.counter");
+  for (auto _ : state) {
+    c->Add(1);
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_ObsCounterAdd);
+
+void BM_ObsTraceSpan(benchmark::State& state) {
+  const bool enabled = state.range(0) != 0;
+  obs::Tracer::Global().Clear();
+  if (enabled) {
+    obs::Tracer::Global().Enable();
+  } else {
+    obs::Tracer::Global().Disable();
+  }
+  for (auto _ : state) {
+    obs::TraceSpan span("bench.micro.span", {{"i", 1}});
+    benchmark::ClobberMemory();
+  }
+  obs::Tracer::Global().Disable();
+  obs::Tracer::Global().Clear();
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_ObsTraceSpan)->Arg(0)->Arg(1);
+
+void BM_ObsScopedLatency(benchmark::State& state) {
+  static obs::Histogram* const h =
+      obs::Registry::Global().histogram("bench.micro.latency_us");
+  obs::SetTiming(state.range(0) != 0);
+  for (auto _ : state) {
+    obs::ScopedLatency latency(h);
+    benchmark::ClobberMemory();
+  }
+  obs::SetTiming(false);
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_ObsScopedLatency)->Arg(0)->Arg(1);
+
+// End-to-end instrumentation overhead: the same retroactive what-if with
+// the obs subsystem fully off (Arg 0) vs tracing + latency timing on
+// (Arg 1). The constraint is <5% regression with obs disabled; the Arg(1)
+// row bounds the cost users opt into with ULTRA_TRACE/--trace-out.
+void BM_WhatIfReplayObs(benchmark::State& state) {
+  const bool obs_on = state.range(0) != 0;
+  workload::RawHistory h = workload::MakeRawHistory("epinions", 200, 0.5, 11);
+  core::Ultraverse uv;
+  for (const auto& ddl : h.schema_sql) {
+    if (!uv.ExecuteSql(ddl).ok()) {
+      state.SkipWithError("schema setup failed");
+      return;
+    }
+  }
+  for (const auto& q : h.queries) {
+    if (!uv.ExecuteSql(q).ok()) {
+      state.SkipWithError("history setup failed");
+      return;
+    }
+  }
+  uint64_t target = uint64_t(h.schema_sql.size()) + h.retro_index;
+  if (obs_on) {
+    obs::SetTiming(true);
+    obs::Tracer::Global().Enable();
+  }
+  for (auto _ : state) {
+    core::RetroOp op;
+    op.kind = core::RetroOp::Kind::kRemove;
+    op.index = target;
+    auto stats = uv.WhatIf(op, core::SystemMode::kTD);
+    if (!stats.ok()) {
+      state.SkipWithError("what-if failed");
+      break;
+    }
+    benchmark::DoNotOptimize(stats->replayed);
+  }
+  if (obs_on) {
+    obs::SetTiming(false);
+    obs::Tracer::Global().Disable();
+    obs::Tracer::Global().Clear();
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_WhatIfReplayObs)->Arg(0)->Arg(1)->Unit(benchmark::kMillisecond);
+
 void BM_SqlParse(benchmark::State& state) {
   const std::string sql =
       "SELECT a.x, SUM(b.y) FROM a JOIN b ON a.id = b.aid WHERE a.x > 10 "
@@ -193,4 +288,14 @@ BENCHMARK(BM_SqlParse);
 }  // namespace
 }  // namespace ultraverse
 
-BENCHMARK_MAIN();
+// Custom main: strip the shared bench flags (--trace-out=...) before
+// google-benchmark sees argv, so both flag families coexist.
+int main(int argc, char** argv) {
+  ultraverse::bench::ParseBenchFlags(&argc, argv);
+  ultraverse::bench::BenchSession session("micro");
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

@@ -13,6 +13,7 @@ namespace ultraverse::bench {
 namespace {
 
 void Run() {
+  BenchSession session("scheduler");
   PrintHeader("§6 application: dependency-driven transaction scheduling",
               "discussion section: Ultraverse's R/W analysis gives "
               "schedulers prior dependency knowledge (no restarts)");
@@ -77,6 +78,10 @@ void Run() {
     PrintRow({rate_buf, FmtSeconds(secs[0] + double(batch_size) * rtt),
               FmtSeconds(secs[1] + double(crit) * rtt),
               std::to_string(crit), speed_buf});
+    session.Row({{"conflict_rate", rate},
+                 {"serial_seconds", secs[0] + double(batch_size) * rtt},
+                 {"scheduled_seconds", secs[1] + double(crit) * rtt},
+                 {"critical_path", crit}});
   }
   std::printf("\nShape check: the conflict-DAG critical path grows with the\n"
               "conflict rate; independent transactions schedule in parallel\n"
@@ -86,7 +91,8 @@ void Run() {
 }  // namespace
 }  // namespace ultraverse::bench
 
-int main() {
+int main(int argc, char** argv) {
+  ultraverse::bench::ParseBenchFlags(&argc, argv);
   ultraverse::bench::Run();
   return 0;
 }

@@ -91,6 +91,7 @@ void CorrectnessDemo() {
 }
 
 void Run() {
+  BenchSession session("table4_mahif");
   PrintHeader("Table 4(a/b): what-if time and memory vs Mahif",
               "paper: T+D 0.6s-2.9s flat; Mahif 34.5s-20.8H, 1.9GB-126GB, "
               "superlinear in history; SEATS = N/A for Mahif");
@@ -104,6 +105,13 @@ void Run() {
       Cell td = RunUltraverse(h, core::SystemMode::kTD);
       Cell b = RunUltraverse(h, core::SystemMode::kB);
       Cell m = RunMahif(h);
+      session.Row({{"workload", name},
+                   {"queries", n},
+                   {"td_seconds", td.seconds},
+                   {"b_seconds", b.seconds},
+                   {"mahif_seconds", m.seconds},
+                   {"td_bytes", td.bytes},
+                   {"mahif_bytes", m.bytes}});
       PrintRow({name, std::to_string(n), FmtSeconds(td.seconds),
                 FmtSeconds(b.seconds),
                 m.seconds == -1   ? "x (N/A)"
@@ -121,7 +129,8 @@ void Run() {
 }  // namespace
 }  // namespace ultraverse::bench
 
-int main() {
+int main(int argc, char** argv) {
+  ultraverse::bench::ParseBenchFlags(&argc, argv);
   ultraverse::bench::Run();
   return 0;
 }

@@ -11,6 +11,7 @@ namespace ultraverse::bench {
 namespace {
 
 void Run() {
+  BenchSession session("table5_dbsize");
   PrintHeader("Table 5: what-if time across DB sizes",
               "paper: times essentially flat in DB size (0.6s-1.7s T+D) "
               "because replayed-query count is unchanged");
@@ -57,6 +58,12 @@ void Run() {
                 FmtSeconds(secs[0]), FmtSeconds(secs[1]),
                 mahif_secs < 0 ? "x" : FmtSeconds(mahif_secs)},
                10);
+      session.Row({{"workload", name},
+                   {"scale", scale},
+                   {"db_bytes", db_bytes},
+                   {"td_seconds", secs[0]},
+                   {"b_seconds", secs[1]},
+                   {"mahif_seconds", mahif_secs}});
     }
   }
   std::printf("\nShape check: T+D time stays near-flat as the database grows"
@@ -67,7 +74,8 @@ void Run() {
 }  // namespace
 }  // namespace ultraverse::bench
 
-int main() {
+int main(int argc, char** argv) {
+  ultraverse::bench::ParseBenchFlags(&argc, argv);
   ultraverse::bench::Run();
   return 0;
 }

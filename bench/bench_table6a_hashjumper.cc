@@ -92,6 +92,7 @@ Run RunOne(const std::string& name, size_t history, double hit_point) {
 }
 
 void RunBench() {
+  BenchSession session("table6a_hashjumper");
   PrintHeader("Table 6(a): Hash-jumper runtime vs hash-hit point",
               "paper: runtime proportional to the hit point (e.g. TATP 52s "
               "@10% vs 512s @100%); ~2.4% overhead when no hit occurs");
@@ -106,6 +107,11 @@ void RunBench() {
       Run run = RunOne(name, history, hp);
       cells.push_back(FmtSeconds(run.seconds));
       hits += run.hit ? "Y" : "n";
+      session.Row({{"workload", name},
+                   {"hit_point", hp},
+                   {"seconds", run.seconds},
+                   {"hash_jump", run.hit ? 1 : 0},
+                   {"replayed", run.replayed}});
     }
     PrintRow({name, cells[0], cells[1], cells[2], cells[3], hits});
   }
@@ -117,7 +123,8 @@ void RunBench() {
 }  // namespace
 }  // namespace ultraverse::bench
 
-int main() {
+int main(int argc, char** argv) {
+  ultraverse::bench::ParseBenchFlags(&argc, argv);
   ultraverse::bench::RunBench();
   return 0;
 }

@@ -10,6 +10,7 @@ namespace ultraverse::bench {
 namespace {
 
 void Run() {
+  BenchSession session("table6b_regular");
   PrintHeader("Table 6(b): regular transaction runtime, B vs T",
               "paper: B avg 10.7ms vs T avg 5.13ms at ~1ms RTT; Epinions "
               "unchanged (single-query txns), loops benefit most");
@@ -48,6 +49,9 @@ void Run() {
     std::snprintf(t_buf, sizeof(t_buf), "%.2f", per_txn[1]);
     std::snprintf(s_buf, sizeof(s_buf), "%.2fx", per_txn[0] / per_txn[1]);
     PrintRow({name, b_buf, t_buf, s_buf});
+    session.Row({{"workload", name},
+                 {"b_ms_per_txn", per_txn[0]},
+                 {"t_ms_per_txn", per_txn[1]}});
   }
   std::printf("\nShape check: multi-statement transactions (SEATS, TPC-C,\n"
               "AStore) speed up ~Nx with N statements per transaction;\n"
@@ -57,7 +61,8 @@ void Run() {
 }  // namespace
 }  // namespace ultraverse::bench
 
-int main() {
+int main(int argc, char** argv) {
+  ultraverse::bench::ParseBenchFlags(&argc, argv);
   ultraverse::bench::Run();
   return 0;
 }

@@ -12,7 +12,7 @@
 namespace ultraverse::bench {
 namespace {
 
-void Table7a() {
+void Table7a(BenchSession& session) {
   PrintHeader("Table 7(a): SQL transpiler analysis time",
               "paper: 21.3s-187.8s per application (one-time, offline); "
               "grows with transaction count and path count");
@@ -36,12 +36,17 @@ void Table7a() {
     char us[32];
     std::snprintf(us, sizeof(us), "%.1fms", uv.transpile_seconds() * 1000);
     PrintRow({name, std::to_string(txn_count), std::to_string(paths), us});
+    session.Row({{"table", "7a"},
+                 {"workload", name},
+                 {"txns", txn_count},
+                 {"paths", paths},
+                 {"transpile_seconds", uv.transpile_seconds()}});
   }
   std::printf("Shape check: one-time offline cost, larger for applications\n"
               "with more transactions/branches (Table 7(a)).\n");
 }
 
-void Table7b() {
+void Table7b(BenchSession& session) {
   PrintHeader("Table 7(b): average log size per query (bytes)",
               "paper: MySQL binary log avg 424B/query; Ultraverse adds only "
               "12B-110B/query (7.6% overhead)");
@@ -58,12 +63,16 @@ void Table7b() {
     std::snprintf(pct, sizeof(pct), "%.1f%%",
                   100.0 * double(uverse) / double(mysql));
     PrintRow({name, std::to_string(mysql), std::to_string(uverse), pct});
+    session.Row({{"table", "7b"},
+                 {"workload", name},
+                 {"mysql_bytes_per_query", mysql},
+                 {"uverse_bytes_per_query", uverse}});
   }
   std::printf("Shape check: Ultraverse's dependency log is a small fraction\n"
               "of the statement log (Table 7(b)).\n");
 }
 
-void Table7c() {
+void Table7c(BenchSession& session) {
   PrintHeader("Table 7(c): commit-time dependency/hash logger overhead",
               "paper: 0.6%-9.5% slowdown of regular processing; offloadable "
               "to another machine");
@@ -106,12 +115,17 @@ void Table7c() {
                   100.0 * (secs[2] / secs[0] - 1.0));
     PrintRow({name, FmtSeconds(secs[0]), FmtSeconds(secs[1]),
               FmtSeconds(secs[2]), o1, o2});
+    session.Row({{"table", "7c"},
+                 {"workload", name},
+                 {"baseline_seconds", secs[0]},
+                 {"td_seconds", secs[1]},
+                 {"tdh_seconds", secs[2]}});
   }
   std::printf("Shape check: single-digit-percent logging overhead, slightly\n"
               "higher with hashes enabled (Table 7(c)).\n");
 }
 
-void Table7d() {
+void Table7d(BenchSession& session) {
   PrintHeader("Table 7(d): regular-operation slowdown during a what-if",
               "paper: 3.3%-16.5% slowdown when sharing the machine");
   size_t foreground_txns = 400 * size_t(HistoryScale());
@@ -161,6 +175,10 @@ void Table7d() {
     std::snprintf(pct, sizeof(pct), "%.1f%%",
                   100.0 * (secs[1] / secs[0] - 1.0));
     PrintRow({name, FmtSeconds(secs[0]), FmtSeconds(secs[1]), pct});
+    session.Row({{"table", "7d"},
+                 {"workload", name},
+                 {"alone_seconds", secs[0]},
+                 {"concurrent_seconds", secs[1]}});
   }
   std::printf("Shape check: modest slowdown; the replay runs on a staged\n"
               "temporary database and only locks briefly to adopt results\n"
@@ -170,10 +188,12 @@ void Table7d() {
 }  // namespace
 }  // namespace ultraverse::bench
 
-int main() {
-  ultraverse::bench::Table7a();
-  ultraverse::bench::Table7b();
-  ultraverse::bench::Table7c();
-  ultraverse::bench::Table7d();
+int main(int argc, char** argv) {
+  ultraverse::bench::ParseBenchFlags(&argc, argv);
+  ultraverse::bench::BenchSession session("table7_overhead");
+  ultraverse::bench::Table7a(session);
+  ultraverse::bench::Table7b(session);
+  ultraverse::bench::Table7c(session);
+  ultraverse::bench::Table7d(session);
   return 0;
 }

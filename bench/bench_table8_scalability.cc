@@ -27,7 +27,7 @@ double RunWhatIf(const InstanceOptions& opts, SystemMode mode) {
   return TotalSeconds(*stats);
 }
 
-void Table8a() {
+void Table8a(BenchSession& session) {
   PrintHeader("Table 8(a): what-if time vs history size",
               "paper: 1M/10M/100M queries; all four configurations scale "
               "~linearly, with T+D consistently fastest");
@@ -45,7 +45,13 @@ void Table8a() {
         opts.history_txns = n;
         opts.dependency_rate =
             (name == "seats" || name == "tpcc") ? 1.0 : 0.3;
-        row.push_back(FmtSeconds(RunWhatIf(opts, mode)));
+        double secs = RunWhatIf(opts, mode);
+        row.push_back(FmtSeconds(secs));
+        session.Row({{"table", "8a"},
+                     {"workload", name},
+                     {"history", n},
+                     {"mode", SystemModeName(mode)},
+                     {"seconds", secs}});
       }
       PrintRow(row);
     }
@@ -55,7 +61,7 @@ void Table8a() {
               "size (Table 8(a)).\n");
 }
 
-void Table8b() {
+void Table8b(BenchSession& session) {
   PrintHeader("Table 8(b): speedup vs baseline across DB sizes",
               "paper: speedups are stable as the database grows (e.g. "
               "Epinions 256x at 1x/5x/10x)");
@@ -72,10 +78,16 @@ void Table8b() {
       double base = RunWhatIf(opts, SystemMode::kB);
       std::vector<std::string> row = {name, std::to_string(scale) + "x"};
       for (SystemMode mode : modes) {
+        double secs = RunWhatIf(opts, mode);
         char buf[32];
-        std::snprintf(buf, sizeof(buf), "%.1fx",
-                      base / RunWhatIf(opts, mode));
+        std::snprintf(buf, sizeof(buf), "%.1fx", base / secs);
         row.push_back(buf);
+        session.Row({{"table", "8b"},
+                     {"workload", name},
+                     {"scale", scale},
+                     {"mode", SystemModeName(mode)},
+                     {"seconds", secs},
+                     {"speedup", base / secs}});
       }
       PrintRow(row);
     }
@@ -84,7 +96,7 @@ void Table8b() {
               "across database sizes (Table 8(b)).\n");
 }
 
-void Table8c() {
+void Table8c(BenchSession& session) {
   PrintHeader("Table 8(c): speedup vs baseline across dependency rates",
               "paper: Epinions 366x@1%->3.6x@100%; AStore 836x@1%->9.3x@100%"
               "; SEATS/TPC-C only at 100% (fully dependent); even at 100% "
@@ -105,10 +117,16 @@ void Table8c() {
       std::snprintf(rate_buf, sizeof(rate_buf), "%.0f%%", rate * 100);
       std::vector<std::string> row = {name, rate_buf};
       for (SystemMode mode : modes) {
+        double secs = RunWhatIf(opts, mode);
         char buf[32];
-        std::snprintf(buf, sizeof(buf), "%.1fx",
-                      base / RunWhatIf(opts, mode));
+        std::snprintf(buf, sizeof(buf), "%.1fx", base / secs);
         row.push_back(buf);
+        session.Row({{"table", "8c"},
+                     {"workload", name},
+                     {"dependency_rate", rate},
+                     {"mode", SystemModeName(mode)},
+                     {"seconds", secs},
+                     {"speedup", base / secs}});
       }
       PrintRow(row);
     }
@@ -121,9 +139,11 @@ void Table8c() {
 }  // namespace
 }  // namespace ultraverse::bench
 
-int main() {
-  ultraverse::bench::Table8a();
-  ultraverse::bench::Table8b();
-  ultraverse::bench::Table8c();
+int main(int argc, char** argv) {
+  ultraverse::bench::ParseBenchFlags(&argc, argv);
+  ultraverse::bench::BenchSession session("table8_scalability");
+  ultraverse::bench::Table8a(session);
+  ultraverse::bench::Table8b(session);
+  ultraverse::bench::Table8c(session);
   return 0;
 }

@@ -3,11 +3,15 @@
 
 #include <cstdio>
 #include <cstdlib>
+#include <initializer_list>
 #include <memory>
 #include <string>
+#include <string_view>
 #include <vector>
 
 #include "core/ultraverse.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "workloads/workload.h"
 
 namespace ultraverse::bench {
@@ -117,6 +121,134 @@ inline void PrintHeader(const std::string& title,
   std::printf("Paper reference: %s\n", paper_note.c_str());
   std::printf("================================================================\n");
 }
+
+// --- Machine-readable results + tracing flags -------------------------------
+
+/// Path given via --trace-out= (empty = tracing not requested).
+inline std::string g_trace_out;
+
+/// Call first thing in main(): parses and strips the shared bench flags so
+/// leftover argv can be handed to other flag parsers (benchmark::Initialize
+/// in bench_micro). --trace-out=<path> enables tracing + latency timing and
+/// makes the BenchSession destructor write a Chrome trace-event JSON file.
+inline void ParseBenchFlags(int* argc, char** argv) {
+  int out = 1;
+  for (int i = 1; i < *argc; ++i) {
+    std::string_view a(argv[i]);
+    if (a.rfind("--trace-out=", 0) == 0) {
+      g_trace_out = std::string(a.substr(12));
+      obs::Tracer::Global().Enable();
+      obs::SetTiming(true);
+    } else {
+      argv[out++] = argv[i];
+    }
+  }
+  *argc = out;
+}
+
+inline std::string JsonEscape(std::string_view s) {
+  std::string out;
+  out.reserve(s.size());
+  for (char c : s) {
+    if (c == '"' || c == '\\') {
+      out += '\\';
+      out += c;
+    } else if (static_cast<unsigned char>(c) < 0x20) {
+      char buf[8];
+      std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+      out += buf;
+    } else {
+      out += c;
+    }
+  }
+  return out;
+}
+
+/// One field of a result row; constructible from the value types benches
+/// report so Row({{"workload", name}, {"seconds", secs}}) just works.
+struct BenchField {
+  std::string key;
+  enum class Kind { kInt, kNum, kStr } kind;
+  int64_t i = 0;
+  double num = 0;
+  std::string str;
+
+  BenchField(const char* k, int v) : key(k), kind(Kind::kInt), i(v) {}
+  BenchField(const char* k, unsigned v) : key(k), kind(Kind::kInt), i(v) {}
+  BenchField(const char* k, long v) : key(k), kind(Kind::kInt), i(v) {}
+  BenchField(const char* k, unsigned long v)
+      : key(k), kind(Kind::kInt), i(int64_t(v)) {}
+  BenchField(const char* k, double v) : key(k), kind(Kind::kNum), num(v) {}
+  BenchField(const char* k, const char* v)
+      : key(k), kind(Kind::kStr), str(v) {}
+  BenchField(const char* k, const std::string& v)
+      : key(k), kind(Kind::kStr), str(v) {}
+};
+
+/// Collects result rows and writes them as JSON lines to BENCH_<name>.json
+/// at destruction; every bench main wraps its run in one session so runs
+/// are machine-readable alongside the printed tables. When --trace-out was
+/// given, the destructor also flushes the Chrome trace.
+class BenchSession {
+ public:
+  explicit BenchSession(std::string name) : name_(std::move(name)) {}
+
+  BenchSession(const BenchSession&) = delete;
+  BenchSession& operator=(const BenchSession&) = delete;
+
+  /// Appends one JSON result row: {"bench":"<name>","k":v,...}.
+  void Row(std::initializer_list<BenchField> fields) {
+    std::string line = "{\"bench\":\"" + JsonEscape(name_) + "\"";
+    for (const BenchField& f : fields) {
+      line += ",\"" + JsonEscape(f.key) + "\":";
+      char buf[40];
+      switch (f.kind) {
+        case BenchField::Kind::kInt:
+          std::snprintf(buf, sizeof(buf), "%lld", (long long)f.i);
+          line += buf;
+          break;
+        case BenchField::Kind::kNum:
+          std::snprintf(buf, sizeof(buf), "%.6g", f.num);
+          line += buf;
+          break;
+        case BenchField::Kind::kStr:
+          line += '"' + JsonEscape(f.str) + '"';
+          break;
+      }
+    }
+    line += '}';
+    rows_.push_back(std::move(line));
+  }
+
+  ~BenchSession() {
+    if (!rows_.empty()) {
+      std::string path = "BENCH_" + name_ + ".json";
+      if (std::FILE* f = std::fopen(path.c_str(), "w")) {
+        for (const auto& r : rows_) std::fprintf(f, "%s\n", r.c_str());
+        std::fclose(f);
+        std::printf("[bench] %zu result rows -> %s\n", rows_.size(),
+                    path.c_str());
+      } else {
+        std::fprintf(stderr, "[bench] cannot write %s\n", path.c_str());
+      }
+    }
+    if (!g_trace_out.empty()) {
+      Status st = obs::Tracer::Global().WriteFile(g_trace_out);
+      if (st.ok()) {
+        std::printf("[bench] trace (%zu spans) -> %s\n",
+                    obs::Tracer::Global().recorded_spans(),
+                    g_trace_out.c_str());
+      } else {
+        std::fprintf(stderr, "[bench] trace flush failed: %s\n",
+                     st.ToString().c_str());
+      }
+    }
+  }
+
+ private:
+  std::string name_;
+  std::vector<std::string> rows_;
+};
 
 }  // namespace ultraverse::bench
 

@@ -3,6 +3,9 @@
 #include <map>
 #include <string>
 
+#include "obs/metrics.h"
+#include "obs/trace.h"
+
 namespace ultraverse::core {
 
 namespace {
@@ -62,6 +65,11 @@ ReplayPlan ComputeReplayPlan(const std::vector<QueryRW>& analysis,
                              uint64_t target_index, const QueryRW& target_rw,
                              bool target_is_replayed,
                              const DependencyOptions& options) {
+  static obs::Histogram* const plan_us =
+      obs::Registry::Global().histogram("depgraph.plan_us");
+  obs::ScopedLatency latency(plan_us);
+  obs::TraceSpan span("depgraph.plan",
+                      {{"history", analysis.size()}, {"target", target_index}});
   ReplayPlan plan;
 
   std::set<uint64_t> members;
@@ -97,11 +105,15 @@ ReplayPlan ComputeReplayPlan(const std::vector<QueryRW>& analysis,
   classify(target_rw);
   for (uint64_t idx : plan.replay_indices) classify(analysis[idx - 1]);
   for (const auto& t : plan.mutated_tables) plan.consulted_tables.erase(t);
+  static obs::Counter* const plan_members =
+      obs::Registry::Global().counter("depgraph.plan.members");
+  plan_members->Add(plan.replay_indices.size());
   return plan;
 }
 
 std::vector<std::vector<uint32_t>> BuildConflictDag(
     const std::vector<const QueryRW*>& ordered) {
+  obs::TraceSpan span("depgraph.conflict_dag", {{"queries", ordered.size()}});
   // Per (table-column) cell tracking. Wildcard accesses touch every RI
   // value of the column; a wildcard write acts as a barrier.
   struct ColState {
@@ -202,6 +214,11 @@ std::vector<std::vector<uint32_t>> BuildConflictDag(
     }
     deps[i].assign(my_deps.begin(), my_deps.end());
   }
+  static obs::Counter* const conflict_edges =
+      obs::Registry::Global().counter("depgraph.conflict.edges");
+  size_t edges = 0;
+  for (const auto& d : deps) edges += d.size();
+  conflict_edges->Add(edges);
   return deps;
 }
 

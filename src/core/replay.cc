@@ -4,13 +4,17 @@
 #include <atomic>
 #include <map>
 #include <mutex>
+#include <optional>
 #include <set>
 
 #include "sqldb/parser.h"
 #include <thread>
 
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "util/backoff.h"
 #include "util/mpmc_queue.h"
+#include "util/stopwatch.h"
 #include "util/thread_pool.h"
 #include "util/virtual_clock.h"
 
@@ -137,6 +141,18 @@ Result<ReplayStats> RetroactiveEngine::Execute(
   stats.suffix_size = horizon >= op.index ? horizon - op.index + 1 : 0;
   stats.workers = options_.parallel ? options_.num_threads : 1;
   Stopwatch total_watch;
+  obs::TraceSpan op_span(
+      "replay.execute",
+      {{"op", op.kind == RetroOp::Kind::kAdd      ? "add"
+              : op.kind == RetroOp::Kind::kRemove ? "remove"
+                                                  : "change"},
+       {"index", op.index},
+       {"history", horizon}});
+  // One span per pipeline phase; emplace() closes the previous phase and
+  // opens the next, so the trace shows analysis → rollback → replay → adopt
+  // nested under replay.execute.
+  std::optional<obs::TraceSpan> phase_span;
+  phase_span.emplace("replay.analysis");
 
   // --- 1. Dependency analysis / replay plan ------------------------------
   Stopwatch analysis_watch;
@@ -182,8 +198,20 @@ Result<ReplayStats> RetroactiveEngine::Execute(
   stats.consulted_tables = plan.consulted_tables.size();
   stats.schema_rebuild = plan.needs_schema_rebuild;
   stats.analysis_seconds = analysis_watch.ElapsedSeconds();
+  {
+    static obs::Histogram* const h_analysis =
+        obs::Registry::Global().histogram("replay.phase.analysis_us");
+    static obs::Counter* const planned =
+        obs::Registry::Global().counter("replay.slots.planned");
+    static obs::Counter* const skipped =
+        obs::Registry::Global().counter("replay.slots.skipped");
+    h_analysis->Record(analysis_watch.ElapsedMicros());
+    planned->Add(stats.planned_replay);
+    skipped->Add(stats.skipped);
+  }
 
   // --- 2. Stage the temporary database ------------------------------------
+  phase_span.emplace("replay.rollback");
   Stopwatch rollback_watch;
   std::vector<std::string> affected(plan.mutated_tables.begin(),
                                     plan.mutated_tables.end());
@@ -268,6 +296,11 @@ Result<ReplayStats> RetroactiveEngine::Execute(
     temp_db_->RollbackCommitsInTables(undo_commits, rollback_tables);
   }
   stats.rollback_seconds = rollback_watch.ElapsedSeconds();
+  {
+    static obs::Histogram* const h_rollback =
+        obs::Registry::Global().histogram("replay.phase.rollback_us");
+    h_rollback->Record(rollback_watch.ElapsedMicros());
+  }
 
   // Hash-jumper baselines: the rolled-back state at τ-1 is the original
   // timeline's state for tables without later logged writes. The timeline
@@ -285,6 +318,7 @@ Result<ReplayStats> RetroactiveEngine::Execute(
   }
 
   // --- 3. Replay ----------------------------------------------------------
+  phase_span.emplace("replay.replay");
   Stopwatch replay_watch;
   std::vector<Slot> slots;
   if (replay_target) slots.push_back(Slot{true, op.index});
@@ -295,19 +329,31 @@ Result<ReplayStats> RetroactiveEngine::Execute(
   // Hash-hit test at original commit index `idx` (§4.5): every mutated
   // table's replayed hash equals its original-timeline hash.
   auto hashes_match_at = [&](uint64_t idx) {
-    for (const auto& t : plan.mutated_tables) {
-      const sql::Table* table = temp_db_->FindTable(t);
-      if (!table) return false;
-      const Digest256* original = timeline->HashAt(t, idx);
-      const Digest256& replayed = table->table_hash().value();
-      if (original) {
-        if (!(replayed == *original)) return false;
-      } else {
-        auto it = baseline.find(t);
-        if (it == baseline.end() || !(replayed == it->second)) return false;
+    static obs::Counter* const probes =
+        obs::Registry::Global().counter("hashjumper.probes");
+    static obs::Counter* const hits =
+        obs::Registry::Global().counter("hashjumper.hits");
+    static obs::Counter* const misses =
+        obs::Registry::Global().counter("hashjumper.misses");
+    probes->Inc();
+    obs::TraceSpan span("hashjumper.probe", {{"index", idx}});
+    bool match = [&] {
+      for (const auto& t : plan.mutated_tables) {
+        const sql::Table* table = temp_db_->FindTable(t);
+        if (!table) return false;
+        const Digest256* original = timeline->HashAt(t, idx);
+        const Digest256& replayed = table->table_hash().value();
+        if (original) {
+          if (!(replayed == *original)) return false;
+        } else {
+          auto it = baseline.find(t);
+          if (it == baseline.end() || !(replayed == it->second)) return false;
+        }
       }
-    }
-    return true;
+      return true;
+    }();
+    (match ? hits : misses)->Inc();
+    return match;
   };
 
   Status replay_status = Status::OK();
@@ -319,6 +365,10 @@ Result<ReplayStats> RetroactiveEngine::Execute(
   // §4.5 literal-comparison option: materialize the original timeline's
   // table at `idx` from a cloned journal and compare row multisets.
   auto literal_hit_check = [&](uint64_t idx) {
+    static obs::Counter* const verifies =
+        obs::Registry::Global().counter("hashjumper.literal_verifies");
+    verifies->Inc();
+    obs::TraceSpan span("hashjumper.literal_verify", {{"index", idx}});
     for (const auto& t : plan.mutated_tables) {
       const sql::Table* replayed = temp_db_->FindTable(t);
       const sql::Table* live = db_->FindTable(t);
@@ -350,7 +400,14 @@ Result<ReplayStats> RetroactiveEngine::Execute(
   if (!options_.parallel || slots.size() < 2) {
     uint64_t next_commit = log_->last_index() + 1;
     for (size_t i = 0; i < slots.size(); ++i) {
-      replay_status = ExecuteSlot(temp_db_.get(), slots[i], op, next_commit++);
+      {
+        obs::TraceSpan slot_span(
+            "replay.slot",
+            {{"log_index", slots[i].is_new ? op.index : slots[i].log_index},
+             {"new", slots[i].is_new ? 1 : 0}});
+        replay_status =
+            ExecuteSlot(temp_db_.get(), slots[i], op, next_commit++);
+      }
       executed_slots.fetch_add(1, std::memory_order_relaxed);
       if (!replay_status.ok()) break;
       if (options_.hash_jumper && !slots[i].is_new &&
@@ -394,6 +451,14 @@ Result<ReplayStats> RetroactiveEngine::Execute(
     }
 
     // Ready queue: lock-free MPMC ring dequeued by the worker pool.
+    static obs::Gauge* const queue_depth =
+        obs::Registry::Global().gauge("replay.ready_queue.depth");
+    static obs::Counter* const backoff_count =
+        obs::Registry::Global().counter("replay.worker.backoffs");
+    static obs::Histogram* const busy_us =
+        obs::Registry::Global().histogram("replay.worker.busy_us");
+    static obs::Histogram* const idle_hist_us =
+        obs::Registry::Global().histogram("replay.worker.idle_us");
     MpmcQueue<uint32_t> ready(slots.size() + 16);
     std::atomic<size_t> completed{0};
     std::atomic<bool> stop{false};
@@ -433,31 +498,56 @@ Result<ReplayStats> RetroactiveEngine::Execute(
     uint64_t base_commit = log_->last_index() + 1;
     for (size_t i = 0; i < slots.size(); ++i) {
       if (pending[i].load(std::memory_order_relaxed) == 0) {
-        ready.TryPush(uint32_t(i));
+        if (ready.TryPush(uint32_t(i))) queue_depth->Add(1);
       }
     }
 
     ThreadPool pool(size_t(options_.num_threads));
     std::atomic<size_t> active_workers{0};
     auto worker = [&]() {
+      obs::TraceSpan worker_span("replay.worker");
+      // Busy/idle accounting reads the clock twice per executed slot, so it
+      // rides the same gate as ScopedLatency; backoff counting is a relaxed
+      // add and stays always-on.
+      const bool timing = obs::TimingEnabled();
+      uint64_t idle_since = timing ? NowMicros() : 0;
       uint32_t pos;
       ExpBackoff backoff;
       while (!stop.load(std::memory_order_relaxed) &&
              completed.load(std::memory_order_relaxed) < slots.size()) {
         if (!ready.TryPop(&pos)) {
+          backoff_count->Inc();
           backoff.Pause();
           continue;
+        }
+        queue_depth->Add(-1);
+        uint64_t busy_start = 0;
+        if (timing) {
+          busy_start = NowMicros();
+          idle_hist_us->Record(busy_start - idle_since);
         }
         backoff.Reset();
         const Slot& slot = slots[pos];
 
         // Lock the tables this query touches (precomputed, name order).
-        const std::vector<std::mutex*>& held = slot_locks[pos];
-        for (std::mutex* mu : held) mu->lock();
-        Status st =
-            ExecuteSlot(temp_db_.get(), slot, op, base_commit + pos);
-        executed_slots.fetch_add(1, std::memory_order_relaxed);
-        for (auto it = held.rbegin(); it != held.rend(); ++it) (*it)->unlock();
+        Status st;
+        {
+          obs::TraceSpan slot_span(
+              "replay.slot",
+              {{"log_index", slot.is_new ? op.index : slot.log_index},
+               {"new", slot.is_new ? 1 : 0}});
+          const std::vector<std::mutex*>& held = slot_locks[pos];
+          for (std::mutex* mu : held) mu->lock();
+          st = ExecuteSlot(temp_db_.get(), slot, op, base_commit + pos);
+          executed_slots.fetch_add(1, std::memory_order_relaxed);
+          for (auto it = held.rbegin(); it != held.rend(); ++it) {
+            (*it)->unlock();
+          }
+        }
+        if (timing) {
+          idle_since = NowMicros();
+          busy_us->Record(idle_since - busy_start);
+        }
 
         if (!st.ok()) {
           std::lock_guard<std::mutex> g(status_mu);
@@ -511,14 +601,23 @@ Result<ReplayStats> RetroactiveEngine::Execute(
           if (pending[next].fetch_sub(1, std::memory_order_acq_rel) == 1) {
             ExpBackoff push_backoff;
             while (!ready.TryPush(next)) push_backoff.Pause();
+            queue_depth->Add(1);
           }
         }
       }
     };
     for (int i = 0; i < options_.num_threads; ++i) pool.Submit(worker);
     pool.WaitIdle();
+    // An early stop (error or hash-jump) leaves entries queued; the gauge
+    // reports live depth, so zero it rather than leak the residue.
+    queue_depth->Set(0);
   }
   stats.replay_seconds = replay_watch.ElapsedSeconds();
+  {
+    static obs::Histogram* const h_replay =
+        obs::Registry::Global().histogram("replay.phase.replay_us");
+    h_replay->Record(replay_watch.ElapsedMicros());
+  }
   UV_RETURN_NOT_OK(replay_status);
   // Charge round trips for what actually ran: the Hash-jumper cuts the
   // tail off (§4.5). In parallel mode only the conflict-DAG critical path
@@ -531,6 +630,14 @@ Result<ReplayStats> RetroactiveEngine::Execute(
                          : executed);
 
   stats.suppressed = suppressed_.load(std::memory_order_relaxed);
+  {
+    static obs::Counter* const c_executed =
+        obs::Registry::Global().counter("replay.slots.executed");
+    static obs::Counter* const c_suppressed =
+        obs::Registry::Global().counter("replay.suppressed");
+    c_executed->Add(executed);
+    c_suppressed->Add(stats.suppressed);
+  }
   stats.hash_jump = hash_jumped;
   stats.hash_jump_index = jump_index;
   stats.hash_hit_verified = hash_verified;
@@ -540,6 +647,7 @@ Result<ReplayStats> RetroactiveEngine::Execute(
   stats.temp_db_bytes = temp_db_->ApproxOwnedBytes();
 
   // --- 4. Database update --------------------------------------------------
+  phase_span.emplace("replay.adopt");
   if (!hash_jumped) {
     std::vector<std::string> mutated(plan.mutated_tables.begin(),
                                      plan.mutated_tables.end());
@@ -550,7 +658,14 @@ Result<ReplayStats> RetroactiveEngine::Execute(
       UV_RETURN_NOT_OK(db_->AdoptTables(*temp_db_, mutated));
     }
   }
+  phase_span.reset();
   stats.total_seconds = total_watch.ElapsedSeconds();
+  {
+    static obs::Histogram* const h_total =
+        obs::Registry::Global().histogram("replay.phase.total_us");
+    h_total->Record(total_watch.ElapsedMicros());
+  }
+  stats.obs = obs::Registry::Global().Collect();
   return stats;
 }
 

@@ -10,6 +10,7 @@
 
 #include "core/dep_graph.h"
 #include "core/rw_sets.h"
+#include "obs/metrics.h"
 #include "sqldb/database.h"
 #include "sqldb/query_log.h"
 #include "util/status.h"
@@ -71,6 +72,12 @@ struct ReplayStats {
   uint64_t virtual_rtt_micros = 0;  // simulated client<->server RTT charged
   size_t temp_db_bytes = 0;         // temporary database footprint
   int workers = 1;
+
+  /// Merged point-in-time view of every process metric, captured at the end
+  /// of Execute(). Includes the per-phase latency histograms
+  /// (replay.phase.*_us), staging/fault-in counters, worker busy/idle times
+  /// and Hash-jumper probe outcomes — see DESIGN.md "Observability".
+  obs::Snapshot obs;
 };
 
 /// Executes the rollback & replay protocol of §4.4 against a Database +

@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <optional>
 
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "util/string_util.h"
 
 namespace ultraverse::core {
@@ -1000,6 +1002,7 @@ void QueryAnalyzer::CanonicalizeRowSets(QueryRW* rw) {
 
 Result<std::vector<QueryRW>> QueryAnalyzer::AnalyzeLog(
     const sql::QueryLog& log) {
+  obs::TraceSpan span("analysis.log", {{"entries", log.size()}});
   std::vector<QueryRW> out;
   out.reserve(log.size());
   // Pass 1: extract sets in commit order, evolving the registry and
@@ -1015,6 +1018,12 @@ Result<std::vector<QueryRW>> QueryAnalyzer::AnalyzeLog(
 }
 
 Result<QueryRW> QueryAnalyzer::AnalyzeEntry(const sql::LogEntry& entry) {
+  static obs::Counter* const entries =
+      obs::Registry::Global().counter("analysis.entries");
+  static obs::Histogram* const latency =
+      obs::Registry::Global().histogram("analysis.entry_latency_us");
+  entries->Inc();
+  obs::ScopedLatency timer(latency);
   QueryRW rw;
   AnalyzerImpl impl(this, &entry.nondet, &entry.captured_vars);
   UV_RETURN_NOT_OK(impl.Analyze(*entry.stmt, &rw));

@@ -4,11 +4,15 @@
 #include <atomic>
 #include <map>
 #include <mutex>
+#include <optional>
 #include <thread>
 
 #include "core/dep_graph.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "util/backoff.h"
 #include "util/mpmc_queue.h"
+#include "util/stopwatch.h"
 #include "util/thread_pool.h"
 #include "util/virtual_clock.h"
 
@@ -18,10 +22,19 @@ Result<TxnScheduler::Stats> TxnScheduler::ExecuteBatch(
     const std::vector<sql::StatementPtr>& batch, uint64_t base_commit) {
   Stats stats;
   if (batch.empty()) return stats;
+  static obs::Counter* const batches =
+      obs::Registry::Global().counter("scheduler.batches");
+  static obs::Counter* const txns =
+      obs::Registry::Global().counter("scheduler.txns");
+  batches->Inc();
+  txns->Add(batch.size());
+  obs::TraceSpan batch_span("scheduler.batch", {{"txns", batch.size()}});
 
   // 1. Pre-execution R/W analysis — the "prior knowledge of transaction
   //    dependency" §6 proposes handing to Calvin/Bohm-style schedulers.
   Stopwatch analysis_watch;
+  std::optional<obs::TraceSpan> stage_span;
+  stage_span.emplace("scheduler.analysis");
   std::vector<QueryRW> rw(batch.size());
   for (size_t i = 0; i < batch.size(); ++i) {
     UV_ASSIGN_OR_RETURN(rw[i],
@@ -46,6 +59,7 @@ Result<TxnScheduler::Stats> TxnScheduler::ExecuteBatch(
 
   // 2. Parallel execution along the DAG (same machinery as the retroactive
   //    replay scheduler, §4.4).
+  stage_span.emplace("scheduler.execute");
   Stopwatch exec_watch;
   std::vector<std::vector<uint32_t>> succs(batch.size());
   std::vector<std::atomic<int>> pending(batch.size());
@@ -127,6 +141,14 @@ Result<TxnScheduler::Stats> TxnScheduler::ExecuteBatch(
 
   stats.executed = batch.size();
   stats.execute_seconds = exec_watch.ElapsedSeconds();
+  {
+    static obs::Histogram* const h_analysis =
+        obs::Registry::Global().histogram("scheduler.phase.analysis_us");
+    static obs::Histogram* const h_execute =
+        obs::Registry::Global().histogram("scheduler.phase.execute_us");
+    h_analysis->Record(analysis_watch.ElapsedMicros());
+    h_execute->Record(exec_watch.ElapsedMicros());
+  }
   return stats;
 }
 

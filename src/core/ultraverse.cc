@@ -4,8 +4,11 @@
 #include <atomic>
 
 #include "applang/app_parser.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "sqldb/parser.h"
 #include "util/sha256.h"
+#include "util/stopwatch.h"
 
 namespace ultraverse::core {
 
@@ -233,6 +236,10 @@ Status Ultraverse::LoadApplication(const std::string& source) {
 
 Status Ultraverse::LoadApplication(const std::string& source,
                                    sym::DseEngine::Options dse_options) {
+  obs::TraceSpan span("app.load");
+  static obs::Histogram* const load_us =
+      obs::Registry::Global().histogram("app.load_us");
+  obs::ScopedLatency latency(load_us);
   Stopwatch watch;
   UV_ASSIGN_OR_RETURN(app::AppProgram program, app::AppParser::Parse(source));
   // The instrumented application is executed by DSE function by function
@@ -502,8 +509,16 @@ Result<RetroOp> Ultraverse::MakeOp(RetroOp::Kind kind, uint64_t index,
 
 Result<ReplayStats> Ultraverse::WhatIf(const RetroOp& op, SystemMode mode,
                                        std::vector<ReplayRule> rules) {
+  static obs::Counter* const whatifs =
+      obs::Registry::Global().counter("whatif.ops");
+  whatifs->Inc();
+  obs::TraceSpan span("whatif", {{"index", op.index}});
   Stopwatch analysis_watch;
-  UV_ASSIGN_OR_RETURN(const std::vector<QueryRW>* analysis, EnsureAnalysis());
+  const std::vector<QueryRW>* analysis = nullptr;
+  {
+    obs::TraceSpan analysis_span("whatif.ensure_analysis");
+    UV_ASSIGN_OR_RETURN(analysis, EnsureAnalysis());
+  }
   double ensure_seconds = analysis_watch.ElapsedSeconds();
 
   RetroactiveEngine::Options eopts;

@@ -5,8 +5,10 @@
 #include <functional>
 #include <unordered_map>
 
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "sqldb/parser.h"
-#include "util/virtual_clock.h"
+#include "util/stopwatch.h"
 
 namespace ultraverse::mahif {
 
@@ -273,6 +275,10 @@ Result<MahifEngine::Stats> MahifEngine::Run(uint64_t tau,
     return Status::InvalidArgument("tau out of range");
   }
   Stats stats;
+  static obs::Histogram* const run_us =
+      obs::Registry::Global().histogram("mahif.run_us");
+  obs::ScopedLatency latency(run_us);
+  obs::TraceSpan span("mahif.run", {{"tau", tau}});
   Stopwatch watch;
 
   // Symbolically execute the entire modified history from the beginning:

@@ -1,0 +1,262 @@
+#include "obs/metrics.h"
+
+#include <sstream>
+
+namespace ultraverse::obs {
+
+namespace internal {
+
+unsigned ThisThreadShard() {
+  static std::atomic<unsigned> next{0};
+  thread_local const unsigned shard =
+      next.fetch_add(1, std::memory_order_relaxed) % kMetricShards;
+  return shard;
+}
+
+}  // namespace internal
+
+void SetTiming(bool enabled) {
+  internal::g_timing.store(enabled, std::memory_order_relaxed);
+}
+
+uint64_t Counter::Value() const {
+  uint64_t total = 0;
+  for (const auto& c : cells_) total += c.v.load(std::memory_order_relaxed);
+  return total;
+}
+
+void Counter::Reset() {
+  for (auto& c : cells_) c.v.store(0, std::memory_order_relaxed);
+}
+
+int64_t Gauge::Value() const {
+  int64_t total = 0;
+  for (const auto& c : cells_) total += c.v.load(std::memory_order_relaxed);
+  return total;
+}
+
+void Gauge::Set(int64_t value) {
+  for (auto& c : cells_) c.v.store(0, std::memory_order_relaxed);
+  cells_[0].v.store(value, std::memory_order_relaxed);
+}
+
+void Gauge::Reset() {
+  for (auto& c : cells_) c.v.store(0, std::memory_order_relaxed);
+}
+
+HistogramSnapshot Histogram::Snapshot(std::string name) const {
+  HistogramSnapshot snap;
+  snap.name = std::move(name);
+  for (const auto& s : shards_) {
+    snap.count += s.count.load(std::memory_order_relaxed);
+    snap.sum_us += s.sum.load(std::memory_order_relaxed);
+    for (unsigned b = 0; b < kHistogramBuckets; ++b) {
+      snap.buckets[b] += s.buckets[b].load(std::memory_order_relaxed);
+    }
+  }
+  return snap;
+}
+
+void Histogram::Reset() {
+  for (auto& s : shards_) {
+    s.count.store(0, std::memory_order_relaxed);
+    s.sum.store(0, std::memory_order_relaxed);
+    for (auto& b : s.buckets) b.store(0, std::memory_order_relaxed);
+  }
+}
+
+uint64_t HistogramSnapshot::QuantileUpperBoundUs(double q) const {
+  if (count == 0) return 0;
+  if (q < 0) q = 0;
+  if (q > 1) q = 1;
+  uint64_t rank = uint64_t(q * double(count));
+  if (rank >= count) rank = count - 1;
+  uint64_t seen = 0;
+  for (unsigned b = 0; b < kHistogramBuckets; ++b) {
+    seen += buckets[b];
+    if (seen > rank) return Histogram::BucketUpperBound(b);
+  }
+  return Histogram::BucketUpperBound(kHistogramBuckets - 1);
+}
+
+const CounterSnapshot* Snapshot::FindCounter(std::string_view name) const {
+  for (const auto& c : counters) {
+    if (c.name == name) return &c;
+  }
+  return nullptr;
+}
+
+const GaugeSnapshot* Snapshot::FindGauge(std::string_view name) const {
+  for (const auto& g : gauges) {
+    if (g.name == name) return &g;
+  }
+  return nullptr;
+}
+
+const HistogramSnapshot* Snapshot::FindHistogram(std::string_view name) const {
+  for (const auto& h : histograms) {
+    if (h.name == name) return &h;
+  }
+  return nullptr;
+}
+
+Registry& Registry::Global() {
+  // Deliberately leaked: instrumentation in static destructors and atexit
+  // trace flushes may still touch metrics after main() returns.
+  static Registry* const global = new Registry();
+  return *global;
+}
+
+Counter* Registry::counter(std::string_view name) {
+  std::lock_guard<std::mutex> g(mu_);
+  auto it = counters_.find(name);
+  if (it == counters_.end()) {
+    it = counters_.emplace(std::string(name), std::make_unique<Counter>())
+             .first;
+  }
+  return it->second.get();
+}
+
+Gauge* Registry::gauge(std::string_view name) {
+  std::lock_guard<std::mutex> g(mu_);
+  auto it = gauges_.find(name);
+  if (it == gauges_.end()) {
+    it = gauges_.emplace(std::string(name), std::make_unique<Gauge>()).first;
+  }
+  return it->second.get();
+}
+
+Histogram* Registry::histogram(std::string_view name) {
+  std::lock_guard<std::mutex> g(mu_);
+  auto it = histograms_.find(name);
+  if (it == histograms_.end()) {
+    it = histograms_.emplace(std::string(name), std::make_unique<Histogram>())
+             .first;
+  }
+  return it->second.get();
+}
+
+Snapshot Registry::Collect() const {
+  std::lock_guard<std::mutex> g(mu_);
+  Snapshot snap;
+  snap.counters.reserve(counters_.size());
+  for (const auto& [name, c] : counters_) {
+    snap.counters.push_back(CounterSnapshot{name, c->Value()});
+  }
+  snap.gauges.reserve(gauges_.size());
+  for (const auto& [name, gauge] : gauges_) {
+    snap.gauges.push_back(GaugeSnapshot{name, gauge->Value()});
+  }
+  snap.histograms.reserve(histograms_.size());
+  for (const auto& [name, h] : histograms_) {
+    snap.histograms.push_back(h->Snapshot(name));
+  }
+  return snap;
+}
+
+void Registry::ResetForTest() {
+  std::lock_guard<std::mutex> g(mu_);
+  for (auto& [name, c] : counters_) c->Reset();
+  for (auto& [name, gauge] : gauges_) gauge->Reset();
+  for (auto& [name, h] : histograms_) h->Reset();
+}
+
+namespace {
+
+std::string PrometheusName(const std::string& name) {
+  std::string out = name;
+  for (char& c : out) {
+    bool ok = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+              (c >= '0' && c <= '9') || c == '_';
+    if (!ok) c = '_';
+  }
+  return out;
+}
+
+void AppendJsonString(std::ostringstream* out, const std::string& s) {
+  *out << '"';
+  for (char c : s) {
+    switch (c) {
+      case '"': *out << "\\\""; break;
+      case '\\': *out << "\\\\"; break;
+      case '\n': *out << "\\n"; break;
+      case '\t': *out << "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          *out << buf;
+        } else {
+          *out << c;
+        }
+    }
+  }
+  *out << '"';
+}
+
+}  // namespace
+
+std::string Registry::ExportPrometheus() const {
+  Snapshot snap = Collect();
+  std::ostringstream out;
+  for (const auto& c : snap.counters) {
+    std::string n = PrometheusName(c.name);
+    out << "# TYPE " << n << " counter\n" << n << ' ' << c.value << '\n';
+  }
+  for (const auto& g : snap.gauges) {
+    std::string n = PrometheusName(g.name);
+    out << "# TYPE " << n << " gauge\n" << n << ' ' << g.value << '\n';
+  }
+  for (const auto& h : snap.histograms) {
+    std::string n = PrometheusName(h.name);
+    out << "# TYPE " << n << " histogram\n";
+    uint64_t cumulative = 0;
+    for (unsigned b = 0; b < kHistogramBuckets; ++b) {
+      cumulative += h.buckets[b];
+      // The last bucket is the catch-all: +Inf per Prometheus convention.
+      if (b + 1 == kHistogramBuckets) {
+        out << n << "_bucket{le=\"+Inf\"} " << cumulative << '\n';
+      } else {
+        out << n << "_bucket{le=\"" << Histogram::BucketUpperBound(b) << "\"} "
+            << cumulative << '\n';
+      }
+    }
+    out << n << "_sum " << h.sum_us << '\n';
+    out << n << "_count " << h.count << '\n';
+  }
+  return out.str();
+}
+
+std::string Registry::ExportJson() const {
+  Snapshot snap = Collect();
+  std::ostringstream out;
+  out << "{\"counters\":{";
+  for (size_t i = 0; i < snap.counters.size(); ++i) {
+    if (i) out << ',';
+    AppendJsonString(&out, snap.counters[i].name);
+    out << ':' << snap.counters[i].value;
+  }
+  out << "},\"gauges\":{";
+  for (size_t i = 0; i < snap.gauges.size(); ++i) {
+    if (i) out << ',';
+    AppendJsonString(&out, snap.gauges[i].name);
+    out << ':' << snap.gauges[i].value;
+  }
+  out << "},\"histograms\":{";
+  for (size_t i = 0; i < snap.histograms.size(); ++i) {
+    const HistogramSnapshot& h = snap.histograms[i];
+    if (i) out << ',';
+    AppendJsonString(&out, h.name);
+    out << ":{\"count\":" << h.count << ",\"sum_us\":" << h.sum_us
+        << ",\"buckets\":[";
+    for (unsigned b = 0; b < kHistogramBuckets; ++b) {
+      if (b) out << ',';
+      out << h.buckets[b];
+    }
+    out << "]}";
+  }
+  out << "}}";
+  return out.str();
+}
+
+}  // namespace ultraverse::obs

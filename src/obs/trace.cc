@@ -1,0 +1,282 @@
+#include "obs/trace.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+#include <string_view>
+
+#include "obs/metrics.h"
+
+namespace ultraverse::obs {
+
+namespace {
+
+void AppendEscaped(std::ostringstream* out, std::string_view s) {
+  for (char c : s) {
+    switch (c) {
+      case '"': *out << "\\\""; break;
+      case '\\': *out << "\\\\"; break;
+      case '\n': *out << "\\n"; break;
+      case '\t': *out << "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          *out << buf;
+        } else {
+          *out << c;
+        }
+    }
+  }
+}
+
+}  // namespace
+
+thread_local Tracer::ThreadLog* Tracer::t_log_ = nullptr;
+
+Tracer& Tracer::Global() {
+  // Deliberately leaked so the atexit flush (ULTRA_TRACE) and spans in
+  // static destructors stay valid after main() returns.
+  static Tracer* const global = new Tracer();
+  return *global;
+}
+
+Tracer::Tracer() = default;
+
+void Tracer::Enable() {
+  internal::g_tracing.store(true, std::memory_order_relaxed);
+}
+
+void Tracer::Disable() {
+  internal::g_tracing.store(false, std::memory_order_relaxed);
+}
+
+Tracer::ThreadLog* Tracer::ThisThreadLog() {
+  if (t_log_) return t_log_;
+  auto log = std::make_shared<ThreadLog>();
+  {
+    std::lock_guard<std::mutex> g(mu_);
+    log->tid = next_tid_++;
+    logs_.push_back(log);
+  }
+  // The registry's shared_ptr keeps the log alive after thread exit, so
+  // flushing never races a destroyed ring.
+  t_log_ = log.get();
+  return t_log_;
+}
+
+void Tracer::RecordSpan(const char* name, uint64_t start_us, uint64_t dur_us,
+                        std::string args_json) {
+  ThreadLog* log = ThisThreadLog();
+  std::lock_guard<std::mutex> g(log->mu);
+  SpanRecord rec{name, start_us, dur_us, log->written, std::move(args_json)};
+  if (log->ring.size() < kRingCapacity) {
+    log->ring.push_back(std::move(rec));
+  } else {
+    // Ring semantics: overwrite the oldest *completed* span. Long-lived
+    // parent spans complete (and are written) last, so dropping the oldest
+    // records sheds leaf spans first and keeps begin/end nesting valid.
+    log->ring[log->written % kRingCapacity] = std::move(rec);
+  }
+  ++log->written;
+}
+
+void Tracer::Clear() {
+  std::lock_guard<std::mutex> g(mu_);
+  for (auto& log : logs_) {
+    std::lock_guard<std::mutex> lg(log->mu);
+    log->ring.clear();
+    log->written = 0;
+  }
+}
+
+size_t Tracer::recorded_spans() const {
+  std::lock_guard<std::mutex> g(mu_);
+  size_t total = 0;
+  for (const auto& log : logs_) {
+    std::lock_guard<std::mutex> lg(log->mu);
+    total += log->ring.size();
+  }
+  return total;
+}
+
+size_t Tracer::dropped_spans() const {
+  std::lock_guard<std::mutex> g(mu_);
+  size_t total = 0;
+  for (const auto& log : logs_) {
+    std::lock_guard<std::mutex> lg(log->mu);
+    total += log->written - log->ring.size();
+  }
+  return total;
+}
+
+void Tracer::SetFlushPath(std::string path) {
+  std::lock_guard<std::mutex> g(mu_);
+  flush_path_ = std::move(path);
+}
+
+std::string Tracer::flush_path() const {
+  std::lock_guard<std::mutex> g(mu_);
+  return flush_path_;
+}
+
+std::string Tracer::DumpJson() const {
+  // Snapshot every thread's ring under its lock, then serialize lock-free.
+  struct TidSpans {
+    int tid;
+    std::vector<SpanRecord> spans;
+  };
+  std::vector<TidSpans> threads;
+  {
+    std::lock_guard<std::mutex> g(mu_);
+    threads.reserve(logs_.size());
+    for (const auto& log : logs_) {
+      std::lock_guard<std::mutex> lg(log->mu);
+      threads.push_back(TidSpans{log->tid, log->ring});
+    }
+  }
+
+  uint64_t min_ts = UINT64_MAX;
+  for (const auto& t : threads) {
+    for (const auto& s : t.spans) min_ts = std::min(min_ts, s.start_us);
+  }
+  if (min_ts == UINT64_MAX) min_ts = 0;
+
+  std::ostringstream out;
+  out << "{\"traceEvents\":[";
+  bool first = true;
+  auto emit = [&](char phase, const char* name, uint64_t ts, int tid,
+                  const std::string& args_json) {
+    if (!first) out << ',';
+    first = false;
+    out << "{\"name\":\"";
+    AppendEscaped(&out, name);
+    out << "\",\"cat\":\"uv\",\"ph\":\"" << phase << "\",\"ts\":" << ts
+        << ",\"pid\":1,\"tid\":" << tid;
+    if (phase == 'B' && !args_json.empty()) {
+      out << ",\"args\":" << args_json;
+    }
+    out << '}';
+  };
+
+  for (auto& t : threads) {
+    // RAII spans of one thread are strictly nested; records land in the
+    // ring in completion order. Re-sort to start order (ties: enclosing
+    // span first = longer duration first, then completion order reversed —
+    // a parent always completes after its children) and emit B/E events
+    // with an explicit stack so output order is properly nested even when
+    // timestamps collide.
+    std::sort(t.spans.begin(), t.spans.end(),
+              [](const SpanRecord& a, const SpanRecord& b) {
+                if (a.start_us != b.start_us) return a.start_us < b.start_us;
+                uint64_t a_end = a.start_us + a.dur_us;
+                uint64_t b_end = b.start_us + b.dur_us;
+                if (a_end != b_end) return a_end > b_end;
+                return a.seq > b.seq;
+              });
+    std::vector<const SpanRecord*> stack;
+    for (const auto& span : t.spans) {
+      while (!stack.empty() &&
+             stack.back()->start_us + stack.back()->dur_us <= span.start_us &&
+             !(stack.back()->start_us == span.start_us)) {
+        const SpanRecord* done = stack.back();
+        stack.pop_back();
+        emit('E', done->name, done->start_us + done->dur_us - min_ts, t.tid,
+             done->args_json);
+      }
+      emit('B', span.name, span.start_us - min_ts, t.tid, span.args_json);
+      stack.push_back(&span);
+    }
+    while (!stack.empty()) {
+      const SpanRecord* done = stack.back();
+      stack.pop_back();
+      emit('E', done->name, done->start_us + done->dur_us - min_ts, t.tid,
+           done->args_json);
+    }
+  }
+  out << "],\"displayTimeUnit\":\"ms\"}";
+  return out.str();
+}
+
+Status Tracer::WriteFile(const std::string& path) const {
+  std::ofstream file(path, std::ios::out | std::ios::trunc);
+  if (!file) return Status::Internal("cannot open trace file " + path);
+  file << DumpJson();
+  file.close();
+  if (!file) return Status::Internal("failed writing trace file " + path);
+  return Status::OK();
+}
+
+TraceSpan::TraceSpan(const char* name, std::initializer_list<TraceArg> args) {
+  if (!TracingEnabled()) return;
+  name_ = name;
+  if (args.size() > 0) {
+    std::ostringstream json;
+    json << '{';
+    bool first = true;
+    for (const TraceArg& a : args) {
+      if (!first) json << ',';
+      first = false;
+      json << '"';
+      AppendEscaped(&json, a.key);
+      json << "\":";
+      switch (a.kind) {
+        case TraceArg::Kind::kInt: json << a.i; break;
+        case TraceArg::Kind::kDouble: json << a.d; break;
+        case TraceArg::Kind::kStr:
+          json << '"';
+          AppendEscaped(&json, a.s ? a.s : "");
+          json << '"';
+          break;
+      }
+    }
+    json << '}';
+    args_json_ = json.str();
+  }
+  start_us_ = NowMicros();
+}
+
+TraceSpan::~TraceSpan() {
+  if (!name_) return;
+  uint64_t end_us = NowMicros();
+  Tracer::Global().RecordSpan(name_, start_us_,
+                              end_us > start_us_ ? end_us - start_us_ : 0,
+                              std::move(args_json_));
+}
+
+namespace {
+
+/// ULTRA_TRACE=1 (or a path) enables tracing + timing at process start and
+/// flushes the trace at exit — to the given path, or ultraverse_trace.json.
+struct UltraTraceEnvInit {
+  UltraTraceEnvInit() {
+    const char* env = std::getenv("ULTRA_TRACE");
+    if (!env || !*env || std::string_view(env) == "0") return;
+    Tracer& tracer = Tracer::Global();
+    tracer.Enable();
+    SetTiming(true);
+    std::string_view v(env);
+    tracer.SetFlushPath(v == "1" || v == "true" ? "ultraverse_trace.json"
+                                                : std::string(env));
+    std::atexit(+[] {
+      Tracer& t = Tracer::Global();
+      std::string path = t.flush_path();
+      if (path.empty()) return;
+      Status st = t.WriteFile(path);
+      if (st.ok()) {
+        std::fprintf(stderr, "[obs] trace written to %s (%zu spans)\n",
+                     path.c_str(), t.recorded_spans());
+      } else {
+        std::fprintf(stderr, "[obs] trace flush failed: %s\n",
+                     st.ToString().c_str());
+      }
+    });
+  }
+};
+UltraTraceEnvInit g_ultra_trace_env_init;
+
+}  // namespace
+
+}  // namespace ultraverse::obs

@@ -1,7 +1,10 @@
 #include "sqldb/database.h"
 
 #include <algorithm>
+#include <array>
 
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "sqldb/evaluator.h"
 #include "sqldb/parser.h"
 #include "util/string_util.h"
@@ -10,6 +13,69 @@ namespace ultraverse::sql {
 
 namespace {
 constexpr int kMaxTriggerDepth = 8;
+
+/// Statement kinds bucketed for execution metrics: per-kind call counts are
+/// always live; per-kind latency histograms record only while obs timing is
+/// enabled (ScopedLatency's disabled path reads no clock).
+enum ExecKindLabel {
+  kExecSelect = 0,
+  kExecInsert,
+  kExecUpdate,
+  kExecDelete,
+  kExecCall,
+  kExecTransaction,
+  kExecDdl,
+  kExecOther,
+  kExecLabelCount,
+};
+
+ExecKindLabel ExecLabelFor(StatementKind kind) {
+  switch (kind) {
+    case StatementKind::kSelect: return kExecSelect;
+    case StatementKind::kInsert: return kExecInsert;
+    case StatementKind::kUpdate: return kExecUpdate;
+    case StatementKind::kDelete: return kExecDelete;
+    case StatementKind::kCall: return kExecCall;
+    case StatementKind::kTransaction: return kExecTransaction;
+    case StatementKind::kCreateTable:
+    case StatementKind::kAlterTable:
+    case StatementKind::kDropTable:
+    case StatementKind::kTruncateTable:
+    case StatementKind::kCreateView:
+    case StatementKind::kDropView:
+    case StatementKind::kCreateIndex:
+    case StatementKind::kCreateProcedure:
+    case StatementKind::kDropProcedure:
+    case StatementKind::kCreateTrigger:
+    case StatementKind::kDropTrigger:
+      return kExecDdl;
+    default:
+      return kExecOther;
+  }
+}
+
+struct ExecMetrics {
+  obs::Counter* count;
+  obs::Histogram* latency;
+};
+
+const ExecMetrics& ExecMetricsFor(StatementKind kind) {
+  static const std::array<ExecMetrics, kExecLabelCount> metrics = [] {
+    const char* labels[kExecLabelCount] = {
+        "select", "insert", "update", "delete",
+        "call",   "txn",    "ddl",    "other"};
+    std::array<ExecMetrics, kExecLabelCount> m{};
+    obs::Registry& reg = obs::Registry::Global();
+    for (int i = 0; i < kExecLabelCount; ++i) {
+      m[i].count =
+          reg.counter(std::string("sqldb.exec.count.") + labels[i]);
+      m[i].latency =
+          reg.histogram(std::string("sqldb.exec.latency_us.") + labels[i]);
+    }
+    return m;
+  }();
+  return metrics[ExecLabelFor(kind)];
+}
 
 std::vector<std::string> SchemaColumnNames(const TableSchema& schema) {
   std::vector<std::string> names;
@@ -57,7 +123,15 @@ Table* Database::FindTable(const std::string& name) {
   std::unique_lock<std::shared_mutex> wl(catalog_mu_);
   auto it = tables_.find(name);
   if (it != tables_.end()) return it->second.get();
-  if (dropped_.count(name)) return nullptr;
+  if (dropped_.count(name)) {
+    // A retroactive DROP tombstone keeps the fallback from resurrecting
+    // the table (§4.4); count the block so staging behaviour is visible.
+    static obs::Counter* const tombstones =
+        obs::Registry::Global().counter("staging.tombstone_block");
+    tombstones->Inc();
+    return nullptr;
+  }
+  obs::TraceSpan span("staging.fault_in", {{"table", name.c_str()}});
   std::unique_ptr<Table> staged;
   {
     // Hold the live database's mutex during the clone so a concurrent
@@ -70,6 +144,11 @@ Table* Database::FindTable(const std::string& name) {
     if (!src) return nullptr;
     staged = src->Clone();
   }
+  // Lazy CoW fault-in (§4.4): a replayed query strayed outside the staged
+  // table set and pulled the table in from the live database.
+  static obs::Counter* const fault_ins =
+      obs::Registry::Global().counter("staging.fault_in");
+  fault_ins->Inc();
   Table* result = staged.get();
   tables_[name] = std::move(staged);
   return result;
@@ -137,6 +216,9 @@ Result<ExecResult> Database::ExecuteSql(const std::string& sql,
 
 Result<ExecResult> Database::Execute(const Statement& stmt,
                                      uint64_t commit_index, ExecContext* ctx) {
+  const ExecMetrics& em = ExecMetricsFor(stmt.kind);
+  em.count->Add();
+  obs::ScopedLatency latency(em.latency);
   switch (stmt.kind) {
     case StatementKind::kCreateTable:
       return ExecCreateTable(stmt.create_table);
@@ -625,6 +707,11 @@ void Database::RollbackTablesToIndex(const std::vector<std::string>& tables,
 
 void Database::RollbackCommitsInTables(const std::set<uint64_t>& commits,
                                        const std::vector<std::string>& tables) {
+  static obs::Counter* const undone =
+      obs::Registry::Global().counter("staging.rollback.commits");
+  undone->Add(commits.size());
+  obs::TraceSpan span("staging.rollback",
+                      {{"commits", commits.size()}, {"tables", tables.size()}});
   for (const auto& name : tables) {
     Table* t = FindTable(name);
     if (t) t->RollbackCommits(commits);
@@ -653,6 +740,10 @@ std::unique_ptr<Database> Database::Clone() const {
 
 std::unique_ptr<Database> Database::CloneTables(
     const std::vector<std::string>& names) const {
+  static obs::Counter* const staged =
+      obs::Registry::Global().counter("staging.tables_staged");
+  staged->Add(names.size());
+  obs::TraceSpan span("staging.clone_tables", {{"tables", names.size()}});
   auto copy = std::make_unique<Database>();
   for (const auto& name : names) {
     if (copy->tables_.count(name)) continue;

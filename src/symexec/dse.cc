@@ -3,7 +3,9 @@
 #include <deque>
 
 #include "applang/interpreter.h"
-#include "util/virtual_clock.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
+#include "util/stopwatch.h"
 
 namespace ultraverse::sym {
 
@@ -239,6 +241,11 @@ Result<DseResult> DseEngine::Explore(const std::string& function) {
   }
   const app::AppFunction& fn = fn_it->second;
 
+  static obs::Histogram* const explore_us =
+      obs::Registry::Global().histogram("dse.explore_us");
+  obs::ScopedLatency latency(explore_us);
+  obs::TraceSpan span("dse.explore", {{"function", function.c_str()}});
+
   DseResult result;
   result.function = function;
   result.params = fn.params;
@@ -333,6 +340,12 @@ Result<DseResult> DseEngine::Explore(const std::string& function) {
 
     result.paths.push_back(std::move(path));
   }
+  static obs::Counter* const paths =
+      obs::Registry::Global().counter("dse.paths");
+  static obs::Counter* const executions =
+      obs::Registry::Global().counter("dse.executions");
+  paths->Add(result.paths.size());
+  executions->Add(result.executions);
   return result;
 }
 

@@ -4,6 +4,8 @@
 #include <map>
 #include <set>
 
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "sqldb/parser.h"
 #include "util/string_util.h"
 
@@ -463,6 +465,15 @@ class TranspileBuilder {
 
 Result<TranspiledTransaction> Transpiler::Transpile(
     const sym::DseResult& dse) {
+  static obs::Counter* const transpiled =
+      obs::Registry::Global().counter("transpiler.functions");
+  static obs::Histogram* const transpile_us =
+      obs::Registry::Global().histogram("transpiler.transpile_us");
+  transpiled->Inc();
+  obs::ScopedLatency latency(transpile_us);
+  obs::TraceSpan span("transpiler.transpile",
+                      {{"function", dse.function.c_str()},
+                       {"paths", dse.paths.size()}});
   TranspileBuilder builder(dse);
   return builder.Build();
 }

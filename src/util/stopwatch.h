@@ -1,0 +1,38 @@
+#ifndef ULTRAVERSE_UTIL_STOPWATCH_H_
+#define ULTRAVERSE_UTIL_STOPWATCH_H_
+
+#include <chrono>
+#include <cstdint>
+
+namespace ultraverse {
+
+/// Monotonic-clock microsecond timestamp. The single time source for every
+/// phase timing, metric latency, and trace-span timestamp in the system, so
+/// numbers from different layers are directly comparable.
+inline uint64_t NowMicros() {
+  return uint64_t(std::chrono::duration_cast<std::chrono::microseconds>(
+                      std::chrono::steady_clock::now().time_since_epoch())
+                      .count());
+}
+
+/// Wall-clock stopwatch over the monotonic clock.
+class Stopwatch {
+ public:
+  Stopwatch() : start_(std::chrono::steady_clock::now()) {}
+  void Restart() { start_ = std::chrono::steady_clock::now(); }
+  double ElapsedSeconds() const {
+    return std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                         start_)
+        .count();
+  }
+  uint64_t ElapsedMicros() const {
+    return uint64_t(ElapsedSeconds() * 1e6);
+  }
+
+ private:
+  std::chrono::steady_clock::time_point start_;
+};
+
+}  // namespace ultraverse
+
+#endif  // ULTRAVERSE_UTIL_STOPWATCH_H_

@@ -2,8 +2,9 @@
 #define ULTRAVERSE_UTIL_VIRTUAL_CLOCK_H_
 
 #include <atomic>
-#include <chrono>
 #include <cstdint>
+
+#include "util/stopwatch.h"
 
 namespace ultraverse {
 
@@ -30,24 +31,6 @@ class VirtualClock {
  private:
   const uint64_t rtt_micros_;
   std::atomic<uint64_t> virtual_micros_{0};
-};
-
-/// Wall-clock stopwatch for benchmark harnesses.
-class Stopwatch {
- public:
-  Stopwatch() : start_(std::chrono::steady_clock::now()) {}
-  void Restart() { start_ = std::chrono::steady_clock::now(); }
-  double ElapsedSeconds() const {
-    return std::chrono::duration<double>(std::chrono::steady_clock::now() -
-                                         start_)
-        .count();
-  }
-  uint64_t ElapsedMicros() const {
-    return uint64_t(ElapsedSeconds() * 1e6);
-  }
-
- private:
-  std::chrono::steady_clock::time_point start_;
 };
 
 }  // namespace ultraverse
