@@ -1,0 +1,76 @@
+// Oracle throughput: what the differential harness costs per case, and the
+// selective-vs-naive replay gap it measures for free along the way. Run:
+//   build/bench/bench_oracle [cases]
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+
+#include "oracle/fuzzer.h"
+#include "oracle/oracle.h"
+
+int main(int argc, char** argv) {
+  using namespace ultraverse;
+  size_t cases = argc > 1 ? std::strtoull(argv[1], nullptr, 10) : 50;
+
+  auto now = [] { return std::chrono::steady_clock::now(); };
+  auto secs = [](auto a, auto b) {
+    return std::chrono::duration<double>(b - a).count();
+  };
+
+  // Per-phase accounting over `cases` generated cases in the default
+  // deps+serial configuration.
+  double gen_s = 0, check_s = 0;
+  size_t stmts = 0, checks = 0;
+  oracle::ModeConfig config;
+  config.name = "deps";
+  for (uint64_t n = 0; n < cases; ++n) {
+    auto t0 = now();
+    oracle::WhatIfCase c = oracle::GenerateCase(0xBE7C, n);
+    auto t1 = now();
+    gen_s += secs(t0, t1);
+    stmts += c.history.size();
+
+    oracle::OracleResult r = oracle::CheckCase(c, config);
+    auto t2 = now();
+    check_s += secs(t1, t2);
+    ++checks;
+    if (!r.ok && r.error.empty()) {
+      std::printf("DIVERGENCE at case %llu:\n%s", (unsigned long long)n,
+                  r.diff.ToString().c_str());
+      return 1;
+    }
+  }
+
+  // Selective vs naive replay cost on one fixed case: the gap the oracle
+  // pays for ground truth (naive replays the whole history).
+  oracle::WhatIfCase big = oracle::GenerateCase(0xBE7C, 1);
+  auto sel_univ = oracle::Universe::Build(big.history);
+  auto nai_univ = oracle::Universe::Build(big.history);
+  double sel = 0, nai = 0;
+  if (sel_univ.ok() && nai_univ.ok()) {
+    core::RetroOp op;
+    op.kind = core::RetroOp::Kind::kRemove;
+    op.index = big.kind == core::RetroOp::Kind::kAdd
+                   ? std::min<uint64_t>(big.index, big.history.size())
+                   : big.index;
+    core::ReplayStats s1, s2;
+    auto t0 = now();
+    (void)(*sel_univ)->RunSelective(op, config, &s1);
+    auto t1 = now();
+    (void)(*nai_univ)->RunFullNaive(op, &s2);
+    auto t2 = now();
+    sel = secs(t0, t1);
+    nai = secs(t1, t2);
+  }
+
+  std::printf("oracle bench: %zu cases, %zu history statements total\n",
+              cases, stmts);
+  std::printf("  generate:        %8.1f us/case\n", 1e6 * gen_s / cases);
+  std::printf("  full check:      %8.1f us/case  (build x2 + replay x2 + "
+              "diff)\n",
+              1e6 * check_s / checks);
+  std::printf("  selective replay:%8.1f us   naive replay:%8.1f us  "
+              "(single case)\n",
+              1e6 * sel, 1e6 * nai);
+  return 0;
+}

@@ -18,22 +18,53 @@ namespace {
 template <typename Sets>
 std::set<uint64_t> ClosureOneGranularity(
     const std::vector<QueryRW>& analysis, uint64_t target_index,
-    const QueryRW& target_rw, bool target_is_replayed, Sets sets) {
+    const QueryRW& target_rw, bool target_occupies_slot, Sets sets) {
   auto acc_w = sets.Writes(target_rw);  // by value: accumulators
   auto acc_r = sets.Reads(target_rw);
-  (void)target_is_replayed;
+  // Overwriting-write accumulator: the subset of acc_w written by queries
+  // that can clobber *pre-existing* cells (UPDATE/DELETE/DDL — see
+  // QueryRW::overwrites). Used by the write-write rule below.
+  std::decay_t<decltype(sets.Writes(target_rw))> acc_ow;
+  if (target_rw.overwrites) acc_ow = sets.Writes(target_rw);
 
   std::set<uint64_t> members;
   for (uint64_t idx = target_index; idx <= analysis.size(); ++idx) {
-    if (idx == target_index) continue;  // the target itself is seeded above
+    // For remove/change the target *is* log[target_index]; it is seeded
+    // into the accumulators above and must not re-join as a member. For
+    // add, the new query slots in *before* log[target_index]: that commit
+    // is an ordinary suffix statement and must be dependency-checked like
+    // any other. (An earlier revision skipped it unconditionally, so a
+    // retroactively added statement never saw the original commit at its
+    // own insertion index replay — the differential oracle caught the
+    // resulting divergences; see DESIGN.md §9.)
+    if (target_occupies_slot && idx == target_index) continue;
     const QueryRW& rw = analysis[idx - 1];
     if (sets.WriteEmpty(rw)) continue;  // read-only queries never replay
     bool rule1 = sets.Intersect(sets.Reads(rw), acc_w);
     bool read_then_write = sets.Intersect(sets.Writes(rw), acc_r);
-    if (rule1 || read_then_write) {
+    // Write-write: values must land in rewritten-history order, exactly as
+    // the conflict DAG orders WW edges. Two directions (both
+    // differential-oracle finds, DESIGN.md §9):
+    //  - An *overwriting* writer (UPDATE/DELETE/DDL, directly or through a
+    //    trigger/procedure body) whose writes touch anything the
+    //    target/members wrote must replay, or a retroactively added
+    //    INSERT keeps its values on cells the later blind overwrite
+    //    should clobber.
+    //  - A pure row-creating writer (INSERT) must replay only when its
+    //    cells intersect the accumulated *overwriting* writes: its staged
+    //    rows do not exist yet at the point the earlier overwrite replays,
+    //    so leaving it in place lets that overwrite corrupt them.
+    // INSERT-vs-INSERT intersections are exempt: fresh rows cannot clobber
+    // each other, and joining them would drag unrelated row-creating
+    // history into every replay of a table without an RI column (where
+    // all row info is wildcard).
+    bool write_write =
+        sets.Intersect(sets.Writes(rw), rw.overwrites ? acc_w : acc_ow);
+    if (rule1 || read_then_write || write_write) {
       members.insert(idx);
       sets.MergeInto(&acc_w, sets.Writes(rw));
       sets.MergeInto(&acc_r, sets.Reads(rw));
+      if (rw.overwrites) sets.MergeInto(&acc_ow, sets.Writes(rw));
     }
   }
   return members;
@@ -63,7 +94,7 @@ struct RowGranularity {
 
 ReplayPlan ComputeReplayPlan(const std::vector<QueryRW>& analysis,
                              uint64_t target_index, const QueryRW& target_rw,
-                             bool target_is_replayed,
+                             bool target_occupies_slot,
                              const DependencyOptions& options) {
   static obs::Histogram* const plan_us =
       obs::Registry::Global().histogram("depgraph.plan_us");
@@ -76,21 +107,24 @@ ReplayPlan ComputeReplayPlan(const std::vector<QueryRW>& analysis,
   if (options.column_wise && options.row_wise) {
     // Theorem 20: 𝕀 = 𝕀_c ∩ 𝕀_r.
     std::set<uint64_t> col = ClosureOneGranularity(
-        analysis, target_index, target_rw, target_is_replayed,
+        analysis, target_index, target_rw, target_occupies_slot,
         ColumnGranularity{});
     std::set<uint64_t> row = ClosureOneGranularity(
-        analysis, target_index, target_rw, target_is_replayed,
+        analysis, target_index, target_rw, target_occupies_slot,
         RowGranularity{});
     for (uint64_t idx : col) {
       if (row.count(idx)) members.insert(idx);
     }
   } else if (options.column_wise) {
     members = ClosureOneGranularity(analysis, target_index, target_rw,
-                                    target_is_replayed, ColumnGranularity{});
+                                    target_occupies_slot, ColumnGranularity{});
   } else {
     // No dependency analysis: replay the whole suffix (baseline behaviour).
+    // Same slot-occupancy rule as above: for add, log[target_index] is part
+    // of the suffix and replays after the inserted query.
     for (uint64_t idx = target_index; idx <= analysis.size(); ++idx) {
-      if (idx != target_index) members.insert(idx);
+      if (target_occupies_slot && idx == target_index) continue;
+      members.insert(idx);
     }
   }
 

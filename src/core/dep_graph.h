@@ -38,15 +38,24 @@ struct ReplayPlan {
 /// (write-sets non-empty) that depend on the target or on another member
 /// (Prop. 7, transitive via ascending order), plus every later writer to a
 /// cell read by a member (Props. 9/10, which keep consulted tables
-/// replayable). Column-wise and row-wise sets are computed independently
-/// and intersected (Theorem 20).
+/// replayable), plus every later writer to a cell the target or a member
+/// wrote (write-write: its value must land after the replayed writes, the
+/// same ordering the conflict DAG enforces between scheduled slots).
+/// Column-wise and row-wise sets are computed independently and
+/// intersected (Theorem 20).
 ///
 /// `analysis[i]` corresponds to log index i+1. `target_rw` is the R/W set
 /// of the retroactive target: for remove it is the old query's sets; for
 /// add it is the new query's; for change the union of both.
+///
+/// `target_occupies_slot` is true when the target *is* log[target_index]
+/// (remove/change — that commit is excluded from the suffix scan, its sets
+/// being seeded into the accumulators instead) and false for add, where the
+/// new query is inserted *before* log[target_index] and that commit remains
+/// an ordinary suffix candidate.
 ReplayPlan ComputeReplayPlan(const std::vector<QueryRW>& analysis,
                              uint64_t target_index, const QueryRW& target_rw,
-                             bool target_is_replayed,
+                             bool target_occupies_slot,
                              const DependencyOptions& options);
 
 /// Conflict edges for parallel replay scheduling (§4.4): a replay arrow

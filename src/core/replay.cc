@@ -76,9 +76,9 @@ RetroactiveEngine::RetroactiveEngine(sql::Database* db,
 
 Status RetroactiveEngine::ExecuteSlot(sql::Database* db, const Slot& slot,
                                       const RetroOp& op,
-                                      uint64_t commit_index) {
+                                      uint64_t commit_index, bool apply_rules) {
   Status st;
-  if (!slot.is_new && !parsed_rules_.empty()) {
+  if (apply_rules && !slot.is_new && !parsed_rules_.empty()) {
     const sql::LogEntry& entry = log_->at(slot.log_index);
     if (!entry.app_txn.empty()) {
       for (const auto& [fn, cond] : parsed_rules_) {
@@ -112,6 +112,80 @@ Status RetroactiveEngine::ExecuteSlot(sql::Database* db, const Slot& slot,
   return st;
 }
 
+Result<ReplayStats> RetroactiveEngine::ExecuteFullNaive(const RetroOp& op,
+                                                        uint64_t horizon) {
+  ReplayStats stats;
+  stats.history_size = horizon;
+  stats.suffix_size = horizon >= op.index ? horizon - op.index + 1 : 0;
+  stats.workers = 1;
+  stats.schema_rebuild = true;  // the whole universe is rebuilt from the log
+  Stopwatch total_watch;
+  obs::TraceSpan op_span("replay.full_naive",
+                         {{"index", op.index}, {"history", horizon}});
+
+  temp_db_ = std::make_unique<sql::Database>();
+  size_t executed = 0;
+
+  // Settled prefix: recorded nondeterminism, no §6 rules.
+  Stopwatch rollback_watch;
+  for (uint64_t idx = 1; idx < op.index; ++idx) {
+    UV_RETURN_NOT_OK(ExecuteSlot(temp_db_.get(), Slot{false, idx}, op, idx,
+                                 /*apply_rules=*/false));
+  }
+  stats.rollback_seconds = rollback_watch.ElapsedSeconds();
+
+  // High-watermark AUTO_INCREMENT policy + logical-clock alignment: the
+  // selective path stages a CoW clone of the *live* database, so its
+  // counters and clock sit at the end of the original history. Seed the
+  // rebuilt universe identically, so a retroactively added INSERT draws
+  // the same fresh ids and NOW() values in every replay mode (DESIGN.md §9).
+  temp_db_->SeedAutoIncrementFloor(db_->auto_increment_state());
+  temp_db_->SetLogicalTime(db_->logical_time());
+
+  // Rewritten suffix: the retroactive op slots in at τ, the removed/changed
+  // original drops out, everything else replays in order.
+  Stopwatch replay_watch;
+  const bool replay_target = op.kind != RetroOp::Kind::kRemove;
+  uint64_t commit = op.index;
+  if (replay_target) {
+    UV_RETURN_NOT_OK(
+        ExecuteSlot(temp_db_.get(), Slot{true, op.index}, op, commit++));
+    ++executed;
+  }
+  for (uint64_t idx = op.index; idx <= horizon; ++idx) {
+    if (idx == op.index && op.kind != RetroOp::Kind::kAdd) continue;
+    UV_RETURN_NOT_OK(
+        ExecuteSlot(temp_db_.get(), Slot{false, idx}, op, commit++));
+    ++executed;
+  }
+  stats.replay_seconds = replay_watch.ElapsedSeconds();
+  stats.replayed = executed;
+  stats.planned_replay = executed;
+  stats.suppressed = suppressed_.load(std::memory_order_relaxed);
+  stats.virtual_rtt_micros = options_.rtt_micros_per_query * executed;
+  stats.temp_db_bytes = temp_db_->ApproxOwnedBytes();
+
+  // Adopt everything: tables present on either side (a table the rewritten
+  // history never creates must disappear from the live database) plus the
+  // object catalog.
+  std::set<std::string> names;
+  for (auto& n : db_->TableNames()) names.insert(n);
+  for (auto& n : temp_db_->TableNames()) names.insert(n);
+  std::vector<std::string> all(names.begin(), names.end());
+  stats.mutated_tables = all.size();
+  if (options_.db_mutex) {
+    std::lock_guard<std::mutex> g(*options_.db_mutex);
+    UV_RETURN_NOT_OK(db_->AdoptTables(*temp_db_, all));
+    db_->AdoptCatalog(*temp_db_);
+  } else {
+    UV_RETURN_NOT_OK(db_->AdoptTables(*temp_db_, all));
+    db_->AdoptCatalog(*temp_db_);
+  }
+  stats.total_seconds = total_watch.ElapsedSeconds();
+  stats.obs = obs::Registry::Global().Collect();
+  return stats;
+}
+
 Result<ReplayStats> RetroactiveEngine::Execute(
     const RetroOp& op, const std::vector<QueryRW>& analysis,
     QueryAnalyzer* analyzer) {
@@ -134,6 +208,12 @@ Result<ReplayStats> RetroactiveEngine::Execute(
     UV_ASSIGN_OR_RETURN(sql::StatementPtr cond,
                         sql::Parser::ParseStatement(rule.when_sql));
     parsed_rules_.emplace_back(rule.function, std::move(cond));
+  }
+
+  if (options_.mode == ReplayMode::kFullNaive) {
+    // Ground-truth reference path: no dependency analysis, no staging
+    // tricks, no Hash-jumper — just the rewritten history, start to end.
+    return ExecuteFullNaive(op, horizon);
   }
 
   ReplayStats stats;
@@ -175,10 +255,12 @@ Result<ReplayStats> RetroactiveEngine::Execute(
       target_rw.write_tables.insert(old_rw.write_tables.begin(),
                                     old_rw.write_tables.end());
       target_rw.is_ddl = target_rw.is_ddl || old_rw.is_ddl;
+      target_rw.overwrites = target_rw.overwrites || old_rw.overwrites;
     }
   }
-  ReplayPlan plan = ComputeReplayPlan(analysis, op.index, target_rw,
-                                      replay_target, options_.deps);
+  ReplayPlan plan = ComputeReplayPlan(
+      analysis, op.index, target_rw,
+      /*target_occupies_slot=*/op.kind != RetroOp::Kind::kAdd, options_.deps);
   // kChange replaces the old query: it must not replay verbatim.
   if (op.kind == RetroOp::Kind::kChange || op.kind == RetroOp::Kind::kRemove) {
     plan.replay_indices.erase(std::remove(plan.replay_indices.begin(),
@@ -198,6 +280,16 @@ Result<ReplayStats> RetroactiveEngine::Execute(
   stats.consulted_tables = plan.consulted_tables.size();
   stats.schema_rebuild = plan.needs_schema_rebuild;
   stats.analysis_seconds = analysis_watch.ElapsedSeconds();
+  // Catalog mutations in the plan (a DDL target or member) are invisible
+  // to per-table row digests: removing a CREATE INDEX leaves every row
+  // multiset identical, so the first probe "hits" and adoption — which is
+  // what would drop the index from the live catalog — gets skipped. A
+  // hash hit proves row convergence only; disable jumping whenever the
+  // replay changes catalog state. (Differential-oracle find, DESIGN.md
+  // §9.) Checked before force_rebuild / journal-horizon widening below,
+  // which set needs_schema_rebuild without any catalog change.
+  const bool hash_jumper_on =
+      options_.hash_jumper && !plan.needs_schema_rebuild;
   {
     static obs::Histogram* const h_analysis =
         obs::Registry::Global().histogram("replay.phase.analysis_us");
@@ -217,6 +309,10 @@ Result<ReplayStats> RetroactiveEngine::Execute(
                                     plan.mutated_tables.end());
   affected.insert(affected.end(), plan.consulted_tables.begin(),
                   plan.consulted_tables.end());
+  if (options_.force_rebuild && !plan.needs_schema_rebuild) {
+    plan.needs_schema_rebuild = true;
+    stats.schema_rebuild = true;
+  }
   // Journal horizon: if a checkpoint trimmed the undo entries of a commit
   // we must roll back (§5 rollback option (iii)), the journal cannot stage
   // the rollback; rebuild from the log instead.
@@ -262,8 +358,15 @@ Result<ReplayStats> RetroactiveEngine::Execute(
     temp_db_ = std::make_unique<sql::Database>();
     for (uint64_t idx = 1; idx < op.index; ++idx) {
       Slot slot{false, idx};
-      UV_RETURN_NOT_OK(ExecuteSlot(temp_db_.get(), slot, op, idx));
+      UV_RETURN_NOT_OK(ExecuteSlot(temp_db_.get(), slot, op, idx,
+                                   /*apply_rules=*/false));
     }
+    // Match the CoW staging path, whose clone carries the live database's
+    // end-of-history AUTO_INCREMENT watermarks and logical clock: fresh ids
+    // for retroactively added statements allocate above everything the
+    // original history handed out, in every replay mode (DESIGN.md §9).
+    temp_db_->SeedAutoIncrementFloor(db_->auto_increment_state());
+    temp_db_->SetLogicalTime(db_->logical_time());
   } else {
     // Selective CoW staging (§4.4): stage only the tables the replay will
     // write or consult (plus tables the human-decision rules read), as
@@ -302,20 +405,10 @@ Result<ReplayStats> RetroactiveEngine::Execute(
     h_rollback->Record(rollback_watch.ElapsedMicros());
   }
 
-  // Hash-jumper baselines: the rolled-back state at τ-1 is the original
-  // timeline's state for tables without later logged writes. The timeline
-  // is only consulted (and only built) when the Hash-jumper is on; it is
-  // cached across Execute() calls keyed by the log size.
+  // Hash-jumper timeline: only consulted (and only built) when the
+  // Hash-jumper is on; cached across Execute() calls keyed by the log size.
   const HashTimeline* timeline =
-      options_.hash_jumper ? EnsureTimeline() : nullptr;
-  std::map<std::string, Digest256> baseline;
-  if (options_.hash_jumper) {
-    for (const auto& t : plan.mutated_tables) {
-      if (const sql::Table* table = temp_db_->FindTable(t)) {
-        baseline[t] = table->table_hash().value();
-      }
-    }
-  }
+      hash_jumper_on ? EnsureTimeline() : nullptr;
 
   // --- 3. Replay ----------------------------------------------------------
   phase_span.emplace("replay.replay");
@@ -342,13 +435,17 @@ Result<ReplayStats> RetroactiveEngine::Execute(
         const sql::Table* table = temp_db_->FindTable(t);
         if (!table) return false;
         const Digest256* original = timeline->HashAt(t, idx);
+        // No logged digest for this table at-or-before idx means the
+        // original timeline's state here is simply unknown — force a miss.
+        // (An earlier revision fell back to comparing against the staged,
+        // selectively rolled-back τ-1 state; that state already excludes
+        // the retroactive target's writes, so the fallback could declare
+        // convergence the original timeline never reached — a false hit
+        // that silently skipped adoption. The differential oracle caught
+        // it; see DESIGN.md §9.)
+        if (!original) return false;
         const Digest256& replayed = table->table_hash().value();
-        if (original) {
-          if (!(replayed == *original)) return false;
-        } else {
-          auto it = baseline.find(t);
-          if (it == baseline.end() || !(replayed == it->second)) return false;
-        }
+        if (!(replayed == *original)) return false;
       }
       return true;
     }();
@@ -410,7 +507,7 @@ Result<ReplayStats> RetroactiveEngine::Execute(
       }
       executed_slots.fetch_add(1, std::memory_order_relaxed);
       if (!replay_status.ok()) break;
-      if (options_.hash_jumper && !slots[i].is_new &&
+      if (hash_jumper_on && !slots[i].is_new &&
           hashes_match_at(slots[i].log_index)) {
         if (options_.verify_hash_hits) {
           if (!literal_hit_check(slots[i].log_index)) continue;
@@ -559,7 +656,7 @@ Result<ReplayStats> RetroactiveEngine::Execute(
 
         // Advance the completed-prefix watermark and run the Hash-jumper
         // check at each newly completed prefix position.
-        if (options_.hash_jumper) {
+        if (hash_jumper_on) {
           size_t w = watermark.load(std::memory_order_acquire);
           while (w < slots.size() &&
                  done_flags[w].load(std::memory_order_acquire)) {
@@ -648,14 +745,33 @@ Result<ReplayStats> RetroactiveEngine::Execute(
 
   // --- 4. Database update --------------------------------------------------
   phase_span.emplace("replay.adopt");
+  if (hash_jumped) {
+    // A hash-hit proves the *rows* reconverged with the original timeline;
+    // the AUTO_INCREMENT counters are not part of the table hash. Ids the
+    // alternate universe allocated and then freed (insert later deleted)
+    // still advanced its counter, so raise the live watermarks to the
+    // temporary database's — max() is exact: from the jump point on, both
+    // universes replay identical recorded ids. (Found by the differential
+    // oracle; see DESIGN.md §9.)
+    if (options_.db_mutex) {
+      std::lock_guard<std::mutex> g(*options_.db_mutex);
+      db_->SeedAutoIncrementFloor(temp_db_->auto_increment_state());
+    } else {
+      db_->SeedAutoIncrementFloor(temp_db_->auto_increment_state());
+    }
+  }
   if (!hash_jumped) {
     std::vector<std::string> mutated(plan.mutated_tables.begin(),
                                      plan.mutated_tables.end());
     if (options_.db_mutex) {
       std::lock_guard<std::mutex> g(*options_.db_mutex);
       UV_RETURN_NOT_OK(db_->AdoptTables(*temp_db_, mutated));
+      db_->AdoptCatalog(*temp_db_);
     } else {
       UV_RETURN_NOT_OK(db_->AdoptTables(*temp_db_, mutated));
+      // Retroactive DDL (dropped CREATE VIEW/TRIGGER, say) replays into
+      // the temporary catalog; AdoptTables moves row data only.
+      db_->AdoptCatalog(*temp_db_);
     }
   }
   phase_span.reset();

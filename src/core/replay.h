@@ -29,6 +29,18 @@ struct RetroOp {
   std::string new_sql;           // textual form of new_stmt (logging)
 };
 
+/// How the retroactive engine reconstructs the alternate universe.
+enum class ReplayMode {
+  /// The paper's protocol (§4.4): roll back only mutated/consulted tables
+  /// and replay only dependent queries, with optional Hash-jumper cutoff.
+  kSelective,
+  /// Ground-truth reference for the differential oracle (DESIGN.md §9):
+  /// rebuild a fresh database by naively re-executing the entire rewritten
+  /// history — no pruning, no Hash-jumper, no CoW staging. Slow but
+  /// trivially correct; selective replay must match it bit-for-bit.
+  kFullNaive,
+};
+
 /// A configurable human-decision rule (§6 "Replaying Interactive Human
 /// Decisions"): during what-if replay, an application transaction is
 /// suppressed when the rule's condition holds in the evolving alternate
@@ -94,6 +106,10 @@ class RetroactiveEngine {
  public:
   struct Options {
     DependencyOptions deps;      // which pruning granularities are on
+    ReplayMode mode = ReplayMode::kSelective;
+    /// Forces the rebuild-from-log staging path even when journal rollback
+    /// could stage the replay (oracle mode pairs exercise both paths).
+    bool force_rebuild = false;
     bool parallel = true;
     int num_threads = 8;
     bool hash_jumper = false;
@@ -143,8 +159,15 @@ class RetroactiveEngine {
     uint64_t log_index = 0;  // original entry (when !is_new)
   };
 
+  /// `apply_rules` is false while reconstructing the known prefix (rebuild
+  /// and full-naive paths): §6 human-decision rules act on the what-if
+  /// suffix only — the prefix is settled history, not an alternate universe.
   Status ExecuteSlot(sql::Database* db, const Slot& slot, const RetroOp& op,
-                     uint64_t commit_index);
+                     uint64_t commit_index, bool apply_rules = true);
+
+  /// ReplayMode::kFullNaive: re-execute the whole rewritten history on a
+  /// fresh database and adopt everything back.
+  Result<ReplayStats> ExecuteFullNaive(const RetroOp& op, uint64_t horizon);
 
   /// Hash-jumper timeline over the query log, rebuilt only when the log
   /// has grown since the last Execute() (cached keyed by log size).

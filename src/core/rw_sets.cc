@@ -171,6 +171,12 @@ std::vector<const sql::CreateTriggerStatement*> SchemaRegistry::TriggersOn(
   return out;
 }
 
+const sql::CreateTriggerStatement* SchemaRegistry::FindTrigger(
+    const std::string& name) const {
+  auto it = triggers_.find(name);
+  return it == triggers_.end() ? nullptr : &it->second;
+}
+
 std::vector<std::string> SchemaRegistry::TablesReferencing(
     const std::string& table) const {
   std::vector<std::string> out;
@@ -255,6 +261,7 @@ class AnalyzerImpl {
       case StatementKind::kCreateTrigger:
       case StatementKind::kDropTrigger:
         out->is_ddl = true;
+        out->overwrites = true;  // catalog state is replaced, not created
         break;
       default:
         break;
@@ -657,9 +664,19 @@ class AnalyzerImpl {
       }
       case StatementKind::kDropView:
       case StatementKind::kDropProcedure:
+        ReadSchema(stmt.drop_name);
+        WriteSchema(stmt.drop_name);
+        reg_->ApplyDdl(stmt);
+        return Status::OK();
       case StatementKind::kDropTrigger:
         ReadSchema(stmt.drop_name);
         WriteSchema(stmt.drop_name);
+        // Dropping a trigger changes how later DML on its base table
+        // behaves — write the table's schema cell so that DML orders
+        // after the drop (mirror of the kCreateTrigger case below).
+        if (const auto* trg = reg_->FindTrigger(stmt.drop_name)) {
+          WriteSchema(trg->table);
+        }
         reg_->ApplyDdl(stmt);
         return Status::OK();
       case StatementKind::kCreateIndex:
@@ -674,7 +691,14 @@ class AnalyzerImpl {
       case StatementKind::kCreateTrigger:
         ReadSchema(stmt.create_trigger.name);
         WriteSchema(stmt.create_trigger.name);
-        ReadSchema(stmt.create_trigger.table);
+        // WRITE — not just read — the base table's schema cell: every DML
+        // on the table fires (or no longer fires) this trigger, so later
+        // DML must depend on the CREATE TRIGGER. A read here let the
+        // planner prune the trigger when only its base table's DML was
+        // dependent, and retroactively removing the CREATE TRIGGER left
+        // the trigger's side effects in place (oracle divergence;
+        // DESIGN.md §9).
+        WriteSchema(stmt.create_trigger.table);
         reg_->ApplyDdl(stmt);
         return Status::OK();
 
@@ -777,6 +801,7 @@ class AnalyzerImpl {
         std::string table = ResolveWriteTarget(stmt.update.table);
         const auto* info = reg_->FindTable(table);
         ReadSchema(table);
+        out_->overwrites = true;  // mutates pre-existing rows
         std::vector<std::pair<std::string, std::string>> sources = {
             {table, table}};
         for (const auto& [col, e] : stmt.update.assignments) {
@@ -835,6 +860,7 @@ class AnalyzerImpl {
         std::string table = ResolveWriteTarget(stmt.del.table);
         const auto* info = reg_->FindTable(table);
         ReadSchema(table);
+        out_->overwrites = true;  // destroys pre-existing rows
         if (info) {
           for (const auto& c : info->columns) {
             out_->wc.Add(table + "." + c.name);

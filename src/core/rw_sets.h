@@ -62,6 +62,15 @@ struct QueryRW {
   /// requires rebuilding the temporary database from a checkpoint.
   bool is_ddl = false;
 
+  /// True when the query can modify or destroy *pre-existing* rows or
+  /// catalog state (UPDATE, DELETE, DDL — directly or via a trigger /
+  /// procedure body). Pure INSERTs only create rows, so their writes can
+  /// never clobber a cell an earlier replayed write produced; the
+  /// write-write closure rule in ComputeReplayPlan joins a non-overwriting
+  /// query only when an accumulated *overwriting* write could touch its
+  /// staged rows.
+  bool overwrites = false;
+
   /// Serialized size of Ultraverse's per-query dependency log record.
   size_t ApproxLogBytes() const;
 };
@@ -90,6 +99,8 @@ class SchemaRegistry {
   /// Triggers firing on (table, event).
   std::vector<const sql::CreateTriggerStatement*> TriggersOn(
       const std::string& table, sql::TriggerEvent event) const;
+  const sql::CreateTriggerStatement* FindTrigger(
+      const std::string& name) const;
   /// Tables whose foreign keys reference `table`.
   std::vector<std::string> TablesReferencing(const std::string& table) const;
 

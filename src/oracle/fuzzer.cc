@@ -1,0 +1,398 @@
+#include "oracle/fuzzer.h"
+
+#include <chrono>
+#include <random>
+#include <sstream>
+
+#include "sqldb/parser.h"
+
+namespace ultraverse::oracle {
+namespace {
+
+using Rand = std::mt19937_64;
+
+size_t Pick(Rand& rng, size_t n) { return size_t(rng() % n); }
+bool Chance(Rand& rng, double p) {
+  return std::uniform_real_distribution<double>(0, 1)(rng) < p;
+}
+
+// --- schema model ----------------------------------------------------------
+
+struct ColModel {
+  std::string name;
+  sql::DataType type;
+  bool not_null = false;
+};
+
+struct TableModel {
+  std::string name;
+  bool auto_inc_pk = false;   // leading `id INT PRIMARY KEY AUTO_INCREMENT`
+  std::vector<ColModel> cols; // value columns (excluding the pk)
+};
+
+const char* TypeSql(sql::DataType t) {
+  switch (t) {
+    case sql::DataType::kInt: return "INT";
+    case sql::DataType::kDouble: return "DOUBLE";
+    case sql::DataType::kString: return "VARCHAR";
+    case sql::DataType::kBool: return "BOOL";
+    default: return "INT";
+  }
+}
+
+/// Random literal of `type`. Integers deliberately include the 2^53
+/// neighborhood where doubles go sparse — the precision regime the
+/// Value::Compare / EncodeTo wide-integer fixes cover.
+std::string Literal(Rand& rng, sql::DataType type, bool allow_null) {
+  if (allow_null && Chance(rng, 0.08)) return "NULL";
+  switch (type) {
+    case sql::DataType::kInt: {
+      if (Chance(rng, 0.15)) {
+        const int64_t base = int64_t(1) << 53;
+        int64_t v = base + int64_t(Pick(rng, 5)) - 2;
+        if (Chance(rng, 0.5)) v = -v;
+        return std::to_string(v);
+      }
+      return std::to_string(int64_t(Pick(rng, 200)) - 100);
+    }
+    case sql::DataType::kDouble: {
+      double v = (int64_t(Pick(rng, 400)) - 200) / 4.0;
+      std::ostringstream os;
+      os << v;
+      if (os.str().find('.') == std::string::npos) return os.str() + ".0";
+      return os.str();
+    }
+    case sql::DataType::kString:
+      return "'s" + std::to_string(Pick(rng, 40)) + "'";
+    case sql::DataType::kBool:
+      return Chance(rng, 0.5) ? "TRUE" : "FALSE";
+    default:
+      return "NULL";
+  }
+}
+
+std::string Comparison(Rand& rng, const TableModel& t) {
+  const ColModel& c = t.cols[Pick(rng, t.cols.size())];
+  static const char* ops[] = {"=", "<", ">", "<=", ">=", "<>"};
+  const char* op = (c.type == sql::DataType::kString ||
+                    c.type == sql::DataType::kBool)
+                       ? "="
+                       : ops[Pick(rng, 6)];
+  return c.name + " " + op + " " + Literal(rng, c.type, false);
+}
+
+/// Right-hand side of SET col = ...: literal, another column, or col+lit.
+std::string SetExpr(Rand& rng, const TableModel& t, const ColModel& target) {
+  if (target.type == sql::DataType::kInt ||
+      target.type == sql::DataType::kDouble) {
+    double roll = std::uniform_real_distribution<double>(0, 1)(rng);
+    if (roll < 0.4) return Literal(rng, target.type, !target.not_null);
+    if (roll < 0.7) return target.name + " + " + Literal(rng, target.type, false);
+    // Another numeric column, when one exists.
+    for (const auto& c : t.cols) {
+      if (&c != &target && c.type == target.type) return c.name;
+    }
+    return Literal(rng, target.type, !target.not_null);
+  }
+  return Literal(rng, target.type, !target.not_null);
+}
+
+// --- statement generators --------------------------------------------------
+
+std::string GenCreateTable(Rand& rng, TableModel* out, int table_number) {
+  out->name = "t" + std::to_string(table_number);
+  out->auto_inc_pk = Chance(rng, 0.7);
+  size_t ncols = 2 + Pick(rng, 3);
+  static const sql::DataType kTypes[] = {
+      sql::DataType::kInt, sql::DataType::kInt, sql::DataType::kDouble,
+      sql::DataType::kString, sql::DataType::kBool};
+  std::ostringstream os;
+  os << "CREATE TABLE " << out->name << " (";
+  bool first = true;
+  if (out->auto_inc_pk) {
+    os << "id INT PRIMARY KEY AUTO_INCREMENT";
+    first = false;
+  }
+  for (size_t i = 0; i < ncols; ++i) {
+    ColModel c;
+    c.name = "c" + std::to_string(i);
+    c.type = kTypes[Pick(rng, 5)];
+    c.not_null = Chance(rng, 0.2);
+    if (!first) os << ", ";
+    first = false;
+    os << c.name << " " << TypeSql(c.type);
+    if (c.not_null) os << " NOT NULL";
+    out->cols.push_back(std::move(c));
+  }
+  os << ")";
+  return os.str();
+}
+
+std::string GenInsert(Rand& rng, const TableModel& t) {
+  std::ostringstream os;
+  os << "INSERT INTO " << t.name << " (";
+  for (size_t i = 0; i < t.cols.size(); ++i) {
+    if (i) os << ", ";
+    os << t.cols[i].name;
+  }
+  os << ") VALUES ";
+  size_t nrows = 1 + (Chance(rng, 0.3) ? Pick(rng, 3) : 0);
+  for (size_t r = 0; r < nrows; ++r) {
+    if (r) os << ", ";
+    os << "(";
+    for (size_t i = 0; i < t.cols.size(); ++i) {
+      if (i) os << ", ";
+      os << Literal(rng, t.cols[i].type, !t.cols[i].not_null);
+    }
+    os << ")";
+  }
+  return os.str();
+}
+
+std::string GenUpdate(Rand& rng, const TableModel& t) {
+  const ColModel& target = t.cols[Pick(rng, t.cols.size())];
+  std::ostringstream os;
+  os << "UPDATE " << t.name << " SET " << target.name << " = "
+     << SetExpr(rng, t, target);
+  if (Chance(rng, 0.85)) os << " WHERE " << Comparison(rng, t);
+  return os.str();
+}
+
+std::string GenDelete(Rand& rng, const TableModel& t) {
+  std::ostringstream os;
+  os << "DELETE FROM " << t.name;
+  if (Chance(rng, 0.9)) os << " WHERE " << Comparison(rng, t);
+  return os.str();
+}
+
+/// INSERT .. SELECT between same-typed single columns (a read feeding a
+/// later write: the dependency shape row-wise pruning must respect).
+std::string GenInsertSelect(Rand& rng, const TableModel& dst,
+                            const TableModel& src) {
+  // An AUTO_INCREMENT destination makes the statement order-sensitive: the
+  // unordered SELECT's scan order decides which fresh id each inserted row
+  // receives, and selective staging (new rows appended, original rowids
+  // preserved) legitimately scans in a different physical order than a
+  // naive from-scratch rebuild. That is nondeterminism in the *query*, not
+  // a replay bug — generate only order-insensitive destinations, the same
+  // way the generator already avoids unrecorded NOW()/RAND() (DESIGN.md
+  // §9).
+  if (dst.auto_inc_pk) return "";
+  for (const auto& dc : dst.cols) {
+    if (dc.not_null) continue;  // other dst columns become NULL
+    for (const auto& sc : src.cols) {
+      if (sc.type != dc.type) continue;
+      bool dst_ok = true;
+      for (const auto& other : dst.cols) {
+        if (other.not_null) dst_ok = false;
+      }
+      if (!dst_ok) break;
+      std::ostringstream os;
+      os << "INSERT INTO " << dst.name << " (" << dc.name << ") SELECT "
+         << sc.name << " FROM " << src.name << " WHERE "
+         << Comparison(rng, src);
+      return os.str();
+    }
+  }
+  return "";
+}
+
+std::string GenCreateIndex(Rand& rng, const TableModel& t, int n) {
+  const ColModel& c = t.cols[Pick(rng, t.cols.size())];
+  return "CREATE INDEX idx" + std::to_string(n) + " ON " + t.name + " (" +
+         c.name + ")";
+}
+
+/// AFTER-DML trigger whose body writes a *different* table (self-targeting
+/// triggers would recurse). Body stays NEW/OLD-free: the divergence surface
+/// under test is replay scheduling, not trigger row binding.
+std::string GenCreateTrigger(Rand& rng, const TableModel& on,
+                             const TableModel& body_target, int n) {
+  static const char* events[] = {"INSERT", "UPDATE", "DELETE"};
+  const char* event = events[Pick(rng, 3)];
+  for (const auto& c : body_target.cols) {
+    if (c.type == sql::DataType::kInt || c.type == sql::DataType::kDouble) {
+      return std::string("CREATE TRIGGER trg") + std::to_string(n) +
+             " AFTER " + event + " ON " + on.name + " FOR EACH ROW UPDATE " +
+             body_target.name + " SET " + c.name + " = " + c.name + " + 1";
+    }
+  }
+  return "";
+}
+
+// --- case generator --------------------------------------------------------
+
+/// Executes `sql` against the shadow database; true when it parses and
+/// executes cleanly (the generated history must be a *valid* history — the
+/// engine tolerates alternate-universe failures, but the original timeline
+/// committed every statement).
+bool ShadowOk(sql::Database* shadow, const std::string& sql,
+              uint64_t commit_index) {
+  if (sql.empty()) return false;
+  return shadow->ExecuteSql(sql, commit_index).ok();
+}
+
+}  // namespace
+
+WhatIfCase GenerateCase(uint64_t seed, uint64_t case_number) {
+  // splitmix-style mix so (seed, case#) streams are independent.
+  uint64_t mixed = seed + case_number * 0x9E3779B97F4A7C15ull;
+  mixed ^= mixed >> 30;
+  mixed *= 0xBF58476D1CE4E5B9ull;
+  mixed ^= mixed >> 27;
+  Rand rng(mixed);
+
+  WhatIfCase c;
+  sql::Database shadow;
+  uint64_t commit = 0;
+  std::vector<TableModel> tables;
+  std::vector<uint64_t> dml_indices;  // 1-based history positions of DML
+  int index_count = 0, trigger_count = 0;
+
+  auto commit_stmt = [&](const std::string& sql) {
+    if (!ShadowOk(&shadow, sql, ++commit)) {
+      --commit;
+      return false;
+    }
+    c.history.push_back(sql);
+    return true;
+  };
+
+  size_t ntables = 1 + Pick(rng, 3);
+  for (size_t i = 0; i < ntables; ++i) {
+    TableModel t;
+    std::string sql = GenCreateTable(rng, &t, int(i));
+    if (commit_stmt(sql)) tables.push_back(std::move(t));
+  }
+  // Seed rows so early UPDATE/DELETE statements have something to chew on.
+  for (const auto& t : tables) {
+    if (commit_stmt(GenInsert(rng, t))) {
+      dml_indices.push_back(c.history.size());
+    }
+  }
+  if (Chance(rng, 0.3) && !tables.empty()) {
+    commit_stmt(GenCreateIndex(rng, tables[Pick(rng, tables.size())],
+                               index_count++));
+  }
+  if (Chance(rng, 0.25) && tables.size() >= 2) {
+    size_t on = Pick(rng, tables.size());
+    size_t tgt = (on + 1 + Pick(rng, tables.size() - 1)) % tables.size();
+    commit_stmt(GenCreateTrigger(rng, tables[on], tables[tgt],
+                                 trigger_count++));
+  }
+
+  size_t body = c.history.size() + 4 + Pick(rng, 17);
+  size_t attempts = 0;
+  while (c.history.size() < body && attempts++ < body * 8) {
+    const TableModel& t = tables[Pick(rng, tables.size())];
+    double roll = std::uniform_real_distribution<double>(0, 1)(rng);
+    std::string sql;
+    if (roll < 0.40) {
+      sql = GenInsert(rng, t);
+    } else if (roll < 0.72) {
+      sql = GenUpdate(rng, t);
+    } else if (roll < 0.84) {
+      sql = GenDelete(rng, t);
+    } else if (roll < 0.94 && tables.size() >= 2) {
+      const TableModel& src =
+          tables[(Pick(rng, tables.size() - 1) + 1) % tables.size()];
+      sql = GenInsertSelect(rng, t, src);
+      if (sql.empty()) sql = GenUpdate(rng, t);
+    } else if (tables.size() >= 2) {
+      size_t on = Pick(rng, tables.size());
+      size_t tgt = (on + 1 + Pick(rng, tables.size() - 1)) % tables.size();
+      sql = GenCreateTrigger(rng, tables[on], tables[tgt], trigger_count++);
+      if (sql.empty()) sql = GenInsert(rng, t);
+    } else {
+      sql = GenInsert(rng, t);
+    }
+    if (commit_stmt(sql)) dml_indices.push_back(c.history.size());
+  }
+
+  // --- retroactive op ------------------------------------------------------
+  double roll = std::uniform_real_distribution<double>(0, 1)(rng);
+  if (roll < 0.45 || dml_indices.empty()) {
+    c.kind = core::RetroOp::Kind::kRemove;
+    // Mostly remove DML; occasionally a DDL statement (index/trigger
+    // removal exercises catalog adoption + the schema-rebuild path).
+    if (!dml_indices.empty() && !Chance(rng, 0.15)) {
+      c.index = dml_indices[Pick(rng, dml_indices.size())];
+    } else {
+      c.index = 1 + Pick(rng, c.history.size());
+    }
+  } else if (roll < 0.80 || dml_indices.empty()) {
+    c.kind = core::RetroOp::Kind::kAdd;
+    c.index = 1 + Pick(rng, c.history.size() + 1);
+    const TableModel& t = tables[Pick(rng, tables.size())];
+    c.new_sql = Chance(rng, 0.6) ? GenInsert(rng, t) : GenUpdate(rng, t);
+  } else {
+    c.kind = core::RetroOp::Kind::kChange;
+    c.index = dml_indices[Pick(rng, dml_indices.size())];
+    const TableModel& t = tables[Pick(rng, tables.size())];
+    double r2 = std::uniform_real_distribution<double>(0, 1)(rng);
+    c.new_sql = r2 < 0.4   ? GenInsert(rng, t)
+                : r2 < 0.8 ? GenUpdate(rng, t)
+                           : GenDelete(rng, t);
+  }
+  return c;
+}
+
+FuzzReport Fuzz(const FuzzOptions& options) {
+  FuzzReport report;
+  auto start = std::chrono::steady_clock::now();
+  auto elapsed = [&] {
+    return std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                         start)
+        .count();
+  };
+  auto say = [&](const std::string& msg) {
+    if (options.progress) options.progress(msg);
+  };
+
+  for (uint64_t n = 0;; ++n) {
+    if (options.histories && report.cases_run >= options.histories) break;
+    if (options.seconds > 0 && elapsed() >= options.seconds) break;
+    if (!options.histories && options.seconds <= 0) break;  // nothing to do
+
+    WhatIfCase c = GenerateCase(options.seed, n);
+    ++report.cases_run;
+    for (const auto& mode : options.modes) {
+      OracleResult r = CheckCase(c, mode);
+      ++report.checks_run;
+      if (r.ok) {
+        // Agreed rejection (both engines refused the rewritten history,
+        // e.g. a dormant trigger cycle the what-if op woke up) still
+        // counts as agreement; surface it once for the record.
+        if (!r.note.empty()) {
+          say("case " + std::to_string(n) + " [" + mode.name + "] " + r.note);
+        }
+        continue;
+      }
+      if (!r.error.empty()) {
+        // Generator invariant violation (history must build) — surface it
+        // loudly: it is a fuzzer bug, not an engine divergence.
+        say("case " + std::to_string(n) + " [" + mode.name +
+            "] error: " + r.error);
+        continue;
+      }
+      ++report.divergences;
+      say("case " + std::to_string(n) + " [" + mode.name + "] DIVERGED: " +
+          (r.diff.divergences.empty() ? std::string("?")
+                                      : r.diff.divergences[0].detail));
+      FuzzFailure failure;
+      failure.case_number = n;
+      failure.shrunk = options.shrink ? ShrinkCase(c, {mode}) : c;
+      failure.result = CheckCase(failure.shrunk, mode);
+      report.failures.push_back(std::move(failure));
+      break;  // one failure per case is enough; move on
+    }
+    if ((n + 1) % 25 == 0) {
+      say(std::to_string(n + 1) + " cases, " +
+          std::to_string(report.divergences) + " divergences, " +
+          std::to_string(int(elapsed())) + "s");
+    }
+  }
+  return report;
+}
+
+}  // namespace ultraverse::oracle

@@ -1,0 +1,53 @@
+#ifndef ULTRAVERSE_ORACLE_FUZZER_H_
+#define ULTRAVERSE_ORACLE_FUZZER_H_
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "oracle/oracle.h"
+
+namespace ultraverse::oracle {
+
+/// Randomized what-if fuzzing (SQLancer-style differential testing): random
+/// schemas + interleaved DML/DDL histories + random retroactive ops, every
+/// case checked against the full-naive reference in every mode pair.
+struct FuzzOptions {
+  uint64_t seed = 1;
+  /// Number of random cases; generation is deterministic per (seed, case#).
+  size_t histories = 200;
+  /// Wall-clock budget in seconds; 0 = unbounded (run all `histories`).
+  double seconds = 0;
+  std::vector<ModeConfig> modes = StandardModeConfigs();
+  /// Shrink failures to a minimal reproducing case before reporting.
+  bool shrink = true;
+  size_t min_statements = 6;
+  size_t max_statements = 22;
+  /// Optional progress sink (one line per event; CLI wires this to stderr).
+  std::function<void(const std::string&)> progress;
+};
+
+struct FuzzFailure {
+  uint64_t case_number = 0;  // which generated case (with FuzzOptions::seed)
+  WhatIfCase shrunk;         // minimal reproducing case (shrink=true)
+  OracleResult result;       // divergence details of the shrunk case
+};
+
+struct FuzzReport {
+  size_t cases_run = 0;
+  size_t checks_run = 0;     // case × mode pairs executed
+  size_t divergences = 0;
+  std::vector<FuzzFailure> failures;
+};
+
+/// Deterministically generates the `case_number`-th random case for `seed`.
+/// Every history statement is validated against a shadow database while
+/// generating, so Universe::Build on the result always succeeds.
+WhatIfCase GenerateCase(uint64_t seed, uint64_t case_number);
+
+FuzzReport Fuzz(const FuzzOptions& options);
+
+}  // namespace ultraverse::oracle
+
+#endif  // ULTRAVERSE_ORACLE_FUZZER_H_

@@ -1,0 +1,326 @@
+#include "oracle/oracle.h"
+
+#include <sstream>
+
+#include "sqldb/parser.h"
+
+namespace ultraverse::oracle {
+
+namespace {
+
+const char* KindName(core::RetroOp::Kind kind) {
+  switch (kind) {
+    case core::RetroOp::Kind::kAdd: return "add";
+    case core::RetroOp::Kind::kRemove: return "remove";
+    case core::RetroOp::Kind::kChange: return "change";
+  }
+  return "remove";
+}
+
+std::string Trim(const std::string& s) {
+  size_t b = s.find_first_not_of(" \t\r\n");
+  if (b == std::string::npos) return "";
+  size_t e = s.find_last_not_of(" \t\r\n");
+  return s.substr(b, e - b + 1);
+}
+
+Result<core::RetroOp> MakeOp(const WhatIfCase& c) {
+  core::RetroOp op;
+  op.kind = c.kind;
+  op.index = c.index;
+  if (c.kind != core::RetroOp::Kind::kRemove) {
+    UV_ASSIGN_OR_RETURN(op.new_stmt, sql::Parser::ParseStatement(c.new_sql));
+    op.new_sql = c.new_sql;
+  }
+  return op;
+}
+
+}  // namespace
+
+std::string WhatIfCase::ToReproSql() const {
+  std::ostringstream os;
+  os << "-- ultraverse what-if repro (" << history.size() << " statements)\n";
+  for (const auto& sql : history) os << sql << "\n";
+  os << "-- whatif: " << KindName(kind) << " " << index;
+  if (kind != core::RetroOp::Kind::kRemove) os << " " << new_sql;
+  os << "\n";
+  return os.str();
+}
+
+Result<WhatIfCase> WhatIfCase::ParseReproSql(const std::string& text) {
+  WhatIfCase c;
+  bool have_directive = false;
+  std::istringstream is(text);
+  std::string line;
+  while (std::getline(is, line)) {
+    line = Trim(line);
+    if (line.empty()) continue;
+    if (line.rfind("-- whatif:", 0) == 0) {
+      std::istringstream dir(line.substr(10));
+      std::string kind;
+      uint64_t index = 0;
+      if (!(dir >> kind >> index)) {
+        return Status::InvalidArgument("malformed whatif directive: " + line);
+      }
+      if (kind == "remove") {
+        c.kind = core::RetroOp::Kind::kRemove;
+      } else if (kind == "add") {
+        c.kind = core::RetroOp::Kind::kAdd;
+      } else if (kind == "change") {
+        c.kind = core::RetroOp::Kind::kChange;
+      } else {
+        return Status::InvalidArgument("unknown whatif kind: " + kind);
+      }
+      c.index = index;
+      if (c.kind != core::RetroOp::Kind::kRemove) {
+        std::string rest;
+        std::getline(dir, rest);
+        c.new_sql = Trim(rest);
+        if (c.new_sql.empty()) {
+          return Status::InvalidArgument("whatif " + kind + " needs SQL");
+        }
+      }
+      have_directive = true;
+      continue;
+    }
+    if (line.rfind("--", 0) == 0) continue;  // plain comment
+    c.history.push_back(line);
+  }
+  if (!have_directive) {
+    return Status::InvalidArgument("repro file has no '-- whatif:' directive");
+  }
+  uint64_t max_index =
+      c.history.size() + (c.kind == core::RetroOp::Kind::kAdd ? 1 : 0);
+  if (c.index == 0 || c.index > max_index) {
+    return Status::InvalidArgument("whatif index out of range");
+  }
+  return c;
+}
+
+std::vector<ModeConfig> StandardModeConfigs() {
+  std::vector<ModeConfig> configs;
+  ModeConfig c;
+  c.name = "deps";
+  c.deps = true;
+  configs.push_back(c);
+  c.name = "deps+hashjump";
+  c.hash_jumper = true;
+  configs.push_back(c);
+  c.name = "nodeps";
+  c.deps = false;
+  c.hash_jumper = false;
+  configs.push_back(c);
+  c.name = "nodeps+hashjump";
+  c.hash_jumper = true;
+  configs.push_back(c);
+  c.name = "deps+rebuild";
+  c.deps = true;
+  c.hash_jumper = false;
+  c.force_rebuild = true;
+  configs.push_back(c);
+  return configs;
+}
+
+Result<std::unique_ptr<Universe>> Universe::Build(
+    const std::vector<std::string>& history) {
+  std::unique_ptr<Universe> u(new Universe);
+  u->db_ = std::make_unique<sql::Database>();
+  for (const auto& text : history) {
+    UV_ASSIGN_OR_RETURN(sql::StatementPtr stmt,
+                        sql::Parser::ParseStatement(text));
+    uint64_t commit_index = u->log_.size() + 1;
+    sql::LogEntry entry;
+    entry.sql = text;
+    entry.stmt = stmt;
+    entry.timestamp = u->db_->NextTimestamp();
+    sql::ExecContext ctx;
+    ctx.StartRecording(&entry.nondet);
+    Result<sql::ExecResult> res = u->db_->Execute(*stmt, commit_index, &ctx);
+    if (!res.ok()) {
+      return Status::InvalidArgument("history statement " +
+                                     std::to_string(commit_index) +
+                                     " failed: " + res.status().message() +
+                                     " [" + text + "]");
+    }
+    // Eager hash logging (§4.5), same protocol as the facade: log a
+    // table's digest whenever it changed since its last logged value.
+    for (const auto& name : u->db_->TableNames()) {
+      const sql::Table* t = u->db_->FindTable(name);
+      if (!t) continue;
+      const Digest256& h = t->table_hash().value();
+      auto it = u->last_hash_.find(name);
+      if (it == u->last_hash_.end() || !(it->second == h)) {
+        entry.table_hashes[name] = h;
+        u->last_hash_[name] = h;
+      }
+    }
+    u->log_.Append(std::move(entry));
+  }
+  return u;
+}
+
+Result<const std::vector<core::QueryRW>*> Universe::Analysis() {
+  if (!analysis_ready_) {
+    UV_ASSIGN_OR_RETURN(analysis_, analyzer_.AnalyzeLog(log_));
+    analysis_ready_ = true;
+  }
+  return &analysis_;
+}
+
+Status Universe::RunSelective(const core::RetroOp& op,
+                              const ModeConfig& config,
+                              core::ReplayStats* stats) {
+  UV_ASSIGN_OR_RETURN(const std::vector<core::QueryRW>* analysis, Analysis());
+  core::RetroactiveEngine::Options opts;
+  opts.mode = core::ReplayMode::kSelective;
+  opts.deps.column_wise = config.deps;
+  opts.deps.row_wise = config.deps;
+  opts.force_rebuild = config.force_rebuild;
+  opts.parallel = config.parallel;
+  opts.num_threads = config.num_threads;
+  opts.hash_jumper = config.hash_jumper;
+  opts.verify_hash_hits = config.verify_hash_hits;
+  core::RetroactiveEngine engine(db_.get(), &log_, opts);
+  UV_ASSIGN_OR_RETURN(core::ReplayStats s,
+                      engine.Execute(op, *analysis, &analyzer_));
+  if (stats) *stats = s;
+  return Status::OK();
+}
+
+Status Universe::RunFullNaive(const core::RetroOp& op,
+                              core::ReplayStats* stats) {
+  UV_ASSIGN_OR_RETURN(const std::vector<core::QueryRW>* analysis, Analysis());
+  core::RetroactiveEngine::Options opts;
+  opts.mode = core::ReplayMode::kFullNaive;
+  opts.parallel = false;
+  core::RetroactiveEngine engine(db_.get(), &log_, opts);
+  UV_ASSIGN_OR_RETURN(core::ReplayStats s,
+                      engine.Execute(op, *analysis, &analyzer_));
+  if (stats) *stats = s;
+  return Status::OK();
+}
+
+OracleResult CheckCase(const WhatIfCase& c, const ModeConfig& config,
+                       const CorruptHook& corrupt) {
+  OracleResult result;
+  result.mode = config.name;
+  Result<core::RetroOp> op = MakeOp(c);
+  if (!op.ok()) {
+    result.error = "bad retro op: " + op.status().message();
+    return result;
+  }
+  // Two independent builds of the same history are bit-identical (fresh
+  // databases, deterministic nondeterminism recording), so the selective
+  // configuration and the naive reference start from equal universes.
+  Result<std::unique_ptr<Universe>> selective = Universe::Build(c.history);
+  if (!selective.ok()) {
+    result.error = "build failed: " + selective.status().message();
+    return result;
+  }
+  Result<std::unique_ptr<Universe>> reference = Universe::Build(c.history);
+  if (!reference.ok()) {
+    result.error = "build failed: " + reference.status().message();
+    return result;
+  }
+  Status sel_st =
+      (*selective)->RunSelective(*op, config, &result.selective_stats);
+  Status ref_st = (*reference)->RunFullNaive(*op);
+  if (!sel_st.ok() || !ref_st.ok()) {
+    if (!sel_st.ok() && !ref_st.ok()) {
+      // Both engines rejected the rewritten history — a what-if op can
+      // legitimately produce one that trips a runtime limit (e.g. a
+      // dormant trigger cycle the removed DELETE kept starved). Agreeing
+      // on the rejection is agreement; record it for the report.
+      result.ok = true;
+      result.error = "";
+      result.note = "both replays rejected: " + sel_st.message();
+      return result;
+    }
+    // Exactly one side failed: one engine executes the rewritten history,
+    // the other aborts. That asymmetry is a divergence (shrinkable and
+    // reported like any state mismatch), not an infrastructure error.
+    sql::StateDivergence d;
+    d.kind = "status";
+    d.detail = !sel_st.ok()
+                   ? "selective[" + config.name + "] failed (" +
+                         sel_st.message() + ") but full-naive succeeded"
+                   : "full-naive failed (" + ref_st.message() +
+                         ") but selective[" + config.name + "] succeeded";
+    result.diff.divergences.push_back(std::move(d));
+    result.ok = false;
+    return result;
+  }
+  if (corrupt) corrupt((*selective)->db());
+  result.diff = sql::DiffDatabases(*(*selective)->db(), *(*reference)->db(),
+                                   "selective[" + config.name + "]",
+                                   "full-naive");
+  result.ok = result.diff.equal();
+  return result;
+}
+
+OracleResult CheckCaseAllModes(const WhatIfCase& c,
+                               const std::vector<ModeConfig>& configs) {
+  OracleResult last;
+  last.ok = true;
+  for (const auto& config : configs) {
+    OracleResult r = CheckCase(c, config);
+    if (!r.ok) return r;
+    last = std::move(r);
+  }
+  return last;
+}
+
+namespace {
+
+/// True when the candidate still shows a *divergence* (not a mere
+/// build/replay error) under some config.
+bool Reproduces(const WhatIfCase& c, const std::vector<ModeConfig>& configs) {
+  for (const auto& config : configs) {
+    OracleResult r = CheckCase(c, config);
+    if (!r.ok && r.error.empty()) return true;
+  }
+  return false;
+}
+
+/// Removes 1-based history statement `j`, re-anchoring the retro index.
+WhatIfCase RemoveStatement(const WhatIfCase& c, uint64_t j) {
+  WhatIfCase out = c;
+  out.history.erase(out.history.begin() + (j - 1));
+  if (j < c.index) out.index = c.index - 1;
+  return out;
+}
+
+}  // namespace
+
+WhatIfCase ShrinkCaseIf(
+    const WhatIfCase& c,
+    const std::function<bool(const WhatIfCase&)>& still_fails) {
+  WhatIfCase current = c;
+  bool progress = true;
+  while (progress) {
+    progress = false;
+    // End-first: later statements are the likeliest dead weight (nothing
+    // depends on them), so dropping from the tail converges fastest.
+    for (uint64_t j = current.history.size(); j >= 1; --j) {
+      // The retroactive target statement itself must stay.
+      if (current.kind != core::RetroOp::Kind::kAdd && j == current.index) {
+        continue;
+      }
+      WhatIfCase cand = RemoveStatement(current, j);
+      if (still_fails(cand)) {
+        current = std::move(cand);
+        progress = true;
+        break;
+      }
+    }
+  }
+  return current;
+}
+
+WhatIfCase ShrinkCase(const WhatIfCase& c,
+                      const std::vector<ModeConfig>& configs) {
+  return ShrinkCaseIf(
+      c, [&](const WhatIfCase& cand) { return Reproduces(cand, configs); });
+}
+
+}  // namespace ultraverse::oracle

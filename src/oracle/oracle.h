@@ -1,0 +1,133 @@
+#ifndef ULTRAVERSE_ORACLE_ORACLE_H_
+#define ULTRAVERSE_ORACLE_ORACLE_H_
+
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/replay.h"
+#include "core/rw_sets.h"
+#include "sqldb/database.h"
+#include "sqldb/query_log.h"
+#include "sqldb/state_diff.h"
+#include "util/status.h"
+
+namespace ultraverse::oracle {
+
+/// A self-contained what-if scenario: a SQL history plus one retroactive
+/// operation over it. Serializes to (and parses back from) a plain .sql
+/// file — the fuzzer's repro format.
+struct WhatIfCase {
+  std::vector<std::string> history;  // one statement per element
+  core::RetroOp::Kind kind = core::RetroOp::Kind::kRemove;
+  uint64_t index = 0;       // τ (1-based index into history)
+  std::string new_sql;      // for kAdd / kChange
+
+  /// Repro format: the history statements one per line, then a trailing
+  ///   -- whatif: remove <index>
+  ///   -- whatif: add <index> <sql>
+  ///   -- whatif: change <index> <sql>
+  /// directive comment. Re-runnable with tools/fuzz_whatif --repro.
+  std::string ToReproSql() const;
+  static Result<WhatIfCase> ParseReproSql(const std::string& text);
+};
+
+/// One replay configuration put under differential test. Every config runs
+/// through RetroactiveEngine with ReplayMode::kSelective; the oracle's
+/// reference side always runs ReplayMode::kFullNaive.
+struct ModeConfig {
+  std::string name;           // for reports ("selective+hj" etc.)
+  bool deps = true;           // column-wise + row-wise pruning
+  bool hash_jumper = false;
+  bool verify_hash_hits = false;
+  bool force_rebuild = false; // exercise the rebuild-from-log staging path
+  bool parallel = false;      // serial by default: deterministic schedules
+  int num_threads = 4;
+};
+
+/// The four standard mode pairs of the oracle smoke suite: selective/full ×
+/// Hash-jumper on/off, plus a rebuild-path config.
+std::vector<ModeConfig> StandardModeConfigs();
+
+/// An executable universe: a fresh in-memory database plus the committed
+/// query log built by replaying a SQL history through the same
+/// record-nondeterminism + eager-hash-log protocol the facade uses.
+/// Building the same history twice yields bit-identical universes (fresh
+/// databases seed identical RNGs and logical clocks), which is what lets
+/// the oracle run two engine configurations from equal starting points.
+class Universe {
+ public:
+  /// Executes `history` statement by statement. Statements that fail to
+  /// parse or execute return an error (the fuzzer only emits statements it
+  /// has validated on a shadow universe).
+  static Result<std::unique_ptr<Universe>> Build(
+      const std::vector<std::string>& history);
+
+  sql::Database* db() { return db_.get(); }
+  const sql::QueryLog& log() const { return log_; }
+
+  /// Per-entry R/W analysis of the full log (computed once, cached).
+  Result<const std::vector<core::QueryRW>*> Analysis();
+  core::QueryAnalyzer* analyzer() { return &analyzer_; }
+
+  /// Runs the retroactive op under `config` (ReplayMode::kSelective).
+  Status RunSelective(const core::RetroOp& op, const ModeConfig& config,
+                      core::ReplayStats* stats = nullptr);
+  /// Runs the retroactive op under ReplayMode::kFullNaive (ground truth).
+  Status RunFullNaive(const core::RetroOp& op,
+                      core::ReplayStats* stats = nullptr);
+
+ private:
+  Universe() = default;
+
+  std::unique_ptr<sql::Database> db_;
+  sql::QueryLog log_;
+  core::QueryAnalyzer analyzer_;
+  std::vector<core::QueryRW> analysis_;
+  bool analysis_ready_ = false;
+  std::map<std::string, Digest256> last_hash_;  // eager hash logging
+};
+
+/// Differential check outcome for one (case, mode) pair.
+struct OracleResult {
+  bool ok = false;               // built, engines agree (states or rejection)
+  std::string mode;              // ModeConfig::name
+  std::string error;             // non-divergence failure (bad op / build)
+  std::string note;              // agreed rejection of the rewritten history
+  sql::StateDiff diff;           // populated when states diverge; a "status"
+                                 // entry marks an asymmetric replay failure
+  core::ReplayStats selective_stats;
+};
+
+/// Hook applied to the selective-side database after replay and before
+/// diffing — tests plant corruption here to prove the diff detects it.
+using CorruptHook = std::function<void(sql::Database*)>;
+
+/// Builds the case's universe twice, runs the selective configuration on
+/// one and the full-naive reference on the other, and deep-diffs the
+/// resulting live databases (rows, indexes, auto-increment counters,
+/// catalog). Divergence details land in OracleResult::diff.
+OracleResult CheckCase(const WhatIfCase& c, const ModeConfig& config,
+                       const CorruptHook& corrupt = nullptr);
+
+/// Runs `c` against every config; returns the first failing result, or an
+/// ok result when every mode pair agrees with the reference.
+OracleResult CheckCaseAllModes(const WhatIfCase& c,
+                               const std::vector<ModeConfig>& configs);
+
+/// Greedy end-first shrinker: drops history statements (re-anchoring the
+/// retroactive index) while `still_fails(candidate)` holds, until no single
+/// removal reproduces. Returns the minimal reproducing case.
+WhatIfCase ShrinkCaseIf(
+    const WhatIfCase& c,
+    const std::function<bool(const WhatIfCase&)>& still_fails);
+
+/// ShrinkCaseIf with the real predicate: some config in `configs` still
+/// reports a divergence (build/replay errors do not count as reproducing).
+WhatIfCase ShrinkCase(const WhatIfCase& c,
+                      const std::vector<ModeConfig>& configs);
+
+}  // namespace ultraverse::oracle
+
+#endif  // ULTRAVERSE_ORACLE_ORACLE_H_

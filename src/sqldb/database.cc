@@ -782,6 +782,40 @@ Status Database::AdoptTables(const Database& src,
   return Status::OK();
 }
 
+void Database::AdoptCatalog(const Database& src) {
+  views_ = src.views_;
+  procedures_ = src.procedures_;
+  triggers_ = src.triggers_;
+}
+
+std::vector<std::string> Database::ViewNames() const {
+  std::vector<std::string> names;
+  names.reserve(views_.size());
+  for (const auto& [name, sel] : views_) {
+    (void)sel;
+    names.push_back(name);
+  }
+  return names;
+}
+
+std::vector<std::string> Database::TriggerNames() const {
+  std::vector<std::string> names;
+  names.reserve(triggers_.size());
+  for (const auto& [name, trig] : triggers_) {
+    (void)trig;
+    names.push_back(name);
+  }
+  return names;
+}
+
+void Database::SeedAutoIncrementFloor(
+    const std::map<std::string, int64_t>& floors) {
+  for (const auto& [table, next] : floors) {
+    int64_t& mine = auto_increment_[table];
+    if (next > mine) mine = next;
+  }
+}
+
 size_t Database::ApproxMemoryBytes() const {
   size_t bytes = sizeof(Database);
   for (const auto& [name, table] : tables_) {

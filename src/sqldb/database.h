@@ -176,6 +176,29 @@ class Database {
   /// (the §4.4 "Database Update" step: mutated tables flow back).
   Status AdoptTables(const Database& src, const std::vector<std::string>& names);
 
+  /// Adopts the full object catalog (views, procedures, triggers) from
+  /// `src`. Retroactive DDL replayed in a temporary database — a removed
+  /// CREATE VIEW/TRIGGER, say — propagates to the live database through
+  /// this; AdoptTables alone only moves row data.
+  void AdoptCatalog(const Database& src);
+
+  std::vector<std::string> ViewNames() const;
+  std::vector<std::string> TriggerNames() const;
+
+  /// AUTO_INCREMENT high-watermark state: table -> next id to allocate.
+  const std::map<std::string, int64_t>& auto_increment_state() const {
+    return auto_increment_;
+  }
+
+  /// Raises AUTO_INCREMENT counters to at least `floors`; never lowers
+  /// them. Replay paths that rebuild a temporary database from scratch
+  /// (full-naive reference, journal-less rebuild) seed it with the live
+  /// watermarks so a retroactively added INSERT allocates ids *above*
+  /// every id the original history handed out — the one consistent policy
+  /// that keeps fresh ids from colliding with replayed recorded ids and
+  /// makes all replay modes agree (see DESIGN.md §9).
+  void SeedAutoIncrementFloor(const std::map<std::string, int64_t>& floors);
+
   /// Full logical footprint (shared CoW state counted in full).
   size_t ApproxMemoryBytes() const;
 
@@ -187,6 +210,7 @@ class Database {
   /// Logical clock feeding NOW()/CURTIME(); advances per call.
   int64_t NextTimestamp() { return ++logical_time_; }
   void SetLogicalTime(int64_t t) { logical_time_ = t; }
+  int64_t logical_time() const { return logical_time_; }
 
  private:
   friend class Evaluator;

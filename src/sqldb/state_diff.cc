@@ -1,0 +1,262 @@
+#include "sqldb/state_diff.h"
+
+#include <sstream>
+
+#include "sqldb/ast.h"
+#include "sqldb/table.h"
+
+namespace ultraverse::sql {
+namespace {
+
+const char* TypeName(DataType t) {
+  switch (t) {
+    case DataType::kInt: return "INT";
+    case DataType::kDouble: return "DOUBLE";
+    case DataType::kString: return "VARCHAR";
+    case DataType::kBool: return "BOOL";
+    default: return "NULL";
+  }
+}
+
+std::string ColumnSignature(const ColumnDef& c) {
+  std::string s = c.name;
+  s += ' ';
+  s += TypeName(c.type);
+  if (c.primary_key) s += " PRIMARY KEY";
+  if (c.auto_increment) s += " AUTO_INCREMENT";
+  if (c.not_null) s += " NOT NULL";
+  return s;
+}
+
+std::string DisplayRow(const Row& row) {
+  std::string s = "(";
+  for (size_t i = 0; i < row.size(); ++i) {
+    if (i) s += ", ";
+    s += row[i].ToDisplayString();
+  }
+  s += ')';
+  return s;
+}
+
+std::string JoinNames(const std::vector<std::string>& names) {
+  std::string s;
+  for (const auto& n : names) {
+    if (!s.empty()) s += ", ";
+    s += n;
+  }
+  return s.empty() ? "<none>" : s;
+}
+
+}  // namespace
+
+DatabaseState CaptureState(const Database& db) {
+  DatabaseState state;
+  for (const auto& name : db.TableNames()) {
+    const Table* table = db.FindTable(name);
+    if (!table) continue;
+    TableState ts;
+    for (const auto& col : table->schema().columns) {
+      ts.columns.push_back(ColumnSignature(col));
+    }
+    ts.live_rows = table->LiveRowCount();
+    table->Scan([&](RowId, const Row& row) {
+      std::string key = EncodeRow(row);
+      auto [it, fresh] = ts.rows.emplace(std::move(key), 0);
+      ++it->second;
+      if (fresh) ts.display.emplace(it->first, DisplayRow(row));
+      return true;
+    });
+    for (int col : table->IndexedColumns()) {
+      auto counts = table->IndexKeyCounts(col);
+      // Cross-check the index against a scan of the column it covers: a
+      // divergence here is corruption inside *one* database (e.g. an undo
+      // path that forgot index maintenance), reported as an integrity
+      // error rather than a cross-mode diff.
+      std::map<std::string, size_t> scanned;
+      table->Scan([&](RowId, const Row& row) {
+        if (size_t(col) < row.size()) ++scanned[row[col].Encode()];
+        return true;
+      });
+      if (scanned != counts) {
+        std::ostringstream os;
+        os << "table " << name << " index on column #" << col
+           << " disagrees with table scan (" << counts.size()
+           << " indexed keys vs " << scanned.size() << " scanned keys)";
+        state.integrity_errors.push_back(os.str());
+      }
+      const std::string& col_name =
+          size_t(col) < table->schema().columns.size()
+              ? table->schema().columns[col].name
+              : std::to_string(col);
+      ts.index_keys[col_name] = std::move(counts);
+    }
+    auto ai = db.auto_increment_state().find(name);
+    if (ai != db.auto_increment_state().end()) {
+      ts.auto_increment_next = ai->second;
+    }
+    state.tables.emplace(name, std::move(ts));
+  }
+  for (const auto& vname : db.ViewNames()) {
+    const auto* view = db.FindView(vname);
+    if (view && *view) state.views[vname] = ToSql(**view);
+  }
+  state.procedures = db.ProcedureNames();
+  state.triggers = db.TriggerNames();
+  return state;
+}
+
+StateDiff DiffStates(const DatabaseState& a, const DatabaseState& b,
+                     const std::string& label_a, const std::string& label_b) {
+  StateDiff diff;
+  auto add = [&](std::string table, std::string kind, std::string detail) {
+    diff.divergences.push_back(
+        {std::move(table), std::move(kind), std::move(detail)});
+  };
+
+  for (const auto& err : a.integrity_errors) {
+    add("", "integrity", label_a + ": " + err);
+  }
+  for (const auto& err : b.integrity_errors) {
+    add("", "integrity", label_b + ": " + err);
+  }
+
+  // Table set.
+  for (const auto& [name, ts] : a.tables) {
+    if (!b.tables.count(name)) {
+      add(name, "table-set",
+          "table exists in " + label_a + " but not in " + label_b);
+    }
+  }
+  for (const auto& [name, ts] : b.tables) {
+    if (!a.tables.count(name)) {
+      add(name, "table-set",
+          "table exists in " + label_b + " but not in " + label_a);
+    }
+  }
+
+  // Per-table deep diff, name order = deterministic "first divergence".
+  for (const auto& [name, ta] : a.tables) {
+    auto bit = b.tables.find(name);
+    if (bit == b.tables.end()) continue;
+    const TableState& tb = bit->second;
+
+    if (ta.columns != tb.columns) {
+      add(name, "schema",
+          label_a + ": [" + JoinNames(ta.columns) + "] vs " + label_b + ": [" +
+              JoinNames(tb.columns) + "]");
+      continue;  // row encodings are incomparable across schemas
+    }
+
+    if (ta.rows != tb.rows) {
+      // Rows present (or over-counted) on one side only.
+      std::vector<std::string> only_a, only_b;
+      for (const auto& [key, count] : ta.rows) {
+        auto it = tb.rows.find(key);
+        size_t other = it == tb.rows.end() ? 0 : it->second;
+        if (count > other) {
+          std::string d = ta.display.at(key);
+          if (count > 1 || other > 0) {
+            d += " x" + std::to_string(count) + " vs x" + std::to_string(other);
+          }
+          only_a.push_back(std::move(d));
+        }
+      }
+      for (const auto& [key, count] : tb.rows) {
+        auto it = ta.rows.find(key);
+        size_t other = it == ta.rows.end() ? 0 : it->second;
+        if (count > other) {
+          std::string d = tb.display.at(key);
+          if (count > 1 || other > 0) {
+            d += " x" + std::to_string(count) + " vs x" + std::to_string(other);
+          }
+          only_b.push_back(std::move(d));
+        }
+      }
+      std::ostringstream os;
+      os << "row multisets differ (" << ta.live_rows << " vs " << tb.live_rows
+         << " live rows): only in " << label_a << ": "
+         << (only_a.empty() ? "<none>" : only_a.front());
+      if (only_a.size() > 1) os << " (+" << only_a.size() - 1 << " more)";
+      os << "; only in " << label_b << ": "
+         << (only_b.empty() ? "<none>" : only_b.front());
+      if (only_b.size() > 1) os << " (+" << only_b.size() - 1 << " more)";
+      add(name, "row", os.str());
+    }
+
+    if (ta.index_keys != tb.index_keys) {
+      for (const auto& [col, keys_a] : ta.index_keys) {
+        auto kb = tb.index_keys.find(col);
+        if (kb == tb.index_keys.end()) {
+          add(name, "index", "index on " + col + " exists only in " + label_a);
+          continue;
+        }
+        if (keys_a != kb->second) {
+          add(name, "index",
+              "index on " + col + " differs: " + std::to_string(keys_a.size()) +
+                  " keys in " + label_a + " vs " +
+                  std::to_string(kb->second.size()) + " keys in " + label_b);
+        }
+      }
+      for (const auto& [col, keys_b] : tb.index_keys) {
+        if (!ta.index_keys.count(col)) {
+          add(name, "index", "index on " + col + " exists only in " + label_b);
+        }
+      }
+    }
+
+    if (ta.auto_increment_next != tb.auto_increment_next) {
+      add(name, "auto-increment",
+          "next id " + std::to_string(ta.auto_increment_next) + " in " +
+              label_a + " vs " + std::to_string(tb.auto_increment_next) +
+              " in " + label_b);
+    }
+  }
+
+  // Catalog objects.
+  if (a.views != b.views) {
+    for (const auto& [name, def] : a.views) {
+      auto it = b.views.find(name);
+      if (it == b.views.end()) {
+        add(name, "view", "view exists only in " + label_a + ": " + def);
+      } else if (it->second != def) {
+        add(name, "view",
+            label_a + ": " + def + " vs " + label_b + ": " + it->second);
+      }
+    }
+    for (const auto& [name, def] : b.views) {
+      if (!a.views.count(name)) {
+        add(name, "view", "view exists only in " + label_b + ": " + def);
+      }
+    }
+  }
+  if (a.procedures != b.procedures) {
+    add("", "catalog",
+        "procedures: [" + JoinNames(a.procedures) + "] in " + label_a +
+            " vs [" + JoinNames(b.procedures) + "] in " + label_b);
+  }
+  if (a.triggers != b.triggers) {
+    add("", "catalog",
+        "triggers: [" + JoinNames(a.triggers) + "] in " + label_a + " vs [" +
+            JoinNames(b.triggers) + "] in " + label_b);
+  }
+  return diff;
+}
+
+StateDiff DiffDatabases(const Database& a, const Database& b,
+                        const std::string& label_a, const std::string& label_b) {
+  return DiffStates(CaptureState(a), CaptureState(b), label_a, label_b);
+}
+
+std::string StateDiff::ToString() const {
+  if (divergences.empty()) return "states identical";
+  std::ostringstream os;
+  os << divergences.size() << " divergence(s):\n";
+  for (const auto& d : divergences) {
+    os << "  [" << d.kind << "] "
+       << (d.table.empty() ? std::string("<catalog>") : d.table) << ": "
+       << d.detail << "\n";
+  }
+  return os.str();
+}
+
+}  // namespace ultraverse::sql

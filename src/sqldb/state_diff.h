@@ -1,0 +1,73 @@
+#ifndef ULTRAVERSE_SQLDB_STATE_DIFF_H_
+#define ULTRAVERSE_SQLDB_STATE_DIFF_H_
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "sqldb/database.h"
+
+namespace ultraverse::sql {
+
+/// Deep, order-insensitive snapshot of one table, captured for differential
+/// comparison (the oracle's ground-truth check, DESIGN.md §9).
+///
+/// Rows are a multiset of stable byte encodings (NULL-aware via
+/// Value::EncodeTo, physical row order and row ids deliberately excluded:
+/// selective replay preserves original row ids while a naive rebuild
+/// renumbers them, and both are correct). Secondary indexes are captured as
+/// key->live-row-count multisets per indexed column, again id-insensitive.
+struct TableState {
+  std::vector<std::string> columns;  // "name TYPE [flags]" per column
+  std::map<std::string, size_t> rows;          // encoded row -> multiplicity
+  std::map<std::string, std::string> display;  // encoded row -> display form
+  std::map<std::string, std::map<std::string, size_t>> index_keys;
+  int64_t auto_increment_next = 0;  // 0 = no counter for this table
+  size_t live_rows = 0;
+};
+
+/// Snapshot of a whole database: tables plus the object catalog.
+struct DatabaseState {
+  std::map<std::string, TableState> tables;
+  std::map<std::string, std::string> views;  // name -> SQL definition
+  std::vector<std::string> procedures;
+  std::vector<std::string> triggers;
+  /// Internal inconsistencies found while capturing (a secondary index
+  /// whose live content disagrees with a table scan). These are bugs in
+  /// the captured database itself, not cross-database divergence.
+  std::vector<std::string> integrity_errors;
+};
+
+DatabaseState CaptureState(const Database& db);
+
+/// One divergence between two database states.
+struct StateDivergence {
+  std::string table;  // affected object ("" for catalog-level)
+  std::string kind;   // "table-set" | "schema" | "row" | "index" |
+                      // "auto-increment" | "view" | "catalog" | "integrity"
+  std::string detail; // human-readable, includes both sides' values
+};
+
+struct StateDiff {
+  std::vector<StateDivergence> divergences;
+  bool equal() const { return divergences.empty(); }
+  /// Full report; the first entry is the first divergent table/row/column.
+  std::string ToString() const;
+};
+
+/// Deep diff of two captured states. `label_a`/`label_b` name the sides in
+/// the report (e.g. "selective" / "full-naive"). The first divergent
+/// table/row is reported with both values; when two multiset-unique rows
+/// differ in exactly one column, the column is named.
+StateDiff DiffStates(const DatabaseState& a, const DatabaseState& b,
+                     const std::string& label_a = "a",
+                     const std::string& label_b = "b");
+
+/// Convenience: capture + diff in one call.
+StateDiff DiffDatabases(const Database& a, const Database& b,
+                        const std::string& label_a = "a",
+                        const std::string& label_b = "b");
+
+}  // namespace ultraverse::sql
+
+#endif  // ULTRAVERSE_SQLDB_STATE_DIFF_H_

@@ -153,6 +153,27 @@ std::vector<RowId> Table::IndexLookup(int column_index, const Value& v) const {
   return out;
 }
 
+std::vector<int> Table::IndexedColumns() const {
+  std::vector<int> cols;
+  cols.reserve(indexes_->size());
+  for (const auto& [col, idx] : *indexes_) {
+    (void)idx;
+    cols.push_back(col);
+  }
+  std::sort(cols.begin(), cols.end());
+  return cols;
+}
+
+std::map<std::string, size_t> Table::IndexKeyCounts(int column_index) const {
+  std::map<std::string, size_t> counts;
+  auto it = indexes_->find(column_index);
+  if (it == indexes_->end()) return counts;
+  for (const auto& [key, id] : it->second) {
+    if (IsLive(id)) ++counts[key];
+  }
+  return counts;
+}
+
 void Table::IndexAdd(RowId id, const Row& row) {
   if (indexes_->empty()) return;
   for (auto& [col, idx] : *OwnedIndexes()) {

@@ -2,6 +2,7 @@
 #define ULTRAVERSE_SQLDB_TABLE_H_
 
 #include <cstdint>
+#include <map>
 #include <set>
 #include <memory>
 #include <string>
@@ -79,6 +80,15 @@ class Table {
   }
   /// Row ids whose `column_index` equals `v` (only if indexed).
   std::vector<RowId> IndexLookup(int column_index, const Value& v) const;
+
+  /// Column indexes that carry a secondary index (ascending).
+  std::vector<int> IndexedColumns() const;
+
+  /// Live-entry content of one secondary index: encoded key -> number of
+  /// live rows the index holds for it. The state-diff oracle compares this
+  /// multiset across databases (row ids differ across replay modes, key
+  /// multisets must not).
+  std::map<std::string, size_t> IndexKeyCounts(int column_index) const;
 
   // --- Undo journal / time travel ---------------------------------------
 

@@ -90,6 +90,30 @@ std::string Value::ToSqlLiteral() const {
   return ToDisplayString();
 }
 
+namespace {
+
+/// Largest magnitude at which every int64 is exactly representable as a
+/// double (2^53); beyond it the double grid is sparser than the integers.
+constexpr int64_t kExactDoubleInt = int64_t(1) << 53;
+
+/// Exact int64-vs-double comparison. Converting the int to double (the old
+/// path) collapses neighbours above 2^53 — e.g. hash-derived ids 2^53 and
+/// 2^53+1 compared equal — so compare in integer space instead, with the
+/// fractional part of the double breaking ties.
+int CompareIntDouble(int64_t x, double y) {
+  if (std::isnan(y)) return 1;  // NaN sorts before every number
+  // 2^63 is exactly representable; every int64 is strictly below it, and
+  // at or above -2^63.
+  if (y >= 9223372036854775808.0) return -1;
+  if (y < -9223372036854775808.0) return 1;
+  double floor_y = std::floor(y);
+  int64_t yi = int64_t(floor_y);  // exact: integral and within int64 range
+  if (x != yi) return x < yi ? -1 : 1;
+  return y > floor_y ? -1 : 0;
+}
+
+}  // namespace
+
 int Value::Compare(const Value& other) const {
   DataType a = type(), b = other.type();
   auto rank = [](DataType t) {
@@ -108,6 +132,14 @@ int Value::Compare(const Value& other) const {
       int64_t x = std::get<int64_t>(data_);
       int64_t y = std::get<int64_t>(other.data_);
       return x < y ? -1 : (x > y ? 1 : 0);
+    }
+    if (a == DataType::kInt) {
+      return CompareIntDouble(std::get<int64_t>(data_),
+                              std::get<double>(other.data_));
+    }
+    if (b == DataType::kInt) {
+      return -CompareIntDouble(std::get<int64_t>(other.data_),
+                               std::get<double>(data_));
     }
     double x = AsDouble(), y = other.AsDouble();
     return x < y ? -1 : (x > y ? 1 : 0);
@@ -139,7 +171,30 @@ void Value::EncodeTo(std::string* out) const {
       break;
     case DataType::kInt:
     case DataType::kDouble: {
-      // Numerics encode canonically so 3 and 3.0 hash identically.
+      // Numerics encode canonically so 3 and 3.0 hash identically. Values
+      // whose magnitude exceeds 2^53 take an exact integer encoding: the
+      // %.17g double form collapses neighbouring wide ints (2^53 and
+      // 2^53+1 would encode — and therefore hash — identically, breaking
+      // the Hash-jumper digests and RI-key maps for hash-derived ids).
+      // Integral doubles in that range take the same integer form so
+      // Encode stays consistent with Equals (Int(2^60) == Double(2^60)).
+      if (type() == DataType::kInt) {
+        int64_t v = std::get<int64_t>(data_);
+        if (v > kExactDoubleInt || v < -kExactDoubleInt) {
+          out->push_back('I');
+          out->append(std::to_string(v));
+          break;
+        }
+      } else {
+        double d = std::get<double>(data_);
+        if ((d > double(kExactDoubleInt) || d < -double(kExactDoubleInt)) &&
+            d == std::floor(d) && d >= -9223372036854775808.0 &&
+            d < 9223372036854775808.0) {
+          out->push_back('I');
+          out->append(std::to_string(int64_t(d)));
+          break;
+        }
+      }
       out->push_back('D');
       double d = AsDouble();
       char buf[40];

@@ -36,7 +36,7 @@ TEST(ReplayPlanTest, MotivatingExampleOfSection41) {
   analysis.push_back(MakeRW({"Address.owner", "Orders.oid"},
                             {"Orders.oid"}));                       // Q10
   analysis.push_back(MakeRW({"Orders.oid"}, {"Stats.t"}));          // Q11
-  ReplayPlan plan = ComputeReplayPlan(analysis, 3, analysis[2], false,
+  ReplayPlan plan = ComputeReplayPlan(analysis, 3, analysis[2], true,
                                       DependencyOptions{});
   EXPECT_EQ(plan.replay_indices, (std::vector<uint64_t>{5, 6}))
       << "Q10 and Q11 replay; Q9 is skipped (§4.1)";
@@ -51,7 +51,7 @@ TEST(ReplayPlanTest, ReadThenWriterJoinsViaProp10) {
   analysis.push_back(MakeRW({}, {"X.k"}));            // 1: target
   analysis.push_back(MakeRW({"X.k", "C.k"}, {"Y.k"}));  // 2: member, reads C
   analysis.push_back(MakeRW({}, {"C.k"}));            // 3: writer of C
-  ReplayPlan plan = ComputeReplayPlan(analysis, 1, analysis[0], false,
+  ReplayPlan plan = ComputeReplayPlan(analysis, 1, analysis[0], true,
                                       DependencyOptions{});
   EXPECT_EQ(plan.replay_indices, (std::vector<uint64_t>{2, 3}));
 }
@@ -72,13 +72,13 @@ TEST(ReplayPlanTest, RowWisePrunesColumnWiseSurvivors) {
   analysis.push_back(same_col_other_row);
 
   DependencyOptions both;
-  ReplayPlan plan = ComputeReplayPlan(analysis, 1, analysis[0], false, both);
+  ReplayPlan plan = ComputeReplayPlan(analysis, 1, analysis[0], true, both);
   EXPECT_TRUE(plan.replay_indices.empty())
       << "column-dependent but row-independent: pruned (Theorem 20)";
 
   DependencyOptions col_only;
   col_only.row_wise = false;
-  plan = ComputeReplayPlan(analysis, 1, analysis[0], false, col_only);
+  plan = ComputeReplayPlan(analysis, 1, analysis[0], true, col_only);
   EXPECT_EQ(plan.replay_indices.size(), 1u)
       << "column-wise alone cannot prune it";
 }
@@ -88,7 +88,7 @@ TEST(ReplayPlanTest, DdlInPlanForcesSchemaRebuild) {
   QueryRW ddl = MakeRW({}, {"_S.t"});
   ddl.is_ddl = true;
   analysis.push_back(ddl);
-  ReplayPlan plan = ComputeReplayPlan(analysis, 1, analysis[0], false,
+  ReplayPlan plan = ComputeReplayPlan(analysis, 1, analysis[0], true,
                                       DependencyOptions{});
   EXPECT_TRUE(plan.needs_schema_rebuild);
 }

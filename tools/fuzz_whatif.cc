@@ -1,0 +1,120 @@
+// Randomized what-if fuzzer CLI (DESIGN.md §9).
+//
+//   fuzz_whatif --seed 7 --histories 500         # fixed case count
+//   fuzz_whatif --fuzz-seconds 60                # wall-clock budget
+//   fuzz_whatif --repro failing.sql              # re-run a repro file
+//
+// Every generated case runs each selective-replay mode pair against the
+// full-naive reference oracle. Divergences are shrunk to a minimal history
+// and written as self-contained .sql repro files (re-runnable via --repro).
+
+#include <cstdint>
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <sstream>
+#include <string>
+
+#include "oracle/fuzzer.h"
+#include "oracle/oracle.h"
+
+namespace {
+
+int Usage(const char* argv0) {
+  std::fprintf(stderr,
+               "usage: %s [--seed N] [--histories N] [--fuzz-seconds S]\n"
+               "          [--no-shrink] [--repro FILE] [--out-dir DIR]\n",
+               argv0);
+  return 2;
+}
+
+int RunRepro(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) {
+    std::fprintf(stderr, "cannot open %s\n", path.c_str());
+    return 2;
+  }
+  std::stringstream buffer;
+  buffer << in.rdbuf();
+  auto parsed = ultraverse::oracle::WhatIfCase::ParseReproSql(buffer.str());
+  if (!parsed.ok()) {
+    std::fprintf(stderr, "bad repro file: %s\n",
+                 parsed.status().message().c_str());
+    return 2;
+  }
+  auto result = ultraverse::oracle::CheckCaseAllModes(
+      *parsed, ultraverse::oracle::StandardModeConfigs());
+  if (result.ok) {
+    std::printf("PASS: all mode pairs agree with the full-naive oracle\n");
+    return 0;
+  }
+  if (!result.error.empty()) {
+    std::printf("ERROR [%s]: %s\n", result.mode.c_str(),
+                result.error.c_str());
+    return 2;
+  }
+  std::printf("DIVERGED [%s]:\n%s", result.mode.c_str(),
+              result.diff.ToString().c_str());
+  return 1;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  ultraverse::oracle::FuzzOptions options;
+  std::string repro, out_dir = ".";
+  bool histories_set = false;
+
+  for (int i = 1; i < argc; ++i) {
+    auto need_value = [&](const char* flag) -> const char* {
+      if (i + 1 >= argc) {
+        std::fprintf(stderr, "%s needs a value\n", flag);
+        std::exit(2);
+      }
+      return argv[++i];
+    };
+    if (!std::strcmp(argv[i], "--seed")) {
+      options.seed = std::strtoull(need_value("--seed"), nullptr, 10);
+    } else if (!std::strcmp(argv[i], "--histories")) {
+      options.histories =
+          std::strtoull(need_value("--histories"), nullptr, 10);
+      histories_set = true;
+    } else if (!std::strcmp(argv[i], "--fuzz-seconds")) {
+      options.seconds = std::strtod(need_value("--fuzz-seconds"), nullptr);
+      if (!histories_set) options.histories = 0;  // run on the clock alone
+    } else if (!std::strcmp(argv[i], "--no-shrink")) {
+      options.shrink = false;
+    } else if (!std::strcmp(argv[i], "--repro")) {
+      repro = need_value("--repro");
+    } else if (!std::strcmp(argv[i], "--out-dir")) {
+      out_dir = need_value("--out-dir");
+    } else {
+      return Usage(argv[0]);
+    }
+  }
+
+  if (!repro.empty()) return RunRepro(repro);
+
+  options.progress = [](const std::string& msg) {
+    std::fprintf(stderr, "[fuzz] %s\n", msg.c_str());
+  };
+  ultraverse::oracle::FuzzReport report = ultraverse::oracle::Fuzz(options);
+
+  std::printf("cases: %zu  checks: %zu  divergences: %zu\n", report.cases_run,
+              report.checks_run, report.divergences);
+  int written = 0;
+  for (const auto& failure : report.failures) {
+    std::string path = out_dir + "/whatif_repro_" +
+                       std::to_string(options.seed) + "_" +
+                       std::to_string(failure.case_number) + ".sql";
+    std::ofstream out(path);
+    out << failure.shrunk.ToReproSql();
+    std::printf("wrote %s (%zu statements, mode %s)\n", path.c_str(),
+                failure.shrunk.history.size(), failure.result.mode.c_str());
+    if (!failure.result.diff.equal()) {
+      std::printf("%s", failure.result.diff.ToString().c_str());
+    }
+    ++written;
+  }
+  return report.divergences == 0 ? 0 : 1;
+}
