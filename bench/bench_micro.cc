@@ -8,7 +8,9 @@
 #include <mutex>
 #include <thread>
 
+#include "analysis/static_rw.h"
 #include "bench_util.h"
+#include "core/dep_graph.h"
 #include "core/rw_sets.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
@@ -272,6 +274,71 @@ void BM_WhatIfReplayObs(benchmark::State& state) {
   state.SetItemsProcessed(state.iterations());
 }
 BENCHMARK(BM_WhatIfReplayObs)->Arg(0)->Arg(1)->Unit(benchmark::kMillisecond);
+
+// --- Static pre-filter (DESIGN.md §10) --------------------------------------
+// Replay-plan cost with and without the static table-footprint pre-filter
+// on a many-table history where most commits are provably unrelated to the
+// target. The pre-filter must never be slower than baseline on the
+// unrelated-heavy shape it exists for; EXPERIMENTS.md records the delta.
+
+struct PrefilterFixture {
+  std::vector<core::QueryRW> analysis;
+  std::vector<core::TableFootprint> footprints;
+  core::QueryRW target_rw;
+};
+
+PrefilterFixture BuildPrefilterFixture(int64_t tables, int64_t commits) {
+  sql::QueryLog log;
+  core::QueryAnalyzer analyzer;
+  auto feed = [&](const std::string& text) {
+    sql::LogEntry entry;
+    entry.sql = text;
+    entry.stmt = *sql::Parser::ParseStatement(text);
+    entry.index = log.Append(entry);
+    return *log.entries().rbegin();
+  };
+  for (int64_t t = 0; t < tables; ++t) {
+    (void)analyzer.AnalyzeEntry(
+        feed("CREATE TABLE t" + std::to_string(t) +
+             " (id INT PRIMARY KEY, v INT)"));
+  }
+  PrefilterFixture fx;
+  for (int64_t i = 0; i < commits; ++i) {
+    // Round-robin over tables: only 1/tables of the suffix shares a table
+    // with the target (t0), the shape the footprint pre-filter skips.
+    std::string table = "t" + std::to_string(i % tables);
+    auto rw = analyzer.AnalyzeEntry(
+        feed("UPDATE " + table + " SET v = " + std::to_string(i) +
+             " WHERE id = " + std::to_string(i / tables)));
+    if (rw.ok()) {
+      analyzer.CanonicalizeRowSets(&*rw);
+      fx.analysis.push_back(*rw);
+    }
+  }
+  fx.footprints = analysis::StaticLogFootprints(log);
+  // Align with the DML suffix: drop the DDL prefix entries.
+  fx.footprints.erase(fx.footprints.begin(),
+                      fx.footprints.begin() + tables);
+  fx.target_rw = fx.analysis.front();
+  return fx;
+}
+
+void BM_ReplayPlanPrefilter(benchmark::State& state) {
+  const bool prefilter = state.range(0) != 0;
+  static const PrefilterFixture& fx =
+      *new PrefilterFixture(BuildPrefilterFixture(64, 4096));
+  core::DependencyOptions options;
+  if (prefilter) options.static_footprints = &fx.footprints;
+  for (auto _ : state) {
+    core::ReplayPlan plan = core::ComputeReplayPlan(
+        fx.analysis, /*target_index=*/1, fx.target_rw,
+        /*target_occupies_slot=*/true, options);
+    benchmark::DoNotOptimize(plan.replay_indices.size());
+  }
+  state.SetItemsProcessed(state.iterations() * int64_t(fx.analysis.size()));
+}
+BENCHMARK(BM_ReplayPlanPrefilter)->Arg(0)->Arg(1)
+    ->Unit(benchmark::kMicrosecond);
 
 void BM_SqlParse(benchmark::State& state) {
   const std::string sql =

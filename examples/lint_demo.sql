@@ -1,0 +1,39 @@
+-- uvlint demonstration input (build/tools/uvlint examples/lint_demo.sql).
+-- Expected findings (statement indices are 0-based):
+--   nondet-builtin     NOW       (#4: raw INSERT draws the clock directly)
+--   nondet-builtin     RAND      (#6: touch_user re-draws on every replay)
+--   ddl-in-procedure   archive   (#7: TRUNCATE inside a procedure body)
+--   dead-column-write  orders.coupon (#9: column dropped by #8)
+--   unowned-write      audit     (#10: no procedure ever writes audit)
+-- followed by the archive/place_order/touch_user conflict matrix
+-- (place_order conflicts with both — orders with archive, users with
+-- touch_user; archive and touch_user are provably disjoint).
+
+CREATE TABLE users (uid INT PRIMARY KEY, name VARCHAR, last_seen INT);
+CREATE TABLE orders (oid INT PRIMARY KEY AUTO_INCREMENT, uid INT, total DOUBLE, coupon VARCHAR);
+CREATE TABLE audit (aid INT PRIMARY KEY, note VARCHAR);
+
+INSERT INTO users (uid, name, last_seen) VALUES (1, 'ada', 0);
+INSERT INTO orders (uid, total, coupon) VALUES (1, 19.5, NOW());
+
+CREATE PROCEDURE place_order(p_uid INT, p_total DOUBLE)
+BEGIN
+  INSERT INTO orders (uid, total, coupon) VALUES (p_uid, p_total, 'none');
+  UPDATE users SET last_seen = 1 WHERE uid = p_uid;
+END;
+
+CREATE PROCEDURE touch_user(p_uid INT)
+BEGIN
+  UPDATE users SET last_seen = RAND() WHERE uid = p_uid;
+END;
+
+CREATE PROCEDURE archive()
+BEGIN
+  TRUNCATE TABLE orders;
+END;
+
+ALTER TABLE orders DROP COLUMN coupon;
+
+UPDATE orders SET coupon = 'expired' WHERE oid = 1;
+
+INSERT INTO audit (aid, note) VALUES (1, 'manual poke')

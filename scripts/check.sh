@@ -1,0 +1,48 @@
+#!/usr/bin/env bash
+# Pre-merge gate: the tier-1 test suite three ways.
+#
+#   scripts/check.sh          # plain + asan + tsan
+#   scripts/check.sh plain    # any subset, in order: plain|asan|tsan|lint
+#
+# 1. plain — full ctest in build/ (every suite: unit, obs, oracle,
+#    analysis), exactly the ROADMAP.md tier-1 command.
+# 2. asan  — AddressSanitizer build running the observability + oracle
+#    labels (the suites that exercise the threaded replay/staging paths).
+# 3. tsan  — same labels under ThreadSanitizer.
+# lint (clang-tidy; no-op without the binary) runs with `lint`, or via
+# `ctest -L lint` inside any configured build.
+#
+# Sanitizer builds live in build-asan/ and build-tsan/ so they never
+# disturb the primary build/ tree. Everything is incremental after the
+# first run.
+set -eu
+
+ROOT="$(cd "$(dirname "$0")/.." && pwd)"
+cd "$ROOT"
+JOBS="${JOBS:-$(nproc)}"
+STEPS="${*:-plain asan tsan}"
+
+run_plain() {
+  echo "== plain: full tier-1 suite =="
+  cmake -B build -S . -DCMAKE_EXPORT_COMPILE_COMMANDS=ON
+  cmake --build build -j "$JOBS"
+  ctest --test-dir build --output-on-failure -j "$JOBS"
+}
+
+run_sanitized() {  # $1 = address|thread, $2 = build dir
+  echo "== $1 sanitizer: obs + oracle labels =="
+  cmake -B "$2" -S . -DULTRA_SANITIZE="$1"
+  cmake --build "$2" -j "$JOBS"
+  ctest --test-dir "$2" --output-on-failure -j "$JOBS" -L 'obs|oracle'
+}
+
+for step in $STEPS; do
+  case "$step" in
+    plain) run_plain ;;
+    asan)  run_sanitized address build-asan ;;
+    tsan)  run_sanitized thread build-tsan ;;
+    lint)  scripts/run_clang_tidy.sh build ;;
+    *) echo "unknown step '$step' (plain|asan|tsan|lint)" >&2; exit 2 ;;
+  esac
+done
+echo "check.sh: all steps passed ($STEPS)"

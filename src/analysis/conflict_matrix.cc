@@ -1,0 +1,62 @@
+#include "analysis/conflict_matrix.h"
+
+#include <algorithm>
+#include <sstream>
+
+namespace ultraverse::analysis {
+
+bool StaticallyConflict(const StaticSummary& a, const StaticSummary& b) {
+  return a.rw.wc.Intersects(b.rw.wc) || a.rw.wc.Intersects(b.rw.rc) ||
+         a.rw.rc.Intersects(b.rw.wc);
+}
+
+bool ConflictMatrix::At(const std::string& a, const std::string& b) const {
+  auto ia = std::find(procedures.begin(), procedures.end(), a);
+  auto ib = std::find(procedures.begin(), procedures.end(), b);
+  if (ia == procedures.end() || ib == procedures.end()) {
+    return true;  // unknown procedure: assume conflict (sound)
+  }
+  return conflicts[size_t(ia - procedures.begin())]
+                  [size_t(ib - procedures.begin())];
+}
+
+std::string ConflictMatrix::ToString() const {
+  std::ostringstream os;
+  size_t width = 0;
+  for (const auto& p : procedures) width = std::max(width, p.size());
+  os << "static conflict matrix (" << procedures.size()
+     << " procedures; '#' = may conflict, '.' = provably disjoint)\n";
+  for (size_t i = 0; i < procedures.size(); ++i) {
+    os << "  " << procedures[i]
+       << std::string(width - procedures[i].size() + 1, ' ');
+    for (size_t j = 0; j < procedures.size(); ++j) {
+      os << (conflicts[i][j] ? '#' : '.');
+    }
+    os << "\n";
+  }
+  return os.str();
+}
+
+Result<ConflictMatrix> BuildConflictMatrix(StaticAnalyzer* analyzer) {
+  ConflictMatrix m;
+  m.procedures = analyzer->registry().ProcedureNames();  // map order: sorted
+  std::vector<const StaticSummary*> sums;
+  sums.reserve(m.procedures.size());
+  for (const auto& name : m.procedures) {
+    UV_ASSIGN_OR_RETURN(const StaticSummary* sum,
+                        analyzer->ProcedureSummary(name));
+    sums.push_back(sum);
+  }
+  m.conflicts.assign(m.procedures.size(),
+                     std::vector<bool>(m.procedures.size(), false));
+  for (size_t i = 0; i < sums.size(); ++i) {
+    for (size_t j = i; j < sums.size(); ++j) {
+      bool c = StaticallyConflict(*sums[i], *sums[j]);
+      m.conflicts[i][j] = c;
+      m.conflicts[j][i] = c;
+    }
+  }
+  return m;
+}
+
+}  // namespace ultraverse::analysis

@@ -1,0 +1,38 @@
+#ifndef ULTRAVERSE_ANALYSIS_CONFLICT_MATRIX_H_
+#define ULTRAVERSE_ANALYSIS_CONFLICT_MATRIX_H_
+
+#include <string>
+#include <vector>
+
+#include "analysis/static_rw.h"
+#include "util/status.h"
+
+namespace ultraverse::analysis {
+
+/// Column-wise static conflict test between two summaries: a WW, WR or RW
+/// overlap anywhere in the over-approximated column sets. When this is
+/// false the two procedures can never produce a dependency edge in any
+/// execution (static ⊇ dynamic on both sides), so row-wise analysis and
+/// conflict-DAG participation can be skipped for the pair.
+bool StaticallyConflict(const StaticSummary& a, const StaticSummary& b);
+
+/// Pairwise static conflict relation over a catalog's stored procedures —
+/// the what-if planner's cheat sheet: statically disjoint pairs (false
+/// cells) need no row-wise comparison at planning time. Symmetric by
+/// construction; reflexive for any procedure that writes.
+struct ConflictMatrix {
+  std::vector<std::string> procedures;       // sorted
+  std::vector<std::vector<bool>> conflicts;  // conflicts[i][j], square
+
+  bool At(const std::string& a, const std::string& b) const;
+  /// Human-readable grid (uvlint's trailing report section).
+  std::string ToString() const;
+};
+
+/// Builds the matrix from the analyzer's current catalog, summarizing each
+/// procedure body (cached in the analyzer) with parameters wildcarded.
+Result<ConflictMatrix> BuildConflictMatrix(StaticAnalyzer* analyzer);
+
+}  // namespace ultraverse::analysis
+
+#endif  // ULTRAVERSE_ANALYSIS_CONFLICT_MATRIX_H_

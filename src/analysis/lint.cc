@@ -1,0 +1,165 @@
+#include "analysis/lint.h"
+
+#include <set>
+#include <sstream>
+
+namespace ultraverse::analysis {
+
+namespace {
+
+bool IsRawDml(const sql::Statement& stmt) {
+  switch (stmt.kind) {
+    case sql::StatementKind::kInsert:
+    case sql::StatementKind::kUpdate:
+    case sql::StatementKind::kDelete:
+      return true;
+    default:
+      return false;
+  }
+}
+
+}  // namespace
+
+std::string LintReport::ToString() const {
+  std::ostringstream os;
+  if (findings.empty()) {
+    os << "no findings\n";
+  } else {
+    for (const auto& f : findings) {
+      os << "#" << f.statement_index << " [" << f.category << "] "
+         << f.subject << ": " << f.message << "\n";
+    }
+  }
+  if (!matrix.procedures.empty()) os << matrix.ToString();
+  return os.str();
+}
+
+Result<LintReport> LintStatements(
+    const std::vector<sql::StatementPtr>& statements) {
+  LintReport report;
+  StaticAnalyzer analyzer;
+
+  struct DmlWrite {
+    size_t index;
+    std::string table;
+  };
+  std::vector<DmlWrite> raw_writes;
+  std::set<std::string> nondet_reported;  // (index, builtin) dedup is
+                                          // per-statement; set of "i|name"
+
+  for (size_t i = 0; i < statements.size(); ++i) {
+    const sql::Statement& stmt = *statements[i];
+    auto sum = analyzer.AnalyzeNext(stmt);
+    if (!sum.ok()) {
+      LintFinding f;
+      f.category = "analysis-error";
+      f.statement_index = i;
+      f.subject = sql::ToSql(stmt);
+      f.message = sum.status().ToString();
+      report.findings.push_back(std::move(f));
+      continue;
+    }
+
+    for (const auto& b : sum->nondet_builtins) {
+      std::string key = std::to_string(i) + "|" + b;
+      if (!nondet_reported.insert(key).second) continue;
+      LintFinding f;
+      f.category = "nondet-builtin";
+      f.statement_index = i;
+      f.subject = b;
+      f.message =
+          "nondeterministic builtin outside record/replay capture: a "
+          "retroactive replay re-draws its value";
+      report.findings.push_back(std::move(f));
+    }
+
+    if (stmt.kind == sql::StatementKind::kCreateProcedure) {
+      auto proc = analyzer.ProcedureSummary(stmt.create_procedure.name);
+      if (proc.ok() && (*proc)->has_ddl) {
+        LintFinding f;
+        f.category = "ddl-in-procedure";
+        f.statement_index = i;
+        f.subject = stmt.create_procedure.name;
+        f.message =
+            "procedure body contains DDL: every replay through a CALL "
+            "forces a schema rebuild and defeats Hash-jumper checkpoints";
+        report.findings.push_back(std::move(f));
+      }
+      // Body-level facts surface at the declaration site: the statement
+      // walk above never enters an uncalled body.
+      if (proc.ok()) {
+        for (const auto& b : (*proc)->nondet_builtins) {
+          LintFinding f;
+          f.category = "nondet-builtin";
+          f.statement_index = i;
+          f.subject = b;
+          f.message = "procedure " + stmt.create_procedure.name +
+                      " calls a nondeterministic builtin outside "
+                      "record/replay capture: a retroactive replay "
+                      "re-draws its value";
+          report.findings.push_back(std::move(f));
+        }
+        for (const auto& dead : (*proc)->dead_column_writes) {
+          LintFinding f;
+          f.category = "dead-column-write";
+          f.statement_index = i;
+          f.subject = dead;
+          f.message = "procedure " + stmt.create_procedure.name +
+                      " writes a column absent from the table's schema "
+                      "(dropped column or typo)";
+          report.findings.push_back(std::move(f));
+        }
+      }
+    }
+
+    for (const auto& dead : sum->dead_column_writes) {
+      LintFinding f;
+      f.category = "dead-column-write";
+      f.statement_index = i;
+      f.subject = dead;
+      f.message =
+          "write names a column absent from the table's schema at this "
+          "point (dropped column or typo)";
+      report.findings.push_back(std::move(f));
+    }
+
+    if (IsRawDml(stmt)) {
+      for (const auto& t : sum->rw.write_tables) {
+        raw_writes.push_back({i, t});
+      }
+    }
+  }
+
+  // Unowned writes: tables written by raw DML but by no procedure summary.
+  // Only meaningful when the input declares procedures at all — a plain
+  // SQL script with no application layer is not "bypassing" anything.
+  std::vector<std::string> procs = analyzer.registry().ProcedureNames();
+  if (!procs.empty()) {
+    std::set<std::string> proc_written;
+    for (const auto& name : procs) {
+      auto sum = analyzer.ProcedureSummary(name);
+      if (!sum.ok()) continue;
+      proc_written.insert((*sum)->rw.write_tables.begin(),
+                          (*sum)->rw.write_tables.end());
+    }
+    std::set<std::string> reported;
+    for (const auto& w : raw_writes) {
+      if (proc_written.count(w.table)) continue;
+      if (!analyzer.registry().FindTable(w.table)) continue;  // dropped
+      if (!reported.insert(w.table).second) continue;
+      LintFinding f;
+      f.category = "unowned-write";
+      f.statement_index = w.index;
+      f.subject = w.table;
+      f.message =
+          "raw DML writes a table no stored procedure writes: traffic "
+          "bypassing the transpiled application templates";
+      report.findings.push_back(std::move(f));
+    }
+  }
+
+  UV_ASSIGN_OR_RETURN(report.matrix, BuildConflictMatrix(&analyzer));
+  return report;
+}
+
+}  // namespace ultraverse::analysis

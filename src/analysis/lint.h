@@ -1,0 +1,51 @@
+#ifndef ULTRAVERSE_ANALYSIS_LINT_H_
+#define ULTRAVERSE_ANALYSIS_LINT_H_
+
+#include <string>
+#include <vector>
+
+#include "analysis/conflict_matrix.h"
+#include "analysis/static_rw.h"
+#include "sqldb/ast.h"
+
+namespace ultraverse::analysis {
+
+/// One lint diagnostic. Categories:
+///   "nondet-builtin"     — a nondeterministic SQL builtin (NOW, RAND, ...)
+///                          appears outside the record/replay capture path,
+///                          so a retroactive replay would re-draw it;
+///   "ddl-in-procedure"   — a procedure body contains DDL, which defeats
+///                          Hash-jumper checkpointing and forces schema
+///                          rebuilds on every replay through the CALL;
+///   "unowned-write"      — a raw DML statement writes a table no stored
+///                          procedure ever writes, i.e. traffic bypassing
+///                          the transpiled application templates §3 expects;
+///   "dead-column-write"  — a write names a column absent from the table's
+///                          schema at that point (a dropped column or typo):
+///                          a dead branch the planner still charges for.
+struct LintFinding {
+  std::string category;
+  size_t statement_index = 0;  // 0-based position in the linted sequence
+  std::string subject;         // builtin / procedure / "table.column"
+  std::string message;
+};
+
+struct LintReport {
+  std::vector<LintFinding> findings;
+  /// Procedure-pair conflict matrix of the final catalog state (empty
+  /// procedures list when the input declares none).
+  ConflictMatrix matrix;
+
+  std::string ToString() const;
+};
+
+/// Lints a statement sequence (a schema script, a query history, or both
+/// concatenated): walks it through an owned StaticAnalyzer — so DDL
+/// evolves the catalog exactly as the dynamic analyzer would see it — and
+/// reports the findings above plus the final conflict matrix.
+Result<LintReport> LintStatements(
+    const std::vector<sql::StatementPtr>& statements);
+
+}  // namespace ultraverse::analysis
+
+#endif  // ULTRAVERSE_ANALYSIS_LINT_H_

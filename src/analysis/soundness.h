@@ -1,0 +1,69 @@
+#ifndef ULTRAVERSE_ANALYSIS_SOUNDNESS_H_
+#define ULTRAVERSE_ANALYSIS_SOUNDNESS_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "analysis/static_rw.h"
+#include "core/rw_sets.h"
+
+namespace ultraverse::analysis {
+
+/// Checks the static-analysis soundness invariant for one statement:
+/// every dynamic access must be predicted by the static summary.
+/// Returns an empty string when `dyn` ⊆ `stat`, otherwise a description
+/// of the first breach found (which set, which element). The check runs
+/// on the *raw* (uncanonicalized) dynamic sets — canonicalization rewrites
+/// RI values under a union-find the static side cannot know.
+std::string ContainmentBreach(const core::QueryRW& dyn,
+                              const core::QueryRW& stat);
+
+/// Debug/oracle-mode observer asserting dynamic ⊆ static for every
+/// statement a QueryAnalyzer analyzes. Attach to an analyzer before
+/// feeding it a log; violations accumulate instead of aborting, so a
+/// fuzzer can shrink the offending history into a repro. The checker
+/// follows the analyzer's own registry (so its static walks see exactly
+/// the schema state the dynamic walk is about to see) and re-syncs RI
+/// overrides before each statement.
+class SoundnessChecker : public core::AnalysisObserver {
+ public:
+  struct Violation {
+    /// 0-based count of statements observed before this one.
+    size_t statement_ordinal = 0;
+    std::string sql;     // offending statement, printed back to SQL
+    std::string detail;  // first breach, or the static-walk error
+  };
+
+  /// Attaches to `analyzer` (replacing any previous observer). The
+  /// analyzer must outlive the checker; the checker detaches in its
+  /// destructor.
+  explicit SoundnessChecker(core::QueryAnalyzer* analyzer);
+  ~SoundnessChecker() override;
+
+  SoundnessChecker(const SoundnessChecker&) = delete;
+  SoundnessChecker& operator=(const SoundnessChecker&) = delete;
+
+  void BeforeStatement(const sql::Statement& stmt) override;
+  void AfterStatement(const sql::Statement& stmt,
+                      const core::QueryRW& raw) override;
+
+  const std::vector<Violation>& violations() const { return violations_; }
+  size_t statements_checked() const { return checked_; }
+  void ClearViolations() { violations_.clear(); }
+
+ private:
+  core::QueryAnalyzer* analyzer_;
+  StaticAnalyzer static_;
+  /// Summary computed by BeforeStatement against the pre-statement
+  /// registry, consumed by AfterStatement. Holds the static-walk error
+  /// when summarization failed (itself a violation if the dynamic walk
+  /// then succeeds).
+  Result<StaticSummary> pending_;
+  size_t checked_ = 0;
+  std::vector<Violation> violations_;
+};
+
+}  // namespace ultraverse::analysis
+
+#endif  // ULTRAVERSE_ANALYSIS_SOUNDNESS_H_

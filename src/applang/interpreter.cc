@@ -3,6 +3,7 @@
 #include <cmath>
 
 #include "applang/app_ops.h"
+#include "util/nondet_builtins.h"
 
 namespace ultraverse::app {
 
@@ -372,17 +373,19 @@ Result<AppValue> Interpreter::CallBuiltin(const std::string& name,
   }
 
   // Nondeterministic / blackbox APIs: hooks may spawn symbols (§3.3).
-  if (name == "rand" || name == "random") {
+  // Membership comes from the shared header so this dispatch can never
+  // disagree with the sqldb evaluator or the lint pass.
+  if (nondet::IsAppRandomBuiltin(name)) {
     AppValue result;
     if (hooks_->OnBuiltin(name, args, &result)) return result;
     return AppValue::Number(rng_.UniformDouble());
   }
-  if (name == "now" || name == "gettime") {
+  if (nondet::IsAppTimeBuiltin(name)) {
     AppValue result;
     if (hooks_->OnBuiltin(name, args, &result)) return result;
     return AppValue::Number(double(++clock_));
   }
-  if (name == "dom_input" || name == "user_agent") {
+  if (nondet::IsAppClientBuiltin(name)) {
     // Client-side values (§3.3): the webpage's <input> DOM nodes and the
     // client-identity fingerprint are symbols during DSE; concretely they
     // resolve from the configured client environment.
@@ -395,7 +398,7 @@ Result<AppValue> Interpreter::CallBuiltin(const std::string& name,
     if (it != client_env.end()) return it->second;
     return AppValue::String("");
   }
-  if (name == "http_send") {
+  if (nondet::IsAppBlackboxBuiltin(name)) {
     AppValue result;
     if (hooks_->OnBuiltin(name, args, &result)) return result;
     if (http_endpoint) return http_endpoint(args.empty() ? AppValue() : args[0]);

@@ -18,9 +18,15 @@ namespace {
 template <typename Sets>
 std::set<uint64_t> ClosureOneGranularity(
     const std::vector<QueryRW>& analysis, uint64_t target_index,
-    const QueryRW& target_rw, bool target_occupies_slot, Sets sets) {
+    const QueryRW& target_rw, bool target_occupies_slot, Sets sets,
+    const std::vector<TableFootprint>* static_footprints) {
   auto acc_w = sets.Writes(target_rw);  // by value: accumulators
   auto acc_r = sets.Reads(target_rw);
+  // Accumulated *dynamic* table footprint of target + joined members. A
+  // candidate whose static footprint (⊇ its dynamic footprint) is disjoint
+  // from it shares no table — hence no "T.col"/"_S.T" cell — with any
+  // accumulator, so every closure rule below is trivially false.
+  TableFootprint acc_fp = FootprintOf(target_rw);
   // Overwriting-write accumulator: the subset of acc_w written by queries
   // that can clobber *pre-existing* cells (UPDATE/DELETE/DDL — see
   // QueryRW::overwrites). Used by the write-write rule below.
@@ -40,6 +46,10 @@ std::set<uint64_t> ClosureOneGranularity(
     if (target_occupies_slot && idx == target_index) continue;
     const QueryRW& rw = analysis[idx - 1];
     if (sets.WriteEmpty(rw)) continue;  // read-only queries never replay
+    if (static_footprints && idx - 1 < static_footprints->size() &&
+        !(*static_footprints)[idx - 1].Intersects(acc_fp)) {
+      continue;  // statically disjoint: no rule can fire
+    }
     bool rule1 = sets.Intersect(sets.Reads(rw), acc_w);
     bool read_then_write = sets.Intersect(sets.Writes(rw), acc_r);
     // Write-write: values must land in rewritten-history order, exactly as
@@ -65,6 +75,7 @@ std::set<uint64_t> ClosureOneGranularity(
       sets.MergeInto(&acc_w, sets.Writes(rw));
       sets.MergeInto(&acc_r, sets.Reads(rw));
       if (rw.overwrites) sets.MergeInto(&acc_ow, sets.Writes(rw));
+      if (static_footprints) acc_fp.Merge(FootprintOf(rw));
     }
   }
   return members;
@@ -108,16 +119,18 @@ ReplayPlan ComputeReplayPlan(const std::vector<QueryRW>& analysis,
     // Theorem 20: 𝕀 = 𝕀_c ∩ 𝕀_r.
     std::set<uint64_t> col = ClosureOneGranularity(
         analysis, target_index, target_rw, target_occupies_slot,
-        ColumnGranularity{});
+        ColumnGranularity{}, options.static_footprints);
     std::set<uint64_t> row = ClosureOneGranularity(
         analysis, target_index, target_rw, target_occupies_slot,
-        RowGranularity{});
+        RowGranularity{}, options.static_footprints);
     for (uint64_t idx : col) {
       if (row.count(idx)) members.insert(idx);
     }
   } else if (options.column_wise) {
-    members = ClosureOneGranularity(analysis, target_index, target_rw,
-                                    target_occupies_slot, ColumnGranularity{});
+    members =
+        ClosureOneGranularity(analysis, target_index, target_rw,
+                              target_occupies_slot, ColumnGranularity{},
+                              options.static_footprints);
   } else {
     // No dependency analysis: replay the whole suffix (baseline behaviour).
     // Same slot-occupancy rule as above: for add, log[target_index] is part

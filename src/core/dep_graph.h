@@ -15,6 +15,15 @@ namespace ultraverse::core {
 struct DependencyOptions {
   bool column_wise = true;
   bool row_wise = true;
+
+  /// Optional static pre-filter (produced by src/analysis): entry i is a
+  /// table-level footprint that over-approximates analysis[i]'s footprint
+  /// (static summary ⊇ dynamic sets, so static footprint ⊇ dynamic
+  /// footprint). During closure computation a candidate whose *static*
+  /// footprint is disjoint from the accumulated member footprint cannot
+  /// satisfy any closure rule, so its ColumnSet/RowSet intersections are
+  /// skipped outright. nullptr disables the pre-filter.
+  const std::vector<TableFootprint>* static_footprints = nullptr;
 };
 
 /// The pruned rollback & replay plan for one retroactive operation.

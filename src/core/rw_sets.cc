@@ -81,6 +81,54 @@ size_t QueryRW::ApproxLogBytes() const {
 }
 
 // ---------------------------------------------------------------------------
+// TableFootprint
+// ---------------------------------------------------------------------------
+
+void TableFootprint::Merge(const TableFootprint& other) {
+  universal = universal || other.universal;
+  tables.insert(other.tables.begin(), other.tables.end());
+}
+
+bool TableFootprint::Intersects(const TableFootprint& other) const {
+  if (universal || other.universal) return true;
+  const auto& small = tables.size() <= other.tables.size() ? tables
+                                                           : other.tables;
+  const auto& big = tables.size() <= other.tables.size() ? other.tables
+                                                         : tables;
+  for (const auto& t : small) {
+    if (big.count(t)) return true;
+  }
+  return false;
+}
+
+namespace {
+/// "T.col" -> T, "_S.T" -> T (schema pseudo-columns project onto their
+/// object so a DDL's footprint collides with DML on the same table).
+std::string FootprintTable(const std::string& item) {
+  if (item.rfind("_S.", 0) == 0) return item.substr(3);
+  size_t dot = item.find('.');
+  return dot == std::string::npos ? item : item.substr(0, dot);
+}
+}  // namespace
+
+TableFootprint FootprintOf(const QueryRW& rw) {
+  TableFootprint fp;
+  for (const auto& c : rw.rc.items) fp.tables.insert(FootprintTable(c));
+  for (const auto& c : rw.wc.items) fp.tables.insert(FootprintTable(c));
+  for (const auto& [col, vals] : rw.rr.cols) {
+    (void)vals;
+    fp.tables.insert(FootprintTable(col));
+  }
+  for (const auto& [col, vals] : rw.wr.cols) {
+    (void)vals;
+    fp.tables.insert(FootprintTable(col));
+  }
+  fp.tables.insert(rw.read_tables.begin(), rw.read_tables.end());
+  fp.tables.insert(rw.write_tables.begin(), rw.write_tables.end());
+  return fp;
+}
+
+// ---------------------------------------------------------------------------
 // SchemaRegistry
 // ---------------------------------------------------------------------------
 
@@ -208,6 +256,16 @@ std::vector<std::string> SchemaRegistry::TableNames() const {
   out.reserve(tables_.size());
   for (const auto& [name, info] : tables_) {
     (void)info;
+    out.push_back(name);
+  }
+  return out;
+}
+
+std::vector<std::string> SchemaRegistry::ProcedureNames() const {
+  std::vector<std::string> out;
+  out.reserve(procedures_.size());
+  for (const auto& [name, proc] : procedures_) {
+    (void)proc;
     out.push_back(name);
   }
   return out;
@@ -1051,16 +1109,23 @@ Result<QueryRW> QueryAnalyzer::AnalyzeEntry(const sql::LogEntry& entry) {
   entries->Inc();
   obs::ScopedLatency timer(latency);
   QueryRW rw;
+  // The observer's Before hook sees the registry exactly as this entry's
+  // analysis will (pre-mutation); the After hook gets the raw sets before
+  // any canonicalization rewrites RI values under the union-find.
+  if (observer_) observer_->BeforeStatement(*entry.stmt);
   AnalyzerImpl impl(this, &entry.nondet, &entry.captured_vars);
   UV_RETURN_NOT_OK(impl.Analyze(*entry.stmt, &rw));
+  if (observer_) observer_->AfterStatement(*entry.stmt, rw);
   return rw;
 }
 
 Result<QueryRW> QueryAnalyzer::AnalyzeStatement(
     const sql::Statement& stmt, const sql::NondetRecord* nondet) {
   QueryRW rw;
+  if (observer_) observer_->BeforeStatement(stmt);
   AnalyzerImpl impl(this, nondet);
   UV_RETURN_NOT_OK(impl.Analyze(stmt, &rw));
+  if (observer_) observer_->AfterStatement(stmt, rw);
   CanonicalizeRowSets(&rw);
   return rw;
 }

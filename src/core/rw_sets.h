@@ -75,6 +75,25 @@ struct QueryRW {
   size_t ApproxLogBytes() const;
 };
 
+/// Table-level projection of a QueryRW: every table named by its column
+/// sets, row sets or table sets ("_S.T" entries project to T). Used as a
+/// cheap sound pre-filter during dependency planning: two QueryRWs whose
+/// footprints are disjoint cannot intersect in any granularity, so the
+/// expensive ColumnSet/RowSet intersections can be skipped outright.
+struct TableFootprint {
+  std::set<std::string> tables;
+  /// Conservative escape hatch: a universal footprint intersects
+  /// everything (used when a statement could not be summarized).
+  bool universal = false;
+
+  void Merge(const TableFootprint& other);
+  bool Intersects(const TableFootprint& other) const;
+};
+
+/// Computes the footprint of `rw` (table prefixes of rc/wc items and
+/// rr/wr keys, plus read_tables/write_tables).
+TableFootprint FootprintOf(const QueryRW& rw);
+
 /// Catalog snapshot the analyzer evolves as it walks DDL in the log. It
 /// mirrors the database catalog but is independent so analysis can run on a
 /// copied log on another machine (§5.3).
@@ -110,12 +129,28 @@ class SchemaRegistry {
   void AddRiAlias(const std::string& table, const std::string& alias_column);
 
   std::vector<std::string> TableNames() const;
+  std::vector<std::string> ProcedureNames() const;
 
  private:
   std::map<std::string, TableInfo> tables_;
   std::map<std::string, std::shared_ptr<sql::SelectStatement>> views_;
   std::map<std::string, sql::CreateProcedureStatement> procedures_;
   std::map<std::string, sql::CreateTriggerStatement> triggers_;
+};
+
+/// Hook invoked around each statement's dynamic analysis. The static
+/// soundness checker (src/analysis) implements this to compute a static
+/// summary against the pre-statement registry state (BeforeStatement) and
+/// assert containment of the raw dynamic sets (AfterStatement). Core only
+/// defines the interface; it never depends on the analysis layer.
+class AnalysisObserver {
+ public:
+  virtual ~AnalysisObserver() = default;
+  /// Called before the statement's analysis mutates any analyzer state.
+  virtual void BeforeStatement(const sql::Statement& stmt) = 0;
+  /// Called with the raw (uncanonicalized) per-statement sets.
+  virtual void AfterStatement(const sql::Statement& stmt,
+                              const QueryRW& raw) = 0;
 };
 
 /// Derives per-query R/W sets from a committed-query log. The analyzer is
@@ -126,7 +161,27 @@ class QueryAnalyzer {
  public:
   QueryAnalyzer() = default;
 
+  struct RiConfig {
+    std::string ri_column;
+    std::vector<std::string> aliases;
+    bool operator==(const RiConfig&) const = default;
+  };
+
   SchemaRegistry* registry() { return &registry_; }
+  const SchemaRegistry* registry() const { return &registry_; }
+
+  /// RI configuration overrides installed via ConfigureRi, exposed so the
+  /// static analyzer can mirror them when it replays intra-statement DDL
+  /// against its own scratch registry.
+  const std::map<std::string, RiConfig>& ri_configs() const {
+    return ri_overrides_;
+  }
+
+  /// Installs (or clears, with nullptr) the analysis observer. At most one
+  /// observer is active; the caller owns its lifetime and must detach
+  /// before destroying it.
+  void set_observer(AnalysisObserver* observer) { observer_ = observer; }
+  AnalysisObserver* observer() const { return observer_; }
 
   /// Configures the RI column (and optional alias columns) used for table
   /// `table` in row-wise analysis. Overrides survive re-analysis: they are
@@ -156,11 +211,8 @@ class QueryAnalyzer {
 
  private:
   friend class AnalyzerImpl;
-  struct RiConfig {
-    std::string ri_column;
-    std::vector<std::string> aliases;
-  };
   SchemaRegistry registry_;
+  AnalysisObserver* observer_ = nullptr;
   std::map<std::string, RiConfig> ri_overrides_;
   // Union-find over canonical RI value keys ("Table.col|value_enc").
   std::map<std::string, std::string> merge_parent_;

@@ -35,8 +35,40 @@ Result<TxnScheduler::Stats> TxnScheduler::ExecuteBatch(
   Stopwatch analysis_watch;
   std::optional<obs::TraceSpan> stage_span;
   stage_span.emplace("scheduler.analysis");
+  // Static pre-filter: a statement whose static summary is column-wise
+  // disjoint from every other member's can neither create nor receive a
+  // conflict edge (static ⊇ dynamic), so its dynamic analysis is skipped
+  // and it schedules immediately. Its locks come from the static summary's
+  // table sets, a superset of the dynamic ones.
+  std::vector<bool> skip(batch.size(), false);
+  std::vector<std::optional<QueryRW>> stat;
+  if (options_.static_summary) {
+    stat.resize(batch.size());
+    for (size_t i = 0; i < batch.size(); ++i) {
+      stat[i] = options_.static_summary(*batch[i]);
+    }
+    auto conflict = [](const QueryRW& a, const QueryRW& b) {
+      return a.wc.Intersects(b.wc) || a.wc.Intersects(b.rc) ||
+             a.rc.Intersects(b.wc);
+    };
+    for (size_t i = 0; i < batch.size(); ++i) {
+      if (!stat[i]) continue;
+      bool disjoint = true;
+      for (size_t j = 0; j < batch.size() && disjoint; ++j) {
+        if (j == i) continue;
+        disjoint = stat[j] && !conflict(*stat[i], *stat[j]);
+      }
+      skip[i] = disjoint;
+    }
+  }
   std::vector<QueryRW> rw(batch.size());
   for (size_t i = 0; i < batch.size(); ++i) {
+    if (skip[i]) {
+      rw[i].read_tables = stat[i]->read_tables;
+      rw[i].write_tables = stat[i]->write_tables;
+      ++stats.prefiltered;
+      continue;  // empty rc/wc/rr/wr: contributes no DAG cells
+    }
     UV_ASSIGN_OR_RETURN(rw[i],
                         analyzer_->AnalyzeStatement(*batch[i], nullptr));
   }

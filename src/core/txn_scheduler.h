@@ -1,6 +1,8 @@
 #ifndef ULTRAVERSE_CORE_TXN_SCHEDULER_H_
 #define ULTRAVERSE_CORE_TXN_SCHEDULER_H_
 
+#include <functional>
+#include <optional>
 #include <vector>
 
 #include "core/rw_sets.h"
@@ -20,12 +22,26 @@ class TxnScheduler {
  public:
   struct Options {
     int num_threads = 8;
+
+    /// Optional static pre-filter (wired from src/analysis): returns the
+    /// all-paths static RW summary of a statement — an over-approximation
+    /// of every dynamic execution, parameters abstracted to wildcards —
+    /// or nullopt when unknown. A batch statement whose static summary is
+    /// column-wise disjoint from every other member's provably conflicts
+    /// with nothing: its per-statement dynamic analysis and conflict-DAG
+    /// participation are skipped, and its table locks come from the static
+    /// summary's (superset) table sets.
+    std::function<std::optional<QueryRW>(const sql::Statement&)>
+        static_summary;
   };
 
   struct Stats {
     size_t executed = 0;
     /// Longest conflicting chain: the batch's inherent serial fraction.
     size_t critical_path = 0;
+    /// Statements the static pre-filter proved disjoint (dynamic analysis
+    /// skipped).
+    size_t prefiltered = 0;
     double analysis_seconds = 0;
     double execute_seconds = 0;
   };

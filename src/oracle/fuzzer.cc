@@ -356,6 +356,40 @@ FuzzReport Fuzz(const FuzzOptions& options) {
 
     WhatIfCase c = GenerateCase(options.seed, n);
     ++report.cases_run;
+    if (options.check_static) {
+      Result<std::vector<std::string>> contained =
+          CheckStaticContainment(c.history);
+      ++report.containment_checked;
+      if (!contained.ok()) {
+        // The history built once (generator invariant) but the containment
+        // universe failed: a fuzzer/oracle bug, not a soundness breach.
+        say("case " + std::to_string(n) +
+            " [static-containment] error: " + contained.status().ToString());
+      } else if (!contained->empty()) {
+        ++report.containment_violations;
+        say("case " + std::to_string(n) + " [static-containment] BREACH: " +
+            (*contained)[0]);
+        auto still_breaches = [](const WhatIfCase& cand) {
+          Result<std::vector<std::string>> v =
+              CheckStaticContainment(cand.history);
+          return v.ok() && !v->empty();
+        };
+        FuzzFailure failure;
+        failure.case_number = n;
+        failure.shrunk =
+            options.shrink ? ShrinkCaseIf(c, still_breaches) : c;
+        failure.result.ok = false;
+        failure.result.mode = "static-containment";
+        Result<std::vector<std::string>> shrunk_v =
+            CheckStaticContainment(failure.shrunk.history);
+        failure.result.error =
+            shrunk_v.ok() && !shrunk_v->empty()
+                ? (*shrunk_v)[0]
+                : (*contained)[0];
+        report.failures.push_back(std::move(failure));
+        continue;  // a breached case's divergences add no information
+      }
+    }
     for (const auto& mode : options.modes) {
       OracleResult r = CheckCase(c, mode);
       ++report.checks_run;

@@ -24,6 +24,11 @@ struct FuzzOptions {
   bool shrink = true;
   size_t min_statements = 6;
   size_t max_statements = 22;
+  /// Also run the static-soundness oracle on every generated history:
+  /// replay it through a SoundnessChecker and treat any dynamic⊄static
+  /// containment breach as a failure (reported with mode
+  /// "static-containment" and shrunk like a divergence).
+  bool check_static = false;
   /// Optional progress sink (one line per event; CLI wires this to stderr).
   std::function<void(const std::string&)> progress;
 };
@@ -38,6 +43,10 @@ struct FuzzReport {
   size_t cases_run = 0;
   size_t checks_run = 0;     // case × mode pairs executed
   size_t divergences = 0;
+  /// Static-soundness oracle activity (check_static=true): histories
+  /// checked and containment breaches found (also counted as failures).
+  size_t containment_checked = 0;
+  size_t containment_violations = 0;
   std::vector<FuzzFailure> failures;
 };
 

@@ -2,6 +2,7 @@
 
 #include <sstream>
 
+#include "analysis/soundness.h"
 #include "sqldb/parser.h"
 
 namespace ultraverse::oracle {
@@ -321,6 +322,24 @@ WhatIfCase ShrinkCase(const WhatIfCase& c,
                       const std::vector<ModeConfig>& configs) {
   return ShrinkCaseIf(
       c, [&](const WhatIfCase& cand) { return Reproduces(cand, configs); });
+}
+
+Result<std::vector<std::string>> CheckStaticContainment(
+    const std::vector<std::string>& history) {
+  UV_ASSIGN_OR_RETURN(std::unique_ptr<Universe> u, Universe::Build(history));
+  // A fresh analyzer (not the universe's own, which may already have
+  // walked the log): the checker must observe every entry from the empty
+  // registry state forward.
+  core::QueryAnalyzer analyzer;
+  analysis::SoundnessChecker checker(&analyzer);
+  UV_RETURN_NOT_OK(analyzer.AnalyzeLog(u->log()).status());
+  std::vector<std::string> out;
+  out.reserve(checker.violations().size());
+  for (const auto& v : checker.violations()) {
+    out.push_back("statement #" + std::to_string(v.statement_ordinal + 1) +
+                  " `" + v.sql + "`: " + v.detail);
+  }
+  return out;
 }
 
 }  // namespace ultraverse::oracle

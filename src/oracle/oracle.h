@@ -128,6 +128,14 @@ WhatIfCase ShrinkCaseIf(
 WhatIfCase ShrinkCase(const WhatIfCase& c,
                       const std::vector<ModeConfig>& configs);
 
+/// Static-soundness oracle: builds a fresh universe for `history`, replays
+/// its log through a fresh QueryAnalyzer with a SoundnessChecker attached,
+/// and returns one description per containment violation (empty = the
+/// static summaries cover every dynamic access). Build failures are
+/// errors; containment violations are data.
+Result<std::vector<std::string>> CheckStaticContainment(
+    const std::vector<std::string>& history);
+
 }  // namespace ultraverse::oracle
 
 #endif  // ULTRAVERSE_ORACLE_ORACLE_H_

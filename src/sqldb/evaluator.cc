@@ -5,6 +5,7 @@
 #include <cmath>
 #include <map>
 
+#include "util/nondet_builtins.h"
 #include "util/string_util.h"
 
 namespace ultraverse::sql {
@@ -289,12 +290,13 @@ Result<Value> Evaluator::EvalFunc(const Expr& e, const RowScope* scope) {
     return Value::String(s.substr(from, len));
   }
   // Nondeterministic functions: recorded/replayed via ExecContext (§4.4).
-  if (f == "NOW" || f == "CURTIME" || f == "CURRENT_TIMESTAMP" ||
-      f == "UNIX_TIMESTAMP") {
+  // The shared membership predicates keep this dispatch, the DSE layer and
+  // the static lint pass agreeing on what counts as nondeterministic.
+  if (nondet::IsSqlTimeBuiltin(f)) {
     return ctx_->NextNondetValue(
         [&] { return Value::Int(db_->NextTimestamp()); });
   }
-  if (f == "RAND" || f == "RANDOM") {
+  if (nondet::IsSqlRandomBuiltin(f)) {
     return ctx_->NextNondetValue(
         [&] { return Value::Double(db_->rng_.UniformDouble()); });
   }

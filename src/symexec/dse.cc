@@ -5,6 +5,7 @@
 #include "applang/interpreter.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
+#include "util/nondet_builtins.h"
 #include "util/stopwatch.h"
 
 namespace ultraverse::sym {
@@ -93,12 +94,14 @@ class DseHooks : public app::InterpreterHooks {
                  AppValue* result) override {
     // Nondeterministic / blackbox native API: spawn a fresh symbol (§3.3).
     // Client-side values (DOM inputs, navigator.userAgent) are named after
-    // their source so every path shares one symbol per input field.
+    // their source so every path shares one symbol per input field. The
+    // shared nondet header classifies the names; only client-side builtins
+    // get source-stable symbols.
     std::string sym;
-    if (name == "dom_input" && !args.empty()) {
-      sym = "dom_" + args[0].ToStr();
-    } else if (name == "user_agent") {
+    if (nondet::IsAppClientBuiltin(name) && name == "user_agent") {
       sym = "client_user_agent";
+    } else if (nondet::IsAppClientBuiltin(name) && !args.empty()) {
+      sym = "dom_" + args[0].ToStr();
     } else {
       sym = "bb_" + name + "_" + std::to_string(++bb_counter_);
     }
@@ -106,7 +109,7 @@ class DseHooks : public app::InterpreterHooks {
         blackbox_symbols_.end()) {
       blackbox_symbols_.push_back(sym);
     }
-    if (name == "http_send") {
+    if (nondet::IsAppBlackboxBuiltin(name)) {
       // Opaque response object: field reads mint child symbols via OnAccess.
       AppValue obj = AppValue::Object();
       SetTag(&obj, SymExpr::Symbol(sym, SymbolOrigin::kBlackbox));

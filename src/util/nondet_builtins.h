@@ -1,0 +1,63 @@
+#ifndef ULTRAVERSE_UTIL_NONDET_BUILTINS_H_
+#define ULTRAVERSE_UTIL_NONDET_BUILTINS_H_
+
+#include <string>
+
+namespace ultraverse::nondet {
+
+// The single source of truth for which builtins are nondeterministic.
+//
+// Three subsystems must agree on these lists or record/replay breaks
+// silently: the sqldb evaluator (records each call's value in the
+// NondetRecord so retroactive replay substitutes the logged result, §4.4),
+// the application-language interpreter backing the DSE layer (each call
+// spawns a blackbox symbol during concolic execution, §3.3), and the
+// static analysis / lint pass (flags uses so reviewers know which
+// statements depend on capture). Membership checks below are the only
+// place the names are spelled.
+
+// --- SQL level (sqldb). Function names are upper-cased by the parser. ----
+
+inline bool IsSqlTimeBuiltin(const std::string& upper_name) {
+  return upper_name == "NOW" || upper_name == "CURTIME" ||
+         upper_name == "CURRENT_TIMESTAMP" || upper_name == "UNIX_TIMESTAMP";
+}
+
+inline bool IsSqlRandomBuiltin(const std::string& upper_name) {
+  return upper_name == "RAND" || upper_name == "RANDOM";
+}
+
+inline bool IsSqlNondetBuiltin(const std::string& upper_name) {
+  return IsSqlTimeBuiltin(upper_name) || IsSqlRandomBuiltin(upper_name);
+}
+
+// --- Application level (UvScript). Names are case-sensitive. -------------
+
+inline bool IsAppRandomBuiltin(const std::string& name) {
+  return name == "rand" || name == "random";
+}
+
+inline bool IsAppTimeBuiltin(const std::string& name) {
+  return name == "now" || name == "gettime";
+}
+
+/// Client-side environment reads (§3.3): DOM inputs and the client
+/// fingerprint resolve from the configured client environment concretely
+/// and become per-input symbols under DSE.
+inline bool IsAppClientBuiltin(const std::string& name) {
+  return name == "dom_input" || name == "user_agent";
+}
+
+/// Opaque external services whose responses are blackbox objects.
+inline bool IsAppBlackboxBuiltin(const std::string& name) {
+  return name == "http_send";
+}
+
+inline bool IsAppNondetBuiltin(const std::string& name) {
+  return IsAppRandomBuiltin(name) || IsAppTimeBuiltin(name) ||
+         IsAppClientBuiltin(name) || IsAppBlackboxBuiltin(name);
+}
+
+}  // namespace ultraverse::nondet
+
+#endif  // ULTRAVERSE_UTIL_NONDET_BUILTINS_H_

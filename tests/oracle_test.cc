@@ -533,23 +533,28 @@ TEST(ReproFormatTest, RoundTripsThroughSqlFile) {
 // --- fuzz smoke ------------------------------------------------------------
 
 // Deterministic-seed fuzz smoke: >= 200 histories, every standard mode
-// pair checked against the full-naive oracle, zero divergences expected.
+// pair checked against the full-naive oracle, zero divergences expected —
+// and, with check_static, every history's dynamic analysis validated
+// against the static summaries (dynamic ⊆ static, zero breaches).
 // (The tier-1 gate runs this via `ctest -L oracle`.)
 TEST(FuzzSmokeTest, TwoHundredHistoriesAllModePairsNoDivergence) {
   FuzzOptions options;
   options.seed = 0xC0FFEE;
   options.histories = 200;
   options.shrink = true;
+  options.check_static = true;
   FuzzReport report = Fuzz(options);
   EXPECT_EQ(report.cases_run, 200u);
   EXPECT_GE(report.checks_run, 200u * StandardModeConfigs().size());
+  EXPECT_EQ(report.containment_checked, 200u);
   std::string details;
   for (const auto& f : report.failures) {
     details += "case " + std::to_string(f.case_number) + " [" +
-               f.result.mode + "]\n" + f.shrunk.ToReproSql() +
-               f.result.diff.ToString() + "\n";
+               f.result.mode + "]\n" + f.result.error + "\n" +
+               f.shrunk.ToReproSql() + f.result.diff.ToString() + "\n";
   }
   EXPECT_EQ(report.divergences, 0u) << details;
+  EXPECT_EQ(report.containment_violations, 0u) << details;
 }
 
 TEST(FuzzSmokeTest, GenerationIsDeterministicPerSeed) {

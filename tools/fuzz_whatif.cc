@@ -2,6 +2,7 @@
 //
 //   fuzz_whatif --seed 7 --histories 500         # fixed case count
 //   fuzz_whatif --fuzz-seconds 60                # wall-clock budget
+//   fuzz_whatif --check-static --histories 200   # + static-soundness oracle
 //   fuzz_whatif --repro failing.sql              # re-run a repro file
 //
 // Every generated case runs each selective-replay mode pair against the
@@ -23,7 +24,8 @@ namespace {
 int Usage(const char* argv0) {
   std::fprintf(stderr,
                "usage: %s [--seed N] [--histories N] [--fuzz-seconds S]\n"
-               "          [--no-shrink] [--repro FILE] [--out-dir DIR]\n",
+               "          [--check-static] [--no-shrink] [--repro FILE]\n"
+               "          [--out-dir DIR]\n",
                argv0);
   return 2;
 }
@@ -82,6 +84,8 @@ int main(int argc, char** argv) {
     } else if (!std::strcmp(argv[i], "--fuzz-seconds")) {
       options.seconds = std::strtod(need_value("--fuzz-seconds"), nullptr);
       if (!histories_set) options.histories = 0;  // run on the clock alone
+    } else if (!std::strcmp(argv[i], "--check-static")) {
+      options.check_static = true;
     } else if (!std::strcmp(argv[i], "--no-shrink")) {
       options.shrink = false;
     } else if (!std::strcmp(argv[i], "--repro")) {
@@ -102,6 +106,10 @@ int main(int argc, char** argv) {
 
   std::printf("cases: %zu  checks: %zu  divergences: %zu\n", report.cases_run,
               report.checks_run, report.divergences);
+  if (options.check_static) {
+    std::printf("containment: %zu histories checked, %zu violations\n",
+                report.containment_checked, report.containment_violations);
+  }
   int written = 0;
   for (const auto& failure : report.failures) {
     std::string path = out_dir + "/whatif_repro_" +
@@ -111,10 +119,14 @@ int main(int argc, char** argv) {
     out << failure.shrunk.ToReproSql();
     std::printf("wrote %s (%zu statements, mode %s)\n", path.c_str(),
                 failure.shrunk.history.size(), failure.result.mode.c_str());
+    if (!failure.result.error.empty()) {
+      std::printf("  %s\n", failure.result.error.c_str());
+    }
     if (!failure.result.diff.equal()) {
       std::printf("%s", failure.result.diff.ToString().c_str());
     }
     ++written;
   }
-  return report.divergences == 0 ? 0 : 1;
+  return report.divergences == 0 && report.containment_violations == 0 ? 0
+                                                                       : 1;
 }

@@ -1,0 +1,154 @@
+// Static lint for Ultraverse-managed SQL (DESIGN.md §10).
+//
+//   uvlint schema.sql history.sql        # lint .sql files, in order
+//   uvlint --workload tpcc               # lint a bundled workload's history
+//   uvlint --workload all                # every bundled workload
+//   uvlint --txns 25 --workload astore   # history length per workload
+//
+// Reports, per statement: nondeterministic builtins outside the
+// record/replay capture path, DDL inside stored procedures, raw DML
+// writing tables no procedure writes, and writes to dropped columns —
+// followed by the procedure-pair static conflict matrix. Exits 1 when any
+// finding is reported (the matrix alone is not a finding).
+
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "analysis/lint.h"
+#include "core/ultraverse.h"
+#include "sqldb/parser.h"
+#include "workloads/workload.h"
+
+namespace {
+
+using ultraverse::Result;
+using ultraverse::analysis::LintReport;
+using ultraverse::analysis::LintStatements;
+
+int Usage(const char* argv0) {
+  std::fprintf(stderr,
+               "usage: %s [FILE.sql ...] [--workload NAME|all] [--txns N]\n",
+               argv0);
+  return 2;
+}
+
+/// Strips `--` line comments (outside single-quoted strings) so lint
+/// inputs — including fuzzer repro files with trailing directive
+/// comments — can go straight through Parser::ParseScript.
+std::string StripComments(const std::string& text) {
+  std::string out;
+  bool in_str = false;
+  for (size_t i = 0; i < text.size(); ++i) {
+    char c = text[i];
+    if (!in_str && c == '-' && i + 1 < text.size() && text[i + 1] == '-') {
+      while (i < text.size() && text[i] != '\n') ++i;
+      if (i < text.size()) out += '\n';
+      continue;
+    }
+    if (c == '\'') in_str = !in_str;
+    out += c;
+  }
+  return out;
+}
+
+int LintFiles(const std::vector<std::string>& paths) {
+  std::vector<ultraverse::sql::StatementPtr> statements;
+  for (const auto& path : paths) {
+    std::ifstream in(path);
+    if (!in) {
+      std::fprintf(stderr, "cannot open %s\n", path.c_str());
+      return 2;
+    }
+    std::stringstream buffer;
+    buffer << in.rdbuf();
+    auto parsed =
+        ultraverse::sql::Parser::ParseScript(StripComments(buffer.str()));
+    if (!parsed.ok()) {
+      std::fprintf(stderr, "%s: parse error: %s\n", path.c_str(),
+                   parsed.status().ToString().c_str());
+      return 2;
+    }
+    statements.insert(statements.end(), parsed->begin(), parsed->end());
+  }
+  Result<LintReport> report = LintStatements(statements);
+  if (!report.ok()) {
+    std::fprintf(stderr, "lint failed: %s\n",
+                 report.status().ToString().c_str());
+    return 2;
+  }
+  std::printf("%s", report->ToString().c_str());
+  return report->findings.empty() ? 0 : 1;
+}
+
+int LintWorkload(const std::string& name, size_t txns) {
+  ultraverse::core::Ultraverse uv;
+  auto workload = ultraverse::workload::MakeWorkload(name, /*scale=*/1);
+  if (!workload) {
+    std::fprintf(stderr, "unknown workload %s\n", name.c_str());
+    return 2;
+  }
+  ultraverse::workload::Driver driver(std::move(workload), &uv, {});
+  ultraverse::Status st = driver.Setup();
+  if (st.ok()) st = driver.RunHistory(txns);
+  if (!st.ok()) {
+    std::fprintf(stderr, "%s: setup failed: %s\n", name.c_str(),
+                 st.ToString().c_str());
+    return 2;
+  }
+  std::vector<ultraverse::sql::StatementPtr> statements;
+  for (const auto& entry : uv.log()->entries()) {
+    statements.push_back(entry.stmt);
+  }
+  Result<LintReport> report = LintStatements(statements);
+  if (!report.ok()) {
+    std::fprintf(stderr, "%s: lint failed: %s\n", name.c_str(),
+                 report.status().ToString().c_str());
+    return 2;
+  }
+  std::printf("== %s (%zu logged statements) ==\n%s", name.c_str(),
+              statements.size(), report->ToString().c_str());
+  return report->findings.empty() ? 0 : 1;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::vector<std::string> files;
+  std::string workload;
+  size_t txns = 10;
+
+  for (int i = 1; i < argc; ++i) {
+    auto need_value = [&](const char* flag) -> const char* {
+      if (i + 1 >= argc) {
+        std::fprintf(stderr, "%s needs a value\n", flag);
+        std::exit(2);
+      }
+      return argv[++i];
+    };
+    if (!std::strcmp(argv[i], "--workload")) {
+      workload = need_value("--workload");
+    } else if (!std::strcmp(argv[i], "--txns")) {
+      txns = std::strtoull(need_value("--txns"), nullptr, 10);
+    } else if (argv[i][0] == '-') {
+      return Usage(argv[0]);
+    } else {
+      files.push_back(argv[i]);
+    }
+  }
+  if (files.empty() && workload.empty()) return Usage(argv[0]);
+
+  int rc = 0;
+  if (!files.empty()) rc = std::max(rc, LintFiles(files));
+  if (workload == "all") {
+    for (const auto& name : ultraverse::workload::AllWorkloadNames()) {
+      rc = std::max(rc, LintWorkload(name, txns));
+    }
+  } else if (!workload.empty()) {
+    rc = std::max(rc, LintWorkload(workload, txns));
+  }
+  return rc;
+}
