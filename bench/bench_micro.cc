@@ -5,10 +5,13 @@
 #include <benchmark/benchmark.h>
 
 #include <deque>
+#include <filesystem>
 #include <mutex>
 #include <thread>
 
 #include "analysis/static_rw.h"
+#include "fault/failpoint.h"
+#include "sqldb/wal/wal.h"
 #include "bench_util.h"
 #include "core/dep_graph.h"
 #include "core/rw_sets.h"
@@ -339,6 +342,92 @@ void BM_ReplayPlanPrefilter(benchmark::State& state) {
 }
 BENCHMARK(BM_ReplayPlanPrefilter)->Arg(0)->Arg(1)
     ->Unit(benchmark::kMicrosecond);
+
+// --- fault injection + durable WAL (DESIGN.md §11) -------------------------
+
+void BM_FailpointDisabled(benchmark::State& state) {
+  // The contract of UV_FAILPOINT while nothing is armed: one relaxed
+  // atomic load, no registry lookup, no lock.
+  fault::FailpointRegistry::Global().DisarmAll();
+  for (auto _ : state) {
+    Status st = UV_FAILPOINT_EVAL("bench.fp.disabled");
+    benchmark::DoNotOptimize(st.ok());
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_FailpointDisabled);
+
+void BM_FailpointArmedElsewhere(benchmark::State& state) {
+  // Gate open (some other site armed): this site pays the registry lookup
+  // — the cost every site bears while any fault is being injected.
+  fault::FailpointConfig config;
+  config.probability = 0.0;  // never actually fires
+  fault::FailpointRegistry::Global().Arm("bench.fp.other", config);
+  for (auto _ : state) {
+    Status st = UV_FAILPOINT_EVAL("bench.fp.bystander");
+    benchmark::DoNotOptimize(st.ok());
+  }
+  fault::FailpointRegistry::Global().DisarmAll();
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_FailpointArmedElsewhere);
+
+void BM_WalAppend(benchmark::State& state) {
+  // Arg = fsync_every_n: 1 = fsync per append (safest), 64 = group
+  // commit, 0 = buffer only (sync deferred to the commit point).
+  const uint64_t every_n = uint64_t(state.range(0));
+  sql::LogEntry entry;
+  entry.index = 1;
+  entry.sql = "INSERT INTO accounts (owner, balance) VALUES ('alice', 100)";
+  entry.stmt = *sql::Parser::ParseStatement(entry.sql);
+  std::string path =
+      (std::filesystem::temp_directory_path() / "uv_bench_wal.tmp").string();
+  std::filesystem::remove(path);
+  sql::WalOptions options;
+  options.fsync_every_n = every_n;
+  auto opened = sql::Wal::Open(path, options);
+  auto wal = std::move(*opened);
+  for (auto _ : state) {
+    Status st = wal->AppendEntry(entry);
+    benchmark::DoNotOptimize(st.ok());
+  }
+  (void)wal->Sync();
+  wal.reset();
+  state.SetItemsProcessed(state.iterations());
+  state.SetBytesProcessed(int64_t(state.iterations()) *
+                          int64_t(sql::EncodeLogEntry(entry).size()));
+  std::filesystem::remove(path);
+}
+BENCHMARK(BM_WalAppend)->Arg(1)->Arg(64)->Arg(0);
+
+void BM_WalRecover(benchmark::State& state) {
+  // Recovery scan+truncate cost over Arg committed entries.
+  const int entries = int(state.range(0));
+  sql::LogEntry entry;
+  entry.index = 1;
+  entry.sql = "INSERT INTO accounts (owner, balance) VALUES ('alice', 100)";
+  entry.stmt = *sql::Parser::ParseStatement(entry.sql);
+  std::string path =
+      (std::filesystem::temp_directory_path() / "uv_bench_walrec.tmp")
+          .string();
+  std::filesystem::remove(path);
+  {
+    sql::WalOptions options;
+    options.fsync_every_n = 0;
+    auto opened = sql::Wal::Open(path, options);
+    auto wal = std::move(*opened);
+    for (int i = 0; i < entries; ++i) (void)wal->AppendEntry(entry);
+    (void)wal->Sync();
+  }
+  for (auto _ : state) {
+    sql::QueryLog log;
+    auto r = log.Recover(path);
+    benchmark::DoNotOptimize(r.ok());
+  }
+  state.SetItemsProcessed(state.iterations() * entries);
+  std::filesystem::remove(path);
+}
+BENCHMARK(BM_WalRecover)->Arg(100)->Arg(1000);
 
 void BM_SqlParse(benchmark::State& state) {
   const std::string sql =

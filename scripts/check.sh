@@ -5,9 +5,13 @@
 #   scripts/check.sh plain    # any subset, in order: plain|asan|tsan|lint
 #
 # 1. plain — full ctest in build/ (every suite: unit, obs, oracle,
-#    analysis), exactly the ROADMAP.md tier-1 command.
-# 2. asan  — AddressSanitizer build running the observability + oracle
-#    labels (the suites that exercise the threaded replay/staging paths).
+#    analysis, fault), exactly the ROADMAP.md tier-1 command, plus a
+#    ~30-second crash-point sweep (fuzz_whatif --crash-points): simulated
+#    crashes at every reachable failpoint with WAL recovery checked
+#    against the pre/post what-if states (DESIGN.md §11).
+# 2. asan  — AddressSanitizer build running the observability + oracle +
+#    fault labels (the suites that exercise the threaded replay/staging
+#    and WAL recovery paths).
 # 3. tsan  — same labels under ThreadSanitizer.
 # lint (clang-tidy; no-op without the binary) runs with `lint`, or via
 # `ctest -L lint` inside any configured build.
@@ -27,13 +31,18 @@ run_plain() {
   cmake -B build -S . -DCMAKE_EXPORT_COMPILE_COMMANDS=ON
   cmake --build build -j "$JOBS"
   ctest --test-dir build --output-on-failure -j "$JOBS"
+  echo "== plain: crash-point sweep smoke (~30s) =="
+  SWEEP_DIR="$(mktemp -d)"
+  build/tools/fuzz_whatif --crash-points --seed 1 --histories 0 \
+    --fuzz-seconds 30 --out-dir "$SWEEP_DIR"
+  rm -rf "$SWEEP_DIR"
 }
 
 run_sanitized() {  # $1 = address|thread, $2 = build dir
-  echo "== $1 sanitizer: obs + oracle labels =="
+  echo "== $1 sanitizer: obs + oracle + fault labels =="
   cmake -B "$2" -S . -DULTRA_SANITIZE="$1"
   cmake --build "$2" -j "$JOBS"
-  ctest --test-dir "$2" --output-on-failure -j "$JOBS" -L 'obs|oracle'
+  ctest --test-dir "$2" --output-on-failure -j "$JOBS" -L 'obs|oracle|fault'
 }
 
 for step in $STEPS; do

@@ -10,8 +10,10 @@
 #include "sqldb/parser.h"
 #include <thread>
 
+#include "fault/failpoint.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
+#include "sqldb/wal/wal.h"
 #include "util/backoff.h"
 #include "util/mpmc_queue.h"
 #include "util/stopwatch.h"
@@ -19,6 +21,26 @@
 #include "util/virtual_clock.h"
 
 namespace ultraverse::core {
+
+ReplayErrorClass ClassifyReplayError(const Status& st) {
+  switch (st.code()) {
+    // Transient infrastructure faults: the statement's effects rolled back
+    // atomically, so re-running it is safe and may well succeed.
+    case StatusCode::kUnavailable:
+      return ReplayErrorClass::kRetryable;
+    // Invariant breakage, durable-log corruption, cooperative stop: abort.
+    case StatusCode::kInternal:
+    case StatusCode::kDataLoss:
+    case StatusCode::kCancelled:
+    case StatusCode::kDeadlineExceeded:
+      return ReplayErrorClass::kFatal;
+    // Everything else is a SQL-semantic failure the alternate universe can
+    // legitimately produce (constraint trip, retroactively dropped table,
+    // SIGNAL, interpreter budget): skip the statement, keep replaying.
+    default:
+      return ReplayErrorClass::kBenignSkip;
+  }
+}
 
 /// Original-timeline table hashes: for each table, the (commit index,
 /// digest) sequence logged by the Hash-jumper logger (§4.5).
@@ -93,21 +115,55 @@ Status RetroactiveEngine::ExecuteSlot(sql::Database* db, const Slot& slot,
       }
     }
   }
-  if (slot.is_new) {
-    sql::ExecContext ctx;
-    sql::NondetRecord fresh;
-    ctx.StartRecording(&fresh);  // a new query generates fresh nondeterminism
-    Result<sql::ExecResult> r = db->Execute(*op.new_stmt, commit_index, &ctx);
-    st = r.ok() ? Status::OK() : r.status();
+  auto attempt = [&]() -> Status {
+    UV_FAILPOINT("replay.slot.pre_exec");
+    if (slot.is_new) {
+      sql::ExecContext ctx;
+      sql::NondetRecord fresh;
+      if (options_.new_stmt_nondet) {
+        // Recovery path: reproduce the recorded nondeterminism of the
+        // original what-if so the re-derived universe is bit-identical.
+        ctx.StartReplaying(options_.new_stmt_nondet);
+      } else {
+        ctx.StartRecording(&fresh);  // a new query generates fresh values
+      }
+      Result<sql::ExecResult> r = db->Execute(*op.new_stmt, commit_index, &ctx);
+      if (r.ok() && !options_.new_stmt_nondet) {
+        captured_new_nondet_ = std::move(fresh);
+      }
+      return r.ok() ? Status::OK() : r.status();
+    }
+    return entry_executor_(db, log_->at(slot.log_index), commit_index);
+  };
+
+  UV_RETURN_NOT_OK(CheckCancel(options_.cancel, "replay.slot"));
+  if (options_.retry.enabled()) {
+    static obs::Counter* const retries =
+        obs::Registry::Global().counter("uv.retry.attempts");
+    st = RetryWithBackoff(
+        options_.retry, options_.cancel,
+        [&]() -> Status {
+          Status s = attempt();
+          return s;
+        },
+        [&](int, const Status&) { retries->Inc(); });
   } else {
-    st = entry_executor_(db, log_->at(slot.log_index), commit_index);
+    st = attempt();
   }
-  if (!st.ok() && st.code() != StatusCode::kInternal) {
-    // A replayed query may legitimately fail in the alternate universe
-    // (e.g. it inserts into a table whose CREATE was retroactively
-    // removed, or a NOT NULL constraint now trips). The statement's own
-    // effects rolled back atomically; the replay continues without it.
-    return Status::OK();
+
+  switch (st.ok() ? ReplayErrorClass::kBenignSkip : ClassifyReplayError(st)) {
+    case ReplayErrorClass::kBenignSkip:
+      // A replayed query may legitimately fail in the alternate universe
+      // (e.g. it inserts into a table whose CREATE was retroactively
+      // removed, or a NOT NULL constraint now trips). The statement's own
+      // effects rolled back atomically; the replay continues without it.
+      return Status::OK();
+    case ReplayErrorClass::kRetryable:
+      // Retry budget exhausted (or retries disabled): a transient fault
+      // that never cleared is a real failure, not a skippable statement.
+      return st;
+    case ReplayErrorClass::kFatal:
+      return st;
   }
   return st;
 }
@@ -165,6 +221,11 @@ Result<ReplayStats> RetroactiveEngine::ExecuteFullNaive(const RetroOp& op,
   stats.virtual_rtt_micros = options_.rtt_micros_per_query * executed;
   stats.temp_db_bytes = temp_db_->ApproxOwnedBytes();
 
+  // Two-phase publish applies to the reference path too: recovery replays
+  // committed markers through exactly this full-naive path.
+  UV_RETURN_NOT_OK(CheckCancel(options_.cancel, "replay.publish"));
+  UV_RETURN_NOT_OK(PublishCommitMarker(op));
+
   // Adopt everything: tables present on either side (a table the rewritten
   // history never creates must disappear from the live database) plus the
   // object catalog.
@@ -202,8 +263,10 @@ Result<ReplayStats> RetroactiveEngine::Execute(
     return Status::InvalidArgument("analysis does not cover the target");
   }
 
+  UV_RETURN_NOT_OK(CheckCancel(options_.cancel, "replay.start"));
   parsed_rules_.clear();
   suppressed_.store(0, std::memory_order_relaxed);
+  captured_new_nondet_ = sql::NondetRecord{};
   for (const auto& rule : options_.rules) {
     UV_ASSIGN_OR_RETURN(sql::StatementPtr cond,
                         sql::Parser::ParseStatement(rule.when_sql));
@@ -304,6 +367,8 @@ Result<ReplayStats> RetroactiveEngine::Execute(
 
   // --- 2. Stage the temporary database ------------------------------------
   phase_span.emplace("replay.rollback");
+  UV_RETURN_NOT_OK(CheckCancel(options_.cancel, "replay.stage"));
+  UV_FAILPOINT("replay.stage.pre");
   Stopwatch rollback_watch;
   std::vector<std::string> affected(plan.mutated_tables.begin(),
                                     plan.mutated_tables.end());
@@ -399,6 +464,7 @@ Result<ReplayStats> RetroactiveEngine::Execute(
     temp_db_->RollbackCommitsInTables(undo_commits, rollback_tables);
   }
   stats.rollback_seconds = rollback_watch.ElapsedSeconds();
+  UV_FAILPOINT("replay.stage.post");
   {
     static obs::Histogram* const h_rollback =
         obs::Registry::Global().histogram("replay.phase.rollback_us");
@@ -454,6 +520,12 @@ Result<ReplayStats> RetroactiveEngine::Execute(
   };
 
   Status replay_status = Status::OK();
+  // A kCrash failpoint inside a parallel worker cannot unwind through the
+  // thread pool (an uncaught exception on a pool thread would terminate the
+  // real process, not the simulated one): the worker stashes it here and
+  // Execute() rethrows on the caller's thread, preserving throw-to-top
+  // semantics for the crash harness.
+  std::optional<fault::CrashException> crashed;
   bool hash_jumped = false;
   bool hash_verified = false;
   uint64_t jump_index = 0;
@@ -610,6 +682,7 @@ Result<ReplayStats> RetroactiveEngine::Execute(
       uint64_t idle_since = timing ? NowMicros() : 0;
       uint32_t pos;
       ExpBackoff backoff;
+      try {
       while (!stop.load(std::memory_order_relaxed) &&
              completed.load(std::memory_order_relaxed) < slots.size()) {
         if (!ready.TryPop(&pos)) {
@@ -635,7 +708,17 @@ Result<ReplayStats> RetroactiveEngine::Execute(
                {"new", slot.is_new ? 1 : 0}});
           const std::vector<std::mutex*>& held = slot_locks[pos];
           for (std::mutex* mu : held) mu->lock();
-          st = ExecuteSlot(temp_db_.get(), slot, op, base_commit + pos);
+          try {
+            st = ExecuteSlot(temp_db_.get(), slot, op, base_commit + pos);
+          } catch (...) {
+            // Simulated crash mid-slot: release the table locks so the
+            // other workers can observe `stop` and drain instead of
+            // blocking forever on a mutex the "dead process" still holds.
+            for (auto it = held.rbegin(); it != held.rend(); ++it) {
+              (*it)->unlock();
+            }
+            throw;
+          }
           executed_slots.fetch_add(1, std::memory_order_relaxed);
           for (auto it = held.rbegin(); it != held.rend(); ++it) {
             (*it)->unlock();
@@ -702,12 +785,20 @@ Result<ReplayStats> RetroactiveEngine::Execute(
           }
         }
       }
+      } catch (const fault::CrashException& e) {
+        {
+          std::lock_guard<std::mutex> g(status_mu);
+          if (!crashed) crashed = e;
+        }
+        stop.store(true, std::memory_order_relaxed);
+      }
     };
     for (int i = 0; i < options_.num_threads; ++i) pool.Submit(worker);
     pool.WaitIdle();
     // An early stop (error or hash-jump) leaves entries queued; the gauge
     // reports live depth, so zero it rather than leak the residue.
     queue_depth->Set(0);
+    if (crashed) throw *crashed;
   }
   stats.replay_seconds = replay_watch.ElapsedSeconds();
   {
@@ -743,8 +834,15 @@ Result<ReplayStats> RetroactiveEngine::Execute(
   // minority of tables report a correspondingly small footprint.
   stats.temp_db_bytes = temp_db_->ApproxOwnedBytes();
 
-  // --- 4. Database update --------------------------------------------------
+  // --- 4. Two-phase atomic publish (DESIGN.md §11) -------------------------
+  // Phase one: durable, fsynced commit marker — the commit point. Phase
+  // two: the one-step swap of staged tables into the live database. A
+  // crash before the marker recovers to the original timeline; a crash
+  // anywhere after it recovers to the fully rewritten one; no crash point
+  // lands between.
   phase_span.emplace("replay.adopt");
+  UV_RETURN_NOT_OK(CheckCancel(options_.cancel, "replay.publish"));
+  UV_RETURN_NOT_OK(PublishCommitMarker(op));
   if (hash_jumped) {
     // A hash-hit proves the *rows* reconverged with the original timeline;
     // the AUTO_INCREMENT counters are not part of the table hash. Ids the
@@ -774,6 +872,9 @@ Result<ReplayStats> RetroactiveEngine::Execute(
       db_->AdoptCatalog(*temp_db_);
     }
   }
+  // Past the commit point AND the swap: an error injected here surfaces to
+  // the caller, but the what-if is already durably committed.
+  UV_FAILPOINT("whatif.publish.post_swap");
   phase_span.reset();
   stats.total_seconds = total_watch.ElapsedSeconds();
   {
@@ -783,6 +884,30 @@ Result<ReplayStats> RetroactiveEngine::Execute(
   }
   stats.obs = obs::Registry::Global().Collect();
   return stats;
+}
+
+Status RetroactiveEngine::PublishCommitMarker(const RetroOp& op) {
+  UV_FAILPOINT("whatif.publish.pre_marker");
+  if (options_.wal != nullptr) {
+    if (op.kind != RetroOp::Kind::kRemove && op.new_sql.empty()) {
+      // The marker must carry a replayable statement: an op built without
+      // its SQL text cannot be re-derived after a crash. Fail loudly
+      // before any live mutation.
+      return Status::InvalidArgument(
+          "durable what-if commit requires RetroOp::new_sql");
+    }
+    sql::WhatIfMarker marker;
+    marker.kind = static_cast<uint8_t>(op.kind);
+    marker.index = op.index;
+    marker.new_sql = op.new_sql;
+    marker.new_stmt_nondet = options_.new_stmt_nondet
+                                 ? *options_.new_stmt_nondet
+                                 : captured_new_nondet_;
+    UV_RETURN_NOT_OK(options_.wal->AppendWhatIfCommit(marker));
+  }
+  // Marker durable (or durability off): the commit point has passed.
+  UV_FAILPOINT("whatif.publish.post_marker");
+  return Status::OK();
 }
 
 }  // namespace ultraverse::core

@@ -13,11 +13,39 @@
 #include "obs/metrics.h"
 #include "sqldb/database.h"
 #include "sqldb/query_log.h"
+#include "util/cancellation.h"
+#include "util/retry.h"
 #include "util/status.h"
+
+namespace ultraverse::sql {
+class Wal;  // durable write-ahead query log (sqldb/wal/wal.h)
+}  // namespace ultraverse::sql
 
 namespace ultraverse::core {
 
 class HashTimeline;  // original-timeline table hashes (replay.cc)
+
+/// How the replay engine reacts to a failed slot (DESIGN.md §11). The old
+/// policy — swallow anything but kInternal — silently ate transient
+/// infrastructure faults and cancellations alike; the classification makes
+/// the three distinct fates explicit and testable.
+enum class ReplayErrorClass {
+  /// SQL-semantic failure that can legitimately happen in the alternate
+  /// universe (constraint trip, table dropped retroactively, SIGNAL,
+  /// interpreter budget): the statement's own effects rolled back
+  /// atomically, the replay continues without it.
+  kBenignSkip,
+  /// Transient infrastructure fault (kUnavailable — e.g. an injected
+  /// failpoint standing in for a flaky DBMS connection): retried with
+  /// bounded backoff; escalates to fatal when the budget is exhausted.
+  kRetryable,
+  /// Engine invariant breakage (kInternal), durable-log corruption
+  /// (kDataLoss) or cooperative cancellation/deadline: abort the replay;
+  /// nothing is adopted, the live database stays untouched.
+  kFatal,
+};
+
+ReplayErrorClass ClassifyReplayError(const Status& st);
 
 /// A retroactive operation (§4): add a new query right before commit index
 /// `index`, remove the query at `index`, or change it to `new_stmt`.
@@ -127,6 +155,24 @@ class RetroactiveEngine {
     /// adopting mutated tables back (§4.4 step 3 lock) so regular traffic
     /// can proceed during the replay itself.
     std::mutex* db_mutex = nullptr;
+    /// Durable write-ahead log participating in the atomic what-if commit
+    /// protocol (DESIGN.md §11): after a clean replay and before the first
+    /// live-database mutation, Execute() appends a fsynced commit marker,
+    /// so crash recovery lands in the pre- or post-what-if state and
+    /// never between. Null = no durability (in-memory only, the default).
+    sql::Wal* wal = nullptr;
+    /// Cooperative cancellation/deadline for the whole operation. Workers
+    /// poll it between slots and at phase boundaries and drain gracefully;
+    /// Execute() returns kCancelled / kDeadlineExceeded and the live
+    /// database is left untouched (adoption never starts).
+    const CancelToken* cancel = nullptr;
+    /// Bounded retry for kRetryable slot failures (transient injected
+    /// faults). Default: no retries.
+    RetryPolicy retry;
+    /// Recovery path: the retroactive statement replays this recorded
+    /// nondeterminism instead of generating fresh values, reproducing the
+    /// exact universe the original what-if committed (sqldb/wal marker).
+    const sql::NondetRecord* new_stmt_nondet = nullptr;
   };
 
   /// Replays one log entry against `db` at `commit_index`. The default
@@ -152,6 +198,13 @@ class RetroactiveEngine {
   /// The temporary database of the last Execute() call (tests inspect the
   /// alternate universe even after a hash-jump).
   const sql::Database* last_temp_db() const { return temp_db_.get(); }
+
+  /// Nondeterminism the retroactive statement generated during the last
+  /// Execute() (empty for kRemove). Persisted in the WAL commit marker so
+  /// recovery re-derives a bit-identical universe.
+  const sql::NondetRecord& new_stmt_nondet() const {
+    return captured_new_nondet_;
+  }
 
  private:
   struct Slot {
@@ -180,9 +233,14 @@ class RetroactiveEngine {
   std::unique_ptr<sql::Database> temp_db_;
   std::unique_ptr<HashTimeline> timeline_;
   size_t timeline_log_size_ = 0;
+  /// Two-phase publish (§11): durable commit marker first, then the
+  /// one-step swap of staged tables into the live database.
+  Status PublishCommitMarker(const RetroOp& op);
+
   /// (function, parsed when-condition) pairs from Options::rules.
   std::vector<std::pair<std::string, sql::StatementPtr>> parsed_rules_;
   std::atomic<size_t> suppressed_{0};
+  sql::NondetRecord captured_new_nondet_;
 };
 
 }  // namespace ultraverse::core

@@ -22,6 +22,7 @@ Result<TxnScheduler::Stats> TxnScheduler::ExecuteBatch(
     const std::vector<sql::StatementPtr>& batch, uint64_t base_commit) {
   Stats stats;
   if (batch.empty()) return stats;
+  UV_RETURN_NOT_OK(CheckCancel(options_.cancel, "scheduler.batch"));
   static obs::Counter* const batches =
       obs::Registry::Global().counter("scheduler.batches");
   static obs::Counter* const txns =
@@ -147,6 +148,16 @@ Result<TxnScheduler::Stats> TxnScheduler::ExecuteBatch(
         continue;
       }
       backoff.Reset();
+      // Graceful drain: a fired token stops workers from starting new
+      // statements; whatever already executed keeps its effects (the batch
+      // caller sees the error and decides whether to roll back).
+      if (Status cancel_st = CheckCancel(options_.cancel, "scheduler.slot");
+          !cancel_st.ok()) {
+        std::lock_guard<std::mutex> g(status_mu);
+        if (batch_status.ok()) batch_status = cancel_st;
+        failed.store(true, std::memory_order_relaxed);
+        break;
+      }
       const std::vector<std::mutex*>& held = slot_locks[pos];
       for (std::mutex* mu : held) mu->lock();
       sql::ExecContext ctx;

@@ -7,6 +7,7 @@
 
 #include "core/rw_sets.h"
 #include "sqldb/database.h"
+#include "util/cancellation.h"
 #include "util/status.h"
 
 namespace ultraverse::core {
@@ -33,6 +34,11 @@ class TxnScheduler {
     /// summary's (superset) table sets.
     std::function<std::optional<QueryRW>(const sql::Statement&)>
         static_summary;
+
+    /// Cooperative cancellation/deadline. Workers poll between statements
+    /// and drain gracefully: in-flight statements finish, queued ones stay
+    /// unexecuted, and ExecuteBatch returns kCancelled/kDeadlineExceeded.
+    const CancelToken* cancel = nullptr;
   };
 
   struct Stats {

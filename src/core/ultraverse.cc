@@ -7,6 +7,7 @@
 #include "obs/metrics.h"
 #include "obs/trace.h"
 #include "sqldb/parser.h"
+#include "sqldb/wal/wal.h"
 #include "util/sha256.h"
 #include "util/stopwatch.h"
 
@@ -228,7 +229,23 @@ class Ultraverse::ReplayBridge : public app::SqlBridge {
 // ---------------------------------------------------------------------------
 
 Ultraverse::Ultraverse(Options options)
-    : options_(options), clock_(options.rtt_micros), rng_(options.rng_seed) {}
+    : options_(options), clock_(options.rtt_micros), rng_(options.rng_seed) {
+  if (!options_.wal_path.empty()) {
+    sql::WalOptions wal_options;
+    wal_options.fsync_every_n = options_.wal_fsync_every_n;
+    Result<std::unique_ptr<sql::Wal>> wal =
+        sql::Wal::Open(options_.wal_path, wal_options);
+    if (wal.ok()) {
+      wal_ = std::move(wal).value();
+    } else {
+      // Surfaced through wal_status(): a constructor cannot return one,
+      // and silently running without durability would be worse.
+      wal_status_ = wal.status();
+    }
+  }
+}
+
+Ultraverse::~Ultraverse() = default;
 
 Status Ultraverse::LoadApplication(const std::string& source) {
   return LoadApplication(source, sym::DseEngine::Options());
@@ -300,6 +317,11 @@ Status Ultraverse::CommitEntry(sql::LogEntry entry) {
     }
   }
   log_.Append(std::move(entry));
+  if (wal_) {
+    // Durability before visibility-to-replay: the WAL gets the committed
+    // entry (with its hash log) the moment it enters the in-memory log.
+    UV_RETURN_NOT_OK(wal_->AppendEntry(log_.entries().back()));
+  }
   if (options_.eager_analysis) {
     UV_ASSIGN_OR_RETURN(QueryRW rw,
                         analyzer_.AnalyzeEntry(log_.entries().back()));
@@ -531,6 +553,9 @@ Result<ReplayStats> Ultraverse::WhatIf(const RetroOp& op, SystemMode mode,
   eopts.verify_hash_hits = options_.verify_hash_hits;
   eopts.rules = std::move(rules);
   eopts.db_mutex = &commit_mu_;
+  eopts.wal = wal_.get();  // two-phase publish when durability is on
+  eopts.cancel = options_.whatif_cancel;
+  eopts.retry = options_.whatif_retry;
 
   bool use_app_code = mode == SystemMode::kB || mode == SystemMode::kD;
   std::atomic<uint64_t> rtt_counter{0};

@@ -52,13 +52,34 @@ class Ultraverse {
     /// Log per-table hashes at commit (needed by Hash-jumper).
     bool eager_hash_log = false;
     uint64_t rng_seed = 42;
+
+    /// Durable write-ahead query log (DESIGN.md §11): every committed
+    /// entry appends to this file, and WhatIf() publishes its commit
+    /// marker through it (the atomic two-phase what-if publish). Empty =
+    /// in-memory only. Restarting over an existing file APPENDS; recover
+    /// first (fault::RecoverInto on a fresh facade's db()/log()).
+    std::string wal_path;
+    /// Group commit: fsync every Nth entry (1 = each, 0 = markers only).
+    uint64_t wal_fsync_every_n = 1;
+
+    /// Bounded retry for transient (kUnavailable) replay faults during
+    /// WhatIf(). Default: no retries.
+    RetryPolicy whatif_retry;
+    /// Cancellation/deadline token observed by WhatIf() replays; workers
+    /// drain gracefully and the live database stays untouched. Nullable.
+    const CancelToken* whatif_cancel = nullptr;
   };
 
   Ultraverse() : Ultraverse(Options()) {}
   explicit Ultraverse(Options options);
+  ~Ultraverse();
 
   sql::Database* db() { return &db_; }
   sql::QueryLog* log() { return &log_; }
+  /// Durable WAL when Options::wal_path is set; nullptr otherwise. Null
+  /// after a failed open — check wal_status().
+  sql::Wal* wal() { return wal_.get(); }
+  const Status& wal_status() const { return wal_status_; }
   QueryAnalyzer* analyzer() { return &analyzer_; }
   VirtualClock* clock() { return &clock_; }
   const app::AppProgram* program() const { return &program_; }
@@ -155,6 +176,8 @@ class Ultraverse {
   Options options_;
   sql::Database db_;
   sql::QueryLog log_;
+  std::unique_ptr<sql::Wal> wal_;
+  Status wal_status_;
   QueryAnalyzer analyzer_;
   VirtualClock clock_;
   Rng rng_;

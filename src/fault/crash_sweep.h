@@ -1,0 +1,56 @@
+#ifndef ULTRAVERSE_FAULT_CRASH_SWEEP_H_
+#define ULTRAVERSE_FAULT_CRASH_SWEEP_H_
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "oracle/fuzzer.h"
+#include "util/status.h"
+
+namespace ultraverse::fault {
+
+/// Crash-point sweep (DESIGN.md §11): for each generated what-if case,
+/// discover every failpoint the durable replay path reaches, then crash
+/// the "process" at each one (throw-to-top, WAL buffer abandoned) and
+/// recover from the WAL. Recovery must land in the pre-what-if state when
+/// no commit marker reached disk, and in the fully-rewritten state when
+/// one did — any other recovered state is a divergence, shrunk to a
+/// minimal .sql repro like an oracle failure.
+struct CrashSweepOptions {
+  uint64_t seed = 1;
+  /// Generated cases (same generator as the what-if fuzzer; a case number
+  /// produces the identical case in both tools).
+  size_t histories = 5;
+  /// Wall-clock budget in seconds; 0 = unbounded.
+  double seconds = 0;
+  bool shrink = true;
+  /// Scratch WAL file; recreated per run. Empty = "crash_sweep.wal" in the
+  /// working directory.
+  std::string wal_path;
+  std::function<void(const std::string&)> progress;
+};
+
+struct CrashDivergence {
+  uint64_t case_number = 0;
+  std::string site;         // failpoint that "killed" the process
+  uint64_t skip = 0;        // evaluations let through before the crash
+  oracle::WhatIfCase shrunk;
+  std::string detail;       // recovery diff / failure description
+};
+
+struct CrashSweepReport {
+  size_t cases_run = 0;
+  size_t crash_points = 0;     // (case, site, offset) crash+recover runs
+  size_t recoveries_pre = 0;   // recovered to the original timeline
+  size_t recoveries_post = 0;  // recovered to the rewritten timeline
+  std::vector<std::string> sites;  // every failpoint site discovered
+  std::vector<CrashDivergence> divergences;
+};
+
+Result<CrashSweepReport> RunCrashSweep(const CrashSweepOptions& options);
+
+}  // namespace ultraverse::fault
+
+#endif  // ULTRAVERSE_FAULT_CRASH_SWEEP_H_

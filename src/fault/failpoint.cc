@@ -1,0 +1,260 @@
+#include "fault/failpoint.h"
+
+#include <chrono>
+#include <cstdlib>
+#include <thread>
+
+#include "obs/metrics.h"
+#include "util/string_util.h"
+
+namespace ultraverse::fault {
+
+Site::Site(const char* name) : name_(name) {
+  FailpointRegistry::Global().Register(this);
+}
+
+Status Site::Evaluate() {
+  return FailpointRegistry::Global().EvaluateSlow(this);
+}
+
+FailpointRegistry& FailpointRegistry::Global() {
+  static FailpointRegistry* registry = new FailpointRegistry();
+  return *registry;
+}
+
+void FailpointRegistry::Register(Site* site) {
+  std::lock_guard<std::mutex> g(mu_);
+  auto it = sites_.find(site->name());
+  if (it == sites_.end()) {
+    sites_.emplace(site->name(), site);
+    return;
+  }
+  // The name was armed before its code path ever ran, leaving a
+  // placeholder in the map: hand its counts to the real site and retire
+  // it, so Fires()/Evaluations() track the object Evaluate() touches.
+  auto ph = placeholder_sites_.find(site->name());
+  if (ph != placeholder_sites_.end() && it->second == ph->second.get()) {
+    site->evaluations_.store(ph->second->evaluations(),
+                             std::memory_order_relaxed);
+    site->fires_.store(ph->second->fires(), std::memory_order_relaxed);
+    it->second = site;
+    placeholder_sites_.erase(ph);
+  }
+  // Otherwise: a second real Site with the same name (one per translation
+  // unit is possible) — first registration wins.
+}
+
+void FailpointRegistry::Arm(const std::string& site, FailpointConfig config) {
+  std::lock_guard<std::mutex> g(mu_);
+  if (sites_.find(site) == sites_.end()) {
+    // Armed before its code path ever ran: keep a placeholder Site so the
+    // name enumerates. Built with the no-register tag — the public Site
+    // constructor would re-enter the registry mutex held right now. Its
+    // name points into the map node's key, which std::map keeps stable
+    // for the placeholder's whole lifetime.
+    auto [ph, inserted] = placeholder_sites_.emplace(site, nullptr);
+    if (inserted) {
+      ph->second = std::unique_ptr<Site>(
+          new Site(ph->first.c_str(), Site::NoRegisterTag{}));
+    }
+    sites_.emplace(site, ph->second.get());
+  }
+  armed_[site] = Armed{config, 0, 0, 0x9E3779B97F4A7C15ull ^ site.size()};
+  RecomputeActive();
+}
+
+void FailpointRegistry::Disarm(const std::string& site) {
+  std::lock_guard<std::mutex> g(mu_);
+  armed_.erase(site);
+  RecomputeActive();
+}
+
+void FailpointRegistry::DisarmAll() {
+  std::lock_guard<std::mutex> g(mu_);
+  armed_.clear();
+  tracking_ = false;
+  RecomputeActive();
+}
+
+void FailpointRegistry::SetTracking(bool on) {
+  std::lock_guard<std::mutex> g(mu_);
+  tracking_ = on;
+  RecomputeActive();
+}
+
+void FailpointRegistry::RecomputeActive() {
+  internal::g_failpoints_active.store(!armed_.empty() || tracking_,
+                                      std::memory_order_relaxed);
+}
+
+std::vector<std::string> FailpointRegistry::KnownSites() const {
+  std::lock_guard<std::mutex> g(mu_);
+  std::vector<std::string> names;
+  names.reserve(sites_.size());
+  for (const auto& [name, site] : sites_) {
+    (void)site;
+    names.push_back(name);
+  }
+  return names;  // map order == sorted
+}
+
+uint64_t FailpointRegistry::Fires(const std::string& site) const {
+  std::lock_guard<std::mutex> g(mu_);
+  auto it = sites_.find(site);
+  return it == sites_.end() ? 0 : it->second->fires();
+}
+
+uint64_t FailpointRegistry::Evaluations(const std::string& site) const {
+  std::lock_guard<std::mutex> g(mu_);
+  auto it = sites_.find(site);
+  return it == sites_.end() ? 0 : it->second->evaluations();
+}
+
+Status FailpointRegistry::EvaluateSlow(Site* site) {
+  FailpointConfig config;
+  {
+    std::lock_guard<std::mutex> g(mu_);
+    site->evaluations_.fetch_add(1, std::memory_order_relaxed);
+    auto it = armed_.find(site->name());
+    if (it == armed_.end()) return Status::OK();
+    Armed& armed = it->second;
+
+    // Trigger policy, evaluated under the registry lock so concurrent
+    // workers hitting the same site observe one global once/every-N order.
+    ++armed.eligible;
+    if (armed.eligible <= armed.config.skip_first) return Status::OK();
+    if (armed.config.max_fires != 0 &&
+        armed.fired >= armed.config.max_fires) {
+      return Status::OK();
+    }
+    uint64_t past_skip = armed.eligible - armed.config.skip_first;
+    uint64_t every = armed.config.every_n == 0 ? 1 : armed.config.every_n;
+    if ((past_skip - 1) % every != 0) return Status::OK();
+    if (armed.config.probability < 1.0) {
+      // splitmix64: deterministic per arming, independent of call sites.
+      armed.rng += 0x9E3779B97F4A7C15ull;
+      uint64_t z = armed.rng;
+      z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ull;
+      z = (z ^ (z >> 27)) * 0x94D049BB133111EBull;
+      z ^= z >> 31;
+      double u = double(z >> 11) * (1.0 / 9007199254740992.0);  // [0,1)
+      if (u >= armed.config.probability) return Status::OK();
+    }
+    ++armed.fired;
+    site->fires_.fetch_add(1, std::memory_order_relaxed);
+    config = armed.config;
+  }
+
+  static obs::Counter* const injected =
+      obs::Registry::Global().counter("uv.fault.injected");
+  injected->Inc();
+
+  switch (config.action) {
+    case FailAction::kError:
+      return Status(config.error_code,
+                    std::string("injected fault at ") + site->name());
+    case FailAction::kCrash:
+      throw CrashException{site->name()};
+    case FailAction::kDelay:
+      std::this_thread::sleep_for(
+          std::chrono::microseconds(config.delay_micros));
+      return Status::OK();
+  }
+  return Status::OK();
+}
+
+namespace {
+
+Result<StatusCode> ParseErrorCode(const std::string& name) {
+  if (name.empty() || name == "unavailable") return StatusCode::kUnavailable;
+  if (name == "timeout") return StatusCode::kTimeout;
+  if (name == "internal") return StatusCode::kInternal;
+  if (name == "constraint") return StatusCode::kConstraintViolation;
+  if (name == "notfound") return StatusCode::kNotFound;
+  if (name == "invalid") return StatusCode::kInvalidArgument;
+  if (name == "cancelled") return StatusCode::kCancelled;
+  if (name == "deadline") return StatusCode::kDeadlineExceeded;
+  return Status::InvalidArgument("unknown failpoint error code: " + name);
+}
+
+/// Parses one "site=action(arg):mod:mod" clause into (site, config).
+Status ParseClause(const std::string& clause, std::string* site,
+                   FailpointConfig* config) {
+  size_t eq = clause.find('=');
+  if (eq == std::string::npos || eq == 0) {
+    return Status::InvalidArgument("failpoint spec needs site=action: " +
+                                   clause);
+  }
+  *site = clause.substr(0, eq);
+  std::vector<std::string> parts = Split(clause.substr(eq + 1), ':');
+  if (parts.empty()) {
+    return Status::InvalidArgument("failpoint spec needs an action: " +
+                                   clause);
+  }
+  std::string action = parts[0], arg;
+  size_t paren = action.find('(');
+  if (paren != std::string::npos) {
+    if (action.back() != ')') {
+      return Status::InvalidArgument("unbalanced '(' in: " + clause);
+    }
+    arg = action.substr(paren + 1, action.size() - paren - 2);
+    action = action.substr(0, paren);
+  }
+  if (action == "error") {
+    config->action = FailAction::kError;
+    UV_ASSIGN_OR_RETURN(config->error_code, ParseErrorCode(arg));
+  } else if (action == "crash") {
+    config->action = FailAction::kCrash;
+  } else if (action == "delay") {
+    config->action = FailAction::kDelay;
+    config->delay_micros = arg.empty() ? 1000 : std::strtoull(
+        arg.c_str(), nullptr, 10);
+  } else {
+    return Status::InvalidArgument("unknown failpoint action: " + action);
+  }
+  for (size_t i = 1; i < parts.size(); ++i) {
+    const std::string& mod = parts[i];
+    if (mod == "once") {
+      config->max_fires = 1;
+    } else if (mod.rfind("every", 0) == 0) {
+      config->every_n = std::strtoull(mod.c_str() + 5, nullptr, 10);
+      if (config->every_n == 0) {
+        return Status::InvalidArgument("everyN needs N>=1: " + mod);
+      }
+    } else if (mod.rfind("skip", 0) == 0) {
+      config->skip_first = std::strtoull(mod.c_str() + 4, nullptr, 10);
+    } else if (mod.rfind("max", 0) == 0) {
+      config->max_fires = std::strtoull(mod.c_str() + 3, nullptr, 10);
+    } else if (mod.rfind("p", 0) == 0) {
+      config->probability = std::strtod(mod.c_str() + 1, nullptr);
+      if (config->probability < 0 || config->probability > 1) {
+        return Status::InvalidArgument("probability must be in [0,1]: " + mod);
+      }
+    } else {
+      return Status::InvalidArgument("unknown failpoint modifier: " + mod);
+    }
+  }
+  return Status::OK();
+}
+
+}  // namespace
+
+Status FailpointRegistry::ArmFromSpec(const std::string& spec) {
+  for (const std::string& raw : Split(spec, ',')) {
+    std::string clause = raw;
+    if (clause.empty()) continue;
+    std::string site;
+    FailpointConfig config;
+    UV_RETURN_NOT_OK(ParseClause(clause, &site, &config));
+    Arm(site, config);
+  }
+  return Status::OK();
+}
+
+Status FailpointRegistry::ArmFromEnv() {
+  const char* spec = std::getenv("ULTRA_FAILPOINTS");
+  if (!spec || !*spec) return Status::OK();
+  return ArmFromSpec(spec);
+}
+
+}  // namespace ultraverse::fault

@@ -1,0 +1,191 @@
+#ifndef ULTRAVERSE_FAULT_FAILPOINT_H_
+#define ULTRAVERSE_FAULT_FAILPOINT_H_
+
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "util/status.h"
+
+namespace ultraverse::fault {
+
+namespace internal {
+/// Constant-initialized process-wide gate, same discipline as the obs
+/// tracing gate: while no failpoint is armed (and site tracking is off),
+/// an UV_FAILPOINT site costs exactly one relaxed load — no registry
+/// lookup, no lock, no static-init guard.
+inline std::atomic<bool> g_failpoints_active{false};
+}  // namespace internal
+
+inline bool FailpointsActive() {
+  return internal::g_failpoints_active.load(std::memory_order_relaxed);
+}
+
+/// What an armed failpoint does when its trigger policy fires.
+enum class FailAction {
+  kError,  // Evaluate() returns an error Status
+  kCrash,  // Evaluate() throws CrashException (simulated process death)
+  kDelay,  // Evaluate() sleeps delay_micros, then succeeds
+};
+
+/// Simulated crash thrown from an armed kCrash failpoint. The library
+/// itself never catches it: it unwinds to whoever staged the run (the
+/// crash harness / sweep driver), which then abandons all in-memory state
+/// and recovers from the durable WAL — exactly what a real process death
+/// forces. Deliberately not derived from std::exception so no generic
+/// catch(...) -> translate-to-Status layer can swallow it by accident.
+struct CrashException {
+  std::string site;  // failpoint that "killed" the process
+};
+
+/// Trigger policy + action of one armed failpoint.
+struct FailpointConfig {
+  FailAction action = FailAction::kError;
+  StatusCode error_code = StatusCode::kUnavailable;  // kError: injected code
+  uint64_t delay_micros = 0;                     // kDelay: sleep length
+
+  /// Evaluations to let pass before the policy applies (0 = immediately).
+  uint64_t skip_first = 0;
+  /// Fire on every Nth eligible evaluation (1 = every time).
+  uint64_t every_n = 1;
+  /// Fire at most this many times, then the site goes quiet (0 = no cap).
+  uint64_t max_fires = 0;
+  /// Independent fire probability in [0,1] applied after every_n matches.
+  double probability = 1.0;
+};
+
+/// One registered injection site. Sites self-register on first evaluation
+/// (UV_FAILPOINT keeps a function-local static Site), so a discovery run
+/// of a code path enumerates every failpoint it can reach.
+class Site {
+ public:
+  explicit Site(const char* name);
+  const char* name() const { return name_; }
+
+  /// Hot-path check: returns OK when unarmed or the policy does not fire.
+  Status Evaluate();
+
+  uint64_t evaluations() const {
+    return evaluations_.load(std::memory_order_relaxed);
+  }
+  uint64_t fires() const { return fires_.load(std::memory_order_relaxed); }
+
+ private:
+  friend class FailpointRegistry;
+  /// Placeholder construction inside the registry (which already holds its
+  /// mutex): skips the self-registration the public constructor performs.
+  struct NoRegisterTag {};
+  Site(const char* name, NoRegisterTag) : name_(name) {}
+
+  const char* name_;
+  std::atomic<uint64_t> evaluations_{0};
+  std::atomic<uint64_t> fires_{0};
+};
+
+/// Process-wide failpoint registry: arm/disarm by name, enumerate sites,
+/// parse env/CLI specs. Sites are registered lazily (first evaluation or
+/// first Arm), live forever, and are looked up on the hot path only while
+/// something is armed.
+class FailpointRegistry {
+ public:
+  static FailpointRegistry& Global();
+
+  /// Arms `site` with `config` (replacing any previous arming). The site
+  /// need not have been evaluated yet.
+  void Arm(const std::string& site, FailpointConfig config);
+  void Disarm(const std::string& site);
+  /// Disarms everything and turns site tracking off.
+  void DisarmAll();
+
+  /// Arms failpoints from a comma-separated spec (also the ULTRA_FAILPOINTS
+  /// env format; the CLI --failpoints flag passes the same syntax):
+  ///
+  ///   site=error                    inject kUnavailable every eval
+  ///   site=error(code)              code: timeout|internal|unavailable...
+  ///   site=crash                    throw CrashException
+  ///   site=delay(micros)            sleep
+  ///   modifiers, appended:          site=error:once
+  ///     :once        max_fires=1
+  ///     :everyN      every_n=N      (e.g. :every3)
+  ///     :skipN       skip_first=N
+  ///     :pP          probability=P  (e.g. :p0.5)
+  Status ArmFromSpec(const std::string& spec);
+
+  /// Arms from the ULTRA_FAILPOINTS environment variable (no-op when
+  /// unset). Called once by tools that opt in.
+  Status ArmFromEnv();
+
+  /// With tracking on, every evaluated site registers and counts even when
+  /// nothing is armed (the crash-point sweep's discovery run). Costs the
+  /// armed-path registry lookup at every site while on.
+  void SetTracking(bool on);
+
+  /// Names of every site registered so far (evaluated at least once while
+  /// armed/tracked, or explicitly armed), sorted.
+  std::vector<std::string> KnownSites() const;
+  /// Total times `site` fired (0 for unknown sites).
+  uint64_t Fires(const std::string& site) const;
+  /// Total times `site` was evaluated while armed/tracked.
+  uint64_t Evaluations(const std::string& site) const;
+
+  /// Internal: slow path of Site::Evaluate (site armed or tracking on).
+  Status EvaluateSlow(Site* site);
+  /// Internal: registers `site` under its name (idempotent).
+  void Register(Site* site);
+
+ private:
+  FailpointRegistry() = default;
+  void RecomputeActive();  // updates the global relaxed gate
+
+  struct Armed {
+    FailpointConfig config;
+    uint64_t eligible = 0;  // evaluations past skip_first
+    uint64_t fired = 0;
+    uint64_t rng = 0x9E3779B97F4A7C15ull;  // per-arming deterministic PRNG
+  };
+
+  mutable std::mutex mu_;
+  std::map<std::string, Site*> sites_;
+  /// Sites armed before their code path ever ran: owned placeholders so
+  /// Arm() works without a Site object (merged when the real site shows up).
+  std::map<std::string, std::unique_ptr<Site>> placeholder_sites_;
+  std::map<std::string, Armed> armed_;
+  bool tracking_ = false;
+};
+
+/// Evaluates the named failpoint. Returns OK when inactive. UV_FAILPOINT
+/// wraps this with the enclosing function's Status-return plumbing.
+#define UV_FAILPOINT_EVAL(site_name)                                    \
+  ([]() -> ::ultraverse::Status {                                       \
+    if (!::ultraverse::fault::FailpointsActive()) {                     \
+      return ::ultraverse::Status::OK();                                \
+    }                                                                   \
+    static ::ultraverse::fault::Site uv_fp_site(site_name);             \
+    return uv_fp_site.Evaluate();                                       \
+  }())
+
+/// Failpoint site in a function returning Status (or inside a block whose
+/// `return` propagates a Status): injects an error return, a simulated
+/// crash, or a delay when armed; one relaxed load when not.
+#define UV_FAILPOINT(site_name)                                  \
+  do {                                                           \
+    ::ultraverse::Status uv_fp_st = UV_FAILPOINT_EVAL(site_name); \
+    if (!uv_fp_st.ok()) return uv_fp_st;                         \
+  } while (0)
+
+/// Failpoint site in void/non-Status contexts: crash and delay actions
+/// apply; an injected error Status is recorded into `status_out` (which
+/// the surrounding code checks) instead of returned.
+#define UV_FAILPOINT_STATUS(site_name, status_out)                \
+  do {                                                            \
+    ::ultraverse::Status uv_fp_st = UV_FAILPOINT_EVAL(site_name); \
+    if (!uv_fp_st.ok()) (status_out) = uv_fp_st;                  \
+  } while (0)
+
+}  // namespace ultraverse::fault
+
+#endif  // ULTRAVERSE_FAULT_FAILPOINT_H_

@@ -1,0 +1,54 @@
+#ifndef ULTRAVERSE_FAULT_RECOVERY_H_
+#define ULTRAVERSE_FAULT_RECOVERY_H_
+
+#include <memory>
+#include <string>
+
+#include "sqldb/database.h"
+#include "sqldb/query_log.h"
+#include "util/status.h"
+
+namespace ultraverse::fault {
+
+/// What a WAL replay rebuilt (DESIGN.md §11).
+struct RecoveryReport {
+  size_t entries_replayed = 0;   // committed entries re-executed
+  size_t markers_applied = 0;    // durable what-if commits re-applied
+  size_t truncated_bytes = 0;    // torn/corrupt tail dropped from disk
+  bool tail_torn = false;
+  double seconds = 0;            // end-to-end recovery wall time
+};
+
+/// Rebuilds `db` (must be freshly constructed) and `log` (cleared) from the
+/// durable WAL at `path`, exactly as a restart after a crash would:
+///
+///  1. scan the WAL, truncating the torn tail (the prefix is truth),
+///  2. walk the record stream in commit order — each entry re-executes with
+///     its recorded nondeterminism and appends to `log`; each what-if
+///     commit marker re-applies its retroactive operation through
+///     full-naive replay, re-injecting the marker's recorded
+///     nondeterminism so the re-derived universe is bit-identical to the
+///     one the original what-if published.
+///
+/// Because the marker is fsynced before the live tables ever swap (the
+/// two-phase publish in RetroactiveEngine), recovery after a crash at ANY
+/// failpoint lands in the pre-what-if state (no marker on disk) or the
+/// fully rewritten one (marker durable) — never between. Entries replay
+/// through direct statement execution, i.e. the transpiled/T-mode
+/// executor; B/D app-level histories recover through their logged CALL
+/// form.
+Result<RecoveryReport> RecoverInto(const std::string& path,
+                                   sql::Database* db, sql::QueryLog* log);
+
+/// Self-contained recovered universe (harnesses and the crash sweep).
+struct RecoveredState {
+  std::unique_ptr<sql::Database> db;
+  std::unique_ptr<sql::QueryLog> log;
+  RecoveryReport report;
+};
+
+Result<RecoveredState> RecoverState(const std::string& path);
+
+}  // namespace ultraverse::fault
+
+#endif  // ULTRAVERSE_FAULT_RECOVERY_H_

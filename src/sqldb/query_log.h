@@ -10,6 +10,7 @@
 #include "sqldb/ast.h"
 #include "sqldb/database.h"
 #include "util/sha256.h"
+#include "util/status.h"
 
 namespace ultraverse::sql {
 
@@ -62,6 +63,12 @@ class QueryLog {
   /// header plus query-event metadata; we charge 60 bytes, matching the
   /// order of magnitude of Table 7(b)'s MySQL column).
   size_t MySqlStyleBytes() const;
+
+  /// Durable-WAL recovery: clears this log and rebuilds it from the intact
+  /// prefix of the WAL at `path` (sqldb/wal). Statements round-trip through
+  /// the regular parser; the torn tail is truncated on disk. Returns the
+  /// number of entries recovered. Implemented in wal/wal.cc.
+  Result<size_t> Recover(const std::string& path);
 
  private:
   std::deque<LogEntry> entries_;

@@ -1,0 +1,480 @@
+#include "sqldb/wal/wal.h"
+
+#include <fcntl.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+#include <fstream>
+#include <sstream>
+
+#include "fault/failpoint.h"
+#include "obs/metrics.h"
+#include "sqldb/parser.h"
+#include "util/crc32.h"
+
+namespace ultraverse::sql {
+
+namespace {
+
+// --- Little-endian primitive encoding ---------------------------------------
+
+void PutU8(std::string* out, uint8_t v) { out->push_back(char(v)); }
+
+void PutU32(std::string* out, uint32_t v) {
+  for (int i = 0; i < 4; ++i) out->push_back(char((v >> (8 * i)) & 0xFF));
+}
+
+void PutU64(std::string* out, uint64_t v) {
+  for (int i = 0; i < 8; ++i) out->push_back(char((v >> (8 * i)) & 0xFF));
+}
+
+void PutI64(std::string* out, int64_t v) { PutU64(out, uint64_t(v)); }
+
+void PutString(std::string* out, const std::string& s) {
+  PutU32(out, uint32_t(s.size()));
+  out->append(s);
+}
+
+void PutDouble(std::string* out, double d) {
+  uint64_t bits;
+  std::memcpy(&bits, &d, sizeof(bits));
+  PutU64(out, bits);
+}
+
+void PutValue(std::string* out, const Value& v) {
+  switch (v.type()) {
+    case DataType::kNull:
+      PutU8(out, 0);
+      break;
+    case DataType::kInt:
+      PutU8(out, 1);
+      PutI64(out, v.AsInt());
+      break;
+    case DataType::kDouble:
+      PutU8(out, 2);
+      PutDouble(out, v.AsDouble());
+      break;
+    case DataType::kString:
+      PutU8(out, 3);
+      PutString(out, v.AsStringRef());
+      break;
+    case DataType::kBool:
+      PutU8(out, 4);
+      PutU8(out, v.AsBool() ? 1 : 0);
+      break;
+  }
+}
+
+void PutValueVec(std::string* out, const std::vector<Value>& values) {
+  PutU32(out, uint32_t(values.size()));
+  for (const Value& v : values) PutValue(out, v);
+}
+
+/// Bounds-checked sequential reader over a payload.
+class Reader {
+ public:
+  explicit Reader(const std::string& data) : data_(data) {}
+
+  Status U8(uint8_t* v) {
+    UV_RETURN_NOT_OK(Need(1));
+    *v = uint8_t(data_[pos_++]);
+    return Status::OK();
+  }
+  Status U32(uint32_t* v) {
+    UV_RETURN_NOT_OK(Need(4));
+    *v = 0;
+    for (int i = 0; i < 4; ++i) {
+      *v |= uint32_t(uint8_t(data_[pos_ + i])) << (8 * i);
+    }
+    pos_ += 4;
+    return Status::OK();
+  }
+  Status U64(uint64_t* v) {
+    UV_RETURN_NOT_OK(Need(8));
+    *v = 0;
+    for (int i = 0; i < 8; ++i) {
+      *v |= uint64_t(uint8_t(data_[pos_ + i])) << (8 * i);
+    }
+    pos_ += 8;
+    return Status::OK();
+  }
+  Status I64(int64_t* v) {
+    uint64_t u;
+    UV_RETURN_NOT_OK(U64(&u));
+    *v = int64_t(u);
+    return Status::OK();
+  }
+  Status Str(std::string* s) {
+    uint32_t len;
+    UV_RETURN_NOT_OK(U32(&len));
+    UV_RETURN_NOT_OK(Need(len));
+    s->assign(data_, pos_, len);
+    pos_ += len;
+    return Status::OK();
+  }
+  Status Dbl(double* d) {
+    uint64_t bits;
+    UV_RETURN_NOT_OK(U64(&bits));
+    std::memcpy(d, &bits, sizeof(*d));
+    return Status::OK();
+  }
+  Status Val(Value* v) {
+    uint8_t tag;
+    UV_RETURN_NOT_OK(U8(&tag));
+    switch (tag) {
+      case 0:
+        *v = Value::Null();
+        return Status::OK();
+      case 1: {
+        int64_t i;
+        UV_RETURN_NOT_OK(I64(&i));
+        *v = Value::Int(i);
+        return Status::OK();
+      }
+      case 2: {
+        double d;
+        UV_RETURN_NOT_OK(Dbl(&d));
+        *v = Value::Double(d);
+        return Status::OK();
+      }
+      case 3: {
+        std::string s;
+        UV_RETURN_NOT_OK(Str(&s));
+        *v = Value::String(std::move(s));
+        return Status::OK();
+      }
+      case 4: {
+        uint8_t b;
+        UV_RETURN_NOT_OK(U8(&b));
+        *v = Value::Bool(b != 0);
+        return Status::OK();
+      }
+      default:
+        return Status::DataLoss("bad value tag in WAL payload");
+    }
+  }
+  Status ValVec(std::vector<Value>* values) {
+    uint32_t n;
+    UV_RETURN_NOT_OK(U32(&n));
+    values->clear();
+    values->reserve(n);
+    for (uint32_t i = 0; i < n; ++i) {
+      Value v;
+      UV_RETURN_NOT_OK(Val(&v));
+      values->push_back(std::move(v));
+    }
+    return Status::OK();
+  }
+
+  bool exhausted() const { return pos_ == data_.size(); }
+
+ private:
+  Status Need(size_t n) {
+    if (pos_ + n > data_.size()) {
+      return Status::DataLoss("WAL payload truncated mid-field");
+    }
+    return Status::OK();
+  }
+  const std::string& data_;
+  size_t pos_ = 0;
+};
+
+void PutNondet(std::string* out, const NondetRecord& nd) {
+  PutValueVec(out, nd.values);
+  PutU32(out, uint32_t(nd.auto_inc_ids.size()));
+  for (int64_t id : nd.auto_inc_ids) PutI64(out, id);
+}
+
+Status ReadNondet(Reader* r, NondetRecord* nd) {
+  UV_RETURN_NOT_OK(r->ValVec(&nd->values));
+  uint32_t n;
+  UV_RETURN_NOT_OK(r->U32(&n));
+  nd->auto_inc_ids.clear();
+  nd->auto_inc_ids.reserve(n);
+  for (uint32_t i = 0; i < n; ++i) {
+    int64_t id;
+    UV_RETURN_NOT_OK(r->I64(&id));
+    nd->auto_inc_ids.push_back(id);
+  }
+  return Status::OK();
+}
+
+}  // namespace
+
+std::string EncodeLogEntry(const LogEntry& entry) {
+  std::string out;
+  PutU64(&out, entry.index);
+  PutString(&out, entry.sql);
+  PutI64(&out, entry.timestamp);
+  PutNondet(&out, entry.nondet);
+  PutString(&out, entry.app_txn);
+  PutValueVec(&out, entry.app_args);
+  PutU32(&out, uint32_t(entry.app_blackbox.size()));
+  for (const auto& [key, value] : entry.app_blackbox) {
+    PutString(&out, key);
+    PutValue(&out, value);
+  }
+  PutU32(&out, uint32_t(entry.captured_vars.size()));
+  for (const auto& [name, values] : entry.captured_vars) {
+    PutString(&out, name);
+    PutValueVec(&out, values);
+  }
+  PutU32(&out, uint32_t(entry.table_hashes.size()));
+  for (const auto& [table, digest] : entry.table_hashes) {
+    PutString(&out, table);
+    for (uint64_t limb : digest.limbs) PutU64(&out, limb);
+  }
+  return out;
+}
+
+Result<LogEntry> DecodeLogEntry(const std::string& payload) {
+  LogEntry entry;
+  Reader r(payload);
+  UV_RETURN_NOT_OK(r.U64(&entry.index));
+  UV_RETURN_NOT_OK(r.Str(&entry.sql));
+  UV_RETURN_NOT_OK(r.I64(&entry.timestamp));
+  UV_RETURN_NOT_OK(ReadNondet(&r, &entry.nondet));
+  UV_RETURN_NOT_OK(r.Str(&entry.app_txn));
+  UV_RETURN_NOT_OK(r.ValVec(&entry.app_args));
+  uint32_t n;
+  UV_RETURN_NOT_OK(r.U32(&n));
+  for (uint32_t i = 0; i < n; ++i) {
+    std::string key;
+    Value value;
+    UV_RETURN_NOT_OK(r.Str(&key));
+    UV_RETURN_NOT_OK(r.Val(&value));
+    entry.app_blackbox.emplace(std::move(key), std::move(value));
+  }
+  UV_RETURN_NOT_OK(r.U32(&n));
+  for (uint32_t i = 0; i < n; ++i) {
+    std::string name;
+    std::vector<Value> values;
+    UV_RETURN_NOT_OK(r.Str(&name));
+    UV_RETURN_NOT_OK(r.ValVec(&values));
+    entry.captured_vars.emplace(std::move(name), std::move(values));
+  }
+  UV_RETURN_NOT_OK(r.U32(&n));
+  for (uint32_t i = 0; i < n; ++i) {
+    std::string table;
+    UV_RETURN_NOT_OK(r.Str(&table));
+    Digest256 digest;
+    for (uint64_t& limb : digest.limbs) UV_RETURN_NOT_OK(r.U64(&limb));
+    entry.table_hashes.emplace(std::move(table), digest);
+  }
+  if (!r.exhausted()) {
+    return Status::DataLoss("trailing bytes after WAL entry payload");
+  }
+  // Round-trip through the regular parser: the stmt pointer is process
+  // state, only the SQL text is durable.
+  UV_ASSIGN_OR_RETURN(entry.stmt, Parser::ParseStatement(entry.sql));
+  return entry;
+}
+
+std::string EncodeWhatIfMarker(const WhatIfMarker& marker) {
+  std::string out;
+  PutU8(&out, marker.kind);
+  PutU64(&out, marker.index);
+  PutString(&out, marker.new_sql);
+  PutNondet(&out, marker.new_stmt_nondet);
+  return out;
+}
+
+Result<WhatIfMarker> DecodeWhatIfMarker(const std::string& payload) {
+  WhatIfMarker marker;
+  Reader r(payload);
+  UV_RETURN_NOT_OK(r.U8(&marker.kind));
+  UV_RETURN_NOT_OK(r.U64(&marker.index));
+  UV_RETURN_NOT_OK(r.Str(&marker.new_sql));
+  UV_RETURN_NOT_OK(ReadNondet(&r, &marker.new_stmt_nondet));
+  if (!r.exhausted()) {
+    return Status::DataLoss("trailing bytes after WAL marker payload");
+  }
+  if (marker.kind > 2) {
+    return Status::DataLoss("bad what-if marker kind");
+  }
+  return marker;
+}
+
+// --- Append side ------------------------------------------------------------
+
+Wal::Wal(std::string path, int fd, WalOptions options)
+    : path_(std::move(path)), fd_(fd), options_(options) {}
+
+Wal::~Wal() {
+  if (fd_ >= 0) {
+    // Best effort: flush what the caller appended but never synced. A
+    // crash simulation abandons the object without running this (the
+    // harness leaks or skips the destructor via its owning scope).
+    (void)Sync();
+    ::close(fd_);
+  }
+}
+
+Result<std::unique_ptr<Wal>> Wal::Open(const std::string& path,
+                                       WalOptions options) {
+  int fd = ::open(path.c_str(), O_CREAT | O_WRONLY | O_APPEND, 0644);
+  if (fd < 0) {
+    return Status::Unavailable("cannot open WAL " + path + ": " +
+                               std::strerror(errno));
+  }
+  return std::unique_ptr<Wal>(new Wal(path, fd, options));
+}
+
+Status Wal::AppendRecord(WalRecordType type, const std::string& payload) {
+  UV_FAILPOINT("wal.append");
+  std::string framed;
+  framed.reserve(payload.size() + 9);
+  PutU8(&framed, uint8_t(type));
+  PutU32(&framed, uint32_t(payload.size()));
+  std::string crc_domain;
+  crc_domain.reserve(payload.size() + 1);
+  crc_domain.push_back(char(type));
+  crc_domain.append(payload);
+  PutU32(&framed, Crc32(crc_domain));
+  framed.append(payload);
+  buffer_.append(framed);
+  static obs::Counter* const appends =
+      obs::Registry::Global().counter("uv.wal.appends");
+  appends->Inc();
+  return Status::OK();
+}
+
+Status Wal::AppendEntry(const LogEntry& entry) {
+  UV_RETURN_NOT_OK(AppendRecord(WalRecordType::kEntry, EncodeLogEntry(entry)));
+  ++unsynced_appends_;
+  if (options_.fsync_every_n != 0 &&
+      unsynced_appends_ >= options_.fsync_every_n) {
+    return Sync();
+  }
+  return Status::OK();
+}
+
+Status Wal::AppendWhatIfCommit(const WhatIfMarker& marker) {
+  UV_RETURN_NOT_OK(
+      AppendRecord(WalRecordType::kWhatIfCommit, EncodeWhatIfMarker(marker)));
+  // The marker IS the commit point: it must be durable before the live
+  // tables swap, whatever the group-commit setting says.
+  return Sync();
+}
+
+void Wal::Abandon() {
+  buffer_.clear();
+  unsynced_appends_ = 0;
+  if (fd_ >= 0) {
+    ::close(fd_);
+    fd_ = -1;
+  }
+}
+
+Status Wal::Sync() {
+  // A crash here loses the whole in-memory buffer — the group-commit
+  // window — which is exactly what process death before write(2) costs.
+  UV_FAILPOINT("wal.sync.pre_write");
+  if (!buffer_.empty()) {
+    size_t off = 0;
+    while (off < buffer_.size()) {
+      ssize_t n = ::write(fd_, buffer_.data() + off, buffer_.size() - off);
+      if (n < 0) {
+        if (errno == EINTR) continue;
+        return Status::Unavailable("WAL write failed: " +
+                                   std::string(std::strerror(errno)));
+      }
+      off += size_t(n);
+    }
+    buffer_.clear();
+  }
+  unsynced_appends_ = 0;
+  if (options_.use_fsync) {
+    if (::fsync(fd_) != 0) {
+      return Status::Unavailable("WAL fsync failed: " +
+                                 std::string(std::strerror(errno)));
+    }
+    static obs::Counter* const fsyncs =
+        obs::Registry::Global().counter("uv.wal.fsyncs");
+    fsyncs->Inc();
+  }
+  return Status::OK();
+}
+
+// --- Recovery side ----------------------------------------------------------
+
+Result<WalRecovery> RecoverWal(const std::string& path, bool truncate_file) {
+  WalRecovery recovery;
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return recovery;  // no file yet: empty log
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  std::string data = buf.str();
+
+  size_t pos = 0;
+  while (pos < data.size()) {
+    // Header: type(1) + len(4) + crc(4). Anything shorter is a torn tail.
+    if (pos + 9 > data.size()) break;
+    uint8_t type = uint8_t(data[pos]);
+    uint32_t len = 0, crc = 0;
+    for (int i = 0; i < 4; ++i) {
+      len |= uint32_t(uint8_t(data[pos + 1 + i])) << (8 * i);
+      crc |= uint32_t(uint8_t(data[pos + 5 + i])) << (8 * i);
+    }
+    if (pos + 9 + len > data.size()) break;  // torn payload
+    std::string crc_domain;
+    crc_domain.reserve(len + 1);
+    crc_domain.push_back(char(type));
+    crc_domain.append(data, pos + 9, len);
+    if (Crc32(crc_domain) != crc) break;  // corrupt record: stop here
+    std::string payload = data.substr(pos + 9, len);
+    if (type == uint8_t(WalRecordType::kEntry)) {
+      Result<LogEntry> entry = DecodeLogEntry(payload);
+      if (!entry.ok()) break;  // CRC passed but content bad: treat as end
+      recovery.entries.push_back(std::move(entry).value());
+    } else if (type == uint8_t(WalRecordType::kWhatIfCommit)) {
+      Result<WhatIfMarker> marker = DecodeWhatIfMarker(payload);
+      if (!marker.ok()) break;
+      marker->entries_before = recovery.entries.size();
+      recovery.markers.push_back(std::move(marker).value());
+    } else {
+      break;  // unknown record type: cannot trust framing past it
+    }
+    pos += 9 + len;
+  }
+
+  recovery.valid_bytes = pos;
+  recovery.truncated_bytes = data.size() - pos;
+  recovery.tail_torn = recovery.truncated_bytes > 0;
+
+  static obs::Counter* const recovered =
+      obs::Registry::Global().counter("uv.wal.recovered_entries");
+  static obs::Counter* const truncated =
+      obs::Registry::Global().counter("uv.wal.truncated_bytes");
+  recovered->Add(recovery.entries.size());
+  truncated->Add(recovery.truncated_bytes);
+
+  if (truncate_file && recovery.tail_torn) {
+    if (::truncate(path.c_str(), off_t(pos)) != 0) {
+      return Status::Unavailable("WAL truncate failed: " +
+                                 std::string(std::strerror(errno)));
+    }
+  }
+  return recovery;
+}
+
+Result<WalRecovery> RecoverQueryLog(const std::string& path, QueryLog* log,
+                                    bool truncate_file) {
+  UV_ASSIGN_OR_RETURN(WalRecovery recovery, RecoverWal(path, truncate_file));
+  log->mutable_entries().clear();
+  for (LogEntry& entry : recovery.entries) {
+    log->Append(entry);  // reassigns index = position, matching append order
+  }
+  return recovery;
+}
+
+// Declared in query_log.h; lives here so query_log.cc stays WAL-free (the
+// in-memory log has no durability dependency unless the WAL is linked in).
+Result<size_t> QueryLog::Recover(const std::string& path) {
+  UV_ASSIGN_OR_RETURN(WalRecovery recovery,
+                      RecoverQueryLog(path, this, /*truncate_file=*/true));
+  return recovery.entries.size();
+}
+
+}  // namespace ultraverse::sql

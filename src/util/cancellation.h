@@ -1,0 +1,76 @@
+#ifndef ULTRAVERSE_UTIL_CANCELLATION_H_
+#define ULTRAVERSE_UTIL_CANCELLATION_H_
+
+#include <atomic>
+#include <cstdint>
+#include <string>
+
+#include "util/status.h"
+#include "util/stopwatch.h"
+
+namespace ultraverse {
+
+/// Cooperative cancellation + deadline token threaded through long-running
+/// operations (retroactive replay, batch scheduling, recovery). Workers
+/// poll Check() at phase boundaries and between slots; a fired token makes
+/// them drain gracefully — finish or abandon the current statement, stop
+/// pulling new work, and surface kCancelled / kDeadlineExceeded. The
+/// caller abandons the staged temporary state, so the live database is
+/// untouched (what-if adoption only happens after a clean replay).
+///
+/// Thread-safe: any thread may Cancel(); all workers may poll concurrently
+/// (one relaxed load on the fast path, a clock read only when a deadline
+/// is set).
+class CancelToken {
+ public:
+  CancelToken() = default;
+
+  /// Arms a wall-clock deadline `micros` from now (0 disarms).
+  void SetDeadlineAfterMicros(uint64_t micros) {
+    deadline_us_.store(micros == 0 ? 0 : NowMicros() + micros,
+                       std::memory_order_relaxed);
+  }
+
+  void Cancel() { cancelled_.store(true, std::memory_order_relaxed); }
+
+  /// Re-arms a used token (tests and pooled engines).
+  void Reset() {
+    cancelled_.store(false, std::memory_order_relaxed);
+    deadline_us_.store(0, std::memory_order_relaxed);
+  }
+
+  bool cancelled() const {
+    return cancelled_.load(std::memory_order_relaxed);
+  }
+
+  bool deadline_expired() const {
+    uint64_t d = deadline_us_.load(std::memory_order_relaxed);
+    return d != 0 && NowMicros() >= d;
+  }
+
+  /// OK while the operation may continue; kCancelled / kDeadlineExceeded
+  /// once it should drain. `where` names the phase for the error message.
+  Status Check(const char* where) const {
+    if (cancelled()) {
+      return Status::Cancelled(std::string("cancelled during ") + where);
+    }
+    if (deadline_expired()) {
+      return Status::DeadlineExceeded(std::string("deadline exceeded during ") +
+                                      where);
+    }
+    return Status::OK();
+  }
+
+ private:
+  std::atomic<bool> cancelled_{false};
+  std::atomic<uint64_t> deadline_us_{0};  // absolute, NowMicros domain; 0=off
+};
+
+/// Polls a possibly-null token: null means "never cancelled".
+inline Status CheckCancel(const CancelToken* token, const char* where) {
+  return token ? token->Check(where) : Status::OK();
+}
+
+}  // namespace ultraverse
+
+#endif  // ULTRAVERSE_UTIL_CANCELLATION_H_

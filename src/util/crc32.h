@@ -1,0 +1,39 @@
+#ifndef ULTRAVERSE_UTIL_CRC32_H_
+#define ULTRAVERSE_UTIL_CRC32_H_
+
+#include <array>
+#include <cstdint>
+#include <cstddef>
+#include <string_view>
+
+namespace ultraverse {
+
+namespace internal {
+inline constexpr std::array<uint32_t, 256> MakeCrc32Table() {
+  std::array<uint32_t, 256> table{};
+  for (uint32_t i = 0; i < 256; ++i) {
+    uint32_t c = i;
+    for (int k = 0; k < 8; ++k) {
+      c = (c & 1) ? 0xEDB88320u ^ (c >> 1) : c >> 1;
+    }
+    table[i] = c;
+  }
+  return table;
+}
+inline constexpr std::array<uint32_t, 256> kCrc32Table = MakeCrc32Table();
+}  // namespace internal
+
+/// CRC-32 (IEEE 802.3, the zlib polynomial) over `data`, continuing from
+/// `seed` (pass the previous return value to checksum in chunks). Guards
+/// WAL records against torn writes and bit rot.
+inline uint32_t Crc32(std::string_view data, uint32_t seed = 0) {
+  uint32_t c = seed ^ 0xFFFFFFFFu;
+  for (unsigned char byte : data) {
+    c = internal::kCrc32Table[(c ^ byte) & 0xFFu] ^ (c >> 8);
+  }
+  return c ^ 0xFFFFFFFFu;
+}
+
+}  // namespace ultraverse
+
+#endif  // ULTRAVERSE_UTIL_CRC32_H_

@@ -1,0 +1,59 @@
+#ifndef ULTRAVERSE_UTIL_RETRY_H_
+#define ULTRAVERSE_UTIL_RETRY_H_
+
+#include <cstdint>
+
+#include "util/backoff.h"
+#include "util/cancellation.h"
+#include "util/status.h"
+
+namespace ultraverse {
+
+/// Bounded retry policy for transient faults (kUnavailable — e.g. injected
+/// failpoint errors standing in for a flaky DBMS connection). kTimeout is
+/// deliberately NOT transient: the interpreter's step-budget timeout is
+/// deterministic, so retrying it can never help.
+/// Waits ride the shared ExpBackoff ladder: pause instructions, then
+/// yields, then 50us sleeps — bounded work, no unbounded spinning.
+struct RetryPolicy {
+  /// Total attempts including the first (1 = no retries).
+  int max_attempts = 1;
+  /// Backoff pauses taken between consecutive attempts; attempt k waits
+  /// k*backoff_rounds pauses, so later retries back off longer.
+  int backoff_rounds = 8;
+
+  bool enabled() const { return max_attempts > 1; }
+};
+
+/// True for error codes a retry can plausibly clear.
+inline bool IsTransient(const Status& st) {
+  return st.code() == StatusCode::kUnavailable;
+}
+
+/// Runs `fn` (returning Status) up to `policy.max_attempts` times, backing
+/// off between attempts, until it returns OK or a non-transient error.
+/// A cancelled/expired `token` (nullable) stops the loop with the token's
+/// status — cancellation outranks retries. Each extra attempt bumps the
+/// process-wide `uv.retry.attempts` counter via `on_retry` (the caller
+/// supplies the counter bump so util stays obs-free).
+template <typename Fn, typename OnRetry>
+Status RetryWithBackoff(const RetryPolicy& policy, const CancelToken* token,
+                        Fn&& fn, OnRetry&& on_retry) {
+  ExpBackoff backoff;
+  Status st;
+  for (int attempt = 1;; ++attempt) {
+    UV_RETURN_NOT_OK(CheckCancel(token, "retry"));
+    st = fn();
+    if (st.ok() || !IsTransient(st) || attempt >= policy.max_attempts) {
+      return st;
+    }
+    on_retry(attempt, st);
+    for (int i = 0; i < policy.backoff_rounds * attempt; ++i) {
+      backoff.Pause();
+    }
+  }
+}
+
+}  // namespace ultraverse
+
+#endif  // ULTRAVERSE_UTIL_RETRY_H_

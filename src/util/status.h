@@ -21,6 +21,10 @@ enum class StatusCode {
   kInternal,
   kTimeout,
   kSignal,  // SQL SIGNAL SQLSTATE raised (used for unreached-path traps).
+  kUnavailable,        // transient resource failure; safe to retry
+  kCancelled,          // operation cancelled via a CancelToken
+  kDeadlineExceeded,   // a CancelToken deadline expired mid-operation
+  kDataLoss,           // durable-log corruption beyond torn-tail repair
 };
 
 /// Arrow/RocksDB-style status object. Functions that can fail return a
@@ -62,6 +66,18 @@ class Status {
   static Status Signal(std::string sqlstate) {
     return Status(StatusCode::kSignal, std::move(sqlstate));
   }
+  static Status Unavailable(std::string m) {
+    return Status(StatusCode::kUnavailable, std::move(m));
+  }
+  static Status Cancelled(std::string m) {
+    return Status(StatusCode::kCancelled, std::move(m));
+  }
+  static Status DeadlineExceeded(std::string m) {
+    return Status(StatusCode::kDeadlineExceeded, std::move(m));
+  }
+  static Status DataLoss(std::string m) {
+    return Status(StatusCode::kDataLoss, std::move(m));
+  }
 
   bool ok() const { return code_ == StatusCode::kOk; }
   StatusCode code() const { return code_; }
@@ -85,6 +101,10 @@ class Status {
       case StatusCode::kInternal: return "Internal";
       case StatusCode::kTimeout: return "Timeout";
       case StatusCode::kSignal: return "Signal";
+      case StatusCode::kUnavailable: return "Unavailable";
+      case StatusCode::kCancelled: return "Cancelled";
+      case StatusCode::kDeadlineExceeded: return "DeadlineExceeded";
+      case StatusCode::kDataLoss: return "DataLoss";
     }
     return "Unknown";
   }

@@ -1,13 +1,21 @@
-// Randomized what-if fuzzer CLI (DESIGN.md §9).
+// Randomized what-if fuzzer CLI (DESIGN.md §9, §11).
 //
 //   fuzz_whatif --seed 7 --histories 500         # fixed case count
 //   fuzz_whatif --fuzz-seconds 60                # wall-clock budget
 //   fuzz_whatif --check-static --histories 200   # + static-soundness oracle
 //   fuzz_whatif --repro failing.sql              # re-run a repro file
+//   fuzz_whatif --crash-points --histories 5     # crash+recover sweep (§11)
+//   fuzz_whatif --failpoints 'wal.append=error:once'  # arbitrary arming
 //
 // Every generated case runs each selective-replay mode pair against the
 // full-naive reference oracle. Divergences are shrunk to a minimal history
 // and written as self-contained .sql repro files (re-runnable via --repro).
+//
+// --crash-points instead runs each case's durable replay under a WAL,
+// enumerates every failpoint site the path evaluates, simulates a crash at
+// each, recovers from the WAL, and demands the recovered state equal the
+// pre-what-if state (no commit marker on disk) or the fully rewritten one
+// (marker durable) — never anything between.
 
 #include <cstdint>
 #include <cstdio>
@@ -16,6 +24,8 @@
 #include <sstream>
 #include <string>
 
+#include "fault/crash_sweep.h"
+#include "fault/failpoint.h"
 #include "oracle/fuzzer.h"
 #include "oracle/oracle.h"
 
@@ -25,9 +35,42 @@ int Usage(const char* argv0) {
   std::fprintf(stderr,
                "usage: %s [--seed N] [--histories N] [--fuzz-seconds S]\n"
                "          [--check-static] [--no-shrink] [--repro FILE]\n"
-               "          [--out-dir DIR]\n",
+               "          [--out-dir DIR] [--crash-points]\n"
+               "          [--failpoints SPEC]   (also: ULTRA_FAILPOINTS)\n",
                argv0);
   return 2;
+}
+
+int RunCrashPoints(const ultraverse::fault::CrashSweepOptions& options,
+                   uint64_t seed, const std::string& out_dir) {
+  auto report = ultraverse::fault::RunCrashSweep(options);
+  if (!report.ok()) {
+    std::fprintf(stderr, "crash sweep failed: %s\n",
+                 report.status().message().c_str());
+    return 2;
+  }
+  std::printf("cases: %zu  crash points: %zu  recovered pre: %zu  "
+              "post: %zu  divergences: %zu\n",
+              report->cases_run, report->crash_points,
+              report->recoveries_pre, report->recoveries_post,
+              report->divergences.size());
+  std::printf("sites:");
+  for (const auto& site : report->sites) std::printf(" %s", site.c_str());
+  std::printf("\n");
+  for (const auto& divergence : report->divergences) {
+    std::string path = out_dir + "/crash_repro_" + std::to_string(seed) +
+                       "_" + std::to_string(divergence.case_number) + ".sql";
+    std::ofstream out(path);
+    out << "-- crash point: " << divergence.site << " skip "
+        << divergence.skip << "\n"
+        << divergence.shrunk.ToReproSql();
+    std::printf("wrote %s (%zu statements, crash at %s skip %llu)\n",
+                path.c_str(), divergence.shrunk.history.size(),
+                divergence.site.c_str(),
+                (unsigned long long)divergence.skip);
+    std::printf("%s\n", divergence.detail.c_str());
+  }
+  return report->divergences.empty() ? 0 : 1;
 }
 
 int RunRepro(const std::string& path) {
@@ -66,6 +109,8 @@ int main(int argc, char** argv) {
   ultraverse::oracle::FuzzOptions options;
   std::string repro, out_dir = ".";
   bool histories_set = false;
+  bool crash_points = false;
+  std::string failpoint_spec;
 
   for (int i = 1; i < argc; ++i) {
     auto need_value = [&](const char* flag) -> const char* {
@@ -92,9 +137,39 @@ int main(int argc, char** argv) {
       repro = need_value("--repro");
     } else if (!std::strcmp(argv[i], "--out-dir")) {
       out_dir = need_value("--out-dir");
+    } else if (!std::strcmp(argv[i], "--crash-points")) {
+      crash_points = true;
+    } else if (!std::strcmp(argv[i], "--failpoints")) {
+      failpoint_spec = need_value("--failpoints");
     } else {
       return Usage(argv[0]);
     }
+  }
+
+  // Explicit arming (--failpoints / ULTRA_FAILPOINTS): lets a plain fuzz
+  // or repro run execute under injected faults.
+  {
+    auto& registry = ultraverse::fault::FailpointRegistry::Global();
+    ultraverse::Status st = failpoint_spec.empty()
+                                ? registry.ArmFromEnv()
+                                : registry.ArmFromSpec(failpoint_spec);
+    if (!st.ok()) {
+      std::fprintf(stderr, "bad failpoint spec: %s\n", st.message().c_str());
+      return 2;
+    }
+  }
+
+  if (crash_points) {
+    ultraverse::fault::CrashSweepOptions sweep;
+    sweep.seed = options.seed;
+    sweep.histories = histories_set ? options.histories : 5;
+    sweep.seconds = options.seconds;
+    sweep.shrink = options.shrink;
+    sweep.wal_path = out_dir + "/crash_sweep.wal";
+    sweep.progress = [](const std::string& msg) {
+      std::fprintf(stderr, "[crash] %s\n", msg.c_str());
+    };
+    return RunCrashPoints(sweep, options.seed, out_dir);
   }
 
   if (!repro.empty()) return RunRepro(repro);
