@@ -18,9 +18,12 @@
 #include "obs/metrics.h"
 #include "obs/trace.h"
 #include "sqldb/database.h"
+#include "sqldb/exec_engine.h"
 #include "sqldb/parser.h"
 #include "sqldb/query_log.h"
 #include "sqldb/value.h"
+#include "sqldb/vm/compiler.h"
+#include "sqldb/vm/plan_cache.h"
 #include "util/mpmc_queue.h"
 #include "util/sha256.h"
 #include "util/table_hash.h"
@@ -428,6 +431,67 @@ void BM_WalRecover(benchmark::State& state) {
   std::filesystem::remove(path);
 }
 BENCHMARK(BM_WalRecover)->Arg(100)->Arg(1000);
+
+// --- compiled execution (DESIGN.md §12) -------------------------------------
+
+void BM_VmCompile(benchmark::State& state) {
+  sql::Database db;
+  (void)db.ExecuteSql("CREATE TABLE t (id INT PRIMARY KEY, a INT, b INT)", 1);
+  auto stmt = *sql::Parser::ParseStatement(
+      "UPDATE t SET a = a + b * 2 WHERE id = 42 AND b IN (1, 2, 3)");
+  for (auto _ : state) {
+    auto plan = sql::vm::Compile(db, *stmt);
+    benchmark::DoNotOptimize(plan.get());
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_VmCompile);
+
+// The hot path replay pays per re-executed statement once its plan is
+// cached: fingerprint + (fingerprint, schema version) lookup.
+void BM_PlanCacheHit(benchmark::State& state) {
+  sql::Database db;
+  (void)db.ExecuteSql("CREATE TABLE t (id INT PRIMARY KEY, v INT)", 1);
+  auto stmt = *sql::Parser::ParseStatement("UPDATE t SET v = 1 WHERE id = 7");
+  auto plan = sql::vm::Compile(db, *stmt);
+  sql::vm::PlanCache cache;
+  cache.Insert(sql::vm::FingerprintStatement(*stmt), 1, plan);
+  for (auto _ : state) {
+    uint64_t fp = sql::vm::FingerprintStatement(*stmt);
+    auto hit = cache.Lookup(fp, 1);
+    benchmark::DoNotOptimize(hit.has_value());
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_PlanCacheHit);
+
+// Batch evaluation over row chunks vs the AST walker, on a scan-shaped
+// aggregate (no index shortcut): Arg0 = table rows, Arg1 = 0 tree / 1 vm.
+void BM_VmExecBatch(benchmark::State& state) {
+  const int64_t rows = state.range(0);
+  const bool use_vm = state.range(1) != 0;
+  sql::Database db;
+  db.set_exec_engine(use_vm ? sql::ExecEngine::kVm : sql::ExecEngine::kTree);
+  uint64_t commit = 0;
+  (void)db.ExecuteSql("CREATE TABLE t (id INT PRIMARY KEY, v INT)", ++commit);
+  sql::Table* table = db.FindTable("t");
+  for (int64_t i = 0; i < rows; ++i) {
+    (void)table->Insert({sql::Value::Int(i), sql::Value::Int(i % 97)},
+                        ++commit);
+  }
+  db.TrimJournalsBefore(commit + 1);
+  auto stmt = *sql::Parser::ParseStatement(
+      "SELECT COUNT(*), SUM(v) FROM t WHERE v < 50");
+  for (auto _ : state) {
+    sql::ExecContext ctx;
+    auto r = db.Execute(*stmt, ++commit, &ctx);
+    benchmark::DoNotOptimize(r.ok());
+  }
+  state.SetItemsProcessed(state.iterations() * rows);
+}
+BENCHMARK(BM_VmExecBatch)
+    ->ArgsProduct({{1000, 100000}, {0, 1}})
+    ->Unit(benchmark::kMicrosecond);
 
 void BM_SqlParse(benchmark::State& state) {
   const std::string sql =

@@ -18,7 +18,9 @@ void Run() {
   int scales[3] = {1, 4, 16};
   size_t history = 250 * size_t(HistoryScale());
 
-  PrintRow({"bench", "scale", "DBsize", "T+D", "B", "Mahif"}, 10);
+  PrintRow({"bench", "scale", "DBsize", "T+D/tree", "T+D/vm", "vm-gain",
+            "B", "Mahif"},
+           10);
   for (const auto& name : workload::AllWorkloadNames()) {
     // Mahif sees only the query window, never the populated DB, so its
     // time is scale-independent by construction (matching the paper).
@@ -39,30 +41,44 @@ void Run() {
       opts.workload = name;
       opts.db_scale = scale;
       opts.history_txns = history;
-      Instance inst = BuildInstance(opts);
-      size_t db_bytes = inst.uv->db()->ApproxMemoryBytes();
 
-      double secs[2];
-      core::SystemMode modes[2] = {core::SystemMode::kTD,
-                                   core::SystemMode::kB};
-      for (int m = 0; m < 2; ++m) {
-        Instance fresh = m == 0 ? std::move(inst) : BuildInstance(opts);
+      // Three runs: T+D on each execution engine (the compiled-VM vs
+      // tree-walker comparison of DESIGN.md §12), then the B baseline on
+      // the VM. Each gets a fresh instance built through its own engine.
+      struct RunSpec {
+        sql::ExecEngine engine;
+        core::SystemMode mode;
+      } runs[3] = {{sql::ExecEngine::kTree, core::SystemMode::kTD},
+                   {sql::ExecEngine::kVm, core::SystemMode::kTD},
+                   {sql::ExecEngine::kVm, core::SystemMode::kB}};
+      double secs[3];
+      size_t db_bytes = 0;
+      for (int m = 0; m < 3; ++m) {
+        opts.exec_engine = runs[m].engine;
+        Instance fresh = BuildInstance(opts);
+        if (db_bytes == 0) db_bytes = fresh.uv->db()->ApproxMemoryBytes();
         core::RetroOp op;
         op.kind = core::RetroOp::Kind::kRemove;
         op.index = fresh.retro_target;
-        auto stats = fresh.uv->WhatIf(op, modes[m]);
+        auto stats = fresh.uv->WhatIf(op, runs[m].mode);
         if (!stats.ok()) std::exit(1);
         secs[m] = TotalSeconds(*stats);
       }
+      char vm_gain[32];
+      std::snprintf(vm_gain, sizeof(vm_gain), "%.1fx",
+                    secs[1] > 0 ? secs[0] / secs[1] : 0.0);
       PrintRow({name, std::to_string(scale) + "x", FmtBytes(db_bytes),
-                FmtSeconds(secs[0]), FmtSeconds(secs[1]),
+                FmtSeconds(secs[0]), FmtSeconds(secs[1]), vm_gain,
+                FmtSeconds(secs[2]),
                 mahif_secs < 0 ? "x" : FmtSeconds(mahif_secs)},
                10);
       session.Row({{"workload", name},
                    {"scale", scale},
                    {"db_bytes", db_bytes},
-                   {"td_seconds", secs[0]},
-                   {"b_seconds", secs[1]},
+                   {"td_tree_seconds", secs[0]},
+                   {"td_vm_seconds", secs[1]},
+                   {"vm_speedup", secs[1] > 0 ? secs[0] / secs[1] : 0.0},
+                   {"b_seconds", secs[2]},
                    {"mahif_seconds", mahif_secs}});
     }
   }

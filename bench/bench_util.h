@@ -5,6 +5,7 @@
 #include <cstdlib>
 #include <initializer_list>
 #include <memory>
+#include <optional>
 #include <string>
 #include <string_view>
 #include <vector>
@@ -44,6 +45,9 @@ struct InstanceOptions {
   uint64_t seed = 1;
   uint64_t rtt_micros = 1000;
   int replay_threads = 8;
+  /// Statement execution engine for the instance's database (history build
+  /// and replay both run through it). Unset = the process default.
+  std::optional<sql::ExecEngine> exec_engine;
 };
 
 /// Builds a populated instance with a committed history and a designated
@@ -57,6 +61,7 @@ inline Instance BuildInstance(const InstanceOptions& opts) {
   uv_opts.hash_jumper = opts.hash_jumper;
   uv_opts.eager_analysis = opts.eager_analysis;
   uv_opts.eager_hash_log = opts.eager_hash_log;
+  uv_opts.exec_engine = opts.exec_engine;
   inst.uv = std::make_unique<core::Ultraverse>(uv_opts);
 
   workload::Driver::Config config;

@@ -5,13 +5,16 @@
 #   scripts/check.sh plain    # any subset, in order: plain|asan|tsan|lint
 #
 # 1. plain — full ctest in build/ (every suite: unit, obs, oracle,
-#    analysis, fault), exactly the ROADMAP.md tier-1 command, plus a
+#    analysis, fault, vm), exactly the ROADMAP.md tier-1 command, plus a
 #    ~30-second crash-point sweep (fuzz_whatif --crash-points): simulated
 #    crashes at every reachable failpoint with WAL recovery checked
-#    against the pre/post what-if states (DESIGN.md §11).
+#    against the pre/post what-if states (DESIGN.md §11), and a short
+#    cross-engine differential leg (fuzz_whatif --exec-diff): fuzzed
+#    histories built + what-if-replayed on the tree walker and the
+#    bytecode VM with final states diffed (DESIGN.md §12).
 # 2. asan  — AddressSanitizer build running the observability + oracle +
-#    fault labels (the suites that exercise the threaded replay/staging
-#    and WAL recovery paths).
+#    fault + vm labels (the suites that exercise the threaded
+#    replay/staging, WAL recovery, and compiled-execution paths).
 # 3. tsan  — same labels under ThreadSanitizer.
 # lint (clang-tidy; no-op without the binary) runs with `lint`, or via
 # `ctest -L lint` inside any configured build.
@@ -35,14 +38,18 @@ run_plain() {
   SWEEP_DIR="$(mktemp -d)"
   build/tools/fuzz_whatif --crash-points --seed 1 --histories 0 \
     --fuzz-seconds 30 --out-dir "$SWEEP_DIR"
+  echo "== plain: cross-engine exec-diff smoke =="
+  build/tools/fuzz_whatif --exec-diff --seed 1 --histories 40 \
+    --out-dir "$SWEEP_DIR"
   rm -rf "$SWEEP_DIR"
 }
 
 run_sanitized() {  # $1 = address|thread, $2 = build dir
-  echo "== $1 sanitizer: obs + oracle + fault labels =="
+  echo "== $1 sanitizer: obs + oracle + fault + vm labels =="
   cmake -B "$2" -S . -DULTRA_SANITIZE="$1"
   cmake --build "$2" -j "$JOBS"
-  ctest --test-dir "$2" --output-on-failure -j "$JOBS" -L 'obs|oracle|fault'
+  ctest --test-dir "$2" --output-on-failure -j "$JOBS" \
+    -L 'obs|oracle|fault|vm'
 }
 
 for step in $STEPS; do

@@ -180,6 +180,7 @@ Result<ReplayStats> RetroactiveEngine::ExecuteFullNaive(const RetroOp& op,
                          {{"index", op.index}, {"history", horizon}});
 
   temp_db_ = std::make_unique<sql::Database>();
+  temp_db_->set_exec_engine(db_->exec_engine());
   size_t executed = 0;
 
   // Settled prefix: recorded nondeterminism, no §6 rules.
@@ -421,6 +422,7 @@ Result<ReplayStats> RetroactiveEngine::Execute(
     // Schema changes cannot be undone from table journals: rebuild the
     // prefix universe from scratch (checkpoint-less slow path).
     temp_db_ = std::make_unique<sql::Database>();
+    temp_db_->set_exec_engine(db_->exec_engine());
     for (uint64_t idx = 1; idx < op.index; ++idx) {
       Slot slot{false, idx};
       UV_RETURN_NOT_OK(ExecuteSlot(temp_db_.get(), slot, op, idx,

@@ -230,6 +230,7 @@ class Ultraverse::ReplayBridge : public app::SqlBridge {
 
 Ultraverse::Ultraverse(Options options)
     : options_(options), clock_(options.rtt_micros), rng_(options.rng_seed) {
+  if (options_.exec_engine) db_.set_exec_engine(*options_.exec_engine);
   if (!options_.wal_path.empty()) {
     sql::WalOptions wal_options;
     wal_options.fsync_every_n = options_.wal_fsync_every_n;

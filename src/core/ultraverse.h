@@ -4,6 +4,7 @@
 #include <map>
 #include <memory>
 #include <mutex>
+#include <optional>
 #include <string>
 #include <vector>
 
@@ -68,6 +69,10 @@ class Ultraverse {
     /// Cancellation/deadline token observed by WhatIf() replays; workers
     /// drain gracefully and the live database stays untouched. Nullable.
     const CancelToken* whatif_cancel = nullptr;
+
+    /// Execution engine for the live database (clones used by replay
+    /// inherit it). Unset = the process default (sql::DefaultExecEngine).
+    std::optional<sql::ExecEngine> exec_engine;
   };
 
   Ultraverse() : Ultraverse(Options()) {}

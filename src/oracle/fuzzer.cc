@@ -390,6 +390,30 @@ FuzzReport Fuzz(const FuzzOptions& options) {
         continue;  // a breached case's divergences add no information
       }
     }
+    if (options.exec_diff) {
+      OracleResult r = CheckCaseExecDiff(c);
+      ++report.checks_run;
+      if (!r.ok && !r.error.empty()) {
+        say("case " + std::to_string(n) + " [exec-diff] error: " + r.error);
+      } else if (!r.ok) {
+        ++report.divergences;
+        say("case " + std::to_string(n) + " [exec-diff] DIVERGED: " +
+            (r.diff.divergences.empty() ? std::string("?")
+                                        : r.diff.divergences[0].detail));
+        auto still_diverges = [](const WhatIfCase& cand) {
+          OracleResult rr = CheckCaseExecDiff(cand);
+          return !rr.ok && rr.error.empty();
+        };
+        FuzzFailure failure;
+        failure.case_number = n;
+        failure.shrunk = options.shrink ? ShrinkCaseIf(c, still_diverges) : c;
+        failure.result = CheckCaseExecDiff(failure.shrunk);
+        report.failures.push_back(std::move(failure));
+        continue;  // mode-pair checks of a diverged case add no information
+      } else if (!r.note.empty()) {
+        say("case " + std::to_string(n) + " [exec-diff] " + r.note);
+      }
+    }
     for (const auto& mode : options.modes) {
       OracleResult r = CheckCase(c, mode);
       ++report.checks_run;

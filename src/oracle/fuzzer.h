@@ -29,6 +29,10 @@ struct FuzzOptions {
   /// containment breach as a failure (reported with mode
   /// "static-containment" and shrunk like a divergence).
   bool check_static = false;
+  /// Cross-engine differential: run every generated case through
+  /// CheckCaseExecDiff (tree walker vs bytecode VM, build + what-if
+  /// replay). Divergences are shrunk and reported with mode "exec-diff".
+  bool exec_diff = false;
   /// Optional progress sink (one line per event; CLI wires this to stderr).
   std::function<void(const std::string&)> progress;
 };

@@ -4,6 +4,7 @@
 
 #include "analysis/soundness.h"
 #include "sqldb/parser.h"
+#include "sqldb/vm/vm.h"
 
 namespace ultraverse::oracle {
 
@@ -119,13 +120,24 @@ std::vector<ModeConfig> StandardModeConfigs() {
   c.hash_jumper = false;
   c.force_rebuild = true;
   configs.push_back(c);
+  c.name = "deps+tree";
+  c.force_rebuild = false;
+  c.engine = sql::ExecEngine::kTree;
+  configs.push_back(c);
   return configs;
 }
 
 Result<std::unique_ptr<Universe>> Universe::Build(
     const std::vector<std::string>& history) {
+  return Build(history, std::nullopt);
+}
+
+Result<std::unique_ptr<Universe>> Universe::Build(
+    const std::vector<std::string>& history,
+    std::optional<sql::ExecEngine> engine) {
   std::unique_ptr<Universe> u(new Universe);
   u->db_ = std::make_unique<sql::Database>();
+  if (engine) u->db_->set_exec_engine(*engine);
   for (const auto& text : history) {
     UV_ASSIGN_OR_RETURN(sql::StatementPtr stmt,
                         sql::Parser::ParseStatement(text));
@@ -181,6 +193,7 @@ Status Universe::RunSelective(const core::RetroOp& op,
   opts.num_threads = config.num_threads;
   opts.hash_jumper = config.hash_jumper;
   opts.verify_hash_hits = config.verify_hash_hits;
+  if (config.engine) db_->set_exec_engine(*config.engine);
   core::RetroactiveEngine engine(db_.get(), &log_, opts);
   UV_ASSIGN_OR_RETURN(core::ReplayStats s,
                       engine.Execute(op, *analysis, &analyzer_));
@@ -255,6 +268,83 @@ OracleResult CheckCase(const WhatIfCase& c, const ModeConfig& config,
   result.diff = sql::DiffDatabases(*(*selective)->db(), *(*reference)->db(),
                                    "selective[" + config.name + "]",
                                    "full-naive");
+  result.ok = result.diff.equal();
+  return result;
+}
+
+OracleResult CheckCaseExecDiff(const WhatIfCase& c) {
+  OracleResult result;
+  result.mode = "exec-diff";
+  // Fuzzed tables hold tens of rows, far below the production floor for
+  // adaptive advisory indexing; lower it for the duration of this check so
+  // the differential gate also exercises the advisory-probe paths.
+  struct AdvisoryFloorGuard {
+    size_t saved = sql::vm::AdvisoryIndexMinRows();
+    AdvisoryFloorGuard() { sql::vm::SetAdvisoryIndexMinRows(4); }
+    ~AdvisoryFloorGuard() { sql::vm::SetAdvisoryIndexMinRows(saved); }
+  } advisory_floor;
+  Result<core::RetroOp> op = MakeOp(c);
+  if (!op.ok()) {
+    result.error = "bad retro op: " + op.status().message();
+    return result;
+  }
+  Result<std::unique_ptr<Universe>> tree =
+      Universe::Build(c.history, sql::ExecEngine::kTree);
+  Result<std::unique_ptr<Universe>> vm =
+      Universe::Build(c.history, sql::ExecEngine::kVm);
+  if (tree.ok() != vm.ok()) {
+    sql::StateDivergence d;
+    d.kind = "status";
+    d.detail = tree.ok() ? "vm build failed (" + vm.status().message() +
+                               ") but tree build succeeded"
+                         : "tree build failed (" + tree.status().message() +
+                               ") but vm build succeeded";
+    result.diff.divergences.push_back(std::move(d));
+    return result;
+  }
+  if (!tree.ok()) {
+    if (tree.status().message() == vm.status().message()) {
+      // The generator validates histories on a shadow (default-engine)
+      // universe, so agreeing build failures should not happen — but if
+      // they do, agreeing is still agreement.
+      result.ok = true;
+      result.note = "both engines rejected the history: " +
+                    tree.status().message();
+    } else {
+      sql::StateDivergence d;
+      d.kind = "status";
+      d.detail = "build failed differently: tree(" + tree.status().message() +
+                 ") vs vm(" + vm.status().message() + ")";
+      result.diff.divergences.push_back(std::move(d));
+    }
+    return result;
+  }
+  result.diff = sql::DiffDatabases(*(*tree)->db(), *(*vm)->db(),
+                                   "tree-built", "vm-built");
+  if (!result.diff.equal()) return result;
+
+  ModeConfig config;
+  config.name = "exec-diff";
+  Status tree_st = (*tree)->RunSelective(*op, config, &result.selective_stats);
+  Status vm_st = (*vm)->RunSelective(*op, config);
+  if (!tree_st.ok() || !vm_st.ok()) {
+    if (!tree_st.ok() && !vm_st.ok()) {
+      result.ok = true;
+      result.note = "both engines rejected the rewritten history: " +
+                    tree_st.message();
+      return result;
+    }
+    sql::StateDivergence d;
+    d.kind = "status";
+    d.detail = !tree_st.ok() ? "tree replay failed (" + tree_st.message() +
+                                   ") but vm replay succeeded"
+                             : "vm replay failed (" + vm_st.message() +
+                                   ") but tree replay succeeded";
+    result.diff.divergences.push_back(std::move(d));
+    return result;
+  }
+  result.diff = sql::DiffDatabases(*(*tree)->db(), *(*vm)->db(),
+                                   "tree-replayed", "vm-replayed");
   result.ok = result.diff.equal();
   return result;
 }

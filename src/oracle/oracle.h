@@ -3,6 +3,7 @@
 
 #include <functional>
 #include <memory>
+#include <optional>
 #include <string>
 #include <vector>
 
@@ -44,10 +45,15 @@ struct ModeConfig {
   bool force_rebuild = false; // exercise the rebuild-from-log staging path
   bool parallel = false;      // serial by default: deterministic schedules
   int num_threads = 4;
+  /// Execution engine for the selective side's database (replay clones
+  /// inherit it). Unset = whatever the universe was built with.
+  std::optional<sql::ExecEngine> engine;
 };
 
-/// The four standard mode pairs of the oracle smoke suite: selective/full ×
-/// Hash-jumper on/off, plus a rebuild-path config.
+/// The standard mode pairs of the oracle smoke suite: selective/full ×
+/// Hash-jumper on/off, a rebuild-path config, and a cross-engine config
+/// that replays the selective side on the tree walker while the reference
+/// runs the process default.
 std::vector<ModeConfig> StandardModeConfigs();
 
 /// An executable universe: a fresh in-memory database plus the committed
@@ -63,6 +69,12 @@ class Universe {
   /// has validated on a shadow universe).
   static Result<std::unique_ptr<Universe>> Build(
       const std::vector<std::string>& history);
+
+  /// Same, but pins the database's execution engine before the history
+  /// runs (the exec-diff oracle builds one universe per engine).
+  static Result<std::unique_ptr<Universe>> Build(
+      const std::vector<std::string>& history,
+      std::optional<sql::ExecEngine> engine);
 
   sql::Database* db() { return db_.get(); }
   const sql::QueryLog& log() const { return log_; }
@@ -115,6 +127,13 @@ OracleResult CheckCase(const WhatIfCase& c, const ModeConfig& config,
 /// ok result when every mode pair agrees with the reference.
 OracleResult CheckCaseAllModes(const WhatIfCase& c,
                                const std::vector<ModeConfig>& configs);
+
+/// Cross-engine differential (mode "exec-diff"): builds the case's history
+/// once on the tree walker and once on the bytecode VM, requires identical
+/// post-build states, then runs the same selective what-if replay on both
+/// and requires identical final states. An asymmetric failure on either
+/// phase is a "status" divergence, like any oracle state mismatch.
+OracleResult CheckCaseExecDiff(const WhatIfCase& c);
 
 /// Greedy end-first shrinker: drops history statements (re-anchoring the
 /// retroactive index) while `still_fails(candidate)` holds, until no single

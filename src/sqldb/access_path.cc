@@ -1,0 +1,89 @@
+#include "sqldb/access_path.h"
+
+#include "util/nondet_builtins.h"
+
+namespace ultraverse::sql {
+
+bool ContainsNondetBuiltin(const Expr& e) {
+  if (e.kind == ExprKind::kFuncCall && nondet::IsSqlNondetBuiltin(e.func_name)) {
+    return true;
+  }
+  for (const auto& child : e.children) {
+    if (ContainsNondetBuiltin(*child)) return true;
+  }
+  return false;
+}
+
+std::vector<EqConjunct> CollectEqConjuncts(const TableSchema& schema,
+                                           const Table& table,
+                                           const Expr* where,
+                                           EqCollect collect) {
+  std::vector<EqConjunct> out;
+  if (!where) return out;
+  std::vector<const Expr*> stack = {where};
+  while (!stack.empty()) {
+    const Expr* cur = stack.back();
+    stack.pop_back();
+    if (cur->kind == ExprKind::kBinary && cur->binary_op == BinaryOp::kAnd) {
+      stack.push_back(cur->children[0].get());
+      stack.push_back(cur->children[1].get());
+      continue;
+    }
+    if (cur->kind != ExprKind::kBinary || cur->binary_op != BinaryOp::kEq) {
+      continue;
+    }
+    const Expr* lhs = cur->children[0].get();
+    const Expr* rhs = cur->children[1].get();
+    if (lhs->kind != ExprKind::kColumnRef) std::swap(lhs, rhs);
+    if (lhs->kind != ExprKind::kColumnRef) continue;
+    int col = schema.ColumnIndex(lhs->column);
+    if (col < 0) continue;
+    if (collect == EqCollect::kIndexed &&
+        (!table.HasIndex(col) || table.IsAdvisoryIndex(col))) {
+      continue;
+    }
+    if (ContainsNondetBuiltin(*rhs)) continue;
+    out.push_back({col, rhs});
+  }
+  return out;
+}
+
+std::optional<AccessChoice> ChooseAccess(
+    const Table& table, const std::vector<EqConjunct>& candidates,
+    const KeyEval& eval_key) {
+  int best_col = -1;
+  size_t best_count = 0;
+  Value best_key;
+  for (const EqConjunct& c : candidates) {
+    std::optional<Value> key = eval_key(*c.key);
+    if (!key) continue;
+    size_t count = table.IndexCountForKey(c.column, *key);
+    if (best_col < 0 || count < best_count) {
+      best_col = c.column;
+      best_count = count;
+      best_key = std::move(*key);
+    }
+  }
+  if (best_col < 0 || best_count >= table.LiveRowCount()) return std::nullopt;
+  return AccessChoice{best_col, std::move(best_key)};
+}
+
+bool IndexProbeProvablyExact(const Table& table, int column,
+                             const Value& key) {
+  const uint8_t mask = table.ColumnTypeMask(column);
+  constexpr uint8_t kNullBit = uint8_t(1u << unsigned(DataType::kNull));
+  constexpr uint8_t kIntBit = uint8_t(1u << unsigned(DataType::kInt));
+  constexpr uint8_t kStringBit = uint8_t(1u << unsigned(DataType::kString));
+  if (key.type() == DataType::kInt) {
+    const int64_t k = key.AsInt();
+    const int64_t lim = int64_t(1) << 53;
+    if (k >= lim || k <= -lim) return false;
+    return (mask & uint8_t(~(kIntBit | kNullBit))) == 0;
+  }
+  if (key.type() == DataType::kString) {
+    return (mask & uint8_t(~(kStringBit | kNullBit))) == 0;
+  }
+  return false;
+}
+
+}  // namespace ultraverse::sql

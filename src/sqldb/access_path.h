@@ -1,0 +1,89 @@
+#ifndef ULTRAVERSE_SQLDB_ACCESS_PATH_H_
+#define ULTRAVERSE_SQLDB_ACCESS_PATH_H_
+
+#include <functional>
+#include <optional>
+#include <vector>
+
+#include "sqldb/ast.h"
+#include "sqldb/table.h"
+
+namespace ultraverse::sql {
+
+/// One `col = <row-free expr>` conjunct usable as a hash-index probe.
+struct EqConjunct {
+  int column = -1;            // schema column index
+  const Expr* key = nullptr;  // the non-column side of the equality
+};
+
+/// Which equality conjuncts CollectEqConjuncts keeps.
+enum class EqCollect {
+  /// Columns with a real (non-advisory) index — the tree walker's view.
+  /// Advisory indexes are excluded so adaptive indexing never changes the
+  /// tree walker's access-path decisions.
+  kIndexed,
+  /// Every resolvable column, indexed or not — the VM compiler's view.
+  /// Plans stay index-agnostic; the VM filters candidates against the
+  /// live index set at execution time, which is what lets an advisory
+  /// index built mid-history benefit already-cached plans.
+  kAllColumns,
+};
+
+/// The cost-based choice: probe `column`'s hash index with `key`, or scan.
+struct AccessChoice {
+  int column = -1;
+  Value key;
+};
+
+/// Walks the AND-spine of `where` and returns every equality conjunct of
+/// the form `<indexed column> = <expr>` (either operand order), in the
+/// tree walker's historical rightmost-first walk order. Conjuncts whose
+/// key expression contains a nondeterministic builtin are excluded so that
+/// access-path probing never consumes from the nondet record/replay stream.
+///
+/// Both execution engines collect from this single routine, which is what
+/// makes their index-vs-scan decisions identical by construction — the
+/// encode-based index probe and the coercing CompareSql predicate can
+/// legitimately disagree on matches, so the engines must always take the
+/// same path.
+std::vector<EqConjunct> CollectEqConjuncts(
+    const TableSchema& schema, const Table& table, const Expr* where,
+    EqCollect collect = EqCollect::kIndexed);
+
+/// Evaluates a candidate key expression without a row in scope; nullopt
+/// means "skip this candidate" (the tree walker swallows such errors).
+using KeyEval = std::function<std::optional<Value>(const Expr&)>;
+
+/// Costs each candidate by its live index-entry count and returns the
+/// cheapest probe when it beats a full scan (strictly fewer entries than
+/// live rows; ties between candidates keep the first in walk order).
+/// Returns nullopt when scanning wins or no candidate key evaluates.
+std::optional<AccessChoice> ChooseAccess(
+    const Table& table, const std::vector<EqConjunct>& candidates,
+    const KeyEval& eval_key);
+
+/// True when the expression tree calls a nondeterministic SQL builtin.
+bool ContainsNondetBuiltin(const Expr& e);
+
+/// Typed proof that an encode-based index probe of `column` with `key`
+/// returns exactly the rows the coercing CompareSql predicate would
+/// accept, given every value the column has ever held (ColumnTypeMask is
+/// a monotone superset of what is stored now):
+///
+///  - Int key with |key| < 2^53 against an {Int,Null}-only column: both
+///    sides are integers exactly representable in double, so the numeric
+///    comparison CompareSql performs agrees with encoded equality, and a
+///    NULL cell matches neither way.
+///  - String key against a {String,Null}-only column: CompareSql compares
+///    strings byte-wise, which is exactly what the encoded index key does.
+///
+/// Anything else (Double/Bool/Null keys, mixed-type columns, huge ints
+/// where double rounding could alias distinct values) must scan. The VM
+/// requires this proof before probing where the tree walker would scan
+/// (every SELECT, and any write probing an advisory index).
+bool IndexProbeProvablyExact(const Table& table, int column,
+                             const Value& key);
+
+}  // namespace ultraverse::sql
+
+#endif  // ULTRAVERSE_SQLDB_ACCESS_PATH_H_

@@ -2,17 +2,54 @@
 
 #include <algorithm>
 #include <array>
+#include <atomic>
 
 #include "obs/metrics.h"
 #include "obs/trace.h"
 #include "sqldb/evaluator.h"
 #include "sqldb/parser.h"
+#include "sqldb/vm/plan_cache.h"
+#include "sqldb/vm/vm.h"
 #include "util/string_util.h"
 
 namespace ultraverse::sql {
 
 namespace {
 constexpr int kMaxTriggerDepth = 8;
+
+/// Compiled execution is the default; the tree walker stays reachable via
+/// SetDefaultExecEngine / --exec=tree and remains the per-statement
+/// fallback for anything outside the compilable subset. The differential
+/// gate (`fuzz_whatif --exec-diff`, `ctest -L vm`) keeps the two aligned.
+std::atomic<int> g_default_engine{int(ExecEngine::kVm)};
+
+/// Process-global schema epoch. Every bump — in any Database — takes a
+/// fresh value, so two CoW clones that share one plan cache can never
+/// reconverge onto the same (fingerprint, version) key after divergent DDL.
+std::atomic<uint64_t> g_schema_epoch{0};
+
+uint64_t NextSchemaEpoch() {
+  return g_schema_epoch.fetch_add(1, std::memory_order_relaxed) + 1;
+}
+}  // namespace
+
+ExecEngine DefaultExecEngine() {
+  return ExecEngine(g_default_engine.load(std::memory_order_relaxed));
+}
+
+void SetDefaultExecEngine(ExecEngine engine) {
+  g_default_engine.store(int(engine), std::memory_order_relaxed);
+}
+
+Database::Database()
+    : rng_(0xDBDB),
+      exec_engine_(DefaultExecEngine()),
+      schema_version_(NextSchemaEpoch()),
+      plan_cache_(std::make_shared<vm::PlanCache>()) {}
+
+Database::~Database() = default;
+
+namespace {
 
 /// Statement kinds bucketed for execution metrics: per-kind call counts are
 /// always live; per-kind latency histograms record only while obs timing is
@@ -151,6 +188,9 @@ Table* Database::FindTable(const std::string& name) {
   fault_ins->Inc();
   Table* result = staged.get();
   tables_[name] = std::move(staged);
+  // The catalog visible to compiled plans just changed (negative "no such
+  // table" verdicts are now stale); take a fresh epoch.
+  schema_version_.store(NextSchemaEpoch(), std::memory_order_relaxed);
   return result;
 }
 
@@ -219,6 +259,29 @@ Result<ExecResult> Database::Execute(const Statement& stmt,
   const ExecMetrics& em = ExecMetricsFor(stmt.kind);
   em.count->Add();
   obs::ScopedLatency latency(em.latency);
+  if (ExecLabelFor(stmt.kind) == kExecDdl) {
+    // Any DDL (including DDL nested inside procedures, triggers, and
+    // transactions, which re-enter Execute) invalidates compiled plans.
+    // Bumping before execution keeps even a failed DDL conservative.
+    schema_version_.store(NextSchemaEpoch(), std::memory_order_relaxed);
+  }
+  if (exec_engine_ == ExecEngine::kVm) {
+    switch (stmt.kind) {
+      case StatementKind::kInsert:
+      case StatementKind::kUpdate:
+      case StatementKind::kDelete:
+      case StatementKind::kSelect: {
+        // Compiled path; nullopt means the statement is outside the VM's
+        // subset and falls through to the tree walker below.
+        std::optional<Result<ExecResult>> vm_result =
+            vm::Executor::TryExecute(this, stmt, commit_index, ctx);
+        if (vm_result) return std::move(*vm_result);
+        break;
+      }
+      default:
+        break;
+    }
+  }
   switch (stmt.kind) {
     case StatementKind::kCreateTable:
       return ExecCreateTable(stmt.create_table);
@@ -735,6 +798,11 @@ std::unique_ptr<Database> Database::Clone() const {
   copy->triggers_ = triggers_;
   copy->auto_increment_ = auto_increment_;
   copy->logical_time_ = logical_time_;
+  // Same engine, same schema epoch, same (shared) plan cache: replay over
+  // the clone re-executes the history's statements with warm plans.
+  copy->exec_engine_ = exec_engine_;
+  copy->schema_version_.store(schema_version(), std::memory_order_relaxed);
+  copy->plan_cache_ = plan_cache_;
   return copy;
 }
 
@@ -757,6 +825,9 @@ std::unique_ptr<Database> Database::CloneTables(
   copy->triggers_ = triggers_;
   copy->auto_increment_ = auto_increment_;
   copy->logical_time_ = logical_time_;
+  copy->exec_engine_ = exec_engine_;
+  copy->schema_version_.store(schema_version(), std::memory_order_relaxed);
+  copy->plan_cache_ = plan_cache_;
   return copy;
 }
 
@@ -779,6 +850,8 @@ Status Database::AdoptTables(const Database& src,
     auto it = src.auto_increment_.find(name);
     if (it != src.auto_increment_.end()) auto_increment_[name] = it->second;
   }
+  // Adopted tables may carry retroactively ALTERed schemas or index sets.
+  schema_version_.store(NextSchemaEpoch(), std::memory_order_relaxed);
   return Status::OK();
 }
 
@@ -786,6 +859,7 @@ void Database::AdoptCatalog(const Database& src) {
   views_ = src.views_;
   procedures_ = src.procedures_;
   triggers_ = src.triggers_;
+  schema_version_.store(NextSchemaEpoch(), std::memory_order_relaxed);
 }
 
 std::vector<std::string> Database::ViewNames() const {

@@ -1,6 +1,7 @@
 #ifndef ULTRAVERSE_SQLDB_DATABASE_H_
 #define ULTRAVERSE_SQLDB_DATABASE_H_
 
+#include <atomic>
 #include <map>
 #include <mutex>
 #include <set>
@@ -11,11 +12,17 @@
 #include <vector>
 
 #include "sqldb/ast.h"
+#include "sqldb/exec_engine.h"
 #include "sqldb/table.h"
 #include "util/rng.h"
 #include "util/status.h"
 
 namespace ultraverse::sql {
+
+namespace vm {
+class Executor;
+class PlanCache;
+}  // namespace vm
 
 /// Result of executing one statement.
 struct ExecResult {
@@ -112,7 +119,8 @@ class ExecContext {
 /// guards shared tables with its own per-table locks.
 class Database {
  public:
-  Database() : rng_(0xDBDB) {}
+  Database();
+  ~Database();
 
   /// Executes one statement. `commit_index` tags undo-journal entries so
   /// the whole statement (procedures/transactions included) can be undone
@@ -212,8 +220,26 @@ class Database {
   void SetLogicalTime(int64_t t) { logical_time_ = t; }
   int64_t logical_time() const { return logical_time_; }
 
+  // --- Execution engine (see exec_engine.h) -------------------------------
+
+  ExecEngine exec_engine() const { return exec_engine_; }
+  void set_exec_engine(ExecEngine engine) { exec_engine_ = engine; }
+
+  /// Monotone epoch bumped on every DDL statement (wherever it executes —
+  /// top level, transaction, procedure, trigger), on catalog adoption and
+  /// on CoW table fault-in. Compiled plans are keyed on it; a stale plan is
+  /// unreachable by construction.
+  uint64_t schema_version() const {
+    return schema_version_.load(std::memory_order_relaxed);
+  }
+
+  /// Compiled-plan cache, shared (same object) with CoW clones of this
+  /// database so replay re-execution starts warm.
+  vm::PlanCache* plan_cache() const { return plan_cache_.get(); }
+
  private:
   friend class Evaluator;
+  friend class vm::Executor;
 
   // DDL.
   Result<ExecResult> ExecCreateTable(const CreateTableStatement& stmt);
@@ -263,6 +289,10 @@ class Database {
 
   int64_t logical_time_ = 0;
   Rng rng_;
+
+  ExecEngine exec_engine_;                 // set from DefaultExecEngine()
+  std::atomic<uint64_t> schema_version_;   // process-global epoch values
+  std::shared_ptr<vm::PlanCache> plan_cache_;
 };
 
 }  // namespace ultraverse::sql

@@ -5,6 +5,7 @@
 #include <cmath>
 #include <map>
 
+#include "sqldb/access_path.h"
 #include "util/nondet_builtins.h"
 #include "util/string_util.h"
 
@@ -85,6 +86,36 @@ Value Evaluator::CompareSql(const Value& a, const Value& b, BinaryOp op) {
   }
 }
 
+Value Evaluator::ArithSql(const Value& lhs, const Value& rhs, BinaryOp op) {
+  switch (op) {
+    case BinaryOp::kAdd: case BinaryOp::kSub: case BinaryOp::kMul: {
+      if (lhs.is_null() || rhs.is_null()) return Value::Null();
+      bool both_int = lhs.type() == DataType::kInt &&
+                      rhs.type() == DataType::kInt;
+      double x = lhs.AsDouble(), y = rhs.AsDouble();
+      double r = op == BinaryOp::kAdd ? x + y
+                 : op == BinaryOp::kSub ? x - y
+                                        : x * y;
+      if (both_int) return Value::Int(int64_t(std::llround(r)));
+      return Value::Double(r);
+    }
+    case BinaryOp::kDiv: {
+      if (lhs.is_null() || rhs.is_null()) return Value::Null();
+      double y = rhs.AsDouble();
+      if (y == 0.0) return Value::Null();  // MySQL: x/0 is NULL
+      return Value::Double(lhs.AsDouble() / y);
+    }
+    case BinaryOp::kMod: {
+      if (lhs.is_null() || rhs.is_null()) return Value::Null();
+      int64_t y = rhs.AsInt();
+      if (y == 0) return Value::Null();
+      return Value::Int(lhs.AsInt() % y);
+    }
+    default:
+      return Value::Null();
+  }
+}
+
 Result<Value> Evaluator::Eval(const Expr& e, const RowScope* scope) {
   switch (e.kind) {
     case ExprKind::kLiteral:
@@ -153,29 +184,9 @@ Result<Value> Evaluator::Eval(const Expr& e, const RowScope* scope) {
         case BinaryOp::kEq: case BinaryOp::kNe: case BinaryOp::kLt:
         case BinaryOp::kLe: case BinaryOp::kGt: case BinaryOp::kGe:
           return CompareSql(lhs, rhs, op);
-        case BinaryOp::kAdd: case BinaryOp::kSub: case BinaryOp::kMul: {
-          if (lhs.is_null() || rhs.is_null()) return Value::Null();
-          bool both_int = lhs.type() == DataType::kInt &&
-                          rhs.type() == DataType::kInt;
-          double x = lhs.AsDouble(), y = rhs.AsDouble();
-          double r = op == BinaryOp::kAdd ? x + y
-                     : op == BinaryOp::kSub ? x - y
-                                            : x * y;
-          if (both_int) return Value::Int(int64_t(std::llround(r)));
-          return Value::Double(r);
-        }
-        case BinaryOp::kDiv: {
-          if (lhs.is_null() || rhs.is_null()) return Value::Null();
-          double y = rhs.AsDouble();
-          if (y == 0.0) return Value::Null();  // MySQL: x/0 is NULL
-          return Value::Double(lhs.AsDouble() / y);
-        }
-        case BinaryOp::kMod: {
-          if (lhs.is_null() || rhs.is_null()) return Value::Null();
-          int64_t y = rhs.AsInt();
-          if (y == 0) return Value::Null();
-          return Value::Int(lhs.AsInt() % y);
-        }
+        case BinaryOp::kAdd: case BinaryOp::kSub: case BinaryOp::kMul:
+        case BinaryOp::kDiv: case BinaryOp::kMod:
+          return ArithSql(lhs, rhs, op);
         default:
           return Status::Internal("unhandled binary op");
       }
@@ -206,19 +217,15 @@ Result<Value> Evaluator::Eval(const Expr& e, const RowScope* scope) {
   return Status::Internal("unhandled expression kind");
 }
 
-Result<Value> Evaluator::EvalFunc(const Expr& e, const RowScope* scope) {
-  const std::string& f = e.func_name;
-  if (IsAggregateFunction(f)) {
-    return Status::InvalidArgument("aggregate " + f +
-                                   " outside SELECT aggregation");
-  }
-  std::vector<Value> args;
-  args.reserve(e.children.size());
-  for (const auto& child : e.children) {
-    UV_ASSIGN_OR_RETURN(Value v, Eval(*child, scope));
-    args.push_back(std::move(v));
-  }
+bool Evaluator::IsPureBuiltin(const std::string& f) {
+  return f == "CONCAT" || f == "LIKE" || f == "COALESCE" || f == "IFNULL" ||
+         f == "ISNULL" || f == "ABS" || f == "FLOOR" || f == "CEIL" ||
+         f == "CEILING" || f == "MOD" || f == "UPPER" || f == "LOWER" ||
+         f == "LENGTH" || f == "SUBSTR" || f == "SUBSTRING";
+}
 
+Result<Value> Evaluator::EvalPureBuiltin(const std::string& f,
+                                         const std::vector<Value>& args) {
   if (f == "CONCAT") {
     std::string out;
     for (const Value& v : args) {
@@ -289,6 +296,23 @@ Result<Value> Evaluator::EvalFunc(const Expr& e, const RowScope* scope) {
                                  : std::string::npos;
     return Value::String(s.substr(from, len));
   }
+  return Status::Internal("not a pure builtin: " + f);
+}
+
+Result<Value> Evaluator::EvalFunc(const Expr& e, const RowScope* scope) {
+  const std::string& f = e.func_name;
+  if (IsAggregateFunction(f)) {
+    return Status::InvalidArgument("aggregate " + f +
+                                   " outside SELECT aggregation");
+  }
+  std::vector<Value> args;
+  args.reserve(e.children.size());
+  for (const auto& child : e.children) {
+    UV_ASSIGN_OR_RETURN(Value v, Eval(*child, scope));
+    args.push_back(std::move(v));
+  }
+
+  if (IsPureBuiltin(f)) return EvalPureBuiltin(f, args);
   // Nondeterministic functions: recorded/replayed via ExecContext (§4.4).
   // The shared membership predicates keep this dispatch, the DSE layer and
   // the static lint pass agreeing on what counts as nondeterministic.
@@ -339,40 +363,24 @@ Result<Evaluator::Source> Evaluator::MaterializeSource(const std::string& name,
 Result<std::vector<RowId>> Evaluator::MatchRows(Table* table,
                                                 const ExprPtr& where,
                                                 const RowScope* outer) {
+  if (!where) return table->LiveRowIds();
   std::vector<std::string> columns = SchemaColumnNames(table->schema());
-  std::vector<RowId> candidates;
-  bool used_index = false;
 
-  // Index fast path: WHERE <col> = <expr-not-referencing-row> [AND ...].
-  if (where) {
-    const Expr* eq = where.get();
-    // Walk the left spine of ANDs looking for an indexable equality.
-    std::vector<const Expr*> stack = {eq};
-    while (!stack.empty() && !used_index) {
-      const Expr* cur = stack.back();
-      stack.pop_back();
-      if (cur->kind == ExprKind::kBinary && cur->binary_op == BinaryOp::kAnd) {
-        stack.push_back(cur->children[0].get());
-        stack.push_back(cur->children[1].get());
-        continue;
-      }
-      if (cur->kind == ExprKind::kBinary && cur->binary_op == BinaryOp::kEq) {
-        const Expr* lhs = cur->children[0].get();
-        const Expr* rhs = cur->children[1].get();
-        if (lhs->kind != ExprKind::kColumnRef) std::swap(lhs, rhs);
-        if (lhs->kind != ExprKind::kColumnRef) continue;
-        int col = table->schema().ColumnIndex(lhs->column);
-        if (col < 0 || !table->HasIndex(col)) continue;
-        // RHS must evaluate without the row scope (constants, vars, outer).
-        Result<Value> rv = Eval(*rhs, outer);
-        if (!rv.ok()) continue;
-        candidates = table->IndexLookup(col, *rv);
-        used_index = true;
-      }
-    }
-  }
-  if (!used_index) {
-    if (!where) return table->LiveRowIds();
+  // Cost-based index path: pick the cheapest `col = <row-free expr>`
+  // conjunct through the chooser both engines share (the choice changes
+  // which rows the coercing predicate even sees, so it must be identical
+  // across engines — see access_path.h).
+  std::vector<EqConjunct> conjuncts =
+      CollectEqConjuncts(table->schema(), *table, where.get());
+  std::optional<AccessChoice> choice = ChooseAccess(
+      *table, conjuncts, [&](const Expr& key) -> std::optional<Value> {
+        // Key must evaluate without the row scope (constants, vars, outer).
+        Result<Value> rv = Eval(key, outer);
+        if (!rv.ok()) return std::nullopt;
+        return std::move(*rv);
+      });
+
+  if (!choice) {
     // Unindexed filter: evaluate inside Scan() so the row pages are walked
     // in order (one page dereference per page, not per row) instead of
     // materializing every live id and re-resolving each one.
@@ -395,7 +403,12 @@ Result<std::vector<RowId>> Evaluator::MatchRows(Table* table,
     return out;
   }
 
-  if (!where) return candidates;
+  std::vector<RowId> candidates =
+      table->IndexLookup(choice->column, choice->key);
+  // Ascending ids: hash-index iteration order is arbitrary, and row visit
+  // order is observable (nondet consumption, trigger firing), so both
+  // engines normalize to scan order.
+  std::sort(candidates.begin(), candidates.end());
   std::vector<RowId> out;
   RowScope scope;
   scope.parent = outer;

@@ -49,6 +49,21 @@ class Evaluator {
   /// Value::Null). Exposed for reuse by IN-lists and the row-wise analyzer.
   static Value CompareSql(const Value& a, const Value& b, BinaryOp op);
 
+  /// SQL arithmetic (+, -, *, /, %) with NULL propagation and MySQL's
+  /// x/0 -> NULL. Shared with the VM so both engines compute identically;
+  /// any non-arithmetic op yields NULL (callers dispatch comparisons to
+  /// CompareSql first).
+  static Value ArithSql(const Value& lhs, const Value& rhs, BinaryOp op);
+
+  /// True for the deterministic builtins EvalPureBuiltin implements.
+  static bool IsPureBuiltin(const std::string& upper_name);
+
+  /// Evaluates one pure builtin over already-computed arguments — the single
+  /// implementation both engines call, so CONCAT/LIKE/SUBSTR/... can never
+  /// drift between them. `upper_name` must satisfy IsPureBuiltin.
+  static Result<Value> EvalPureBuiltin(const std::string& upper_name,
+                                       const std::vector<Value>& args);
+
  private:
   struct Source {
     std::string alias;

@@ -1,0 +1,25 @@
+#ifndef ULTRAVERSE_SQLDB_EXEC_ENGINE_H_
+#define ULTRAVERSE_SQLDB_EXEC_ENGINE_H_
+
+namespace ultraverse::sql {
+
+/// Which statement executor a Database uses for DML/SELECT.
+///
+///  - kTree: the original AST-walking evaluator (Evaluator/Database::Exec*).
+///  - kVm:   the compiled engine (src/sqldb/vm/): statements lower once into
+///           register bytecode, cached per (fingerprint, schema version),
+///           and run through a batch evaluator with cost-chosen access
+///           paths. Statements outside the compilable subset transparently
+///           fall back to the tree walker, so the two engines are
+///           behaviourally identical (enforced by `fuzz_whatif --exec-diff`).
+enum class ExecEngine { kTree, kVm };
+
+/// Process-wide default engine for newly constructed Databases. Tools flip
+/// this from a --exec=vm|tree flag; individual databases can still be
+/// switched per instance with Database::set_exec_engine.
+ExecEngine DefaultExecEngine();
+void SetDefaultExecEngine(ExecEngine engine);
+
+}  // namespace ultraverse::sql
+
+#endif  // ULTRAVERSE_SQLDB_EXEC_ENGINE_H_

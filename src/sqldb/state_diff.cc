@@ -84,6 +84,11 @@ DatabaseState CaptureState(const Database& db) {
            << " indexed keys vs " << scanned.size() << " scanned keys)";
         state.integrity_errors.push_back(os.str());
       }
+      // Advisory indexes are engine-local access-path hints, not logical
+      // state: the VM builds them adaptively and the tree walker never
+      // does, so they are integrity-checked above but excluded from the
+      // cross-database index comparison.
+      if (table->IsAdvisoryIndex(col)) continue;
       const std::string& col_name =
           size_t(col) < table->schema().columns.size()
               ? table->schema().columns[col].name

@@ -1,6 +1,7 @@
 #include "sqldb/table.h"
 
 #include <algorithm>
+#include <iterator>
 
 namespace ultraverse::sql {
 
@@ -82,6 +83,7 @@ Result<RowId> Table::Insert(Row row, uint64_t commit_index) {
   ++row_count_;
   ++live_count_;
   const Row& stored = page->rows[Slot(id)];
+  NoteRowTypes(stored);
   IndexAdd(id, stored);
   hash_.AddRow(EncodeRow(stored));
   AppendJournal({commit_index, UndoOp::kInsert, id, {}, {}});
@@ -116,6 +118,7 @@ Status Table::Update(RowId id, Row new_row, uint64_t commit_index) {
   }
   AppendJournal({commit_index, UndoOp::kUpdate, id, row, std::move(mask)});
   row = std::move(new_row);
+  NoteRowTypes(row);
   IndexAdd(id, row);
   hash_.AddRow(EncodeRow(row));
   return Status::OK();
@@ -141,6 +144,15 @@ Status Table::CreateIndex(int column_index) {
     idx.emplace(row[column_index].Encode(), id);
     return true;
   });
+  // A user-created index over an advisory column promotes it to logical
+  // state: it re-enters the state diff and the tree walker's chooser.
+  advisory_cols_.erase(column_index);
+  return Status::OK();
+}
+
+Status Table::CreateAdvisoryIndex(int column_index) {
+  UV_RETURN_NOT_OK(CreateIndex(column_index));
+  advisory_cols_.insert(column_index);
   return Status::OK();
 }
 
@@ -151,6 +163,13 @@ std::vector<RowId> Table::IndexLookup(int column_index, const Value& v) const {
   auto range = it->second.equal_range(v.Encode());
   for (auto i = range.first; i != range.second; ++i) out.push_back(i->second);
   return out;
+}
+
+size_t Table::IndexCountForKey(int column_index, const Value& v) const {
+  auto it = indexes_->find(column_index);
+  if (it == indexes_->end()) return 0;
+  auto range = it->second.equal_range(v.Encode());
+  return size_t(std::distance(range.first, range.second));
 }
 
 std::vector<int> Table::IndexedColumns() const {
@@ -213,6 +232,7 @@ void Table::ApplyUndo(UndoEntry entry, bool masked) {
         page->rows[slot] = std::move(entry.old_row);
         page->alive[slot] = 1;
         ++live_count_;
+        NoteRowTypes(page->rows[slot]);
         IndexAdd(entry.row_id, page->rows[slot]);
         hash_.AddRow(EncodeRow(page->rows[slot]));
       }
@@ -232,6 +252,7 @@ void Table::ApplyUndo(UndoEntry entry, bool masked) {
       } else {
         row = std::move(entry.old_row);
       }
+      NoteRowTypes(row);
       IndexAdd(entry.row_id, row);
       hash_.AddRow(EncodeRow(row));
       break;
@@ -354,6 +375,7 @@ void Table::RebuildDerivedState() {
 
 std::unique_ptr<Table> Table::Clone() const {
   auto copy = std::make_unique<Table>(schema_);
+  copy->col_type_mask_ = col_type_mask_;
   copy->pages_ = pages_;      // O(#pages) shared_ptr copies
   copy->row_count_ = row_count_;
   copy->live_count_ = live_count_;
@@ -362,6 +384,7 @@ std::unique_ptr<Table> Table::Clone() const {
   copy->tail_ = tail_;        // bounded by kJournalChunk entries
   copy->trimmed_before_ = trimmed_before_;
   copy->indexes_ = indexes_;  // shared until either side writes
+  copy->advisory_cols_ = advisory_cols_;
   copy->hash_ = hash_;
   return copy;
 }

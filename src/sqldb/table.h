@@ -33,6 +33,7 @@ class Table {
  public:
   explicit Table(TableSchema schema)
       : schema_(std::move(schema)),
+        col_type_mask_(schema_.columns.size(), 0),
         indexes_(std::make_shared<IndexMap>()) {}
 
   const TableSchema& schema() const { return schema_; }
@@ -71,15 +72,66 @@ class Table {
   /// All live row ids (stable snapshot for mutating scans).
   std::vector<RowId> LiveRowIds() const;
 
+  /// Visits live rows one CoW page at a time: `fn(ids, rows, n)` receives up
+  /// to kPageRows parallel arrays of row ids and row pointers, in ascending
+  /// id order, and returns false to stop. The VM's batch filter runs its
+  /// predicate over each chunk with one page dereference per page instead of
+  /// one id->page resolution per row.
+  template <typename Fn>
+  void ScanBatch(Fn&& fn) const {
+    RowId ids[kPageRows];
+    const Row* rows[kPageRows];
+    RowId base = 0;
+    for (const auto& page : pages_) {
+      size_t n = 0;
+      for (size_t i = 0; i < page->rows.size(); ++i) {
+        if (!page->alive[i]) continue;
+        ids[n] = base + i;
+        rows[n] = &page->rows[i];
+        ++n;
+      }
+      if (n > 0 && !fn(ids, rows, n)) return;
+      base += kPageRows;
+    }
+  }
+
   // --- Secondary hash indexes -------------------------------------------
 
-  /// Builds (or rebuilds) a hash index over `column_index`.
+  /// Builds (or rebuilds) a hash index over `column_index`. Creating a
+  /// real index over a column that carries an advisory one promotes it:
+  /// the advisory mark is cleared.
   Status CreateIndex(int column_index);
+
+  /// Builds a hash index that is a pure access-path hint: the VM's
+  /// adaptive indexer creates these when an equality predicate repeatedly
+  /// scans a large table. Advisory indexes are not logical state — the
+  /// state-diff oracle excludes them from its cross-database index
+  /// comparison, the tree walker's chooser never considers them, and the
+  /// VM probes them only under the totality + typed-exactness proof that
+  /// makes the probe observably identical to a scan (DESIGN.md §12).
+  Status CreateAdvisoryIndex(int column_index);
+  bool IsAdvisoryIndex(int column_index) const {
+    return advisory_cols_.count(column_index) > 0;
+  }
+
   bool HasIndex(int column_index) const {
     return indexes_->count(column_index) > 0;
   }
   /// Row ids whose `column_index` equals `v` (only if indexed).
   std::vector<RowId> IndexLookup(int column_index, const Value& v) const;
+
+  /// Number of live index entries for `v` without materializing the ids —
+  /// the cost estimate behind the index-vs-scan access-path choice.
+  size_t IndexCountForKey(int column_index, const Value& v) const;
+
+  /// Monotone mask of every DataType ever stored in the column (bit =
+  /// 1 << int(DataType)); a conservative superset of the types currently
+  /// present. The VM consults this to prove that an encode-based index
+  /// probe and the coercing SQL comparison agree before letting a SELECT
+  /// take the index path (see DESIGN.md §12).
+  uint8_t ColumnTypeMask(int column_index) const {
+    return col_type_mask_[size_t(column_index)];
+  }
 
   /// Column indexes that carry a secondary index (ascending).
   std::vector<int> IndexedColumns() const;
@@ -183,6 +235,14 @@ class Table {
   void IndexAdd(RowId id, const Row& row);
   void IndexRemove(RowId id, const Row& row);
 
+  /// ORs the row's value types into col_type_mask_ (called on every path
+  /// that introduces row content: insert, update, and undo restores).
+  void NoteRowTypes(const Row& row) {
+    for (size_t i = 0; i < row.size() && i < col_type_mask_.size(); ++i) {
+      col_type_mask_[i] |= uint8_t(1u << unsigned(row[i].type()));
+    }
+  }
+
   // Journal plumbing over sealed chunks + owned tail.
   void AppendJournal(UndoEntry entry);
   void SealTail();
@@ -197,6 +257,7 @@ class Table {
   void ApplyUndo(UndoEntry entry, bool masked);
 
   TableSchema schema_;
+  std::vector<uint8_t> col_type_mask_;  // per column; see ColumnTypeMask()
   std::vector<std::shared_ptr<RowPage>> pages_;
   size_t row_count_ = 0;  // total slots, live + tombstoned
   size_t live_count_ = 0;
@@ -205,6 +266,7 @@ class Table {
   std::vector<UndoEntry> tail_;  // open (always privately owned) chunk
   uint64_t trimmed_before_ = 0;
   std::shared_ptr<IndexMap> indexes_;
+  std::set<int> advisory_cols_;  // subset of indexes_ keys; see above
   TableHash hash_;
 };
 

@@ -1,0 +1,118 @@
+#include "sqldb/vm/bytecode.h"
+
+#include <sstream>
+
+namespace ultraverse::sql::vm {
+
+namespace {
+
+const char* OpName(OpCode op) {
+  switch (op) {
+    case OpCode::kLoadConst: return "load_const";
+    case OpCode::kLoadCol: return "load_col";
+    case OpCode::kLoadVar: return "load_var";
+    case OpCode::kLoadBool: return "load_bool";
+    case OpCode::kLoadNull: return "load_null";
+    case OpCode::kMove: return "move";
+    case OpCode::kNot: return "not";
+    case OpCode::kNeg: return "neg";
+    case OpCode::kCmp: return "cmp";
+    case OpCode::kArith: return "arith";
+    case OpCode::kAnd3: return "and3";
+    case OpCode::kOr3: return "or3";
+    case OpCode::kJump: return "jump";
+    case OpCode::kJumpIfFalse: return "jump_if_false";
+    case OpCode::kJumpIfTrue: return "jump_if_true";
+    case OpCode::kJumpIfNull: return "jump_if_null";
+    case OpCode::kAccumNull: return "accum_null";
+    case OpCode::kInFinish: return "in_finish";
+    case OpCode::kCallBuiltin: return "call";
+    case OpCode::kNondet: return "nondet";
+    case OpCode::kRet: return "ret";
+  }
+  return "?";
+}
+
+const char* BinOpName(BinaryOp op) {
+  switch (op) {
+    case BinaryOp::kAdd: return "+";
+    case BinaryOp::kSub: return "-";
+    case BinaryOp::kMul: return "*";
+    case BinaryOp::kDiv: return "/";
+    case BinaryOp::kMod: return "%";
+    case BinaryOp::kEq: return "=";
+    case BinaryOp::kNe: return "!=";
+    case BinaryOp::kLt: return "<";
+    case BinaryOp::kLe: return "<=";
+    case BinaryOp::kGt: return ">";
+    case BinaryOp::kGe: return ">=";
+    default: return "?";
+  }
+}
+
+}  // namespace
+
+std::string Disassemble(const Program& p) {
+  std::ostringstream os;
+  for (size_t pc = 0; pc < p.code.size(); ++pc) {
+    const Instr& in = p.code[pc];
+    os << pc << ": " << OpName(in.op);
+    switch (in.op) {
+      case OpCode::kLoadConst:
+        os << " r" << int(in.dst) << ", " << p.consts[in.a].ToSqlLiteral();
+        break;
+      case OpCode::kLoadCol:
+        os << " r" << int(in.dst) << ", col#" << in.a;
+        break;
+      case OpCode::kLoadVar:
+        os << " r" << int(in.dst) << ", '" << p.vars[in.a].key << "'";
+        break;
+      case OpCode::kLoadBool:
+        os << " r" << int(in.dst) << ", " << (in.a ? "true" : "false");
+        break;
+      case OpCode::kLoadNull:
+        os << " r" << int(in.dst);
+        break;
+      case OpCode::kMove:
+      case OpCode::kNot:
+      case OpCode::kNeg:
+      case OpCode::kInFinish:
+        os << " r" << int(in.dst) << ", r" << in.a;
+        break;
+      case OpCode::kCmp:
+      case OpCode::kArith:
+        os << " r" << int(in.dst) << ", r" << in.a << " " << BinOpName(BinaryOp(in.c))
+           << " r" << in.b;
+        break;
+      case OpCode::kAnd3:
+      case OpCode::kOr3:
+        os << " r" << int(in.dst) << ", r" << in.a << ", r" << in.b;
+        break;
+      case OpCode::kJump:
+        os << " -> " << in.a;
+        break;
+      case OpCode::kJumpIfFalse:
+      case OpCode::kJumpIfTrue:
+      case OpCode::kJumpIfNull:
+        os << " r" << in.a << " -> " << in.b;
+        break;
+      case OpCode::kAccumNull:
+        os << " r" << int(in.dst) << " <- r" << in.a;
+        break;
+      case OpCode::kCallBuiltin:
+        os << " r" << int(in.dst) << ", " << p.funcs[in.a] << "(r" << in.b << "..r"
+           << (in.b + in.c - 1) << ")";
+        break;
+      case OpCode::kNondet:
+        os << " r" << int(in.dst) << ", " << p.funcs[in.a];
+        break;
+      case OpCode::kRet:
+        os << " r" << in.a;
+        break;
+    }
+    os << "\n";
+  }
+  return os.str();
+}
+
+}  // namespace ultraverse::sql::vm

@@ -1,0 +1,81 @@
+#ifndef ULTRAVERSE_SQLDB_VM_BYTECODE_H_
+#define ULTRAVERSE_SQLDB_VM_BYTECODE_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "sqldb/ast.h"
+#include "sqldb/value.h"
+
+namespace ultraverse::sql::vm {
+
+/// Register-bytecode opcodes. One instruction is 8 bytes; programs address
+/// up to 250 registers and 65535 instructions (the compiler refuses larger
+/// expressions, which then run on the tree walker).
+///
+/// Three-valued logic is preserved exactly: AND/OR compile to a
+/// short-circuit jump on the definite-false/definite-true side plus a
+/// Kleene combine (kAnd3/kOr3) when both sides ran, so an error in an
+/// unreached operand stays unreached — byte-for-byte the tree walker's
+/// behaviour.
+enum class OpCode : uint8_t {
+  kLoadConst,   // r[dst] = consts[a]
+  kLoadCol,     // r[dst] = row[a]
+  kLoadVar,     // r[dst] = ctx var vars[a]; error when absent
+  kLoadBool,    // r[dst] = Bool(a != 0)
+  kLoadNull,    // r[dst] = Null
+  kMove,        // r[dst] = r[a]
+  kNot,         // r[dst] = NULL if r[a] NULL else !AsBool(r[a])
+  kNeg,         // r[dst] = SQL unary minus of r[a]
+  kCmp,         // r[dst] = CompareSql(r[a], r[b], BinaryOp(c))
+  kArith,       // r[dst] = SQL arithmetic r[a] op(c) r[b]
+  kAnd3,        // r[dst] = Kleene AND of r[a], r[b] (both already evaluated)
+  kOr3,         // r[dst] = Kleene OR of r[a], r[b]
+  kJump,        // pc = a
+  kJumpIfFalse, // if r[a] is non-NULL and falsy: pc = b
+  kJumpIfTrue,  // if r[a] is non-NULL and truthy: pc = b
+  kJumpIfNull,  // if r[a] is NULL: pc = b
+  kAccumNull,   // if r[a] is NULL: r[dst] = Bool(true)   (IN-list saw_null)
+  kInFinish,    // r[dst] = r[a] truthy ? NULL : Bool(false)
+  kCallBuiltin, // r[dst] = pure builtin funcs[a] over r[b]..r[b+c-1]
+  kNondet,      // r[dst] = recorded/replayed NOW-family (c=0) or RAND (c=1)
+  kRet,         // return r[a]
+};
+
+struct Instr {
+  OpCode op;
+  uint8_t dst = 0;
+  uint8_t c = 0;
+  uint16_t a = 0;
+  uint16_t b = 0;
+};
+static_assert(sizeof(Instr) == 8, "instructions must stay compact");
+
+/// A compiled expression: code plus its constant/variable/function pools.
+struct Program {
+  /// One context-variable slot. `key` feeds ExecContext::FindVar;
+  /// `display`/`var_style` reproduce the tree walker's exact error message
+  /// ("unresolved name 'x'" vs "unresolved variable 'x'") when absent.
+  struct VarSlot {
+    std::string key;
+    std::string display;
+    bool var_style = false;
+  };
+
+  std::vector<Instr> code;
+  std::vector<Value> consts;
+  std::vector<VarSlot> vars;
+  std::vector<std::string> funcs;  // upper-cased builtin names
+  uint8_t num_regs = 0;
+
+  bool empty() const { return code.empty(); }
+};
+
+/// Human-readable listing (one instruction per line) for golden tests and
+/// debugging; stable output is part of the vm test contract.
+std::string Disassemble(const Program& program);
+
+}  // namespace ultraverse::sql::vm
+
+#endif  // ULTRAVERSE_SQLDB_VM_BYTECODE_H_

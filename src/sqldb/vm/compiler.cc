@@ -1,0 +1,576 @@
+#include "sqldb/vm/compiler.h"
+
+#include <algorithm>
+
+#include "sqldb/access_path.h"
+#include "sqldb/database.h"
+#include "sqldb/evaluator.h"
+#include "util/nondet_builtins.h"
+#include "util/string_util.h"
+
+namespace ultraverse::sql::vm {
+
+namespace {
+
+constexpr int kMaxRegs = 250;
+constexpr size_t kMaxCode = 60000;
+
+// --- Fingerprint -----------------------------------------------------------
+
+struct Fnv {
+  uint64_t h = 1469598103934665603ull;
+  void Byte(uint8_t b) { h = (h ^ b) * 1099511628211ull; }
+  void U64(uint64_t v) {
+    for (int i = 0; i < 8; ++i) Byte(uint8_t(v >> (i * 8)));
+  }
+  void Str(const std::string& s) {
+    U64(s.size());
+    for (char c : s) Byte(uint8_t(c));
+  }
+};
+
+void HashSelect(Fnv* f, const SelectStatement& sel);
+
+void HashExpr(Fnv* f, const Expr& e) {
+  f->Byte(uint8_t(e.kind));
+  switch (e.kind) {
+    case ExprKind::kLiteral: f->Str(e.literal.Encode()); break;
+    case ExprKind::kColumnRef: f->Str(e.table); f->Str(e.column); break;
+    case ExprKind::kVarRef: f->Str(e.var_name); break;
+    case ExprKind::kUnary: f->Byte(uint8_t(e.unary_op)); break;
+    case ExprKind::kBinary: f->Byte(uint8_t(e.binary_op)); break;
+    case ExprKind::kFuncCall:
+      f->Str(e.func_name);
+      f->Byte(e.star_arg ? 1 : 0);
+      break;
+    case ExprKind::kSubquery: HashSelect(f, *e.subquery); break;
+    case ExprKind::kInList:
+    case ExprKind::kStar:
+      break;
+  }
+  f->U64(e.children.size());
+  for (const auto& child : e.children) HashExpr(f, *child);
+}
+
+void HashSelect(Fnv* f, const SelectStatement& sel) {
+  f->Byte(sel.distinct ? 1 : 0);
+  f->U64(sel.items.size());
+  for (const auto& item : sel.items) {
+    HashExpr(f, *item.expr);
+    f->Str(item.alias);
+  }
+  f->Str(sel.from_table);
+  f->Str(sel.from_alias);
+  f->U64(sel.joins.size());
+  for (const auto& j : sel.joins) {
+    f->Str(j.table);
+    f->Str(j.alias);
+    f->Byte(j.on ? 1 : 0);
+    if (j.on) HashExpr(f, *j.on);
+  }
+  f->Byte(sel.where ? 1 : 0);
+  if (sel.where) HashExpr(f, *sel.where);
+  f->U64(sel.group_by.size());
+  for (const auto& g : sel.group_by) HashExpr(f, *g);
+  f->Byte(sel.having ? 1 : 0);
+  if (sel.having) HashExpr(f, *sel.having);
+  f->U64(sel.order_by.size());
+  for (const auto& ob : sel.order_by) {
+    HashExpr(f, *ob.expr);
+    f->Byte(ob.descending ? 1 : 0);
+  }
+  f->U64(uint64_t(sel.limit));
+  f->U64(sel.into_vars.size());
+  for (const auto& v : sel.into_vars) f->Str(v);
+}
+
+// --- Expression compiler ---------------------------------------------------
+
+bool ContainsAggregate(const Expr& e) {
+  if (e.kind == ExprKind::kFuncCall && IsAggregateFunction(e.func_name)) {
+    return true;
+  }
+  for (const auto& child : e.children) {
+    if (ContainsAggregate(*child)) return true;
+  }
+  return false;
+}
+
+/// Lowers one expression into `program`, mirroring Evaluator::Eval
+/// instruction for instruction: short-circuit jumps preserve which operands
+/// ever run (so runtime errors stay reachable in exactly the same cases),
+/// and column references resolve against the single row binding the tree
+/// walker would have used (case-insensitive, first match in schema order,
+/// context-variable fallback otherwise).
+class ExprCompiler {
+ public:
+  ExprCompiler(Program* program, const std::string* alias,
+               const std::vector<std::string>* columns)
+      : p_(program), alias_(alias), columns_(columns) {}
+
+  /// Compiles `e` into register `dst`; false means the expression is
+  /// outside the subset (caller abandons the whole statement).
+  bool Compile(const Expr& e, int dst) {
+    if (!Reserve(dst)) return false;
+    switch (e.kind) {
+      case ExprKind::kLiteral: {
+        Emit({OpCode::kLoadConst, Reg(dst), 0, AddConst(e.literal), 0});
+        return true;
+      }
+      case ExprKind::kStar:
+      case ExprKind::kSubquery:
+        return false;
+      case ExprKind::kColumnRef: {
+        int col = -1;
+        if (columns_ &&
+            (e.table.empty() || EqualsIgnoreCase(*alias_, e.table))) {
+          for (size_t i = 0; i < columns_->size(); ++i) {
+            if (EqualsIgnoreCase((*columns_)[i], e.column)) {
+              col = int(i);
+              break;
+            }
+          }
+        }
+        if (col >= 0) {
+          Emit({OpCode::kLoadCol, Reg(dst), 0, uint16_t(col), 0});
+          return true;
+        }
+        const std::string key =
+            e.table.empty() ? e.column : e.table + "." + e.column;
+        Emit({OpCode::kLoadVar, Reg(dst), 0, AddVar(key, key, false), 0});
+        return true;
+      }
+      case ExprKind::kVarRef: {
+        Emit({OpCode::kLoadVar, Reg(dst), 0,
+              AddVar(e.var_name, e.var_name, true), 0});
+        return true;
+      }
+      case ExprKind::kUnary: {
+        if (!Compile(*e.children[0], dst)) return false;
+        Emit({e.unary_op == UnaryOp::kNeg ? OpCode::kNeg : OpCode::kNot,
+              Reg(dst), 0, Reg(dst), 0});
+        return true;
+      }
+      case ExprKind::kBinary:
+        return CompileBinary(e, dst);
+      case ExprKind::kFuncCall:
+        return CompileFunc(e, dst);
+      case ExprKind::kInList:
+        return CompileInList(e, dst);
+    }
+    return false;
+  }
+
+  bool Finish(int result_reg) {
+    Emit({OpCode::kRet, 0, 0, Reg(result_reg), 0});
+    return ok_ && p_->code.size() <= kMaxCode;
+  }
+
+ private:
+  void Emit(Instr in) { p_->code.push_back(in); }
+  size_t Here() const { return p_->code.size(); }
+  void PatchJump(size_t at, size_t target) {
+    Instr& in = p_->code[at];
+    if (in.op == OpCode::kJump) in.a = uint16_t(target);
+    else in.b = uint16_t(target);
+  }
+
+  bool Reserve(int reg) {
+    if (reg >= kMaxRegs) {
+      ok_ = false;
+      return false;
+    }
+    if (reg + 1 > p_->num_regs) p_->num_regs = uint8_t(reg + 1);
+    return true;
+  }
+  static uint8_t Reg(int r) { return uint8_t(r); }
+
+  uint16_t AddConst(const Value& v) {
+    p_->consts.push_back(v);
+    return uint16_t(p_->consts.size() - 1);
+  }
+  uint16_t AddVar(std::string key, std::string display, bool var_style) {
+    p_->vars.push_back({std::move(key), std::move(display), var_style});
+    return uint16_t(p_->vars.size() - 1);
+  }
+  uint16_t AddFunc(const std::string& name) {
+    p_->funcs.push_back(name);
+    return uint16_t(p_->funcs.size() - 1);
+  }
+
+  bool CompileBinary(const Expr& e, int dst) {
+    BinaryOp op = e.binary_op;
+    if (op == BinaryOp::kAnd || op == BinaryOp::kOr) {
+      const bool is_and = op == BinaryOp::kAnd;
+      if (!Compile(*e.children[0], dst)) return false;
+      size_t jshort = Here();
+      Emit({is_and ? OpCode::kJumpIfFalse : OpCode::kJumpIfTrue, 0, 0,
+            Reg(dst), 0});
+      if (!Reserve(dst + 1) || !Compile(*e.children[1], dst + 1)) return false;
+      Emit({is_and ? OpCode::kAnd3 : OpCode::kOr3, Reg(dst), 0, Reg(dst),
+            Reg(dst + 1)});
+      size_t jend = Here();
+      Emit({OpCode::kJump, 0, 0, 0, 0});
+      PatchJump(jshort, Here());
+      Emit({OpCode::kLoadBool, Reg(dst), 0, uint16_t(is_and ? 0 : 1), 0});
+      PatchJump(jend, Here());
+      return true;
+    }
+    if (!Compile(*e.children[0], dst)) return false;
+    if (!Reserve(dst + 1) || !Compile(*e.children[1], dst + 1)) return false;
+    bool is_cmp = op == BinaryOp::kEq || op == BinaryOp::kNe ||
+                  op == BinaryOp::kLt || op == BinaryOp::kLe ||
+                  op == BinaryOp::kGt || op == BinaryOp::kGe;
+    Emit({is_cmp ? OpCode::kCmp : OpCode::kArith, Reg(dst), uint8_t(op),
+          Reg(dst), Reg(dst + 1)});
+    return true;
+  }
+
+  bool CompileFunc(const Expr& e, int dst) {
+    const std::string& f = e.func_name;
+    if (IsAggregateFunction(f)) return false;  // runs (and errors) on tree
+    if (nondet::IsSqlNondetBuiltin(f)) {
+      if (!e.children.empty()) {
+        // Tree evaluates arguments before the nondet dispatch; keep the
+        // (odd) statement on the tree walker rather than model that.
+        return false;
+      }
+      Emit({OpCode::kNondet, Reg(dst),
+            uint8_t(nondet::IsSqlRandomBuiltin(f) ? 1 : 0), AddFunc(f), 0});
+      return true;
+    }
+    if (!Evaluator::IsPureBuiltin(f)) return false;  // unknown: tree reports it
+    if (e.children.size() > 200) return false;
+    // LIKE/ISNULL are the only pure builtins that error (not NULL) on bad
+    // arity; refuse those shapes so a compiled kCallBuiltin is total and the
+    // SELECT index guard can rely on error-free WHERE programs.
+    if (f == "LIKE" && e.children.size() != 2) return false;
+    if (f == "ISNULL" && e.children.size() != 1) return false;
+    for (size_t i = 0; i < e.children.size(); ++i) {
+      if (!Reserve(dst + 1 + int(i))) return false;
+      if (!Compile(*e.children[i], dst + 1 + int(i))) return false;
+    }
+    Emit({OpCode::kCallBuiltin, Reg(dst), uint8_t(e.children.size()),
+          AddFunc(f), uint16_t(dst + 1)});
+    return true;
+  }
+
+  bool CompileInList(const Expr& e, int dst) {
+    if (!Compile(*e.children[0], dst)) return false;
+    size_t jnull = Here();
+    Emit({OpCode::kJumpIfNull, 0, 0, Reg(dst), 0});
+    if (!Reserve(dst + 3)) return false;
+    Emit({OpCode::kLoadBool, Reg(dst + 1), 0, 0, 0});  // saw_null accumulator
+    std::vector<size_t> jtrue;
+    for (size_t i = 1; i < e.children.size(); ++i) {
+      if (!Compile(*e.children[i], dst + 2)) return false;
+      Emit({OpCode::kCmp, Reg(dst + 3), uint8_t(BinaryOp::kEq), Reg(dst),
+            Reg(dst + 2)});
+      jtrue.push_back(Here());
+      Emit({OpCode::kJumpIfTrue, 0, 0, Reg(dst + 3), 0});
+      Emit({OpCode::kAccumNull, Reg(dst + 1), 0, Reg(dst + 3), 0});
+    }
+    Emit({OpCode::kInFinish, Reg(dst), 0, Reg(dst + 1), 0});
+    size_t jend1 = Here();
+    Emit({OpCode::kJump, 0, 0, 0, 0});
+    for (size_t at : jtrue) PatchJump(at, Here());
+    Emit({OpCode::kLoadBool, Reg(dst), 0, 1, 0});
+    size_t jend2 = Here();
+    Emit({OpCode::kJump, 0, 0, 0, 0});
+    PatchJump(jnull, Here());
+    Emit({OpCode::kLoadNull, Reg(dst), 0, 0, 0});
+    PatchJump(jend1, Here());
+    PatchJump(jend2, Here());
+    return true;
+  }
+
+  Program* p_;
+  const std::string* alias_;
+  const std::vector<std::string>* columns_;
+  bool ok_ = true;
+};
+
+/// Compiles `e` into a standalone Program. `alias`/`columns` bind the row
+/// scope (null = row-free: every name resolves through context variables,
+/// matching Eval with a null scope).
+bool CompileExpr(const Expr& e, const std::string* alias,
+                 const std::vector<std::string>* columns, Program* out) {
+  ExprCompiler c(out, alias, columns);
+  if (!c.Compile(e, 0)) return false;
+  return c.Finish(0);
+}
+
+std::vector<std::string> SchemaColumnNames(const TableSchema& schema) {
+  std::vector<std::string> names;
+  names.reserve(schema.columns.size());
+  for (const auto& c : schema.columns) names.push_back(c.name);
+  return names;
+}
+
+/// Compiles WHERE + the shared access-path candidates for a write target.
+bool CompileWhereAndAccess(const Database& db, const Table& table,
+                           const ExprPtr& where, const std::string& alias,
+                           const std::vector<std::string>& columns,
+                           CompiledStatement* plan) {
+  (void)db;
+  if (where) {
+    plan->has_where = true;
+    plan->where_has_nondet = ContainsNondetBuiltin(*where);
+    if (!CompileExpr(*where, &alias, &columns, &plan->where)) return false;
+    for (const Instr& in : plan->where.code) {
+      if (in.op == OpCode::kLoadVar) plan->where_has_var = true;
+    }
+    // Collect every resolvable equality conjunct, indexed or not: the plan
+    // is index-agnostic, and MatchIds filters candidates against the live
+    // index set per execution. That keeps cached plans valid across index
+    // creation (real or advisory) without a schema-epoch bump, and tells
+    // the adaptive indexer which columns a scan could have probed.
+    for (const EqConjunct& c : CollectEqConjuncts(
+             table.schema(), table, where.get(), EqCollect::kAllColumns)) {
+      CompiledStatement::AccessCandidate cand;
+      cand.column = c.column;
+      cand.key_expr = c.key;
+      // Keys are row-free by contract: compile with no column binding so a
+      // stray column name degrades to the same context-variable lookup
+      // (and the same runtime skip) the tree walker performs.
+      if (!CompileExpr(*c.key, nullptr, nullptr, &cand.key)) return false;
+      plan->access.push_back(std::move(cand));
+    }
+  }
+  return true;
+}
+
+bool CompileSelect(const Database& db, const SelectStatement& sel,
+                   CompiledStatement* plan) {
+  if (sel.from_table.empty() || !sel.joins.empty()) return false;
+  if (!sel.group_by.empty() || sel.having) return false;
+  const Table* table = db.FindTable(sel.from_table);
+  if (!table) return false;  // view (or missing): tree walker handles it
+  const TableSchema& schema = table->schema();
+  plan->table = sel.from_table;
+  plan->schema_width = schema.columns.size();
+  const std::string alias =
+      sel.from_alias.empty() ? sel.from_table : sel.from_alias;
+  std::vector<std::string> columns = SchemaColumnNames(schema);
+
+  // Expand * exactly like EvalSelect (qualifier matched case-insensitively
+  // against the source alias).
+  std::vector<SelectItem> items;
+  for (const auto& item : sel.items) {
+    if (item.expr->kind == ExprKind::kStar) {
+      if (!item.expr->table.empty() &&
+          !EqualsIgnoreCase(item.expr->table, alias)) {
+        continue;
+      }
+      for (const auto& col : columns) {
+        SelectItem expanded;
+        expanded.expr = Expr::MakeColumn(alias, col);
+        expanded.alias = col;
+        items.push_back(std::move(expanded));
+      }
+    } else {
+      items.push_back(item);
+    }
+  }
+  for (const auto& item : items) {
+    plan->column_names.push_back(item.alias.empty() ? ToSql(*item.expr)
+                                                    : item.alias);
+  }
+
+  bool aggregate = false;
+  for (const auto& item : items) {
+    if (ContainsAggregate(*item.expr)) aggregate = true;
+  }
+  plan->aggregate = aggregate;
+  if (aggregate) {
+    // Streaming subset: every item a bare aggregate over a plain argument;
+    // sorting/distinct over aggregates falls back.
+    if (!sel.order_by.empty() || sel.distinct) return false;
+    for (const auto& item : items) {
+      const Expr& e = *item.expr;
+      if (e.kind != ExprKind::kFuncCall || !IsAggregateFunction(e.func_name)) {
+        return false;
+      }
+      CompiledStatement::AggItem agg;
+      if (e.func_name == "COUNT" && (e.star_arg || e.children.empty())) {
+        agg.agg = CompiledStatement::AggItem::kCountStar;
+      } else {
+        if (e.children.size() != 1 || ContainsAggregate(*e.children[0])) {
+          return false;
+        }
+        if (e.func_name == "COUNT") agg.agg = CompiledStatement::AggItem::kCount;
+        else if (e.func_name == "SUM") agg.agg = CompiledStatement::AggItem::kSum;
+        else if (e.func_name == "AVG") agg.agg = CompiledStatement::AggItem::kAvg;
+        else if (e.func_name == "MIN") agg.agg = CompiledStatement::AggItem::kMin;
+        else if (e.func_name == "MAX") agg.agg = CompiledStatement::AggItem::kMax;
+        else return false;
+        if (!CompileExpr(*e.children[0], &alias, &columns, &agg.arg)) {
+          return false;
+        }
+      }
+      plan->agg_items.push_back(std::move(agg));
+    }
+  } else {
+    for (const auto& item : items) {
+      Program p;
+      if (!CompileExpr(*item.expr, &alias, &columns, &p)) return false;
+      plan->items.push_back(std::move(p));
+    }
+    for (const auto& ob : sel.order_by) {
+      Program p;
+      if (!CompileExpr(*ob.expr, &alias, &columns, &p)) return false;
+      plan->order_keys.push_back(std::move(p));
+      plan->order_desc.push_back(ob.descending);
+    }
+  }
+
+  ExprPtr where = sel.where;
+  if (!CompileWhereAndAccess(db, *table, where, alias, columns, plan)) {
+    return false;
+  }
+  plan->distinct = sel.distinct;
+  plan->limit = sel.limit;
+  plan->into_vars = sel.into_vars;
+  return true;
+}
+
+bool CompileUpdate(const Database& db, const UpdateStatement& stmt,
+                   CompiledStatement* plan) {
+  const Table* table = db.FindTable(stmt.table);
+  if (!table) return false;  // view target / missing: tree walker handles it
+  const TableSchema& schema = table->schema();
+  plan->table = stmt.table;
+  plan->schema_width = schema.columns.size();
+  std::vector<std::string> columns = SchemaColumnNames(schema);
+  for (const auto& [col, expr] : stmt.assignments) {
+    int idx = schema.ColumnIndex(col);  // case-sensitive, like ExecUpdate
+    if (idx < 0) return false;
+    Program p;
+    if (!CompileExpr(*expr, &schema.name, &columns, &p)) return false;
+    plan->assignments.emplace_back(idx, std::move(p));
+  }
+  return CompileWhereAndAccess(db, *table, stmt.where, schema.name, columns,
+                               plan);
+}
+
+bool CompileDelete(const Database& db, const DeleteStatement& stmt,
+                   CompiledStatement* plan) {
+  const Table* table = db.FindTable(stmt.table);
+  if (!table) return false;
+  const TableSchema& schema = table->schema();
+  plan->table = stmt.table;
+  plan->schema_width = schema.columns.size();
+  std::vector<std::string> columns = SchemaColumnNames(schema);
+  return CompileWhereAndAccess(db, *table, stmt.where, schema.name, columns,
+                               plan);
+}
+
+bool CompileInsert(const Database& db, const InsertStatement& stmt,
+                   CompiledStatement* plan) {
+  if (stmt.select) return false;  // INSERT ... SELECT: tree walker
+  const Table* table = db.FindTable(stmt.table);
+  if (!table) return false;
+  const TableSchema& schema = table->schema();
+  plan->table = stmt.table;
+  plan->schema_width = schema.columns.size();
+  if (stmt.columns.empty()) {
+    for (size_t i = 0; i < schema.columns.size(); ++i) {
+      plan->insert_cols.push_back(int(i));
+    }
+  } else {
+    for (const auto& col : stmt.columns) {
+      int idx = schema.ColumnIndex(col);
+      if (idx < 0) return false;
+      plan->insert_cols.push_back(idx);
+    }
+  }
+  for (const auto& exprs : stmt.rows) {
+    if (exprs.size() != plan->insert_cols.size()) return false;  // tree errors
+    std::vector<Program> row;
+    for (const auto& e : exprs) {
+      Program p;
+      if (!CompileExpr(*e, nullptr, nullptr, &p)) return false;
+      row.push_back(std::move(p));
+    }
+    plan->insert_rows.push_back(std::move(row));
+  }
+  return true;
+}
+
+}  // namespace
+
+uint64_t FingerprintStatement(const Statement& stmt) {
+  Fnv f;
+  f.Byte(uint8_t(stmt.kind));
+  switch (stmt.kind) {
+    case StatementKind::kSelect:
+      HashSelect(&f, *stmt.select);
+      break;
+    case StatementKind::kInsert: {
+      const InsertStatement& ins = stmt.insert;
+      f.Str(ins.table);
+      f.U64(ins.columns.size());
+      for (const auto& c : ins.columns) f.Str(c);
+      f.U64(ins.rows.size());
+      for (const auto& row : ins.rows) {
+        f.U64(row.size());
+        for (const auto& e : row) HashExpr(&f, *e);
+      }
+      f.Byte(ins.select ? 1 : 0);
+      if (ins.select) HashSelect(&f, *ins.select);
+      break;
+    }
+    case StatementKind::kUpdate: {
+      const UpdateStatement& up = stmt.update;
+      f.Str(up.table);
+      f.U64(up.assignments.size());
+      for (const auto& [col, e] : up.assignments) {
+        f.Str(col);
+        HashExpr(&f, *e);
+      }
+      f.Byte(up.where ? 1 : 0);
+      if (up.where) HashExpr(&f, *up.where);
+      break;
+    }
+    case StatementKind::kDelete: {
+      f.Str(stmt.del.table);
+      f.Byte(stmt.del.where ? 1 : 0);
+      if (stmt.del.where) HashExpr(&f, *stmt.del.where);
+      break;
+    }
+    default:
+      break;
+  }
+  return f.h;
+}
+
+std::shared_ptr<const CompiledStatement> Compile(const Database& db,
+                                                 const Statement& stmt) {
+  auto plan = std::make_shared<CompiledStatement>();
+  plan->kind = stmt.kind;
+  // Anchor a copy: the plan outlives the statement it was compiled from
+  // (cache hits execute other, fingerprint-equal statement objects), and
+  // access-candidate Expr pointers must stay valid.
+  plan->anchor = std::make_shared<Statement>(stmt);
+  bool ok = false;
+  switch (stmt.kind) {
+    case StatementKind::kSelect:
+      ok = CompileSelect(db, *plan->anchor->select, plan.get());
+      break;
+    case StatementKind::kInsert:
+      ok = CompileInsert(db, plan->anchor->insert, plan.get());
+      break;
+    case StatementKind::kUpdate:
+      ok = CompileUpdate(db, plan->anchor->update, plan.get());
+      break;
+    case StatementKind::kDelete:
+      ok = CompileDelete(db, plan->anchor->del, plan.get());
+      break;
+    default:
+      break;
+  }
+  if (!ok) return nullptr;
+  return plan;
+}
+
+}  // namespace ultraverse::sql::vm

@@ -1,0 +1,89 @@
+#ifndef ULTRAVERSE_SQLDB_VM_COMPILER_H_
+#define ULTRAVERSE_SQLDB_VM_COMPILER_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "sqldb/ast.h"
+#include "sqldb/vm/bytecode.h"
+
+namespace ultraverse::sql {
+class Database;
+}
+
+namespace ultraverse::sql::vm {
+
+/// A fully lowered DML/SELECT statement. Compilation is all-or-nothing:
+/// any construct outside the supported subset (joins, subqueries, views,
+/// GROUP BY, INSERT...SELECT, unknown functions, ...) makes Compile()
+/// return nullptr and the statement runs on the tree walker instead —
+/// fallback is always semantically safe because it *is* the original code
+/// path.
+struct CompiledStatement {
+  StatementKind kind = StatementKind::kSelect;
+  std::string table;    // resolved base table (never a view)
+  size_t schema_width = 0;  // column count the plan was compiled against
+
+  /// Keeps every `const Expr*` reachable from this plan alive: access-path
+  /// candidate keys point into this anchored copy of the statement.
+  StatementPtr anchor;
+
+  Program where;        // empty => no WHERE (match everything)
+  bool has_where = false;
+  bool where_has_nondet = false;
+  /// WHERE reads a context variable (kLoadVar): evaluation can error at
+  /// runtime, so the SELECT index path must not skip rows the tree walker
+  /// would have evaluated (and errored) on.
+  bool where_has_var = false;
+
+  /// Cost-based access-path candidates: `col = <row-free key>` conjuncts,
+  /// collected for every resolvable column (indexed or not — MatchIds
+  /// filters against the live index set at execution time, and unindexed
+  /// candidates feed the adaptive advisory indexer).
+  struct AccessCandidate {
+    int column = -1;
+    const Expr* key_expr = nullptr;  // into `anchor` (shared chooser input)
+    Program key;                     // same expression, compiled
+  };
+  std::vector<AccessCandidate> access;
+
+  // --- UPDATE ---
+  std::vector<std::pair<int, Program>> assignments;  // (column, value)
+
+  // --- INSERT (VALUES form) ---
+  std::vector<int> insert_cols;  // target column per value position
+  std::vector<std::vector<Program>> insert_rows;
+
+  // --- SELECT ---
+  bool aggregate = false;
+  struct AggItem {
+    enum Kind { kCountStar, kCount, kSum, kAvg, kMin, kMax };
+    Kind agg = kCountStar;
+    Program arg;  // empty for kCountStar
+  };
+  std::vector<Program> items;      // non-aggregate projection
+  std::vector<AggItem> agg_items;  // aggregate projection
+  std::vector<std::string> column_names;
+  std::vector<Program> order_keys;
+  std::vector<bool> order_desc;
+  bool distinct = false;
+  int64_t limit = -1;
+  std::vector<std::string> into_vars;
+};
+
+/// Structural 64-bit fingerprint of a DML/SELECT statement, literals
+/// included (plans are not parameterized: embedding literal values avoids
+/// any bind-time coercion hazard and replay histories re-execute identical
+/// statement objects anyway, so hits still compound).
+uint64_t FingerprintStatement(const Statement& stmt);
+
+/// Lowers `stmt` against the database's current catalog. Returns nullptr
+/// when the statement is outside the compilable subset.
+std::shared_ptr<const CompiledStatement> Compile(const Database& db,
+                                                 const Statement& stmt);
+
+}  // namespace ultraverse::sql::vm
+
+#endif  // ULTRAVERSE_SQLDB_VM_COMPILER_H_

@@ -1,0 +1,48 @@
+#include "sqldb/vm/plan_cache.h"
+
+#include "obs/metrics.h"
+#include "sqldb/vm/compiler.h"
+
+namespace ultraverse::sql::vm {
+
+namespace {
+struct CacheMetrics {
+  obs::Counter* hit;
+  obs::Counter* miss;
+};
+const CacheMetrics& Metrics() {
+  static const CacheMetrics m = {
+      obs::Registry::Global().counter("uv.vm.plan_cache.hit"),
+      obs::Registry::Global().counter("uv.vm.plan_cache.miss"),
+  };
+  return m;
+}
+}  // namespace
+
+std::optional<std::shared_ptr<const CompiledStatement>> PlanCache::Lookup(
+    uint64_t fingerprint, uint64_t schema_version) const {
+  {
+    std::shared_lock<std::shared_mutex> lock(mu_);
+    auto it = entries_.find(Key{fingerprint, schema_version});
+    if (it != entries_.end()) {
+      Metrics().hit->Inc();
+      return it->second;
+    }
+  }
+  Metrics().miss->Inc();
+  return std::nullopt;
+}
+
+void PlanCache::Insert(uint64_t fingerprint, uint64_t schema_version,
+                       std::shared_ptr<const CompiledStatement> plan) {
+  std::unique_lock<std::shared_mutex> lock(mu_);
+  if (entries_.size() >= kMaxEntries) entries_.clear();
+  entries_[Key{fingerprint, schema_version}] = std::move(plan);
+}
+
+size_t PlanCache::size() const {
+  std::shared_lock<std::shared_mutex> lock(mu_);
+  return entries_.size();
+}
+
+}  // namespace ultraverse::sql::vm

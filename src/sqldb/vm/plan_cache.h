@@ -1,0 +1,67 @@
+#ifndef ULTRAVERSE_SQLDB_VM_PLAN_CACHE_H_
+#define ULTRAVERSE_SQLDB_VM_PLAN_CACHE_H_
+
+#include <cstdint>
+#include <memory>
+#include <optional>
+#include <shared_mutex>
+#include <unordered_map>
+
+namespace ultraverse::sql::vm {
+
+struct CompiledStatement;
+
+/// Compiled-plan cache keyed on (statement fingerprint, schema version).
+///
+/// The schema version is a process-global epoch the owning Database bumps
+/// on every DDL statement (including DDL nested in procedures and
+/// transactions), on catalog adoption after a what-if commit, and on CoW
+/// table fault-in — so a plan can never outlive the schema it was compiled
+/// against. Versions from the global epoch also keep two CoW clones that
+/// share one cache from colliding after divergent DDL.
+///
+/// A cache entry may be negative (plan == nullptr): the statement is
+/// outside the compilable subset and should keep running on the tree
+/// walker without re-attempting compilation each execution.
+///
+/// The cache is shared (by shared_ptr) across Database::Clone /
+/// CloneTables so temporary replay databases start warm — replay
+/// re-executes the same procedure statements thousands of times, which is
+/// where cache hits compound.
+class PlanCache {
+ public:
+  /// nullopt = miss; engaged-but-null = cached "uncompilable" verdict.
+  std::optional<std::shared_ptr<const CompiledStatement>> Lookup(
+      uint64_t fingerprint, uint64_t schema_version) const;
+
+  void Insert(uint64_t fingerprint, uint64_t schema_version,
+              std::shared_ptr<const CompiledStatement> plan);
+
+  size_t size() const;
+
+ private:
+  struct Key {
+    uint64_t fingerprint;
+    uint64_t version;
+    bool operator==(const Key& o) const {
+      return fingerprint == o.fingerprint && version == o.version;
+    }
+  };
+  struct KeyHash {
+    size_t operator()(const Key& k) const {
+      return size_t(k.fingerprint ^ (k.version * 0x9E3779B97F4A7C15ull));
+    }
+  };
+
+  /// Entry cap; overflow clears the whole map (plans recompile in
+  /// microseconds, so wholesale eviction beats LRU bookkeeping here).
+  static constexpr size_t kMaxEntries = 4096;
+
+  mutable std::shared_mutex mu_;
+  std::unordered_map<Key, std::shared_ptr<const CompiledStatement>, KeyHash>
+      entries_;
+};
+
+}  // namespace ultraverse::sql::vm
+
+#endif  // ULTRAVERSE_SQLDB_VM_PLAN_CACHE_H_

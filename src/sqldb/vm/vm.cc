@@ -1,0 +1,582 @@
+#include "sqldb/vm/vm.h"
+
+#include <algorithm>
+#include <atomic>
+#include <cmath>
+#include <set>
+#include <utility>
+#include <vector>
+
+#include "obs/metrics.h"
+#include "obs/trace.h"
+#include "sqldb/access_path.h"
+#include "sqldb/database.h"
+#include "sqldb/evaluator.h"
+#include "sqldb/vm/compiler.h"
+#include "sqldb/vm/plan_cache.h"
+
+namespace ultraverse::sql::vm {
+
+namespace {
+
+struct VmMetrics {
+  obs::Histogram* compile_us;
+  obs::Counter* batch_rows;
+  obs::Counter* batch_count;
+  obs::Counter* index_path;
+  obs::Counter* scan_path;
+  obs::Counter* advisory_built;
+
+  static const VmMetrics& Get() {
+    static const VmMetrics m = [] {
+      auto& reg = obs::Registry::Global();
+      return VmMetrics{reg.histogram("uv.vm.compile_us"),
+                       reg.counter("uv.vm.batch.rows"),
+                       reg.counter("uv.vm.batch.count"),
+                       reg.counter("uv.vm.access.index_path"),
+                       reg.counter("uv.vm.access.scan_path"),
+                       reg.counter("uv.vm.access.advisory_built")};
+    }();
+    return m;
+  }
+};
+
+bool Truthy(const Value& v) { return !v.is_null() && v.AsBool(); }
+
+/// Tables with fewer live rows than this never get an adaptive advisory
+/// index: a scan of a small table is cheaper than maintaining the index.
+/// Settable so tests and the exec-diff oracle can exercise the adaptive
+/// path on small fixtures.
+std::atomic<size_t> g_advisory_min_rows{1024};
+
+}  // namespace
+
+size_t AdvisoryIndexMinRows() {
+  return g_advisory_min_rows.load(std::memory_order_relaxed);
+}
+
+void SetAdvisoryIndexMinRows(size_t n) {
+  g_advisory_min_rows.store(n, std::memory_order_relaxed);
+}
+
+struct Executor::Impl {
+  Database* db;
+  ExecContext* ctx;
+  uint64_t commit_index;
+  std::vector<Value> regs;
+
+  /// Interprets one program against an optional row. Every register is
+  /// written before it is read on all control-flow paths (the compiler
+  /// emits strictly dst-increasing expression trees), so the register file
+  /// is reused across calls without clearing.
+  Result<Value> Run(const Program& p, const Row* row) {
+    if (regs.size() < p.num_regs) regs.resize(p.num_regs);
+    for (size_t pc = 0;;) {
+      const Instr& in = p.code[pc++];
+      switch (in.op) {
+        case OpCode::kLoadConst:
+          regs[in.dst] = p.consts[in.a];
+          break;
+        case OpCode::kLoadCol:
+          regs[in.dst] = (*row)[in.a];
+          break;
+        case OpCode::kLoadVar: {
+          const Program::VarSlot& slot = p.vars[in.a];
+          const Value* var = ctx->FindVar(slot.key);
+          if (!var) {
+            return Status::NotFound(
+                (slot.var_style ? "unresolved variable '"
+                                : "unresolved name '") +
+                slot.display + "'");
+          }
+          regs[in.dst] = *var;
+          break;
+        }
+        case OpCode::kLoadBool:
+          regs[in.dst] = Value::Bool(in.a != 0);
+          break;
+        case OpCode::kLoadNull:
+          regs[in.dst] = Value::Null();
+          break;
+        case OpCode::kMove:
+          regs[in.dst] = regs[in.a];
+          break;
+        case OpCode::kNot: {
+          const Value& v = regs[in.a];
+          regs[in.dst] =
+              v.is_null() ? Value::Null() : Value::Bool(!v.AsBool());
+          break;
+        }
+        case OpCode::kNeg: {
+          const Value& v = regs[in.a];
+          if (v.is_null()) regs[in.dst] = Value::Null();
+          else if (v.type() == DataType::kInt)
+            regs[in.dst] = Value::Int(-v.AsInt());
+          else regs[in.dst] = Value::Double(-v.AsDouble());
+          break;
+        }
+        case OpCode::kCmp:
+          regs[in.dst] =
+              Evaluator::CompareSql(regs[in.a], regs[in.b], BinaryOp(in.c));
+          break;
+        case OpCode::kArith:
+          regs[in.dst] =
+              Evaluator::ArithSql(regs[in.a], regs[in.b], BinaryOp(in.c));
+          break;
+        case OpCode::kAnd3: {
+          const Value& lhs = regs[in.a];
+          const Value& rhs = regs[in.b];
+          if (!rhs.is_null() && !rhs.AsBool())
+            regs[in.dst] = Value::Bool(false);
+          else if (lhs.is_null() || rhs.is_null())
+            regs[in.dst] = Value::Null();
+          else regs[in.dst] = Value::Bool(true);
+          break;
+        }
+        case OpCode::kOr3: {
+          const Value& lhs = regs[in.a];
+          const Value& rhs = regs[in.b];
+          if (!rhs.is_null() && rhs.AsBool())
+            regs[in.dst] = Value::Bool(true);
+          else if (lhs.is_null() || rhs.is_null())
+            regs[in.dst] = Value::Null();
+          else regs[in.dst] = Value::Bool(false);
+          break;
+        }
+        case OpCode::kJump:
+          pc = in.a;
+          break;
+        case OpCode::kJumpIfFalse: {
+          const Value& v = regs[in.a];
+          if (!v.is_null() && !v.AsBool()) pc = in.b;
+          break;
+        }
+        case OpCode::kJumpIfTrue: {
+          const Value& v = regs[in.a];
+          if (!v.is_null() && v.AsBool()) pc = in.b;
+          break;
+        }
+        case OpCode::kJumpIfNull:
+          if (regs[in.a].is_null()) pc = in.b;
+          break;
+        case OpCode::kAccumNull:
+          if (regs[in.a].is_null()) regs[in.dst] = Value::Bool(true);
+          break;
+        case OpCode::kInFinish:
+          regs[in.dst] =
+              Truthy(regs[in.a]) ? Value::Null() : Value::Bool(false);
+          break;
+        case OpCode::kCallBuiltin: {
+          std::vector<Value> args(regs.begin() + in.b,
+                                  regs.begin() + in.b + in.c);
+          UV_ASSIGN_OR_RETURN(
+              Value v, Evaluator::EvalPureBuiltin(p.funcs[in.a], args));
+          regs[in.dst] = std::move(v);
+          break;
+        }
+        case OpCode::kNondet:
+          regs[in.dst] =
+              in.c == 0
+                  ? ctx->NextNondetValue(
+                        [&] { return Value::Int(db->NextTimestamp()); })
+                  : ctx->NextNondetValue(
+                        [&] { return Value::Double(db->rng_.UniformDouble()); });
+          break;
+        case OpCode::kRet:
+          return regs[in.a];
+      }
+    }
+  }
+
+  /// Evaluates one access-candidate key without a row in scope; nullopt
+  /// skips the candidate (mirroring the tree walker, which swallows key
+  /// evaluation errors and falls back to other candidates or the scan).
+  std::optional<Value> EvalAccessKey(const CompiledStatement& plan,
+                                     const Expr& key) {
+    for (const auto& cand : plan.access) {
+      if (cand.key_expr == &key) {
+        Result<Value> rv = Run(cand.key, nullptr);
+        if (!rv.ok()) return std::nullopt;
+        return std::move(*rv);
+      }
+    }
+    return std::nullopt;
+  }
+
+  /// The probe the VM may take where the tree walker would scan: any live
+  /// index (advisory included), but only candidates whose probe provably
+  /// returns the exact CompareSql match set. Callers must have established
+  /// WHERE totality first.
+  std::optional<AccessChoice> GuardedChoose(Table* table,
+                                            const CompiledStatement& plan) {
+    std::vector<EqConjunct> usable;
+    for (const auto& cand : plan.access) {
+      if (table->HasIndex(cand.column)) {
+        usable.push_back({cand.column, cand.key_expr});
+      }
+    }
+    if (usable.empty()) return std::nullopt;
+    return ChooseAccess(
+        *table, usable, [&](const Expr& key) -> std::optional<Value> {
+          std::optional<Value> v = EvalAccessKey(plan, key);
+          if (!v) return std::nullopt;
+          for (const EqConjunct& c : usable) {
+            if (c.key == &key &&
+                !IndexProbeProvablyExact(*table, c.column, *v)) {
+              return std::nullopt;
+            }
+          }
+          return v;
+        });
+  }
+
+  /// Row ids matching the plan's WHERE, in ascending id order — the same
+  /// ids, in the same order, the tree walker's MatchRows produces.
+  ///
+  /// Three-step access choice:
+  ///  1. Mirror (writes only): probe real indexes through the shared
+  ///     chooser — the identical decision the tree walker's MatchRows
+  ///     makes, so the coercing predicate sees the same candidate rows by
+  ///     construction.
+  ///  2. Guarded probe: where the tree walker would scan (every SELECT;
+  ///     writes the mirror left on the scan path), the VM may still probe
+  ///     — advisory indexes included — when skipping rows is provably
+  ///     unobservable: WHERE is total (no nondet builtin, every variable
+  ///     load resolves, compiled builtins are total) and the probe
+  ///     provably returns the exact CompareSql match set.
+  ///  3. Adaptive build: a guarded-probe-eligible statement about to scan
+  ///     a large table with an unindexed equality column first builds an
+  ///     advisory hash index — a pure access-path hint, invisible to the
+  ///     state diff and to the tree walker — and probes it immediately.
+  ///     Build cost is one scan, repaid on the next execution.
+  Result<std::vector<RowId>> MatchIds(Table* table,
+                                      const CompiledStatement& plan,
+                                      bool is_select) {
+    if (!plan.has_where) return table->LiveRowIds();
+    const VmMetrics& m = VmMetrics::Get();
+
+    std::optional<AccessChoice> choice;
+    if (!is_select && !plan.access.empty()) {
+      std::vector<EqConjunct> real;
+      for (const auto& cand : plan.access) {
+        if (table->HasIndex(cand.column) &&
+            !table->IsAdvisoryIndex(cand.column)) {
+          real.push_back({cand.column, cand.key_expr});
+        }
+      }
+      choice = ChooseAccess(*table, real,
+                            [&](const Expr& key) -> std::optional<Value> {
+                              return EvalAccessKey(plan, key);
+                            });
+    }
+
+    if (!choice && !plan.access.empty() && !plan.where_has_nondet) {
+      // Variable loads are row-independent: if every WHERE variable
+      // resolves in the current context, kLoadVar cannot error on any row
+      // and the compiled WHERE stays total; an unresolved variable instead
+      // forces the scan path, which errors on the first live row exactly
+      // like the tree walker's per-row evaluation.
+      bool where_vars_resolve = true;
+      if (plan.where_has_var) {
+        for (const Program::VarSlot& slot : plan.where.vars) {
+          if (!ctx->FindVar(slot.key)) {
+            where_vars_resolve = false;
+            break;
+          }
+        }
+      }
+      if (where_vars_resolve) {
+        choice = GuardedChoose(table, plan);
+        if (!choice && table->LiveRowCount() >= AdvisoryIndexMinRows()) {
+          bool built = false;
+          for (const auto& cand : plan.access) {
+            if (!table->HasIndex(cand.column) &&
+                table->CreateAdvisoryIndex(cand.column).ok()) {
+              m.advisory_built->Inc();
+              built = true;
+            }
+          }
+          if (built) choice = GuardedChoose(table, plan);
+        }
+      }
+    }
+
+    if (choice) {
+      m.index_path->Inc();
+      std::vector<RowId> candidates =
+          table->IndexLookup(choice->column, choice->key);
+      // Ascending ids: row visit order is observable (nondet consumption,
+      // trigger firing); both engines normalize hash-bucket order away.
+      std::sort(candidates.begin(), candidates.end());
+      std::vector<RowId> out;
+      for (RowId id : candidates) {
+        if (!table->IsLive(id)) continue;
+        UV_ASSIGN_OR_RETURN(Value match, Run(plan.where, &table->GetRow(id)));
+        if (Truthy(match)) out.push_back(id);
+      }
+      return out;
+    }
+
+    m.scan_path->Inc();
+    std::vector<RowId> out;
+    Status st = Status::OK();
+    table->ScanBatch([&](const RowId* ids, const Row* const* rows, size_t n) {
+      m.batch_rows->Add(n);
+      m.batch_count->Inc();
+      for (size_t i = 0; i < n; ++i) {
+        Result<Value> match = Run(plan.where, rows[i]);
+        if (!match.ok()) {
+          st = match.status();
+          return false;
+        }
+        if (Truthy(*match)) out.push_back(ids[i]);
+      }
+      return true;
+    });
+    UV_RETURN_NOT_OK(st);
+    return out;
+  }
+
+  Result<ExecResult> ExecSelect(const CompiledStatement& plan, Table* table) {
+    UV_ASSIGN_OR_RETURN(std::vector<RowId> ids, MatchIds(table, plan, true));
+    ExecResult result;
+    result.column_names = plan.column_names;
+
+    if (plan.aggregate) {
+      // Bare-aggregate subset: items outer, rows inner — the exact
+      // per-item evaluation order EvalInGroup performs (observable through
+      // nondet consumption inside aggregate arguments).
+      Row out;
+      for (const auto& item : plan.agg_items) {
+        if (item.agg == CompiledStatement::AggItem::kCountStar) {
+          out.push_back(Value::Int(int64_t(ids.size())));
+          continue;
+        }
+        int64_t count = 0;
+        double sum = 0;
+        bool all_int = true;
+        Value min_v, max_v;
+        for (RowId id : ids) {
+          UV_ASSIGN_OR_RETURN(Value v, Run(item.arg, &table->GetRow(id)));
+          if (v.is_null()) continue;
+          ++count;
+          sum += v.AsDouble();
+          if (v.type() != DataType::kInt) all_int = false;
+          if (min_v.is_null() || v.Compare(min_v) < 0) min_v = v;
+          if (max_v.is_null() || v.Compare(max_v) > 0) max_v = v;
+        }
+        switch (item.agg) {
+          case CompiledStatement::AggItem::kCount:
+            out.push_back(Value::Int(count));
+            break;
+          case CompiledStatement::AggItem::kSum:
+            out.push_back(count == 0 ? Value::Null()
+                          : all_int ? Value::Int(int64_t(std::llround(sum)))
+                                    : Value::Double(sum));
+            break;
+          case CompiledStatement::AggItem::kAvg:
+            out.push_back(count == 0 ? Value::Null()
+                                     : Value::Double(sum / double(count)));
+            break;
+          case CompiledStatement::AggItem::kMin:
+            out.push_back(count == 0 ? Value::Null() : std::move(min_v));
+            break;
+          case CompiledStatement::AggItem::kMax:
+            out.push_back(count == 0 ? Value::Null() : std::move(max_v));
+            break;
+          case CompiledStatement::AggItem::kCountStar:
+            break;  // handled above
+        }
+      }
+      result.rows.push_back(std::move(out));
+    } else {
+      struct OutRow {
+        Row values;
+        Row sort_keys;
+      };
+      std::vector<OutRow> out_rows;
+      out_rows.reserve(ids.size());
+      for (RowId id : ids) {
+        const Row& row = table->GetRow(id);
+        OutRow out;
+        for (const Program& p : plan.items) {
+          UV_ASSIGN_OR_RETURN(Value v, Run(p, &row));
+          out.values.push_back(std::move(v));
+        }
+        for (const Program& p : plan.order_keys) {
+          UV_ASSIGN_OR_RETURN(Value v, Run(p, &row));
+          out.sort_keys.push_back(std::move(v));
+        }
+        out_rows.push_back(std::move(out));
+      }
+      if (!plan.order_keys.empty()) {
+        std::stable_sort(out_rows.begin(), out_rows.end(),
+                         [&](const OutRow& a, const OutRow& b) {
+                           for (size_t i = 0; i < plan.order_keys.size(); ++i) {
+                             int c = a.sort_keys[i].Compare(b.sort_keys[i]);
+                             if (c != 0) {
+                               return plan.order_desc[i] ? c > 0 : c < 0;
+                             }
+                           }
+                           return false;
+                         });
+      }
+      if (plan.distinct) {
+        std::set<std::string> seen;
+        std::vector<OutRow> unique;
+        for (auto& row : out_rows) {
+          if (seen.insert(EncodeRow(row.values)).second) {
+            unique.push_back(std::move(row));
+          }
+        }
+        out_rows = std::move(unique);
+      }
+      result.rows.reserve(out_rows.size());
+      for (auto& r : out_rows) result.rows.push_back(std::move(r.values));
+    }
+
+    if (plan.limit >= 0 && int64_t(result.rows.size()) > plan.limit) {
+      result.rows.resize(size_t(plan.limit));
+    }
+    if (!plan.into_vars.empty()) {
+      for (size_t i = 0; i < plan.into_vars.size(); ++i) {
+        Value v = (!result.rows.empty() && i < result.rows[0].size())
+                      ? result.rows[0][i]
+                      : Value::Null();
+        ctx->SetVar(plan.into_vars[i], std::move(v));
+      }
+    }
+    return result;
+  }
+
+  Result<ExecResult> ExecUpdate(const CompiledStatement& plan, Table* table) {
+    UV_ASSIGN_OR_RETURN(std::vector<RowId> ids, MatchIds(table, plan, false));
+    ExecResult result;
+    for (RowId id : ids) {
+      if (!table->IsLive(id)) continue;
+      Row old_row = table->GetRow(id);
+      Row new_row = old_row;
+      for (const auto& [idx, prog] : plan.assignments) {
+        // All assignment reads see the OLD row, like the tree walker's
+        // scope bound to the pre-update copy.
+        UV_ASSIGN_OR_RETURN(Value v, Run(prog, &old_row));
+        new_row[idx] = std::move(v);
+      }
+      UV_RETURN_NOT_OK(table->Update(id, new_row, commit_index));
+      ++result.affected;
+      UV_RETURN_NOT_OK(db->FireTriggers(plan.table, TriggerEvent::kUpdate,
+                                        &old_row, &new_row, commit_index,
+                                        ctx));
+    }
+    return result;
+  }
+
+  Result<ExecResult> ExecDelete(const CompiledStatement& plan, Table* table) {
+    UV_ASSIGN_OR_RETURN(std::vector<RowId> ids, MatchIds(table, plan, false));
+    ExecResult result;
+    for (RowId id : ids) {
+      if (!table->IsLive(id)) continue;
+      Row old_row = table->GetRow(id);
+      UV_RETURN_NOT_OK(table->Delete(id, commit_index));
+      ++result.affected;
+      UV_RETURN_NOT_OK(db->FireTriggers(plan.table, TriggerEvent::kDelete,
+                                        &old_row, nullptr, commit_index, ctx));
+    }
+    return result;
+  }
+
+  Result<ExecResult> ExecInsert(const CompiledStatement& plan, Table* table) {
+    const TableSchema& schema = table->schema();
+    // All VALUES rows evaluate before the first insert, like the tree
+    // walker (an error in row 3 must not leave rows 1-2 inserted *here*;
+    // mid-loop insert/trigger errors below do leave prior rows, also like
+    // the tree walker — the caller's rollback handles both).
+    std::vector<Row> value_rows;
+    value_rows.reserve(plan.insert_rows.size());
+    for (const auto& programs : plan.insert_rows) {
+      Row r;
+      r.reserve(programs.size());
+      for (const Program& p : programs) {
+        UV_ASSIGN_OR_RETURN(Value v, Run(p, nullptr));
+        r.push_back(std::move(v));
+      }
+      value_rows.push_back(std::move(r));
+    }
+
+    ExecResult result;
+    for (Row& src : value_rows) {
+      Row row(schema.columns.size(), Value::Null());
+      for (size_t i = 0; i < plan.insert_cols.size(); ++i) {
+        row[plan.insert_cols[i]] = std::move(src[i]);
+      }
+      for (size_t i = 0; i < schema.columns.size(); ++i) {
+        if (schema.columns[i].auto_increment && row[i].is_null()) {
+          int64_t id = ctx->NextAutoIncId([&] {
+            int64_t& next = db->auto_increment_[plan.table];
+            return next++;
+          });
+          int64_t& next = db->auto_increment_[plan.table];
+          if (id >= next) next = id + 1;
+          row[i] = Value::Int(id);
+        }
+      }
+      for (size_t i = 0; i < schema.columns.size(); ++i) {
+        if (schema.columns[i].not_null && row[i].is_null()) {
+          return Status::ConstraintViolation("NOT NULL column " +
+                                             schema.columns[i].name);
+        }
+      }
+      UV_ASSIGN_OR_RETURN(RowId id, table->Insert(std::move(row), commit_index));
+      ++result.affected;
+      const Row& stored = table->GetRow(id);
+      UV_RETURN_NOT_OK(db->FireTriggers(plan.table, TriggerEvent::kInsert,
+                                        nullptr, &stored, commit_index, ctx));
+    }
+    return result;
+  }
+};
+
+std::optional<Result<ExecResult>> Executor::TryExecute(Database* db,
+                                                       const Statement& stmt,
+                                                       uint64_t commit_index,
+                                                       ExecContext* ctx) {
+  if (!ctx) return std::nullopt;
+
+  PlanCache* cache = db->plan_cache();
+  const uint64_t version = db->schema_version();
+  const uint64_t fp = FingerprintStatement(stmt);
+
+  std::shared_ptr<const CompiledStatement> plan;
+  if (auto hit = cache->Lookup(fp, version)) {
+    plan = *hit;
+  } else {
+    obs::TraceSpan span("vm.compile");
+    obs::ScopedLatency latency(VmMetrics::Get().compile_us);
+    plan = Compile(*db, stmt);
+    cache->Insert(fp, version, plan);  // nullptr = negative verdict
+  }
+  if (!plan) return std::nullopt;
+
+  // The epoch makes stale plans unreachable; this width check is a cheap
+  // second line of defense, not a correctness dependency.
+  Table* table = db->FindTable(plan->table);
+  if (!table || table->schema().columns.size() != plan->schema_width) {
+    return std::nullopt;
+  }
+
+  Impl impl{db, ctx, commit_index, {}};
+  switch (plan->kind) {
+    case StatementKind::kSelect:
+      return impl.ExecSelect(*plan, table);
+    case StatementKind::kInsert:
+      return impl.ExecInsert(*plan, table);
+    case StatementKind::kUpdate:
+      return impl.ExecUpdate(*plan, table);
+    case StatementKind::kDelete:
+      return impl.ExecDelete(*plan, table);
+    default:
+      return std::nullopt;
+  }
+}
+
+}  // namespace ultraverse::sql::vm

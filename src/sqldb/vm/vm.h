@@ -1,0 +1,48 @@
+#ifndef ULTRAVERSE_SQLDB_VM_VM_H_
+#define ULTRAVERSE_SQLDB_VM_VM_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <optional>
+
+#include "sqldb/ast.h"
+#include "util/status.h"
+
+namespace ultraverse::sql {
+class Database;
+class ExecContext;
+struct ExecResult;
+}  // namespace ultraverse::sql
+
+namespace ultraverse::sql::vm {
+
+/// Live-row floor below which the adaptive indexer never builds an
+/// advisory index (scanning a small table is cheaper than maintaining
+/// one). Process-wide; the setter exists for tests and the exec-diff
+/// oracle, which lower it to exercise the adaptive path on small
+/// fixtures.
+size_t AdvisoryIndexMinRows();
+void SetAdvisoryIndexMinRows(size_t n);
+
+/// The compiled-statement execution engine: fingerprints the statement,
+/// consults the plan cache (keyed on schema version), compiles on miss, and
+/// runs the register-bytecode plan over batched row chunks.
+///
+/// TryExecute returns nullopt when the statement is outside the compilable
+/// subset (negative cache verdicts included) or no ExecContext is supplied;
+/// the caller then falls through to the tree walker, which *is* the
+/// original code path — fallback can never change semantics.
+class Executor {
+ public:
+  static std::optional<Result<ExecResult>> TryExecute(Database* db,
+                                                      const Statement& stmt,
+                                                      uint64_t commit_index,
+                                                      ExecContext* ctx);
+
+ private:
+  struct Impl;  // nested so it inherits the Database friendship
+};
+
+}  // namespace ultraverse::sql::vm
+
+#endif  // ULTRAVERSE_SQLDB_VM_VM_H_

@@ -3,6 +3,8 @@
 //   fuzz_whatif --seed 7 --histories 500         # fixed case count
 //   fuzz_whatif --fuzz-seconds 60                # wall-clock budget
 //   fuzz_whatif --check-static --histories 200   # + static-soundness oracle
+//   fuzz_whatif --exec-diff --histories 200      # tree vs bytecode-VM diff
+//   fuzz_whatif --exec vm                        # pin the default engine
 //   fuzz_whatif --repro failing.sql              # re-run a repro file
 //   fuzz_whatif --crash-points --histories 5     # crash+recover sweep (§11)
 //   fuzz_whatif --failpoints 'wal.append=error:once'  # arbitrary arming
@@ -28,13 +30,15 @@
 #include "fault/failpoint.h"
 #include "oracle/fuzzer.h"
 #include "oracle/oracle.h"
+#include "sqldb/exec_engine.h"
 
 namespace {
 
 int Usage(const char* argv0) {
   std::fprintf(stderr,
                "usage: %s [--seed N] [--histories N] [--fuzz-seconds S]\n"
-               "          [--check-static] [--no-shrink] [--repro FILE]\n"
+               "          [--check-static] [--exec-diff] [--exec vm|tree]\n"
+               "          [--no-shrink] [--repro FILE]\n"
                "          [--out-dir DIR] [--crash-points]\n"
                "          [--failpoints SPEC]   (also: ULTRA_FAILPOINTS)\n",
                argv0);
@@ -131,6 +135,22 @@ int main(int argc, char** argv) {
       if (!histories_set) options.histories = 0;  // run on the clock alone
     } else if (!std::strcmp(argv[i], "--check-static")) {
       options.check_static = true;
+    } else if (!std::strcmp(argv[i], "--exec-diff")) {
+      options.exec_diff = true;
+      // The cross-engine oracle is the check; skip the mode-pair sweep so a
+      // short CI leg spends its budget on engine divergences.
+      options.modes.clear();
+    } else if (!std::strcmp(argv[i], "--exec")) {
+      const char* engine = need_value("--exec");
+      if (!std::strcmp(engine, "vm")) {
+        ultraverse::sql::SetDefaultExecEngine(ultraverse::sql::ExecEngine::kVm);
+      } else if (!std::strcmp(engine, "tree")) {
+        ultraverse::sql::SetDefaultExecEngine(
+            ultraverse::sql::ExecEngine::kTree);
+      } else {
+        std::fprintf(stderr, "--exec wants vm or tree, got %s\n", engine);
+        return 2;
+      }
     } else if (!std::strcmp(argv[i], "--no-shrink")) {
       options.shrink = false;
     } else if (!std::strcmp(argv[i], "--repro")) {
