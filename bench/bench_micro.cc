@@ -197,7 +197,7 @@ BENCHMARK(BM_StageSelectiveClone)
 
 void BM_ObsCounterAdd(benchmark::State& state) {
   static obs::Counter* const c =
-      obs::Registry::Global().counter("bench.micro.counter");
+      obs::Registry::Global().counter("uv.bench.micro.counter");
   for (auto _ : state) {
     c->Add(1);
   }
@@ -225,7 +225,7 @@ BENCHMARK(BM_ObsTraceSpan)->Arg(0)->Arg(1);
 
 void BM_ObsScopedLatency(benchmark::State& state) {
   static obs::Histogram* const h =
-      obs::Registry::Global().histogram("bench.micro.latency_us");
+      obs::Registry::Global().histogram("uv.bench.micro.latency_us");
   obs::SetTiming(state.range(0) != 0);
   for (auto _ : state) {
     obs::ScopedLatency latency(h);
@@ -280,6 +280,46 @@ void BM_WhatIfReplayObs(benchmark::State& state) {
   state.SetItemsProcessed(state.iterations());
 }
 BENCHMARK(BM_WhatIfReplayObs)->Arg(0)->Arg(1)->Unit(benchmark::kMillisecond);
+
+// Decision-provenance overhead (DESIGN.md §13): the same what-if with
+// report assembly off (Arg 0) vs the always-on summary level (Arg 1),
+// which records phase wall/CPU timings, verdict totals, and layer-counter
+// deltas but no per-txn vector. The constraint is <2% regression at
+// kSummary; EXPERIMENTS.md records the measured delta.
+void BM_ExplainOverhead(benchmark::State& state) {
+  const bool summary_on = state.range(0) != 0;
+  workload::RawHistory h = workload::MakeRawHistory("epinions", 200, 0.5, 11);
+  core::Ultraverse::Options uv_opts;
+  uv_opts.explain =
+      summary_on ? obs::ExplainLevel::kSummary : obs::ExplainLevel::kOff;
+  core::Ultraverse uv(uv_opts);
+  for (const auto& ddl : h.schema_sql) {
+    if (!uv.ExecuteSql(ddl).ok()) {
+      state.SkipWithError("schema setup failed");
+      return;
+    }
+  }
+  for (const auto& q : h.queries) {
+    if (!uv.ExecuteSql(q).ok()) {
+      state.SkipWithError("history setup failed");
+      return;
+    }
+  }
+  uint64_t target = uint64_t(h.schema_sql.size()) + h.retro_index;
+  for (auto _ : state) {
+    core::RetroOp op;
+    op.kind = core::RetroOp::Kind::kRemove;
+    op.index = target;
+    auto stats = uv.WhatIf(op, core::SystemMode::kTD);
+    if (!stats.ok()) {
+      state.SkipWithError("what-if failed");
+      break;
+    }
+    benchmark::DoNotOptimize(stats->report.replayed);
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_ExplainOverhead)->Arg(0)->Arg(1)->Unit(benchmark::kMillisecond);
 
 // --- Static pre-filter (DESIGN.md §10) --------------------------------------
 // Replay-plan cost with and without the static table-footprint pre-filter

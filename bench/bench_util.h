@@ -132,10 +132,14 @@ inline void PrintHeader(const std::string& title,
 /// Path given via --trace-out= (empty = tracing not requested).
 inline std::string g_trace_out;
 
+/// Path given via --metrics-out= (empty = no metrics snapshot at exit).
+inline std::string g_metrics_out;
+
 /// Call first thing in main(): parses and strips the shared bench flags so
 /// leftover argv can be handed to other flag parsers (benchmark::Initialize
 /// in bench_micro). --trace-out=<path> enables tracing + latency timing and
-/// makes the BenchSession destructor write a Chrome trace-event JSON file.
+/// makes the BenchSession destructor write a Chrome trace-event JSON file;
+/// --metrics-out=<path> makes it write a JSON metrics-registry snapshot.
 inline void ParseBenchFlags(int* argc, char** argv) {
   int out = 1;
   for (int i = 1; i < *argc; ++i) {
@@ -144,6 +148,8 @@ inline void ParseBenchFlags(int* argc, char** argv) {
       g_trace_out = std::string(a.substr(12));
       obs::Tracer::Global().Enable();
       obs::SetTiming(true);
+    } else if (a.rfind("--metrics-out=", 0) == 0) {
+      g_metrics_out = std::string(a.substr(14));
     } else {
       argv[out++] = argv[i];
     }
@@ -246,6 +252,19 @@ class BenchSession {
       } else {
         std::fprintf(stderr, "[bench] trace flush failed: %s\n",
                      st.ToString().c_str());
+      }
+    }
+    if (!g_metrics_out.empty()) {
+      if (std::FILE* f = std::fopen(g_metrics_out.c_str(), "w")) {
+        std::string json = obs::Registry::Global().ExportJson();
+        std::fwrite(json.data(), 1, json.size(), f);
+        std::fputc('\n', f);
+        std::fclose(f);
+        std::printf("[bench] metrics snapshot -> %s\n",
+                    g_metrics_out.c_str());
+      } else {
+        std::fprintf(stderr, "[bench] cannot write %s\n",
+                     g_metrics_out.c_str());
       }
     }
   }

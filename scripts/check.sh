@@ -5,16 +5,21 @@
 #   scripts/check.sh plain    # any subset, in order: plain|asan|tsan|lint
 #
 # 1. plain — full ctest in build/ (every suite: unit, obs, oracle,
-#    analysis, fault, vm), exactly the ROADMAP.md tier-1 command, plus a
-#    ~30-second crash-point sweep (fuzz_whatif --crash-points): simulated
+#    analysis, fault, vm, explain), exactly the ROADMAP.md tier-1 command,
+#    plus a metrics-name lint (every registered metric is uv.<subsystem>.*),
+#    a ~30-second crash-point sweep (fuzz_whatif --crash-points): simulated
 #    crashes at every reachable failpoint with WAL recovery checked
-#    against the pre/post what-if states (DESIGN.md §11), and a short
+#    against the pre/post what-if states (DESIGN.md §11), a short
 #    cross-engine differential leg (fuzz_whatif --exec-diff): fuzzed
 #    histories built + what-if-replayed on the tree walker and the
-#    bytecode VM with final states diffed (DESIGN.md §12).
+#    bytecode VM with final states diffed (DESIGN.md §12), and an
+#    explain-soundness leg (fuzz_whatif --check-explain): every pruned
+#    transaction's stated reason re-validated against a forced-replay
+#    counterfactual (DESIGN.md §13).
 # 2. asan  — AddressSanitizer build running the observability + oracle +
-#    fault + vm labels (the suites that exercise the threaded
-#    replay/staging, WAL recovery, and compiled-execution paths).
+#    fault + vm + explain labels (the suites that exercise the threaded
+#    replay/staging, WAL recovery, compiled-execution, and provenance
+#    paths).
 # 3. tsan  — same labels under ThreadSanitizer.
 # lint (clang-tidy; no-op without the binary) runs with `lint`, or via
 # `ctest -L lint` inside any configured build.
@@ -29,27 +34,46 @@ cd "$ROOT"
 JOBS="${JOBS:-$(nproc)}"
 STEPS="${*:-plain asan tsan}"
 
+run_metrics_lint() {
+  echo "== plain: metrics-name lint (uv.<subsystem>.<name>) =="
+  # Every literal metric registration in shipped code must carry the uv.
+  # prefix. Dynamically concatenated names (no literal after the paren)
+  # and test-local registrations are exempt.
+  if grep -rnE '(counter|gauge|histogram)\("([^u]|u[^v]|uv[^.])' \
+      --include='*.cc' --include='*.h' src tools bench; then
+    echo "metrics-name lint: found registrations without the uv. prefix" >&2
+    return 1
+  fi
+  return 0
+}
+
 run_plain() {
   echo "== plain: full tier-1 suite =="
   cmake -B build -S . -DCMAKE_EXPORT_COMPILE_COMMANDS=ON
   cmake --build build -j "$JOBS"
   ctest --test-dir build --output-on-failure -j "$JOBS"
+  run_metrics_lint
   echo "== plain: crash-point sweep smoke (~30s) =="
   SWEEP_DIR="$(mktemp -d)"
   build/tools/fuzz_whatif --crash-points --seed 1 --histories 0 \
     --fuzz-seconds 30 --out-dir "$SWEEP_DIR"
+  test -f "$SWEEP_DIR/flight_recorder.json" \
+    || { echo "crash sweep left no flight-recorder dump" >&2; exit 1; }
   echo "== plain: cross-engine exec-diff smoke =="
   build/tools/fuzz_whatif --exec-diff --seed 1 --histories 40 \
+    --out-dir "$SWEEP_DIR"
+  echo "== plain: explain-soundness smoke =="
+  build/tools/fuzz_whatif --check-explain --seed 1 --histories 60 \
     --out-dir "$SWEEP_DIR"
   rm -rf "$SWEEP_DIR"
 }
 
 run_sanitized() {  # $1 = address|thread, $2 = build dir
-  echo "== $1 sanitizer: obs + oracle + fault + vm labels =="
+  echo "== $1 sanitizer: obs + oracle + fault + vm + explain labels =="
   cmake -B "$2" -S . -DULTRA_SANITIZE="$1"
   cmake --build "$2" -j "$JOBS"
   ctest --test-dir "$2" --output-on-failure -j "$JOBS" \
-    -L 'obs|oracle|fault|vm'
+    -L 'obs|oracle|fault|vm|explain'
 }
 
 for step in $STEPS; do

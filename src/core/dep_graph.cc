@@ -15,11 +15,23 @@ namespace {
 /// dependencies, transitive because members join the accumulator) and
 /// accumulated reads (Props. 9/10: later writers to a read cell replay so
 /// consulted tables evolve correctly).
+/// Per-granularity exclusion cause, recorded (when requested) at the exact
+/// position of each skip/join decision in the ascending pass below.
+enum class Cause : uint8_t {
+  kMember,
+  kTargetSlot,
+  kReadOnly,
+  kStatic,
+  kNoRule,
+};
+
 template <typename Sets>
 std::set<uint64_t> ClosureOneGranularity(
     const std::vector<QueryRW>& analysis, uint64_t target_index,
     const QueryRW& target_rw, bool target_occupies_slot, Sets sets,
-    const std::vector<TableFootprint>* static_footprints) {
+    const std::vector<TableFootprint>* static_footprints,
+    const std::set<uint64_t>* forced = nullptr,
+    std::vector<Cause>* causes = nullptr) {
   auto acc_w = sets.Writes(target_rw);  // by value: accumulators
   auto acc_r = sets.Reads(target_rw);
   // Accumulated *dynamic* table footprint of target + joined members. A
@@ -34,6 +46,12 @@ std::set<uint64_t> ClosureOneGranularity(
   if (target_rw.overwrites) acc_ow = sets.Writes(target_rw);
 
   std::set<uint64_t> members;
+  if (causes) {
+    causes->assign(analysis.size() + 1 - target_index, Cause::kNoRule);
+  }
+  auto record = [&](uint64_t idx, Cause c) {
+    if (causes) (*causes)[idx - target_index] = c;
+  };
   for (uint64_t idx = target_index; idx <= analysis.size(); ++idx) {
     // For remove/change the target *is* log[target_index]; it is seeded
     // into the accumulators above and must not re-join as a member. For
@@ -43,11 +61,30 @@ std::set<uint64_t> ClosureOneGranularity(
     // retroactively added statement never saw the original commit at its
     // own insertion index replay — the differential oracle caught the
     // resulting divergences; see DESIGN.md §9.)
-    if (target_occupies_slot && idx == target_index) continue;
+    if (target_occupies_slot && idx == target_index) {
+      record(idx, Cause::kTargetSlot);
+      continue;
+    }
     const QueryRW& rw = analysis[idx - 1];
-    if (sets.WriteEmpty(rw)) continue;  // read-only queries never replay
+    if (forced && forced->count(idx)) {
+      // Seeded member (counterfactual forced replay): joins without a
+      // rule firing, and its sets feed the accumulators so every later
+      // writer of its cells joins through the ordinary rules below.
+      record(idx, Cause::kMember);
+      members.insert(idx);
+      sets.MergeInto(&acc_w, sets.Writes(rw));
+      sets.MergeInto(&acc_r, sets.Reads(rw));
+      if (rw.overwrites) sets.MergeInto(&acc_ow, sets.Writes(rw));
+      if (static_footprints) acc_fp.Merge(FootprintOf(rw));
+      continue;
+    }
+    if (sets.WriteEmpty(rw)) {
+      record(idx, Cause::kReadOnly);
+      continue;  // read-only queries never replay
+    }
     if (static_footprints && idx - 1 < static_footprints->size() &&
         !(*static_footprints)[idx - 1].Intersects(acc_fp)) {
+      record(idx, Cause::kStatic);
       continue;  // statically disjoint: no rule can fire
     }
     bool rule1 = sets.Intersect(sets.Reads(rw), acc_w);
@@ -71,6 +108,7 @@ std::set<uint64_t> ClosureOneGranularity(
     bool write_write =
         sets.Intersect(sets.Writes(rw), rw.overwrites ? acc_w : acc_ow);
     if (rule1 || read_then_write || write_write) {
+      record(idx, Cause::kMember);
       members.insert(idx);
       sets.MergeInto(&acc_w, sets.Writes(rw));
       sets.MergeInto(&acc_r, sets.Reads(rw));
@@ -108,29 +146,39 @@ ReplayPlan ComputeReplayPlan(const std::vector<QueryRW>& analysis,
                              bool target_occupies_slot,
                              const DependencyOptions& options) {
   static obs::Histogram* const plan_us =
-      obs::Registry::Global().histogram("depgraph.plan_us");
+      obs::Registry::Global().histogram("uv.depgraph.plan_us");
   obs::ScopedLatency latency(plan_us);
   obs::TraceSpan span("depgraph.plan",
                       {{"history", analysis.size()}, {"target", target_index}});
   ReplayPlan plan;
 
   std::set<uint64_t> members;
+  const size_t suffix = analysis.size() + 1 >= target_index
+                            ? analysis.size() + 1 - target_index
+                            : 0;
+  std::vector<Cause> col_causes, row_causes;
+  std::vector<Cause>* col_rec =
+      options.record_exclusions ? &col_causes : nullptr;
+  std::vector<Cause>* row_rec =
+      options.record_exclusions ? &row_causes : nullptr;
   if (options.column_wise && options.row_wise) {
     // Theorem 20: 𝕀 = 𝕀_c ∩ 𝕀_r.
     std::set<uint64_t> col = ClosureOneGranularity(
         analysis, target_index, target_rw, target_occupies_slot,
-        ColumnGranularity{}, options.static_footprints);
+        ColumnGranularity{}, options.static_footprints,
+        options.forced_members, col_rec);
     std::set<uint64_t> row = ClosureOneGranularity(
         analysis, target_index, target_rw, target_occupies_slot,
-        RowGranularity{}, options.static_footprints);
+        RowGranularity{}, options.static_footprints, options.forced_members,
+        row_rec);
     for (uint64_t idx : col) {
       if (row.count(idx)) members.insert(idx);
     }
   } else if (options.column_wise) {
-    members =
-        ClosureOneGranularity(analysis, target_index, target_rw,
-                              target_occupies_slot, ColumnGranularity{},
-                              options.static_footprints);
+    members = ClosureOneGranularity(
+        analysis, target_index, target_rw, target_occupies_slot,
+        ColumnGranularity{}, options.static_footprints,
+        options.forced_members, col_rec);
   } else {
     // No dependency analysis: replay the whole suffix (baseline behaviour).
     // Same slot-occupancy rule as above: for add, log[target_index] is part
@@ -143,6 +191,46 @@ ReplayPlan ComputeReplayPlan(const std::vector<QueryRW>& analysis,
 
   plan.replay_indices.assign(members.begin(), members.end());
 
+  if (options.record_exclusions) {
+    // Merge the per-granularity causes into one verdict per suffix
+    // position. Column causes dominate; a column member the row closure
+    // rejected is the Theorem-20 intersection pruning it.
+    plan.exclusions_base = target_index;
+    plan.exclusions.assign(suffix, PlanExclusion::kMember);
+    plan.cluster_ids.assign(suffix, -1);
+    int32_t next_cluster = 0;
+    for (size_t j = 0; j < suffix; ++j) {
+      uint64_t idx = target_index + j;
+      if (col_causes.empty()) {
+        // Baseline full-suffix plan: everything but the target slot replays.
+        plan.exclusions[j] = members.count(idx) ? PlanExclusion::kMember
+                                                : PlanExclusion::kTargetSlot;
+        if (members.count(idx)) plan.cluster_ids[j] = next_cluster++;
+        continue;
+      }
+      switch (col_causes[j]) {
+        case Cause::kTargetSlot:
+          plan.exclusions[j] = PlanExclusion::kTargetSlot;
+          break;
+        case Cause::kReadOnly:
+          plan.exclusions[j] = PlanExclusion::kReadOnly;
+          break;
+        case Cause::kStatic:
+          plan.exclusions[j] = PlanExclusion::kStaticDisjoint;
+          break;
+        case Cause::kNoRule:
+          plan.exclusions[j] = PlanExclusion::kColumnDisjoint;
+          break;
+        case Cause::kMember:
+          plan.cluster_ids[j] = next_cluster++;
+          plan.exclusions[j] = members.count(idx)
+                                   ? PlanExclusion::kMember
+                                   : PlanExclusion::kClusterExcluded;
+          break;
+      }
+    }
+  }
+
   // §4.4 table classification over the replayed queries + the target.
   auto classify = [&](const QueryRW& rw) {
     plan.mutated_tables.insert(rw.write_tables.begin(), rw.write_tables.end());
@@ -153,7 +241,7 @@ ReplayPlan ComputeReplayPlan(const std::vector<QueryRW>& analysis,
   for (uint64_t idx : plan.replay_indices) classify(analysis[idx - 1]);
   for (const auto& t : plan.mutated_tables) plan.consulted_tables.erase(t);
   static obs::Counter* const plan_members =
-      obs::Registry::Global().counter("depgraph.plan.members");
+      obs::Registry::Global().counter("uv.depgraph.plan.members");
   plan_members->Add(plan.replay_indices.size());
   return plan;
 }
@@ -262,7 +350,7 @@ std::vector<std::vector<uint32_t>> BuildConflictDag(
     deps[i].assign(my_deps.begin(), my_deps.end());
   }
   static obs::Counter* const conflict_edges =
-      obs::Registry::Global().counter("depgraph.conflict.edges");
+      obs::Registry::Global().counter("uv.depgraph.conflict.edges");
   size_t edges = 0;
   for (const auto& d : deps) edges += d.size();
   conflict_edges->Add(edges);

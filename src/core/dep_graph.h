@@ -24,6 +24,32 @@ struct DependencyOptions {
   /// satisfy any closure rule, so its ColumnSet/RowSet intersections are
   /// skipped outright. nullptr disables the pre-filter.
   const std::vector<TableFootprint>* static_footprints = nullptr;
+
+  /// Record per-suffix-position exclusion provenance into
+  /// ReplayPlan::exclusions (ExplainLevel::kFull). Off by default: the
+  /// vector costs one byte per suffix transaction.
+  bool record_exclusions = false;
+
+  /// Suffix log indices seeded into the closure as unconditional members
+  /// (the `--check-explain` counterfactual knob). Seeding — rather than a
+  /// post-hoc merge into the plan — keeps the closure invariant intact:
+  /// later writers of a forced member's cells join through the ordinary
+  /// rules, so the query-selective rollback stays sound. nullptr = none.
+  const std::set<uint64_t>* forced_members = nullptr;
+};
+
+/// Why a suffix position did or did not join the replay plan. Sound by
+/// construction: causes are recorded at the exact skip/join sites of the
+/// single monotone ascending closure pass, then merged across granularities
+/// (column verdicts dominate; a column member rejected by the row closure is
+/// the Theorem-20 intersection at work → kClusterExcluded).
+enum class PlanExclusion : uint8_t {
+  kMember,           // in the replay set
+  kTargetSlot,       // the occupied retro-target slot itself
+  kReadOnly,         // empty write set: can never join any closure
+  kStaticDisjoint,   // static table footprint disjoint from accumulators
+  kColumnDisjoint,   // no column-granularity dependency rule fired
+  kClusterExcluded,  // column member, excluded by the row-closure intersect
 };
 
 /// The pruned rollback & replay plan for one retroactive operation.
@@ -41,6 +67,17 @@ struct ReplayPlan {
   /// rebuild the temporary database from a checkpoint instead of undoing
   /// table journals.
   bool needs_schema_rebuild = false;
+
+  /// When DependencyOptions::record_exclusions is set: exclusions[j]
+  /// explains log index exclusions_base + j, for the whole suffix
+  /// [target_index, history]. Empty otherwise.
+  std::vector<PlanExclusion> exclusions;
+  uint64_t exclusions_base = 0;
+
+  /// Parallel to exclusions when recorded: the ordinal of the position in
+  /// the *column* closure (its cluster id), or -1 when it never joined the
+  /// column-granularity replay set.
+  std::vector<int32_t> cluster_ids;
 };
 
 /// Computes the replay set 𝕀 of Appendix E: the closure of queries

@@ -11,6 +11,8 @@
 #include <thread>
 
 #include "fault/failpoint.h"
+#include "obs/explain.h"
+#include "obs/flight_recorder.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
 #include "sqldb/wal/wal.h"
@@ -168,6 +170,121 @@ Status RetroactiveEngine::ExecuteSlot(sql::Database* db, const Slot& slot,
   return st;
 }
 
+namespace {
+
+/// Cumulative layer counters sampled at Execute() start and end: the deltas
+/// are what this one analysis did. Execute() runs one what-if at a time per
+/// process (the facade serializes), so deltas attribute cleanly.
+struct LayerCounters {
+  static constexpr size_t kN = 9;
+  obs::Counter* c[kN];
+
+  static const LayerCounters& Get() {
+    static LayerCounters lc = [] {
+      auto& reg = obs::Registry::Global();
+      return LayerCounters{{reg.counter("uv.staging.tables_staged"),
+                            reg.counter("uv.staging.fault_in"),
+                            reg.counter("uv.vm.plan_cache.hit"),
+                            reg.counter("uv.vm.plan_cache.miss"),
+                            reg.counter("uv.vm.access.index_path"),
+                            reg.counter("uv.vm.access.scan_path"),
+                            reg.counter("uv.vm.access.advisory_built"),
+                            reg.counter("uv.retry.attempts"),
+                            reg.counter("uv.fault.injected")}};
+    }();
+    return lc;
+  }
+
+  std::array<uint64_t, kN> Sample() const {
+    std::array<uint64_t, kN> out;
+    for (size_t i = 0; i < kN; ++i) out[i] = c[i]->Value();
+    return out;
+  }
+};
+
+void ApplyLayerDeltas(const std::array<uint64_t, LayerCounters::kN>& base,
+                      obs::WhatIfReport* report) {
+  auto now = LayerCounters::Get().Sample();
+  report->tables_staged = now[0] - base[0];
+  report->pages_faulted = now[1] - base[1];
+  report->plan_cache_hits = now[2] - base[2];
+  report->plan_cache_misses = now[3] - base[3];
+  report->vm_index_path = now[4] - base[4];
+  report->vm_scan_path = now[5] - base[5];
+  report->vm_advisory_built = now[6] - base[6];
+  report->retries = now[7] - base[7];
+  report->faults_injected = now[8] - base[8];
+}
+
+obs::TxnVerdict VerdictFor(PlanExclusion e) {
+  switch (e) {
+    case PlanExclusion::kMember:
+      return obs::TxnVerdict::kReplayed;
+    case PlanExclusion::kTargetSlot:
+      return obs::TxnVerdict::kRetroTarget;
+    case PlanExclusion::kReadOnly:
+      return obs::TxnVerdict::kPrunedReadOnly;
+    case PlanExclusion::kStaticDisjoint:
+      return obs::TxnVerdict::kPrunedStaticFootprint;
+    case PlanExclusion::kColumnDisjoint:
+      return obs::TxnVerdict::kPrunedColumnDisjoint;
+    case PlanExclusion::kClusterExcluded:
+      return obs::TxnVerdict::kClusterExcluded;
+  }
+  return obs::TxnVerdict::kReplayed;
+}
+
+const char* EvidenceFor(PlanExclusion e) {
+  switch (e) {
+    case PlanExclusion::kMember:
+      return "dependency closure member";
+    case PlanExclusion::kTargetSlot:
+      return "retroactive target slot";
+    case PlanExclusion::kReadOnly:
+      return "empty write set";
+    case PlanExclusion::kStaticDisjoint:
+      return "static table footprint disjoint from accumulated members";
+    case PlanExclusion::kColumnDisjoint:
+      return "no column-granularity dependency rule fired";
+    case PlanExclusion::kClusterExcluded:
+      return "column cluster member excluded by row-closure intersection";
+  }
+  return "";
+}
+
+/// Per-verdict counters, labeled Prometheus-style; the exporter escapes the
+/// label values (metrics.cc).
+void TallyVerdictMetrics(const obs::WhatIfReport& report) {
+  static const std::array<obs::Counter*, obs::kNumTxnVerdicts> counters = [] {
+    std::array<obs::Counter*, obs::kNumTxnVerdicts> c{};
+    for (int i = 0; i < obs::kNumTxnVerdicts; ++i) {
+      c[size_t(i)] = obs::Registry::Global().counter(
+          std::string("uv.explain.verdict{reason=\"") +
+          obs::TxnVerdictName(obs::TxnVerdict(i)) + "\"}");
+    }
+    return c;
+  }();
+  for (int i = 0; i < obs::kNumTxnVerdicts; ++i) {
+    if (report.verdict_counts[size_t(i)]) {
+      counters[size_t(i)]->Add(report.verdict_counts[size_t(i)]);
+    }
+  }
+}
+
+const char* RetroOpName(RetroOp::Kind kind) {
+  switch (kind) {
+    case RetroOp::Kind::kAdd:
+      return "add";
+    case RetroOp::Kind::kRemove:
+      return "remove";
+    case RetroOp::Kind::kChange:
+      return "change";
+  }
+  return "?";
+}
+
+}  // namespace
+
 Result<ReplayStats> RetroactiveEngine::ExecuteFullNaive(const RetroOp& op,
                                                         uint64_t horizon) {
   ReplayStats stats;
@@ -178,6 +295,40 @@ Result<ReplayStats> RetroactiveEngine::ExecuteFullNaive(const RetroOp& op,
   Stopwatch total_watch;
   obs::TraceSpan op_span("replay.full_naive",
                          {{"index", op.index}, {"history", horizon}});
+  static obs::Counter* const naive_runs =
+      obs::Registry::Global().counter("uv.oracle.naive.runs");
+  static obs::Counter* const naive_prefix_entries =
+      obs::Registry::Global().counter("uv.oracle.naive.prefix_entries");
+  static obs::Counter* const naive_suffix_entries =
+      obs::Registry::Global().counter("uv.oracle.naive.suffix_entries");
+  static obs::Histogram* const naive_total_us =
+      obs::Registry::Global().histogram("uv.oracle.naive.total_us");
+  naive_runs->Inc();
+
+  const bool explain_on = options_.explain != obs::ExplainLevel::kOff;
+  obs::WhatIfReport& report = stats.report;
+  uint64_t flight_token = 0;
+  std::array<uint64_t, LayerCounters::kN> layer_base{};
+  uint64_t phase_cpu = 0;
+  if (explain_on) {
+    report.op = RetroOpName(op.kind);
+    report.target_index = op.index;
+    report.mode = "full-naive";
+    report.level = obs::ExplainLevel::kSummary;  // no per-txn vector here
+    report.suffix_size = stats.suffix_size;
+    layer_base = LayerCounters::Get().Sample();
+    phase_cpu = obs::NowCpuMicros();
+    flight_token = obs::FlightRecorder::Global().Begin(report);
+  }
+  auto end_phase = [&](const char* name, uint64_t wall_us) {
+    if (!explain_on) return;
+    uint64_t cpu = obs::NowCpuMicros();
+    report.phases.push_back(obs::PhaseBreakdown{name, wall_us,
+                                                cpu - phase_cpu});
+    phase_cpu = cpu;
+    obs::FlightRecorder::Global().Update(flight_token, report,
+                                         /*completed=*/false);
+  };
 
   temp_db_ = std::make_unique<sql::Database>();
   temp_db_->set_exec_engine(db_->exec_engine());
@@ -185,11 +336,16 @@ Result<ReplayStats> RetroactiveEngine::ExecuteFullNaive(const RetroOp& op,
 
   // Settled prefix: recorded nondeterminism, no §6 rules.
   Stopwatch rollback_watch;
-  for (uint64_t idx = 1; idx < op.index; ++idx) {
-    UV_RETURN_NOT_OK(ExecuteSlot(temp_db_.get(), Slot{false, idx}, op, idx,
-                                 /*apply_rules=*/false));
+  {
+    obs::TraceSpan prefix_span("naive.prefix", {{"entries", op.index - 1}});
+    for (uint64_t idx = 1; idx < op.index; ++idx) {
+      UV_RETURN_NOT_OK(ExecuteSlot(temp_db_.get(), Slot{false, idx}, op, idx,
+                                   /*apply_rules=*/false));
+    }
   }
+  naive_prefix_entries->Add(op.index - 1);
   stats.rollback_seconds = rollback_watch.ElapsedSeconds();
+  end_phase("stage", rollback_watch.ElapsedMicros());
 
   // High-watermark AUTO_INCREMENT policy + logical-clock alignment: the
   // selective path stages a CoW clone of the *live* database, so its
@@ -204,18 +360,24 @@ Result<ReplayStats> RetroactiveEngine::ExecuteFullNaive(const RetroOp& op,
   Stopwatch replay_watch;
   const bool replay_target = op.kind != RetroOp::Kind::kRemove;
   uint64_t commit = op.index;
-  if (replay_target) {
-    UV_RETURN_NOT_OK(
-        ExecuteSlot(temp_db_.get(), Slot{true, op.index}, op, commit++));
-    ++executed;
+  {
+    obs::TraceSpan suffix_span("naive.suffix",
+                               {{"entries", stats.suffix_size}});
+    if (replay_target) {
+      UV_RETURN_NOT_OK(
+          ExecuteSlot(temp_db_.get(), Slot{true, op.index}, op, commit++));
+      ++executed;
+    }
+    for (uint64_t idx = op.index; idx <= horizon; ++idx) {
+      if (idx == op.index && op.kind != RetroOp::Kind::kAdd) continue;
+      UV_RETURN_NOT_OK(
+          ExecuteSlot(temp_db_.get(), Slot{false, idx}, op, commit++));
+      ++executed;
+    }
   }
-  for (uint64_t idx = op.index; idx <= horizon; ++idx) {
-    if (idx == op.index && op.kind != RetroOp::Kind::kAdd) continue;
-    UV_RETURN_NOT_OK(
-        ExecuteSlot(temp_db_.get(), Slot{false, idx}, op, commit++));
-    ++executed;
-  }
+  naive_suffix_entries->Add(executed);
   stats.replay_seconds = replay_watch.ElapsedSeconds();
+  end_phase("replay", replay_watch.ElapsedMicros());
   stats.replayed = executed;
   stats.planned_replay = executed;
   stats.suppressed = suppressed_.load(std::memory_order_relaxed);
@@ -230,21 +392,45 @@ Result<ReplayStats> RetroactiveEngine::ExecuteFullNaive(const RetroOp& op,
   // Adopt everything: tables present on either side (a table the rewritten
   // history never creates must disappear from the live database) plus the
   // object catalog.
+  Stopwatch publish_watch;
   std::set<std::string> names;
-  for (auto& n : db_->TableNames()) names.insert(n);
-  for (auto& n : temp_db_->TableNames()) names.insert(n);
-  std::vector<std::string> all(names.begin(), names.end());
-  stats.mutated_tables = all.size();
-  if (options_.db_mutex) {
-    std::lock_guard<std::mutex> g(*options_.db_mutex);
-    UV_RETURN_NOT_OK(db_->AdoptTables(*temp_db_, all));
-    db_->AdoptCatalog(*temp_db_);
-  } else {
-    UV_RETURN_NOT_OK(db_->AdoptTables(*temp_db_, all));
-    db_->AdoptCatalog(*temp_db_);
+  {
+    obs::TraceSpan adopt_span("naive.adopt");
+    for (auto& n : db_->TableNames()) names.insert(n);
+    for (auto& n : temp_db_->TableNames()) names.insert(n);
+    std::vector<std::string> all(names.begin(), names.end());
+    stats.mutated_tables = all.size();
+    if (options_.db_mutex) {
+      std::lock_guard<std::mutex> g(*options_.db_mutex);
+      UV_RETURN_NOT_OK(db_->AdoptTables(*temp_db_, all));
+      db_->AdoptCatalog(*temp_db_);
+    } else {
+      UV_RETURN_NOT_OK(db_->AdoptTables(*temp_db_, all));
+      db_->AdoptCatalog(*temp_db_);
+    }
   }
   stats.total_seconds = total_watch.ElapsedSeconds();
+  naive_total_us->Record(total_watch.ElapsedMicros());
   stats.obs = obs::Registry::Global().Collect();
+  if (explain_on) {
+    report.replayed = stats.replayed;
+    report.skipped = 0;
+    // Full-naive replays everything: every suffix slot is a kReplayed
+    // verdict except the vacated target slot of a remove/change.
+    report.verdict_counts[size_t(obs::TxnVerdict::kReplayed)] =
+        executed > (replay_target ? 1u : 0u)
+            ? executed - (replay_target ? 1u : 0u)
+            : 0;
+    if (op.kind != RetroOp::Kind::kAdd && stats.suffix_size > 0) {
+      report.Tally(obs::TxnVerdict::kRetroTarget);
+    }
+    end_phase("publish", publish_watch.ElapsedMicros());
+    report.staged_bytes = stats.temp_db_bytes;
+    ApplyLayerDeltas(layer_base, &report);
+    TallyVerdictMetrics(report);
+    obs::FlightRecorder::Global().Update(flight_token, report,
+                                         /*completed=*/true);
+  }
   return stats;
 }
 
@@ -285,6 +471,35 @@ Result<ReplayStats> RetroactiveEngine::Execute(
   stats.suffix_size = horizon >= op.index ? horizon - op.index + 1 : 0;
   stats.workers = options_.parallel ? options_.num_threads : 1;
   Stopwatch total_watch;
+
+  // --- Decision-provenance report (DESIGN.md §13) --------------------------
+  // Assembled alongside the analysis; the flight recorder holds an
+  // in-flight copy from the first phase on, so a crash anywhere below
+  // leaves this very report as the newest ring entry.
+  const bool explain_on = options_.explain != obs::ExplainLevel::kOff;
+  const bool explain_full = options_.explain == obs::ExplainLevel::kFull;
+  obs::WhatIfReport& report = stats.report;
+  uint64_t flight_token = 0;
+  std::array<uint64_t, LayerCounters::kN> layer_base{};
+  uint64_t phase_cpu = 0;
+  if (explain_on) {
+    report.op = RetroOpName(op.kind);
+    report.target_index = op.index;
+    report.level = options_.explain;
+    report.suffix_size = stats.suffix_size;
+    layer_base = LayerCounters::Get().Sample();
+    phase_cpu = obs::NowCpuMicros();
+    flight_token = obs::FlightRecorder::Global().Begin(report);
+  }
+  auto end_phase = [&](const char* name, uint64_t wall_us) {
+    if (!explain_on) return;
+    uint64_t cpu = obs::NowCpuMicros();
+    report.phases.push_back(obs::PhaseBreakdown{name, wall_us,
+                                                cpu - phase_cpu});
+    phase_cpu = cpu;
+    obs::FlightRecorder::Global().Update(flight_token, report,
+                                         /*completed=*/false);
+  };
   obs::TraceSpan op_span(
       "replay.execute",
       {{"op", op.kind == RetroOp::Kind::kAdd      ? "add"
@@ -322,9 +537,25 @@ Result<ReplayStats> RetroactiveEngine::Execute(
       target_rw.overwrites = target_rw.overwrites || old_rw.overwrites;
     }
   }
+  DependencyOptions deps = options_.deps;
+  deps.record_exclusions = explain_on;
+  // Ground-truth gate (--check-explain): seed selected suffix indices into
+  // the closure as unconditional members. Seeding — not merging into the
+  // finished plan — keeps the closure invariant: later writers of a forced
+  // member's cells join through the ordinary rules, so query-selective
+  // rollback of the forced commit cannot orphan a later write it feeds. A
+  // soundly pruned transaction re-run this way reproduces the same final
+  // state.
+  std::set<uint64_t> forced_members;
+  for (uint64_t idx : options_.forced_replay) {
+    if (idx < op.index || idx > horizon) continue;
+    if (idx == op.index && op.kind != RetroOp::Kind::kAdd) continue;
+    forced_members.insert(idx);
+  }
+  if (!forced_members.empty()) deps.forced_members = &forced_members;
   ReplayPlan plan = ComputeReplayPlan(
       analysis, op.index, target_rw,
-      /*target_occupies_slot=*/op.kind != RetroOp::Kind::kAdd, options_.deps);
+      /*target_occupies_slot=*/op.kind != RetroOp::Kind::kAdd, deps);
   // kChange replaces the old query: it must not replay verbatim.
   if (op.kind == RetroOp::Kind::kChange || op.kind == RetroOp::Kind::kRemove) {
     plan.replay_indices.erase(std::remove(plan.replay_indices.begin(),
@@ -356,15 +587,48 @@ Result<ReplayStats> RetroactiveEngine::Execute(
       options_.hash_jumper && !plan.needs_schema_rebuild;
   {
     static obs::Histogram* const h_analysis =
-        obs::Registry::Global().histogram("replay.phase.analysis_us");
+        obs::Registry::Global().histogram("uv.replay.phase.analysis_us");
     static obs::Counter* const planned =
-        obs::Registry::Global().counter("replay.slots.planned");
+        obs::Registry::Global().counter("uv.replay.slots.planned");
     static obs::Counter* const skipped =
-        obs::Registry::Global().counter("replay.slots.skipped");
+        obs::Registry::Global().counter("uv.replay.slots.skipped");
     h_analysis->Record(analysis_watch.ElapsedMicros());
     planned->Add(stats.planned_replay);
     skipped->Add(stats.skipped);
   }
+  if (explain_on) {
+    for (PlanExclusion e : plan.exclusions) report.Tally(VerdictFor(e));
+    if (explain_full) {
+      report.txns.reserve(plan.exclusions.size() + 1);
+      if (replay_target) {
+        obs::TxnExplain te;
+        te.index = op.index;
+        te.is_new = true;
+        te.evidence = "retroactive statement executes at its insertion slot";
+        te.read_tables.assign(target_rw.read_tables.begin(),
+                              target_rw.read_tables.end());
+        te.write_tables.assign(target_rw.write_tables.begin(),
+                               target_rw.write_tables.end());
+        report.txns.push_back(std::move(te));
+      }
+      for (size_t j = 0; j < plan.exclusions.size(); ++j) {
+        uint64_t idx = plan.exclusions_base + j;
+        const QueryRW& rw = analysis[idx - 1];
+        obs::TxnExplain te;
+        te.index = idx;
+        te.verdict = VerdictFor(plan.exclusions[j]);
+        te.evidence = forced_members.count(idx)
+                          ? "forced replay (ground-truth gate)"
+                          : EvidenceFor(plan.exclusions[j]);
+        te.read_tables.assign(rw.read_tables.begin(), rw.read_tables.end());
+        te.write_tables.assign(rw.write_tables.begin(),
+                               rw.write_tables.end());
+        te.cluster_id = plan.cluster_ids[j];
+        report.txns.push_back(std::move(te));
+      }
+    }
+  }
+  end_phase("plan", analysis_watch.ElapsedMicros());
 
   // --- 2. Stage the temporary database ------------------------------------
   phase_span.emplace("replay.rollback");
@@ -417,6 +681,27 @@ Result<ReplayStats> RetroactiveEngine::Execute(
     stats.replayed = plan.replay_indices.size() + (replay_target ? 1 : 0);
     stats.planned_replay = stats.replayed;
     stats.mutated_tables = plan.mutated_tables.size();
+    // Rebuild-widened members replay for staging reasons, not because a
+    // dependency rule fired — the report says so explicitly.
+    if (explain_on && !plan.exclusions.empty()) {
+      for (uint64_t idx : plan.replay_indices) {
+        size_t j = size_t(idx - plan.exclusions_base);
+        if (idx < plan.exclusions_base || j >= plan.exclusions.size()) {
+          continue;
+        }
+        if (plan.exclusions[j] == PlanExclusion::kMember) continue;
+        --report.verdict_counts[size_t(VerdictFor(plan.exclusions[j]))];
+        report.Tally(obs::TxnVerdict::kReplayed);
+        plan.exclusions[j] = PlanExclusion::kMember;
+        if (explain_full) {
+          obs::TxnExplain& te = report.txns[(replay_target ? 1 : 0) + j];
+          te.verdict = obs::TxnVerdict::kReplayed;
+          te.rebuild_widened = true;
+          te.evidence =
+              "schema rebuild widens the plan to the full write-suffix";
+        }
+      }
+    }
   }
   if (plan.needs_schema_rebuild) {
     // Schema changes cannot be undone from table journals: rebuild the
@@ -469,9 +754,10 @@ Result<ReplayStats> RetroactiveEngine::Execute(
   UV_FAILPOINT("replay.stage.post");
   {
     static obs::Histogram* const h_rollback =
-        obs::Registry::Global().histogram("replay.phase.rollback_us");
+        obs::Registry::Global().histogram("uv.replay.phase.rollback_us");
     h_rollback->Record(rollback_watch.ElapsedMicros());
   }
+  end_phase("stage", rollback_watch.ElapsedMicros());
 
   // Hash-jumper timeline: only consulted (and only built) when the
   // Hash-jumper is on; cached across Execute() calls keyed by the log size.
@@ -491,11 +777,11 @@ Result<ReplayStats> RetroactiveEngine::Execute(
   // table's replayed hash equals its original-timeline hash.
   auto hashes_match_at = [&](uint64_t idx) {
     static obs::Counter* const probes =
-        obs::Registry::Global().counter("hashjumper.probes");
+        obs::Registry::Global().counter("uv.hashjumper.probes");
     static obs::Counter* const hits =
-        obs::Registry::Global().counter("hashjumper.hits");
+        obs::Registry::Global().counter("uv.hashjumper.hits");
     static obs::Counter* const misses =
-        obs::Registry::Global().counter("hashjumper.misses");
+        obs::Registry::Global().counter("uv.hashjumper.misses");
     probes->Inc();
     obs::TraceSpan span("hashjumper.probe", {{"index", idx}});
     bool match = [&] {
@@ -537,7 +823,7 @@ Result<ReplayStats> RetroactiveEngine::Execute(
   // table at `idx` from a cloned journal and compare row multisets.
   auto literal_hit_check = [&](uint64_t idx) {
     static obs::Counter* const verifies =
-        obs::Registry::Global().counter("hashjumper.literal_verifies");
+        obs::Registry::Global().counter("uv.hashjumper.literal_verifies");
     verifies->Inc();
     obs::TraceSpan span("hashjumper.literal_verify", {{"index", idx}});
     for (const auto& t : plan.mutated_tables) {
@@ -623,13 +909,13 @@ Result<ReplayStats> RetroactiveEngine::Execute(
 
     // Ready queue: lock-free MPMC ring dequeued by the worker pool.
     static obs::Gauge* const queue_depth =
-        obs::Registry::Global().gauge("replay.ready_queue.depth");
+        obs::Registry::Global().gauge("uv.replay.ready_queue.depth");
     static obs::Counter* const backoff_count =
-        obs::Registry::Global().counter("replay.worker.backoffs");
+        obs::Registry::Global().counter("uv.replay.worker.backoffs");
     static obs::Histogram* const busy_us =
-        obs::Registry::Global().histogram("replay.worker.busy_us");
+        obs::Registry::Global().histogram("uv.replay.worker.busy_us");
     static obs::Histogram* const idle_hist_us =
-        obs::Registry::Global().histogram("replay.worker.idle_us");
+        obs::Registry::Global().histogram("uv.replay.worker.idle_us");
     MpmcQueue<uint32_t> ready(slots.size() + 16);
     std::atomic<size_t> completed{0};
     std::atomic<bool> stop{false};
@@ -805,8 +1091,18 @@ Result<ReplayStats> RetroactiveEngine::Execute(
   stats.replay_seconds = replay_watch.ElapsedSeconds();
   {
     static obs::Histogram* const h_replay =
-        obs::Registry::Global().histogram("replay.phase.replay_us");
+        obs::Registry::Global().histogram("uv.replay.phase.replay_us");
     h_replay->Record(replay_watch.ElapsedMicros());
+  }
+  end_phase("replay", replay_watch.ElapsedMicros());
+  if (!replay_status.ok() && explain_on &&
+      ClassifyReplayError(replay_status) == ReplayErrorClass::kFatal) {
+    // Fatal replay error: leave a post-mortem artifact before unwinding.
+    ApplyLayerDeltas(layer_base, &report);
+    obs::FlightRecorder::Global().Update(flight_token, report,
+                                         /*completed=*/false);
+    obs::FlightRecorder::Global().NoteCrash("fatal replay error: " +
+                                            replay_status.ToString());
   }
   UV_RETURN_NOT_OK(replay_status);
   // Charge round trips for what actually ran: the Hash-jumper cuts the
@@ -822,9 +1118,9 @@ Result<ReplayStats> RetroactiveEngine::Execute(
   stats.suppressed = suppressed_.load(std::memory_order_relaxed);
   {
     static obs::Counter* const c_executed =
-        obs::Registry::Global().counter("replay.slots.executed");
+        obs::Registry::Global().counter("uv.replay.slots.executed");
     static obs::Counter* const c_suppressed =
-        obs::Registry::Global().counter("replay.suppressed");
+        obs::Registry::Global().counter("uv.replay.suppressed");
     c_executed->Add(executed);
     c_suppressed->Add(stats.suppressed);
   }
@@ -843,6 +1139,7 @@ Result<ReplayStats> RetroactiveEngine::Execute(
   // anywhere after it recovers to the fully rewritten one; no crash point
   // lands between.
   phase_span.emplace("replay.adopt");
+  Stopwatch publish_watch;
   UV_RETURN_NOT_OK(CheckCancel(options_.cancel, "replay.publish"));
   UV_RETURN_NOT_OK(PublishCommitMarker(op));
   if (hash_jumped) {
@@ -881,10 +1178,56 @@ Result<ReplayStats> RetroactiveEngine::Execute(
   stats.total_seconds = total_watch.ElapsedSeconds();
   {
     static obs::Histogram* const h_total =
-        obs::Registry::Global().histogram("replay.phase.total_us");
+        obs::Registry::Global().histogram("uv.replay.phase.total_us");
     h_total->Record(total_watch.ElapsedMicros());
   }
   stats.obs = obs::Registry::Global().Collect();
+  if (explain_on) {
+    report.replayed = stats.replayed;
+    report.skipped = stats.skipped;
+    report.hash_jump = hash_jumped;
+    report.hash_jump_index = jump_index;
+    if (hash_jumped) {
+      // Plan members past the convergence point never executed; the digest
+      // that justified the jump is the evidence.
+      std::string digest_hex;
+      if (timeline != nullptr) {
+        for (const auto& t : plan.mutated_tables) {
+          if (const Digest256* d = timeline->HashAt(t, jump_index)) {
+            digest_hex = d->ToHex().substr(0, 16);
+            break;
+          }
+        }
+      }
+      size_t jump_skipped = 0;
+      for (size_t j = 0; j < plan.exclusions.size(); ++j) {
+        uint64_t idx = plan.exclusions_base + j;
+        if (plan.exclusions[j] != PlanExclusion::kMember ||
+            idx <= jump_index) {
+          continue;
+        }
+        ++jump_skipped;
+        if (explain_full) {
+          obs::TxnExplain& te = report.txns[(replay_target ? 1 : 0) + j];
+          te.verdict = obs::TxnVerdict::kHashJumpSkip;
+          te.evidence =
+              "unexecuted after hash-jump: mutated-table digests matched "
+              "the original timeline";
+          te.digest = digest_hex;
+        }
+      }
+      report.verdict_counts[size_t(obs::TxnVerdict::kReplayed)] -=
+          jump_skipped;
+      report.verdict_counts[size_t(obs::TxnVerdict::kHashJumpSkip)] +=
+          jump_skipped;
+    }
+    end_phase("publish", publish_watch.ElapsedMicros());
+    report.staged_bytes = stats.temp_db_bytes;
+    ApplyLayerDeltas(layer_base, &report);
+    TallyVerdictMetrics(report);
+    obs::FlightRecorder::Global().Update(flight_token, report,
+                                         /*completed=*/true);
+  }
   return stats;
 }
 

@@ -10,6 +10,7 @@
 
 #include "core/dep_graph.h"
 #include "core/rw_sets.h"
+#include "obs/explain.h"
 #include "obs/metrics.h"
 #include "sqldb/database.h"
 #include "sqldb/query_log.h"
@@ -118,6 +119,11 @@ struct ReplayStats {
   /// (replay.phase.*_us), staging/fault-in counters, worker busy/idle times
   /// and Hash-jumper probe outcomes — see DESIGN.md "Observability".
   obs::Snapshot obs;
+
+  /// Decision-provenance report (DESIGN.md §13): phase wall/CPU breakdown,
+  /// staging/VM/lifecycle activity, verdict totals — and, at
+  /// Options::explain == kFull, one TxnExplain per suffix transaction.
+  obs::WhatIfReport report;
 };
 
 /// Executes the rollback & replay protocol of §4.4 against a Database +
@@ -169,6 +175,17 @@ class RetroactiveEngine {
     /// Bounded retry for kRetryable slot failures (transient injected
     /// faults). Default: no retries.
     RetryPolicy retry;
+    /// How much decision provenance Execute() assembles into
+    /// ReplayStats::report. kSummary (default) records phase timings,
+    /// verdict totals and layer counters; kFull adds one TxnExplain per
+    /// suffix transaction; kOff records nothing (bench ablation).
+    obs::ExplainLevel explain = obs::ExplainLevel::kSummary;
+    /// Log indices forced into the replay plan regardless of the
+    /// dependency analysis (their tables are staged and rolled back like
+    /// ordinary members). Ground-truth knob for `fuzz_whatif
+    /// --check-explain`: re-running a soundly pruned transaction must
+    /// reproduce the very same final state.
+    std::vector<uint64_t> forced_replay;
     /// Recovery path: the retroactive statement replays this recorded
     /// nondeterminism instead of generating fresh values, reproducing the
     /// exact universe the original what-if committed (sqldb/wal marker).

@@ -1103,9 +1103,9 @@ Result<std::vector<QueryRW>> QueryAnalyzer::AnalyzeLog(
 
 Result<QueryRW> QueryAnalyzer::AnalyzeEntry(const sql::LogEntry& entry) {
   static obs::Counter* const entries =
-      obs::Registry::Global().counter("analysis.entries");
+      obs::Registry::Global().counter("uv.analysis.entries");
   static obs::Histogram* const latency =
-      obs::Registry::Global().histogram("analysis.entry_latency_us");
+      obs::Registry::Global().histogram("uv.analysis.entry_latency_us");
   entries->Inc();
   obs::ScopedLatency timer(latency);
   QueryRW rw;

@@ -24,9 +24,9 @@ Result<TxnScheduler::Stats> TxnScheduler::ExecuteBatch(
   if (batch.empty()) return stats;
   UV_RETURN_NOT_OK(CheckCancel(options_.cancel, "scheduler.batch"));
   static obs::Counter* const batches =
-      obs::Registry::Global().counter("scheduler.batches");
+      obs::Registry::Global().counter("uv.scheduler.batches");
   static obs::Counter* const txns =
-      obs::Registry::Global().counter("scheduler.txns");
+      obs::Registry::Global().counter("uv.scheduler.txns");
   batches->Inc();
   txns->Add(batch.size());
   obs::TraceSpan batch_span("scheduler.batch", {{"txns", batch.size()}});
@@ -186,9 +186,9 @@ Result<TxnScheduler::Stats> TxnScheduler::ExecuteBatch(
   stats.execute_seconds = exec_watch.ElapsedSeconds();
   {
     static obs::Histogram* const h_analysis =
-        obs::Registry::Global().histogram("scheduler.phase.analysis_us");
+        obs::Registry::Global().histogram("uv.scheduler.phase.analysis_us");
     static obs::Histogram* const h_execute =
-        obs::Registry::Global().histogram("scheduler.phase.execute_us");
+        obs::Registry::Global().histogram("uv.scheduler.phase.execute_us");
     h_analysis->Record(analysis_watch.ElapsedMicros());
     h_execute->Record(exec_watch.ElapsedMicros());
   }

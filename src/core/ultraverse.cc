@@ -256,7 +256,7 @@ Status Ultraverse::LoadApplication(const std::string& source,
                                    sym::DseEngine::Options dse_options) {
   obs::TraceSpan span("app.load");
   static obs::Histogram* const load_us =
-      obs::Registry::Global().histogram("app.load_us");
+      obs::Registry::Global().histogram("uv.app.load_us");
   obs::ScopedLatency latency(load_us);
   Stopwatch watch;
   UV_ASSIGN_OR_RETURN(app::AppProgram program, app::AppParser::Parse(source));
@@ -533,7 +533,7 @@ Result<RetroOp> Ultraverse::MakeOp(RetroOp::Kind kind, uint64_t index,
 Result<ReplayStats> Ultraverse::WhatIf(const RetroOp& op, SystemMode mode,
                                        std::vector<ReplayRule> rules) {
   static obs::Counter* const whatifs =
-      obs::Registry::Global().counter("whatif.ops");
+      obs::Registry::Global().counter("uv.whatif.ops");
   whatifs->Inc();
   obs::TraceSpan span("whatif", {{"index", op.index}});
   Stopwatch analysis_watch;
@@ -557,6 +557,8 @@ Result<ReplayStats> Ultraverse::WhatIf(const RetroOp& op, SystemMode mode,
   eopts.wal = wal_.get();  // two-phase publish when durability is on
   eopts.cancel = options_.whatif_cancel;
   eopts.retry = options_.whatif_retry;
+  eopts.explain = options_.explain;
+  eopts.forced_replay = options_.forced_replay;
 
   bool use_app_code = mode == SystemMode::kB || mode == SystemMode::kD;
   std::atomic<uint64_t> rtt_counter{0};
@@ -577,6 +579,15 @@ Result<ReplayStats> Ultraverse::WhatIf(const RetroOp& op, SystemMode mode,
                                                         &analyzer_));
   stats.analysis_seconds += ensure_seconds;
   stats.total_seconds += ensure_seconds;
+  if (options_.explain != obs::ExplainLevel::kOff) {
+    // The engine reported its own phases; prepend the facade's analysis
+    // step (R/W analysis of any not-yet-analyzed log suffix) and stamp the
+    // system mode.
+    stats.report.mode = SystemModeName(mode);
+    stats.report.phases.insert(
+        stats.report.phases.begin(),
+        obs::PhaseBreakdown{"analyze", uint64_t(ensure_seconds * 1e6), 0});
+  }
   uint64_t counted = rtt_counter.load(std::memory_order_relaxed);
   if (eopts.parallel && stats.replayed > 0) {
     // Statement round trips counted across all replayed transactions

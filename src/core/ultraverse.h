@@ -73,6 +73,15 @@ class Ultraverse {
     /// Execution engine for the live database (clones used by replay
     /// inherit it). Unset = the process default (sql::DefaultExecEngine).
     std::optional<sql::ExecEngine> exec_engine;
+
+    /// Decision-provenance level for WhatIf() (DESIGN.md §13): kSummary
+    /// records phase timings + verdict totals into ReplayStats::report;
+    /// kFull adds one TxnExplain per suffix transaction; kOff disables
+    /// report assembly entirely (bench ablation).
+    obs::ExplainLevel explain = obs::ExplainLevel::kSummary;
+    /// Log indices forced into every replay plan (ground-truth knob for
+    /// `fuzz_whatif --check-explain`; see RetroactiveEngine::Options).
+    std::vector<uint64_t> forced_replay;
   };
 
   Ultraverse() : Ultraverse(Options()) {}

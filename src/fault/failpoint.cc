@@ -4,6 +4,7 @@
 #include <cstdlib>
 #include <thread>
 
+#include "obs/flight_recorder.h"
 #include "obs/metrics.h"
 #include "util/string_util.h"
 
@@ -154,6 +155,11 @@ Status FailpointRegistry::EvaluateSlow(Site* site) {
       return Status(config.error_code,
                     std::string("injected fault at ") + site->name());
     case FailAction::kCrash:
+      // Post-mortem artifact: stamp the in-flight what-if report (if any)
+      // and dump the flight-recorder ring before the simulated process
+      // dies (DESIGN.md §13).
+      obs::FlightRecorder::Global().NoteCrash(
+          std::string("failpoint crash at ") + site->name());
       throw CrashException{site->name()};
     case FailAction::kDelay:
       std::this_thread::sleep_for(

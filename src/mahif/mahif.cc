@@ -276,7 +276,7 @@ Result<MahifEngine::Stats> MahifEngine::Run(uint64_t tau,
   }
   Stats stats;
   static obs::Histogram* const run_us =
-      obs::Registry::Global().histogram("mahif.run_us");
+      obs::Registry::Global().histogram("uv.mahif.run_us");
   obs::ScopedLatency latency(run_us);
   obs::TraceSpan span("mahif.run", {{"tau", tau}});
   Stopwatch watch;

@@ -1,0 +1,210 @@
+#include "obs/flight_recorder.h"
+
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+
+#include "util/stopwatch.h"
+
+namespace ultraverse::obs {
+
+namespace {
+
+void AppendQuoted(std::ostringstream* out, const std::string& s) {
+  *out << '"';
+  for (char c : s) {
+    switch (c) {
+      case '"': *out << "\\\""; break;
+      case '\\': *out << "\\\\"; break;
+      case '\n': *out << "\\n"; break;
+      default: *out << c;
+    }
+  }
+  *out << '"';
+}
+
+/// Scan a quoted JSON string starting at s[pos] == '"'; returns the
+/// unescaped value and leaves pos one past the closing quote.
+bool ScanQuoted(const std::string& s, size_t* pos, std::string* out) {
+  if (*pos >= s.size() || s[*pos] != '"') return false;
+  ++*pos;
+  out->clear();
+  while (*pos < s.size()) {
+    char c = s[(*pos)++];
+    if (c == '"') return true;
+    if (c == '\\' && *pos < s.size()) {
+      char e = s[(*pos)++];
+      switch (e) {
+        case 'n': *out += '\n'; break;
+        case 't': *out += '\t'; break;
+        default: *out += e;
+      }
+    } else {
+      *out += c;
+    }
+  }
+  return false;
+}
+
+}  // namespace
+
+FlightRecorder& FlightRecorder::Global() {
+  static FlightRecorder* instance = [] {
+    auto* fr = new FlightRecorder();
+    if (const char* env = std::getenv("ULTRA_FLIGHT_DUMP")) {
+      if (*env) fr->SetDumpPath(env);
+    }
+    return fr;
+  }();
+  return *instance;
+}
+
+uint64_t FlightRecorder::Begin(const WhatIfReport& report) {
+  std::lock_guard<std::mutex> lock(mu_);
+  uint64_t token = next_token_++;
+  ring_.push_back(Entry{token, /*in_flight=*/true, report});
+  while (ring_.size() > capacity_) ring_.pop_front();
+  return token;
+}
+
+void FlightRecorder::Update(uint64_t token, const WhatIfReport& report,
+                            bool completed) {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (auto it = ring_.rbegin(); it != ring_.rend(); ++it) {
+    if (it->token == token) {
+      it->report = report;
+      if (completed) it->in_flight = false;
+      return;
+    }
+  }
+}
+
+void FlightRecorder::NoteCrash(const std::string& reason) {
+  std::string path;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    for (auto it = ring_.rbegin(); it != ring_.rend(); ++it) {
+      if (it->in_flight) {
+        it->report.events.push_back(
+            LifecycleEvent{"fatal", reason, NowMicros()});
+        break;
+      }
+    }
+    path = dump_path_;
+  }
+  if (!path.empty()) DumpTo(path, reason);
+}
+
+bool FlightRecorder::DumpTo(const std::string& path,
+                            const std::string& reason) {
+  std::ostringstream out;
+  out << "{\"reason\":";
+  AppendQuoted(&out, reason);
+  out << ",\"dumped_at_us\":" << NowMicros() << ",\"reports\":[";
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    bool first = true;
+    for (const auto& e : ring_) {
+      if (!first) out << ',';
+      first = false;
+      out << e.report.ToJson();
+    }
+  }
+  out << "]}\n";
+  std::ofstream f(path, std::ios::trunc);
+  if (!f) return false;
+  f << out.str();
+  f.flush();
+  return f.good();
+}
+
+void FlightRecorder::SetDumpPath(std::string path) {
+  std::lock_guard<std::mutex> lock(mu_);
+  dump_path_ = std::move(path);
+}
+
+std::string FlightRecorder::dump_path() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return dump_path_;
+}
+
+void FlightRecorder::SetCapacity(size_t n) {
+  std::lock_guard<std::mutex> lock(mu_);
+  capacity_ = n ? n : 1;
+  while (ring_.size() > capacity_) ring_.pop_front();
+}
+
+size_t FlightRecorder::size() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return ring_.size();
+}
+
+void FlightRecorder::Clear() {
+  std::lock_guard<std::mutex> lock(mu_);
+  ring_.clear();
+}
+
+std::vector<WhatIfReport> FlightRecorder::Reports() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<WhatIfReport> out;
+  out.reserve(ring_.size());
+  for (const auto& e : ring_) out.push_back(e.report);
+  return out;
+}
+
+std::optional<std::vector<WhatIfReport>> FlightRecorder::ReadDump(
+    const std::string& path, std::string* reason) {
+  std::ifstream f(path);
+  if (!f) return std::nullopt;
+  std::ostringstream buf;
+  buf << f.rdbuf();
+  std::string text = buf.str();
+
+  size_t rpos = text.find("\"reason\":");
+  if (rpos == std::string::npos) return std::nullopt;
+  rpos += 9;
+  std::string rsn;
+  if (!ScanQuoted(text, &rpos, &rsn)) return std::nullopt;
+  if (reason) *reason = rsn;
+
+  size_t apos = text.find("\"reports\":[", rpos);
+  if (apos == std::string::npos) return std::nullopt;
+  size_t pos = apos + 11;
+  std::vector<WhatIfReport> reports;
+  // Split the array into balanced-brace report chunks (string-aware), then
+  // hand each chunk to WhatIfReport::FromJson.
+  while (pos < text.size() && text[pos] != ']') {
+    if (text[pos] == ',') {
+      ++pos;
+      continue;
+    }
+    if (text[pos] != '{') return std::nullopt;
+    size_t start = pos;
+    int depth = 0;
+    while (pos < text.size()) {
+      char c = text[pos];
+      if (c == '"') {
+        std::string skip;
+        if (!ScanQuoted(text, &pos, &skip)) return std::nullopt;
+        continue;
+      }
+      if (c == '{') ++depth;
+      if (c == '}') {
+        if (--depth == 0) {
+          ++pos;
+          break;
+        }
+      }
+      ++pos;
+    }
+    if (depth != 0) return std::nullopt;
+    auto report = WhatIfReport::FromJson(text.substr(start, pos - start));
+    if (!report) return std::nullopt;
+    reports.push_back(std::move(*report));
+  }
+  if (pos >= text.size()) return std::nullopt;
+  return reports;
+}
+
+}  // namespace ultraverse::obs

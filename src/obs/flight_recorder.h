@@ -1,0 +1,83 @@
+#ifndef ULTRAVERSE_OBS_FLIGHT_RECORDER_H_
+#define ULTRAVERSE_OBS_FLIGHT_RECORDER_H_
+
+/// Bounded in-memory ring of the last N WhatIfReports, dumped to disk when
+/// the process is about to die (failpoint crash, fatal replay error, or an
+/// explicit caller request). The engine Begin()s a report the moment an
+/// analysis starts and Update()s it as phases complete, so a crash mid-
+/// analysis still leaves the in-flight snapshot as the newest ring entry —
+/// the post-mortem artifact `fuzz_whatif --crash-points` asserts on.
+
+#include <cstdint>
+#include <deque>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "obs/explain.h"
+
+namespace ultraverse::obs {
+
+class FlightRecorder {
+ public:
+  /// Process-wide instance. Reads ULTRA_FLIGHT_DUMP (dump path) once on
+  /// first use.
+  static FlightRecorder& Global();
+
+  /// Record the start of an analysis; the returned token addresses this
+  /// report for later Update()s. The in-flight copy is immediately in the
+  /// ring, marked in_flight until the matching Update().
+  uint64_t Begin(const WhatIfReport& report);
+
+  /// Replace the report for `token` (phases complete, verdicts known).
+  /// `completed` clears the in-flight mark; pass false for intermediate
+  /// progress snapshots. Unknown tokens (already evicted) are a no-op.
+  void Update(uint64_t token, const WhatIfReport& report,
+              bool completed = true);
+
+  /// Crash-path hook (called by the failpoint kCrash action and the fatal
+  /// replay-error path): stamps `reason` on the newest in-flight report and
+  /// dumps the ring to the configured path, if any. Safe to call with no
+  /// in-flight report — the ring still dumps.
+  void NoteCrash(const std::string& reason);
+
+  /// Dump the ring as JSON to `path` regardless of crash state. Returns
+  /// false on I/O failure.
+  bool DumpTo(const std::string& path, const std::string& reason);
+
+  /// Where NoteCrash() dumps; empty disables dumping (the ring still
+  /// records). Overrides ULTRA_FLIGHT_DUMP.
+  void SetDumpPath(std::string path);
+  std::string dump_path() const;
+
+  void SetCapacity(size_t n);
+  size_t size() const;
+  void Clear();
+
+  /// Newest-last copies of the ring (tests and uvexplain introspection).
+  std::vector<WhatIfReport> Reports() const;
+
+  /// Parse a dump file produced by DumpTo/NoteCrash: returns the reports
+  /// (oldest first) and fills `reason` if requested. nullopt on parse or
+  /// read failure.
+  static std::optional<std::vector<WhatIfReport>> ReadDump(
+      const std::string& path, std::string* reason = nullptr);
+
+ private:
+  struct Entry {
+    uint64_t token;
+    bool in_flight;
+    WhatIfReport report;
+  };
+
+  mutable std::mutex mu_;
+  std::deque<Entry> ring_;
+  size_t capacity_ = 16;
+  uint64_t next_token_ = 1;
+  std::string dump_path_;
+};
+
+}  // namespace ultraverse::obs
+
+#endif  // ULTRAVERSE_OBS_FLIGHT_RECORDER_H_

@@ -163,12 +163,89 @@ void Registry::ResetForTest() {
 
 namespace {
 
-std::string PrometheusName(const std::string& name) {
+std::string SanitizeNamePart(const std::string& name) {
   std::string out = name;
   for (char& c : out) {
     bool ok = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
               (c >= '0' && c <= '9') || c == '_';
     if (!ok) c = '_';
+  }
+  return out;
+}
+
+/// Per the exposition format, label values must escape backslash, double
+/// quote, and newline; everything else passes through verbatim.
+std::string EscapeLabelValue(const std::string& value) {
+  std::string out;
+  out.reserve(value.size());
+  for (char c : value) {
+    switch (c) {
+      case '\\': out += "\\\\"; break;
+      case '"': out += "\\\""; break;
+      case '\n': out += "\\n"; break;
+      default: out += c;
+    }
+  }
+  return out;
+}
+
+/// A registered metric name, optionally carrying a Prometheus-style label
+/// block: `uv.explain.verdict{reason="hash-jump-skip"}`. The base is
+/// sanitized to [a-zA-Z0-9_]; label values are escaped on output so
+/// embedded `"`, `\` and newlines survive a promtool-style parse.
+struct PromName {
+  std::string base;
+  std::vector<std::pair<std::string, std::string>> labels;  // key, raw value
+
+  /// Render `{...}` merging in an optional extra label (histogram `le`).
+  std::string LabelBlock(const std::string& extra_key = {},
+                         const std::string& extra_value = {}) const {
+    if (labels.empty() && extra_key.empty()) return {};
+    std::string out = "{";
+    bool first = true;
+    for (const auto& [k, v] : labels) {
+      if (!first) out += ',';
+      first = false;
+      out += k + "=\"" + EscapeLabelValue(v) + '"';
+    }
+    if (!extra_key.empty()) {
+      if (!first) out += ',';
+      out += extra_key + "=\"" + extra_value + '"';
+    }
+    out += '}';
+    return out;
+  }
+};
+
+PromName ParsePromName(const std::string& name) {
+  PromName out;
+  size_t brace = name.find('{');
+  out.base = SanitizeNamePart(name.substr(0, brace));
+  if (brace == std::string::npos) return out;
+  size_t pos = brace + 1;
+  while (pos < name.size() && name[pos] != '}') {
+    if (name[pos] == ',') {
+      ++pos;
+      continue;
+    }
+    size_t eq = name.find("=\"", pos);
+    if (eq == std::string::npos) break;
+    std::string key = SanitizeNamePart(name.substr(pos, eq - pos));
+    // The value runs to the next quote that closes the pair (followed by
+    // ',' or the final '}').
+    size_t vstart = eq + 2;
+    size_t vend = vstart;
+    while (vend < name.size()) {
+      if (name[vend] == '"' &&
+          (vend + 1 >= name.size() || name[vend + 1] == ',' ||
+           name[vend + 1] == '}')) {
+        break;
+      }
+      ++vend;
+    }
+    out.labels.emplace_back(std::move(key),
+                            name.substr(vstart, vend - vstart));
+    pos = vend + 1;
   }
   return out;
 }
@@ -200,29 +277,30 @@ std::string Registry::ExportPrometheus() const {
   Snapshot snap = Collect();
   std::ostringstream out;
   for (const auto& c : snap.counters) {
-    std::string n = PrometheusName(c.name);
-    out << "# TYPE " << n << " counter\n" << n << ' ' << c.value << '\n';
+    PromName n = ParsePromName(c.name);
+    out << "# TYPE " << n.base << " counter\n"
+        << n.base << n.LabelBlock() << ' ' << c.value << '\n';
   }
   for (const auto& g : snap.gauges) {
-    std::string n = PrometheusName(g.name);
-    out << "# TYPE " << n << " gauge\n" << n << ' ' << g.value << '\n';
+    PromName n = ParsePromName(g.name);
+    out << "# TYPE " << n.base << " gauge\n"
+        << n.base << n.LabelBlock() << ' ' << g.value << '\n';
   }
   for (const auto& h : snap.histograms) {
-    std::string n = PrometheusName(h.name);
-    out << "# TYPE " << n << " histogram\n";
+    PromName n = ParsePromName(h.name);
+    out << "# TYPE " << n.base << " histogram\n";
     uint64_t cumulative = 0;
     for (unsigned b = 0; b < kHistogramBuckets; ++b) {
       cumulative += h.buckets[b];
       // The last bucket is the catch-all: +Inf per Prometheus convention.
-      if (b + 1 == kHistogramBuckets) {
-        out << n << "_bucket{le=\"+Inf\"} " << cumulative << '\n';
-      } else {
-        out << n << "_bucket{le=\"" << Histogram::BucketUpperBound(b) << "\"} "
-            << cumulative << '\n';
-      }
+      std::string le = b + 1 == kHistogramBuckets
+                           ? "+Inf"
+                           : std::to_string(Histogram::BucketUpperBound(b));
+      out << n.base << "_bucket" << n.LabelBlock("le", le) << ' ' << cumulative
+          << '\n';
     }
-    out << n << "_sum " << h.sum_us << '\n';
-    out << n << "_count " << h.count << '\n';
+    out << n.base << "_sum" << n.LabelBlock() << ' ' << h.sum_us << '\n';
+    out << n.base << "_count" << n.LabelBlock() << ' ' << h.count << '\n';
   }
   return out.str();
 }

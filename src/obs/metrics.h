@@ -182,7 +182,7 @@ struct Snapshot {
 /// a function-local static and pay the name lookup once:
 ///
 ///   static obs::Counter* const hits =
-///       obs::Registry::Global().counter("hashjumper.hits");
+///       obs::Registry::Global().counter("uv.hashjumper.hits");
 ///   hits->Inc();
 class Registry {
  public:

@@ -390,6 +390,36 @@ FuzzReport Fuzz(const FuzzOptions& options) {
         continue;  // a breached case's divergences add no information
       }
     }
+    if (options.check_explain) {
+      Result<std::vector<std::string>> sound = CheckCaseExplain(c);
+      ++report.explain_checked;
+      if (!sound.ok()) {
+        // The history built once (generator invariant) but the explain
+        // universe failed: a fuzzer/oracle bug, not an unsound reason.
+        say("case " + std::to_string(n) +
+            " [explain] error: " + sound.status().ToString());
+      } else if (!sound->empty()) {
+        ++report.explain_violations;
+        say("case " + std::to_string(n) + " [explain] BREACH: " +
+            (*sound)[0]);
+        auto still_unsound = [](const WhatIfCase& cand) {
+          Result<std::vector<std::string>> v = CheckCaseExplain(cand);
+          return v.ok() && !v->empty();
+        };
+        FuzzFailure failure;
+        failure.case_number = n;
+        failure.shrunk = options.shrink ? ShrinkCaseIf(c, still_unsound) : c;
+        failure.result.ok = false;
+        failure.result.mode = "explain";
+        Result<std::vector<std::string>> shrunk_v =
+            CheckCaseExplain(failure.shrunk);
+        failure.result.error = shrunk_v.ok() && !shrunk_v->empty()
+                                   ? (*shrunk_v)[0]
+                                   : (*sound)[0];
+        report.failures.push_back(std::move(failure));
+        continue;  // an unsound report's divergences add no information
+      }
+    }
     if (options.exec_diff) {
       OracleResult r = CheckCaseExecDiff(c);
       ++report.checks_run;

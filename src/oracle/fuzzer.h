@@ -33,6 +33,11 @@ struct FuzzOptions {
   /// CheckCaseExecDiff (tree walker vs bytecode VM, build + what-if
   /// replay). Divergences are shrunk and reported with mode "exec-diff".
   bool exec_diff = false;
+  /// Explain-soundness oracle: run every generated case through
+  /// CheckCaseExplain (full-detail report, counterfactual forced-replay of
+  /// pruned transactions, hash-jump digest evidence). Unsound prune
+  /// reasons are shrunk and reported with mode "explain".
+  bool check_explain = false;
   /// Optional progress sink (one line per event; CLI wires this to stderr).
   std::function<void(const std::string&)> progress;
 };
@@ -51,6 +56,10 @@ struct FuzzReport {
   /// checked and containment breaches found (also counted as failures).
   size_t containment_checked = 0;
   size_t containment_violations = 0;
+  /// Explain oracle activity (check_explain=true): cases checked and
+  /// unsound prune reasons found (also counted as failures).
+  size_t explain_checked = 0;
+  size_t explain_violations = 0;
   std::vector<FuzzFailure> failures;
 };
 

@@ -193,6 +193,8 @@ Status Universe::RunSelective(const core::RetroOp& op,
   opts.num_threads = config.num_threads;
   opts.hash_jumper = config.hash_jumper;
   opts.verify_hash_hits = config.verify_hash_hits;
+  opts.explain = config.explain;
+  opts.forced_replay = config.forced_replay;
   if (config.engine) db_->set_exec_engine(*config.engine);
   core::RetroactiveEngine engine(db_.get(), &log_, opts);
   UV_ASSIGN_OR_RETURN(core::ReplayStats s,
@@ -428,6 +430,203 @@ Result<std::vector<std::string>> CheckStaticContainment(
   for (const auto& v : checker.violations()) {
     out.push_back("statement #" + std::to_string(v.statement_ordinal + 1) +
                   " `" + v.sql + "`: " + v.detail);
+  }
+  return out;
+}
+
+namespace {
+
+/// Last logged digest (hex prefix, 16 chars — the report's evidence width)
+/// of any table at-or-before `index`, per the eager hash log carried in
+/// LogEntry::table_hashes.
+std::set<std::string> CarryForwardDigests(const sql::QueryLog& log,
+                                          uint64_t index) {
+  std::map<std::string, std::string> latest;
+  for (uint64_t i = 1; i <= index && i <= log.size(); ++i) {
+    for (const auto& [table, digest] : log.at(i).table_hashes) {
+      latest[table] = digest.ToHex().substr(0, 16);
+    }
+  }
+  std::set<std::string> out;
+  for (const auto& [table, hex] : latest) out.insert(hex);
+  return out;
+}
+
+}  // namespace
+
+Result<std::vector<std::string>> CheckCaseExplain(const WhatIfCase& c) {
+  std::vector<std::string> out;
+  UV_ASSIGN_OR_RETURN(core::RetroOp op, MakeOp(c));
+
+  ModeConfig base;
+  base.name = "explain";
+  base.deps = true;
+  base.hash_jumper = false;
+  base.explain = obs::ExplainLevel::kFull;
+
+  UV_ASSIGN_OR_RETURN(std::unique_ptr<Universe> sel,
+                      Universe::Build(c.history));
+  core::ReplayStats stats;
+  Status sel_st = sel->RunSelective(op, base, &stats);
+  UV_ASSIGN_OR_RETURN(std::unique_ptr<Universe> ref,
+                      Universe::Build(c.history));
+  Status ref_st = ref->RunFullNaive(op);
+  if (!sel_st.ok() || !ref_st.ok()) {
+    // Agreed rejection carries no report to validate; an asymmetric
+    // failure is the divergence oracle's finding, not an explain breach.
+    return out;
+  }
+
+  const obs::WhatIfReport& report = stats.report;
+
+  // --- 1. Bookkeeping: totals, coverage, per-verdict invariants. ---------
+  uint64_t total = 0;
+  for (uint64_t n : report.verdict_counts) total += n;
+  if (total != report.suffix_size) {
+    out.push_back("verdict counts sum to " + std::to_string(total) +
+                  " but the suffix holds " +
+                  std::to_string(report.suffix_size) + " transactions");
+  }
+  if (report.replayed != stats.replayed) {
+    out.push_back("report.replayed=" + std::to_string(report.replayed) +
+                  " disagrees with ReplayStats.replayed=" +
+                  std::to_string(stats.replayed));
+  }
+  UV_ASSIGN_OR_RETURN(const std::vector<core::QueryRW>* analysis,
+                      sel->Analysis());
+  std::set<uint64_t> seen;
+  for (const obs::TxnExplain& te : report.txns) {
+    if (te.is_new) continue;
+    if (!seen.insert(te.index).second) {
+      out.push_back("txn #" + std::to_string(te.index) +
+                    " explained more than once");
+    }
+    if (te.index < c.index || te.index > c.history.size()) {
+      out.push_back("txn #" + std::to_string(te.index) +
+                    " explained but outside the suffix [" +
+                    std::to_string(c.index) + ", " +
+                    std::to_string(c.history.size()) + "]");
+      continue;
+    }
+    if (te.verdict == obs::TxnVerdict::kPrunedReadOnly &&
+        te.index <= analysis->size() &&
+        !(*analysis)[te.index - 1].write_tables.empty()) {
+      out.push_back("txn #" + std::to_string(te.index) +
+                    " explained as pruned-read-only but its write set "
+                    "names " +
+                    *(*analysis)[te.index - 1].write_tables.begin());
+    }
+    if (te.verdict == obs::TxnVerdict::kHashJumpSkip && !report.hash_jump) {
+      out.push_back("txn #" + std::to_string(te.index) +
+                    " explained as hash-jump-skip but no jump happened");
+    }
+  }
+  size_t expected = c.history.size() >= c.index
+                        ? c.history.size() - c.index + 1
+                        : 0;
+  if (seen.size() != expected) {
+    out.push_back("report explains " + std::to_string(seen.size()) +
+                  " suffix transactions, expected " +
+                  std::to_string(expected));
+  }
+
+  // --- 2. The selective state must match the full-naive reference. -------
+  sql::StateDiff diff = sql::DiffDatabases(*sel->db(), *ref->db(),
+                                           "selective[explain]",
+                                           "full-naive");
+  if (!diff.equal()) {
+    out.push_back("selective final state diverges from full-naive: " +
+                  diff.divergences.front().detail);
+    // The per-txn counterfactuals below compare against a wrong baseline;
+    // report the primary divergence and stop.
+    return out;
+  }
+
+  // --- 3. Counterfactual soundness of pruned verdicts. -------------------
+  // A sound prune reason means the transaction's replay is a no-op in the
+  // alternate universe: forcing it back into the plan must reproduce the
+  // identical final state. Spread-sample up to 16 pruned txns.
+  std::vector<uint64_t> pruned;
+  for (const obs::TxnExplain& te : report.txns) {
+    if (te.is_new) continue;
+    switch (te.verdict) {
+      case obs::TxnVerdict::kPrunedStaticFootprint:
+      case obs::TxnVerdict::kPrunedColumnDisjoint:
+      case obs::TxnVerdict::kClusterExcluded:
+      case obs::TxnVerdict::kPrunedReadOnly:
+        pruned.push_back(te.index);
+        break;
+      default:
+        break;
+    }
+  }
+  const size_t kMaxForced = 16;
+  size_t step = pruned.size() > kMaxForced ? pruned.size() / kMaxForced : 1;
+  for (size_t i = 0; i < pruned.size(); i += step) {
+    uint64_t q = pruned[i];
+    ModeConfig forced = base;
+    forced.explain = obs::ExplainLevel::kSummary;
+    forced.forced_replay = {q};
+    Result<std::unique_ptr<Universe>> fu = Universe::Build(c.history);
+    if (!fu.ok()) return fu.status();
+    Status fst = (*fu)->RunSelective(op, forced);
+    if (!fst.ok()) {
+      out.push_back("txn #" + std::to_string(q) +
+                    " explained as pruned, but forcing it back into the "
+                    "plan fails to replay: " +
+                    fst.message());
+      continue;
+    }
+    sql::StateDiff fdiff = sql::DiffDatabases(*(*fu)->db(), *sel->db(),
+                                              "forced-replay", "pruned");
+    if (!fdiff.equal()) {
+      out.push_back("txn #" + std::to_string(q) +
+                    " explained as pruned, but force-replaying it changes "
+                    "the final state: " +
+                    fdiff.divergences.front().detail);
+    }
+  }
+
+  // --- 4. Hash-jump evidence. -------------------------------------------
+  ModeConfig hj = base;
+  hj.name = "explain+hashjump";
+  hj.hash_jumper = true;
+  UV_ASSIGN_OR_RETURN(std::unique_ptr<Universe> hju,
+                      Universe::Build(c.history));
+  core::ReplayStats hjstats;
+  Status hj_st = hju->RunSelective(op, hj, &hjstats);
+  if (hj_st.ok()) {
+    const obs::WhatIfReport& hjr = hjstats.report;
+    std::set<std::string> logged =
+        hjr.hash_jump ? CarryForwardDigests(hju->log(), hjr.hash_jump_index)
+                      : std::set<std::string>{};
+    for (const obs::TxnExplain& te : hjr.txns) {
+      if (te.verdict != obs::TxnVerdict::kHashJumpSkip) continue;
+      if (!hjr.hash_jump) {
+        out.push_back("hash-jump run: txn #" + std::to_string(te.index) +
+                      " explained as hash-jump-skip without a jump");
+        continue;
+      }
+      if (te.index <= hjr.hash_jump_index) {
+        out.push_back("hash-jump run: txn #" + std::to_string(te.index) +
+                      " explained as skipped but precedes the convergence "
+                      "point #" +
+                      std::to_string(hjr.hash_jump_index));
+      }
+      if (!te.digest.empty() && !logged.count(te.digest)) {
+        out.push_back("hash-jump run: txn #" + std::to_string(te.index) +
+                      " cites digest " + te.digest +
+                      " which no logged table hash at-or-before #" +
+                      std::to_string(hjr.hash_jump_index) + " matches");
+      }
+    }
+    sql::StateDiff hjdiff = sql::DiffDatabases(*hju->db(), *sel->db(),
+                                               "selective[explain+hashjump]",
+                                               "selective[explain]");
+    if (!hjdiff.equal()) {
+      out.push_back("hash-jump run diverges from the plain selective run: " +
+                    hjdiff.divergences.front().detail);
+    }
   }
   return out;
 }

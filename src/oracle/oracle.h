@@ -48,6 +48,11 @@ struct ModeConfig {
   /// Execution engine for the selective side's database (replay clones
   /// inherit it). Unset = whatever the universe was built with.
   std::optional<sql::ExecEngine> engine;
+  /// Decision-provenance level for the selective run (DESIGN.md §13).
+  obs::ExplainLevel explain = obs::ExplainLevel::kSummary;
+  /// Log indices forced into the replay plan (the explain oracle's
+  /// counterfactual knob; see RetroactiveEngine::Options::forced_replay).
+  std::vector<uint64_t> forced_replay;
 };
 
 /// The standard mode pairs of the oracle smoke suite: selective/full ×
@@ -154,6 +159,24 @@ WhatIfCase ShrinkCase(const WhatIfCase& c,
 /// errors; containment violations are data.
 Result<std::vector<std::string>> CheckStaticContainment(
     const std::vector<std::string>& history);
+
+/// Explain-soundness oracle (`fuzz_whatif --check-explain`): runs the case
+/// at ExplainLevel::kFull and re-validates every stated prune reason
+/// against ground truth. Returns one description per violation (empty =
+/// every reason is sound). Checks, in order:
+///   1. Report bookkeeping: verdict totals sum to the suffix size, every
+///      suffix transaction is explained exactly once, replayed count
+///      matches ReplayStats, read-only verdicts have empty write sets.
+///   2. The selective final state equals the full-naive reference.
+///   3. For a spread sample of pruned transactions q: re-running the same
+///      what-if with forced_replay={q} must reproduce the identical final
+///      state — a pruned txn whose forced re-execution changes the outcome
+///      was unsoundly pruned.
+///   4. With the Hash-jumper enabled: kHashJumpSkip verdicts only past the
+///      convergence point, carrying a digest that matches the logged
+///      timeline's carry-forward at the jump index.
+/// Build/replay failures are errors; unsound reasons are data.
+Result<std::vector<std::string>> CheckCaseExplain(const WhatIfCase& c);
 
 }  // namespace ultraverse::oracle
 

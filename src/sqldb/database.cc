@@ -105,9 +105,9 @@ const ExecMetrics& ExecMetricsFor(StatementKind kind) {
     obs::Registry& reg = obs::Registry::Global();
     for (int i = 0; i < kExecLabelCount; ++i) {
       m[i].count =
-          reg.counter(std::string("sqldb.exec.count.") + labels[i]);
+          reg.counter(std::string("uv.sqldb.exec.count.") + labels[i]);
       m[i].latency =
-          reg.histogram(std::string("sqldb.exec.latency_us.") + labels[i]);
+          reg.histogram(std::string("uv.sqldb.exec.latency_us.") + labels[i]);
     }
     return m;
   }();
@@ -164,7 +164,7 @@ Table* Database::FindTable(const std::string& name) {
     // A retroactive DROP tombstone keeps the fallback from resurrecting
     // the table (§4.4); count the block so staging behaviour is visible.
     static obs::Counter* const tombstones =
-        obs::Registry::Global().counter("staging.tombstone_block");
+        obs::Registry::Global().counter("uv.staging.tombstone_block");
     tombstones->Inc();
     return nullptr;
   }
@@ -184,7 +184,7 @@ Table* Database::FindTable(const std::string& name) {
   // Lazy CoW fault-in (§4.4): a replayed query strayed outside the staged
   // table set and pulled the table in from the live database.
   static obs::Counter* const fault_ins =
-      obs::Registry::Global().counter("staging.fault_in");
+      obs::Registry::Global().counter("uv.staging.fault_in");
   fault_ins->Inc();
   Table* result = staged.get();
   tables_[name] = std::move(staged);
@@ -771,7 +771,7 @@ void Database::RollbackTablesToIndex(const std::vector<std::string>& tables,
 void Database::RollbackCommitsInTables(const std::set<uint64_t>& commits,
                                        const std::vector<std::string>& tables) {
   static obs::Counter* const undone =
-      obs::Registry::Global().counter("staging.rollback.commits");
+      obs::Registry::Global().counter("uv.staging.rollback.commits");
   undone->Add(commits.size());
   obs::TraceSpan span("staging.rollback",
                       {{"commits", commits.size()}, {"tables", tables.size()}});
@@ -809,7 +809,7 @@ std::unique_ptr<Database> Database::Clone() const {
 std::unique_ptr<Database> Database::CloneTables(
     const std::vector<std::string>& names) const {
   static obs::Counter* const staged =
-      obs::Registry::Global().counter("staging.tables_staged");
+      obs::Registry::Global().counter("uv.staging.tables_staged");
   staged->Add(names.size());
   obs::TraceSpan span("staging.clone_tables", {{"tables", names.size()}});
   auto copy = std::make_unique<Database>();

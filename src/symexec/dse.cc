@@ -245,7 +245,7 @@ Result<DseResult> DseEngine::Explore(const std::string& function) {
   const app::AppFunction& fn = fn_it->second;
 
   static obs::Histogram* const explore_us =
-      obs::Registry::Global().histogram("dse.explore_us");
+      obs::Registry::Global().histogram("uv.dse.explore_us");
   obs::ScopedLatency latency(explore_us);
   obs::TraceSpan span("dse.explore", {{"function", function.c_str()}});
 
@@ -344,9 +344,9 @@ Result<DseResult> DseEngine::Explore(const std::string& function) {
     result.paths.push_back(std::move(path));
   }
   static obs::Counter* const paths =
-      obs::Registry::Global().counter("dse.paths");
+      obs::Registry::Global().counter("uv.dse.paths");
   static obs::Counter* const executions =
-      obs::Registry::Global().counter("dse.executions");
+      obs::Registry::Global().counter("uv.dse.executions");
   paths->Add(result.paths.size());
   executions->Add(result.executions);
   return result;

@@ -466,9 +466,9 @@ class TranspileBuilder {
 Result<TranspiledTransaction> Transpiler::Transpile(
     const sym::DseResult& dse) {
   static obs::Counter* const transpiled =
-      obs::Registry::Global().counter("transpiler.functions");
+      obs::Registry::Global().counter("uv.transpiler.functions");
   static obs::Histogram* const transpile_us =
-      obs::Registry::Global().histogram("transpiler.transpile_us");
+      obs::Registry::Global().histogram("uv.transpiler.transpile_us");
   transpiled->Inc();
   obs::ScopedLatency latency(transpile_us);
   obs::TraceSpan span("transpiler.transpile",

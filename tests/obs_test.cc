@@ -477,13 +477,13 @@ TEST(ObsPipelineTest, StagingFaultInCountsReadFallback) {
   std::unique_ptr<sql::Database> staged = db.CloneTables({"a"});
   staged->SetReadFallback(&db, nullptr);
   EXPECT_EQ(
-      obs::Registry::Global().counter("staging.tables_staged")->Value(), 1u);
+      obs::Registry::Global().counter("uv.staging.tables_staged")->Value(), 1u);
   uint64_t faults_before =
-      obs::Registry::Global().counter("staging.fault_in")->Value();
+      obs::Registry::Global().counter("uv.staging.fault_in")->Value();
   auto r = staged->ExecuteSql("SELECT id FROM b", 4);
   ASSERT_TRUE(r.ok());
   EXPECT_EQ(r->rows.size(), 1u);
-  EXPECT_EQ(obs::Registry::Global().counter("staging.fault_in")->Value(),
+  EXPECT_EQ(obs::Registry::Global().counter("uv.staging.fault_in")->Value(),
             faults_before + 1)
       << "reading an unstaged table must fault it in exactly once";
 }
@@ -539,22 +539,22 @@ TEST(ObsPipelineTest, WhatIfTraceCoversThePipeline) {
 
   // The stats snapshot carries the merged metric view of the same run.
   const obs::Snapshot& snap = stats->obs;
-  const obs::CounterSnapshot* probes = snap.FindCounter("hashjumper.probes");
+  const obs::CounterSnapshot* probes = snap.FindCounter("uv.hashjumper.probes");
   ASSERT_NE(probes, nullptr);
   EXPECT_GT(probes->value, 0u);
-  const obs::CounterSnapshot* hits = snap.FindCounter("hashjumper.hits");
+  const obs::CounterSnapshot* hits = snap.FindCounter("uv.hashjumper.hits");
   ASSERT_NE(hits, nullptr);
   EXPECT_GE(hits->value, 1u);
   const obs::CounterSnapshot* staged =
-      snap.FindCounter("staging.tables_staged");
+      snap.FindCounter("uv.staging.tables_staged");
   ASSERT_NE(staged, nullptr);
   EXPECT_GE(staged->value, 1u);
   const obs::HistogramSnapshot* total =
-      snap.FindHistogram("replay.phase.total_us");
+      snap.FindHistogram("uv.replay.phase.total_us");
   ASSERT_NE(total, nullptr);
   EXPECT_EQ(total->count, 1u);
   const obs::HistogramSnapshot* exec_lat =
-      snap.FindHistogram("sqldb.exec.latency_us.update");
+      snap.FindHistogram("uv.sqldb.exec.latency_us.update");
   ASSERT_NE(exec_lat, nullptr) << "per-kind exec latency must be recorded "
                                   "while timing is enabled";
   EXPECT_GT(exec_lat->count, 0u);
@@ -569,9 +569,9 @@ TEST(ObsPipelineTest, ExecCountersTrackStatementKinds) {
   ASSERT_TRUE(db.ExecuteSql("INSERT INTO t VALUES (2)", 3).ok());
   ASSERT_TRUE(db.ExecuteSql("SELECT * FROM t", 4).ok());
   obs::Snapshot snap = obs::Registry::Global().Collect();
-  EXPECT_EQ(snap.FindCounter("sqldb.exec.count.ddl")->value, 1u);
-  EXPECT_EQ(snap.FindCounter("sqldb.exec.count.insert")->value, 2u);
-  EXPECT_EQ(snap.FindCounter("sqldb.exec.count.select")->value, 1u);
+  EXPECT_EQ(snap.FindCounter("uv.sqldb.exec.count.ddl")->value, 1u);
+  EXPECT_EQ(snap.FindCounter("uv.sqldb.exec.count.insert")->value, 2u);
+  EXPECT_EQ(snap.FindCounter("uv.sqldb.exec.count.select")->value, 1u);
 }
 
 }  // namespace

@@ -3,6 +3,7 @@
 //   fuzz_whatif --seed 7 --histories 500         # fixed case count
 //   fuzz_whatif --fuzz-seconds 60                # wall-clock budget
 //   fuzz_whatif --check-static --histories 200   # + static-soundness oracle
+//   fuzz_whatif --check-explain --histories 200  # + explain-soundness oracle
 //   fuzz_whatif --exec-diff --histories 200      # tree vs bytecode-VM diff
 //   fuzz_whatif --exec vm                        # pin the default engine
 //   fuzz_whatif --repro failing.sql              # re-run a repro file
@@ -28,6 +29,8 @@
 
 #include "fault/crash_sweep.h"
 #include "fault/failpoint.h"
+#include "obs/flight_recorder.h"
+#include "obs/metrics.h"
 #include "oracle/fuzzer.h"
 #include "oracle/oracle.h"
 #include "sqldb/exec_engine.h"
@@ -37,9 +40,10 @@ namespace {
 int Usage(const char* argv0) {
   std::fprintf(stderr,
                "usage: %s [--seed N] [--histories N] [--fuzz-seconds S]\n"
-               "          [--check-static] [--exec-diff] [--exec vm|tree]\n"
-               "          [--no-shrink] [--repro FILE]\n"
+               "          [--check-static] [--check-explain] [--exec-diff]\n"
+               "          [--exec vm|tree] [--no-shrink] [--repro FILE]\n"
                "          [--out-dir DIR] [--crash-points]\n"
+               "          [--metrics-out FILE]\n"
                "          [--failpoints SPEC]   (also: ULTRA_FAILPOINTS)\n",
                argv0);
   return 2;
@@ -115,6 +119,25 @@ int main(int argc, char** argv) {
   bool histories_set = false;
   bool crash_points = false;
   std::string failpoint_spec;
+  std::string metrics_out;
+
+  // Written at every exit path below; RAII so crash-sweep early returns
+  // still leave the snapshot behind.
+  struct MetricsDump {
+    std::string* path;
+    ~MetricsDump() {
+      if (path->empty()) return;
+      if (std::FILE* f = std::fopen(path->c_str(), "w")) {
+        std::string json =
+            ultraverse::obs::Registry::Global().ExportJson();
+        std::fwrite(json.data(), 1, json.size(), f);
+        std::fputc('\n', f);
+        std::fclose(f);
+      } else {
+        std::fprintf(stderr, "cannot write %s\n", path->c_str());
+      }
+    }
+  } metrics_dump{&metrics_out};
 
   for (int i = 1; i < argc; ++i) {
     auto need_value = [&](const char* flag) -> const char* {
@@ -135,6 +158,10 @@ int main(int argc, char** argv) {
       if (!histories_set) options.histories = 0;  // run on the clock alone
     } else if (!std::strcmp(argv[i], "--check-static")) {
       options.check_static = true;
+    } else if (!std::strcmp(argv[i], "--check-explain")) {
+      options.check_explain = true;
+    } else if (!std::strcmp(argv[i], "--metrics-out")) {
+      metrics_out = need_value("--metrics-out");
     } else if (!std::strcmp(argv[i], "--exec-diff")) {
       options.exec_diff = true;
       // The cross-engine oracle is the check; skip the mode-pair sweep so a
@@ -180,6 +207,11 @@ int main(int argc, char** argv) {
   }
 
   if (crash_points) {
+    // Post-mortem artifact (DESIGN.md §13): every simulated crash dumps
+    // the flight-recorder ring, so the sweep leaves the last in-flight
+    // what-if report on disk next to any repro files.
+    ultraverse::obs::FlightRecorder::Global().SetDumpPath(
+        out_dir + "/flight_recorder.json");
     ultraverse::fault::CrashSweepOptions sweep;
     sweep.seed = options.seed;
     sweep.histories = histories_set ? options.histories : 5;
@@ -205,6 +237,10 @@ int main(int argc, char** argv) {
     std::printf("containment: %zu histories checked, %zu violations\n",
                 report.containment_checked, report.containment_violations);
   }
+  if (options.check_explain) {
+    std::printf("explain: %zu cases checked, %zu unsound reasons\n",
+                report.explain_checked, report.explain_violations);
+  }
   int written = 0;
   for (const auto& failure : report.failures) {
     std::string path = out_dir + "/whatif_repro_" +
@@ -222,6 +258,8 @@ int main(int argc, char** argv) {
     }
     ++written;
   }
-  return report.divergences == 0 && report.containment_violations == 0 ? 0
-                                                                       : 1;
+  return report.divergences == 0 && report.containment_violations == 0 &&
+                 report.explain_violations == 0
+             ? 0
+             : 1;
 }

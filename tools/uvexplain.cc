@@ -1,0 +1,187 @@
+// Decision-provenance explainer for what-if analyses (DESIGN.md §13).
+//
+//   uvexplain --workload epinions --txns 200            # remove the seed txn
+//   uvexplain --workload tpcc --op remove --index 12    # explicit target
+//   uvexplain --workload tatp --op change --index 9 --sql "CALL ..."
+//   uvexplain --workload seats --mode TD --json         # machine-readable
+//   uvexplain --workload astore --txn 37                # one txn drill-down
+//   uvexplain ... --metrics-out metrics.json            # registry snapshot
+//
+// Builds the named workload's history inside a fresh Ultraverse instance,
+// runs the retroactive operation at ExplainLevel::kFull, and renders the
+// resulting WhatIfReport: per-transaction verdicts with machine-checkable
+// reasons, the per-phase wall/CPU breakdown, staging/VM footprint, and the
+// retry/cancel/failpoint lifecycle. --json emits the same report as one
+// JSON object (the format WhatIfReport::FromJson parses back).
+
+#include <cstdint>
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <optional>
+#include <string>
+
+#include "core/ultraverse.h"
+#include "obs/metrics.h"
+#include "workloads/workload.h"
+
+namespace {
+
+using ultraverse::core::RetroOp;
+using ultraverse::core::SystemMode;
+
+int Usage(const char* argv0) {
+  std::fprintf(stderr,
+               "usage: %s --workload NAME [--txns N] [--scale N]\n"
+               "          [--dep-rate R] [--seed N] [--mode B|T|D|TD]\n"
+               "          [--op remove|add|change] [--index N] [--sql SQL]\n"
+               "          [--hash-jumper] [--json] [--txn ID]\n"
+               "          [--metrics-out FILE]\n",
+               argv0);
+  return 2;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string workload_name;
+  size_t txns = 200;
+  int scale = 1;
+  double dep_rate = 0.5;
+  uint64_t seed = 1;
+  SystemMode mode = SystemMode::kTD;
+  std::string op_kind = "remove";
+  uint64_t index = 0;  // 0 = the driver's designated retro target
+  std::string new_sql;
+  bool hash_jumper = false;
+  bool json = false;
+  std::optional<uint64_t> txn_filter;
+  std::string metrics_out;
+
+  for (int i = 1; i < argc; ++i) {
+    auto need_value = [&](const char* flag) -> const char* {
+      if (i + 1 >= argc) {
+        std::fprintf(stderr, "%s needs a value\n", flag);
+        std::exit(2);
+      }
+      return argv[++i];
+    };
+    if (!std::strcmp(argv[i], "--workload")) {
+      workload_name = need_value("--workload");
+    } else if (!std::strcmp(argv[i], "--txns")) {
+      txns = std::strtoull(need_value("--txns"), nullptr, 10);
+    } else if (!std::strcmp(argv[i], "--scale")) {
+      scale = int(std::strtol(need_value("--scale"), nullptr, 10));
+    } else if (!std::strcmp(argv[i], "--dep-rate")) {
+      dep_rate = std::strtod(need_value("--dep-rate"), nullptr);
+    } else if (!std::strcmp(argv[i], "--seed")) {
+      seed = std::strtoull(need_value("--seed"), nullptr, 10);
+    } else if (!std::strcmp(argv[i], "--mode")) {
+      const char* m = need_value("--mode");
+      if (!std::strcmp(m, "B")) {
+        mode = SystemMode::kB;
+      } else if (!std::strcmp(m, "T")) {
+        mode = SystemMode::kT;
+      } else if (!std::strcmp(m, "D")) {
+        mode = SystemMode::kD;
+      } else if (!std::strcmp(m, "TD")) {
+        mode = SystemMode::kTD;
+      } else {
+        std::fprintf(stderr, "--mode wants B|T|D|TD, got %s\n", m);
+        return 2;
+      }
+    } else if (!std::strcmp(argv[i], "--op")) {
+      op_kind = need_value("--op");
+    } else if (!std::strcmp(argv[i], "--index")) {
+      index = std::strtoull(need_value("--index"), nullptr, 10);
+    } else if (!std::strcmp(argv[i], "--sql")) {
+      new_sql = need_value("--sql");
+    } else if (!std::strcmp(argv[i], "--hash-jumper")) {
+      hash_jumper = true;
+    } else if (!std::strcmp(argv[i], "--json")) {
+      json = true;
+    } else if (!std::strcmp(argv[i], "--txn")) {
+      txn_filter = std::strtoull(need_value("--txn"), nullptr, 10);
+    } else if (!std::strcmp(argv[i], "--metrics-out")) {
+      metrics_out = need_value("--metrics-out");
+    } else {
+      return Usage(argv[0]);
+    }
+  }
+  if (workload_name.empty()) return Usage(argv[0]);
+
+  RetroOp::Kind kind;
+  if (op_kind == "remove") {
+    kind = RetroOp::Kind::kRemove;
+  } else if (op_kind == "add") {
+    kind = RetroOp::Kind::kAdd;
+  } else if (op_kind == "change") {
+    kind = RetroOp::Kind::kChange;
+  } else {
+    std::fprintf(stderr, "--op wants remove|add|change, got %s\n",
+                 op_kind.c_str());
+    return 2;
+  }
+  if (kind != RetroOp::Kind::kRemove && new_sql.empty()) {
+    std::fprintf(stderr, "--op %s needs --sql\n", op_kind.c_str());
+    return 2;
+  }
+
+  ultraverse::core::Ultraverse::Options uv_opts;
+  uv_opts.hash_jumper = hash_jumper;
+  uv_opts.eager_hash_log = hash_jumper;
+  uv_opts.explain = ultraverse::obs::ExplainLevel::kFull;
+  ultraverse::core::Ultraverse uv(uv_opts);
+
+  auto workload = ultraverse::workload::MakeWorkload(workload_name, scale);
+  if (!workload) {
+    std::fprintf(stderr, "unknown workload %s (have:", workload_name.c_str());
+    for (const auto& n : ultraverse::workload::AllWorkloadNames()) {
+      std::fprintf(stderr, " %s", n.c_str());
+    }
+    std::fprintf(stderr, ")\n");
+    return 2;
+  }
+  ultraverse::workload::Driver::Config config;
+  config.scale = scale;
+  config.dependency_rate = dep_rate;
+  config.seed = seed;
+  ultraverse::workload::Driver driver(std::move(workload), &uv, config);
+  ultraverse::Status st = driver.Setup();
+  if (st.ok()) st = driver.RunHistory(txns);
+  if (!st.ok()) {
+    std::fprintf(stderr, "workload setup failed: %s\n",
+                 st.ToString().c_str());
+    return 2;
+  }
+  if (index == 0) index = driver.retro_target_index();
+
+  auto op = uv.MakeOp(kind, index, new_sql);
+  if (!op.ok()) {
+    std::fprintf(stderr, "bad retro op: %s\n",
+                 op.status().ToString().c_str());
+    return 2;
+  }
+  auto stats = uv.WhatIf(*op, mode);
+  if (!stats.ok()) {
+    std::fprintf(stderr, "what-if failed: %s\n",
+                 stats.status().ToString().c_str());
+    return 2;
+  }
+
+  if (json) {
+    std::printf("%s\n", stats->report.ToJson().c_str());
+  } else {
+    std::printf("%s", stats->report.ToText(txn_filter).c_str());
+  }
+  if (!metrics_out.empty()) {
+    std::ofstream out(metrics_out);
+    if (out) {
+      out << ultraverse::obs::Registry::Global().ExportJson() << "\n";
+    } else {
+      std::fprintf(stderr, "cannot write %s\n", metrics_out.c_str());
+      return 2;
+    }
+  }
+  return 0;
+}

@@ -20,6 +20,7 @@
 
 #include "analysis/lint.h"
 #include "core/ultraverse.h"
+#include "obs/metrics.h"
 #include "sqldb/parser.h"
 #include "workloads/workload.h"
 
@@ -31,7 +32,8 @@ using ultraverse::analysis::LintStatements;
 
 int Usage(const char* argv0) {
   std::fprintf(stderr,
-               "usage: %s [FILE.sql ...] [--workload NAME|all] [--txns N]\n",
+               "usage: %s [FILE.sql ...] [--workload NAME|all] [--txns N]\n"
+               "          [--metrics-out FILE]\n",
                argv0);
   return 2;
 }
@@ -119,6 +121,7 @@ int LintWorkload(const std::string& name, size_t txns) {
 int main(int argc, char** argv) {
   std::vector<std::string> files;
   std::string workload;
+  std::string metrics_out;
   size_t txns = 10;
 
   for (int i = 1; i < argc; ++i) {
@@ -133,6 +136,8 @@ int main(int argc, char** argv) {
       workload = need_value("--workload");
     } else if (!std::strcmp(argv[i], "--txns")) {
       txns = std::strtoull(need_value("--txns"), nullptr, 10);
+    } else if (!std::strcmp(argv[i], "--metrics-out")) {
+      metrics_out = need_value("--metrics-out");
     } else if (argv[i][0] == '-') {
       return Usage(argv[0]);
     } else {
@@ -149,6 +154,14 @@ int main(int argc, char** argv) {
     }
   } else if (!workload.empty()) {
     rc = std::max(rc, LintWorkload(workload, txns));
+  }
+  if (!metrics_out.empty()) {
+    std::ofstream out(metrics_out);
+    if (out) {
+      out << ultraverse::obs::Registry::Global().ExportJson() << "\n";
+    } else {
+      std::fprintf(stderr, "cannot write %s\n", metrics_out.c_str());
+    }
   }
   return rc;
 }
