@@ -472,6 +472,115 @@ void BM_WalRecover(benchmark::State& state) {
 }
 BENCHMARK(BM_WalRecover)->Arg(100)->Arg(1000);
 
+// MVCC snapshot acquisition (DESIGN.md §14). Arg 0: the epoch is
+// unchanged, so SnapshotHistory() returns the cached shared_ptr — this is
+// the per-analysis overhead every concurrent what-if pays. Arg 1: a commit
+// lands between acquisitions, so every iteration rebuilds the snapshot
+// (full CoW clone + analysis catch-up) — the cost writers impose on the
+// first analyst after them.
+void BM_SnapshotAcquire(benchmark::State& state) {
+  const bool advance = state.range(0) != 0;
+  core::Ultraverse uv;
+  if (!uv.ExecuteSql("CREATE TABLE t (id INT PRIMARY KEY, v INT)").ok()) {
+    state.SkipWithError("setup failed");
+    return;
+  }
+  for (int i = 1; i <= 64; ++i) {
+    if (!uv.ExecuteSql("INSERT INTO t (id, v) VALUES (" +
+                       std::to_string(i) + ", 0)")
+             .ok()) {
+      state.SkipWithError("setup failed");
+      return;
+    }
+  }
+  int k = 0;
+  for (auto _ : state) {
+    if (advance) {
+      state.PauseTiming();
+      if (!uv.ExecuteSql("UPDATE t SET v = v + 1 WHERE id = " +
+                         std::to_string(1 + (k++ % 64)))
+               .ok()) {
+        state.SkipWithError("commit failed");
+        break;
+      }
+      state.ResumeTiming();
+    }
+    auto snap = uv.SnapshotHistory();
+    if (!snap.ok()) {
+      state.SkipWithError("snapshot failed");
+      break;
+    }
+    benchmark::DoNotOptimize((*snap)->epoch);
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_SnapshotAcquire)->Arg(0)->Arg(1);
+
+// What-if result-cache hit latency (DESIGN.md §14): the steady-state cost
+// of re-asking an already-answered question at an unchanged epoch — a map
+// probe plus one WhatIfAnalysis copy, no replay.
+void BM_WhatIfResultCacheHit(benchmark::State& state) {
+  core::Ultraverse uv;
+  if (!uv.ExecuteSql("CREATE TABLE t (id INT PRIMARY KEY, v INT)").ok()) {
+    state.SkipWithError("setup failed");
+    return;
+  }
+  for (int i = 0; i < 32; ++i) {
+    if (!uv.ExecuteSql(i == 0 ? "INSERT INTO t (id, v) VALUES (1, 0)"
+                              : "UPDATE t SET v = v + 1 WHERE id = 1")
+             .ok()) {
+      state.SkipWithError("setup failed");
+      return;
+    }
+  }
+  core::RetroOp op;
+  op.kind = core::RetroOp::Kind::kRemove;
+  op.index = 3;
+  // Prime the cache; every timed iteration is a hit.
+  if (!uv.WhatIfAnalyze(op, core::SystemMode::kTD).ok()) {
+    state.SkipWithError("prime failed");
+    return;
+  }
+  for (auto _ : state) {
+    auto r = uv.WhatIfAnalyze(op, core::SystemMode::kTD);
+    if (!r.ok() || !r->cache_hit) {
+      state.SkipWithError("expected a cache hit");
+      break;
+    }
+    benchmark::DoNotOptimize(r->fingerprint.data());
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_WhatIfResultCacheHit);
+
+// Commit-time overhead of incremental analysis maintenance (DESIGN.md
+// §14): eager per-commit R/W analysis + footprint upkeep (Arg 1) vs plain
+// logging (Arg 0). The delta is what Table 7(c)'s asynchronous logger
+// costs each committed statement under the incremental canonicalization
+// scheme (full re-canonicalization only when the analyzer's RI merge
+// generation advances).
+void BM_IncrementalAnalysisCommit(benchmark::State& state) {
+  const bool eager = state.range(0) != 0;
+  core::Ultraverse::Options opts;
+  opts.eager_analysis = eager;
+  core::Ultraverse uv(opts);
+  if (!uv.ExecuteSql("CREATE TABLE t (id INT PRIMARY KEY, v INT)").ok() ||
+      !uv.ExecuteSql("INSERT INTO t (id, v) VALUES (1, 0)").ok()) {
+    state.SkipWithError("setup failed");
+    return;
+  }
+  for (auto _ : state) {
+    auto r = uv.ExecuteSql("UPDATE t SET v = v + 1 WHERE id = 1");
+    if (!r.ok()) {
+      state.SkipWithError("commit failed");
+      break;
+    }
+    benchmark::DoNotOptimize(r->affected);
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_IncrementalAnalysisCommit)->Arg(0)->Arg(1);
+
 // --- compiled execution (DESIGN.md §12) -------------------------------------
 
 void BM_VmCompile(benchmark::State& state) {

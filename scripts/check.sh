@@ -5,7 +5,8 @@
 #   scripts/check.sh plain    # any subset, in order: plain|asan|tsan|lint
 #
 # 1. plain — full ctest in build/ (every suite: unit, obs, oracle,
-#    analysis, fault, vm, explain), exactly the ROADMAP.md tier-1 command,
+#    analysis, fault, vm, explain, mvcc), exactly the ROADMAP.md tier-1
+#    command,
 #    plus a metrics-name lint (every registered metric is uv.<subsystem>.*),
 #    a ~30-second crash-point sweep (fuzz_whatif --crash-points): simulated
 #    crashes at every reachable failpoint with WAL recovery checked
@@ -15,12 +16,16 @@
 #    bytecode VM with final states diffed (DESIGN.md §12), and an
 #    explain-soundness leg (fuzz_whatif --check-explain): every pruned
 #    transaction's stated reason re-validated against a forced-replay
-#    counterfactual (DESIGN.md §13).
+#    counterfactual (DESIGN.md §13), and a concurrent what-if smoke
+#    (fuzz_whatif --concurrent): analyst threads running snapshot-pinned
+#    what-ifs against a per-snapshot full-naive oracle while writer
+#    threads commit (DESIGN.md §14).
 # 2. asan  — AddressSanitizer build running the observability + oracle +
-#    fault + vm + explain labels (the suites that exercise the threaded
-#    replay/staging, WAL recovery, compiled-execution, and provenance
-#    paths).
-# 3. tsan  — same labels under ThreadSanitizer.
+#    fault + vm + explain + mvcc labels (the suites that exercise the
+#    threaded replay/staging, WAL recovery, compiled-execution, and
+#    provenance paths).
+# 3. tsan  — same labels under ThreadSanitizer, plus the concurrent
+#    what-if smoke (the MVCC layer's race detector).
 # lint (clang-tidy; no-op without the binary) runs with `lint`, or via
 # `ctest -L lint` inside any configured build.
 #
@@ -65,15 +70,24 @@ run_plain() {
   echo "== plain: explain-soundness smoke =="
   build/tools/fuzz_whatif --check-explain --seed 1 --histories 60 \
     --out-dir "$SWEEP_DIR"
+  echo "== plain: concurrent what-if smoke (MVCC, DESIGN.md §14) =="
+  build/tools/fuzz_whatif --concurrent --seed 1 --rounds 3
   rm -rf "$SWEEP_DIR"
 }
 
 run_sanitized() {  # $1 = address|thread, $2 = build dir
-  echo "== $1 sanitizer: obs + oracle + fault + vm + explain labels =="
+  echo "== $1 sanitizer: obs + oracle + fault + vm + explain + mvcc labels =="
   cmake -B "$2" -S . -DULTRA_SANITIZE="$1"
   cmake --build "$2" -j "$JOBS"
   ctest --test-dir "$2" --output-on-failure -j "$JOBS" \
-    -L 'obs|oracle|fault|vm|explain'
+    -L 'obs|oracle|fault|vm|explain|mvcc'
+  if [ "$1" = thread ]; then
+    # The concurrent analyst-vs-writer fuzz is the MVCC layer's real race
+    # detector: N what-if analyses against shared snapshots while writers
+    # commit. It must be data-race-free AND divergence-free under TSan.
+    echo "== thread sanitizer: concurrent what-if smoke =="
+    "$2"/tools/fuzz_whatif --concurrent --seed 1 --rounds 2
+  fi
 }
 
 for step in $STEPS; do

@@ -30,11 +30,13 @@ ReplayErrorClass ClassifyReplayError(const Status& st) {
     // atomically, so re-running it is safe and may well succeed.
     case StatusCode::kUnavailable:
       return ReplayErrorClass::kRetryable;
-    // Invariant breakage, durable-log corruption, cooperative stop: abort.
+    // Invariant breakage, durable-log corruption, cooperative stop, or an
+    // optimistic-concurrency conflict at publish time: abort the replay.
     case StatusCode::kInternal:
     case StatusCode::kDataLoss:
     case StatusCode::kCancelled:
     case StatusCode::kDeadlineExceeded:
+    case StatusCode::kAborted:
       return ReplayErrorClass::kFatal;
     // Everything else is a SQL-semantic failure the alternate universe can
     // legitimately produce (constraint trip, retroactively dropped table,
@@ -50,10 +52,15 @@ class HashTimeline {
  public:
   explicit HashTimeline(const sql::QueryLog& log) {
     for (const auto& entry : log.entries()) {
-      for (const auto& [table, digest] : entry.table_hashes) {
-        per_table_[table].emplace_back(entry.index, digest);
-      }
+      Add(entry);
     }
+  }
+
+  /// Snapshot-mode build: iterating the live deque would race concurrent
+  /// appends, so the pinned entry pointers captured under the commit lock
+  /// are the only safe history view.
+  explicit HashTimeline(const std::vector<const sql::LogEntry*>& pinned) {
+    for (const sql::LogEntry* entry : pinned) Add(*entry);
   }
 
   /// The logged digest of `table` at the last write at-or-before `index`;
@@ -70,16 +77,56 @@ class HashTimeline {
   }
 
  private:
+  void Add(const sql::LogEntry& entry) {
+    for (const auto& [table, digest] : entry.table_hashes) {
+      per_table_[table].emplace_back(entry.index, digest);
+    }
+  }
+
   std::map<std::string, std::vector<std::pair<uint64_t, Digest256>>>
       per_table_;
 };
 
 const HashTimeline* RetroactiveEngine::EnsureTimeline() {
-  if (!timeline_ || timeline_log_size_ != log_->size()) {
-    timeline_ = std::make_unique<HashTimeline>(*log_);
-    timeline_log_size_ = log_->size();
+  // Keyed by the history *epoch*, never by log size: a what-if publish or
+  // WAL recovery rewrites entries in place without changing the length,
+  // and a size-keyed cache would keep serving the dead timeline's digests
+  // (the Hash-jumper would then "converge" against a universe that no
+  // longer exists). Snapshot executions key on the epoch their history
+  // was pinned at.
+  const uint64_t epoch = options_.snapshot_epoch ? *options_.snapshot_epoch
+                                                 : log_->epoch();
+  if (timeline_ && timeline_epoch_ == epoch) return timeline_.get();
+  if (options_.timeline_cache) {
+    std::lock_guard<std::mutex> g(options_.timeline_cache->mu);
+    if (options_.timeline_cache->timeline &&
+        options_.timeline_cache->epoch == epoch) {
+      timeline_ = options_.timeline_cache->timeline;
+      timeline_epoch_ = epoch;
+      return timeline_.get();
+    }
+  }
+  timeline_ = options_.pinned_entries
+                  ? std::make_shared<const HashTimeline>(
+                        *options_.pinned_entries)
+                  : std::make_shared<const HashTimeline>(*log_);
+  timeline_epoch_ = epoch;
+  if (options_.timeline_cache) {
+    std::lock_guard<std::mutex> g(options_.timeline_cache->mu);
+    options_.timeline_cache->epoch = epoch;
+    options_.timeline_cache->timeline = timeline_;
   }
   return timeline_.get();
+}
+
+const sql::LogEntry& RetroactiveEngine::EntryAt(uint64_t index) const {
+  if (options_.pinned_entries) return *(*options_.pinned_entries)[index - 1];
+  return log_->at(index);
+}
+
+uint64_t RetroactiveEngine::HistoryEnd() const {
+  return options_.horizon_override ? options_.horizon_override
+                                   : log_->last_index();
 }
 
 RetroactiveEngine::~RetroactiveEngine() = default;
@@ -103,7 +150,7 @@ Status RetroactiveEngine::ExecuteSlot(sql::Database* db, const Slot& slot,
                                       uint64_t commit_index, bool apply_rules) {
   Status st;
   if (apply_rules && !slot.is_new && !parsed_rules_.empty()) {
-    const sql::LogEntry& entry = log_->at(slot.log_index);
+    const sql::LogEntry& entry = EntryAt(slot.log_index);
     if (!entry.app_txn.empty()) {
       for (const auto& [fn, cond] : parsed_rules_) {
         if (!fn.empty() && fn != entry.app_txn) continue;
@@ -135,7 +182,7 @@ Status RetroactiveEngine::ExecuteSlot(sql::Database* db, const Slot& slot,
       }
       return r.ok() ? Status::OK() : r.status();
     }
-    return entry_executor_(db, log_->at(slot.log_index), commit_index);
+    return entry_executor_(db, EntryAt(slot.log_index), commit_index);
   };
 
   UV_RETURN_NOT_OK(CheckCancel(options_.cancel, "replay.slot"));
@@ -173,8 +220,11 @@ Status RetroactiveEngine::ExecuteSlot(sql::Database* db, const Slot& slot,
 namespace {
 
 /// Cumulative layer counters sampled at Execute() start and end: the deltas
-/// are what this one analysis did. Execute() runs one what-if at a time per
-/// process (the facade serializes), so deltas attribute cleanly.
+/// are what ran between the two samples. With one what-if at a time they
+/// attribute exactly to this analysis; under concurrent analyze-only
+/// executions (DESIGN.md §14) the process-wide counters interleave, so the
+/// per-report deltas are an aggregate approximation — totals across all
+/// concurrent reports remain exact.
 struct LayerCounters {
   static constexpr size_t kN = 9;
   obs::Counter* c[kN];
@@ -352,8 +402,15 @@ Result<ReplayStats> RetroactiveEngine::ExecuteFullNaive(const RetroOp& op,
   // counters and clock sit at the end of the original history. Seed the
   // rebuilt universe identically, so a retroactively added INSERT draws
   // the same fresh ids and NOW() values in every replay mode (DESIGN.md §9).
-  temp_db_->SeedAutoIncrementFloor(db_->auto_increment_state());
-  temp_db_->SetLogicalTime(db_->logical_time());
+  {
+    // Shared lock: live inserts mutate the auto-increment map concurrently.
+    std::shared_lock<std::shared_mutex> seed_lock;
+    if (options_.db_mutex) {
+      seed_lock = std::shared_lock<std::shared_mutex>(*options_.db_mutex);
+    }
+    temp_db_->SeedAutoIncrementFloor(db_->auto_increment_state());
+    temp_db_->SetLogicalTime(db_->logical_time());
+  }
 
   // Rewritten suffix: the retroactive op slots in at τ, the removed/changed
   // original drops out, everything else replays in order.
@@ -385,29 +442,39 @@ Result<ReplayStats> RetroactiveEngine::ExecuteFullNaive(const RetroOp& op,
   stats.temp_db_bytes = temp_db_->ApproxOwnedBytes();
 
   // Two-phase publish applies to the reference path too: recovery replays
-  // committed markers through exactly this full-naive path.
+  // committed markers through exactly this full-naive path. Analyze-only
+  // executions stop here: the rebuilt universe in last_temp_db() IS the
+  // result, and the live database stays untouched.
   UV_RETURN_NOT_OK(CheckCancel(options_.cancel, "replay.publish"));
-  UV_RETURN_NOT_OK(PublishCommitMarker(op));
-
-  // Adopt everything: tables present on either side (a table the rewritten
-  // history never creates must disappear from the live database) plus the
-  // object catalog.
   Stopwatch publish_watch;
-  std::set<std::string> names;
-  {
+  if (options_.publish) {
+    // Adopt everything: tables present on either side (a table the
+    // rewritten history never creates must disappear from the live
+    // database) plus the object catalog. Exclusive from the epoch conflict
+    // check through the swap, so no commit slips in between.
     obs::TraceSpan adopt_span("naive.adopt");
+    std::unique_lock<std::shared_mutex> publish_lock;
+    if (options_.db_mutex) {
+      publish_lock = std::unique_lock<std::shared_mutex>(*options_.db_mutex);
+    }
+    if (options_.snapshot_epoch && log_->epoch() != *options_.snapshot_epoch) {
+      static obs::Counter* const conflicts =
+          obs::Registry::Global().counter("uv.whatif.publish.conflict");
+      conflicts->Inc();
+      return Status::Aborted(
+          "history advanced during what-if replay; re-run against a fresh "
+          "snapshot");
+    }
+    UV_RETURN_NOT_OK(PublishCommitMarker(op));
+    std::set<std::string> names;
     for (auto& n : db_->TableNames()) names.insert(n);
     for (auto& n : temp_db_->TableNames()) names.insert(n);
     std::vector<std::string> all(names.begin(), names.end());
     stats.mutated_tables = all.size();
-    if (options_.db_mutex) {
-      std::lock_guard<std::mutex> g(*options_.db_mutex);
-      UV_RETURN_NOT_OK(db_->AdoptTables(*temp_db_, all));
-      db_->AdoptCatalog(*temp_db_);
-    } else {
-      UV_RETURN_NOT_OK(db_->AdoptTables(*temp_db_, all));
-      db_->AdoptCatalog(*temp_db_);
-    }
+    UV_RETURN_NOT_OK(db_->AdoptTables(*temp_db_, all));
+    db_->AdoptCatalog(*temp_db_);
+  } else {
+    stats.mutated_tables = temp_db_->TableNames().size();
   }
   stats.total_seconds = total_watch.ElapsedSeconds();
   naive_total_us->Record(total_watch.ElapsedMicros());
@@ -437,15 +504,20 @@ Result<ReplayStats> RetroactiveEngine::ExecuteFullNaive(const RetroOp& op,
 Result<ReplayStats> RetroactiveEngine::Execute(
     const RetroOp& op, const std::vector<QueryRW>& analysis,
     QueryAnalyzer* analyzer) {
-  if (op.index == 0 || op.index > log_->size() + 1) {
+  // History extent this execution sees: the pinned snapshot horizon when
+  // the facade froze one, the live log otherwise. Everything below reads
+  // history through EntryAt()/history_end only — never through the live
+  // deque, which concurrent writers keep appending to.
+  const uint64_t history_end = HistoryEnd();
+  if (op.index == 0 || op.index > history_end + 1) {
     return Status::InvalidArgument("retroactive index out of range");
   }
-  if (op.kind != RetroOp::Kind::kAdd && op.index > log_->size()) {
+  if (op.kind != RetroOp::Kind::kAdd && op.index > history_end) {
     return Status::InvalidArgument("no such query to remove/change");
   }
   // The replay horizon is the analyzed prefix: queries committed after the
   // analysis snapshot belong to the next catch-up phase (§4.4).
-  const uint64_t horizon = std::min<uint64_t>(analysis.size(), log_->size());
+  const uint64_t horizon = std::min<uint64_t>(analysis.size(), history_end);
   if (op.index > horizon + 1) {
     return Status::InvalidArgument("analysis does not cover the target");
   }
@@ -582,9 +654,14 @@ Result<ReplayStats> RetroactiveEngine::Execute(
   // hash hit proves row convergence only; disable jumping whenever the
   // replay changes catalog state. (Differential-oracle find, DESIGN.md
   // §9.) Checked before force_rebuild / journal-horizon widening below,
-  // which set needs_schema_rebuild without any catalog change.
+  // which set needs_schema_rebuild without any catalog change. Analyze-only
+  // executions also force it off: a jump proves the replayed state
+  // reconverged with the live timeline and leaves the temporary database
+  // frozen mid-history — correct when adoption is then skipped, but an
+  // analyze-only caller reads the temporary database AS the result, so it
+  // must always be driven to the horizon.
   const bool hash_jumper_on =
-      options_.hash_jumper && !plan.needs_schema_rebuild;
+      options_.hash_jumper && !plan.needs_schema_rebuild && options_.publish;
   {
     static obs::Histogram* const h_analysis =
         obs::Registry::Global().histogram("uv.replay.phase.analysis_us");
@@ -648,9 +725,17 @@ Result<ReplayStats> RetroactiveEngine::Execute(
   // the rollback; rebuild from the log instead.
   if (!plan.needs_schema_rebuild) {
     uint64_t trimmed = 0;
-    for (const auto& t : plan.mutated_tables) {
-      const sql::Table* table = db_->FindTable(t);
-      if (table) trimmed = std::max(trimmed, table->trimmed_before());
+    {
+      // Shared lock: checkpoints advance trimmed_before() under the
+      // exclusive side of the same mutex.
+      std::shared_lock<std::shared_mutex> rl;
+      if (options_.db_mutex) {
+        rl = std::shared_lock<std::shared_mutex>(*options_.db_mutex);
+      }
+      for (const auto& t : plan.mutated_tables) {
+        const sql::Table* table = db_->FindTable(t);
+        if (table) trimmed = std::max(trimmed, table->trimmed_before());
+      }
     }
     bool undo_before_horizon =
         op.kind != RetroOp::Kind::kAdd && op.index < trimmed;
@@ -717,8 +802,14 @@ Result<ReplayStats> RetroactiveEngine::Execute(
     // end-of-history AUTO_INCREMENT watermarks and logical clock: fresh ids
     // for retroactively added statements allocate above everything the
     // original history handed out, in every replay mode (DESIGN.md §9).
-    temp_db_->SeedAutoIncrementFloor(db_->auto_increment_state());
-    temp_db_->SetLogicalTime(db_->logical_time());
+    {
+      std::shared_lock<std::shared_mutex> seed_lock;
+      if (options_.db_mutex) {
+        seed_lock = std::shared_lock<std::shared_mutex>(*options_.db_mutex);
+      }
+      temp_db_->SeedAutoIncrementFloor(db_->auto_increment_state());
+      temp_db_->SetLogicalTime(db_->logical_time());
+    }
   } else {
     // Selective CoW staging (§4.4): stage only the tables the replay will
     // write or consult (plus tables the human-decision rules read), as
@@ -733,7 +824,9 @@ Result<ReplayStats> RetroactiveEngine::Execute(
     }
     std::vector<std::string> staged_list(staged.begin(), staged.end());
     if (options_.db_mutex) {
-      std::lock_guard<std::mutex> g(*options_.db_mutex);
+      // Shared: concurrent analyses stage simultaneously; only committing
+      // writers (and the adoption swap) hold the exclusive side.
+      std::shared_lock<std::shared_mutex> g(*options_.db_mutex);
       temp_db_ = db_->CloneTables(staged_list);
     } else {
       temp_db_ = db_->CloneTables(staged_list);
@@ -828,15 +921,20 @@ Result<ReplayStats> RetroactiveEngine::Execute(
     obs::TraceSpan span("hashjumper.literal_verify", {{"index", idx}});
     for (const auto& t : plan.mutated_tables) {
       const sql::Table* replayed = temp_db_->FindTable(t);
-      const sql::Table* live = db_->FindTable(t);
-      if (!replayed || !live) return false;
+      if (!replayed) return false;
       // CoW clone of the live table (O(1) instead of a per-probe deep
       // copy); the rollback below materializes only the pages it touches.
+      // Shared lock across lookup + clone: committing writers hold the
+      // exclusive side while mutating.
       std::unique_ptr<sql::Table> original;
       if (options_.db_mutex) {
-        std::lock_guard<std::mutex> g(*options_.db_mutex);
+        std::shared_lock<std::shared_mutex> g(*options_.db_mutex);
+        const sql::Table* live = db_->FindTable(t);
+        if (!live) return false;
         original = live->Clone();
       } else {
+        const sql::Table* live = db_->FindTable(t);
+        if (!live) return false;
         original = live->Clone();
       }
       original->RollbackToIndex(idx);
@@ -855,7 +953,7 @@ Result<ReplayStats> RetroactiveEngine::Execute(
   };
 
   if (!options_.parallel || slots.size() < 2) {
-    uint64_t next_commit = log_->last_index() + 1;
+    uint64_t next_commit = history_end + 1;
     for (size_t i = 0; i < slots.size(); ++i) {
       {
         obs::TraceSpan slot_span(
@@ -952,7 +1050,7 @@ Result<ReplayStats> RetroactiveEngine::Execute(
     for (auto& f : done_flags) f.store(0, std::memory_order_relaxed);
     std::atomic<size_t> watermark{0};  // completed prefix length
 
-    uint64_t base_commit = log_->last_index() + 1;
+    uint64_t base_commit = history_end + 1;
     for (size_t i = 0; i < slots.size(); ++i) {
       if (pending[i].load(std::memory_order_relaxed) == 0) {
         if (ready.TryPush(uint32_t(i))) queue_depth->Add(1);
@@ -1141,30 +1239,38 @@ Result<ReplayStats> RetroactiveEngine::Execute(
   phase_span.emplace("replay.adopt");
   Stopwatch publish_watch;
   UV_RETURN_NOT_OK(CheckCancel(options_.cancel, "replay.publish"));
-  UV_RETURN_NOT_OK(PublishCommitMarker(op));
-  if (hash_jumped) {
-    // A hash-hit proves the *rows* reconverged with the original timeline;
-    // the AUTO_INCREMENT counters are not part of the table hash. Ids the
-    // alternate universe allocated and then freed (insert later deleted)
-    // still advanced its counter, so raise the live watermarks to the
-    // temporary database's — max() is exact: from the jump point on, both
-    // universes replay identical recorded ids. (Found by the differential
-    // oracle; see DESIGN.md §9.)
+  if (options_.publish) {
+    // Exclusive from the epoch-conflict check through the swap: no commit
+    // can slip in between the validation and the adoption it validates.
+    std::unique_lock<std::shared_mutex> publish_lock;
     if (options_.db_mutex) {
-      std::lock_guard<std::mutex> g(*options_.db_mutex);
-      db_->SeedAutoIncrementFloor(temp_db_->auto_increment_state());
-    } else {
-      db_->SeedAutoIncrementFloor(temp_db_->auto_increment_state());
+      publish_lock = std::unique_lock<std::shared_mutex>(*options_.db_mutex);
     }
-  }
-  if (!hash_jumped) {
-    std::vector<std::string> mutated(plan.mutated_tables.begin(),
-                                     plan.mutated_tables.end());
-    if (options_.db_mutex) {
-      std::lock_guard<std::mutex> g(*options_.db_mutex);
-      UV_RETURN_NOT_OK(db_->AdoptTables(*temp_db_, mutated));
-      db_->AdoptCatalog(*temp_db_);
+    if (options_.snapshot_epoch && log_->epoch() != *options_.snapshot_epoch) {
+      // A writer committed while we replayed against the pinned history:
+      // the alternate universe no longer extends the live one, and
+      // adopting it would silently erase those commits. First committer
+      // wins; the caller re-snapshots and retries.
+      static obs::Counter* const conflicts =
+          obs::Registry::Global().counter("uv.whatif.publish.conflict");
+      conflicts->Inc();
+      return Status::Aborted(
+          "history advanced during what-if replay; re-run against a fresh "
+          "snapshot");
+    }
+    UV_RETURN_NOT_OK(PublishCommitMarker(op));
+    if (hash_jumped) {
+      // A hash-hit proves the *rows* reconverged with the original
+      // timeline; the AUTO_INCREMENT counters are not part of the table
+      // hash. Ids the alternate universe allocated and then freed (insert
+      // later deleted) still advanced its counter, so raise the live
+      // watermarks to the temporary database's — max() is exact: from the
+      // jump point on, both universes replay identical recorded ids.
+      // (Found by the differential oracle; see DESIGN.md §9.)
+      db_->SeedAutoIncrementFloor(temp_db_->auto_increment_state());
     } else {
+      std::vector<std::string> mutated(plan.mutated_tables.begin(),
+                                       plan.mutated_tables.end());
       UV_RETURN_NOT_OK(db_->AdoptTables(*temp_db_, mutated));
       // Retroactive DDL (dropped CREATE VIEW/TRIGGER, say) replays into
       // the temporary catalog; AdoptTables moves row data only.

@@ -5,6 +5,8 @@
 #include <functional>
 #include <memory>
 #include <mutex>
+#include <optional>
+#include <shared_mutex>
 #include <string>
 #include <vector>
 
@@ -25,6 +27,16 @@ class Wal;  // durable write-ahead query log (sqldb/wal/wal.h)
 namespace ultraverse::core {
 
 class HashTimeline;  // original-timeline table hashes (replay.cc)
+
+/// Shared, epoch-keyed cache of the Hash-jumper timeline (DESIGN.md §14).
+/// The facade owns one and passes it to every engine it builds: rebuilt
+/// only when the history *epoch* advances — never keyed by log size, which
+/// an equal-length in-place history rewrite leaves unchanged.
+struct TimelineCache {
+  std::mutex mu;
+  uint64_t epoch = 0;
+  std::shared_ptr<const HashTimeline> timeline;
+};
 
 /// How the replay engine reacts to a failed slot (DESIGN.md §11). The old
 /// policy — swallow anything but kInternal — silently ate transient
@@ -157,10 +169,38 @@ class RetroactiveEngine {
     /// Human-decision rules applied to replayed application transactions
     /// (§6); parsed once at Execute() start.
     std::vector<ReplayRule> rules;
-    /// When set, held while snapshotting the live database and while
-    /// adopting mutated tables back (§4.4 step 3 lock) so regular traffic
-    /// can proceed during the replay itself.
-    std::mutex* db_mutex = nullptr;
+    /// When set, held *shared* while snapshotting the live database (stage
+    /// clone, fault-ins through the read fallback, literal hash-hit
+    /// verification) and *exclusive* while adopting mutated tables back
+    /// (§4.4 step 3 lock), so regular traffic and concurrent analyses
+    /// proceed during the replay itself and only the one-step swap
+    /// excludes them.
+    std::shared_mutex* db_mutex = nullptr;
+    /// false = analyze-only (MVCC what-if, DESIGN.md §14): the engine
+    /// computes the alternate universe into last_temp_db() but never writes
+    /// the commit marker, never adopts tables or catalog back, and never
+    /// touches the live database's counters. Many analyze-only executions
+    /// may run concurrently over one shared immutable snapshot.
+    bool publish = true;
+    /// When nonzero, the replay horizon is pinned to this history length
+    /// instead of the live log's current size — the what-if runs against
+    /// the prefix frozen at snapshot time while writers keep appending.
+    uint64_t horizon_override = 0;
+    /// Entry pointers for log indices [1, horizon_override], captured under
+    /// the commit lock at snapshot time. When set, the engine reads history
+    /// exclusively through them: concurrent appends mutate the deque's
+    /// internals, so even bounded-index reads of the live log would race.
+    const std::vector<const sql::LogEntry*>* pinned_entries = nullptr;
+    /// History epoch the snapshot (pinned_entries / the staged base) was
+    /// taken at. Two uses: the Hash-jumper timeline cache key, and — in
+    /// publish mode — optimistic conflict detection: if the live epoch has
+    /// advanced past this by publish time, a writer committed mid-replay
+    /// and the replayed universe no longer extends the live history, so
+    /// Execute() returns kAborted without adopting anything.
+    std::optional<uint64_t> snapshot_epoch;
+    /// Shared Hash-jumper timeline cache (facade-owned); nullptr = the
+    /// engine keeps a private one for its own lifetime.
+    TimelineCache* timeline_cache = nullptr;
     /// Durable write-ahead log participating in the atomic what-if commit
     /// protocol (DESIGN.md §11): after a clean replay and before the first
     /// live-database mutation, Execute() appends a fsynced commit marker,
@@ -239,17 +279,26 @@ class RetroactiveEngine {
   /// fresh database and adopt everything back.
   Result<ReplayStats> ExecuteFullNaive(const RetroOp& op, uint64_t horizon);
 
-  /// Hash-jumper timeline over the query log, rebuilt only when the log
-  /// has grown since the last Execute() (cached keyed by log size).
+  /// Hash-jumper timeline over the query log, keyed by the history *epoch*
+  /// (an equal-length in-place rewrite must invalidate it); consults and
+  /// populates Options::timeline_cache when the facade shares one.
   const HashTimeline* EnsureTimeline();
+
+  /// Committed entry at 1-based `index` — through the pinned snapshot
+  /// pointers when Options::pinned_entries is set, else the live log.
+  const sql::LogEntry& EntryAt(uint64_t index) const;
+
+  /// End of the history this execution replays over: the pinned horizon in
+  /// snapshot mode, the live log's last index otherwise.
+  uint64_t HistoryEnd() const;
 
   sql::Database* db_;
   const sql::QueryLog* log_;
   Options options_;
   EntryExecutor entry_executor_;
   std::unique_ptr<sql::Database> temp_db_;
-  std::unique_ptr<HashTimeline> timeline_;
-  size_t timeline_log_size_ = 0;
+  std::shared_ptr<const HashTimeline> timeline_;
+  uint64_t timeline_epoch_ = 0;
   /// Two-phase publish (§11): durable commit marker first, then the
   /// one-step swap of staged tables into the live database.
   Status PublishCommitMarker(const RetroOp& op);

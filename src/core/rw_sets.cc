@@ -285,7 +285,10 @@ std::string QueryAnalyzer::Find(const std::string& key) {
 
 void QueryAnalyzer::Union(const std::string& a, const std::string& b) {
   std::string ra = Find(a), rb = Find(b);
-  if (ra != rb) merge_parent_[ra] = rb;
+  if (ra != rb) {
+    merge_parent_[ra] = rb;
+    ++merge_generation_;
+  }
 }
 
 // ---------------------------------------------------------------------------

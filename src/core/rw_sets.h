@@ -209,6 +209,13 @@ class QueryAnalyzer {
   /// the current union-find (§4.3 "Merging RI values").
   void CanonicalizeRowSets(QueryRW* rw);
 
+  /// Number of effective RI merges so far. CanonicalizeRowSets is a pure
+  /// function of the union-find, so a canonicalized QueryRW stays valid
+  /// exactly as long as this generation does not advance — the incremental
+  /// analysis maintenance in the facade re-canonicalizes already-emitted
+  /// entries only when it does (DESIGN.md §14).
+  uint64_t merge_generation() const { return merge_generation_; }
+
  private:
   friend class AnalyzerImpl;
   SchemaRegistry registry_;
@@ -216,6 +223,7 @@ class QueryAnalyzer {
   std::map<std::string, RiConfig> ri_overrides_;
   // Union-find over canonical RI value keys ("Table.col|value_enc").
   std::map<std::string, std::string> merge_parent_;
+  uint64_t merge_generation_ = 0;  // bumped per effective Union
   // Alias translation: "Table.alias|value_enc" -> set of RI value encs.
   std::map<std::string, std::set<std::string>> alias_to_ri_;
 

@@ -326,24 +326,29 @@ Status Ultraverse::CommitEntry(sql::LogEntry entry) {
   if (options_.eager_analysis) {
     UV_ASSIGN_OR_RETURN(QueryRW rw,
                         analyzer_.AnalyzeEntry(log_.entries().back()));
+    footprints_.push_back(FootprintOf(rw));
     raw_analysis_.push_back(std::move(rw));
   }
-  canonical_dirty_ = true;
+  // No dirty flag: EnsureAnalysisLocked compares coverage and the merged-RI
+  // generation, extending the canonical analysis incrementally.
   return Status::OK();
 }
 
 Result<sql::ExecResult> Ultraverse::ExecuteSql(const std::string& sql_text) {
   UV_ASSIGN_OR_RETURN(sql::StatementPtr stmt,
                       sql::Parser::ParseStatement(sql_text));
-  uint64_t commit_index = log_.size() + 1;
   sql::LogEntry entry;
   entry.sql = sql_text;
   entry.stmt = stmt;
-  entry.timestamp = db_.NextTimestamp();
   sql::ExecContext ctx;
   ctx.StartRecording(&entry.nondet);
   clock_.ChargeRoundTrip();
-  std::lock_guard<std::mutex> g(commit_mu_);
+  std::lock_guard<std::shared_mutex> g(commit_mu_);
+  // The logical clock is plain state guarded by commit_mu_ — stamp under
+  // the lock so concurrent committers serialize (timestamps then follow
+  // commit order, which replay assumes anyway).
+  entry.timestamp = db_.NextTimestamp();
+  const uint64_t commit_index = log_.size() + 1;
   Result<sql::ExecResult> res = db_.Execute(*stmt, commit_index, &ctx);
   if (!res.ok()) {
     db_.RollbackToIndex(commit_index - 1);
@@ -359,13 +364,15 @@ Result<AppValue> Ultraverse::RunTransaction(const std::string& fn,
   const transpiler::TranspiledTransaction* tt = FindTranspiled(fn);
   if (!tt) return Status::NotFound("no transpiled transaction " + fn);
 
-  uint64_t commit_index = log_.size() + 1;
   sql::LogEntry entry;
   entry.app_txn = fn;
   for (const auto& a : args) entry.app_args.push_back(a.ToSqlValue());
-  entry.timestamp = db_.NextTimestamp();
 
-  std::lock_guard<std::mutex> g(commit_mu_);
+  std::lock_guard<std::shared_mutex> g(commit_mu_);
+  // Committed index and timestamp resolved under the lock: concurrent
+  // committers would otherwise race to the same slot / logical tick.
+  entry.timestamp = db_.NextTimestamp();
+  uint64_t commit_index = log_.size() + 1;
 
   AppValue ret;
   bool use_app_code = mode == SystemMode::kB || mode == SystemMode::kD;
@@ -460,22 +467,88 @@ retry_with_app_code:
   return ret;
 }
 
-Result<const std::vector<QueryRW>*> Ultraverse::EnsureAnalysis() {
-  // Serialize against commits: the analyzer state and the analysis vector
-  // evolve with the log, and WhatIf snapshots a consistent prefix.
-  std::lock_guard<std::mutex> g(commit_mu_);
+Status Ultraverse::EnsureAnalysisLocked() {
   while (raw_analysis_.size() < log_.size()) {
     UV_ASSIGN_OR_RETURN(
         QueryRW rw, analyzer_.AnalyzeEntry(log_.at(raw_analysis_.size() + 1)));
+    footprints_.push_back(FootprintOf(rw));
     raw_analysis_.push_back(std::move(rw));
-    canonical_dirty_ = true;
   }
-  if (canonical_dirty_) {
+  const uint64_t gen = analyzer_.merge_generation();
+  if (canonical_merge_gen_ != gen) {
+    // A merged-RI union landed since the last canonicalization: the
+    // representative of any already-canonicalized value may have changed,
+    // so the whole analysis re-canonicalizes under the final union-find
+    // (CanonicalizeRowSets is a pure function of it).
     canonical_analysis_ = raw_analysis_;
     for (auto& rw : canonical_analysis_) analyzer_.CanonicalizeRowSets(&rw);
-    canonical_dirty_ = false;
+    canonical_merge_gen_ = gen;
+  } else if (canonical_analysis_.size() < raw_analysis_.size()) {
+    // Union-find unchanged: every existing canonical entry is still
+    // canonical; only the new tail needs work (incremental maintenance,
+    // DESIGN.md §14).
+    for (size_t i = canonical_analysis_.size(); i < raw_analysis_.size();
+         ++i) {
+      canonical_analysis_.push_back(raw_analysis_[i]);
+      analyzer_.CanonicalizeRowSets(&canonical_analysis_.back());
+    }
   }
+  return Status::OK();
+}
+
+Result<const std::vector<QueryRW>*> Ultraverse::EnsureAnalysis() {
+  // Serialize against commits: the analyzer state and the analysis vector
+  // evolve with the log, and WhatIf snapshots a consistent prefix.
+  std::unique_lock<std::shared_mutex> g(commit_mu_);
+  UV_RETURN_NOT_OK(EnsureAnalysisLocked());
   return &canonical_analysis_;
+}
+
+Result<std::shared_ptr<const HistorySnapshot>> Ultraverse::SnapshotHistory() {
+  {
+    std::shared_lock<std::shared_mutex> rl(commit_mu_);
+    if (snapshot_cache_ && snapshot_cache_->epoch == log_.epoch()) {
+      return snapshot_cache_;
+    }
+  }
+  std::unique_lock<std::shared_mutex> wl(commit_mu_);
+  // Another thread may have built it between the two locks.
+  if (snapshot_cache_ && snapshot_cache_->epoch == log_.epoch()) {
+    return snapshot_cache_;
+  }
+  static obs::Counter* const builds =
+      obs::Registry::Global().counter("uv.whatif.snapshot.builds");
+  static obs::Histogram* const build_us =
+      obs::Registry::Global().histogram("uv.whatif.snapshot.build_us");
+  builds->Inc();
+  obs::TraceSpan span("whatif.snapshot", {{"horizon", log_.size()}});
+  obs::ScopedLatency latency(build_us);
+  UV_RETURN_NOT_OK(EnsureAnalysisLocked());
+  auto snap = std::make_shared<HistorySnapshot>();
+  snap->epoch = log_.epoch();
+  snap->horizon = log_.size();
+  // Full CoW clone: O(tables) page-pointer shares, no row copies. The
+  // clone is immutable from here on — concurrent analyses stage their own
+  // temporaries FROM it and fault in lock-free.
+  snap->db = std::shared_ptr<const sql::Database>(db_.Clone());
+  auto pinned = std::make_shared<std::vector<const sql::LogEntry*>>();
+  pinned->reserve(log_.size());
+  // Deque references are stable under append, so pointers into the
+  // committed prefix stay valid while writers extend the log. (WAL
+  // recovery clears the log wholesale — but only on a fresh facade,
+  // before any snapshot exists.)
+  for (uint64_t i = 1; i <= log_.size(); ++i) pinned->push_back(&log_.at(i));
+  snap->entries = std::move(pinned);
+  snap->analysis =
+      std::make_shared<const std::vector<QueryRW>>(canonical_analysis_);
+  snap->footprints =
+      std::make_shared<const std::vector<TableFootprint>>(footprints_);
+  auto analyzer_copy = std::make_shared<QueryAnalyzer>(analyzer_);
+  // The frozen copy must not feed the live static-soundness observer.
+  analyzer_copy->set_observer(nullptr);
+  snap->analyzer = std::move(analyzer_copy);
+  snapshot_cache_ = snap;
+  return snapshot_cache_;
 }
 
 size_t Ultraverse::UltraverseLogBytes() {
@@ -537,10 +610,14 @@ Result<ReplayStats> Ultraverse::WhatIf(const RetroOp& op, SystemMode mode,
   whatifs->Inc();
   obs::TraceSpan span("whatif", {{"index", op.index}});
   Stopwatch analysis_watch;
-  const std::vector<QueryRW>* analysis = nullptr;
+  // Pin the history (entries, analysis, footprints, analyzer) at the
+  // current epoch. The engine replays against the pinned prefix while
+  // regular traffic keeps committing; any commit that lands before the
+  // publish point surfaces as kAborted there.
+  std::shared_ptr<const HistorySnapshot> snap;
   {
     obs::TraceSpan analysis_span("whatif.ensure_analysis");
-    UV_ASSIGN_OR_RETURN(analysis, EnsureAnalysis());
+    UV_ASSIGN_OR_RETURN(snap, SnapshotHistory());
   }
   double ensure_seconds = analysis_watch.ElapsedSeconds();
 
@@ -548,6 +625,7 @@ Result<ReplayStats> Ultraverse::WhatIf(const RetroOp& op, SystemMode mode,
   bool dep = mode == SystemMode::kD || mode == SystemMode::kTD;
   eopts.deps.column_wise = dep;
   eopts.deps.row_wise = dep;
+  eopts.deps.static_footprints = snap->footprints.get();
   eopts.parallel = dep;
   eopts.num_threads = options_.replay_threads;
   eopts.hash_jumper = options_.hash_jumper && dep;
@@ -559,6 +637,10 @@ Result<ReplayStats> Ultraverse::WhatIf(const RetroOp& op, SystemMode mode,
   eopts.retry = options_.whatif_retry;
   eopts.explain = options_.explain;
   eopts.forced_replay = options_.forced_replay;
+  eopts.pinned_entries = snap->entries.get();
+  eopts.horizon_override = snap->horizon;
+  eopts.snapshot_epoch = snap->epoch;
+  eopts.timeline_cache = &timeline_cache_;
 
   bool use_app_code = mode == SystemMode::kB || mode == SystemMode::kD;
   std::atomic<uint64_t> rtt_counter{0};
@@ -566,6 +648,11 @@ Result<ReplayStats> Ultraverse::WhatIf(const RetroOp& op, SystemMode mode,
     eopts.rtt_micros_per_query = options_.rtt_micros;  // 1 RTT per CALL
   }
 
+  // The engine analyzes the retroactive statement against a copy of the
+  // snapshot's analyzer, not the live one: the live analyzer evolves with
+  // concurrent commits, and alias/merge state learned from an uncommitted
+  // what-if must never leak into committed-history analysis.
+  QueryAnalyzer scratch_analyzer = *snap->analyzer;
   RetroactiveEngine engine(&db_, &log_, eopts);
   if (use_app_code) {
     engine.set_entry_executor(
@@ -575,8 +662,12 @@ Result<ReplayStats> Ultraverse::WhatIf(const RetroOp& op, SystemMode mode,
                                            &rtt_counter);
         });
   }
-  UV_ASSIGN_OR_RETURN(ReplayStats stats, engine.Execute(op, *analysis,
-                                                        &analyzer_));
+  UV_ASSIGN_OR_RETURN(ReplayStats stats, engine.Execute(op, *snap->analysis,
+                                                        &scratch_analyzer));
+  // Published: the live state diverged from everything derived at the old
+  // epoch (snapshots, analyze-result cache, hash timelines). Advance the
+  // epoch so every one of them invalidates on its next key check.
+  log_.BumpEpoch();
   stats.analysis_seconds += ensure_seconds;
   stats.total_seconds += ensure_seconds;
   if (options_.explain != obs::ExplainLevel::kOff) {
@@ -599,16 +690,192 @@ Result<ReplayStats> Ultraverse::WhatIf(const RetroOp& op, SystemMode mode,
   return stats;
 }
 
+namespace {
+
+/// Fingerprint of the alternate universe an analyze-only run computed:
+/// the temporary database overlaid on the snapshot it staged from (staged
+/// and rebuilt tables win, retroactive drops tombstone, everything else
+/// reads through the CoW fallback). Same format as StateFingerprint(), so
+/// selective, full-naive and published universes compare directly.
+std::string UniverseFingerprint(const sql::Database& snapshot,
+                                const sql::Database& temp) {
+  std::set<std::string> names;
+  for (const auto& n : snapshot.TableNames()) names.insert(n);
+  for (const auto& n : temp.TableNames()) names.insert(n);
+  Sha256 hasher;
+  for (const auto& name : names) {
+    // Const lookup resolves exactly the overlay semantics: local table,
+    // then drop tombstone, then the snapshot through the read fallback.
+    const sql::Table* t = temp.FindTable(name);
+    if (!t) continue;
+    hasher.Update(name);
+    std::vector<std::string> rows;
+    t->Scan([&](sql::RowId, const sql::Row& row) {
+      rows.push_back(sql::EncodeRow(row));
+      return true;
+    });
+    std::sort(rows.begin(), rows.end());
+    for (const auto& r : rows) hasher.Update(r);
+  }
+  return hasher.Finish().ToHex();
+}
+
+/// Canonical result-cache key: epoch is checked separately, so the key is
+/// (mode, op kind, index, canonicalized statement text).
+std::string AnalysisCacheKey(const RetroOp& op, SystemMode mode) {
+  std::string key = SystemModeName(mode);
+  key += '|';
+  key += op.kind == RetroOp::Kind::kAdd      ? "add"
+         : op.kind == RetroOp::Kind::kRemove ? "remove"
+                                             : "change";
+  key += '|';
+  key += std::to_string(op.index);
+  key += '|';
+  // ToSql of the parsed form canonicalizes whitespace/case differences in
+  // the user's SQL text, so equivalent questions share a cache line.
+  if (op.new_stmt) {
+    key += sql::ToSql(*op.new_stmt);
+  } else {
+    key += op.new_sql;
+  }
+  return key;
+}
+
+}  // namespace
+
+Result<WhatIfAnalysis> Ultraverse::WhatIfAnalyzeAt(const HistorySnapshot& snap,
+                                                   const RetroOp& op,
+                                                   SystemMode mode,
+                                                   bool full_naive) {
+  static obs::Counter* const analyses =
+      obs::Registry::Global().counter("uv.whatif.analyze.ops");
+  analyses->Inc();
+  obs::TraceSpan span("whatif.analyze",
+                      {{"index", op.index}, {"epoch", snap.epoch}});
+
+  RetroactiveEngine::Options eopts;
+  bool dep = mode == SystemMode::kD || mode == SystemMode::kTD;
+  eopts.deps.column_wise = dep;
+  eopts.deps.row_wise = dep;
+  eopts.deps.static_footprints = snap.footprints.get();
+  eopts.mode =
+      full_naive ? ReplayMode::kFullNaive : ReplayMode::kSelective;
+  eopts.parallel = dep;
+  eopts.num_threads = options_.replay_threads;
+  // Analyze-only: no publish, no WAL marker, no live-database locks — the
+  // snapshot is immutable, so staging and fault-ins run lock-free. The
+  // engine additionally forces the Hash-jumper off (the temporary database
+  // must reach the horizon to BE the result).
+  eopts.publish = false;
+  eopts.db_mutex = nullptr;
+  eopts.wal = nullptr;
+  eopts.cancel = options_.whatif_cancel;
+  eopts.retry = options_.whatif_retry;
+  eopts.explain = options_.explain;
+  eopts.forced_replay = options_.forced_replay;
+  eopts.pinned_entries = snap.entries.get();
+  eopts.horizon_override = snap.horizon;
+  eopts.snapshot_epoch = snap.epoch;
+
+  bool use_app_code = mode == SystemMode::kB || mode == SystemMode::kD;
+  std::atomic<uint64_t> rtt_counter{0};
+  if (!use_app_code) {
+    eopts.rtt_micros_per_query = options_.rtt_micros;  // 1 RTT per CALL
+  }
+
+  // The snapshot database is const by contract; publish=false guarantees
+  // the engine only ever reads it (clone-from, fault-in-from, fingerprint),
+  // so the cast does not break the sharing contract with other analyses.
+  sql::Database* snap_db = const_cast<sql::Database*>(snap.db.get());
+  // Per-analysis analyzer copy: AnalyzeStatement on the retroactive target
+  // may evolve alias/merge state, and N analyses sharing one analyzer
+  // would race.
+  QueryAnalyzer scratch_analyzer = *snap.analyzer;
+  RetroactiveEngine engine(snap_db, &log_, eopts);
+  if (use_app_code) {
+    engine.set_entry_executor(
+        [this, &rtt_counter](sql::Database* target, const sql::LogEntry& entry,
+                             uint64_t commit_index) {
+          return InterpreterReplayExecutor(target, entry, commit_index,
+                                           &rtt_counter);
+        });
+  }
+  WhatIfAnalysis out;
+  UV_ASSIGN_OR_RETURN(out.stats, engine.Execute(op, *snap.analysis,
+                                                &scratch_analyzer));
+  out.epoch = snap.epoch;
+  out.horizon = snap.horizon;
+  out.fingerprint = UniverseFingerprint(*snap.db, *engine.last_temp_db());
+  if (options_.explain != obs::ExplainLevel::kOff) {
+    out.stats.report.mode = SystemModeName(mode);
+  }
+  uint64_t counted = rtt_counter.load(std::memory_order_relaxed);
+  if (eopts.parallel && out.stats.replayed > 0) {
+    counted = counted * out.stats.critical_path / out.stats.replayed;
+  }
+  out.stats.virtual_rtt_micros += counted;
+  return out;
+}
+
+Result<WhatIfAnalysis> Ultraverse::WhatIfAnalyze(const RetroOp& op,
+                                                 SystemMode mode) {
+  static obs::Counter* const hits =
+      obs::Registry::Global().counter("uv.whatif.cache.hit");
+  static obs::Counter* const misses =
+      obs::Registry::Global().counter("uv.whatif.cache.miss");
+  static obs::Counter* const hit_verdicts =
+      obs::Registry::Global().counter(
+          std::string("uv.explain.verdict{reason=\"") +
+          obs::TxnVerdictName(obs::TxnVerdict::kResultCacheHit) + "\"}");
+
+  UV_ASSIGN_OR_RETURN(std::shared_ptr<const HistorySnapshot> snap,
+                      SnapshotHistory());
+  const std::string key = AnalysisCacheKey(op, mode);
+  {
+    std::lock_guard<std::mutex> g(result_mu_);
+    if (result_cache_epoch_ == snap->epoch) {
+      auto it = result_cache_.find(key);
+      if (it != result_cache_.end()) {
+        hits->Inc();
+        hit_verdicts->Inc();
+        WhatIfAnalysis out = it->second;
+        out.cache_hit = true;
+        // The answer was reused wholesale: say so in its provenance.
+        out.stats.report.Tally(obs::TxnVerdict::kResultCacheHit);
+        return out;
+      }
+    }
+  }
+  misses->Inc();
+  UV_ASSIGN_OR_RETURN(WhatIfAnalysis out, WhatIfAnalyzeAt(*snap, op, mode));
+  {
+    std::lock_guard<std::mutex> g(result_mu_);
+    if (result_cache_epoch_ != snap->epoch) {
+      // Results memoized at an older epoch answer questions about a
+      // history that no longer exists; drop them rather than let an
+      // equal-length rewrite serve them again (the stale-epoch bug class
+      // this PR fixes).
+      result_cache_.clear();
+      result_cache_epoch_ = snap->epoch;
+    }
+    result_cache_.emplace(key, out);
+  }
+  return out;
+}
+
 void Ultraverse::Checkpoint() {
-  std::lock_guard<std::mutex> g(commit_mu_);
+  std::lock_guard<std::shared_mutex> g(commit_mu_);
   db_.TrimJournalsBefore(log_.last_index() + 1);
 }
 
 void Ultraverse::TagScenario(const std::string& name) {
+  // Exclusive: the tag map itself is written, not just the log read.
+  std::lock_guard<std::shared_mutex> g(commit_mu_);
   scenario_tags_[name] = log_.last_index();
 }
 
 std::string Ultraverse::StateFingerprint() const {
+  std::shared_lock<std::shared_mutex> g(commit_mu_);
   Sha256 hasher;
   for (const auto& name : db_.TableNames()) {
     const sql::Table* t = db_.FindTable(name);

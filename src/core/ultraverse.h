@@ -5,6 +5,7 @@
 #include <memory>
 #include <mutex>
 #include <optional>
+#include <shared_mutex>
 #include <string>
 #include <vector>
 
@@ -28,6 +29,36 @@ namespace ultraverse::core {
 enum class SystemMode { kB, kT, kD, kTD };
 
 const char* SystemModeName(SystemMode mode);
+
+/// Immutable MVCC snapshot of one history epoch (DESIGN.md §14): the full
+/// CoW-cloned database state at the snapshot horizon, pinned pointers to
+/// every committed entry up to it, the canonicalized per-entry analysis,
+/// the static table footprints, and a frozen copy of the analyzer. Built
+/// under the commit lock, then shared read-only by any number of
+/// concurrent what-if analyses while regular traffic keeps committing.
+struct HistorySnapshot {
+  uint64_t epoch = 0;    // history epoch this snapshot pins
+  uint64_t horizon = 0;  // committed entries covered (log prefix length)
+  std::shared_ptr<const sql::Database> db;
+  std::shared_ptr<const std::vector<const sql::LogEntry*>> entries;
+  std::shared_ptr<const std::vector<QueryRW>> analysis;
+  std::shared_ptr<const std::vector<TableFootprint>> footprints;
+  std::shared_ptr<const QueryAnalyzer> analyzer;
+};
+
+/// Result of an analyze-only what-if (no publish): the replay statistics
+/// plus a fingerprint of the alternate-universe state, tagged with the
+/// snapshot it was computed against.
+struct WhatIfAnalysis {
+  ReplayStats stats;
+  /// sha256 over the alternate universe's sorted table contents — same
+  /// format as Ultraverse::StateFingerprint(), so an analyze-only run is
+  /// directly comparable with a published one or with a full-naive oracle.
+  std::string fingerprint;
+  uint64_t epoch = 0;
+  uint64_t horizon = 0;
+  bool cache_hit = false;  // served from the (epoch, op) result cache
+};
 
 /// Top-level framework facade: owns the database, the committed-query log,
 /// the transpiled application, the analyzer, and the retroactive engine.
@@ -145,9 +176,44 @@ class Ultraverse {
   /// and updates the live database to the alternate-universe state.
   /// `rules` optionally simulate interactive human decisions during the
   /// replay (§6): matching application transactions are suppressed while
-  /// their condition holds in the alternate universe.
+  /// their condition holds in the alternate universe. Concurrency-safe:
+  /// the replay runs against a pinned snapshot of the history while
+  /// regular traffic keeps committing; if any commit lands before the
+  /// publish point the call returns kAborted (first committer wins) and
+  /// the live database stays untouched — re-invoke to retry against the
+  /// extended history.
   Result<ReplayStats> WhatIf(const RetroOp& op, SystemMode mode,
                              std::vector<ReplayRule> rules = {});
+
+  // --- Concurrent analyze-only what-ifs (MVCC, DESIGN.md §14) ---------------
+
+  /// Monotone history epoch: advances on every commit and every published
+  /// what-if. Two equal epochs imply identical history AND live state, so
+  /// snapshots, hash timelines and what-if results are keyed on it.
+  uint64_t history_epoch() const { return log_.epoch(); }
+
+  /// Returns the shared immutable snapshot of the current history epoch,
+  /// building it (full CoW clone + analysis catch-up) only when the epoch
+  /// advanced since the last call. Any number of threads may analyze
+  /// against the returned snapshot concurrently; writers are blocked only
+  /// while the snapshot itself is built.
+  Result<std::shared_ptr<const HistorySnapshot>> SnapshotHistory();
+
+  /// Analyze-only what-if against an explicit snapshot: computes the
+  /// alternate universe and its fingerprint WITHOUT publishing — the live
+  /// database, log and WAL are not touched. Safe to call from many threads
+  /// with the same snapshot simultaneously. `full_naive` selects the
+  /// ground-truth reference path (differential oracle, DESIGN.md §9).
+  Result<WhatIfAnalysis> WhatIfAnalyzeAt(const HistorySnapshot& snap,
+                                         const RetroOp& op, SystemMode mode,
+                                         bool full_naive = false);
+
+  /// Convenience: snapshot the current epoch and analyze, memoizing the
+  /// result keyed by (history epoch, canonicalized op, mode). A repeated
+  /// question against an unchanged history is answered from the cache
+  /// (verdict kResultCacheHit, metric uv.whatif.cache.hit); any commit
+  /// invalidates by advancing the epoch.
+  Result<WhatIfAnalysis> WhatIfAnalyze(const RetroOp& op, SystemMode mode);
 
   /// Convenience: builds a RetroOp from SQL text ("" = remove).
   Result<RetroOp> MakeOp(RetroOp::Kind kind, uint64_t index,
@@ -186,6 +252,12 @@ class Ultraverse {
                                    const sql::LogEntry& entry,
                                    uint64_t commit_index,
                                    std::atomic<uint64_t>* rtt_counter);
+  /// Catch-up of raw + canonicalized analysis and footprints to the log
+  /// tail. Caller holds commit_mu_ exclusively. Incremental: entries
+  /// already canonicalized are reused verbatim unless the analyzer's
+  /// merged-RI generation advanced (then canonical representatives may
+  /// have changed and everything re-canonicalizes).
+  Status EnsureAnalysisLocked();
 
   Options options_;
   sql::Database db_;
@@ -201,10 +273,16 @@ class Ultraverse {
   std::map<std::string, transpiler::TranspiledTransaction> transpiled_;
   double transpile_seconds_ = 0;
 
-  // Raw (uncanonicalized) per-entry analysis, maintained incrementally.
+  // Raw (uncanonicalized) per-entry analysis, maintained incrementally,
+  // plus the aligned static table footprints fed to the dependency
+  // planner's pre-filter (exact dynamic table sets satisfy the ⊇
+  // contract of DependencyOptions::static_footprints).
   std::vector<QueryRW> raw_analysis_;
+  std::vector<TableFootprint> footprints_;
+  // Canonicalized analysis: extended append-only while the analyzer's
+  // merged-RI generation holds, rebuilt wholesale when a merge lands.
   std::vector<QueryRW> canonical_analysis_;
-  bool canonical_dirty_ = true;
+  uint64_t canonical_merge_gen_ = 0;
 
   // Last logged hash per table (eager hash logging).
   std::map<std::string, Digest256> last_hash_;
@@ -214,7 +292,23 @@ class Ultraverse {
 
   std::map<std::string, uint64_t> scenario_tags_;
 
-  std::mutex commit_mu_;  // regular ops vs what-if adoption
+  /// Exclusive: commits, snapshot builds, the what-if adoption swap.
+  /// Shared: staging clones, fault-ins, fingerprints — so concurrent
+  /// analyses never serialize on each other. Mutable so const readers
+  /// (StateFingerprint) can take the shared side.
+  mutable std::shared_mutex commit_mu_;
+
+  // --- MVCC what-if state (DESIGN.md §14) ---------------------------------
+  /// Latest epoch's snapshot; replaced when the epoch advances. In-flight
+  /// analyses keep older snapshots alive through their shared_ptrs.
+  std::shared_ptr<const HistorySnapshot> snapshot_cache_;
+  /// Hash-jumper timeline shared across publishing what-ifs, epoch-keyed.
+  TimelineCache timeline_cache_;
+  /// (epoch, canonicalized op, mode) -> analyze-only result. Guarded by
+  /// result_mu_ (a leaf lock: never held while acquiring commit_mu_).
+  std::mutex result_mu_;
+  uint64_t result_cache_epoch_ = 0;
+  std::map<std::string, WhatIfAnalysis> result_cache_;
 };
 
 }  // namespace ultraverse::core

@@ -20,6 +20,7 @@ constexpr const char* kVerdictNames[kNumTxnVerdicts] = {
     "pruned-column-disjoint",
     "cluster-excluded",
     "hash-jump-skip",
+    "result-cache-hit",
 };
 
 void AppendQuoted(std::ostringstream* out, const std::string& s) {

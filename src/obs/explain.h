@@ -36,17 +36,21 @@ enum class TxnVerdict {
   kPrunedColumnDisjoint,  // no column-granularity dependency rule fired
   kClusterExcluded,       // in the column cluster, excluded by row closure
   kHashJumpSkip,          // plan member never executed: digests converged
+  kResultCacheHit,        // whole analysis served from the epoch result cache
 };
 
-inline constexpr int kNumTxnVerdicts = 7;
+inline constexpr int kNumTxnVerdicts = 8;
 
 const char* TxnVerdictName(TxnVerdict v);
 std::optional<TxnVerdict> TxnVerdictFromName(const std::string& name);
 
 /// True for every verdict that claims the transaction did NOT run in the
-/// what-if universe (the set --check-explain validates).
+/// what-if universe (the set --check-explain validates). kResultCacheHit is
+/// a whole-report provenance mark (the analysis was memoized), not a claim
+/// about any individual transaction, so it is excluded.
 inline bool VerdictIsPrune(TxnVerdict v) {
-  return v != TxnVerdict::kReplayed && v != TxnVerdict::kRetroTarget;
+  return v != TxnVerdict::kReplayed && v != TxnVerdict::kRetroTarget &&
+         v != TxnVerdict::kResultCacheHit;
 }
 
 /// Per-transaction provenance (ExplainLevel::kFull only).

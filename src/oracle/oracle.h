@@ -83,6 +83,9 @@ class Universe {
 
   sql::Database* db() { return db_.get(); }
   const sql::QueryLog& log() const { return log_; }
+  /// Mutable log access for tests that patch history in place (the
+  /// equal-length rewrite regressions) or advance the epoch by hand.
+  sql::QueryLog* mutable_log() { return &log_; }
 
   /// Per-entry R/W analysis of the full log (computed once, cached).
   Result<const std::vector<core::QueryRW>*> Analysis();

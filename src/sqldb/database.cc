@@ -170,13 +170,17 @@ Table* Database::FindTable(const std::string& name) {
   }
   obs::TraceSpan span("staging.fault_in", {{"table", name.c_str()}});
   std::unique_ptr<Table> staged;
+  bool base_drifted = false;
   {
-    // Hold the live database's mutex during the clone so a concurrent
-    // writer cannot be mid-materialization of the pages we are sharing.
-    std::unique_lock<std::mutex> base_lock;
+    // Hold the live database's mutex *shared* during the clone so a writer
+    // cannot be mid-materialization of the pages we are sharing; other
+    // staged databases fault in concurrently under the same shared lock.
+    std::shared_lock<std::shared_mutex> base_lock;
     if (read_base_mu_) {
-      base_lock = std::unique_lock<std::mutex>(*read_base_mu_);
+      base_lock = std::shared_lock<std::shared_mutex>(*read_base_mu_);
     }
+    base_drifted =
+        read_base_->schema_version() != fallback_base_version_;
     const Table* src = read_base_->FindTable(name);
     if (!src) return nullptr;
     staged = src->Clone();
@@ -188,9 +192,15 @@ Table* Database::FindTable(const std::string& name) {
   fault_ins->Inc();
   Table* result = staged.get();
   tables_[name] = std::move(staged);
-  // The catalog visible to compiled plans just changed (negative "no such
-  // table" verdicts are now stale); take a fresh epoch.
-  schema_version_.store(NextSchemaEpoch(), std::memory_order_relaxed);
+  if (base_drifted) {
+    // The base ran DDL since SetReadFallback, so the table we just pulled
+    // in may not match the schema our version describes — and compiled
+    // plans keyed on the inherited version could read/write it at the
+    // wrong layout. Take a fresh epoch. While the base is *undrifted* the
+    // inherited version still describes everything faultable, so staying
+    // on it keeps the base's warm plans valid here (no spurious misses).
+    schema_version_.store(NextSchemaEpoch(), std::memory_order_relaxed);
+  }
   return result;
 }
 
@@ -831,9 +841,10 @@ std::unique_ptr<Database> Database::CloneTables(
   return copy;
 }
 
-void Database::SetReadFallback(const Database* base, std::mutex* mu) {
+void Database::SetReadFallback(const Database* base, std::shared_mutex* mu) {
   read_base_ = base;
   read_base_mu_ = mu;
+  fallback_base_version_ = base ? base->schema_version() : 0;
 }
 
 Status Database::AdoptTables(const Database& src,

@@ -175,10 +175,13 @@ class Database {
 
   /// Makes this (temporary) database resolve tables missing from its own
   /// catalog against `base`: the first access CoW-clones the table in
-  /// (a fault-in, taken with `mu` held when provided so it cannot race
-  /// writers of `base`). Retroactively dropped tables stay dropped — a
-  /// local DROP wins over the fallback.
-  void SetReadFallback(const Database* base, std::mutex* mu);
+  /// (a fault-in, taken with `mu` held *shared* when provided, so
+  /// concurrent fault-ins from many staged databases never serialize on
+  /// the base — only writers of `base` take it exclusive). Retroactively
+  /// dropped tables stay dropped — a local DROP wins over the fallback.
+  /// Pass mu == nullptr when `base` is an immutable epoch-pinned snapshot:
+  /// fault-ins are then lock-free (DESIGN.md §14).
+  void SetReadFallback(const Database* base, std::shared_mutex* mu);
 
   /// Copies table contents of `names` from `src` into this database
   /// (the §4.4 "Database Update" step: mutated tables flow back).
@@ -278,7 +281,14 @@ class Database {
   /// configured (parallel replay workers may fault in concurrently);
   /// databases without a fallback take the uncontended path.
   const Database* read_base_ = nullptr;
-  std::mutex* read_base_mu_ = nullptr;
+  std::shared_mutex* read_base_mu_ = nullptr;
+  /// Base schema version captured at SetReadFallback time. While the base
+  /// still sits at this version its catalog has not drifted from what this
+  /// staged database inherited, so a fault-in materializes state the
+  /// inherited schema_version_ already describes — no bump needed, and
+  /// plans compiled by the base stay warm. After base DDL the versions
+  /// differ and fault-ins take a fresh epoch (see FindTable).
+  uint64_t fallback_base_version_ = 0;
   mutable std::shared_mutex catalog_mu_;
   std::set<std::string> dropped_;  // locally dropped: never fault back in
 

@@ -5,6 +5,9 @@ namespace ultraverse::sql {
 uint64_t QueryLog::Append(LogEntry entry) {
   entry.index = entries_.size() + 1;
   entries_.push_back(std::move(entry));
+  // Epoch after the entry is in place: a reader that observes the new
+  // epoch also observes the appended entry (release pairs with epoch()).
+  BumpEpoch();
   return entries_.back().index;
 }
 

@@ -1,6 +1,7 @@
 #ifndef ULTRAVERSE_SQLDB_QUERY_LOG_H_
 #define ULTRAVERSE_SQLDB_QUERY_LOG_H_
 
+#include <atomic>
 #include <cstdint>
 #include <deque>
 #include <map>
@@ -52,11 +53,28 @@ class QueryLog {
   uint64_t Append(LogEntry entry);
 
   const std::deque<LogEntry>& entries() const { return entries_; }
-  std::deque<LogEntry>& mutable_entries() { return entries_; }
+  std::deque<LogEntry>& mutable_entries() {
+    BumpEpoch();
+    return entries_;
+  }
   size_t size() const { return entries_.size(); }
   const LogEntry& at(uint64_t index) const { return entries_[index - 1]; }
-  LogEntry& at_mutable(uint64_t index) { return entries_[index - 1]; }
+  LogEntry& at_mutable(uint64_t index) {
+    BumpEpoch();
+    return entries_[index - 1];
+  }
   uint64_t last_index() const { return entries_.size(); }
+
+  /// Monotone history epoch (DESIGN.md §14): advances on every commit
+  /// (Append), on every mutable access to committed entries, and — via
+  /// BumpEpoch from the facade — on every what-if publish that rewrites
+  /// history in place. Two equal epochs imply bit-identical history, so
+  /// every derived cache (hash timelines, what-if results, analysis
+  /// snapshots) keys on it instead of on log *size*, which an equal-length
+  /// in-place rewrite leaves unchanged. Safe to read concurrently with an
+  /// appending writer.
+  uint64_t epoch() const { return epoch_.load(std::memory_order_acquire); }
+  void BumpEpoch() { epoch_.fetch_add(1, std::memory_order_acq_rel); }
 
   /// Byte size a MySQL-style binary log would use: statement text plus a
   /// fixed per-event header (MySQL binlog v4 events carry a 19-byte common
@@ -72,6 +90,7 @@ class QueryLog {
 
  private:
   std::deque<LogEntry> entries_;
+  std::atomic<uint64_t> epoch_{0};
 };
 
 }  // namespace ultraverse::sql

@@ -542,6 +542,32 @@ std::optional<Result<ExecResult>> Executor::TryExecute(Database* db,
                                                        ExecContext* ctx) {
   if (!ctx) return std::nullopt;
 
+  // Resolve the target table through the drift-aware path BEFORE any cache
+  // decision. On a lazily-staged clone the const lookups Compile() uses
+  // read straight through the fallback without faulting in — a plan built
+  // that way describes the base's current catalog, but the clone's version
+  // only moves when the non-const fault-in detects drift. Fault in first,
+  // so the version below is settled and every lookup/insert is keyed by
+  // the catalog the plan actually describes.
+  switch (stmt.kind) {
+    case StatementKind::kSelect:
+      if (!stmt.select->from_table.empty()) {
+        (void)db->FindTable(stmt.select->from_table);
+      }
+      break;
+    case StatementKind::kInsert:
+      (void)db->FindTable(stmt.insert.table);
+      break;
+    case StatementKind::kUpdate:
+      (void)db->FindTable(stmt.update.table);
+      break;
+    case StatementKind::kDelete:
+      (void)db->FindTable(stmt.del.table);
+      break;
+    default:
+      break;
+  }
+
   PlanCache* cache = db->plan_cache();
   const uint64_t version = db->schema_version();
   const uint64_t fp = FingerprintStatement(stmt);
@@ -553,13 +579,24 @@ std::optional<Result<ExecResult>> Executor::TryExecute(Database* db,
     obs::TraceSpan span("vm.compile");
     obs::ScopedLatency latency(VmMetrics::Get().compile_us);
     plan = Compile(*db, stmt);
-    cache->Insert(fp, version, plan);  // nullptr = negative verdict
+    // Compiling against a staged database can fault the table in from a
+    // drifted base, which moves the version: the plan then describes a
+    // catalog the key does not. Insert only when the version held.
+    if (db->schema_version() == version) {
+      cache->Insert(fp, version, plan);  // nullptr = negative verdict
+    }
   }
   if (!plan) return std::nullopt;
 
+  // FindTable on a staged database may fault the table in from a drifted
+  // base and take a fresh epoch — in that case both the plan we hold and
+  // the version we'd key an insert on describe a catalog that no longer
+  // exists. Re-read the version and fall back to the tree walker when it
+  // moved; never re-insert the old plan under the new version.
+  Table* table = db->FindTable(plan->table);
+  if (db->schema_version() != version) return std::nullopt;
   // The epoch makes stale plans unreachable; this width check is a cheap
   // second line of defense, not a correctness dependency.
-  Table* table = db->FindTable(plan->table);
   if (!table || table->schema().columns.size() != plan->schema_width) {
     return std::nullopt;
   }

@@ -25,6 +25,7 @@ enum class StatusCode {
   kCancelled,          // operation cancelled via a CancelToken
   kDeadlineExceeded,   // a CancelToken deadline expired mid-operation
   kDataLoss,           // durable-log corruption beyond torn-tail repair
+  kAborted,            // optimistic-concurrency conflict; caller may retry
 };
 
 /// Arrow/RocksDB-style status object. Functions that can fail return a
@@ -78,6 +79,9 @@ class Status {
   static Status DataLoss(std::string m) {
     return Status(StatusCode::kDataLoss, std::move(m));
   }
+  static Status Aborted(std::string m) {
+    return Status(StatusCode::kAborted, std::move(m));
+  }
 
   bool ok() const { return code_ == StatusCode::kOk; }
   StatusCode code() const { return code_; }
@@ -105,6 +109,7 @@ class Status {
       case StatusCode::kCancelled: return "Cancelled";
       case StatusCode::kDeadlineExceeded: return "DeadlineExceeded";
       case StatusCode::kDataLoss: return "DataLoss";
+      case StatusCode::kAborted: return "Aborted";
     }
     return "Unknown";
   }

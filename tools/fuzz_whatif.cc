@@ -9,6 +9,7 @@
 //   fuzz_whatif --repro failing.sql              # re-run a repro file
 //   fuzz_whatif --crash-points --histories 5     # crash+recover sweep (§11)
 //   fuzz_whatif --failpoints 'wal.append=error:once'  # arbitrary arming
+//   fuzz_whatif --concurrent --seed 7            # MVCC race oracle (§14)
 //
 // Every generated case runs each selective-replay mode pair against the
 // full-naive reference oracle. Divergences are shrunk to a minimal history
@@ -31,6 +32,7 @@
 #include "fault/failpoint.h"
 #include "obs/flight_recorder.h"
 #include "obs/metrics.h"
+#include "oracle/concurrent.h"
 #include "oracle/fuzzer.h"
 #include "oracle/oracle.h"
 #include "sqldb/exec_engine.h"
@@ -43,7 +45,7 @@ int Usage(const char* argv0) {
                "          [--check-static] [--check-explain] [--exec-diff]\n"
                "          [--exec vm|tree] [--no-shrink] [--repro FILE]\n"
                "          [--out-dir DIR] [--crash-points]\n"
-               "          [--metrics-out FILE]\n"
+               "          [--metrics-out FILE] [--concurrent] [--rounds N]\n"
                "          [--failpoints SPEC]   (also: ULTRA_FAILPOINTS)\n",
                argv0);
   return 2;
@@ -79,6 +81,37 @@ int RunCrashPoints(const ultraverse::fault::CrashSweepOptions& options,
     std::printf("%s\n", divergence.detail.c_str());
   }
   return report->divergences.empty() ? 0 : 1;
+}
+
+/// MVCC race oracle (DESIGN.md §14): writers commit against the live
+/// facade while analysts run analyze-only what-ifs over shared snapshots;
+/// per-snapshot selective/full-naive fingerprint equality is the invariant.
+/// Each round uses a derived seed so the schedule space varies while the
+/// whole run stays reproducible from --seed.
+int RunConcurrent(uint64_t seed, size_t rounds) {
+  size_t total_analyses = 0, total_commits = 0, total_hits = 0;
+  size_t total_publishes = 0, total_aborts = 0, divergences = 0;
+  for (size_t round = 0; round < rounds; ++round) {
+    ultraverse::oracle::ConcurrentFuzzOptions options;
+    options.seed = seed + round;
+    auto report = ultraverse::oracle::ConcurrentFuzz(options);
+    total_analyses += report.analyses;
+    total_commits += report.commits;
+    total_hits += report.cache_hits;
+    total_publishes += report.publishes;
+    total_aborts += report.publish_aborts;
+    divergences += report.divergences;
+    for (const auto& failure : report.failures) {
+      std::fprintf(stderr, "[concurrent] round %zu: %s\n", round,
+                   failure.c_str());
+    }
+  }
+  std::printf("concurrent: %zu rounds  commits: %zu  analyses: %zu  "
+              "cache hits: %zu  publishes: %zu (+%zu aborted)  "
+              "divergences: %zu\n",
+              rounds, total_commits, total_analyses, total_hits,
+              total_publishes, total_aborts, divergences);
+  return divergences == 0 ? 0 : 1;
 }
 
 int RunRepro(const std::string& path) {
@@ -118,6 +151,8 @@ int main(int argc, char** argv) {
   std::string repro, out_dir = ".";
   bool histories_set = false;
   bool crash_points = false;
+  bool concurrent = false;
+  size_t rounds = 3;
   std::string failpoint_spec;
   std::string metrics_out;
 
@@ -186,6 +221,10 @@ int main(int argc, char** argv) {
       out_dir = need_value("--out-dir");
     } else if (!std::strcmp(argv[i], "--crash-points")) {
       crash_points = true;
+    } else if (!std::strcmp(argv[i], "--concurrent")) {
+      concurrent = true;
+    } else if (!std::strcmp(argv[i], "--rounds")) {
+      rounds = std::strtoull(need_value("--rounds"), nullptr, 10);
     } else if (!std::strcmp(argv[i], "--failpoints")) {
       failpoint_spec = need_value("--failpoints");
     } else {
@@ -223,6 +262,8 @@ int main(int argc, char** argv) {
     };
     return RunCrashPoints(sweep, options.seed, out_dir);
   }
+
+  if (concurrent) return RunConcurrent(options.seed, rounds);
 
   if (!repro.empty()) return RunRepro(repro);
 
