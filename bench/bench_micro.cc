@@ -6,6 +6,7 @@
 
 #include <deque>
 #include <filesystem>
+#include <map>
 #include <mutex>
 #include <thread>
 
@@ -384,6 +385,135 @@ void BM_ReplayPlanPrefilter(benchmark::State& state) {
   state.SetItemsProcessed(state.iterations() * int64_t(fx.analysis.size()));
 }
 BENCHMARK(BM_ReplayPlanPrefilter)->Arg(0)->Arg(1)
+    ->Unit(benchmark::kMicrosecond);
+
+// --- Predicate-region tier (DESIGN.md §15) ----------------------------------
+// Replay-plan cost and size with and without the predicate pre-filter on a
+// range-keyed single-table history: every statement writes one 10-key
+// window [10w, 10w+10), so classic row-wise analysis sees nothing but
+// wildcards (every statement replays) while the predicate tier proves all
+// windows but the target's disjoint. The plan_size counter records what
+// the tier buys; EXPERIMENTS.md tracks both rows.
+
+struct PredicateBenchFixture {
+  std::vector<core::QueryRW> analysis;
+  core::QueryRW target_rw;
+};
+
+PredicateBenchFixture BuildPredicateBenchFixture(int64_t windows,
+                                                 int64_t commits) {
+  core::QueryAnalyzer analyzer;
+  uint64_t index = 0;
+  auto feed = [&](const std::string& text) {
+    sql::LogEntry entry;
+    entry.sql = text;
+    entry.stmt = *sql::Parser::ParseStatement(text);
+    entry.index = ++index;
+    return entry;
+  };
+  (void)analyzer.AnalyzeEntry(
+      feed("CREATE TABLE t (id INT PRIMARY KEY, v INT)"));
+  PredicateBenchFixture fx;
+  for (int64_t i = 0; i < commits; ++i) {
+    int64_t lo = (i % windows) * 10;
+    auto rw = analyzer.AnalyzeEntry(
+        feed("UPDATE t SET v = " + std::to_string(i) + " WHERE id >= " +
+             std::to_string(lo) + " AND id < " + std::to_string(lo + 10)));
+    if (rw.ok()) {
+      analyzer.CanonicalizeRowSets(&*rw);
+      fx.analysis.push_back(*rw);
+    }
+  }
+  fx.target_rw = fx.analysis.front();
+  return fx;
+}
+
+void BM_PredicatePrefilter(benchmark::State& state) {
+  const bool tier_on = state.range(0) != 0;
+  static const PredicateBenchFixture& fx =
+      *new PredicateBenchFixture(BuildPredicateBenchFixture(256, 4096));
+  core::DependencyOptions options;
+  options.predicate_filter = tier_on;
+  size_t plan_size = 0;
+  for (auto _ : state) {
+    core::ReplayPlan plan = core::ComputeReplayPlan(
+        fx.analysis, /*target_index=*/1, fx.target_rw,
+        /*target_occupies_slot=*/true, options);
+    plan_size = plan.replay_indices.size();
+    benchmark::DoNotOptimize(plan_size);
+  }
+  state.counters["plan_size"] = double(plan_size);
+  state.SetItemsProcessed(state.iterations() * int64_t(fx.analysis.size()));
+}
+BENCHMARK(BM_PredicatePrefilter)->Arg(0)->Arg(1)
+    ->Unit(benchmark::kMicrosecond);
+
+// Plan-size comparison on the bundled equality-keyed workload histories
+// (TATP: subscriber-keyed point writes; Epinions: user/item-keyed): how
+// many of the raw history's commits survive into the replay plan with the
+// predicate tier off (Arg 1 = 0) vs on (Arg 1 = 1). Both configurations
+// run the column-only pre-filter (row_wise off) — that is the comparison
+// the tier exists for: at row granularity the classic RowSet refutation
+// already separates point-keyed commits, but the column pass has no row
+// power without regions. Time measures plan computation only; plan_size
+// is the headline number.
+void BM_PredicatePlanSizeWorkload(benchmark::State& state) {
+  static const char* kNames[] = {"tatp", "epinions"};
+  const char* name = kNames[state.range(0)];
+  const bool tier_on = state.range(1) != 0;
+  struct WorkloadFixture {
+    PredicateBenchFixture fx;
+    uint64_t target_index = 1;
+  };
+  static std::map<std::string, WorkloadFixture>& cache =
+      *new std::map<std::string, WorkloadFixture>();
+  if (!cache.count(name)) {
+    workload::RawHistory h = workload::MakeRawHistory(name, 512, 0.5, 11);
+    core::QueryAnalyzer analyzer;
+    uint64_t index = 0;
+    WorkloadFixture wf;
+    uint64_t target_pos = 0;
+    for (const auto& ddl : h.schema_sql) {
+      sql::LogEntry entry;
+      entry.sql = ddl;
+      entry.stmt = *sql::Parser::ParseStatement(ddl);
+      entry.index = ++index;
+      (void)analyzer.AnalyzeEntry(entry);
+    }
+    for (size_t i = 0; i < h.queries.size(); ++i) {
+      sql::LogEntry entry;
+      entry.sql = h.queries[i];
+      entry.stmt = *sql::Parser::ParseStatement(h.queries[i]);
+      entry.index = ++index;
+      auto rw = analyzer.AnalyzeEntry(entry);
+      if (rw.ok()) {
+        analyzer.CanonicalizeRowSets(&*rw);
+        wf.fx.analysis.push_back(*rw);
+        if (i + 1 == h.retro_index) target_pos = wf.fx.analysis.size();
+      }
+    }
+    wf.target_index = target_pos ? target_pos : 1;
+    wf.fx.target_rw = wf.fx.analysis[wf.target_index - 1];
+    cache[name] = std::move(wf);
+  }
+  const PredicateBenchFixture& fx = cache[name].fx;
+  const uint64_t target_index = cache[name].target_index;
+  core::DependencyOptions options;
+  options.row_wise = false;
+  options.predicate_filter = tier_on;
+  size_t plan_size = 0;
+  for (auto _ : state) {
+    core::ReplayPlan plan = core::ComputeReplayPlan(
+        fx.analysis, target_index, fx.target_rw,
+        /*target_occupies_slot=*/true, options);
+    plan_size = plan.replay_indices.size();
+    benchmark::DoNotOptimize(plan_size);
+  }
+  state.counters["plan_size"] = double(plan_size);
+  state.SetLabel(name);
+}
+BENCHMARK(BM_PredicatePlanSizeWorkload)
+    ->Args({0, 0})->Args({0, 1})->Args({1, 0})->Args({1, 1})
     ->Unit(benchmark::kMicrosecond);
 
 // --- fault injection + durable WAL (DESIGN.md §11) -------------------------

@@ -70,17 +70,20 @@ run_plain() {
   echo "== plain: explain-soundness smoke =="
   build/tools/fuzz_whatif --check-explain --seed 1 --histories 60 \
     --out-dir "$SWEEP_DIR"
+  echo "== plain: predicate-region containment smoke (DESIGN.md §15) =="
+  build/tools/fuzz_whatif --check-predicates --seed 1 --histories 200 \
+    --out-dir "$SWEEP_DIR"
   echo "== plain: concurrent what-if smoke (MVCC, DESIGN.md §14) =="
   build/tools/fuzz_whatif --concurrent --seed 1 --rounds 3
   rm -rf "$SWEEP_DIR"
 }
 
 run_sanitized() {  # $1 = address|thread, $2 = build dir
-  echo "== $1 sanitizer: obs + oracle + fault + vm + explain + mvcc labels =="
+  echo "== $1 sanitizer: obs+oracle+fault+vm+explain+mvcc+predicate labels =="
   cmake -B "$2" -S . -DULTRA_SANITIZE="$1"
   cmake --build "$2" -j "$JOBS"
   ctest --test-dir "$2" --output-on-failure -j "$JOBS" \
-    -L 'obs|oracle|fault|vm|explain|mvcc'
+    -L 'obs|oracle|fault|vm|explain|mvcc|predicate'
   if [ "$1" = thread ]; then
     # The concurrent analyst-vs-writer fuzz is the MVCC layer's real race
     # detector: N what-if analyses against shared snapshots while writers

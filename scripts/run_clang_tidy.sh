@@ -2,7 +2,10 @@
 # Runs clang-tidy (checks from .clang-tidy) over the first-party sources
 # using the compile database of an existing build directory.
 #
-#   scripts/run_clang_tidy.sh [BUILD_DIR]   # default: build
+#   scripts/run_clang_tidy.sh [BUILD_DIR]              # default: build
+#   scripts/run_clang_tidy.sh BUILD_DIR FILE.cc ...    # only these files
+#                                                      # (CI's changed-file
+#                                                      # mode)
 #
 # Exits 0 with a notice when clang-tidy is not installed, so the `lint`
 # ctest target degrades gracefully on toolchains without it (the CI image
@@ -24,6 +27,11 @@ if [ ! -f "$BUILD_DIR/compile_commands.json" ]; then
   exit 2
 fi
 
-FILES=$(git ls-files 'src/*.cc' 'tools/*.cc' 'tests/*.cc' 'bench/*.cc')
+if [ "$#" -gt 1 ]; then
+  shift
+  FILES="$*"
+else
+  FILES=$(git ls-files 'src/*.cc' 'tools/*.cc' 'tests/*.cc' 'bench/*.cc')
+fi
 # shellcheck disable=SC2086
 clang-tidy -p "$BUILD_DIR" --quiet $FILES

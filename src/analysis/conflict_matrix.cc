@@ -10,14 +10,47 @@ bool StaticallyConflict(const StaticSummary& a, const StaticSummary& b) {
          a.rw.rc.Intersects(b.rw.wc);
 }
 
-bool ConflictMatrix::At(const std::string& a, const std::string& b) const {
+bool PredicateRefuted(const StaticSummary& a, const StaticSummary& b) {
+  return !a.rw.wr.RegionIntersects(b.rw.rr) &&
+         !a.rw.rr.RegionIntersects(b.rw.wr) &&
+         !a.rw.wr.RegionIntersects(b.rw.wr);
+}
+
+namespace {
+
+ConflictCell Classify(const StaticSummary& a, const StaticSummary& b) {
+  if (!StaticallyConflict(a, b)) return ConflictCell::kDisjoint;
+  if (PredicateRefuted(a, b)) return ConflictCell::kPredicateRefuted;
+  return ConflictCell::kMayConflict;
+}
+
+char Glyph(ConflictCell c) {
+  switch (c) {
+    case ConflictCell::kDisjoint:
+      return '.';
+    case ConflictCell::kPredicateRefuted:
+      return '~';
+    case ConflictCell::kMayConflict:
+      return '#';
+  }
+  return '#';
+}
+
+}  // namespace
+
+ConflictCell ConflictMatrix::CellAt(const std::string& a,
+                                    const std::string& b) const {
   auto ia = std::find(procedures.begin(), procedures.end(), a);
   auto ib = std::find(procedures.begin(), procedures.end(), b);
   if (ia == procedures.end() || ib == procedures.end()) {
-    return true;  // unknown procedure: assume conflict (sound)
+    return ConflictCell::kMayConflict;  // unknown: assume conflict (sound)
   }
   return conflicts[size_t(ia - procedures.begin())]
                   [size_t(ib - procedures.begin())];
+}
+
+bool ConflictMatrix::At(const std::string& a, const std::string& b) const {
+  return CellAt(a, b) == ConflictCell::kMayConflict;
 }
 
 std::string ConflictMatrix::ToString() const {
@@ -25,12 +58,13 @@ std::string ConflictMatrix::ToString() const {
   size_t width = 0;
   for (const auto& p : procedures) width = std::max(width, p.size());
   os << "static conflict matrix (" << procedures.size()
-     << " procedures; '#' = may conflict, '.' = provably disjoint)\n";
+     << " procedures; '#' = may conflict, '~' = predicate-refuted, "
+        "'.' = provably disjoint)\n";
   for (size_t i = 0; i < procedures.size(); ++i) {
     os << "  " << procedures[i]
        << std::string(width - procedures[i].size() + 1, ' ');
     for (size_t j = 0; j < procedures.size(); ++j) {
-      os << (conflicts[i][j] ? '#' : '.');
+      os << Glyph(conflicts[i][j]);
     }
     os << "\n";
   }
@@ -47,11 +81,12 @@ Result<ConflictMatrix> BuildConflictMatrix(StaticAnalyzer* analyzer) {
                         analyzer->ProcedureSummary(name));
     sums.push_back(sum);
   }
-  m.conflicts.assign(m.procedures.size(),
-                     std::vector<bool>(m.procedures.size(), false));
+  m.conflicts.assign(
+      m.procedures.size(),
+      std::vector<ConflictCell>(m.procedures.size(), ConflictCell::kDisjoint));
   for (size_t i = 0; i < sums.size(); ++i) {
     for (size_t j = i; j < sums.size(); ++j) {
-      bool c = StaticallyConflict(*sums[i], *sums[j]);
+      ConflictCell c = Classify(*sums[i], *sums[j]);
       m.conflicts[i][j] = c;
       m.conflicts[j][i] = c;
     }

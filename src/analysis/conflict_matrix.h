@@ -1,6 +1,7 @@
 #ifndef ULTRAVERSE_ANALYSIS_CONFLICT_MATRIX_H_
 #define ULTRAVERSE_ANALYSIS_CONFLICT_MATRIX_H_
 
+#include <cstdint>
 #include <string>
 #include <vector>
 
@@ -16,21 +17,42 @@ namespace ultraverse::analysis {
 /// conflict-DAG participation can be skipped for the pair.
 bool StaticallyConflict(const StaticSummary& a, const StaticSummary& b);
 
-/// Pairwise static conflict relation over a catalog's stored procedures —
-/// the what-if planner's cheat sheet: statically disjoint pairs (false
-/// cells) need no row-wise comparison at planning time. Symmetric by
-/// construction; reflexive for any procedure that writes.
-struct ConflictMatrix {
-  std::vector<std::string> procedures;       // sorted
-  std::vector<std::vector<bool>> conflicts;  // conflicts[i][j], square
+/// Predicate-region refutation (DESIGN.md §15) for a column-conflicting
+/// pair: true when every conflicting direction (write/read, read/write,
+/// write/write) is row-region disjoint, i.e. the two procedures touch
+/// provably distinct rows in every execution. Both summaries come from the
+/// same registry, so their row keys align and the raw comparison is sound.
+bool PredicateRefuted(const StaticSummary& a, const StaticSummary& b);
 
+/// One pairwise verdict, ordered by how decisively the pair is separated.
+enum class ConflictCell : uint8_t {
+  kDisjoint,          // column sets never overlap ('.')
+  kPredicateRefuted,  // columns overlap, row regions provably disjoint ('~')
+  kMayConflict,       // no static argument separates the pair ('#')
+};
+
+/// Pairwise static conflict relation over a catalog's stored procedures —
+/// the what-if planner's cheat sheet: statically separated pairs (kDisjoint
+/// or kPredicateRefuted cells) need no row-wise comparison at planning
+/// time. Symmetric by construction; reflexive for any procedure that
+/// writes.
+struct ConflictMatrix {
+  std::vector<std::string> procedures;            // sorted
+  std::vector<std::vector<ConflictCell>> conflicts;  // conflicts[i][j], square
+
+  /// True when the pair may conflict (kMayConflict); both refuted tiers
+  /// count as disjoint. Unknown procedures conservatively conflict.
   bool At(const std::string& a, const std::string& b) const;
-  /// Human-readable grid (uvlint's trailing report section).
+  ConflictCell CellAt(const std::string& a, const std::string& b) const;
+  /// Human-readable grid (uvlint's trailing report section):
+  /// '#' may conflict, '~' refuted by predicate regions, '.' disjoint.
   std::string ToString() const;
 };
 
 /// Builds the matrix from the analyzer's current catalog, summarizing each
 /// procedure body (cached in the analyzer) with parameters wildcarded.
+/// Column- and predicate-aware: cells record whether the pair is separated
+/// by column sets alone or only by the predicate-region tier.
 Result<ConflictMatrix> BuildConflictMatrix(StaticAnalyzer* analyzer);
 
 }  // namespace ultraverse::analysis

@@ -1,0 +1,80 @@
+#ifndef ULTRAVERSE_ANALYSIS_SHARD_ADVISOR_H_
+#define ULTRAVERSE_ANALYSIS_SHARD_ADVISOR_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "sqldb/ast.h"
+#include "util/status.h"
+
+namespace ultraverse::analysis {
+
+/// Whole-history static partition advisor (the planning half of the
+/// database-sharding application, ROADMAP item 4): given a statement
+/// sequence — a schema script plus workload history — it builds the
+/// predicate-aware static conflict graph over the statements, groups
+/// tables into colocation components, and proposes key-range splits for
+/// tables whose remaining column-level conflicts are all refuted by the
+/// predicate-region tier (DESIGN.md §15).
+///
+/// The advice is *static*: it over-approximates every execution, so a
+/// "partitionable" verdict means no history over these templates can ever
+/// create a cross-shard row conflict on that table.
+struct ShardAdvice {
+  /// Connected component of tables co-accessed by at least one statement:
+  /// tables in one group must colocate on a shard for single-statement
+  /// atomicity to stay local.
+  struct TableGroup {
+    std::vector<std::string> tables;  // sorted
+  };
+
+  /// Per-table split analysis for tables with a row-identifier column.
+  struct TableSplit {
+    std::string table;
+    std::string ri_column;
+    /// True when every column-conflicting statement pair touching this
+    /// table is predicate-refuted: all accesses are provably single-key or
+    /// disjoint-region, so hash/range partitioning on ri_column never
+    /// crosses shards.
+    bool partitionable = false;
+    size_t statements = 0;         // statements touching the table
+    size_t conflicting_pairs = 0;  // column-conflicting pairs on the table
+    size_t refuted_pairs = 0;      // of those, predicate-refuted
+    /// Proposed range boundaries (shards-1 decoded key values at the
+    /// quantiles of the statically observed equality points), empty when
+    /// the table is not partitionable or the points are not comparable.
+    std::vector<std::string> boundaries;
+  };
+
+  std::vector<TableGroup> groups;
+  std::vector<TableSplit> splits;
+
+  size_t statements_analyzed = 0;
+  /// Statements past the pairwise cap: still grouped, not pair-checked
+  /// (the advisor says so rather than silently truncating).
+  size_t statements_beyond_pair_cap = 0;
+  size_t pairs_checked = 0;
+  size_t pairs_disjoint = 0;    // column sets never overlap
+  size_t pairs_refuted = 0;     // overlap refuted by predicate regions
+  size_t pairs_conflicting = 0; // no static separation
+
+  std::string ToString() const;
+  std::string ToJson() const;
+};
+
+/// Cap on the statements entering the O(n²) pairwise conflict scan;
+/// statements beyond it still contribute to table grouping.
+inline constexpr size_t kShardPairwiseCap = 2000;
+
+/// Runs the advisor over `statements`, evolving an owned StaticAnalyzer
+/// through any DDL (so summaries see the schema each statement saw).
+/// `shards` sizes the key-range proposals (boundaries = shards-1).
+/// Statements that fail static summarization pessimize their tables into
+/// one conflicting group (sound) rather than erroring the whole run.
+Result<ShardAdvice> AdviseSharding(
+    const std::vector<sql::StatementPtr>& statements, size_t shards);
+
+}  // namespace ultraverse::analysis
+
+#endif  // ULTRAVERSE_ANALYSIS_SHARD_ADVISOR_H_

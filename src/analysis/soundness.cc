@@ -33,13 +33,27 @@ bool RowsContained(const core::RowSet& dyn, const core::RowSet& stat,
                 "\" is a dynamic wildcard but statically value-bounded";
       return false;
     }
-    if (svals.wildcard) continue;  // static wildcard covers everything
-    for (const auto& v : vals.values) {
-      if (!svals.values.count(v)) {
-        *breach = std::string(label) + " row \"" + col + "\"=" + v +
-                  " accessed dynamically but not statically predicted";
-        return false;
+    if (!svals.wildcard) {
+      for (const auto& v : vals.values) {
+        if (!svals.values.count(v)) {
+          *breach = std::string(label) + " row \"" + col + "\"=" + v +
+                    " accessed dynamically but not statically predicted";
+          return false;
+        }
       }
+    }
+    // Predicate-region containment (DESIGN.md §15): the effective row view
+    // of an entry is (wildcard ? ⊤ : points) ∩ region on both sides, and the
+    // dynamic view must be contained in the static one. This is the row-
+    // granularity half of the soundness invariant the predicate pre-filter
+    // relies on.
+    core::ValueRegion dview = core::RowSet::TypedRegionOf(vals);
+    core::ValueRegion sview = core::RowSet::TypedRegionOf(svals);
+    if (!dview.ContainedIn(sview)) {
+      *breach = std::string(label) + " row key \"" + col +
+                "\" dynamic region " + dview.ToString() +
+                " not contained in static region " + sview.ToString();
+      return false;
     }
   }
   return true;

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <optional>
 
+#include "core/predicate.h"
 #include "util/nondet_builtins.h"
 #include "util/string_util.h"
 
@@ -301,6 +302,27 @@ class StaticWalk {
     }
   }
 
+  /// Static predicate region (DESIGN.md §15): the shared extraction
+  /// skeleton with literal-only folds and no alias translation. Every
+  /// hook here widens at least as much as its dynamic twin, so the
+  /// dynamic region is contained in this one node-by-node.
+  core::ValueRegion ExtractRegion(const Expr* where, const std::string& table,
+                                  const SchemaRegistry::TableInfo& info) {
+    core::PredicateEvalFn eval =
+        [this](const Expr& e) -> std::optional<std::vector<Value>> {
+      auto v = ConstEval(e);
+      if (!v) return std::nullopt;
+      return std::vector<Value>{*v};
+    };
+    core::PredicateAliasFn alias_lookup =
+        [](const std::string&,
+           const Value&) -> std::optional<std::set<std::string>> {
+      return std::nullopt;  // no learned alias maps statically: widen
+    };
+    return core::ExtractPredicateRegion(where, table, info.ri_column,
+                                        info.ri_aliases, eval, alias_lookup);
+  }
+
   void AddRiReads(const std::string& table, const Expr* where) {
     const auto* info = reg_->FindTable(table);
     ReadSchema(table);
@@ -310,12 +332,8 @@ class StaticWalk {
       return;
     }
     std::string key = table + "." + info->ri_column;
-    auto vals = ExtractRiValues(where, table, *info);
-    if (!vals) {
-      out_->rr.AddWildcard(key);
-    } else {
-      for (const auto& v : *vals) out_->rr.AddValue(key, v);
-    }
+    out_->rr.AddConstrained(key, ExtractRiValues(where, table, *info),
+                            ExtractRegion(where, table, *info));
   }
 
   void AddRiWrites(const std::string& table, const Expr* where) {
@@ -326,12 +344,8 @@ class StaticWalk {
       return;
     }
     std::string key = table + "." + info->ri_column;
-    auto vals = ExtractRiValues(where, table, *info);
-    if (!vals) {
-      out_->wr.AddWildcard(key);
-    } else {
-      for (const auto& v : *vals) out_->wr.AddValue(key, v);
-    }
+    out_->wr.AddConstrained(key, ExtractRiValues(where, table, *info),
+                            ExtractRegion(where, table, *info));
   }
 
   void AnalyzeSelectRead(const SelectStatement& sel) {

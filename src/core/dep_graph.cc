@@ -1,6 +1,7 @@
 #include "core/dep_graph.h"
 
 #include <map>
+#include <optional>
 #include <string>
 
 #include "obs/metrics.h"
@@ -22,7 +23,56 @@ enum class Cause : uint8_t {
   kTargetSlot,
   kReadOnly,
   kStatic,
+  kPredicate,
   kNoRule,
+};
+
+/// Predicate-veto state (DESIGN.md §15): row sets of the target + joined
+/// members, compared through their typed predicate regions when a classic
+/// dependency rule fires. Kept separately from the granularity
+/// accumulators so the *column* pass gets the same row-level refutation
+/// power as the row pass.
+struct RegionAccumulators {
+  RowSet w, r, ow;
+
+  explicit RegionAccumulators(const QueryRW& target_rw) {
+    w = target_rw.wr;
+    r = target_rw.rr;
+    if (target_rw.overwrites) ow = target_rw.wr;
+  }
+  void Join(const QueryRW& rw) {
+    w.Merge(rw.wr);
+    r.Merge(rw.rr);
+    if (rw.overwrites) ow.Merge(rw.wr);
+  }
+  /// Mirrors the three closure rules below at region granularity. False
+  /// means every rule is provably refuted: the candidate shares no row —
+  /// in any replay universe — with the accumulated members.
+  bool CouldDepend(const QueryRW& rw) const {
+    return rw.rr.RegionIntersects(w) || rw.wr.RegionIntersects(r) ||
+           rw.wr.RegionIntersects(rw.overwrites ? w : ow);
+  }
+  /// Evidence string for a refuted candidate: the candidate's typed row
+  /// views against the accumulated views on the keys it touches.
+  std::string Describe(const QueryRW& rw) const {
+    std::string out;
+    auto add = [&](const char* tag, const RowSet& mine, const RowSet& acc) {
+      for (const auto& [col, vals] : mine.cols) {
+        auto it = acc.cols.find(col);
+        if (it == acc.cols.end()) continue;
+        if (out.size() > 160) return;
+        if (!out.empty()) out += "; ";
+        out += std::string(tag) + " " + col + " " +
+               RowSet::TypedRegionOf(vals).ToString() + " vs members " +
+               RowSet::TypedRegionOf(it->second).ToString();
+      }
+    };
+    add("reads", rw.rr, w);
+    add("writes", rw.wr, r);
+    add("writes", rw.wr, rw.overwrites ? w : ow);
+    if (out.empty()) out = "no shared row keys with members";
+    return out;
+  }
 };
 
 template <typename Sets>
@@ -30,8 +80,9 @@ std::set<uint64_t> ClosureOneGranularity(
     const std::vector<QueryRW>& analysis, uint64_t target_index,
     const QueryRW& target_rw, bool target_occupies_slot, Sets sets,
     const std::vector<TableFootprint>* static_footprints,
-    const std::set<uint64_t>* forced = nullptr,
-    std::vector<Cause>* causes = nullptr) {
+    bool predicate_filter = false, const std::set<uint64_t>* forced = nullptr,
+    std::vector<Cause>* causes = nullptr,
+    std::vector<std::string>* details = nullptr) {
   auto acc_w = sets.Writes(target_rw);  // by value: accumulators
   auto acc_r = sets.Reads(target_rw);
   // Accumulated *dynamic* table footprint of target + joined members. A
@@ -44,10 +95,15 @@ std::set<uint64_t> ClosureOneGranularity(
   // QueryRW::overwrites). Used by the write-write rule below.
   std::decay_t<decltype(sets.Writes(target_rw))> acc_ow;
   if (target_rw.overwrites) acc_ow = sets.Writes(target_rw);
+  std::optional<RegionAccumulators> regions;
+  if (predicate_filter) regions.emplace(target_rw);
 
   std::set<uint64_t> members;
   if (causes) {
     causes->assign(analysis.size() + 1 - target_index, Cause::kNoRule);
+  }
+  if (details) {
+    details->assign(analysis.size() + 1 - target_index, std::string());
   }
   auto record = [&](uint64_t idx, Cause c) {
     if (causes) (*causes)[idx - target_index] = c;
@@ -76,6 +132,7 @@ std::set<uint64_t> ClosureOneGranularity(
       sets.MergeInto(&acc_r, sets.Reads(rw));
       if (rw.overwrites) sets.MergeInto(&acc_ow, sets.Writes(rw));
       if (static_footprints) acc_fp.Merge(FootprintOf(rw));
+      if (regions) regions->Join(rw);
       continue;
     }
     if (sets.WriteEmpty(rw)) {
@@ -108,12 +165,25 @@ std::set<uint64_t> ClosureOneGranularity(
     bool write_write =
         sets.Intersect(sets.Writes(rw), rw.overwrites ? acc_w : acc_ow);
     if (rule1 || read_then_write || write_write) {
+      // Predicate-region veto (DESIGN.md §15): a rule fired on this
+      // granularity's sets, but if the typed row regions are provably
+      // disjoint from every rule shape the collision is spurious — no
+      // replay universe makes these statements touch a shared row. Running
+      // the veto *after* the classic rules keeps provenance honest:
+      // kPredicate means "columns/rows collided and only the regions
+      // refuted it", never "trivially disjoint anyway".
+      if (regions && !regions->CouldDepend(rw)) {
+        record(idx, Cause::kPredicate);
+        if (details) (*details)[idx - target_index] = regions->Describe(rw);
+        continue;
+      }
       record(idx, Cause::kMember);
       members.insert(idx);
       sets.MergeInto(&acc_w, sets.Writes(rw));
       sets.MergeInto(&acc_r, sets.Reads(rw));
       if (rw.overwrites) sets.MergeInto(&acc_ow, sets.Writes(rw));
       if (static_footprints) acc_fp.Merge(FootprintOf(rw));
+      if (regions) regions->Join(rw);
     }
   }
   return members;
@@ -157,20 +227,25 @@ ReplayPlan ComputeReplayPlan(const std::vector<QueryRW>& analysis,
                             ? analysis.size() + 1 - target_index
                             : 0;
   std::vector<Cause> col_causes, row_causes;
+  std::vector<std::string> col_details, row_details;
   std::vector<Cause>* col_rec =
       options.record_exclusions ? &col_causes : nullptr;
   std::vector<Cause>* row_rec =
       options.record_exclusions ? &row_causes : nullptr;
+  std::vector<std::string>* col_det =
+      options.record_exclusions ? &col_details : nullptr;
+  std::vector<std::string>* row_det =
+      options.record_exclusions ? &row_details : nullptr;
   if (options.column_wise && options.row_wise) {
     // Theorem 20: 𝕀 = 𝕀_c ∩ 𝕀_r.
     std::set<uint64_t> col = ClosureOneGranularity(
         analysis, target_index, target_rw, target_occupies_slot,
         ColumnGranularity{}, options.static_footprints,
-        options.forced_members, col_rec);
+        options.predicate_filter, options.forced_members, col_rec, col_det);
     std::set<uint64_t> row = ClosureOneGranularity(
         analysis, target_index, target_rw, target_occupies_slot,
-        RowGranularity{}, options.static_footprints, options.forced_members,
-        row_rec);
+        RowGranularity{}, options.static_footprints, options.predicate_filter,
+        options.forced_members, row_rec, row_det);
     for (uint64_t idx : col) {
       if (row.count(idx)) members.insert(idx);
     }
@@ -178,7 +253,7 @@ ReplayPlan ComputeReplayPlan(const std::vector<QueryRW>& analysis,
     members = ClosureOneGranularity(
         analysis, target_index, target_rw, target_occupies_slot,
         ColumnGranularity{}, options.static_footprints,
-        options.forced_members, col_rec);
+        options.predicate_filter, options.forced_members, col_rec, col_det);
   } else {
     // No dependency analysis: replay the whole suffix (baseline behaviour).
     // Same slot-occupancy rule as above: for add, log[target_index] is part
@@ -198,6 +273,7 @@ ReplayPlan ComputeReplayPlan(const std::vector<QueryRW>& analysis,
     plan.exclusions_base = target_index;
     plan.exclusions.assign(suffix, PlanExclusion::kMember);
     plan.cluster_ids.assign(suffix, -1);
+    plan.exclusion_detail.assign(suffix, std::string());
     int32_t next_cluster = 0;
     for (size_t j = 0; j < suffix; ++j) {
       uint64_t idx = target_index + j;
@@ -218,14 +294,30 @@ ReplayPlan ComputeReplayPlan(const std::vector<QueryRW>& analysis,
         case Cause::kStatic:
           plan.exclusions[j] = PlanExclusion::kStaticDisjoint;
           break;
+        case Cause::kPredicate:
+          plan.exclusions[j] = PlanExclusion::kPredicateDisjoint;
+          if (j < col_details.size()) {
+            plan.exclusion_detail[j] = col_details[j];
+          }
+          break;
         case Cause::kNoRule:
           plan.exclusions[j] = PlanExclusion::kColumnDisjoint;
           break;
         case Cause::kMember:
           plan.cluster_ids[j] = next_cluster++;
-          plan.exclusions[j] = members.count(idx)
-                                   ? PlanExclusion::kMember
-                                   : PlanExclusion::kClusterExcluded;
+          if (members.count(idx)) {
+            plan.exclusions[j] = PlanExclusion::kMember;
+          } else if (j < row_causes.size() &&
+                     row_causes[j] == Cause::kPredicate) {
+            // Column member pruned by the *row* pass's predicate tier:
+            // surface the stronger, evidence-carrying verdict.
+            plan.exclusions[j] = PlanExclusion::kPredicateDisjoint;
+            if (j < row_details.size()) {
+              plan.exclusion_detail[j] = row_details[j];
+            }
+          } else {
+            plan.exclusions[j] = PlanExclusion::kClusterExcluded;
+          }
           break;
       }
     }

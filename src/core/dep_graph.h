@@ -3,6 +3,7 @@
 
 #include <cstdint>
 #include <set>
+#include <string>
 #include <vector>
 
 #include "core/rw_sets.h"
@@ -25,6 +26,17 @@ struct DependencyOptions {
   /// skipped outright. nullptr disables the pre-filter.
   const std::vector<TableFootprint>* static_footprints = nullptr;
 
+  /// Third pre-filter tier (DESIGN.md §15), after the table-footprint
+  /// filter above: a candidate whose symbolic predicate regions are
+  /// provably disjoint from the accumulated members' regions — reads vs
+  /// accumulated writes, writes vs accumulated reads, writes vs
+  /// accumulated (overwriting) writes — touches no member row in any
+  /// replay universe, so it is skipped before the closure rules run.
+  /// Works in both granularity passes (it is what gives the column pass
+  /// row-level pruning power) and on its own carries the
+  /// `pruned-predicate-disjoint` explain verdict.
+  bool predicate_filter = true;
+
   /// Record per-suffix-position exclusion provenance into
   /// ReplayPlan::exclusions (ExplainLevel::kFull). Off by default: the
   /// vector costs one byte per suffix transaction.
@@ -44,12 +56,13 @@ struct DependencyOptions {
 /// (column verdicts dominate; a column member rejected by the row closure is
 /// the Theorem-20 intersection at work → kClusterExcluded).
 enum class PlanExclusion : uint8_t {
-  kMember,           // in the replay set
-  kTargetSlot,       // the occupied retro-target slot itself
-  kReadOnly,         // empty write set: can never join any closure
-  kStaticDisjoint,   // static table footprint disjoint from accumulators
-  kColumnDisjoint,   // no column-granularity dependency rule fired
-  kClusterExcluded,  // column member, excluded by the row-closure intersect
+  kMember,             // in the replay set
+  kTargetSlot,         // the occupied retro-target slot itself
+  kReadOnly,           // empty write set: can never join any closure
+  kStaticDisjoint,     // static table footprint disjoint from accumulators
+  kPredicateDisjoint,  // predicate regions disjoint from accumulators
+  kColumnDisjoint,     // no column-granularity dependency rule fired
+  kClusterExcluded,    // column member, excluded by the row-closure intersect
 };
 
 /// The pruned rollback & replay plan for one retroactive operation.
@@ -78,6 +91,11 @@ struct ReplayPlan {
   /// the *column* closure (its cluster id), or -1 when it never joined the
   /// column-granularity replay set.
   std::vector<int32_t> cluster_ids;
+
+  /// Parallel to exclusions when recorded: human-readable evidence for
+  /// kPredicateDisjoint positions (the disjoint region pair that refuted
+  /// the dependency), empty string elsewhere.
+  std::vector<std::string> exclusion_detail;
 };
 
 /// Computes the replay set 𝕀 of Appendix E: the closure of queries

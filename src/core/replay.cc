@@ -276,6 +276,8 @@ obs::TxnVerdict VerdictFor(PlanExclusion e) {
       return obs::TxnVerdict::kPrunedReadOnly;
     case PlanExclusion::kStaticDisjoint:
       return obs::TxnVerdict::kPrunedStaticFootprint;
+    case PlanExclusion::kPredicateDisjoint:
+      return obs::TxnVerdict::kPrunedPredicateDisjoint;
     case PlanExclusion::kColumnDisjoint:
       return obs::TxnVerdict::kPrunedColumnDisjoint;
     case PlanExclusion::kClusterExcluded:
@@ -294,6 +296,9 @@ const char* EvidenceFor(PlanExclusion e) {
       return "empty write set";
     case PlanExclusion::kStaticDisjoint:
       return "static table footprint disjoint from accumulated members";
+    case PlanExclusion::kPredicateDisjoint:
+      return "row predicate regions provably disjoint from accumulated "
+             "members";
     case PlanExclusion::kColumnDisjoint:
       return "no column-granularity dependency rule fired";
     case PlanExclusion::kClusterExcluded:
@@ -697,6 +702,12 @@ Result<ReplayStats> RetroactiveEngine::Execute(
         te.evidence = forced_members.count(idx)
                           ? "forced replay (ground-truth gate)"
                           : EvidenceFor(plan.exclusions[j]);
+        if (!forced_members.count(idx) &&
+            j < plan.exclusion_detail.size() &&
+            !plan.exclusion_detail[j].empty()) {
+          // Predicate-tier verdicts carry the disjoint region pair.
+          te.evidence += ": " + plan.exclusion_detail[j];
+        }
         te.read_tables.assign(rw.read_tables.begin(), rw.read_tables.end());
         te.write_tables.assign(rw.write_tables.begin(),
                                rw.write_tables.end());

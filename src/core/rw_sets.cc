@@ -34,10 +34,45 @@ bool ColumnSet::Intersects(const ColumnSet& other) const {
 
 void RowSet::Merge(const RowSet& other) {
   for (const auto& [col, vals] : other.cols) {
-    Vals& mine = cols[col];
+    auto [it, fresh] = cols.emplace(col, vals);
+    if (fresh) continue;
+    Vals& mine = it->second;
+    mine.region.MergeWith(vals.region);
     mine.wildcard = mine.wildcard || vals.wildcard;
     mine.values.insert(vals.values.begin(), vals.values.end());
   }
+}
+
+void RowSet::AddConstrained(const std::string& column,
+                            const std::optional<std::set<std::string>>& values,
+                            const ValueRegion& region) {
+  auto [it, fresh] = cols.emplace(column, Vals{});
+  Vals& v = it->second;
+  if (fresh) {
+    v.region = region;
+  } else {
+    v.region.MergeWith(region);
+  }
+  if (values) {
+    v.values.insert(values->begin(), values->end());
+  } else {
+    v.wildcard = true;
+  }
+}
+
+ValueRegion RowSet::TypedRegionOf(const Vals& v) {
+  if (v.wildcard) return v.region;
+  ValueRegion classic = ValueRegion::OfPoints(v.values);
+  return classic.MeetWith(v.region);
+}
+
+bool RowSet::RegionIntersects(const RowSet& other) const {
+  for (const auto& [col, vals] : cols) {
+    auto it = other.cols.find(col);
+    if (it == other.cols.end()) continue;
+    if (TypedRegionOf(vals).Intersects(TypedRegionOf(it->second))) return true;
+  }
+  return false;
 }
 
 bool RowSet::Intersects(const RowSet& other) const {
@@ -565,6 +600,25 @@ class AnalyzerImpl {
     }
   }
 
+  /// Symbolic predicate region of `where` over `table`'s RI column
+  /// (DESIGN.md §15), using the dynamic fold hooks: MultiEval resolves
+  /// literals, procedure variables and captured parameters; alias values
+  /// translate through the learned alias→RI map (unseen values widen).
+  ValueRegion ExtractRegion(const Expr* where, const std::string& table,
+                            const SchemaRegistry::TableInfo& info) {
+    PredicateEvalFn eval = [this](const Expr& e) { return MultiEval(e); };
+    PredicateAliasFn alias_lookup =
+        [this, &table](const std::string& alias_col,
+                       const Value& v) -> std::optional<std::set<std::string>> {
+      auto it = owner_->alias_to_ri_.find(table + "." + alias_col + "|" +
+                                          v.Encode());
+      if (it == owner_->alias_to_ri_.end()) return std::nullopt;
+      return it->second;
+    };
+    return ExtractPredicateRegion(where, table, info.ri_column,
+                                  info.ri_aliases, eval, alias_lookup);
+  }
+
   void AddRiReads(const std::string& table, const Expr* where) {
     const auto* info = reg_->FindTable(table);
     ReadSchema(table);
@@ -575,12 +629,8 @@ class AnalyzerImpl {
       return;
     }
     std::string key = table + "." + info->ri_column;
-    auto vals = ExtractRiValues(where, table, *info);
-    if (!vals) {
-      out_->rr.AddWildcard(key);
-    } else {
-      for (const auto& v : *vals) out_->rr.AddValue(key, v);
-    }
+    out_->rr.AddConstrained(key, ExtractRiValues(where, table, *info),
+                            ExtractRegion(where, table, *info));
   }
 
   void AddRiWrites(const std::string& table, const Expr* where) {
@@ -591,12 +641,8 @@ class AnalyzerImpl {
       return;
     }
     std::string key = table + "." + info->ri_column;
-    auto vals = ExtractRiValues(where, table, *info);
-    if (!vals) {
-      out_->wr.AddWildcard(key);
-    } else {
-      for (const auto& v : *vals) out_->wr.AddValue(key, v);
-    }
+    out_->wr.AddConstrained(key, ExtractRiValues(where, table, *info),
+                            ExtractRegion(where, table, *info));
   }
 
   /// Read-side analysis of a SELECT: columns, schema entries, RI keys, FK
@@ -1072,15 +1118,46 @@ void QueryAnalyzer::ReapplyRiConfig(const std::string& table) {
 
 void QueryAnalyzer::CanonicalizeRowSets(QueryRW* rw) {
   if (merge_parent_.empty()) return;
+  // A union-find key is "<Table.col>|<value_enc>"; the first '|' splits
+  // them (the enc itself ends with the Encode terminator '|').
+  auto enc_of = [](const std::string& key) {
+    size_t bar = key.find('|');
+    return bar == std::string::npos ? key : key.substr(bar + 1);
+  };
   auto canon = [&](RowSet* rs) {
     for (auto& [col, vals] : rs->cols) {
       std::set<std::string> fixed;
       for (const auto& v : vals.values) {
-        std::string root = Find(col + "|" + v);
-        size_t bar = root.rfind('|');
-        fixed.insert(bar == std::string::npos ? root : root.substr(bar + 1));
+        fixed.insert(enc_of(Find(col + "|" + v)));
       }
       vals.values = std::move(fixed);
+      if (vals.region.top) continue;
+      // Close the typed region under RI merge classes: a merged value
+      // refers to the same physical row under every one of its names, so
+      // whenever any member of a class falls inside the region, every
+      // member (and the class representative the values above were
+      // rewritten to) must be in it too. Closed regions make canonical
+      // overlap equivalent to raw overlap, keeping RegionIntersects
+      // pruning sound across UPDATE-of-RI renames.
+      const std::string prefix = col + "|";
+      std::map<std::string, std::vector<std::string>> classes;
+      for (const auto& [key, parent] : merge_parent_) {
+        (void)parent;
+        if (key.compare(0, prefix.size(), prefix) != 0) continue;
+        classes[Find(key)].push_back(enc_of(key));
+      }
+      for (auto& [root, members] : classes) {
+        members.push_back(enc_of(root));
+        bool touches = false;
+        for (const auto& m : members) {
+          if (vals.region.ContainsEncoded(m)) {
+            touches = true;
+            break;
+          }
+        }
+        if (!touches) continue;
+        for (const auto& m : members) vals.region.points.insert(m);
+      }
     }
   };
   canon(&rw->rr);

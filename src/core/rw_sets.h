@@ -6,6 +6,7 @@
 #include <string>
 #include <vector>
 
+#include "core/predicate.h"
 #include "sqldb/ast.h"
 #include "sqldb/query_log.h"
 #include "util/status.h"
@@ -34,17 +35,44 @@ struct RowSet {
   struct Vals {
     bool wildcard = false;
     std::set<std::string> values;  // canonical encoded sql::Value
+    /// Symbolic predicate region (DESIGN.md §15). The entry's effective
+    /// row view is (wildcard ? ⊤ : values) ∩ region; the default ⊤
+    /// region keeps every legacy producer sound. Contributions from
+    /// successive statements join via AddConstrained / Merge.
+    ValueRegion region;
   };
   std::map<std::string, Vals> cols;
 
-  void AddWildcard(const std::string& column) { cols[column].wildcard = true; }
-  void AddValue(const std::string& column, std::string value_enc) {
-    cols[column].values.insert(std::move(value_enc));
+  void AddWildcard(const std::string& column) {
+    Vals& v = cols[column];
+    v.wildcard = true;
+    v.region.WidenToTop();
   }
+  void AddValue(const std::string& column, std::string value_enc) {
+    Vals& v = cols[column];
+    v.region.AddPoint(value_enc);  // no-op on a ⊤ region
+    v.values.insert(std::move(value_enc));
+  }
+  /// One statement's full row contribution for `column`: the classic RI
+  /// value set (nullopt = any row) plus the predicate region extracted
+  /// from the same WHERE clause. A fresh entry adopts the region;
+  /// repeated contributions join (the entry's view is the union of the
+  /// per-statement views, over-approximated component-wise).
+  void AddConstrained(const std::string& column,
+                      const std::optional<std::set<std::string>>& values,
+                      const ValueRegion& region);
+  /// Effective typed row view of one entry.
+  static ValueRegion TypedRegionOf(const Vals& v);
   void Merge(const RowSet& other);
   /// True when some column has a wildcard-vs-anything or value-vs-value
   /// overlap with `other`.
   bool Intersects(const RowSet& other) const;
+  /// Predicate-region refinement of Intersects: compares the typed row
+  /// views of shared keys, so two wildcards with provably disjoint
+  /// regions (e.g. id<10 vs id>=10) do NOT intersect. Sound on
+  /// canonicalized sets (CanonicalizeRowSets closes regions under RI
+  /// merges) and on raw same-analyzer pairs.
+  bool RegionIntersects(const RowSet& other) const;
   bool empty() const { return cols.empty(); }
 };
 

@@ -48,9 +48,26 @@ Result<TxnScheduler::Stats> TxnScheduler::ExecuteBatch(
     for (size_t i = 0; i < batch.size(); ++i) {
       stat[i] = options_.static_summary(*batch[i]);
     }
-    auto conflict = [](const QueryRW& a, const QueryRW& b) {
-      return a.wc.Intersects(b.wc) || a.wc.Intersects(b.rc) ||
-             a.rc.Intersects(b.wc);
+    // A pair conflicts when the column sets collide AND the predicate-region
+    // tier (DESIGN.md §15) cannot refute the collision: column-conflicting
+    // statements whose row regions are provably disjoint in every direction
+    // (write/read, read/write, write/write) touch no common row, so neither
+    // can create nor receive an edge from the other. Static-vs-static raw
+    // summaries share one registry, so their row keys align and
+    // RowSet::RegionIntersects is sound without canonicalization.
+    size_t refuted_pairs = 0;
+    auto conflict = [&refuted_pairs](const QueryRW& a, const QueryRW& b) {
+      bool cols = a.wc.Intersects(b.wc) || a.wc.Intersects(b.rc) ||
+                  a.rc.Intersects(b.wc);
+      if (!cols) return false;
+      bool rows = a.wr.RegionIntersects(b.rr) ||
+                  a.rr.RegionIntersects(b.wr) ||
+                  a.wr.RegionIntersects(b.wr);
+      if (!rows) {
+        ++refuted_pairs;
+        return false;
+      }
+      return true;
     };
     for (size_t i = 0; i < batch.size(); ++i) {
       if (!stat[i]) continue;
@@ -61,6 +78,7 @@ Result<TxnScheduler::Stats> TxnScheduler::ExecuteBatch(
       }
       skip[i] = disjoint;
     }
+    stats.predicate_refuted = refuted_pairs;
   }
   std::vector<QueryRW> rw(batch.size());
   for (size_t i = 0; i < batch.size(); ++i) {

@@ -28,8 +28,9 @@ class TxnScheduler {
     /// all-paths static RW summary of a statement — an over-approximation
     /// of every dynamic execution, parameters abstracted to wildcards —
     /// or nullopt when unknown. A batch statement whose static summary is
-    /// column-wise disjoint from every other member's provably conflicts
-    /// with nothing: its per-statement dynamic analysis and conflict-DAG
+    /// column-wise disjoint from every other member's — or column-
+    /// conflicting but refuted by the predicate-region tier (§15) —
+    /// provably conflicts with nothing: its dynamic analysis and conflict-DAG
     /// participation are skipped, and its table locks come from the static
     /// summary's (superset) table sets.
     std::function<std::optional<QueryRW>(const sql::Statement&)>
@@ -48,6 +49,10 @@ class TxnScheduler {
     /// Statements the static pre-filter proved disjoint (dynamic analysis
     /// skipped).
     size_t prefiltered = 0;
+    /// Pair tests where the column sets collided but the predicate-region
+    /// tier (§15) refuted the conflict. Counts directed pair probes, not
+    /// unique pairs (the disjointness scan short-circuits).
+    size_t predicate_refuted = 0;
     double analysis_seconds = 0;
     double execute_seconds = 0;
   };

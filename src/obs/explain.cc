@@ -17,6 +17,7 @@ constexpr const char* kVerdictNames[kNumTxnVerdicts] = {
     "retro-target",
     "pruned-read-only",
     "pruned-static-footprint",
+    "pruned-predicate-disjoint",
     "pruned-column-disjoint",
     "cluster-excluded",
     "hash-jump-skip",

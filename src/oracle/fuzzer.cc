@@ -356,10 +356,11 @@ FuzzReport Fuzz(const FuzzOptions& options) {
 
     WhatIfCase c = GenerateCase(options.seed, n);
     ++report.cases_run;
-    if (options.check_static) {
+    if (options.check_static || options.check_predicates) {
       Result<std::vector<std::string>> contained =
           CheckStaticContainment(c.history);
       ++report.containment_checked;
+      if (options.check_predicates) ++report.predicate_checked;
       if (!contained.ok()) {
         // The history built once (generator invariant) but the containment
         // universe failed: a fuzzer/oracle bug, not a soundness breach.
@@ -367,7 +368,16 @@ FuzzReport Fuzz(const FuzzOptions& options) {
             " [static-containment] error: " + contained.status().ToString());
       } else if (!contained->empty()) {
         ++report.containment_violations;
-        say("case " + std::to_string(n) + " [static-containment] BREACH: " +
+        // Row-region breaches (ContainmentBreach's §15 check) get their own
+        // mode tag so `--check-predicates` failures are distinguishable
+        // from classic set-containment breaches.
+        bool region_breach = (*contained)[0].find(
+                                 "not contained in static region") !=
+                             std::string::npos;
+        if (region_breach) ++report.predicate_violations;
+        const char* mode =
+            region_breach ? "predicate-containment" : "static-containment";
+        say("case " + std::to_string(n) + " [" + mode + "] BREACH: " +
             (*contained)[0]);
         auto still_breaches = [](const WhatIfCase& cand) {
           Result<std::vector<std::string>> v =
@@ -379,7 +389,7 @@ FuzzReport Fuzz(const FuzzOptions& options) {
         failure.shrunk =
             options.shrink ? ShrinkCaseIf(c, still_breaches) : c;
         failure.result.ok = false;
-        failure.result.mode = "static-containment";
+        failure.result.mode = mode;
         Result<std::vector<std::string>> shrunk_v =
             CheckStaticContainment(failure.shrunk.history);
         failure.result.error =

@@ -29,6 +29,12 @@ struct FuzzOptions {
   /// containment breach as a failure (reported with mode
   /// "static-containment" and shrunk like a divergence).
   bool check_static = false;
+  /// Predicate-region soundness (`--check-predicates`): run the same
+  /// static-soundness oracle (the SoundnessChecker's ContainmentBreach
+  /// always includes the §15 row-region check), but report region breaches
+  /// distinctly with mode "predicate-containment" and tally them in
+  /// FuzzReport::predicate_*. Either flag runs the oracle once per case.
+  bool check_predicates = false;
   /// Cross-engine differential: run every generated case through
   /// CheckCaseExecDiff (tree walker vs bytecode VM, build + what-if
   /// replay). Divergences are shrunk and reported with mode "exec-diff".
@@ -56,6 +62,12 @@ struct FuzzReport {
   /// checked and containment breaches found (also counted as failures).
   size_t containment_checked = 0;
   size_t containment_violations = 0;
+  /// Predicate-region oracle activity (check_predicates=true): histories
+  /// checked and row-region containment breaches found. Region breaches
+  /// also count into containment_violations (they are containment
+  /// breaches), so the CLI exit condition needs no extra term.
+  size_t predicate_checked = 0;
+  size_t predicate_violations = 0;
   /// Explain oracle activity (check_explain=true): cases checked and
   /// unsound prune reasons found (also counted as failures).
   size_t explain_checked = 0;

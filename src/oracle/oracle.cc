@@ -551,6 +551,7 @@ Result<std::vector<std::string>> CheckCaseExplain(const WhatIfCase& c) {
     if (te.is_new) continue;
     switch (te.verdict) {
       case obs::TxnVerdict::kPrunedStaticFootprint:
+      case obs::TxnVerdict::kPrunedPredicateDisjoint:
       case obs::TxnVerdict::kPrunedColumnDisjoint:
       case obs::TxnVerdict::kClusterExcluded:
       case obs::TxnVerdict::kPrunedReadOnly:

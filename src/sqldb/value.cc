@@ -1,7 +1,9 @@
 #include "sqldb/value.h"
 
+#include <cerrno>
 #include <cmath>
 #include <cstdio>
+#include <cstdlib>
 #include <cstring>
 #include <functional>
 
@@ -212,6 +214,53 @@ void Value::EncodeTo(std::string* out) const {
     }
   }
   out->push_back('|');
+}
+
+bool Value::Decode(const std::string& enc, Value* out) {
+  if (enc.empty()) return false;
+  std::string body = enc;
+  if (body.back() == '|') body.pop_back();
+  if (body.empty()) return false;
+  const char tag = body[0];
+  const std::string payload = body.substr(1);
+  switch (tag) {
+    case 'N':
+      if (!payload.empty()) return false;
+      *out = Value::Null();
+      return true;
+    case 'B':
+      if (payload != "0" && payload != "1") return false;
+      *out = Value::Bool(payload == "1");
+      return true;
+    case 'I': {
+      if (payload.empty()) return false;
+      errno = 0;
+      char* end = nullptr;
+      long long v = std::strtoll(payload.c_str(), &end, 10);
+      if (errno != 0 || end != payload.c_str() + payload.size()) return false;
+      *out = Value::Int(int64_t(v));
+      return true;
+    }
+    case 'D': {
+      if (payload.empty()) return false;
+      errno = 0;
+      char* end = nullptr;
+      double d = std::strtod(payload.c_str(), &end);
+      if (errno != 0 || end != payload.c_str() + payload.size()) return false;
+      *out = Value::Double(d);
+      return true;
+    }
+    case 'S': {
+      if (payload.size() < sizeof(uint32_t)) return false;
+      uint32_t n;
+      std::memcpy(&n, payload.data(), sizeof(n));
+      if (payload.size() != sizeof(n) + n) return false;
+      *out = Value::String(payload.substr(sizeof(n)));
+      return true;
+    }
+    default:
+      return false;
+  }
 }
 
 size_t Value::Hash() const {

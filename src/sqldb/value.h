@@ -73,6 +73,11 @@ class Value {
     return s;
   }
 
+  /// Inverse of Encode() for a single value (with or without the trailing
+  /// '|' terminator). Used by the predicate domain to order RI-key point
+  /// sets against typed range bounds. Returns false on malformed input.
+  static bool Decode(const std::string& enc, Value* out);
+
   /// Hash consistent with Equals (numeric 3 == 3.0 hash equal).
   size_t Hash() const;
 

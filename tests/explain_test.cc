@@ -33,9 +33,11 @@ using oracle::Universe;
 using oracle::WhatIfCase;
 
 // History with one representative per verdict: removing #5 (the id=1
-// UPDATE) leaves #6 column-joined but row-excluded (cluster-excluded),
-// #7 touching only table u (column-disjoint), #8 a pure read (read-only),
-// and #9 a same-cell writer (replayed).
+// UPDATE) leaves #6 column-colliding but refuted by the predicate-region
+// veto ({2} vs {1}, DESIGN.md §15 — before that tier existed this was the
+// cluster-excluded representative), #7 touching only table u
+// (column-disjoint), #8 a pure read (read-only), and #9 a same-cell
+// writer (replayed).
 const std::vector<std::string> kVerdictHistory = {
     "CREATE TABLE t (id INT PRIMARY KEY, v INT);",
     "CREATE TABLE u (id INT PRIMARY KEY, v INT);",
@@ -112,7 +114,7 @@ TEST(ExplainReport, HandBuiltHistoryVerdicts) {
   };
   const Want wants[] = {
       {5, TxnVerdict::kRetroTarget},
-      {6, TxnVerdict::kClusterExcluded},
+      {6, TxnVerdict::kPrunedPredicateDisjoint},
       {7, TxnVerdict::kPrunedColumnDisjoint},
       {8, TxnVerdict::kPrunedReadOnly},
       {9, TxnVerdict::kReplayed},
@@ -125,10 +127,13 @@ TEST(ExplainReport, HandBuiltHistoryVerdicts) {
     EXPECT_FALSE(te->evidence.empty());
   }
   // The replayed member carries its column-cluster ordinal; the
-  // cluster-excluded one proves the Theorem-20 intersection recorded it
-  // as a column member first.
+  // predicate-refuted one never joins the column closure (the veto runs
+  // inside it), and its evidence carries the refuting region pair.
   EXPECT_GE(report.FindTxn(9)->cluster_id, 0);
-  EXPECT_GE(report.FindTxn(6)->cluster_id, 0);
+  EXPECT_EQ(report.FindTxn(6)->cluster_id, -1);
+  EXPECT_NE(report.FindTxn(6)->evidence.find("vs members"),
+            std::string::npos)
+      << report.FindTxn(6)->evidence;
   EXPECT_EQ(report.FindTxn(7)->cluster_id, -1);
   // Evidence carries the footprint the verdict was decided on.
   EXPECT_EQ(report.FindTxn(7)->write_tables,
@@ -255,7 +260,7 @@ TEST(ExplainReport, TextRenderingAndDrillDown) {
   core::ReplayStats stats = RunFullExplain(u->get(), RemoveOp(5));
   std::string text = stats.report.ToText();
   EXPECT_NE(text.find("what-if remove @5"), std::string::npos) << text;
-  EXPECT_NE(text.find("cluster-excluded"), std::string::npos);
+  EXPECT_NE(text.find("pruned-predicate-disjoint"), std::string::npos);
   EXPECT_NE(text.find("phases:"), std::string::npos);
   // Drill-down renders only the requested transaction, with its footprint.
   std::string one = stats.report.ToText(7);

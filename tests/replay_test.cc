@@ -78,6 +78,10 @@ TEST(ReplayPlanTest, RowWisePrunesColumnWiseSurvivors) {
 
   DependencyOptions col_only;
   col_only.row_wise = false;
+  // The predicate-region tier (DESIGN.md §15) would prune this even at
+  // column granularity ("A" vs "B" are point regions); switch it off to
+  // demonstrate the classic column rules alone cannot.
+  col_only.predicate_filter = false;
   plan = ComputeReplayPlan(analysis, 1, analysis[0], true, col_only);
   EXPECT_EQ(plan.replay_indices.size(), 1u)
       << "column-wise alone cannot prune it";

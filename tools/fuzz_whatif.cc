@@ -3,6 +3,7 @@
 //   fuzz_whatif --seed 7 --histories 500         # fixed case count
 //   fuzz_whatif --fuzz-seconds 60                # wall-clock budget
 //   fuzz_whatif --check-static --histories 200   # + static-soundness oracle
+//   fuzz_whatif --check-predicates --histories 200  # + §15 region oracle
 //   fuzz_whatif --check-explain --histories 200  # + explain-soundness oracle
 //   fuzz_whatif --exec-diff --histories 200      # tree vs bytecode-VM diff
 //   fuzz_whatif --exec vm                        # pin the default engine
@@ -42,7 +43,8 @@ namespace {
 int Usage(const char* argv0) {
   std::fprintf(stderr,
                "usage: %s [--seed N] [--histories N] [--fuzz-seconds S]\n"
-               "          [--check-static] [--check-explain] [--exec-diff]\n"
+               "          [--check-static] [--check-predicates]\n"
+               "          [--check-explain] [--exec-diff]\n"
                "          [--exec vm|tree] [--no-shrink] [--repro FILE]\n"
                "          [--out-dir DIR] [--crash-points]\n"
                "          [--metrics-out FILE] [--concurrent] [--rounds N]\n"
@@ -193,6 +195,8 @@ int main(int argc, char** argv) {
       if (!histories_set) options.histories = 0;  // run on the clock alone
     } else if (!std::strcmp(argv[i], "--check-static")) {
       options.check_static = true;
+    } else if (!std::strcmp(argv[i], "--check-predicates")) {
+      options.check_predicates = true;
     } else if (!std::strcmp(argv[i], "--check-explain")) {
       options.check_explain = true;
     } else if (!std::strcmp(argv[i], "--metrics-out")) {
@@ -274,9 +278,14 @@ int main(int argc, char** argv) {
 
   std::printf("cases: %zu  checks: %zu  divergences: %zu\n", report.cases_run,
               report.checks_run, report.divergences);
-  if (options.check_static) {
+  if (options.check_static || options.check_predicates) {
     std::printf("containment: %zu histories checked, %zu violations\n",
                 report.containment_checked, report.containment_violations);
+  }
+  if (options.check_predicates) {
+    std::printf("predicate regions: %zu histories checked, "
+                "%zu row-containment violations\n",
+                report.predicate_checked, report.predicate_violations);
   }
   if (options.check_explain) {
     std::printf("explain: %zu cases checked, %zu unsound reasons\n",

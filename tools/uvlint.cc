@@ -8,8 +8,10 @@
 // Reports, per statement: nondeterministic builtins outside the
 // record/replay capture path, DDL inside stored procedures, raw DML
 // writing tables no procedure writes, and writes to dropped columns —
-// followed by the procedure-pair static conflict matrix. Exits 1 when any
-// finding is reported (the matrix alone is not a finding).
+// followed by the procedure-pair static conflict matrix ('#' may conflict,
+// '~' column-conflicting but refuted by predicate regions, '.' disjoint).
+// Exits 1 when any finding is reported (the matrix alone is not a finding).
+// --quiet prints the matrix only; the exit code still reflects findings.
 
 #include <cstdio>
 #include <cstring>
@@ -33,7 +35,7 @@ using ultraverse::analysis::LintStatements;
 int Usage(const char* argv0) {
   std::fprintf(stderr,
                "usage: %s [FILE.sql ...] [--workload NAME|all] [--txns N]\n"
-               "          [--metrics-out FILE]\n",
+               "          [--quiet] [--metrics-out FILE]\n",
                argv0);
   return 2;
 }
@@ -57,7 +59,14 @@ std::string StripComments(const std::string& text) {
   return out;
 }
 
-int LintFiles(const std::vector<std::string>& paths) {
+/// --quiet: matrix-only rendering (exit code still reflects findings).
+std::string Render(const LintReport& report, bool quiet) {
+  if (!quiet) return report.ToString();
+  return report.matrix.procedures.empty() ? std::string()
+                                          : report.matrix.ToString();
+}
+
+int LintFiles(const std::vector<std::string>& paths, bool quiet) {
   std::vector<ultraverse::sql::StatementPtr> statements;
   for (const auto& path : paths) {
     std::ifstream in(path);
@@ -82,11 +91,11 @@ int LintFiles(const std::vector<std::string>& paths) {
                  report.status().ToString().c_str());
     return 2;
   }
-  std::printf("%s", report->ToString().c_str());
+  std::printf("%s", Render(*report, quiet).c_str());
   return report->findings.empty() ? 0 : 1;
 }
 
-int LintWorkload(const std::string& name, size_t txns) {
+int LintWorkload(const std::string& name, size_t txns, bool quiet) {
   ultraverse::core::Ultraverse uv;
   auto workload = ultraverse::workload::MakeWorkload(name, /*scale=*/1);
   if (!workload) {
@@ -112,7 +121,7 @@ int LintWorkload(const std::string& name, size_t txns) {
     return 2;
   }
   std::printf("== %s (%zu logged statements) ==\n%s", name.c_str(),
-              statements.size(), report->ToString().c_str());
+              statements.size(), Render(*report, quiet).c_str());
   return report->findings.empty() ? 0 : 1;
 }
 
@@ -123,6 +132,7 @@ int main(int argc, char** argv) {
   std::string workload;
   std::string metrics_out;
   size_t txns = 10;
+  bool quiet = false;
 
   for (int i = 1; i < argc; ++i) {
     auto need_value = [&](const char* flag) -> const char* {
@@ -138,6 +148,8 @@ int main(int argc, char** argv) {
       txns = std::strtoull(need_value("--txns"), nullptr, 10);
     } else if (!std::strcmp(argv[i], "--metrics-out")) {
       metrics_out = need_value("--metrics-out");
+    } else if (!std::strcmp(argv[i], "--quiet")) {
+      quiet = true;
     } else if (argv[i][0] == '-') {
       return Usage(argv[0]);
     } else {
@@ -147,13 +159,13 @@ int main(int argc, char** argv) {
   if (files.empty() && workload.empty()) return Usage(argv[0]);
 
   int rc = 0;
-  if (!files.empty()) rc = std::max(rc, LintFiles(files));
+  if (!files.empty()) rc = std::max(rc, LintFiles(files, quiet));
   if (workload == "all") {
     for (const auto& name : ultraverse::workload::AllWorkloadNames()) {
-      rc = std::max(rc, LintWorkload(name, txns));
+      rc = std::max(rc, LintWorkload(name, txns, quiet));
     }
   } else if (!workload.empty()) {
-    rc = std::max(rc, LintWorkload(workload, txns));
+    rc = std::max(rc, LintWorkload(workload, txns, quiet));
   }
   if (!metrics_out.empty()) {
     std::ofstream out(metrics_out);

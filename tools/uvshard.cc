@@ -1,0 +1,145 @@
+// Static partition advisor CLI (DESIGN.md §15; the planning half of the
+// database-sharding application, ROADMAP item 4).
+//
+//   uvshard schema.sql history.sql       # advise over .sql files, in order
+//   uvshard --workload tatp              # advise over a bundled workload
+//   uvshard --workload tatp --txns 200   # history length for the workload
+//   uvshard --shards 8                   # size the key-range proposals
+//   uvshard --json                       # machine-readable output
+//
+// Builds the predicate-aware static conflict graph over the statements,
+// prints the table colocation groups (connected components of co-access),
+// and proposes key-range splits for tables whose remaining column-level
+// conflicts are all refuted — or colocated — by the predicate-region tier.
+// Exit codes: 0 on success, 2 on usage/build errors (advice is advice, not
+// a finding).
+
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "analysis/shard_advisor.h"
+#include "core/ultraverse.h"
+#include "sqldb/parser.h"
+#include "workloads/workload.h"
+
+namespace {
+
+using ultraverse::Result;
+using ultraverse::analysis::AdviseSharding;
+using ultraverse::analysis::ShardAdvice;
+
+int Usage(const char* argv0) {
+  std::fprintf(stderr,
+               "usage: %s [FILE.sql ...] [--workload NAME] [--txns N]\n"
+               "          [--shards N] [--json]\n",
+               argv0);
+  return 2;
+}
+
+/// Strips `--` line comments (outside single-quoted strings) so repro
+/// files with trailing directives parse through Parser::ParseScript.
+std::string StripComments(const std::string& text) {
+  std::string out;
+  bool in_str = false;
+  for (size_t i = 0; i < text.size(); ++i) {
+    char c = text[i];
+    if (!in_str && c == '-' && i + 1 < text.size() && text[i + 1] == '-') {
+      while (i < text.size() && text[i] != '\n') ++i;
+      if (i < text.size()) out += '\n';
+      continue;
+    }
+    if (c == '\'') in_str = !in_str;
+    out += c;
+  }
+  return out;
+}
+
+int Report(const std::vector<ultraverse::sql::StatementPtr>& statements,
+           size_t shards, bool json) {
+  Result<ShardAdvice> advice = AdviseSharding(statements, shards);
+  if (!advice.ok()) {
+    std::fprintf(stderr, "advisor failed: %s\n",
+                 advice.status().ToString().c_str());
+    return 2;
+  }
+  std::printf("%s\n", json ? advice->ToJson().c_str()
+                           : advice->ToString().c_str());
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::vector<std::string> files;
+  std::string workload;
+  size_t txns = 50;
+  size_t shards = 4;
+  bool json = false;
+
+  for (int i = 1; i < argc; ++i) {
+    auto need_value = [&](const char* flag) -> const char* {
+      if (i + 1 >= argc) {
+        std::fprintf(stderr, "%s needs a value\n", flag);
+        std::exit(2);
+      }
+      return argv[++i];
+    };
+    if (!std::strcmp(argv[i], "--workload")) {
+      workload = need_value("--workload");
+    } else if (!std::strcmp(argv[i], "--txns")) {
+      txns = std::strtoull(need_value("--txns"), nullptr, 10);
+    } else if (!std::strcmp(argv[i], "--shards")) {
+      shards = std::strtoull(need_value("--shards"), nullptr, 10);
+    } else if (!std::strcmp(argv[i], "--json")) {
+      json = true;
+    } else if (argv[i][0] == '-') {
+      return Usage(argv[0]);
+    } else {
+      files.push_back(argv[i]);
+    }
+  }
+  if (files.empty() && workload.empty()) return Usage(argv[0]);
+
+  std::vector<ultraverse::sql::StatementPtr> statements;
+  for (const auto& path : files) {
+    std::ifstream in(path);
+    if (!in) {
+      std::fprintf(stderr, "cannot open %s\n", path.c_str());
+      return 2;
+    }
+    std::stringstream buffer;
+    buffer << in.rdbuf();
+    auto parsed =
+        ultraverse::sql::Parser::ParseScript(StripComments(buffer.str()));
+    if (!parsed.ok()) {
+      std::fprintf(stderr, "%s: parse error: %s\n", path.c_str(),
+                   parsed.status().ToString().c_str());
+      return 2;
+    }
+    statements.insert(statements.end(), parsed->begin(), parsed->end());
+  }
+  if (!workload.empty()) {
+    ultraverse::core::Ultraverse uv;
+    auto w = ultraverse::workload::MakeWorkload(workload, /*scale=*/1);
+    if (!w) {
+      std::fprintf(stderr, "unknown workload %s\n", workload.c_str());
+      return 2;
+    }
+    ultraverse::workload::Driver driver(std::move(w), &uv, {});
+    ultraverse::Status st = driver.Setup();
+    if (st.ok()) st = driver.RunHistory(txns);
+    if (!st.ok()) {
+      std::fprintf(stderr, "%s: setup failed: %s\n", workload.c_str(),
+                   st.ToString().c_str());
+      return 2;
+    }
+    for (const auto& entry : uv.log()->entries()) {
+      statements.push_back(entry.stmt);
+    }
+  }
+  return Report(statements, shards, json);
+}
