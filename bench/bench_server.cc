@@ -1,0 +1,207 @@
+// Server front-end benchmark (DESIGN.md §16): throughput/latency of the
+// framed TCP protocol against an in-process UvServer, swept over client
+// connection counts, plus an overload row with the admission caps cranked
+// down to show shed behavior — the shed-rate column is the fraction of
+// requests fast-rejected with kResourceExhausted, and drain-time is the
+// RequestDrain -> WaitShutdown wall time with the WAL fsync on the path.
+//
+//   bench/bench_server [--metrics-out=<path>] [--trace-out=<path>]
+//
+// Results also land in BENCH_server.json (one JSON row per table row).
+#include <algorithm>
+#include <atomic>
+#include <cstdio>
+#include <filesystem>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "bench_util.h"
+#include "server/client.h"
+#include "server/server.h"
+#include "util/stopwatch.h"
+
+namespace ultraverse::bench {
+namespace {
+
+const char* kSetup[] = {
+    "CREATE TABLE accounts (id INT PRIMARY KEY, balance INT)",
+    "INSERT INTO accounts (id, balance) VALUES (1, 1000)",
+    "INSERT INTO accounts (id, balance) VALUES (2, 1000)",
+    "INSERT INTO accounts (id, balance) VALUES (3, 1000)",
+    "INSERT INTO accounts (id, balance) VALUES (4, 1000)",
+    "UPDATE accounts SET balance = balance - 10 WHERE id = 1",
+    "UPDATE accounts SET balance = balance + 10 WHERE id = 2",
+};
+
+struct RunConfig {
+  std::string label;
+  int connections = 4;
+  int requests_per_conn = 200;
+  server::AdmissionOptions admission;  // default = generous
+};
+
+struct RunResult {
+  size_t ok = 0;
+  size_t shed = 0;       // kResourceExhausted fast rejections
+  size_t errors = 0;     // anything else (should be 0)
+  double seconds = 0;    // request phase wall time
+  double drain_seconds = 0;
+  double p50_ms = 0, p95_ms = 0;
+};
+
+RunResult RunOne(const RunConfig& config) {
+  namespace fs = std::filesystem;
+  const std::string wal = fs::temp_directory_path() / "bench_server.wal";
+  fs::remove(wal);
+
+  server::ServerOptions sopts;
+  sopts.admission = config.admission;
+  sopts.engine.wal_path = wal;
+  sopts.engine.wal_fsync_every_n = 8;
+  auto srv = server::UvServer::Start(sopts);
+  if (!srv.ok()) {
+    std::fprintf(stderr, "server start failed: %s\n",
+                 srv.status().ToString().c_str());
+    std::exit(1);
+  }
+  for (const char* sql : kSetup) {
+    if (!(*srv)->engine()->ExecuteSql(sql).ok()) std::exit(1);
+  }
+
+  std::mutex mu;
+  std::vector<double> latencies_ms;
+  RunResult result;
+  std::atomic<size_t> ok{0}, shed{0}, errors{0};
+
+  const uint64_t start = NowMicros();
+  std::vector<std::thread> threads;
+  for (int c = 0; c < config.connections; ++c) {
+    threads.emplace_back([&, c] {
+      auto client = server::UvClient::Connect("127.0.0.1", (*srv)->port());
+      if (!client.ok()) {
+        errors.fetch_add(size_t(config.requests_per_conn));
+        return;
+      }
+      std::vector<double> local;
+      local.reserve(size_t(config.requests_per_conn));
+      for (int i = 0; i < config.requests_per_conn; ++i) {
+        const uint64_t t0 = NowMicros();
+        Result<std::string> r = Status::OK();
+        if (i % 4 == 3) {
+          // Analyze-only what-if: the load class the overload action sheds.
+          server::ClientWhatIf spec;
+          spec.kind = 1;  // remove
+          spec.index = 6 + uint64_t(i % 2);
+          r = (*client)->Analyze(spec);
+        } else {
+          r = (*client)->ExecSql(
+              "UPDATE accounts SET balance = balance + 1 WHERE id = " +
+              std::to_string(1 + (c + i) % 4));
+        }
+        const double ms = double(NowMicros() - t0) / 1000.0;
+        if (r.ok()) {
+          ok.fetch_add(1);
+          local.push_back(ms);
+        } else if (r.status().code() == StatusCode::kResourceExhausted) {
+          shed.fetch_add(1);
+        } else {
+          errors.fetch_add(1);
+        }
+      }
+      std::lock_guard<std::mutex> g(mu);
+      latencies_ms.insert(latencies_ms.end(), local.begin(), local.end());
+    });
+  }
+  for (auto& t : threads) t.join();
+  result.seconds = double(NowMicros() - start) / 1e6;
+
+  const uint64_t drain_start = NowMicros();
+  (*srv)->RequestDrain();
+  Status st = (*srv)->WaitShutdown();
+  result.drain_seconds = double(NowMicros() - drain_start) / 1e6;
+  if (!st.ok()) {
+    std::fprintf(stderr, "drain failed: %s\n", st.ToString().c_str());
+    std::exit(1);
+  }
+
+  result.ok = ok.load();
+  result.shed = shed.load();
+  result.errors = errors.load();
+  if (!latencies_ms.empty()) {
+    std::sort(latencies_ms.begin(), latencies_ms.end());
+    result.p50_ms = latencies_ms[latencies_ms.size() / 2];
+    result.p95_ms = latencies_ms[latencies_ms.size() * 95 / 100];
+  }
+  fs::remove(wal);
+  return result;
+}
+
+int Main(int argc, char** argv) {
+  ParseBenchFlags(&argc, argv);
+  BenchSession session("server");
+  const int scale = HistoryScale();
+
+  std::vector<RunConfig> configs;
+  for (int conns : {1, 4, 8}) {
+    RunConfig config;
+    config.label = "conns=" + std::to_string(conns);
+    config.connections = conns;
+    config.requests_per_conn = 200 * scale;
+    configs.push_back(config);
+  }
+  {
+    // Overload row: 8 connections against a 2-in-flight/2-queued server —
+    // roughly 10x admitted capacity. The point of the row is the shed
+    // column: rejections must be plentiful AND cheap (watch p50 stay low).
+    RunConfig config;
+    config.label = "overload";
+    config.connections = 8;
+    config.requests_per_conn = 100 * scale;
+    config.admission.max_inflight = 2;
+    config.admission.max_queue_depth = 2;
+    configs.push_back(config);
+  }
+
+  PrintHeader("Server front-end: throughput / latency / shed / drain",
+              "robustness extension (DESIGN.md §16); no paper table");
+  PrintRow({"config", "requests", "ok", "shed", "shed-rate", "req/s",
+            "p50", "p95", "drain"});
+  for (const RunConfig& config : configs) {
+    RunResult r = RunOne(config);
+    const size_t total = r.ok + r.shed + r.errors;
+    const double shed_rate = total == 0 ? 0 : double(r.shed) / double(total);
+    const double rps = r.seconds == 0 ? 0 : double(r.ok) / r.seconds;
+    char shed_buf[16], rps_buf[24];
+    std::snprintf(shed_buf, sizeof(shed_buf), "%.1f%%", shed_rate * 100);
+    std::snprintf(rps_buf, sizeof(rps_buf), "%.0f", rps);
+    PrintRow({config.label, std::to_string(total), std::to_string(r.ok),
+              std::to_string(r.shed), shed_buf, rps_buf,
+              FmtSeconds(r.p50_ms / 1000), FmtSeconds(r.p95_ms / 1000),
+              FmtSeconds(r.drain_seconds)});
+    if (r.errors != 0) {
+      std::fprintf(stderr, "%s: %zu unexpected errors\n",
+                   config.label.c_str(), r.errors);
+      return 1;
+    }
+    session.Row({{"config", config.label},
+                 {"connections", config.connections},
+                 {"requests", total},
+                 {"ok", r.ok},
+                 {"shed", r.shed},
+                 {"shed_rate", shed_rate},
+                 {"req_per_sec", rps},
+                 {"p50_ms", r.p50_ms},
+                 {"p95_ms", r.p95_ms},
+                 {"drain_seconds", r.drain_seconds}});
+  }
+  return 0;
+}
+
+}  // namespace
+}  // namespace ultraverse::bench
+
+int main(int argc, char** argv) {
+  return ultraverse::bench::Main(argc, argv);
+}

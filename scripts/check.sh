@@ -19,13 +19,20 @@
 #    counterfactual (DESIGN.md §13), and a concurrent what-if smoke
 #    (fuzz_whatif --concurrent): analyst threads running snapshot-pinned
 #    what-ifs against a per-snapshot full-naive oracle while writer
-#    threads commit (DESIGN.md §14).
+#    threads commit (DESIGN.md §14), a multi-client server differential
+#    gate (fuzz_whatif --server-fuzz): client processes hammering one
+#    server process over the framed TCP protocol with a mid-run SIGTERM
+#    drain and WAL-recovery fingerprint check, and a ~30-second wire
+#    crash sweep (fuzz_whatif --server-crash) arming failpoints on every
+#    wire-path edge (DESIGN.md §16).
 # 2. asan  — AddressSanitizer build running the observability + oracle +
-#    fault + vm + explain + mvcc labels (the suites that exercise the
-#    threaded replay/staging, WAL recovery, compiled-execution, and
-#    provenance paths).
+#    fault + vm + explain + mvcc + server labels (the suites that exercise
+#    the threaded replay/staging, WAL recovery, compiled-execution,
+#    provenance, and network paths).
 # 3. tsan  — same labels under ThreadSanitizer, plus the concurrent
-#    what-if smoke (the MVCC layer's race detector).
+#    what-if smoke (the MVCC layer's race detector) and the multi-client
+#    server smoke + wire crash sweep (the dispatcher/worker-pool race
+#    detector).
 # lint (clang-tidy; no-op without the binary) runs with `lint`, or via
 # `ctest -L lint` inside any configured build.
 #
@@ -75,21 +82,45 @@ run_plain() {
     --out-dir "$SWEEP_DIR"
   echo "== plain: concurrent what-if smoke (MVCC, DESIGN.md §14) =="
   build/tools/fuzz_whatif --concurrent --seed 1 --rounds 3
+  echo "== plain: multi-client server differential gate (DESIGN.md §16) =="
+  # N client processes hammer one server process over the wire (commits,
+  # analyzes, publishes with retries, mid-run SIGTERM drain); same-epoch
+  # selective/full-naive fingerprints must match and WAL recovery must
+  # reproduce the drain fingerprint.
+  (cd "$SWEEP_DIR" && "$ROOT"/build/tools/fuzz_whatif --server-fuzz --seed 7)
+  echo "== plain: wire crash sweep (~30s, DESIGN.md §16) =="
+  # Crash/error/delay actions at every wire-path edge (torn frames, partial
+  # writes, accept storms, read stalls, fsync failure, crash-before-
+  # response); recovery must stay divergence-free through all of it.
+  (cd "$SWEEP_DIR" && \
+    "$ROOT"/build/tools/fuzz_whatif --server-crash --seed 1 --fuzz-seconds 30)
   rm -rf "$SWEEP_DIR"
 }
 
 run_sanitized() {  # $1 = address|thread, $2 = build dir
-  echo "== $1 sanitizer: obs+oracle+fault+vm+explain+mvcc+predicate labels =="
+  echo "== $1 sanitizer: obs+oracle+fault+vm+explain+mvcc+predicate+server =="
   cmake -B "$2" -S . -DULTRA_SANITIZE="$1"
   cmake --build "$2" -j "$JOBS"
   ctest --test-dir "$2" --output-on-failure -j "$JOBS" \
-    -L 'obs|oracle|fault|vm|explain|mvcc|predicate'
+    -L 'obs|oracle|fault|vm|explain|mvcc|predicate|server'
   if [ "$1" = thread ]; then
     # The concurrent analyst-vs-writer fuzz is the MVCC layer's real race
     # detector: N what-if analyses against shared snapshots while writers
     # commit. It must be data-race-free AND divergence-free under TSan.
     echo "== thread sanitizer: concurrent what-if smoke =="
     "$2"/tools/fuzz_whatif --concurrent --seed 1 --rounds 2
+    # The server's epoll dispatcher + worker pool + per-session write locks
+    # are the other threaded surface: a multi-client smoke and a short wire
+    # crash sweep must both be race-free. (The harness forks the server
+    # child from a single-threaded parent, so TSan stays accurate.)
+    echo "== thread sanitizer: multi-client server smoke =="
+    SRV_DIR="$(mktemp -d)"
+    (cd "$SRV_DIR" && "$ROOT/$2"/tools/fuzz_whatif --server-fuzz --seed 7 \
+      --clients 4)
+    echo "== thread sanitizer: wire crash sweep (~30s) =="
+    (cd "$SRV_DIR" && "$ROOT/$2"/tools/fuzz_whatif --server-crash --seed 1 \
+      --fuzz-seconds 30)
+    rm -rf "$SRV_DIR"
   fi
 }
 

@@ -478,6 +478,13 @@ Result<ReplayStats> RetroactiveEngine::ExecuteFullNaive(const RetroOp& op,
     stats.mutated_tables = all.size();
     UV_RETURN_NOT_OK(db_->AdoptTables(*temp_db_, all));
     db_->AdoptCatalog(*temp_db_);
+    // Same contract as the selective path: the log must describe the
+    // history that is now live before the lock drops. Recovery's marker
+    // replay rides this too — it rewrites the partially rebuilt log so
+    // later WAL entries and markers land on the same history they did
+    // originally.
+    RewritePublishedLog(op);
+    if (options_.on_published) options_.on_published(op);
   } else {
     stats.mutated_tables = temp_db_->TableNames().size();
   }
@@ -1287,6 +1294,30 @@ Result<ReplayStats> RetroactiveEngine::Execute(
       // the temporary catalog; AdoptTables moves row data only.
       db_->AdoptCatalog(*temp_db_);
     }
+    // The live database now holds the alternate universe; make the log
+    // agree before anything can replay from it (still exclusive here).
+    RewritePublishedLog(op);
+    if (options_.rewrite_log != nullptr) {
+      // Selective replay journals its slots at post-horizon commit
+      // indexes (per-statement abort needs a clean journal top), so the
+      // adopted tables' journals neither match the rewritten log's
+      // indexing nor stay clear of the indexes the next commits will
+      // take. Reset them: retroactive targets at or below the publish
+      // horizon fall back to the rebuild-from-log path — now correct,
+      // since the log describes the published history — and post-publish
+      // traffic journals normally. A change leaves every other table's
+      // journal valid; an add/remove renumbers the whole suffix, so every
+      // journal's commit indexing goes stale.
+      const uint64_t mark = options_.rewrite_log->last_index() + 1;
+      if (op.kind == RetroOp::Kind::kChange) {
+        std::vector<std::string> adopted(plan.mutated_tables.begin(),
+                                         plan.mutated_tables.end());
+        db_->ResetJournals(adopted, mark);
+      } else {
+        db_->ResetJournals({}, mark);
+      }
+    }
+    if (options_.on_published) options_.on_published(op);
   }
   // Past the commit point AND the swap: an error injected here surfaces to
   // the caller, but the what-if is already durably committed.
@@ -1346,6 +1377,60 @@ Result<ReplayStats> RetroactiveEngine::Execute(
                                          /*completed=*/true);
   }
   return stats;
+}
+
+void RetroactiveEngine::RewritePublishedLog(const RetroOp& op) {
+  sql::QueryLog* log = options_.rewrite_log;
+  if (log == nullptr) return;
+  // mutable_entries() bumps the history epoch, so every epoch-keyed
+  // derivative (snapshots, analyze-result cache, hash timelines)
+  // invalidates on its next key check.
+  std::deque<sql::LogEntry>& entries = log->mutable_entries();
+  const size_t pos = size_t(op.index) - 1;  // deque position of τ
+  switch (op.kind) {
+    case RetroOp::Kind::kChange: {
+      sql::LogEntry& target = entries[pos];
+      target.sql = op.new_sql;
+      target.stmt = op.new_stmt;
+      // The nondeterminism the publish replay actually used: recorded
+      // fresh for a live what-if, replayed from the marker in recovery.
+      target.nondet = options_.new_stmt_nondet ? *options_.new_stmt_nondet
+                                               : captured_new_nondet_;
+      // The retroactive statement is raw SQL; the application-level
+      // provenance of the statement it replaced died with it.
+      target.app_txn.clear();
+      target.app_args.clear();
+      target.app_blackbox.clear();
+      break;
+    }
+    case RetroOp::Kind::kAdd: {
+      sql::LogEntry added;
+      added.sql = op.new_sql;
+      added.stmt = op.new_stmt;
+      added.nondet = options_.new_stmt_nondet ? *options_.new_stmt_nondet
+                                              : captured_new_nondet_;
+      // Slots between τ-1 and the old τ: reuse the preceding commit's
+      // logical time so timestamps stay monotone.
+      added.timestamp = pos > 0 ? entries[pos - 1].timestamp : 0;
+      entries.insert(entries.begin() + pos, std::move(added));
+      break;
+    }
+    case RetroOp::Kind::kRemove:
+      entries.erase(entries.begin() + pos);
+      break;
+  }
+  // Renumber the suffix (add/remove shift it) and drop per-entry records
+  // that described the dead universe: logged table hashes (the Hash-jumper
+  // must never "converge" against pre-publish digests) and captured
+  // procedure variables (row-wise analysis falls back to its conservative
+  // widening). Statement text and nondeterminism records stay — the
+  // publish replay itself re-injected exactly those, so they reproduce the
+  // now-live history.
+  for (size_t i = pos; i < entries.size(); ++i) {
+    entries[i].index = i + 1;
+    entries[i].table_hashes.clear();
+    entries[i].captured_vars.clear();
+  }
 }
 
 Status RetroactiveEngine::PublishCommitMarker(const RetroOp& op) {

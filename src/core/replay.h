@@ -230,6 +230,27 @@ class RetroactiveEngine {
     /// nondeterminism instead of generating fresh values, reproducing the
     /// exact universe the original what-if committed (sqldb/wal marker).
     const sql::NondetRecord* new_stmt_nondet = nullptr;
+    /// The live query log to rewrite to the alternate history inside the
+    /// publish critical section (DESIGN.md §14): a change swaps the target
+    /// entry's statement and nondeterminism record in place, an add/remove
+    /// inserts or erases it and renumbers the suffix, and every suffix
+    /// entry's logged table hashes and captured variables are dropped
+    /// (they describe the dead universe). Without the rewrite every later
+    /// log-derived replay — a full-naive analyze, the suffix of a second
+    /// publish, recovery's marker replay — reconstructs the pre-publish
+    /// history while selective staging starts from the published live
+    /// database, and the two universes silently diverge (found by the
+    /// multi-client wire gate; see DESIGN.md §16). nullptr = publish
+    /// without rewriting, for self-contained oracle universes that are
+    /// compared once and discarded.
+    sql::QueryLog* rewrite_log = nullptr;
+    /// Invoked inside the publish critical section, after the adoption
+    /// swap and the history rewrite, with the exclusive db_mutex still
+    /// held. The facade hangs its cache maintenance here (analysis
+    /// truncation, hash-log re-baselining): doing it after Execute()
+    /// returns would open a window where a concurrent snapshot or second
+    /// publish reads stale per-entry analysis against the rewritten log.
+    std::function<void(const RetroOp&)> on_published;
   };
 
   /// Replays one log entry against `db` at `commit_index`. The default
@@ -302,6 +323,11 @@ class RetroactiveEngine {
   /// Two-phase publish (§11): durable commit marker first, then the
   /// one-step swap of staged tables into the live database.
   Status PublishCommitMarker(const RetroOp& op);
+
+  /// In-place rewrite of Options::rewrite_log to the alternate history a
+  /// successful publish just made live. No-op when rewrite_log is null.
+  /// Caller holds the publish critical section.
+  void RewritePublishedLog(const RetroOp& op);
 
   /// (function, parsed when-condition) pairs from Options::rules.
   std::vector<std::pair<std::string, sql::StatementPtr>> parsed_rules_;

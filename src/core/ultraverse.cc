@@ -248,6 +248,18 @@ Ultraverse::Ultraverse(Options options)
 
 Ultraverse::~Ultraverse() = default;
 
+Status Ultraverse::AttachWal(const std::string& path) {
+  if (wal_ != nullptr) {
+    return Status::InvalidArgument("a WAL is already attached");
+  }
+  sql::WalOptions wal_options;
+  wal_options.fsync_every_n = options_.wal_fsync_every_n;
+  UV_ASSIGN_OR_RETURN(wal_, sql::Wal::Open(path, wal_options));
+  options_.wal_path = path;
+  wal_status_ = Status::OK();
+  return Status::OK();
+}
+
 Status Ultraverse::LoadApplication(const std::string& source) {
   return LoadApplication(source, sym::DseEngine::Options());
 }
@@ -285,7 +297,8 @@ Status Ultraverse::LoadApplication(const std::string& source,
     Result<sql::ExecResult> r =
         db_.Execute(*entry.stmt, log_.size() + 1, &ctx);
     if (!r.ok()) return r.status();
-    UV_RETURN_NOT_OK(CommitEntry(std::move(entry)));
+    UV_ASSIGN_OR_RETURN(uint64_t seq, CommitEntry(std::move(entry)));
+    if (seq != 0) UV_RETURN_NOT_OK(wal_->WaitDurable(seq));
     transpiled_[tt.function] = std::move(tt);
   }
   return Status::OK();
@@ -303,7 +316,7 @@ void Ultraverse::ConfigureRi(const std::string& table,
   analyzer_.ConfigureRi(table, ri_column, std::move(aliases));
 }
 
-Status Ultraverse::CommitEntry(sql::LogEntry entry) {
+Result<uint64_t> Ultraverse::CommitEntry(sql::LogEntry entry) {
   // Hash-jumper logging: per-table digests of everything this commit
   // changed (§4.5). Incremental hashes make this O(tables).
   if (options_.eager_hash_log) {
@@ -318,10 +331,17 @@ Status Ultraverse::CommitEntry(sql::LogEntry entry) {
     }
   }
   log_.Append(std::move(entry));
+  uint64_t durability_seq = 0;
   if (wal_) {
     // Durability before visibility-to-replay: the WAL gets the committed
     // entry (with its hash log) the moment it enters the in-memory log.
-    UV_RETURN_NOT_OK(wal_->AppendEntry(log_.entries().back()));
+    // The fsync wait happens in the caller AFTER commit_mu_ drops, so
+    // concurrent committers form one fsync group instead of serializing
+    // their disk waits behind the lock.
+    bool sync_due = false;
+    UV_ASSIGN_OR_RETURN(uint64_t seq, wal_->AppendEntryAsync(
+                                          log_.entries().back(), &sync_due));
+    if (sync_due) durability_seq = seq;
   }
   if (options_.eager_analysis) {
     UV_ASSIGN_OR_RETURN(QueryRW rw,
@@ -331,7 +351,7 @@ Status Ultraverse::CommitEntry(sql::LogEntry entry) {
   }
   // No dirty flag: EnsureAnalysisLocked compares coverage and the merged-RI
   // generation, extending the canonical analysis incrementally.
-  return Status::OK();
+  return durability_seq;
 }
 
 Result<sql::ExecResult> Ultraverse::ExecuteSql(const std::string& sql_text) {
@@ -343,19 +363,28 @@ Result<sql::ExecResult> Ultraverse::ExecuteSql(const std::string& sql_text) {
   sql::ExecContext ctx;
   ctx.StartRecording(&entry.nondet);
   clock_.ChargeRoundTrip();
-  std::lock_guard<std::shared_mutex> g(commit_mu_);
-  // The logical clock is plain state guarded by commit_mu_ — stamp under
-  // the lock so concurrent committers serialize (timestamps then follow
-  // commit order, which replay assumes anyway).
-  entry.timestamp = db_.NextTimestamp();
-  const uint64_t commit_index = log_.size() + 1;
-  Result<sql::ExecResult> res = db_.Execute(*stmt, commit_index, &ctx);
-  if (!res.ok()) {
-    db_.RollbackToIndex(commit_index - 1);
-    return res.status();
+  uint64_t durability_seq = 0;
+  sql::ExecResult out;
+  {
+    std::lock_guard<std::shared_mutex> g(commit_mu_);
+    // The logical clock is plain state guarded by commit_mu_ — stamp under
+    // the lock so concurrent committers serialize (timestamps then follow
+    // commit order, which replay assumes anyway).
+    entry.timestamp = db_.NextTimestamp();
+    const uint64_t commit_index = log_.size() + 1;
+    Result<sql::ExecResult> res = db_.Execute(*stmt, commit_index, &ctx);
+    if (!res.ok()) {
+      db_.RollbackToIndex(commit_index - 1);
+      return res.status();
+    }
+    out = std::move(*res);
+    UV_ASSIGN_OR_RETURN(durability_seq, CommitEntry(std::move(entry)));
   }
-  UV_RETURN_NOT_OK(CommitEntry(std::move(entry)));
-  return res;
+  // Group-commit durability wait outside the commit lock: a failed group
+  // fsync reports here — to every committer in the group (see
+  // Wal::WaitDurable), not just whichever one triggered the sync.
+  if (durability_seq != 0) UV_RETURN_NOT_OK(wal_->WaitDurable(durability_seq));
+  return out;
 }
 
 Result<AppValue> Ultraverse::RunTransaction(const std::string& fn,
@@ -368,7 +397,7 @@ Result<AppValue> Ultraverse::RunTransaction(const std::string& fn,
   entry.app_txn = fn;
   for (const auto& a : args) entry.app_args.push_back(a.ToSqlValue());
 
-  std::lock_guard<std::shared_mutex> g(commit_mu_);
+  std::unique_lock<std::shared_mutex> g(commit_mu_);
   // Committed index and timestamp resolved under the lock: concurrent
   // committers would otherwise race to the same slot / logical tick.
   entry.timestamp = db_.NextTimestamp();
@@ -463,7 +492,10 @@ retry_with_app_code:
     }
   }
 
-  UV_RETURN_NOT_OK(CommitEntry(std::move(entry)));
+  UV_ASSIGN_OR_RETURN(uint64_t durability_seq, CommitEntry(std::move(entry)));
+  g.unlock();
+  // As in ExecuteSql: the group fsync wait runs off the commit lock.
+  if (durability_seq != 0) UV_RETURN_NOT_OK(wal_->WaitDurable(durability_seq));
   return ret;
 }
 
@@ -494,6 +526,34 @@ Status Ultraverse::EnsureAnalysisLocked() {
     }
   }
   return Status::OK();
+}
+
+void Ultraverse::OnPublishedLocked(const RetroOp& op) {
+  // Everything analyzed from the rewrite point on described statements
+  // that no longer exist at those indices (a change swapped the target, an
+  // add/remove shifted the suffix). Truncate; EnsureAnalysisLocked
+  // re-derives the tail lazily from the rewritten entries. The analyzer's
+  // union-find keeps merges learned from the dead suffix — that can only
+  // widen row sets, which over-replays but never skips a dependency.
+  const size_t keep = std::min<size_t>(raw_analysis_.size(), op.index - 1);
+  raw_analysis_.resize(keep);
+  footprints_.resize(std::min(footprints_.size(), keep));
+  canonical_analysis_.resize(std::min(canonical_analysis_.size(), keep));
+  // Eager hash log: the suffix digests were dropped by the rewrite.
+  // Re-baseline on the final entry with the just-adopted live tables, so
+  // timeline lookups at-or-past the horizon (and dedup of future commits)
+  // compare against the published universe, not the dead one. Indices
+  // between the rewrite point and the horizon have no logged digests —
+  // probes there fall back to the settled prefix and read as misses.
+  if (options_.eager_hash_log && log_.size() > 0) {
+    sql::LogEntry& back = log_.mutable_entries().back();
+    last_hash_.clear();
+    for (const auto& name : db_.TableNames()) {
+      const Digest256& h = db_.FindTable(name)->table_hash().value();
+      back.table_hashes[name] = h;
+      last_hash_[name] = h;
+    }
+  }
 }
 
 Result<const std::vector<QueryRW>*> Ultraverse::EnsureAnalysis() {
@@ -532,12 +592,15 @@ Result<std::shared_ptr<const HistorySnapshot>> Ultraverse::SnapshotHistory() {
   // temporaries FROM it and fault in lock-free.
   snap->db = std::shared_ptr<const sql::Database>(db_.Clone());
   auto pinned = std::make_shared<std::vector<const sql::LogEntry*>>();
-  pinned->reserve(log_.size());
-  // Deque references are stable under append, so pointers into the
-  // committed prefix stay valid while writers extend the log. (WAL
-  // recovery clears the log wholesale — but only on a fresh facade,
-  // before any snapshot exists.)
-  for (uint64_t i = 1; i <= log_.size(); ++i) pinned->push_back(&log_.at(i));
+  // The snapshot owns a *copy* of the pinned prefix, not pointers into the
+  // live deque: a publish rewrites entries in place (an add/remove even
+  // inserts or erases mid-deque, invalidating every live reference), and
+  // in-flight analyses read their pinned history lock-free. Copies are
+  // O(prefix) once per epoch and shared by every analysis at that epoch.
+  auto storage = std::make_shared<std::deque<sql::LogEntry>>(log_.entries());
+  pinned->reserve(storage->size());
+  for (const sql::LogEntry& entry : *storage) pinned->push_back(&entry);
+  snap->entry_storage = std::move(storage);
   snap->entries = std::move(pinned);
   snap->analysis =
       std::make_shared<const std::vector<QueryRW>>(canonical_analysis_);
@@ -605,6 +668,15 @@ Result<RetroOp> Ultraverse::MakeOp(RetroOp::Kind kind, uint64_t index,
 
 Result<ReplayStats> Ultraverse::WhatIf(const RetroOp& op, SystemMode mode,
                                        std::vector<ReplayRule> rules) {
+  // Embedded single-session use: the facade-wide Options::whatif_* knobs
+  // are the request context.
+  return WhatIf(op, mode, std::move(rules),
+                RequestContext{options_.whatif_cancel, options_.whatif_retry});
+}
+
+Result<ReplayStats> Ultraverse::WhatIf(const RetroOp& op, SystemMode mode,
+                                       std::vector<ReplayRule> rules,
+                                       const RequestContext& ctx) {
   static obs::Counter* const whatifs =
       obs::Registry::Global().counter("uv.whatif.ops");
   whatifs->Inc();
@@ -633,14 +705,21 @@ Result<ReplayStats> Ultraverse::WhatIf(const RetroOp& op, SystemMode mode,
   eopts.rules = std::move(rules);
   eopts.db_mutex = &commit_mu_;
   eopts.wal = wal_.get();  // two-phase publish when durability is on
-  eopts.cancel = options_.whatif_cancel;
-  eopts.retry = options_.whatif_retry;
+  eopts.cancel = ctx.cancel;
+  eopts.retry = ctx.retry;
   eopts.explain = options_.explain;
   eopts.forced_replay = options_.forced_replay;
   eopts.pinned_entries = snap->entries.get();
   eopts.horizon_override = snap->horizon;
   eopts.snapshot_epoch = snap->epoch;
   eopts.timeline_cache = &timeline_cache_;
+  // On publish the engine rewrites the live log to the alternate history
+  // inside its critical section, then hands control back here for cache
+  // maintenance — all before the exclusive lock drops, so no concurrent
+  // snapshot or second publish can observe the published database next to
+  // the dead history.
+  eopts.rewrite_log = &log_;
+  eopts.on_published = [this](const RetroOp& o) { OnPublishedLocked(o); };
 
   bool use_app_code = mode == SystemMode::kB || mode == SystemMode::kD;
   std::atomic<uint64_t> rtt_counter{0};
@@ -747,6 +826,16 @@ Result<WhatIfAnalysis> Ultraverse::WhatIfAnalyzeAt(const HistorySnapshot& snap,
                                                    const RetroOp& op,
                                                    SystemMode mode,
                                                    bool full_naive) {
+  return WhatIfAnalyzeAt(
+      snap, op, mode, full_naive,
+      RequestContext{options_.whatif_cancel, options_.whatif_retry});
+}
+
+Result<WhatIfAnalysis> Ultraverse::WhatIfAnalyzeAt(const HistorySnapshot& snap,
+                                                   const RetroOp& op,
+                                                   SystemMode mode,
+                                                   bool full_naive,
+                                                   const RequestContext& ctx) {
   static obs::Counter* const analyses =
       obs::Registry::Global().counter("uv.whatif.analyze.ops");
   analyses->Inc();
@@ -769,8 +858,8 @@ Result<WhatIfAnalysis> Ultraverse::WhatIfAnalyzeAt(const HistorySnapshot& snap,
   eopts.publish = false;
   eopts.db_mutex = nullptr;
   eopts.wal = nullptr;
-  eopts.cancel = options_.whatif_cancel;
-  eopts.retry = options_.whatif_retry;
+  eopts.cancel = ctx.cancel;
+  eopts.retry = ctx.retry;
   eopts.explain = options_.explain;
   eopts.forced_replay = options_.forced_replay;
   eopts.pinned_entries = snap.entries.get();
@@ -819,6 +908,13 @@ Result<WhatIfAnalysis> Ultraverse::WhatIfAnalyzeAt(const HistorySnapshot& snap,
 
 Result<WhatIfAnalysis> Ultraverse::WhatIfAnalyze(const RetroOp& op,
                                                  SystemMode mode) {
+  return WhatIfAnalyze(
+      op, mode, RequestContext{options_.whatif_cancel, options_.whatif_retry});
+}
+
+Result<WhatIfAnalysis> Ultraverse::WhatIfAnalyze(const RetroOp& op,
+                                                 SystemMode mode,
+                                                 const RequestContext& ctx) {
   static obs::Counter* const hits =
       obs::Registry::Global().counter("uv.whatif.cache.hit");
   static obs::Counter* const misses =
@@ -836,6 +932,9 @@ Result<WhatIfAnalysis> Ultraverse::WhatIfAnalyze(const RetroOp& op,
     if (result_cache_epoch_ == snap->epoch) {
       auto it = result_cache_.find(key);
       if (it != result_cache_.end()) {
+        // Even a cached answer respects the request's deadline: an already
+        // expired request gets its typed error, not a stale-looking hit.
+        UV_RETURN_NOT_OK(CheckCancel(ctx.cancel, "whatif.analyze.cache"));
         hits->Inc();
         hit_verdicts->Inc();
         WhatIfAnalysis out = it->second;
@@ -847,7 +946,8 @@ Result<WhatIfAnalysis> Ultraverse::WhatIfAnalyze(const RetroOp& op,
     }
   }
   misses->Inc();
-  UV_ASSIGN_OR_RETURN(WhatIfAnalysis out, WhatIfAnalyzeAt(*snap, op, mode));
+  UV_ASSIGN_OR_RETURN(WhatIfAnalysis out,
+                      WhatIfAnalyzeAt(*snap, op, mode, false, ctx));
   {
     std::lock_guard<std::mutex> g(result_mu_);
     if (result_cache_epoch_ != snap->epoch) {
@@ -874,11 +974,10 @@ void Ultraverse::TagScenario(const std::string& name) {
   scenario_tags_[name] = log_.last_index();
 }
 
-std::string Ultraverse::StateFingerprint() const {
-  std::shared_lock<std::shared_mutex> g(commit_mu_);
+std::string FingerprintDatabase(const sql::Database& db) {
   Sha256 hasher;
-  for (const auto& name : db_.TableNames()) {
-    const sql::Table* t = db_.FindTable(name);
+  for (const auto& name : db.TableNames()) {
+    const sql::Table* t = db.FindTable(name);
     hasher.Update(name);
     std::vector<std::string> rows;
     t->Scan([&](sql::RowId, const sql::Row& row) {
@@ -889,6 +988,11 @@ std::string Ultraverse::StateFingerprint() const {
     for (const auto& r : rows) hasher.Update(r);
   }
   return hasher.Finish().ToHex();
+}
+
+std::string Ultraverse::StateFingerprint() const {
+  std::shared_lock<std::shared_mutex> g(commit_mu_);
+  return FingerprintDatabase(db_);
 }
 
 }  // namespace ultraverse::core

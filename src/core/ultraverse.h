@@ -1,6 +1,7 @@
 #ifndef ULTRAVERSE_CORE_ULTRAVERSE_H_
 #define ULTRAVERSE_CORE_ULTRAVERSE_H_
 
+#include <deque>
 #include <map>
 #include <memory>
 #include <mutex>
@@ -40,10 +41,32 @@ struct HistorySnapshot {
   uint64_t epoch = 0;    // history epoch this snapshot pins
   uint64_t horizon = 0;  // committed entries covered (log prefix length)
   std::shared_ptr<const sql::Database> db;
+  /// Owned copies of the pinned prefix. A what-if publish rewrites live
+  /// log entries *in place* (and an add/remove publish inserts or erases
+  /// mid-deque, which invalidates every reference into it), so pointers
+  /// into the live deque would race with lock-free in-flight analyses.
+  /// The snapshot owns its history instead; `entries` points into this.
+  std::shared_ptr<const std::deque<sql::LogEntry>> entry_storage;
   std::shared_ptr<const std::vector<const sql::LogEntry*>> entries;
   std::shared_ptr<const std::vector<QueryRW>> analysis;
   std::shared_ptr<const std::vector<TableFootprint>> footprints;
   std::shared_ptr<const QueryAnalyzer> analyzer;
+};
+
+/// Per-request execution context (session-scoped robustness knobs). Every
+/// what-if entry point takes one: a server session owns a CancelToken +
+/// RetryPolicy per request and passes them here, so deadlines and retry
+/// behavior are request-scoped rather than process-global. The no-context
+/// overloads fall back to the facade-wide Options::whatif_* defaults
+/// (embedded single-session use).
+struct RequestContext {
+  /// Cancellation/deadline token observed at every replay phase boundary
+  /// and slot. Nullable = not cancellable.
+  const CancelToken* cancel = nullptr;
+  /// Bounded retry for transient replay faults. kAborted publish conflicts
+  /// are retried only when retry.retry_aborted is set AND the retry loops
+  /// around the whole WhatIf call (re-snapshotting) — never inside it.
+  RetryPolicy retry;
 };
 
 /// Result of an analyze-only what-if (no publish): the replay statistics
@@ -89,7 +112,10 @@ class Ultraverse {
     /// entry appends to this file, and WhatIf() publishes its commit
     /// marker through it (the atomic two-phase what-if publish). Empty =
     /// in-memory only. Restarting over an existing file APPENDS; recover
-    /// first (fault::RecoverInto on a fresh facade's db()/log()).
+    /// first (fault::RecoverInto on a fresh facade's db()/log(), then
+    /// AttachWal() — the order matters: recovery truncates a torn tail,
+    /// and the append offset must be computed after that truncation).
+    /// UvServer does exactly this when ServerOptions::recover_wal is set.
     std::string wal_path;
     /// Group commit: fsync every Nth entry (1 = each, 0 = markers only).
     uint64_t wal_fsync_every_n = 1;
@@ -125,6 +151,10 @@ class Ultraverse {
   /// after a failed open — check wal_status().
   sql::Wal* wal() { return wal_.get(); }
   const Status& wal_status() const { return wal_status_; }
+  /// Opens a WAL for append on a facade constructed without one — the
+  /// second half of the recover-then-attach restart sequence (see the
+  /// Options::wal_path comment). Fails if a WAL is already attached.
+  Status AttachWal(const std::string& path);
   QueryAnalyzer* analyzer() { return &analyzer_; }
   VirtualClock* clock() { return &clock_; }
   const app::AppProgram* program() const { return &program_; }
@@ -184,6 +214,11 @@ class Ultraverse {
   /// extended history.
   Result<ReplayStats> WhatIf(const RetroOp& op, SystemMode mode,
                              std::vector<ReplayRule> rules = {});
+  /// Session-scoped variant: the request's own cancel token and retry
+  /// policy override the facade-wide Options::whatif_* defaults.
+  Result<ReplayStats> WhatIf(const RetroOp& op, SystemMode mode,
+                             std::vector<ReplayRule> rules,
+                             const RequestContext& ctx);
 
   // --- Concurrent analyze-only what-ifs (MVCC, DESIGN.md §14) ---------------
 
@@ -207,6 +242,11 @@ class Ultraverse {
   Result<WhatIfAnalysis> WhatIfAnalyzeAt(const HistorySnapshot& snap,
                                          const RetroOp& op, SystemMode mode,
                                          bool full_naive = false);
+  /// Session-scoped variant (see RequestContext).
+  Result<WhatIfAnalysis> WhatIfAnalyzeAt(const HistorySnapshot& snap,
+                                         const RetroOp& op, SystemMode mode,
+                                         bool full_naive,
+                                         const RequestContext& ctx);
 
   /// Convenience: snapshot the current epoch and analyze, memoizing the
   /// result keyed by (history epoch, canonicalized op, mode). A repeated
@@ -214,6 +254,10 @@ class Ultraverse {
   /// (verdict kResultCacheHit, metric uv.whatif.cache.hit); any commit
   /// invalidates by advancing the epoch.
   Result<WhatIfAnalysis> WhatIfAnalyze(const RetroOp& op, SystemMode mode);
+  /// Session-scoped variant (see RequestContext). Cache hits still honor
+  /// the context's deadline check before returning.
+  Result<WhatIfAnalysis> WhatIfAnalyze(const RetroOp& op, SystemMode mode,
+                                       const RequestContext& ctx);
 
   /// Convenience: builds a RetroOp from SQL text ("" = remove).
   Result<RetroOp> MakeOp(RetroOp::Kind kind, uint64_t index,
@@ -247,7 +291,12 @@ class Ultraverse {
   class RegularBridge;
   class ReplayBridge;
 
-  Status CommitEntry(sql::LogEntry entry);
+  /// Appends the entry to the in-memory log and the WAL. Returns the WAL
+  /// append seq the caller must WaitDurable() on once it has released
+  /// commit_mu_ (0 = durability not owed yet: deferred group commit, or
+  /// no WAL). Moving the fsync wait off the commit critical section is
+  /// what lets concurrent committers share one group fsync.
+  Result<uint64_t> CommitEntry(sql::LogEntry entry);
   Status InterpreterReplayExecutor(sql::Database* target,
                                    const sql::LogEntry& entry,
                                    uint64_t commit_index,
@@ -258,6 +307,14 @@ class Ultraverse {
   /// merged-RI generation advanced (then canonical representatives may
   /// have changed and everything re-canonicalizes).
   Status EnsureAnalysisLocked();
+
+  /// Publish-time cache maintenance, invoked by the engine inside the
+  /// publish critical section (commit_mu_ held exclusively) right after it
+  /// rewrote log_ to the alternate history: drops per-entry analysis from
+  /// the rewrite point on (the old statements' R/W sets would poison
+  /// future dependency planning) and re-baselines the eager hash log
+  /// against the just-adopted live tables.
+  void OnPublishedLocked(const RetroOp& op);
 
   Options options_;
   sql::Database db_;
@@ -310,6 +367,12 @@ class Ultraverse {
   uint64_t result_cache_epoch_ = 0;
   std::map<std::string, WhatIfAnalysis> result_cache_;
 };
+
+/// Serializes a database's full state (all tables, sorted rows) in exactly
+/// the Ultraverse::StateFingerprint() format — for recovery-side oracles
+/// (the network differential gate) that re-derive state from a WAL without
+/// constructing a facade.
+std::string FingerprintDatabase(const sql::Database& db);
 
 }  // namespace ultraverse::core
 

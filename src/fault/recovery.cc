@@ -32,6 +32,11 @@ Status ApplyMarker(const sql::WhatIfMarker& marker, sql::Database* db,
   opts.mode = core::ReplayMode::kFullNaive;
   opts.parallel = false;
   opts.new_stmt_nondet = &marker.new_stmt_nondet;
+  // Mirror the live facade: publish rewrites the log to the alternate
+  // history, so the WAL entries and markers that follow this one replay
+  // against exactly the history they originally saw (indices included —
+  // an add/remove publish shifts every later commit index).
+  opts.rewrite_log = log;
   // Full-naive replay never consults the per-entry analysis (only its
   // size, which bounds the replay horizon) or the analyzer.
   std::vector<core::QueryRW> analysis(log->size());

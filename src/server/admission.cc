@@ -1,0 +1,92 @@
+#include "server/admission.h"
+
+#include "obs/metrics.h"
+
+namespace ultraverse::server {
+
+AdmissionController::AdmissionController(AdmissionOptions options)
+    : options_(options) {}
+
+Status AdmissionController::TryEnter(bool is_commit) {
+  static obs::Counter* const admitted =
+      obs::Registry::Global().counter("uv.server.admission.admitted");
+  static obs::Counter* const rejected =
+      obs::Registry::Global().counter("uv.server.admission.rejected");
+  static obs::Counter* const shed =
+      obs::Registry::Global().counter("uv.server.admission.shed_analyze");
+  static obs::Gauge* const inflight_gauge =
+      obs::Registry::Global().gauge("uv.server.inflight");
+  static obs::Histogram* const depth_hist =
+      obs::Registry::Global().histogram("uv.server.queue_depth");
+  // The overload monitor's signal: how many what-if analyses the engine is
+  // actually running right now (bumped by the request handlers around the
+  // engine call). When the engine itself is saturated, analyze-only load
+  // sheds even if the server queue still has room — the queue would only
+  // hide latency, not create capacity.
+  static obs::Gauge* const active_analyses =
+      obs::Registry::Global().gauge("uv.whatif.active");
+
+  const int hard_cap = options_.max_inflight + options_.max_queue_depth;
+  const int shed_cap =
+      options_.max_inflight +
+      int(options_.shed_analyze_watermark * options_.max_queue_depth);
+  for (;;) {
+    int cur = inflight_.load(std::memory_order_relaxed);
+    if (cur >= hard_cap) {
+      rejected->Inc();
+      return Status::ResourceExhausted(
+          "server at capacity (" + std::to_string(cur) + " in flight)");
+    }
+    if (!is_commit &&
+        (cur >= shed_cap ||
+         active_analyses->Value() >= options_.max_inflight)) {
+      // Overload action: analyze-only load sheds first. Commits (and
+      // publishes) keep their full queue headroom because aborting them
+      // client-side is far more expensive than re-asking a question.
+      shed->Inc();
+      return Status::ResourceExhausted("analyze load shed (overload)");
+    }
+    if (inflight_.compare_exchange_weak(cur, cur + 1,
+                                        std::memory_order_acq_rel)) {
+      admitted->Inc();
+      inflight_gauge->Add(1);
+      depth_hist->Record(uint64_t(cur + 1));
+      return Status::OK();
+    }
+  }
+}
+
+void AdmissionController::Exit() {
+  static obs::Gauge* const inflight_gauge =
+      obs::Registry::Global().gauge("uv.server.inflight");
+  inflight_.fetch_sub(1, std::memory_order_acq_rel);
+  inflight_gauge->Add(-1);
+}
+
+bool AdmissionController::TryAddConnection() {
+  static obs::Counter* const refused =
+      obs::Registry::Global().counter("uv.server.conn.refused");
+  static obs::Gauge* const conns =
+      obs::Registry::Global().gauge("uv.server.connections");
+  for (;;) {
+    int cur = connections_.load(std::memory_order_relaxed);
+    if (cur >= options_.max_connections) {
+      refused->Inc();
+      return false;
+    }
+    if (connections_.compare_exchange_weak(cur, cur + 1,
+                                           std::memory_order_acq_rel)) {
+      conns->Add(1);
+      return true;
+    }
+  }
+}
+
+void AdmissionController::RemoveConnection() {
+  static obs::Gauge* const conns =
+      obs::Registry::Global().gauge("uv.server.connections");
+  connections_.fetch_sub(1, std::memory_order_acq_rel);
+  conns->Add(-1);
+}
+
+}  // namespace ultraverse::server

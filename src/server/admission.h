@@ -1,0 +1,62 @@
+#ifndef ULTRAVERSE_SERVER_ADMISSION_H_
+#define ULTRAVERSE_SERVER_ADMISSION_H_
+
+#include <atomic>
+#include <cstdint>
+
+#include "util/status.h"
+
+namespace ultraverse::server {
+
+/// Admission limits for one server instance. The shape follows Envoy's
+/// overload manager: a hard in-flight cap, a bounded wait queue, and a
+/// shed watermark that rejects cheap-to-retry load (analyze-only what-ifs)
+/// before expensive-to-retry load (commits and publishes) as the queue
+/// fills.
+struct AdmissionOptions {
+  /// What-if analyses and SQL commits executing concurrently in workers.
+  int max_inflight = 8;
+  /// Admitted requests waiting for a worker beyond the in-flight cap.
+  /// Together these bound per-server request memory: past the sum every
+  /// request is fast-rejected with kResourceExhausted.
+  int max_queue_depth = 32;
+  /// Fraction of the queue at which analyze-only load starts shedding
+  /// while commits are still admitted (the overload action). Keyed off
+  /// live queue state plus the uv.whatif.* gauges the monitor reads.
+  double shed_analyze_watermark = 0.5;
+  /// Accepted connections; accept() past this closes immediately.
+  int max_connections = 128;
+};
+
+/// Lock-free admission gate. TryEnter/Exit bracket every admitted request;
+/// counters/gauges publish the decisions as uv.server.admission.*.
+class AdmissionController {
+ public:
+  explicit AdmissionController(AdmissionOptions options);
+
+  /// kOk = admitted (caller MUST call Exit() when the request retires).
+  /// kResourceExhausted = rejected — either hard-full, or analyze-only
+  /// load shed past the overload watermark. Rejection is O(1) with no
+  /// allocation: the fast path a storm hits.
+  Status TryEnter(bool is_commit);
+  void Exit();
+
+  /// Connection-count gate for the accept loop.
+  bool TryAddConnection();
+  void RemoveConnection();
+
+  int inflight() const { return inflight_.load(std::memory_order_relaxed); }
+  int connections() const {
+    return connections_.load(std::memory_order_relaxed);
+  }
+  const AdmissionOptions& options() const { return options_; }
+
+ private:
+  AdmissionOptions options_;
+  std::atomic<int> inflight_{0};     // admitted: executing or queued
+  std::atomic<int> connections_{0};
+};
+
+}  // namespace ultraverse::server
+
+#endif  // ULTRAVERSE_SERVER_ADMISSION_H_

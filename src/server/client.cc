@@ -1,0 +1,199 @@
+#include "server/client.h"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+
+#include "obs/metrics.h"
+
+namespace ultraverse::server {
+
+Result<std::unique_ptr<UvClient>> UvClient::Connect(const std::string& host,
+                                                    int port) {
+  int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) {
+    return Status::Unavailable(std::string("socket: ") + std::strerror(errno));
+  }
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(uint16_t(port));
+  if (::inet_pton(AF_INET, host.c_str(), &addr.sin_addr) != 1) {
+    ::close(fd);
+    return Status::InvalidArgument("bad server host " + host);
+  }
+  if (::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) < 0) {
+    Status st = Status::Unavailable(std::string("connect: ") +
+                                    std::strerror(errno));
+    ::close(fd);
+    return st;
+  }
+  int one = 1;
+  ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+  return std::unique_ptr<UvClient>(new UvClient(fd));
+}
+
+UvClient::~UvClient() {
+  if (fd_ >= 0) ::close(fd_);
+}
+
+Status UvClient::SendAll(const std::string& buf) {
+  size_t off = 0;
+  while (off < buf.size()) {
+    ssize_t n =
+        ::send(fd_, buf.data() + off, buf.size() - off, MSG_NOSIGNAL);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return Status::Unavailable(std::string("send failed: ") +
+                                 std::strerror(errno));
+    }
+    off += size_t(n);
+  }
+  return Status::OK();
+}
+
+Result<Frame> UvClient::ReadFrame() {
+  for (;;) {
+    Result<std::optional<Frame>> next = reader_.Next();
+    if (!next.ok()) return next.status();
+    if (next->has_value()) return std::move(**next);
+    char chunk[16 * 1024];
+    ssize_t n = ::read(fd_, chunk, sizeof(chunk));
+    if (n > 0) {
+      reader_.Feed(chunk, size_t(n));
+      continue;
+    }
+    if (n == 0) {
+      return Status::Unavailable("server closed connection");
+    }
+    if (errno == EINTR) continue;
+    return Status::Unavailable(std::string("read failed: ") +
+                               std::strerror(errno));
+  }
+}
+
+Result<std::string> UvClient::RoundTrip(MsgType type, uint32_t id,
+                                        const std::string& payload,
+                                        std::string* report_json) {
+  static obs::Counter* const requests =
+      obs::Registry::Global().counter("uv.client.requests");
+  requests->Inc();
+  std::string out;
+  AppendFrame(&out, type, payload);
+  UV_RETURN_NOT_OK(SendAll(out));
+  for (;;) {
+    UV_ASSIGN_OR_RETURN(Frame frame, ReadFrame());
+    switch (frame.type) {
+      case MsgType::kReportChunk: {
+        UV_ASSIGN_OR_RETURN(ChunkResp chunk, DecodeChunk(frame.payload));
+        if (chunk.id == id && report_json != nullptr) {
+          report_json->append(chunk.chunk);
+        }
+        continue;
+      }
+      case MsgType::kOk: {
+        UV_ASSIGN_OR_RETURN(OkResp ok, DecodeOk(frame.payload));
+        if (ok.id != id) continue;  // stale response from a cancelled req
+        return std::move(ok.body);
+      }
+      case MsgType::kError: {
+        UV_ASSIGN_OR_RETURN(ErrorResp err, DecodeError(frame.payload));
+        if (err.id != id) continue;
+        return Status(WireToStatusCode(err.code), std::move(err.message));
+      }
+      default:
+        return Status::Internal("unexpected frame type " +
+                                std::to_string(int(frame.type)));
+    }
+  }
+}
+
+Result<std::string> UvClient::Hello() {
+  uint32_t id = ++next_id_;
+  return RoundTrip(MsgType::kHello, id, EncodeSimple({id}), nullptr);
+}
+
+Result<std::string> UvClient::ExecSql(const std::string& sql,
+                                      uint64_t deadline_micros) {
+  uint32_t id = ++next_id_;
+  return RoundTrip(MsgType::kExecSql, id,
+                   EncodeExecSql({id, sql, deadline_micros}), nullptr);
+}
+
+namespace {
+WhatIfReq ToWire(uint32_t id, const ClientWhatIf& spec) {
+  WhatIfReq req;
+  req.id = id;
+  req.kind = spec.kind;
+  req.index = spec.index;
+  req.new_sql = spec.new_sql;
+  req.mode = spec.mode;
+  req.deadline_micros = spec.deadline_micros;
+  req.full_naive = spec.full_naive;
+  req.want_report = spec.want_report;
+  req.max_attempts = spec.server_attempts;
+  return req;
+}
+}  // namespace
+
+Result<std::string> UvClient::Analyze(const ClientWhatIf& spec,
+                                      std::string* report_json) {
+  uint32_t id = ++next_id_;
+  return RoundTrip(MsgType::kWhatIfAnalyze, id,
+                   EncodeWhatIf(ToWire(id, spec)), report_json);
+}
+
+Result<std::string> UvClient::Publish(const ClientWhatIf& spec,
+                                      RetryPolicy retry,
+                                      std::string* report_json) {
+  static obs::Counter* const retries =
+      obs::Registry::Global().counter("uv.client.publish.retries");
+  std::string body;
+  Status st = RetryWithBackoff(
+      retry, /*token=*/nullptr,
+      [&]() -> Status {
+        if (report_json != nullptr) report_json->clear();
+        uint32_t id = ++next_id_;
+        Result<std::string> r =
+            RoundTrip(MsgType::kWhatIfPublish, id,
+                      EncodeWhatIf(ToWire(id, spec)), report_json);
+        if (!r.ok()) return r.status();
+        body = std::move(*r);
+        return Status::OK();
+      },
+      [&](int, const Status&) { retries->Inc(); });
+  if (!st.ok()) return st;
+  return body;
+}
+
+Result<std::string> UvClient::Health() {
+  uint32_t id = ++next_id_;
+  return RoundTrip(MsgType::kHealth, id, EncodeSimple({id}), nullptr);
+}
+
+Result<std::string> UvClient::Metrics() {
+  uint32_t id = ++next_id_;
+  return RoundTrip(MsgType::kMetrics, id, EncodeSimple({id}), nullptr);
+}
+
+Result<std::string> UvClient::Fingerprint() {
+  uint32_t id = ++next_id_;
+  return RoundTrip(MsgType::kFingerprint, id, EncodeSimple({id}), nullptr);
+}
+
+Result<std::string> UvClient::Drain() {
+  uint32_t id = ++next_id_;
+  return RoundTrip(MsgType::kDrain, id, EncodeSimple({id}), nullptr);
+}
+
+Result<std::string> UvClient::Cancel(uint32_t target_id) {
+  uint32_t id = ++next_id_;
+  return RoundTrip(MsgType::kCancel, id, EncodeCancel({id, target_id}),
+                   nullptr);
+}
+
+}  // namespace ultraverse::server

@@ -1,0 +1,83 @@
+#ifndef ULTRAVERSE_SERVER_CLIENT_H_
+#define ULTRAVERSE_SERVER_CLIENT_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+
+#include "server/wire.h"
+#include "util/retry.h"
+
+namespace ultraverse::server {
+
+/// What-if request parameters as a client sees them (the wire WhatIfReq
+/// minus the request id, which the client assigns per send).
+struct ClientWhatIf {
+  uint8_t kind = 1;  // core::RetroOp::Kind: 0=add 1=remove 2=change
+  uint64_t index = 0;
+  std::string new_sql;
+  uint8_t mode = 3;  // core::SystemMode: 0=B 1=T 2=D 3=TD
+  uint64_t deadline_micros = 0;
+  bool full_naive = false;
+  bool want_report = false;
+  /// Server-side retry budget for transient replay faults (kUnavailable).
+  int server_attempts = 1;
+};
+
+/// Blocking single-connection client for UvServer. One request in flight
+/// at a time (send, then read frames until the matching kOk/kError).
+///
+/// Publish() is the kAborted-aware entry point: a first-committer-wins
+/// conflict comes back as a typed retryable error, and the supplied
+/// RetryPolicy (retry_aborted set) re-issues the publish after a jittered
+/// backoff so concurrent publishers desynchronize instead of re-colliding.
+class UvClient {
+ public:
+  static Result<std::unique_ptr<UvClient>> Connect(const std::string& host,
+                                                   int port);
+  ~UvClient();
+
+  UvClient(const UvClient&) = delete;
+  UvClient& operator=(const UvClient&) = delete;
+
+  Result<std::string> Hello();
+  Result<std::string> ExecSql(const std::string& sql,
+                              uint64_t deadline_micros = 0);
+  /// Analyze-only what-if. When `report_json` is non-null, streamed
+  /// kReportChunk frames are reassembled into it (the explain report).
+  Result<std::string> Analyze(const ClientWhatIf& spec,
+                              std::string* report_json = nullptr);
+  /// Publishing what-if. Retries per `retry`: kUnavailable always,
+  /// kAborted when retry.retry_aborted is set. Each attempt is a fresh
+  /// request (the server re-snapshots against the extended history).
+  Result<std::string> Publish(const ClientWhatIf& spec,
+                              RetryPolicy retry = {},
+                              std::string* report_json = nullptr);
+  Result<std::string> Health();
+  Result<std::string> Metrics();
+  Result<std::string> Fingerprint();
+  Result<std::string> Drain();
+  /// Cancels an in-flight request on this session (from another client
+  /// object this is a no-op: request ids are per-session).
+  Result<std::string> Cancel(uint32_t target_id);
+
+ private:
+  explicit UvClient(int fd) : fd_(fd) {}
+
+  /// Sends one framed request and reads frames until the matching kOk or
+  /// kError arrives; kReportChunk frames for the id accumulate into
+  /// `report_json` when non-null.
+  Result<std::string> RoundTrip(MsgType type, uint32_t id,
+                                const std::string& payload,
+                                std::string* report_json);
+  Status SendAll(const std::string& buf);
+  Result<Frame> ReadFrame();
+
+  int fd_;
+  FrameReader reader_;
+  uint32_t next_id_ = 0;
+};
+
+}  // namespace ultraverse::server
+
+#endif  // ULTRAVERSE_SERVER_CLIENT_H_

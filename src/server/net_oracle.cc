@@ -1,0 +1,536 @@
+#include "server/net_oracle.h"
+
+#include <csignal>
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <map>
+#include <sstream>
+
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include "core/ultraverse.h"
+#include "fault/failpoint.h"
+#include "fault/recovery.h"
+#include "obs/metrics.h"
+#include "server/client.h"
+#include "server/server.h"
+#include "util/rng.h"
+#include "util/stopwatch.h"
+
+namespace ultraverse::server {
+
+namespace {
+
+/// The fixed seed schema every run starts from. Client-issued DML uses
+/// client-unique keys, so every statement stays valid under any
+/// interleaving, and what-if ops target these always-present setup indexes.
+const char* kSetupSql[] = {
+    "CREATE TABLE accounts (id INT PRIMARY KEY, balance INT)",
+    "CREATE TABLE audit (id INT PRIMARY KEY, account INT, delta INT)",
+    "INSERT INTO accounts (id, balance) VALUES (1, 100)",
+    "INSERT INTO accounts (id, balance) VALUES (2, 100)",
+    "INSERT INTO accounts (id, balance) VALUES (3, 100)",
+    "INSERT INTO accounts (id, balance) VALUES (4, 100)",
+    "INSERT INTO accounts (id, balance) VALUES (5, 100)",
+    "INSERT INTO accounts (id, balance) VALUES (6, 100)",
+};
+constexpr size_t kSetupLen = sizeof(kSetupSql) / sizeof(kSetupSql[0]);
+/// Indexes eligible as what-if targets: the setup INSERTs (1-based log
+/// positions 3..8). Removing/changing one is always a valid retro op.
+constexpr uint64_t kFirstOpIndex = 3;
+constexpr uint64_t kLastOpIndex = kSetupLen;
+
+std::string WalPath(const std::string& dir) { return dir + "/net_oracle.wal"; }
+std::string FpPath(const std::string& dir) { return dir + "/net_oracle.fp"; }
+std::string StatsPath(const std::string& dir, int client) {
+  return dir + "/net_oracle.client" + std::to_string(client) + ".stats";
+}
+
+/// Pulls "key=value" out of a newline-separated response body.
+std::string BodyField(const std::string& body, const std::string& key) {
+  size_t pos = 0;
+  while (pos < body.size()) {
+    size_t eol = body.find('\n', pos);
+    if (eol == std::string::npos) eol = body.size();
+    std::string line = body.substr(pos, eol - pos);
+    if (line.rfind(key + "=", 0) == 0) return line.substr(key.size() + 1);
+    pos = eol + 1;
+  }
+  return "";
+}
+
+// --- Server child -----------------------------------------------------------
+
+UvServer* g_drain_target = nullptr;
+
+void SigtermHandler(int) {
+  if (g_drain_target != nullptr) g_drain_target->RequestDrain();
+}
+
+/// Runs in the forked server child. Never returns.
+[[noreturn]] void RunServerChild(const NetFuzzOptions& options,
+                                 int port_pipe_wr) {
+  if (!options.failpoints.empty()) {
+    Status st =
+        fault::FailpointRegistry::Global().ArmFromSpec(options.failpoints);
+    if (!st.ok()) _exit(12);
+  }
+  ServerOptions sopts;
+  sopts.workers = options.server_workers;
+  sopts.admission = options.admission;
+  sopts.fingerprint_out = FpPath(options.work_dir);
+  sopts.engine.wal_path = WalPath(options.work_dir);
+  sopts.engine.wal_fsync_every_n = options.wal_fsync_every_n;
+  auto server = UvServer::Start(sopts);
+  if (!server.ok()) _exit(10);
+  // Seed the schema through the engine (logged + WAL'd) before clients can
+  // connect, so every client-visible history index >= kFirstOpIndex exists.
+  for (const char* sql : kSetupSql) {
+    if (!(*server)->engine()->ExecuteSql(sql).ok()) _exit(11);
+  }
+  g_drain_target = server->get();
+  struct sigaction sa{};
+  sa.sa_handler = SigtermHandler;
+  ::sigaction(SIGTERM, &sa, nullptr);
+  // Ready: publish the ephemeral port; clients fork after the parent reads
+  // this, so no one connects to a half-initialized server.
+  std::string line = std::to_string((*server)->port()) + "\n";
+  [[maybe_unused]] ssize_t n = ::write(port_pipe_wr, line.data(), line.size());
+  ::close(port_pipe_wr);
+  Status st = (*server)->WaitShutdown();
+  server->reset();
+  _exit(st.ok() ? 0 : 3);
+}
+
+// --- Client child -----------------------------------------------------------
+
+struct ClientStats {
+  size_t ok = 0, rejected = 0, aborts = 0, retries = 0, deadline = 0;
+  size_t reconnects = 0, pairs = 0, divergences = 0;
+  std::vector<std::string> failures;
+};
+
+bool IsConnectionDeath(const Status& st) {
+  return st.code() == StatusCode::kUnavailable ||
+         st.code() == StatusCode::kDataLoss;
+}
+
+/// Runs in a forked client child. Never returns. Deterministic per
+/// (seed, client index); all outcomes land in the stats file the parent
+/// aggregates.
+[[noreturn]] void RunClientChild(const NetFuzzOptions& options, int port,
+                                 int client_idx) {
+  Rng rng(options.seed * 1000003 + uint64_t(client_idx));
+  ClientStats stats;
+  std::unique_ptr<UvClient> client;
+  int consecutive_conn_failures = 0;
+
+  auto connect = [&]() -> bool {
+    for (int attempt = 0; attempt < 20; ++attempt) {
+      auto c = UvClient::Connect("127.0.0.1", port);
+      if (c.ok()) {
+        client = std::move(*c);
+        consecutive_conn_failures = 0;
+        return true;
+      }
+      // Draining or crashed server: connect() refuses. Back off briefly;
+      // the caller decides when to give up for good.
+      ::usleep(10'000);
+    }
+    return false;
+  };
+  if (!connect()) {
+    stats.failures.push_back("initial connect failed");
+  }
+
+  auto analyze_fp = [&](bool full_naive, uint64_t index, uint8_t kind,
+                        const std::string& new_sql, std::string* fp,
+                        std::string* epoch) -> Status {
+    ClientWhatIf spec;
+    spec.kind = kind;
+    spec.index = index;
+    spec.new_sql = new_sql;
+    spec.mode = 3;  // kTD
+    spec.full_naive = full_naive;
+    spec.deadline_micros = options.deadline_micros;
+    Result<std::string> body = client->Analyze(spec);
+    if (!body.ok()) return body.status();
+    *fp = BodyField(*body, "fingerprint");
+    *epoch = BodyField(*body, "epoch");
+    return Status::OK();
+  };
+
+  for (int i = 0; client && i < options.requests_per_client; ++i) {
+    uint64_t dice = rng.Next() % 100;
+    uint64_t op_index = uint64_t(
+        rng.UniformInt(int64_t(kFirstOpIndex), int64_t(kLastOpIndex)));
+    uint8_t op_kind = rng.Bernoulli(0.5) ? 2 : 1;  // change : remove
+    int64_t key = int64_t(client_idx) * 100000 + i;
+    // Replacement statements key the inserted id to the index being
+    // changed (offset past every id real traffic uses), so any set of
+    // published changes stays free of duplicate keys.
+    std::string change_sql =
+        "INSERT INTO accounts (id, balance) VALUES (" +
+        std::to_string(1000 + op_index) + ", " +
+        std::to_string(rng.UniformInt(0, 500)) + ")";
+
+    Status st;
+    if (dice < 45) {
+      // Commit traffic with client-unique keys: valid in any interleaving.
+      std::string sql =
+          rng.Bernoulli(0.6)
+              ? "INSERT INTO audit (id, account, delta) VALUES (" +
+                    std::to_string(key) + ", " +
+                    std::to_string(rng.UniformInt(1, 6)) + ", " +
+                    std::to_string(rng.UniformInt(-50, 50)) + ")"
+              : "UPDATE accounts SET balance = balance + " +
+                    std::to_string(rng.UniformInt(1, 9)) + " WHERE id = " +
+                    std::to_string(rng.UniformInt(1, 6));
+      st = client->ExecSql(sql, options.deadline_micros).status();
+    } else if (dice < 75) {
+      // The over-the-wire MVCC oracle: selective then full-naive. Only
+      // same-epoch pairs are comparable (other clients commit freely).
+      std::string fp1, ep1, fp2, ep2;
+      st = analyze_fp(false, op_index, op_kind,
+                      op_kind == 2 ? change_sql : "", &fp1, &ep1);
+      if (st.ok()) {
+        st = analyze_fp(true, op_index, op_kind,
+                        op_kind == 2 ? change_sql : "", &fp2, &ep2);
+      }
+      if (st.ok() && !ep1.empty() && ep1 == ep2) {
+        ++stats.pairs;
+        if (fp1 != fp2) {
+          ++stats.divergences;
+          stats.failures.push_back(
+              "epoch " + ep1 + " selective/full-naive fingerprint mismatch " +
+              "(op index " + std::to_string(op_index) + ")");
+        }
+      }
+    } else if (dice < 90) {
+      // Publish under contention: kAborted is expected and retried with
+      // jittered backoff (satellite: typed retryable conflict errors).
+      // Change-only: a published REMOVE would shift later indexes and let
+      // two surviving statements insert the same key. Changes keep every
+      // statement valid under any publish interleaving (ids are keyed to
+      // the index being changed).
+      ClientWhatIf spec;
+      spec.kind = 2;
+      spec.index = op_index;
+      spec.new_sql = change_sql;
+      spec.mode = 3;
+      spec.deadline_micros = options.deadline_micros;
+      RetryPolicy retry;
+      retry.max_attempts = 4;
+      retry.retry_aborted = true;
+      retry.jitter_seed = options.seed * 31 + uint64_t(client_idx);
+      st = client->Publish(spec, retry).status();
+      if (st.code() == StatusCode::kAborted) {
+        ++stats.aborts;  // lost the race 4 times in a row — acceptable
+        st = Status::OK();
+      }
+    } else {
+      st = (rng.Bernoulli(0.5) ? client->Health() : client->Fingerprint())
+               .status();
+    }
+
+    if (st.ok()) {
+      ++stats.ok;
+      continue;
+    }
+    switch (st.code()) {
+      case StatusCode::kResourceExhausted:
+        ++stats.rejected;  // admission shed — the typed fast rejection
+        ::usleep(2'000);
+        break;
+      case StatusCode::kDeadlineExceeded:
+      case StatusCode::kCancelled:
+        ++stats.deadline;
+        break;
+      default:
+        if (IsConnectionDeath(st)) {
+          // Torn frame / drain / crash killed the connection. Reconnect
+          // and press on; repeated failures mean the server is gone
+          // (drain or crash sweep) — exit cleanly, the parent-side
+          // recovery oracle takes over from here.
+          client.reset();
+          ++consecutive_conn_failures;
+          if (consecutive_conn_failures > 2 || !connect()) {
+            i = options.requests_per_client;  // wind down
+          } else {
+            ++stats.reconnects;
+          }
+        } else {
+          stats.failures.push_back("request " + std::to_string(i) +
+                                   " unexpected error: " + st.ToString());
+        }
+        break;
+    }
+  }
+  client.reset();
+  // The retry loop's attempts live in the child's process-global counter.
+  stats.retries = obs::Registry::Global()
+                      .counter("uv.client.publish.retries")
+                      ->Value();
+
+  {
+    std::ofstream out(StatsPath(options.work_dir, client_idx),
+                      std::ios::trunc);
+    out << "ok=" << stats.ok << "\nrejected=" << stats.rejected
+        << "\naborts=" << stats.aborts << "\nretries=" << stats.retries
+        << "\ndeadline=" << stats.deadline
+        << "\nreconnects=" << stats.reconnects << "\npairs=" << stats.pairs
+        << "\ndivergences=" << stats.divergences << "\n";
+    for (const auto& f : stats.failures) out << "failure=" << f << "\n";
+    out.flush();
+  }
+  _exit(stats.failures.empty() && stats.divergences == 0 ? 0 : 1);
+}
+
+/// waitpid with a deadline; SIGKILLs on timeout. Returns the exit status
+/// via *status and false only if the child had to be killed.
+bool WaitWithDeadline(pid_t pid, uint64_t deadline_us, int* status) {
+  for (;;) {
+    pid_t r = ::waitpid(pid, status, WNOHANG);
+    if (r == pid) return true;
+    if (r < 0) return false;
+    if (NowMicros() > deadline_us) {
+      ::kill(pid, SIGKILL);
+      ::waitpid(pid, status, 0);
+      return false;
+    }
+    ::usleep(5'000);
+  }
+}
+
+Result<std::string> RecoverFingerprint(const std::string& wal_path) {
+  UV_ASSIGN_OR_RETURN(fault::RecoveredState state,
+                      fault::RecoverState(wal_path));
+  return core::FingerprintDatabase(*state.db);
+}
+
+}  // namespace
+
+Result<NetFuzzReport> NetFuzz(const NetFuzzOptions& options) {
+  NetFuzzReport report;
+  auto progress = [&](const std::string& msg) {
+    if (options.progress) options.progress(msg);
+  };
+  ::unlink(WalPath(options.work_dir).c_str());
+  ::unlink(FpPath(options.work_dir).c_str());
+  for (int c = 0; c < options.clients; ++c) {
+    ::unlink(StatsPath(options.work_dir, c).c_str());
+  }
+
+  const uint64_t deadline = NowMicros() +
+                            uint64_t(options.timeout_seconds * 1e6);
+
+  int port_pipe[2];
+  if (::pipe(port_pipe) != 0) return Status::Unavailable("pipe failed");
+  pid_t server_pid = ::fork();
+  if (server_pid < 0) return Status::Unavailable("fork failed");
+  if (server_pid == 0) {
+    ::close(port_pipe[0]);
+    RunServerChild(options, port_pipe[1]);
+  }
+  ::close(port_pipe[1]);
+
+  // Read the ephemeral port line; EOF = the server child died on startup.
+  std::string port_line;
+  char ch;
+  while (port_line.find('\n') == std::string::npos &&
+         ::read(port_pipe[0], &ch, 1) == 1) {
+    port_line.push_back(ch);
+  }
+  ::close(port_pipe[0]);
+  if (port_line.empty()) {
+    int status = 0;
+    WaitWithDeadline(server_pid, deadline, &status);
+    return Status::Unavailable("server child failed to start (exit " +
+                               std::to_string(WEXITSTATUS(status)) + ")");
+  }
+  int port = std::atoi(port_line.c_str());
+  progress("server up on port " + std::to_string(port));
+
+  std::vector<pid_t> client_pids;
+  for (int c = 0; c < options.clients; ++c) {
+    pid_t pid = ::fork();
+    if (pid < 0) break;
+    if (pid == 0) RunClientChild(options, port, c);
+    client_pids.push_back(pid);
+  }
+
+  if (options.drain_mid_run) {
+    // Let the hammering build up, then pull the plug: SIGTERM → graceful
+    // drain while clients are mid-request.
+    ::usleep(250'000);
+    progress("sending SIGTERM (mid-run drain)");
+    ::kill(server_pid, SIGTERM);
+  }
+
+  bool clients_clean = true;
+  for (size_t c = 0; c < client_pids.size(); ++c) {
+    int status = 0;
+    if (!WaitWithDeadline(client_pids[c], deadline, &status)) {
+      report.failures.push_back("client " + std::to_string(c) +
+                                " hung; killed");
+      clients_clean = false;
+    }
+  }
+  if (!options.drain_mid_run) {
+    progress("clients done; sending SIGTERM");
+    ::kill(server_pid, SIGTERM);
+  }
+  int server_status = 0;
+  if (!WaitWithDeadline(server_pid, deadline, &server_status)) {
+    report.failures.push_back("server hung in drain; killed");
+  } else {
+    report.drained_clean =
+        WIFEXITED(server_status) && WEXITSTATUS(server_status) == 0;
+    if (!report.drained_clean) {
+      report.failures.push_back(
+          "server exit abnormal: " +
+          std::string(WIFSIGNALED(server_status) ? "signal " : "exit ") +
+          std::to_string(WIFSIGNALED(server_status)
+                             ? WTERMSIG(server_status)
+                             : WEXITSTATUS(server_status)));
+    }
+  }
+
+  // Aggregate per-client stats.
+  for (int c = 0; c < options.clients; ++c) {
+    std::ifstream in(StatsPath(options.work_dir, c));
+    if (!in) {
+      if (clients_clean) {
+        report.failures.push_back("client " + std::to_string(c) +
+                                  " left no stats file");
+      }
+      continue;
+    }
+    std::string line;
+    while (std::getline(in, line)) {
+      size_t eq = line.find('=');
+      if (eq == std::string::npos) continue;
+      std::string key = line.substr(0, eq), val = line.substr(eq + 1);
+      uint64_t n = std::strtoull(val.c_str(), nullptr, 10);
+      if (key == "ok") report.requests_ok += n;
+      else if (key == "rejected") report.rejected += n;
+      else if (key == "aborts") report.publish_aborts += n;
+      else if (key == "retries") report.publish_retries += n;
+      else if (key == "deadline") report.deadline_hits += n;
+      else if (key == "reconnects") report.reconnects += n;
+      else if (key == "pairs") report.analyze_pairs += n;
+      else if (key == "divergences") report.divergences += n;
+      else if (key == "failure") {
+        report.failures.push_back("client " + std::to_string(c) + ": " + val);
+      }
+    }
+  }
+
+  // Recovery oracle: the fingerprint the server claimed at drain must be
+  // exactly reproducible from the WAL alone by a single process.
+  {
+    std::ifstream fp_in(FpPath(options.work_dir));
+    std::getline(fp_in, report.server_fingerprint);
+  }
+  Result<std::string> recovered = RecoverFingerprint(WalPath(options.work_dir));
+  if (recovered.ok()) {
+    report.recovered_fingerprint = *recovered;
+  } else {
+    report.failures.push_back("WAL recovery failed: " +
+                              recovered.status().ToString());
+  }
+  if (report.drained_clean) {
+    if (report.server_fingerprint.empty()) {
+      report.failures.push_back("clean drain left no fingerprint file");
+    } else if (recovered.ok() &&
+               report.server_fingerprint != report.recovered_fingerprint) {
+      ++report.divergences;
+      report.failures.push_back(
+          "recovered state diverges from the server's drain fingerprint");
+    }
+  }
+  progress("done: " + std::to_string(report.requests_ok) + " ok, " +
+           std::to_string(report.analyze_pairs) + " oracle pairs, " +
+           std::to_string(report.divergences) + " divergences");
+  return report;
+}
+
+Result<NetCrashReport> NetCrashSweep(const NetCrashOptions& options) {
+  // Every wire-path edge the protocol can tear at, plus the two durability
+  // edges behind it. Crash actions kill the server child mid-flight; error
+  // actions degrade it. Either way the WAL recovery invariant must hold.
+  const struct {
+    const char* spec;
+    bool expect_death;
+  } kSites[] = {
+      {"server.publish.response=crash:once", true},
+      // skip4 lets the server's own schema seed (2 group syncs) plus WAL
+      // open reach disk; the one failure then lands on a client-driven
+      // group commit, exercising the all-waiters error broadcast.
+      {"wal.sync.fsync=error:skip4:once", false},
+      {"server.frame.torn=error:every7", false},
+      {"server.write.partial=error:every5", false},
+      {"server.accept.storm=error:every3", false},
+      {"server.read.stall=delay(2000):every11", false},
+  };
+  NetCrashReport report;
+  const uint64_t budget_end =
+      NowMicros() + uint64_t(options.seconds * 1e6);
+  size_t round = 0;
+  do {
+    for (const auto& site : kSites) {
+      if (round > 0 && NowMicros() > budget_end) break;
+      NetFuzzOptions run;
+      run.seed = options.seed + round * 101 + report.sites_run;
+      run.clients = options.clients;
+      run.requests_per_client = options.requests_per_client;
+      run.drain_mid_run = false;
+      run.failpoints = site.spec;
+      run.work_dir = options.work_dir;
+      run.timeout_seconds = 60;
+      run.progress = options.progress;
+      if (options.progress) {
+        options.progress(std::string("site ") + site.spec);
+      }
+      Result<NetFuzzReport> r = NetFuzz(run);
+      ++report.sites_run;
+      if (!r.ok()) {
+        report.failures.push_back(std::string(site.spec) + ": " +
+                                  r.status().ToString());
+        continue;
+      }
+      if (!r->drained_clean) ++report.server_deaths;
+      if (site.expect_death && r->drained_clean) {
+        report.failures.push_back(std::string(site.spec) +
+                                  ": crash action never fired");
+      }
+      report.divergences += r->divergences;
+      for (const auto& f : r->failures) {
+        // Abnormal exit is the EXPECTED outcome of a crash site; only
+        // non-exit failures (oracle divergence, recovery error) count.
+        if (f.rfind("server exit abnormal", 0) == 0 && site.expect_death) {
+          continue;
+        }
+        report.failures.push_back(std::string(site.spec) + ": " + f);
+      }
+      // Idempotence: recover the same torn WAL twice; the fingerprints
+      // must agree (recovery is a pure function of the durable prefix).
+      Result<std::string> again =
+          RecoverFingerprint(WalPath(options.work_dir));
+      if (again.ok() && !r->recovered_fingerprint.empty()) {
+        ++report.recoveries;
+        if (*again != r->recovered_fingerprint) {
+          ++report.divergences;
+          report.failures.push_back(std::string(site.spec) +
+                                    ": recovery not idempotent");
+        }
+      }
+    }
+    ++round;
+  } while (NowMicros() < budget_end);
+  return report;
+}
+
+}  // namespace ultraverse::server

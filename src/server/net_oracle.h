@@ -1,0 +1,103 @@
+#ifndef ULTRAVERSE_SERVER_NET_ORACLE_H_
+#define ULTRAVERSE_SERVER_NET_ORACLE_H_
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "server/admission.h"
+#include "util/status.h"
+
+namespace ultraverse::server {
+
+/// Multi-client differential gate (`fuzz_whatif --server-fuzz`): N client
+/// PROCESSES hammer one server process with a deterministic mix of commits,
+/// analyze-only what-ifs and publishes, optionally under wire-path
+/// failpoints and a mid-run SIGTERM drain. Two oracles run over the wreck:
+///
+///  1. MVCC invariant over the wire: whenever a client's selective analyze
+///     and full-naive analyze land on the SAME history epoch, their
+///     fingerprints must match — no matter how many commits from other
+///     clients raced between the two requests.
+///  2. Recovery invariant: after the server drains (WAL fsynced, final
+///     StateFingerprint written to disk), a single-process WAL recovery in
+///     the parent must reproduce that exact fingerprint — acked work
+///     survives, cancelled/shed/aborted work left no trace.
+///
+/// Everything forks from the single-threaded parent (TSan-safe); the server
+/// child spawns its threads only after the fork.
+struct NetFuzzOptions {
+  uint64_t seed = 1;
+  int clients = 4;
+  int requests_per_client = 50;
+  /// Send SIGTERM to the server roughly mid-run; clients observe the drain
+  /// (kUnavailable / closed connections) and wind down cleanly.
+  bool drain_mid_run = true;
+  /// Failpoint spec armed in the SERVER child only (torn frames, partial
+  /// writes, accept storms, read stalls...). Clients must survive the
+  /// resulting connection deaths by reconnecting.
+  std::string failpoints;
+  /// Scratch directory for the WAL, the drain fingerprint and per-client
+  /// stats files.
+  std::string work_dir = ".";
+  int server_workers = 4;
+  AdmissionOptions admission;
+  /// Per-request deadline clients attach (0 = none); expiries must come
+  /// back as typed kDeadlineExceeded, never as divergence.
+  uint64_t deadline_micros = 0;
+  /// Group-commit batch for the server's WAL.
+  uint64_t wal_fsync_every_n = 4;
+  /// Parent-side watchdog: the whole run (fork to reaped children) must
+  /// finish within this budget or everything is SIGKILLed and reported.
+  double timeout_seconds = 120;
+  std::function<void(const std::string&)> progress;
+};
+
+struct NetFuzzReport {
+  size_t requests_ok = 0;        // responses received across all clients
+  size_t rejected = 0;           // kResourceExhausted (admission/overload)
+  size_t publish_aborts = 0;     // kAborted that survived client retries
+  size_t publish_retries = 0;    // kAborted attempts the retry loop absorbed
+  size_t deadline_hits = 0;      // kDeadlineExceeded / kCancelled
+  size_t reconnects = 0;         // connections re-established after a death
+  size_t analyze_pairs = 0;      // same-epoch selective/full-naive pairs
+  size_t divergences = 0;        // fingerprint mismatches (failures)
+  bool drained_clean = false;    // server exited 0 from the drain sequence
+  std::string server_fingerprint;     // what the server claimed at drain
+  std::string recovered_fingerprint;  // what WAL recovery reproduced
+  std::vector<std::string> failures;
+};
+
+Result<NetFuzzReport> NetFuzz(const NetFuzzOptions& options);
+
+/// Wire-path crash sweep (`fuzz_whatif --server-crash`): one short NetFuzz
+/// run per wire/publish/WAL failpoint site armed with a crash (or error)
+/// action in the server child. The server is expected to die (or degrade);
+/// the parent then demands WAL recovery succeed AND be idempotent — two
+/// independent recoveries of the torn log must fingerprint identically,
+/// and a durable what-if marker is either fully applied or fully absent.
+struct NetCrashOptions {
+  uint64_t seed = 1;
+  /// Wall budget for the whole sweep; sites are cycled until it runs out
+  /// (every site runs at least once regardless).
+  double seconds = 30;
+  int clients = 2;
+  int requests_per_client = 25;
+  std::string work_dir = ".";
+  std::function<void(const std::string&)> progress;
+};
+
+struct NetCrashReport {
+  size_t sites_run = 0;
+  size_t server_deaths = 0;   // runs where the armed crash killed the server
+  size_t recoveries = 0;      // WAL recoveries that succeeded
+  size_t divergences = 0;
+  std::vector<std::string> failures;
+};
+
+Result<NetCrashReport> NetCrashSweep(const NetCrashOptions& options);
+
+}  // namespace ultraverse::server
+
+#endif  // ULTRAVERSE_SERVER_NET_ORACLE_H_

@@ -1,0 +1,683 @@
+#include "server/server.h"
+
+#include <arpa/inet.h>
+#include <fcntl.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <sys/epoll.h>
+#include <sys/eventfd.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+#include <filesystem>
+#include <fstream>
+
+#include "fault/failpoint.h"
+#include "fault/recovery.h"
+#include "obs/metrics.h"
+#include "sqldb/wal/wal.h"
+#include "util/stopwatch.h"
+
+namespace ultraverse::server {
+
+namespace {
+
+Status SetNonBlocking(int fd) {
+  int flags = ::fcntl(fd, F_GETFL, 0);
+  if (flags < 0 || ::fcntl(fd, F_SETFL, flags | O_NONBLOCK) < 0) {
+    return Status::Unavailable(std::string("fcntl: ") + std::strerror(errno));
+  }
+  return Status::OK();
+}
+
+core::SystemMode ModeFromWire(uint8_t mode) {
+  switch (mode) {
+    case 0: return core::SystemMode::kB;
+    case 1: return core::SystemMode::kT;
+    case 2: return core::SystemMode::kD;
+    default: return core::SystemMode::kTD;
+  }
+}
+
+core::RetroOp::Kind KindFromWire(uint8_t kind) {
+  switch (kind) {
+    case 0: return core::RetroOp::Kind::kAdd;
+    case 1: return core::RetroOp::Kind::kRemove;
+    default: return core::RetroOp::Kind::kChange;
+  }
+}
+
+/// Streams a (possibly large) explain report as bounded kReportChunk
+/// frames so one huge response cannot blow the peer's frame cap.
+constexpr size_t kReportChunkBytes = 64 * 1024;
+
+}  // namespace
+
+Result<std::unique_ptr<UvServer>> UvServer::Start(ServerOptions options) {
+  std::unique_ptr<UvServer> server(new UvServer());
+  Status st = server->Init(options);
+  if (!st.ok()) return st;
+  return server;
+}
+
+Status UvServer::Init(const ServerOptions& options) {
+  options_ = options;
+  std::error_code ec;
+  const std::string& wal_path = options.engine.wal_path;
+  if (options.recover_wal && !wal_path.empty() &&
+      std::filesystem::exists(wal_path, ec) &&
+      std::filesystem::file_size(wal_path, ec) > 0) {
+    // Restart over a durable history: replay the WAL into the engine
+    // before it opens for append. A facade constructed with wal_path set
+    // would compute its append offset first and serve an empty database
+    // over a file that already holds history — every later commit and
+    // recovery would then describe a fork.
+    core::Ultraverse::Options eopts = options.engine;
+    eopts.wal_path.clear();
+    engine_ = std::make_unique<core::Ultraverse>(eopts);
+    UV_ASSIGN_OR_RETURN(
+        fault::RecoveryReport report,
+        fault::RecoverInto(wal_path, engine_->db(), engine_->log()));
+    recovered_entries_ = report.entries_replayed;
+    recovered_markers_ = report.markers_applied;
+    UV_RETURN_NOT_OK(engine_->AttachWal(wal_path));
+  } else {
+    engine_ = std::make_unique<core::Ultraverse>(options.engine);
+  }
+  if (!engine_->wal_status().ok()) return engine_->wal_status();
+  admission_ = std::make_unique<AdmissionController>(options.admission);
+  pool_ = std::make_unique<ThreadPool>(size_t(
+      options.workers > 0 ? options.workers : 1));
+
+  listen_fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (listen_fd_ < 0) {
+    return Status::Unavailable(std::string("socket: ") + std::strerror(errno));
+  }
+  int one = 1;
+  ::setsockopt(listen_fd_, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(uint16_t(options.port));
+  if (::inet_pton(AF_INET, options.host.c_str(), &addr.sin_addr) != 1) {
+    return Status::InvalidArgument("bad listen host " + options.host);
+  }
+  if (::bind(listen_fd_, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) <
+      0) {
+    return Status::Unavailable(std::string("bind: ") + std::strerror(errno));
+  }
+  if (::listen(listen_fd_, 128) < 0) {
+    return Status::Unavailable(std::string("listen: ") + std::strerror(errno));
+  }
+  socklen_t alen = sizeof(addr);
+  ::getsockname(listen_fd_, reinterpret_cast<sockaddr*>(&addr), &alen);
+  port_ = int(ntohs(addr.sin_port));
+  UV_RETURN_NOT_OK(SetNonBlocking(listen_fd_));
+
+  epoll_fd_ = ::epoll_create1(0);
+  wake_fd_ = ::eventfd(0, EFD_NONBLOCK);
+  if (epoll_fd_ < 0 || wake_fd_ < 0) {
+    return Status::Unavailable("epoll/eventfd setup failed");
+  }
+  epoll_event ev{};
+  ev.events = EPOLLIN;
+  ev.data.u64 = 0;  // 0 = listen fd
+  ::epoll_ctl(epoll_fd_, EPOLL_CTL_ADD, listen_fd_, &ev);
+  ev.events = EPOLLIN;
+  ev.data.u64 = 1;  // 1 = wake fd
+  ::epoll_ctl(epoll_fd_, EPOLL_CTL_ADD, wake_fd_, &ev);
+
+  dispatcher_ = std::thread([this] { DispatcherLoop(); });
+  return Status::OK();
+}
+
+UvServer::~UvServer() {
+  RequestDrain();
+  (void)WaitShutdown();
+  if (epoll_fd_ >= 0) ::close(epoll_fd_);
+  if (wake_fd_ >= 0) ::close(wake_fd_);
+  if (listen_fd_ >= 0) ::close(listen_fd_);
+}
+
+void UvServer::RequestDrain() {
+  drain_requested_.store(true, std::memory_order_release);
+  if (wake_fd_ >= 0) {
+    uint64_t one = 1;
+    // write(2) is async-signal-safe: a SIGTERM handler may call this.
+    [[maybe_unused]] ssize_t n = ::write(wake_fd_, &one, sizeof(one));
+  }
+}
+
+Status UvServer::WaitShutdown() {
+  if (dispatcher_.joinable()) dispatcher_.join();
+  std::lock_guard<std::mutex> g(drain_mu_);
+  return drain_status_;
+}
+
+void UvServer::DispatcherLoop() {
+  static obs::Counter* const loops =
+      obs::Registry::Global().counter("uv.server.dispatch.loops");
+  epoll_event events[64];
+  while (state_.load(std::memory_order_relaxed) != State::kStopped) {
+    loops->Inc();
+    int n = ::epoll_wait(epoll_fd_, events, 64, /*timeout_ms=*/100);
+    if (n < 0 && errno != EINTR) break;
+    for (int i = 0; i < n; ++i) {
+      uint64_t tag = events[i].data.u64;
+      if (tag == 0) {
+        AcceptNew();
+        continue;
+      }
+      if (tag == 1) {
+        uint64_t drainv;
+        while (::read(wake_fd_, &drainv, sizeof(drainv)) > 0) {
+        }
+        std::vector<uint64_t> pending;
+        {
+          std::lock_guard<std::mutex> g(pending_mu_);
+          pending.swap(pending_write_);
+        }
+        for (uint64_t sid : pending) {
+          std::shared_ptr<Session> s;
+          {
+            std::lock_guard<std::mutex> g(sessions_mu_);
+            auto it = sessions_.find(sid);
+            if (it != sessions_.end()) s = it->second;
+          }
+          if (s) UpdateEpoll(s);
+        }
+        continue;
+      }
+      std::shared_ptr<Session> session;
+      {
+        std::lock_guard<std::mutex> g(sessions_mu_);
+        auto it = sessions_.find(tag);
+        if (it != sessions_.end()) session = it->second;
+      }
+      if (!session) continue;
+      if (events[i].events & (EPOLLHUP | EPOLLERR)) {
+        ReapSession(tag);
+        continue;
+      }
+      if (events[i].events & EPOLLOUT) {
+        Result<bool> drained = session->FlushWrites();
+        if (!drained.ok()) {
+          ReapSession(tag);
+          continue;
+        }
+        UpdateEpoll(session);
+      }
+      if (events[i].events & EPOLLIN) {
+        HandleReadable(session);
+      }
+    }
+    uint64_t now = NowMicros();
+    IdleSweep(now);
+    // Reap sessions a worker marked dead (write failure).
+    std::vector<uint64_t> dead;
+    {
+      std::lock_guard<std::mutex> g(sessions_mu_);
+      for (const auto& [sid, s] : sessions_) {
+        if (s->dead()) dead.push_back(sid);
+      }
+    }
+    for (uint64_t sid : dead) ReapSession(sid);
+    if (drain_requested_.load(std::memory_order_acquire)) {
+      FinishDrain();
+    }
+  }
+}
+
+void UvServer::AcceptNew() {
+  static obs::Counter* const accepts =
+      obs::Registry::Global().counter("uv.server.conn.accepted");
+  for (;;) {
+    // Accept-storm injection: error = accept transiently failing under
+    // fd pressure, delay = a stalled accept loop backing up the backlog.
+    Status storm = Status::OK();
+    UV_FAILPOINT_STATUS("server.accept.storm", storm);
+    if (!storm.ok()) return;  // try again on the next epoll tick
+    int cfd = ::accept(listen_fd_, nullptr, nullptr);
+    if (cfd < 0) {
+      if (errno == EINTR) continue;
+      return;  // EAGAIN: backlog drained
+    }
+    if (state_.load(std::memory_order_relaxed) != State::kServing ||
+        !admission_->TryAddConnection()) {
+      ::close(cfd);  // draining or over the connection cap: refuse
+      continue;
+    }
+    if (!SetNonBlocking(cfd).ok()) {
+      ::close(cfd);
+      admission_->RemoveConnection();
+      continue;
+    }
+    int one = 1;
+    ::setsockopt(cfd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+    accepts->Inc();
+    uint64_t sid;
+    std::shared_ptr<Session> session;
+    {
+      std::lock_guard<std::mutex> g(sessions_mu_);
+      sid = ++next_session_id_;  // ids start at 2 (0/1 = listen/wake tags)
+      session = std::make_shared<Session>(cfd, sid);
+      sessions_[sid] = session;
+    }
+    epoll_event ev{};
+    ev.events = EPOLLIN;
+    ev.data.u64 = sid;
+    ::epoll_ctl(epoll_fd_, EPOLL_CTL_ADD, cfd, &ev);
+    read_gated_[sid] = false;
+  }
+}
+
+void UvServer::HandleReadable(const std::shared_ptr<Session>& session) {
+  Result<std::vector<Frame>> frames = session->ReadFrames();
+  if (!frames.ok()) {
+    // Peer closed, read error, or a torn/corrupt frame: the stream cannot
+    // be trusted past this point — reap the session. Everything decoded
+    // before the tear was already dispatched (the WAL prefix rule).
+    static obs::Counter* const torn =
+        obs::Registry::Global().counter("uv.server.frames.torn");
+    if (frames.status().code() == StatusCode::kDataLoss) torn->Inc();
+    ReapSession(session->id());
+    return;
+  }
+  for (Frame& frame : *frames) {
+    DispatchFrame(session, std::move(frame));
+  }
+}
+
+void UvServer::DispatchFrame(const std::shared_ptr<Session>& session,
+                             Frame frame) {
+  static obs::Counter* const reqs =
+      obs::Registry::Global().counter("uv.server.requests");
+  reqs->Inc();
+  const bool draining =
+      state_.load(std::memory_order_relaxed) != State::kServing;
+  switch (frame.type) {
+    case MsgType::kHello: {
+      Result<SimpleReq> r = DecodeSimple(frame.payload);
+      if (!r.ok()) break;
+      Respond(session, MsgType::kOk, EncodeOk({r->id, "uv-server/1"}));
+      return;
+    }
+    case MsgType::kHealth: {
+      Result<SimpleReq> r = DecodeSimple(frame.payload);
+      if (!r.ok()) break;
+      Respond(session, MsgType::kOk,
+              EncodeOk({r->id, draining ? "draining" : "serving"}));
+      return;
+    }
+    case MsgType::kMetrics: {
+      Result<SimpleReq> r = DecodeSimple(frame.payload);
+      if (!r.ok()) break;
+      Respond(session, MsgType::kOk,
+              EncodeOk({r->id, obs::Registry::Global().ExportJson()}));
+      return;
+    }
+    case MsgType::kFingerprint: {
+      Result<SimpleReq> r = DecodeSimple(frame.payload);
+      if (!r.ok()) break;
+      Respond(session, MsgType::kOk,
+              EncodeOk({r->id, engine_->StateFingerprint()}));
+      return;
+    }
+    case MsgType::kDrain: {
+      Result<SimpleReq> r = DecodeSimple(frame.payload);
+      if (!r.ok()) break;
+      Respond(session, MsgType::kOk, EncodeOk({r->id, "draining"}));
+      RequestDrain();
+      return;
+    }
+    case MsgType::kCancel: {
+      Result<CancelReq> r = DecodeCancel(frame.payload);
+      if (!r.ok()) break;
+      bool found = session->CancelRequest(r->target_id);
+      Respond(session, MsgType::kOk,
+              EncodeOk({r->id, found ? "cancelled" : "not-found"}));
+      return;
+    }
+    case MsgType::kExecSql: {
+      Result<ExecSqlReq> r = DecodeExecSql(frame.payload);
+      if (!r.ok()) break;
+      if (draining) {
+        RespondError(session, r->id,
+                     Status::Unavailable("server draining, not accepting"));
+        return;
+      }
+      Status adm = admission_->TryEnter(/*is_commit=*/true);
+      if (!adm.ok()) {
+        RespondError(session, r->id, adm);
+        return;
+      }
+      auto token = session->StartRequest(r->id, r->deadline_micros,
+                                         /*is_commit=*/true);
+      ExecSqlReq req = std::move(*r);
+      pool_->Submit([this, session, req = std::move(req), token]() mutable {
+        HandleExecSql(session, std::move(req), token);
+      });
+      return;
+    }
+    case MsgType::kWhatIfAnalyze:
+    case MsgType::kWhatIfPublish: {
+      const bool publish = frame.type == MsgType::kWhatIfPublish;
+      Result<WhatIfReq> r = DecodeWhatIf(frame.payload);
+      if (!r.ok()) {
+        RespondError(session, PeekRequestId(frame.payload), r.status());
+        return;
+      }
+      if (draining) {
+        RespondError(session, r->id,
+                     Status::Unavailable("server draining, not accepting"));
+        return;
+      }
+      Status adm = admission_->TryEnter(/*is_commit=*/publish);
+      if (!adm.ok()) {
+        RespondError(session, r->id, adm);
+        return;
+      }
+      auto token =
+          session->StartRequest(r->id, r->deadline_micros, publish);
+      WhatIfReq req = std::move(*r);
+      pool_->Submit(
+          [this, session, req = std::move(req), publish, token]() mutable {
+            HandleWhatIf(session, std::move(req), publish, token);
+          });
+      return;
+    }
+    default:
+      break;
+  }
+  // Fall-through: undecodable or unknown frame. Tell the peer (best
+  // effort, id 0 when even the id was unreadable) and keep the session —
+  // the framing itself was intact.
+  RespondError(session, PeekRequestId(frame.payload),
+               Status::InvalidArgument("unparseable request frame"));
+}
+
+void UvServer::HandleExecSql(std::shared_ptr<Session> session, ExecSqlReq req,
+                             std::shared_ptr<CancelToken> token) {
+  static obs::Histogram* const latency =
+      obs::Registry::Global().histogram("uv.server.exec_us");
+  obs::ScopedLatency lat(latency);
+  Status pre = token->Check("server.exec.admitted");
+  if (pre.ok()) {
+    Result<sql::ExecResult> res = engine_->ExecuteSql(req.sql);
+    if (res.ok()) {
+      std::string body = "affected=" + std::to_string(res->affected) +
+                         "\nrows=" + std::to_string(res->rows.size());
+      Respond(session, MsgType::kOk, EncodeOk({req.id, body}));
+    } else {
+      RespondError(session, req.id, res.status());
+    }
+  } else {
+    RespondError(session, req.id, pre);
+  }
+  session->FinishRequest(req.id);
+  admission_->Exit();
+}
+
+void UvServer::HandleWhatIf(std::shared_ptr<Session> session, WhatIfReq req,
+                            bool publish,
+                            std::shared_ptr<CancelToken> token) {
+  static obs::Histogram* const latency =
+      obs::Registry::Global().histogram("uv.server.whatif_us");
+  static obs::Gauge* const active =
+      obs::Registry::Global().gauge("uv.whatif.active");
+  obs::ScopedLatency lat(latency);
+
+  core::RequestContext ctx;
+  ctx.cancel = token.get();
+  ctx.retry.max_attempts = req.max_attempts;
+  // Session-scoped jitter seed: conflicting retriers desynchronize.
+  ctx.retry.jitter_seed = session->id() * 0x9E3779B97F4A7C15ULL + req.id;
+
+  Status pre = token->Check("server.whatif.admitted");
+  Result<core::RetroOp> op = pre.ok()
+                                 ? engine_->MakeOp(KindFromWire(req.kind),
+                                                   req.index, req.new_sql)
+                                 : Result<core::RetroOp>(pre);
+  if (!op.ok()) {
+    RespondError(session, req.id, op.status());
+    session->FinishRequest(req.id);
+    admission_->Exit();
+    return;
+  }
+
+  active->Add(1);
+  std::string body;
+  obs::WhatIfReport report;
+  Status st;
+  if (publish) {
+    Result<core::ReplayStats> stats =
+        engine_->WhatIf(*op, ModeFromWire(req.mode), {}, ctx);
+    if (stats.ok()) {
+      // Crash-during-publish-response: the publish committed (marker is
+      // durable, tables swapped) but the client never hears. Recovery must
+      // still show the published universe; the client's retry then sees
+      // its work already applied via the fingerprint.
+      Status crash = Status::OK();
+      UV_FAILPOINT_STATUS("server.publish.response", crash);
+      if (!crash.ok()) {
+        st = crash;
+      } else {
+        body = "fingerprint=" + engine_->StateFingerprint() +
+               "\nreplayed=" + std::to_string(stats->replayed) +
+               "\nepoch=" + std::to_string(engine_->history_epoch());
+        report = stats->report;
+      }
+    } else {
+      st = stats.status();
+    }
+  } else {
+    Result<core::WhatIfAnalysis> analysis =
+        [&]() -> Result<core::WhatIfAnalysis> {
+      if (req.full_naive) {
+        // Ground-truth reference path: pin a snapshot and run full-naive
+        // against it (the network oracle diff-checks this server-side).
+        UV_ASSIGN_OR_RETURN(auto snap, engine_->SnapshotHistory());
+        return engine_->WhatIfAnalyzeAt(*snap, *op, ModeFromWire(req.mode),
+                                        /*full_naive=*/true, ctx);
+      }
+      return engine_->WhatIfAnalyze(*op, ModeFromWire(req.mode), ctx);
+    }();
+    if (analysis.ok()) {
+      body = "fingerprint=" + analysis->fingerprint +
+             "\nepoch=" + std::to_string(analysis->epoch) +
+             "\nhorizon=" + std::to_string(analysis->horizon) +
+             "\nreplayed=" + std::to_string(analysis->stats.replayed) +
+             "\nskipped=" + std::to_string(analysis->stats.skipped) +
+             "\ncache_hit=" + (analysis->cache_hit ? "1" : "0");
+      report = analysis->stats.report;
+    } else {
+      st = analysis.status();
+    }
+  }
+  active->Add(-1);
+
+  if (!st.ok()) {
+    static obs::Counter* const aborted =
+        obs::Registry::Global().counter("uv.server.publish.aborted");
+    if (st.code() == StatusCode::kAborted) aborted->Inc();
+    RespondError(session, req.id, st);
+  } else {
+    if (req.want_report) {
+      std::string json = report.ToJson();
+      for (size_t off = 0; off < json.size(); off += kReportChunkBytes) {
+        Respond(session, MsgType::kReportChunk,
+                EncodeChunk(
+                    {req.id, json.substr(off, kReportChunkBytes)}));
+      }
+    }
+    Respond(session, MsgType::kOk, EncodeOk({req.id, body}));
+  }
+  session->FinishRequest(req.id);
+  admission_->Exit();
+}
+
+void UvServer::Respond(const std::shared_ptr<Session>& session, MsgType type,
+                       const std::string& payload) {
+  bool buffered = session->SendFrame(type, payload);
+  if (buffered) {
+    // Bytes remain: the dispatcher must arm EPOLLOUT. Workers never touch
+    // epoll themselves — they queue the session id and kick the eventfd.
+    {
+      std::lock_guard<std::mutex> g(pending_mu_);
+      pending_write_.push_back(session->id());
+    }
+    uint64_t one = 1;
+    [[maybe_unused]] ssize_t n = ::write(wake_fd_, &one, sizeof(one));
+  }
+}
+
+void UvServer::RespondError(const std::shared_ptr<Session>& session,
+                            uint32_t id, const Status& st) {
+  static obs::Counter* const errors =
+      obs::Registry::Global().counter("uv.server.responses.error");
+  errors->Inc();
+  Respond(session, MsgType::kError,
+          EncodeError({id, StatusCodeToWire(st.code()), st.message()}));
+}
+
+void UvServer::UpdateEpoll(const std::shared_ptr<Session>& session) {
+  // Dispatcher-only: recompute the session's epoll interest set from its
+  // write-buffer depth. Above the high watermark reads gate off (the peer
+  // must drain responses before sending more work); below the low
+  // watermark they gate back on.
+  const uint64_t sid = session->id();
+  size_t buffered = session->write_buffered();
+  bool gated = read_gated_[sid];
+  if (!gated && buffered >= options_.write_high_watermark) {
+    gated = true;
+    static obs::Counter* const gate =
+        obs::Registry::Global().counter("uv.server.backpressure.gated");
+    gate->Inc();
+  } else if (gated && buffered <= options_.write_low_watermark) {
+    gated = false;
+  }
+  read_gated_[sid] = gated;
+  epoll_event ev{};
+  ev.data.u64 = sid;
+  ev.events = (gated ? 0u : uint32_t(EPOLLIN)) |
+              (buffered > 0 ? uint32_t(EPOLLOUT) : 0u);
+  ::epoll_ctl(epoll_fd_, EPOLL_CTL_MOD, session->fd(), &ev);
+}
+
+void UvServer::ReapSession(uint64_t session_id) {
+  std::shared_ptr<Session> session;
+  {
+    std::lock_guard<std::mutex> g(sessions_mu_);
+    auto it = sessions_.find(session_id);
+    if (it == sessions_.end()) return;
+    session = it->second;
+    sessions_.erase(it);
+  }
+  ::epoll_ctl(epoll_fd_, EPOLL_CTL_DEL, session->fd(), nullptr);
+  read_gated_.erase(session_id);
+  session->MarkDead();
+  // In-flight work for this connection has nobody to answer to: cancel it
+  // so workers drain instead of computing into the void. The tokens stay
+  // alive through the workers' shared_ptrs.
+  session->CancelAll();
+  admission_->RemoveConnection();
+  static obs::Counter* const closed =
+      obs::Registry::Global().counter("uv.server.conn.closed");
+  closed->Inc();
+}
+
+void UvServer::IdleSweep(uint64_t now_us) {
+  if (options_.idle_timeout_micros == 0) return;
+  std::vector<uint64_t> idle;
+  {
+    std::lock_guard<std::mutex> g(sessions_mu_);
+    for (const auto& [sid, s] : sessions_) {
+      // A connection with in-flight work is not idle, however long the
+      // socket has been quiet — its requests are simply slow.
+      if (s->inflight_requests() > 0) continue;
+      if (now_us - s->last_activity_us() > options_.idle_timeout_micros) {
+        idle.push_back(sid);
+      }
+    }
+  }
+  static obs::Counter* const reaped =
+      obs::Registry::Global().counter("uv.server.conn.idle_reaped");
+  for (uint64_t sid : idle) {
+    reaped->Inc();
+    ReapSession(sid);
+  }
+}
+
+void UvServer::FinishDrain() {
+  static obs::Counter* const drains =
+      obs::Registry::Global().counter("uv.server.drain.started");
+  static obs::Histogram* const drain_us =
+      obs::Registry::Global().histogram("uv.server.drain_us");
+  State expected = State::kServing;
+  if (state_.compare_exchange_strong(expected, State::kDraining)) {
+    drains->Inc();
+    // Stop accepting: close the listen socket so new connections get RST
+    // instead of queueing behind a drain.
+    ::epoll_ctl(epoll_fd_, EPOLL_CTL_DEL, listen_fd_, nullptr);
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+    // Overload-style shedding, drain edition: analyze-only work is
+    // cancelled (cheap for clients to re-ask elsewhere); commits and
+    // publishes run to completion so no acked durable work is lost.
+    std::lock_guard<std::mutex> g(sessions_mu_);
+    for (auto& [sid, s] : sessions_) s->CancelAnalyzeRequests();
+  }
+  // Bounded wait for in-flight work, then cancel stragglers outright.
+  const uint64_t start = NowMicros();
+  while (admission_->inflight() > 0) {
+    if (NowMicros() - start > options_.drain_timeout_micros) {
+      std::lock_guard<std::mutex> g(sessions_mu_);
+      for (auto& [sid, s] : sessions_) s->CancelAll();
+      break;
+    }
+    epoll_event ev{};
+    (void)::epoll_wait(epoll_fd_, &ev, 1, 10);  // let EPOLLOUT flushes run
+    std::this_thread::yield();
+  }
+  pool_->WaitIdle();
+  // Final response flush: short best-effort pass so acked work's
+  // responses reach their sockets.
+  {
+    std::lock_guard<std::mutex> g(sessions_mu_);
+    for (auto& [sid, s] : sessions_) (void)s->FlushWrites();
+  }
+  Status st;
+  if (engine_->wal()) {
+    // The WAL's tail must be durable before the process exits: an acked
+    // commit that only lived in the group-commit buffer would otherwise
+    // vanish — a silent divergence from what clients were told.
+    st = engine_->wal()->Sync();
+  }
+  if (st.ok() && !options_.fingerprint_out.empty()) {
+    std::ofstream out(options_.fingerprint_out, std::ios::trunc);
+    out << engine_->StateFingerprint() << "\n";
+    out.flush();
+    if (!out) st = Status::Unavailable("fingerprint write failed");
+  }
+  {
+    std::lock_guard<std::mutex> g(drain_mu_);
+    drain_status_ = st;
+  }
+  // Drained: close every remaining connection so peers observe EOF and
+  // fail over, instead of blocking on a socket nobody will ever read
+  // again (the process may well outlive this server object).
+  std::vector<uint64_t> remaining;
+  {
+    std::lock_guard<std::mutex> g(sessions_mu_);
+    for (const auto& [sid, s] : sessions_) remaining.push_back(sid);
+  }
+  for (uint64_t sid : remaining) ReapSession(sid);
+  drain_us->Record(NowMicros() - start);
+  static obs::Counter* const completed =
+      obs::Registry::Global().counter("uv.server.drain.completed");
+  completed->Inc();
+  state_.store(State::kStopped, std::memory_order_release);
+}
+
+}  // namespace ultraverse::server

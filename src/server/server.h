@@ -1,0 +1,147 @@
+#ifndef ULTRAVERSE_SERVER_SERVER_H_
+#define ULTRAVERSE_SERVER_SERVER_H_
+
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "core/ultraverse.h"
+#include "server/admission.h"
+#include "server/session.h"
+#include "server/wire.h"
+#include "util/thread_pool.h"
+
+namespace ultraverse::server {
+
+struct ServerOptions {
+  std::string host = "127.0.0.1";
+  /// 0 = kernel-assigned ephemeral port (read it back via port()).
+  int port = 0;
+  int workers = 4;
+  AdmissionOptions admission;
+  /// Slow-loris defense: connections with no socket activity for this long
+  /// are reaped by the dispatcher's idle sweep. 0 disables.
+  uint64_t idle_timeout_micros = 30'000'000;
+  /// Write-side backpressure: above high, the session stops reading new
+  /// requests (EPOLLIN off) until the peer drains below low.
+  size_t write_high_watermark = 4u << 20;
+  size_t write_low_watermark = 1u << 20;
+  /// Graceful-drain budget: in-flight work gets this long to finish before
+  /// remaining requests are cancelled outright.
+  uint64_t drain_timeout_micros = 30'000'000;
+  /// When set, the final StateFingerprint is written here on clean drain —
+  /// the multi-client differential gate reads it back and checks it against
+  /// the WAL-recovered oracle.
+  std::string fingerprint_out;
+  /// Restarting over a non-empty engine.wal_path replays the durable
+  /// history into the engine before serving (fault::RecoverInto, then
+  /// Ultraverse::AttachWal — torn tails truncate before the append offset
+  /// is computed). Off = the WAL opens append-only over unrecovered state,
+  /// which is only sane for a fresh file.
+  bool recover_wal = true;
+  /// Engine configuration (WAL path, threads, explain level...).
+  core::Ultraverse::Options engine;
+};
+
+/// TCP front-end for one Ultraverse engine: epoll dispatcher thread +
+/// worker pool, length-prefixed CRC32-framed wire protocol, per-request
+/// deadlines/cancellation, admission control with analyze-shedding
+/// overload action, and a graceful drain sequence (DESIGN.md §16).
+class UvServer {
+ public:
+  /// Binds, listens, spawns the dispatcher and workers. The returned
+  /// server is serving when this returns.
+  static Result<std::unique_ptr<UvServer>> Start(ServerOptions options);
+  ~UvServer();
+
+  UvServer(const UvServer&) = delete;
+  UvServer& operator=(const UvServer&) = delete;
+
+  int port() const { return port_; }
+  core::Ultraverse* engine() { return engine_.get(); }
+
+  /// Initiates graceful drain: stop accepting, cancel analyze-only work,
+  /// let in-flight commits/publishes finish (bounded by drain_timeout),
+  /// flush responses, fsync the WAL, write the fingerprint file, exit.
+  /// Async-signal-safe (one eventfd write) so a SIGTERM handler may call
+  /// it directly.
+  void RequestDrain();
+
+  /// Blocks until the dispatcher exits (after a drain). Returns the drain
+  /// status: kOk = every in-flight commit retired and the WAL is synced.
+  Status WaitShutdown();
+
+  bool draining() const {
+    return state_.load(std::memory_order_relaxed) != State::kServing;
+  }
+
+  /// What the restart recovery replayed before serving began (both zero
+  /// when the WAL started empty or recover_wal was off).
+  size_t recovered_entries() const { return recovered_entries_; }
+  size_t recovered_markers() const { return recovered_markers_; }
+
+ private:
+  enum class State : int { kServing, kDraining, kStopped };
+
+  UvServer() = default;
+  Status Init(const ServerOptions& options);
+  void DispatcherLoop();
+  void AcceptNew();
+  void HandleReadable(const std::shared_ptr<Session>& session);
+  void DispatchFrame(const std::shared_ptr<Session>& session, Frame frame);
+  void ReapSession(uint64_t session_id);
+  void IdleSweep(uint64_t now_us);
+  void FinishDrain();
+  /// Queues a response and arms EPOLLOUT via the wakeup pipe when the
+  /// session kept bytes buffered.
+  void Respond(const std::shared_ptr<Session>& session, MsgType type,
+               const std::string& payload);
+  void RespondError(const std::shared_ptr<Session>& session, uint32_t id,
+                    const Status& st);
+
+  // Request handlers (run on workers).
+  void HandleExecSql(std::shared_ptr<Session> session, ExecSqlReq req,
+                     std::shared_ptr<CancelToken> token);
+  void HandleWhatIf(std::shared_ptr<Session> session, WhatIfReq req,
+                    bool publish, std::shared_ptr<CancelToken> token);
+
+  void UpdateEpoll(const std::shared_ptr<Session>& session);
+
+  ServerOptions options_;
+  int port_ = 0;
+  int listen_fd_ = -1;
+  int epoll_fd_ = -1;
+  int wake_fd_ = -1;  // eventfd: worker wakeups + drain requests
+  std::unique_ptr<core::Ultraverse> engine_;
+  size_t recovered_entries_ = 0;
+  size_t recovered_markers_ = 0;
+  std::unique_ptr<AdmissionController> admission_;
+  std::unique_ptr<ThreadPool> pool_;
+  std::thread dispatcher_;
+
+  std::atomic<State> state_{State::kServing};
+  std::atomic<bool> drain_requested_{false};
+  Status drain_status_;
+  std::mutex drain_mu_;  // guards drain_status_ before WaitShutdown joins
+
+  std::mutex sessions_mu_;
+  std::map<uint64_t, std::shared_ptr<Session>> sessions_;
+  uint64_t next_session_id_ = 1;
+
+  /// Sessions whose write buffers a worker touched; the dispatcher arms
+  /// EPOLLOUT for them on the next wakeup.
+  std::mutex pending_mu_;
+  std::vector<uint64_t> pending_write_;
+  /// Per-session epoll interest: sessions currently read-gated by write
+  /// backpressure (dispatcher-only state).
+  std::map<uint64_t, bool> read_gated_;
+};
+
+}  // namespace ultraverse::server
+
+#endif  // ULTRAVERSE_SERVER_SERVER_H_

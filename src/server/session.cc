@@ -1,0 +1,166 @@
+#include "server/session.h"
+
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+
+#include "fault/failpoint.h"
+#include "obs/metrics.h"
+#include "util/stopwatch.h"
+
+namespace ultraverse::server {
+
+Session::Session(int fd, uint64_t session_id)
+    : fd_(fd), session_id_(session_id), last_activity_us_(NowMicros()) {}
+
+Session::~Session() {
+  if (fd_ >= 0) ::close(fd_);
+}
+
+Result<std::vector<Frame>> Session::ReadFrames() {
+  if (dead()) return Status::Unavailable("session closed");
+  char chunk[16 * 1024];
+  bool got_bytes = false;
+  for (;;) {
+    // Slow-loris simulation point: a delay here models a peer trickling
+    // bytes while the dispatcher is stuck in this read (the idle sweep
+    // must still reap genuinely stalled peers).
+    UV_FAILPOINT("server.read.stall");
+    ssize_t n = ::read(fd_, chunk, sizeof(chunk));
+    if (n > 0) {
+      got_bytes = true;
+      size_t use = size_t(n);
+      // Torn-frame injection: feed only a prefix of this read, then fail
+      // the connection — the peer died (or a middlebox cut the stream)
+      // mid-frame. TCP cannot lose bytes on a live connection, so the tear
+      // must also kill the session; the parser must never deliver the
+      // partial frame, and the client must see the close and reconnect.
+      Status torn = Status::OK();
+      UV_FAILPOINT_STATUS("server.frame.torn", torn);
+      if (!torn.ok()) {
+        if (use > 1) reader_.Feed(chunk, use / 2);
+        return Status::Unavailable("connection torn mid-frame (injected)");
+      }
+      reader_.Feed(chunk, use);
+      continue;
+    }
+    if (n == 0) return Status::Unavailable("peer closed connection");
+    if (errno == EINTR) continue;
+    if (errno == EAGAIN || errno == EWOULDBLOCK) break;
+    return Status::Unavailable(std::string("read failed: ") +
+                               std::strerror(errno));
+  }
+  if (got_bytes) {
+    last_activity_us_.store(NowMicros(), std::memory_order_relaxed);
+  }
+  std::vector<Frame> frames;
+  for (;;) {
+    Result<std::optional<Frame>> next = reader_.Next();
+    if (!next.ok()) return next.status();  // kDataLoss: framing broken
+    if (!next->has_value()) break;
+    frames.push_back(std::move(**next));
+  }
+  static obs::Counter* const frames_in =
+      obs::Registry::Global().counter("uv.server.frames.in");
+  frames_in->Add(frames.size());
+  return frames;
+}
+
+bool Session::SendFrame(MsgType type, const std::string& payload) {
+  if (dead()) return false;
+  static obs::Counter* const frames_out =
+      obs::Registry::Global().counter("uv.server.frames.out");
+  frames_out->Inc();
+  std::lock_guard<std::mutex> g(write_mu_);
+  AppendFrame(&write_buf_, type, payload);
+  Result<bool> drained = FlushLocked();
+  if (!drained.ok()) {
+    // The dispatcher notices via dead() on its next pass and reaps us.
+    dead_.store(true, std::memory_order_relaxed);
+    return false;
+  }
+  return !*drained;
+}
+
+Result<bool> Session::FlushWrites() {
+  std::lock_guard<std::mutex> g(write_mu_);
+  return FlushLocked();
+}
+
+size_t Session::write_buffered() const {
+  std::lock_guard<std::mutex> g(write_mu_);
+  return write_buf_.size() - write_pos_;
+}
+
+std::shared_ptr<CancelToken> Session::StartRequest(uint32_t request_id,
+                                                   uint64_t deadline_micros,
+                                                   bool is_commit) {
+  auto token = std::make_shared<CancelToken>();
+  if (deadline_micros > 0) token->SetDeadlineAfterMicros(deadline_micros);
+  std::lock_guard<std::mutex> g(req_mu_);
+  inflight_[request_id] = InflightReq{token, is_commit};
+  return token;
+}
+
+bool Session::CancelRequest(uint32_t request_id) {
+  std::lock_guard<std::mutex> g(req_mu_);
+  auto it = inflight_.find(request_id);
+  if (it == inflight_.end()) return false;
+  it->second.token->Cancel();
+  return true;
+}
+
+void Session::CancelAll() {
+  std::lock_guard<std::mutex> g(req_mu_);
+  for (auto& [id, req] : inflight_) req.token->Cancel();
+}
+
+void Session::CancelAnalyzeRequests() {
+  std::lock_guard<std::mutex> g(req_mu_);
+  for (auto& [id, req] : inflight_) {
+    if (!req.is_commit) req.token->Cancel();
+  }
+}
+
+void Session::FinishRequest(uint32_t request_id) {
+  std::lock_guard<std::mutex> g(req_mu_);
+  inflight_.erase(request_id);
+}
+
+int Session::inflight_requests() const {
+  std::lock_guard<std::mutex> g(req_mu_);
+  return int(inflight_.size());
+}
+
+void Session::MarkDead() { dead_.store(true, std::memory_order_relaxed); }
+
+Result<bool> Session::FlushLocked() {
+  while (write_pos_ < write_buf_.size()) {
+    size_t want = write_buf_.size() - write_pos_;
+    // Partial-write injection: pretend the socket accepted only one byte
+    // this pass — exercises response reassembly on the client and the
+    // EPOLLOUT rearm path here.
+    Status partial = Status::OK();
+    UV_FAILPOINT_STATUS("server.write.partial", partial);
+    if (!partial.ok() && want > 1) want = 1;
+    // MSG_NOSIGNAL: a peer that vanished mid-response yields EPIPE here
+    // instead of killing the process with SIGPIPE.
+    ssize_t n =
+        ::send(fd_, write_buf_.data() + write_pos_, want, MSG_NOSIGNAL);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      if (errno == EAGAIN || errno == EWOULDBLOCK) return false;
+      return Status::Unavailable(std::string("write failed: ") +
+                                 std::strerror(errno));
+    }
+    write_pos_ += size_t(n);
+    if (!partial.ok()) return write_pos_ >= write_buf_.size();
+  }
+  write_buf_.clear();
+  write_pos_ = 0;
+  return true;
+}
+
+}  // namespace ultraverse::server

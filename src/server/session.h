@@ -1,0 +1,113 @@
+#ifndef ULTRAVERSE_SERVER_SESSION_H_
+#define ULTRAVERSE_SERVER_SESSION_H_
+
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <vector>
+
+#include "server/wire.h"
+#include "util/cancellation.h"
+#include "util/retry.h"
+
+namespace ultraverse::server {
+
+/// Per-connection state: the incremental frame parser on the read side, a
+/// watermarked write buffer on the write side, and one CancelToken +
+/// RetryPolicy per in-flight request (the session-scoped robustness
+/// contract — nothing request-scoped lives in process globals).
+///
+/// Threading: the dispatcher thread owns the read side (epoll only ever
+/// reports one readable event at a time per fd). The write side is shared
+/// between the dispatcher (flush on EPOLLOUT) and workers (responses), so
+/// it hides behind write_mu_. Token registry likewise.
+class Session {
+ public:
+  Session(int fd, uint64_t session_id);
+  ~Session();
+
+  Session(const Session&) = delete;
+  Session& operator=(const Session&) = delete;
+
+  int fd() const { return fd_; }
+  uint64_t id() const { return session_id_; }
+
+  /// Drains the socket's readable bytes into the frame parser and decodes
+  /// every complete frame. kOk with an empty vector = would-block (keep
+  /// waiting); kUnavailable = peer closed; kDataLoss = torn/corrupt frame
+  /// (connection must die — the stream cannot resync).
+  Result<std::vector<Frame>> ReadFrames();
+
+  /// Queues one framed response. Attempts an opportunistic inline flush;
+  /// returns true when bytes remain buffered (caller arms EPOLLOUT).
+  /// Drops silently once the connection is marked dead.
+  bool SendFrame(MsgType type, const std::string& payload);
+
+  /// Flushes buffered writes (EPOLLOUT). Returns true when fully drained.
+  Result<bool> FlushWrites();
+
+  /// Write-side backpressure state, read by the dispatcher to gate EPOLLIN:
+  /// above the high watermark the session stops reading new requests until
+  /// the peer drains responses below the low watermark.
+  size_t write_buffered() const;
+
+  /// --- Per-request context -------------------------------------------------
+
+  /// Registers a request and returns its session-owned CancelToken, armed
+  /// with `deadline_micros` (0 = none). `is_commit` tags work that mutates
+  /// durable state (ExecSql, publish) — drain lets it finish while
+  /// analyze-only work is cancelled. The token stays valid until
+  /// FinishRequest (shared_ptr keeps it alive for a worker that races a
+  /// cancel).
+  std::shared_ptr<CancelToken> StartRequest(uint32_t request_id,
+                                            uint64_t deadline_micros,
+                                            bool is_commit);
+  /// Cancels an in-flight request's token (kCancel frame). False when the
+  /// id is unknown (already finished — a benign race).
+  bool CancelRequest(uint32_t request_id);
+  /// Cancels every in-flight request (connection death).
+  void CancelAll();
+  /// Drain shedding: cancels analyze-only requests, leaves commits and
+  /// publishes to finish cleanly.
+  void CancelAnalyzeRequests();
+  void FinishRequest(uint32_t request_id);
+  int inflight_requests() const;
+
+  /// Last socket activity, for the slow-loris idle sweep.
+  uint64_t last_activity_us() const {
+    return last_activity_us_.load(std::memory_order_relaxed);
+  }
+
+  /// Marks the connection dead: subsequent sends drop, reads fail fast.
+  void MarkDead();
+  bool dead() const { return dead_.load(std::memory_order_relaxed); }
+
+ private:
+  /// Write loop under write_mu_: true = buffer fully drained, false =
+  /// socket would block with bytes left (arm EPOLLOUT). Error = peer gone.
+  Result<bool> FlushLocked();
+
+  const int fd_;
+  const uint64_t session_id_;
+  FrameReader reader_;
+
+  mutable std::mutex write_mu_;
+  std::string write_buf_;
+  size_t write_pos_ = 0;
+
+  struct InflightReq {
+    std::shared_ptr<CancelToken> token;
+    bool is_commit = false;
+  };
+  mutable std::mutex req_mu_;
+  std::map<uint32_t, InflightReq> inflight_;
+
+  std::atomic<uint64_t> last_activity_us_;
+  std::atomic<bool> dead_{false};
+};
+
+}  // namespace ultraverse::server
+
+#endif  // ULTRAVERSE_SERVER_SESSION_H_

@@ -1,0 +1,200 @@
+#include "server/wire.h"
+
+#include "util/binary_codec.h"
+#include "util/crc32.h"
+
+namespace ultraverse::server {
+
+void AppendFrame(std::string* out, MsgType type, const std::string& payload) {
+  PutU8(out, uint8_t(type));
+  PutU32(out, uint32_t(payload.size()));
+  std::string crc_domain;
+  crc_domain.reserve(payload.size() + 1);
+  crc_domain.push_back(char(type));
+  crc_domain.append(payload);
+  PutU32(out, Crc32(crc_domain));
+  out->append(payload);
+}
+
+Result<std::optional<Frame>> FrameReader::Next() {
+  // Compact once the consumed prefix dominates, so a long-lived session
+  // does not grow its read buffer without bound.
+  if (pos_ > 0 && pos_ >= buf_.size() / 2) {
+    buf_.erase(0, pos_);
+    pos_ = 0;
+  }
+  const size_t avail = buf_.size() - pos_;
+  if (avail < 9) return std::optional<Frame>{};
+  const char* p = buf_.data() + pos_;
+  uint8_t type = uint8_t(p[0]);
+  uint32_t len = 0, crc = 0;
+  for (int i = 0; i < 4; ++i) {
+    len |= uint32_t(uint8_t(p[1 + i])) << (8 * i);
+    crc |= uint32_t(uint8_t(p[5 + i])) << (8 * i);
+  }
+  if (len > kMaxFramePayload) {
+    return Status::DataLoss("wire frame exceeds max payload (" +
+                            std::to_string(len) + " bytes)");
+  }
+  if (avail < 9 + size_t(len)) return std::optional<Frame>{};
+  std::string crc_domain;
+  crc_domain.reserve(len + 1);
+  crc_domain.push_back(char(type));
+  crc_domain.append(buf_, pos_ + 9, len);
+  if (Crc32(crc_domain) != crc) {
+    return Status::DataLoss("wire frame CRC mismatch");
+  }
+  Frame frame;
+  frame.type = MsgType(type);
+  frame.payload = buf_.substr(pos_ + 9, len);
+  pos_ += 9 + len;
+  return std::optional<Frame>{std::move(frame)};
+}
+
+std::string EncodeExecSql(const ExecSqlReq& r) {
+  std::string out;
+  PutU32(&out, r.id);
+  PutString(&out, r.sql);
+  PutU64(&out, r.deadline_micros);
+  return out;
+}
+
+Result<ExecSqlReq> DecodeExecSql(const std::string& payload) {
+  ExecSqlReq r;
+  BinaryReader br(payload);
+  UV_RETURN_NOT_OK(br.U32(&r.id));
+  UV_RETURN_NOT_OK(br.Str(&r.sql));
+  UV_RETURN_NOT_OK(br.U64(&r.deadline_micros));
+  return r;
+}
+
+std::string EncodeWhatIf(const WhatIfReq& r) {
+  std::string out;
+  PutU32(&out, r.id);
+  PutU8(&out, r.kind);
+  PutU64(&out, r.index);
+  PutString(&out, r.new_sql);
+  PutU8(&out, r.mode);
+  PutU64(&out, r.deadline_micros);
+  PutU8(&out, r.full_naive ? 1 : 0);
+  PutU8(&out, r.want_report ? 1 : 0);
+  PutU32(&out, uint32_t(r.max_attempts));
+  return out;
+}
+
+Result<WhatIfReq> DecodeWhatIf(const std::string& payload) {
+  WhatIfReq r;
+  BinaryReader br(payload);
+  uint8_t b = 0;
+  uint32_t attempts = 1;
+  UV_RETURN_NOT_OK(br.U32(&r.id));
+  UV_RETURN_NOT_OK(br.U8(&r.kind));
+  UV_RETURN_NOT_OK(br.U64(&r.index));
+  UV_RETURN_NOT_OK(br.Str(&r.new_sql));
+  UV_RETURN_NOT_OK(br.U8(&r.mode));
+  UV_RETURN_NOT_OK(br.U64(&r.deadline_micros));
+  UV_RETURN_NOT_OK(br.U8(&b));
+  r.full_naive = b != 0;
+  UV_RETURN_NOT_OK(br.U8(&b));
+  r.want_report = b != 0;
+  UV_RETURN_NOT_OK(br.U32(&attempts));
+  r.max_attempts = int(attempts);
+  if (r.kind > 2) return Status::InvalidArgument("bad retro-op kind");
+  if (r.mode > 3) return Status::InvalidArgument("bad system mode");
+  return r;
+}
+
+std::string EncodeSimple(const SimpleReq& r) {
+  std::string out;
+  PutU32(&out, r.id);
+  return out;
+}
+
+Result<SimpleReq> DecodeSimple(const std::string& payload) {
+  SimpleReq r;
+  BinaryReader br(payload);
+  UV_RETURN_NOT_OK(br.U32(&r.id));
+  return r;
+}
+
+std::string EncodeCancel(const CancelReq& r) {
+  std::string out;
+  PutU32(&out, r.id);
+  PutU32(&out, r.target_id);
+  return out;
+}
+
+Result<CancelReq> DecodeCancel(const std::string& payload) {
+  CancelReq r;
+  BinaryReader br(payload);
+  UV_RETURN_NOT_OK(br.U32(&r.id));
+  UV_RETURN_NOT_OK(br.U32(&r.target_id));
+  return r;
+}
+
+std::string EncodeOk(const OkResp& r) {
+  std::string out;
+  PutU32(&out, r.id);
+  PutString(&out, r.body);
+  return out;
+}
+
+Result<OkResp> DecodeOk(const std::string& payload) {
+  OkResp r;
+  BinaryReader br(payload);
+  UV_RETURN_NOT_OK(br.U32(&r.id));
+  UV_RETURN_NOT_OK(br.Str(&r.body));
+  return r;
+}
+
+std::string EncodeError(const ErrorResp& r) {
+  std::string out;
+  PutU32(&out, r.id);
+  PutU8(&out, r.code);
+  PutString(&out, r.message);
+  return out;
+}
+
+Result<ErrorResp> DecodeError(const std::string& payload) {
+  ErrorResp r;
+  BinaryReader br(payload);
+  UV_RETURN_NOT_OK(br.U32(&r.id));
+  UV_RETURN_NOT_OK(br.U8(&r.code));
+  UV_RETURN_NOT_OK(br.Str(&r.message));
+  return r;
+}
+
+std::string EncodeChunk(const ChunkResp& r) {
+  std::string out;
+  PutU32(&out, r.id);
+  PutString(&out, r.chunk);
+  return out;
+}
+
+Result<ChunkResp> DecodeChunk(const std::string& payload) {
+  ChunkResp r;
+  BinaryReader br(payload);
+  UV_RETURN_NOT_OK(br.U32(&r.id));
+  UV_RETURN_NOT_OK(br.Str(&r.chunk));
+  return r;
+}
+
+uint32_t PeekRequestId(const std::string& payload) {
+  if (payload.size() < 4) return 0;
+  uint32_t id = 0;
+  for (int i = 0; i < 4; ++i) {
+    id |= uint32_t(uint8_t(payload[i])) << (8 * i);
+  }
+  return id;
+}
+
+uint8_t StatusCodeToWire(StatusCode code) { return uint8_t(code); }
+
+StatusCode WireToStatusCode(uint8_t code) {
+  if (code > uint8_t(StatusCode::kResourceExhausted)) {
+    return StatusCode::kInternal;
+  }
+  return StatusCode(code);
+}
+
+}  // namespace ultraverse::server

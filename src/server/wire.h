@@ -1,0 +1,148 @@
+#ifndef ULTRAVERSE_SERVER_WIRE_H_
+#define ULTRAVERSE_SERVER_WIRE_H_
+
+#include <cstdint>
+#include <optional>
+#include <string>
+
+#include "util/status.h"
+
+namespace ultraverse::server {
+
+/// Wire protocol frames reuse the WAL record framing idiom (DESIGN.md §11):
+///
+///   [u8 type][u32 payload_len][u32 crc32(type || payload)][payload]
+///
+/// little-endian, CRC over type||payload so a bit flip anywhere in the
+/// frame is caught. A frame that fails its CRC is a protocol error for the
+/// whole connection (the stream cannot be resynchronized), mirroring the
+/// WAL's "the prefix is truth" rule: everything decoded before it stands.
+enum class MsgType : uint8_t {
+  // Requests (client -> server).
+  kHello = 1,
+  kExecSql = 2,
+  kWhatIfAnalyze = 3,
+  kWhatIfPublish = 4,
+  kHealth = 5,
+  kDrain = 6,
+  kMetrics = 7,
+  kFingerprint = 8,
+  kCancel = 9,
+  // Responses (server -> client).
+  kOk = 64,
+  kError = 65,
+  kReportChunk = 67,  // streamed explain-report fragment, precedes kOk
+};
+
+/// Maximum accepted payload size. Bounds per-connection memory against a
+/// malicious or corrupt length header (a 4GiB allocation is itself a DoS).
+inline constexpr uint32_t kMaxFramePayload = 8u << 20;  // 8 MiB
+
+struct Frame {
+  MsgType type = MsgType::kHello;
+  std::string payload;
+};
+
+/// Appends one framed message to `out`.
+void AppendFrame(std::string* out, MsgType type, const std::string& payload);
+
+/// Incremental frame parser over a connection's read stream. Feed() raw
+/// bytes as they arrive; Next() yields complete frames until the buffer
+/// holds only a partial one. CRC mismatch / oversized length returns
+/// kDataLoss — the caller must close the connection.
+class FrameReader {
+ public:
+  void Feed(const char* data, size_t n) { buf_.append(data, n); }
+
+  /// One decoded frame, std::nullopt when more bytes are needed, or
+  /// kDataLoss on an unrecoverable framing error.
+  Result<std::optional<Frame>> Next();
+
+  size_t buffered() const { return buf_.size() - pos_; }
+
+ private:
+  std::string buf_;
+  size_t pos_ = 0;
+};
+
+// --- Request/response payloads ---------------------------------------------
+// Every payload leads with the client-chosen u32 request id, echoed in the
+// response, so a session can pipeline requests and target kCancel at one.
+
+struct ExecSqlReq {
+  uint32_t id = 0;
+  std::string sql;
+  uint64_t deadline_micros = 0;  // 0 = no deadline
+};
+
+/// Shared by kWhatIfAnalyze and kWhatIfPublish (the type byte selects).
+struct WhatIfReq {
+  uint32_t id = 0;
+  uint8_t kind = 1;  // core::RetroOp::Kind: 0=add 1=remove 2=change
+  uint64_t index = 0;
+  std::string new_sql;
+  uint8_t mode = 3;  // core::SystemMode: 0=B 1=T 2=D 3=TD
+  uint64_t deadline_micros = 0;
+  bool full_naive = false;   // analyze only: differential-oracle reference
+  bool want_report = false;  // stream the explain report as kReportChunk
+  int max_attempts = 1;      // server-side retry budget (kUnavailable)
+};
+
+/// kHealth / kDrain / kMetrics / kFingerprint carry only the id.
+struct SimpleReq {
+  uint32_t id = 0;
+};
+
+struct CancelReq {
+  uint32_t id = 0;
+  uint32_t target_id = 0;  // in-flight request to cancel on this session
+};
+
+struct OkResp {
+  uint32_t id = 0;
+  std::string body;  // semantics per request type (fingerprint hex, JSON...)
+};
+
+struct ErrorResp {
+  uint32_t id = 0;
+  uint8_t code = 0;  // StatusCode, so clients get typed retryable errors
+  std::string message;
+};
+
+struct ChunkResp {
+  uint32_t id = 0;
+  std::string chunk;
+};
+
+std::string EncodeExecSql(const ExecSqlReq& r);
+Result<ExecSqlReq> DecodeExecSql(const std::string& payload);
+
+std::string EncodeWhatIf(const WhatIfReq& r);
+Result<WhatIfReq> DecodeWhatIf(const std::string& payload);
+
+std::string EncodeSimple(const SimpleReq& r);
+Result<SimpleReq> DecodeSimple(const std::string& payload);
+
+std::string EncodeCancel(const CancelReq& r);
+Result<CancelReq> DecodeCancel(const std::string& payload);
+
+std::string EncodeOk(const OkResp& r);
+Result<OkResp> DecodeOk(const std::string& payload);
+
+std::string EncodeError(const ErrorResp& r);
+Result<ErrorResp> DecodeError(const std::string& payload);
+
+std::string EncodeChunk(const ChunkResp& r);
+Result<ChunkResp> DecodeChunk(const std::string& payload);
+
+/// Peeks the leading request id of any request payload (they all start
+/// with it) — used to reply kError to a request whose body failed to parse.
+uint32_t PeekRequestId(const std::string& payload);
+
+/// Status <-> wire error code round trip.
+uint8_t StatusCodeToWire(StatusCode code);
+StatusCode WireToStatusCode(uint8_t code);
+
+}  // namespace ultraverse::server
+
+#endif  // ULTRAVERSE_SERVER_WIRE_H_

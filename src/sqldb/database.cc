@@ -791,6 +791,21 @@ void Database::RollbackCommitsInTables(const std::set<uint64_t>& commits,
   }
 }
 
+void Database::ResetJournals(const std::vector<std::string>& names,
+                             uint64_t commit_index) {
+  if (names.empty()) {
+    for (auto& [name, table] : tables_) {
+      (void)name;
+      table->ResetJournal(commit_index);
+    }
+    return;
+  }
+  for (const auto& name : names) {
+    Table* t = FindTable(name);
+    if (t) t->ResetJournal(commit_index);
+  }
+}
+
 void Database::TrimJournalsBefore(uint64_t commit_index) {
   for (auto& [name, table] : tables_) {
     (void)name;

@@ -161,6 +161,12 @@ class Database {
   /// path instead of journal rollback.
   void TrimJournalsBefore(uint64_t commit_index);
 
+  /// Publish reset (see Table::ResetJournal): drops the journals of
+  /// `names` — or of every table when `names` is empty — and marks
+  /// commits before `commit_index` as beyond journal reach.
+  void ResetJournals(const std::vector<std::string>& names,
+                     uint64_t commit_index);
+
   /// Copy-on-write copy of catalog + data (temporary replay database):
   /// every table is CoW-cloned (see Table::Clone), so the copy is cheap
   /// and memory is shared until either side writes.

@@ -307,6 +307,13 @@ void Table::RollbackCommits(const std::set<uint64_t>& commits) {
   }
 }
 
+void Table::ResetJournal(uint64_t commit_index) {
+  sealed_.clear();
+  sealed_entries_ = 0;
+  tail_.clear();
+  trimmed_before_ = std::max(trimmed_before_, commit_index);
+}
+
 void Table::TrimJournalBefore(uint64_t commit_index) {
   trimmed_before_ = std::max(trimmed_before_, commit_index);
   // Whole chunks below the horizon drop without being copied; the boundary

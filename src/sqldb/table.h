@@ -157,6 +157,15 @@ class Table {
   /// Drops undo entries older than `commit_index` (checkpoint trim).
   void TrimJournalBefore(uint64_t commit_index);
 
+  /// Drops the whole journal and marks commits before `commit_index` as
+  /// untrimmable history (publish reset): a selective what-if publish
+  /// replays its slots at post-horizon commit indexes, so the adopted
+  /// journal neither matches the rewritten log's indexing nor stays clear
+  /// of the indexes future commits will use. Retroactive targets at or
+  /// below the mark then take the rebuild-from-log path, exactly like a
+  /// checkpoint trim; post-publish traffic journals normally.
+  void ResetJournal(uint64_t commit_index);
+
   size_t JournalSize() const { return sealed_entries_ + tail_.size(); }
 
   /// Commits before this index have had their undo entries trimmed by a

@@ -11,36 +11,15 @@
 #include "fault/failpoint.h"
 #include "obs/metrics.h"
 #include "sqldb/parser.h"
+#include "util/binary_codec.h"
 #include "util/crc32.h"
 
 namespace ultraverse::sql {
 
 namespace {
 
-// --- Little-endian primitive encoding ---------------------------------------
-
-void PutU8(std::string* out, uint8_t v) { out->push_back(char(v)); }
-
-void PutU32(std::string* out, uint32_t v) {
-  for (int i = 0; i < 4; ++i) out->push_back(char((v >> (8 * i)) & 0xFF));
-}
-
-void PutU64(std::string* out, uint64_t v) {
-  for (int i = 0; i < 8; ++i) out->push_back(char((v >> (8 * i)) & 0xFF));
-}
-
-void PutI64(std::string* out, int64_t v) { PutU64(out, uint64_t(v)); }
-
-void PutString(std::string* out, const std::string& s) {
-  PutU32(out, uint32_t(s.size()));
-  out->append(s);
-}
-
-void PutDouble(std::string* out, double d) {
-  uint64_t bits;
-  std::memcpy(&bits, &d, sizeof(bits));
-  PutU64(out, bits);
-}
+// Primitive little-endian encoding lives in util/binary_codec.h (shared
+// with the server wire protocol); only the Value/Nondet shapes are local.
 
 void PutValue(std::string* out, const Value& v) {
   switch (v.type()) {
@@ -71,114 +50,56 @@ void PutValueVec(std::string* out, const std::vector<Value>& values) {
   for (const Value& v : values) PutValue(out, v);
 }
 
-/// Bounds-checked sequential reader over a payload.
-class Reader {
- public:
-  explicit Reader(const std::string& data) : data_(data) {}
+using Reader = BinaryReader;
 
-  Status U8(uint8_t* v) {
-    UV_RETURN_NOT_OK(Need(1));
-    *v = uint8_t(data_[pos_++]);
-    return Status::OK();
-  }
-  Status U32(uint32_t* v) {
-    UV_RETURN_NOT_OK(Need(4));
-    *v = 0;
-    for (int i = 0; i < 4; ++i) {
-      *v |= uint32_t(uint8_t(data_[pos_ + i])) << (8 * i);
+Status ReadVal(Reader* r, Value* v) {
+  uint8_t tag;
+  UV_RETURN_NOT_OK(r->U8(&tag));
+  switch (tag) {
+    case 0:
+      *v = Value::Null();
+      return Status::OK();
+    case 1: {
+      int64_t i;
+      UV_RETURN_NOT_OK(r->I64(&i));
+      *v = Value::Int(i);
+      return Status::OK();
     }
-    pos_ += 4;
-    return Status::OK();
-  }
-  Status U64(uint64_t* v) {
-    UV_RETURN_NOT_OK(Need(8));
-    *v = 0;
-    for (int i = 0; i < 8; ++i) {
-      *v |= uint64_t(uint8_t(data_[pos_ + i])) << (8 * i);
+    case 2: {
+      double d;
+      UV_RETURN_NOT_OK(r->Dbl(&d));
+      *v = Value::Double(d);
+      return Status::OK();
     }
-    pos_ += 8;
-    return Status::OK();
-  }
-  Status I64(int64_t* v) {
-    uint64_t u;
-    UV_RETURN_NOT_OK(U64(&u));
-    *v = int64_t(u);
-    return Status::OK();
-  }
-  Status Str(std::string* s) {
-    uint32_t len;
-    UV_RETURN_NOT_OK(U32(&len));
-    UV_RETURN_NOT_OK(Need(len));
-    s->assign(data_, pos_, len);
-    pos_ += len;
-    return Status::OK();
-  }
-  Status Dbl(double* d) {
-    uint64_t bits;
-    UV_RETURN_NOT_OK(U64(&bits));
-    std::memcpy(d, &bits, sizeof(*d));
-    return Status::OK();
-  }
-  Status Val(Value* v) {
-    uint8_t tag;
-    UV_RETURN_NOT_OK(U8(&tag));
-    switch (tag) {
-      case 0:
-        *v = Value::Null();
-        return Status::OK();
-      case 1: {
-        int64_t i;
-        UV_RETURN_NOT_OK(I64(&i));
-        *v = Value::Int(i);
-        return Status::OK();
-      }
-      case 2: {
-        double d;
-        UV_RETURN_NOT_OK(Dbl(&d));
-        *v = Value::Double(d);
-        return Status::OK();
-      }
-      case 3: {
-        std::string s;
-        UV_RETURN_NOT_OK(Str(&s));
-        *v = Value::String(std::move(s));
-        return Status::OK();
-      }
-      case 4: {
-        uint8_t b;
-        UV_RETURN_NOT_OK(U8(&b));
-        *v = Value::Bool(b != 0);
-        return Status::OK();
-      }
-      default:
-        return Status::DataLoss("bad value tag in WAL payload");
+    case 3: {
+      std::string s;
+      UV_RETURN_NOT_OK(r->Str(&s));
+      *v = Value::String(std::move(s));
+      return Status::OK();
     }
-  }
-  Status ValVec(std::vector<Value>* values) {
-    uint32_t n;
-    UV_RETURN_NOT_OK(U32(&n));
-    values->clear();
-    values->reserve(n);
-    for (uint32_t i = 0; i < n; ++i) {
-      Value v;
-      UV_RETURN_NOT_OK(Val(&v));
-      values->push_back(std::move(v));
+    case 4: {
+      uint8_t b;
+      UV_RETURN_NOT_OK(r->U8(&b));
+      *v = Value::Bool(b != 0);
+      return Status::OK();
     }
-    return Status::OK();
+    default:
+      return Status::DataLoss("bad value tag in WAL payload");
   }
+}
 
-  bool exhausted() const { return pos_ == data_.size(); }
-
- private:
-  Status Need(size_t n) {
-    if (pos_ + n > data_.size()) {
-      return Status::DataLoss("WAL payload truncated mid-field");
-    }
-    return Status::OK();
+Status ReadValVec(Reader* r, std::vector<Value>* values) {
+  uint32_t n;
+  UV_RETURN_NOT_OK(r->U32(&n));
+  values->clear();
+  values->reserve(n);
+  for (uint32_t i = 0; i < n; ++i) {
+    Value v;
+    UV_RETURN_NOT_OK(ReadVal(r, &v));
+    values->push_back(std::move(v));
   }
-  const std::string& data_;
-  size_t pos_ = 0;
-};
+  return Status::OK();
+}
 
 void PutNondet(std::string* out, const NondetRecord& nd) {
   PutValueVec(out, nd.values);
@@ -187,7 +108,7 @@ void PutNondet(std::string* out, const NondetRecord& nd) {
 }
 
 Status ReadNondet(Reader* r, NondetRecord* nd) {
-  UV_RETURN_NOT_OK(r->ValVec(&nd->values));
+  UV_RETURN_NOT_OK(ReadValVec(r, &nd->values));
   uint32_t n;
   UV_RETURN_NOT_OK(r->U32(&n));
   nd->auto_inc_ids.clear();
@@ -236,14 +157,14 @@ Result<LogEntry> DecodeLogEntry(const std::string& payload) {
   UV_RETURN_NOT_OK(r.I64(&entry.timestamp));
   UV_RETURN_NOT_OK(ReadNondet(&r, &entry.nondet));
   UV_RETURN_NOT_OK(r.Str(&entry.app_txn));
-  UV_RETURN_NOT_OK(r.ValVec(&entry.app_args));
+  UV_RETURN_NOT_OK(ReadValVec(&r, &entry.app_args));
   uint32_t n;
   UV_RETURN_NOT_OK(r.U32(&n));
   for (uint32_t i = 0; i < n; ++i) {
     std::string key;
     Value value;
     UV_RETURN_NOT_OK(r.Str(&key));
-    UV_RETURN_NOT_OK(r.Val(&value));
+    UV_RETURN_NOT_OK(ReadVal(&r, &value));
     entry.app_blackbox.emplace(std::move(key), std::move(value));
   }
   UV_RETURN_NOT_OK(r.U32(&n));
@@ -251,7 +172,7 @@ Result<LogEntry> DecodeLogEntry(const std::string& payload) {
     std::string name;
     std::vector<Value> values;
     UV_RETURN_NOT_OK(r.Str(&name));
-    UV_RETURN_NOT_OK(r.ValVec(&values));
+    UV_RETURN_NOT_OK(ReadValVec(&r, &values));
     entry.captured_vars.emplace(std::move(name), std::move(values));
   }
   UV_RETURN_NOT_OK(r.U32(&n));
@@ -321,7 +242,7 @@ Result<std::unique_ptr<Wal>> Wal::Open(const std::string& path,
   return std::unique_ptr<Wal>(new Wal(path, fd, options));
 }
 
-Status Wal::AppendRecord(WalRecordType type, const std::string& payload) {
+Status Wal::AppendRecordLocked(WalRecordType type, const std::string& payload) {
   UV_FAILPOINT("wal.append");
   std::string framed;
   framed.reserve(payload.size() + 9);
@@ -334,6 +255,7 @@ Status Wal::AppendRecord(WalRecordType type, const std::string& payload) {
   PutU32(&framed, Crc32(crc_domain));
   framed.append(payload);
   buffer_.append(framed);
+  ++appended_seq_;
   static obs::Counter* const appends =
       obs::Registry::Global().counter("uv.wal.appends");
   appends->Inc();
@@ -341,40 +263,129 @@ Status Wal::AppendRecord(WalRecordType type, const std::string& payload) {
 }
 
 Status Wal::AppendEntry(const LogEntry& entry) {
-  UV_RETURN_NOT_OK(AppendRecord(WalRecordType::kEntry, EncodeLogEntry(entry)));
-  ++unsynced_appends_;
-  if (options_.fsync_every_n != 0 &&
-      unsynced_appends_ >= options_.fsync_every_n) {
-    return Sync();
+  uint64_t seq = 0;
+  bool need_sync = false;
+  std::string payload = EncodeLogEntry(entry);
+  {
+    std::lock_guard<std::mutex> g(mu_);
+    UV_RETURN_NOT_OK(AppendRecordLocked(WalRecordType::kEntry, payload));
+    seq = appended_seq_;
+    ++unsynced_appends_;
+    need_sync = options_.fsync_every_n != 0 &&
+                unsynced_appends_ >= options_.fsync_every_n;
   }
+  if (need_sync) return WaitDurable(seq);
   return Status::OK();
 }
 
+Result<uint64_t> Wal::AppendEntryAsync(const LogEntry& entry,
+                                       bool* sync_due) {
+  std::string payload = EncodeLogEntry(entry);
+  std::lock_guard<std::mutex> g(mu_);
+  UV_RETURN_NOT_OK(AppendRecordLocked(WalRecordType::kEntry, payload));
+  ++unsynced_appends_;
+  if (sync_due) {
+    *sync_due = options_.fsync_every_n != 0 &&
+                unsynced_appends_ >= options_.fsync_every_n;
+  }
+  return appended_seq_;
+}
+
+Status Wal::WaitDurable(uint64_t seq) {
+  if (seq == 0) return Status::OK();
+  std::unique_lock<std::mutex> lk(mu_);
+  for (;;) {
+    // A failed group reports its error to EVERY member: any seq the failed
+    // sync covered gets the same sticky status, whether this thread led
+    // the sync or was parked waiting on it.
+    if (seq <= failed_upto_seq_) return sync_error_;
+    if (seq <= synced_seq_) return Status::OK();
+    if (fd_ < 0) {
+      return Status::Unavailable("WAL abandoned with records in flight");
+    }
+    if (!sync_in_flight_) {
+      // Leader self-promotion: nobody is syncing, so this waiter runs the
+      // sync for everything appended so far — later appends during the IO
+      // form the next group.
+      sync_in_flight_ = true;
+      (void)RunSyncLocked(lk);
+      continue;  // re-check: our seq is now synced or in the failed range
+    }
+    cv_.wait(lk);
+  }
+}
+
 Status Wal::AppendWhatIfCommit(const WhatIfMarker& marker) {
-  UV_RETURN_NOT_OK(
-      AppendRecord(WalRecordType::kWhatIfCommit, EncodeWhatIfMarker(marker)));
+  std::string payload = EncodeWhatIfMarker(marker);
+  uint64_t seq = 0;
+  {
+    std::lock_guard<std::mutex> g(mu_);
+    UV_RETURN_NOT_OK(
+        AppendRecordLocked(WalRecordType::kWhatIfCommit, payload));
+    seq = appended_seq_;
+  }
   // The marker IS the commit point: it must be durable before the live
   // tables swap, whatever the group-commit setting says.
-  return Sync();
+  return WaitDurable(seq);
 }
 
 void Wal::Abandon() {
+  std::lock_guard<std::mutex> g(mu_);
   buffer_.clear();
   unsynced_appends_ = 0;
   if (fd_ >= 0) {
     ::close(fd_);
     fd_ = -1;
   }
+  cv_.notify_all();
+}
+
+uint64_t Wal::appended_seq() const {
+  std::lock_guard<std::mutex> g(mu_);
+  return appended_seq_;
 }
 
 Status Wal::Sync() {
+  std::unique_lock<std::mutex> lk(mu_);
+  // Wait out any in-flight group sync, then run one pass of our own so
+  // everything appended before this call is durable (or reported failed).
+  while (sync_in_flight_) cv_.wait(lk);
+  uint64_t seq = appended_seq_;
+  if (seq > 0 && seq <= failed_upto_seq_) return sync_error_;
+  sync_in_flight_ = true;
+  return RunSyncLocked(lk);
+}
+
+Status Wal::RunSyncLocked(std::unique_lock<std::mutex>& lk) {
+  uint64_t covers = appended_seq_;
+  std::string pending;
+  pending.swap(buffer_);
+  unsynced_appends_ = 0;
+  lk.unlock();
+  Status st = WriteAndFsync(&pending);
+  lk.lock();
+  sync_in_flight_ = false;
+  if (st.ok()) {
+    if (covers > synced_seq_) synced_seq_ = covers;
+  } else {
+    // Durability failed for the WHOLE group: every record up to `covers`
+    // that was not already durable shares this error. WaitDurable hands
+    // the same status to each waiter in the group.
+    sync_error_ = st;
+    if (covers > failed_upto_seq_) failed_upto_seq_ = covers;
+  }
+  cv_.notify_all();
+  return st;
+}
+
+Status Wal::WriteAndFsync(std::string* pending) {
   // A crash here loses the whole in-memory buffer — the group-commit
   // window — which is exactly what process death before write(2) costs.
   UV_FAILPOINT("wal.sync.pre_write");
-  if (!buffer_.empty()) {
+  if (!pending->empty()) {
     size_t off = 0;
-    while (off < buffer_.size()) {
-      ssize_t n = ::write(fd_, buffer_.data() + off, buffer_.size() - off);
+    while (off < pending->size()) {
+      ssize_t n = ::write(fd_, pending->data() + off, pending->size() - off);
       if (n < 0) {
         if (errno == EINTR) continue;
         return Status::Unavailable("WAL write failed: " +
@@ -382,10 +393,12 @@ Status Wal::Sync() {
       }
       off += size_t(n);
     }
-    buffer_.clear();
   }
-  unsynced_appends_ = 0;
   if (options_.use_fsync) {
+    // The group's records hit the page cache; the fsync is what makes the
+    // group durable. A failure here is a durability failure for every
+    // record in the group — the classic all-waiters-must-hear-it case.
+    UV_FAILPOINT("wal.sync.fsync");
     if (::fsync(fd_) != 0) {
       return Status::Unavailable("WAL fsync failed: " +
                                  std::string(std::strerror(errno)));

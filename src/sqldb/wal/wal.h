@@ -1,8 +1,10 @@
 #ifndef ULTRAVERSE_SQLDB_WAL_WAL_H_
 #define ULTRAVERSE_SQLDB_WAL_WAL_H_
 
+#include <condition_variable>
 #include <cstdint>
 #include <memory>
+#include <mutex>
 #include <string>
 #include <vector>
 
@@ -52,8 +54,11 @@ struct WalOptions {
   bool use_fsync = true;
 };
 
-/// Append side of the WAL. Not internally synchronized: the commit path is
-/// already serialized by the facade's commit mutex.
+/// Append side of the WAL. Internally synchronized: concurrent committers
+/// (server sessions) append under an internal mutex and wait for group
+/// durability with WaitDurable, which broadcasts a failed group fsync to
+/// EVERY waiter in the group — not just the caller that happened to
+/// trigger the sync.
 class Wal {
  public:
   /// Opens (creating or appending to) the log at `path`.
@@ -65,8 +70,29 @@ class Wal {
   Wal& operator=(const Wal&) = delete;
 
   /// Serializes one committed entry into the append buffer; flushes +
-  /// fsyncs when the group-commit threshold is reached.
+  /// fsyncs (waiting for the result) when the group-commit threshold is
+  /// reached. Sub-threshold appends return OK with durability deferred —
+  /// the group-commit contract: a crash loses the unsynced window.
   Status AppendEntry(const LogEntry& entry);
+
+  /// Appends one committed entry WITHOUT waiting for durability and
+  /// returns its append sequence number (monotonic from 1). Callers that
+  /// need the entry durable pass the seq to WaitDurable — typically after
+  /// releasing whatever commit lock serialized the append, so concurrent
+  /// committers pile into one fsync (real group commit). `sync_due`
+  /// (nullable) is set when the group-commit threshold has been reached,
+  /// i.e. the caller owes a WaitDurable under the configured durability
+  /// contract (fsync_every_n).
+  Result<uint64_t> AppendEntryAsync(const LogEntry& entry,
+                                    bool* sync_due = nullptr);
+
+  /// Blocks until every record up to `seq` is durably synced, running the
+  /// sync itself when no other thread is already doing so (leader
+  /// self-promotion). If the sync covering `seq` fails, ALL waiters whose
+  /// records fell in that group receive the same error — the group's
+  /// durability failed for every member, not just the leader.
+  /// seq 0 (no WAL record) returns OK immediately.
+  Status WaitDurable(uint64_t seq);
 
   /// Appends a what-if commit marker and ALWAYS flushes + fsyncs before
   /// returning: the marker's durability is the commit point of the atomic
@@ -82,17 +108,33 @@ class Wal {
   /// the destructor's best-effort Sync() run.
   void Abandon();
 
+  /// Highest append seq assigned so far (0 = nothing appended).
+  uint64_t appended_seq() const;
+
   const std::string& path() const { return path_; }
 
  private:
   Wal(std::string path, int fd, WalOptions options);
-  Status AppendRecord(WalRecordType type, const std::string& payload);
+  Status AppendRecordLocked(WalRecordType type, const std::string& payload);
+  /// Runs one sync pass covering everything appended so far. Caller holds
+  /// `lk` and has set sync_in_flight_; the file IO runs unlocked so
+  /// appenders keep filling the next group. Broadcasts the result.
+  Status RunSyncLocked(std::unique_lock<std::mutex>& lk);
+  Status WriteAndFsync(std::string* pending);
 
   std::string path_;
   int fd_ = -1;
   WalOptions options_;
+
+  mutable std::mutex mu_;
+  std::condition_variable cv_;
   std::string buffer_;        // serialized but not yet written+synced
   uint64_t unsynced_appends_ = 0;
+  uint64_t appended_seq_ = 0;    // last seq handed out
+  uint64_t synced_seq_ = 0;      // highest seq known durable
+  uint64_t failed_upto_seq_ = 0; // failed group covered (..failed_upto_seq_]
+  Status sync_error_;            // the failed group's error (sticky per group)
+  bool sync_in_flight_ = false;  // a leader is writing+fsyncing unlocked
 };
 
 /// Result of scanning a WAL file.

@@ -1,0 +1,121 @@
+#ifndef ULTRAVERSE_UTIL_BINARY_CODEC_H_
+#define ULTRAVERSE_UTIL_BINARY_CODEC_H_
+
+#include <cstdint>
+#include <cstring>
+#include <string>
+
+#include "util/status.h"
+
+namespace ultraverse {
+
+/// Little-endian primitive encoding shared by every durable / wire format
+/// in the system (the WAL record payloads and the server wire protocol use
+/// the same byte discipline, so a frame hexdump reads the same either way).
+/// Writers append to a std::string; BinaryReader walks one back with
+/// bounds-checked reads that surface kDataLoss instead of overrunning.
+
+inline void PutU8(std::string* out, uint8_t v) { out->push_back(char(v)); }
+
+inline void PutU16(std::string* out, uint16_t v) {
+  for (int i = 0; i < 2; ++i) out->push_back(char((v >> (8 * i)) & 0xFF));
+}
+
+inline void PutU32(std::string* out, uint32_t v) {
+  for (int i = 0; i < 4; ++i) out->push_back(char((v >> (8 * i)) & 0xFF));
+}
+
+inline void PutU64(std::string* out, uint64_t v) {
+  for (int i = 0; i < 8; ++i) out->push_back(char((v >> (8 * i)) & 0xFF));
+}
+
+inline void PutI64(std::string* out, int64_t v) { PutU64(out, uint64_t(v)); }
+
+inline void PutString(std::string* out, const std::string& s) {
+  PutU32(out, uint32_t(s.size()));
+  out->append(s);
+}
+
+inline void PutDouble(std::string* out, double d) {
+  uint64_t bits;
+  std::memcpy(&bits, &d, sizeof(bits));
+  PutU64(out, bits);
+}
+
+/// Bounds-checked sequential reader over an encoded payload. Every read
+/// returns kDataLoss when the payload is truncated mid-field; decoders
+/// propagate that and the framing layer treats it as a corrupt record.
+class BinaryReader {
+ public:
+  explicit BinaryReader(const std::string& data) : data_(data) {}
+
+  Status U8(uint8_t* v) {
+    UV_RETURN_NOT_OK(Need(1));
+    *v = uint8_t(data_[pos_++]);
+    return Status::OK();
+  }
+  Status U16(uint16_t* v) {
+    UV_RETURN_NOT_OK(Need(2));
+    *v = 0;
+    for (int i = 0; i < 2; ++i) {
+      *v = uint16_t(*v | uint16_t(uint8_t(data_[pos_ + i])) << (8 * i));
+    }
+    pos_ += 2;
+    return Status::OK();
+  }
+  Status U32(uint32_t* v) {
+    UV_RETURN_NOT_OK(Need(4));
+    *v = 0;
+    for (int i = 0; i < 4; ++i) {
+      *v |= uint32_t(uint8_t(data_[pos_ + i])) << (8 * i);
+    }
+    pos_ += 4;
+    return Status::OK();
+  }
+  Status U64(uint64_t* v) {
+    UV_RETURN_NOT_OK(Need(8));
+    *v = 0;
+    for (int i = 0; i < 8; ++i) {
+      *v |= uint64_t(uint8_t(data_[pos_ + i])) << (8 * i);
+    }
+    pos_ += 8;
+    return Status::OK();
+  }
+  Status I64(int64_t* v) {
+    uint64_t u;
+    UV_RETURN_NOT_OK(U64(&u));
+    *v = int64_t(u);
+    return Status::OK();
+  }
+  Status Str(std::string* s) {
+    uint32_t len;
+    UV_RETURN_NOT_OK(U32(&len));
+    UV_RETURN_NOT_OK(Need(len));
+    s->assign(data_, pos_, len);
+    pos_ += len;
+    return Status::OK();
+  }
+  Status Dbl(double* d) {
+    uint64_t bits;
+    UV_RETURN_NOT_OK(U64(&bits));
+    std::memcpy(d, &bits, sizeof(*d));
+    return Status::OK();
+  }
+
+  bool exhausted() const { return pos_ == data_.size(); }
+  size_t remaining() const { return data_.size() - pos_; }
+
+ private:
+  Status Need(size_t n) {
+    if (pos_ + n > data_.size()) {
+      return Status::DataLoss("payload truncated mid-field");
+    }
+    return Status::OK();
+  }
+  const std::string& data_;
+  size_t pos_ = 0;
+};
+
+}  // namespace ultraverse
+
+#endif  // ULTRAVERSE_UTIL_BINARY_CODEC_H_

@@ -21,6 +21,15 @@ struct RetryPolicy {
   /// Backoff pauses taken between consecutive attempts; attempt k waits
   /// k*backoff_rounds pauses, so later retries back off longer.
   int backoff_rounds = 8;
+  /// Also retry kAborted (optimistic publish conflicts). Off by default:
+  /// replay slots must NOT re-run statements whose conflict semantics are
+  /// first-committer-wins — only whole-operation retries (which re-snapshot
+  /// before the next attempt) are safe to loop on aborts.
+  bool retry_aborted = false;
+  /// Seed for jittering the backoff between attempts; callers with many
+  /// concurrent retriers (server sessions) set distinct seeds so conflicting
+  /// publishers desynchronize instead of re-colliding in lockstep.
+  uint64_t jitter_seed = 0;
 
   bool enabled() const { return max_attempts > 1; }
 };
@@ -30,12 +39,23 @@ inline bool IsTransient(const Status& st) {
   return st.code() == StatusCode::kUnavailable;
 }
 
+/// Policy-aware retryability: kUnavailable always, kAborted only when the
+/// policy opted in (see RetryPolicy::retry_aborted).
+inline bool IsRetryable(const RetryPolicy& policy, const Status& st) {
+  if (IsTransient(st)) return true;
+  return policy.retry_aborted && st.code() == StatusCode::kAborted;
+}
+
 /// Runs `fn` (returning Status) up to `policy.max_attempts` times, backing
-/// off between attempts, until it returns OK or a non-transient error.
+/// off between attempts, until it returns OK or a non-retryable error.
 /// A cancelled/expired `token` (nullable) stops the loop with the token's
 /// status — cancellation outranks retries. Each extra attempt bumps the
 /// process-wide `uv.retry.attempts` counter via `on_retry` (the caller
 /// supplies the counter bump so util stays obs-free).
+/// Backoff between attempts is jittered: attempt k waits roughly
+/// k*backoff_rounds pauses, scaled by a splitmix-derived factor in
+/// [0.5, 1.5) so competing retriers spread out instead of thundering back
+/// in phase (the classic jittered-exponential-backoff shape).
 template <typename Fn, typename OnRetry>
 Status RetryWithBackoff(const RetryPolicy& policy, const CancelToken* token,
                         Fn&& fn, OnRetry&& on_retry) {
@@ -44,11 +64,20 @@ Status RetryWithBackoff(const RetryPolicy& policy, const CancelToken* token,
   for (int attempt = 1;; ++attempt) {
     UV_RETURN_NOT_OK(CheckCancel(token, "retry"));
     st = fn();
-    if (st.ok() || !IsTransient(st) || attempt >= policy.max_attempts) {
+    if (st.ok() || !IsRetryable(policy, st) ||
+        attempt >= policy.max_attempts) {
       return st;
     }
     on_retry(attempt, st);
-    for (int i = 0; i < policy.backoff_rounds * attempt; ++i) {
+    // splitmix64 finalizer over (seed, attempt) — cheap, stateless jitter.
+    uint64_t z = policy.jitter_seed + uint64_t(attempt) * 0x9E3779B97F4A7C15ULL;
+    z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ULL;
+    z = (z ^ (z >> 27)) * 0x94D049BB133111EBULL;
+    z ^= z >> 31;
+    // Scale rounds to [50%, 150%) of the deterministic ladder value.
+    int base = policy.backoff_rounds * attempt;
+    int rounds = base / 2 + int(z % uint64_t(base > 0 ? base : 1));
+    for (int i = 0; i < rounds; ++i) {
       backoff.Pause();
     }
   }

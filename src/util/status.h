@@ -26,6 +26,7 @@ enum class StatusCode {
   kDeadlineExceeded,   // a CancelToken deadline expired mid-operation
   kDataLoss,           // durable-log corruption beyond torn-tail repair
   kAborted,            // optimistic-concurrency conflict; caller may retry
+  kResourceExhausted,  // admission control shed the request; retry later
 };
 
 /// Arrow/RocksDB-style status object. Functions that can fail return a
@@ -82,6 +83,9 @@ class Status {
   static Status Aborted(std::string m) {
     return Status(StatusCode::kAborted, std::move(m));
   }
+  static Status ResourceExhausted(std::string m) {
+    return Status(StatusCode::kResourceExhausted, std::move(m));
+  }
 
   bool ok() const { return code_ == StatusCode::kOk; }
   StatusCode code() const { return code_; }
@@ -110,6 +114,7 @@ class Status {
       case StatusCode::kDeadlineExceeded: return "DeadlineExceeded";
       case StatusCode::kDataLoss: return "DataLoss";
       case StatusCode::kAborted: return "Aborted";
+      case StatusCode::kResourceExhausted: return "ResourceExhausted";
     }
     return "Unknown";
   }

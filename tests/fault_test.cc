@@ -854,5 +854,172 @@ TEST_F(FaultTest, FacadeWalSurvivesCrashAndWhatIf) {
   fs::remove(path);
 }
 
+// --- Group-commit durability error broadcast --------------------------------
+
+TEST_F(FaultTest, GroupFsyncFailureReachesEveryWaiter) {
+  // N committers append into one group-commit window, then all wait for
+  // durability. The single covering fsync fails (injected): EVERY waiter
+  // must receive that error — the leader that happened to run the sync, the
+  // threads parked on the condvar, and late arrivals whose records fell in
+  // the failed range. A waiter getting OK here would ack an entry that was
+  // never made durable.
+  std::string path = TmpPath("wal_group_err.wal");
+  fs::remove(path);
+  auto u = oracle::Universe::Build(BasicHistory());
+  ASSERT_TRUE(u.ok());
+  const auto& entries = (*u)->log().entries();
+
+  sql::WalOptions options;
+  options.fsync_every_n = 0;  // no auto-sync: WaitDurable leads the fsync
+  auto wal = sql::Wal::Open(path, options);
+  ASSERT_TRUE(wal.ok());
+
+  constexpr size_t kWaiters = 5;
+  std::vector<uint64_t> seqs;
+  for (size_t i = 0; i < kWaiters; ++i) {
+    auto seq = (*wal)->AppendEntryAsync(entries[i % entries.size()]);
+    ASSERT_TRUE(seq.ok());
+    seqs.push_back(*seq);
+  }
+
+  FailpointConfig config;
+  config.error_code = StatusCode::kUnavailable;
+  config.max_fires = 1;  // ONE failed fsync; a retry would succeed
+  FailpointRegistry::Global().Arm("wal.sync.fsync", config);
+
+  std::vector<Status> results(kWaiters);
+  std::vector<std::thread> threads;
+  for (size_t i = 0; i < kWaiters; ++i) {
+    threads.emplace_back(
+        [&, i] { results[i] = (*wal)->WaitDurable(seqs[i]); });
+  }
+  for (auto& t : threads) t.join();
+  for (size_t i = 0; i < kWaiters; ++i) {
+    EXPECT_FALSE(results[i].ok()) << "waiter " << i << " was told its record"
+                                  << " is durable after the group fsync failed";
+    EXPECT_EQ(results[i].code(), StatusCode::kUnavailable) << "waiter " << i;
+  }
+  // The failure is sticky for the covered range: a waiter arriving long
+  // after the failed sync still hears about it.
+  Status late = (*wal)->WaitDurable(seqs.back());
+  EXPECT_EQ(late.code(), StatusCode::kUnavailable);
+  fs::remove(path);
+}
+
+// --- Deadline expiry mid-staging --------------------------------------------
+
+TEST_F(FaultTest, DeadlineDuringStagingLeavesLiveDbUntouched) {
+  // The deadline fires while the replay is STAGING the temporary database
+  // (an injected delay at replay.stage.pre outlasts the token): the staged
+  // state must be abandoned before adoption, the live database bit-exact
+  // untouched, and later analyze verdicts unaffected by the residue.
+  std::string wal_path = TmpPath("deadline_staging.wal");
+  fs::remove(wal_path);
+  core::Ultraverse::Options options;
+  options.wal_path = wal_path;
+  core::Ultraverse uv(options);
+  core::Ultraverse ref;  // never sees the what-if: the "untouched" oracle
+  for (const auto& stmt : BasicHistory()) {
+    ASSERT_TRUE(uv.ExecuteSql(stmt).ok());
+    ASSERT_TRUE(ref.ExecuteSql(stmt).ok());
+  }
+  const std::string before = uv.StateFingerprint();
+  auto op = uv.MakeOp(core::RetroOp::Kind::kRemove, 2, "");
+  ASSERT_TRUE(op.ok());
+
+  FailpointConfig config;
+  config.action = FailAction::kDelay;
+  config.delay_micros = 50'000;
+  FailpointRegistry::Global().Arm("replay.stage.pre", config);
+
+  CancelToken token;
+  token.SetDeadlineAfterMicros(10'000);  // expires inside the staging delay
+  core::RequestContext ctx;
+  ctx.cancel = &token;
+  auto result = uv.WhatIf(*op, core::SystemMode::kTD, {}, ctx);
+  ASSERT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), StatusCode::kDeadlineExceeded)
+      << result.status().ToString();
+
+  EXPECT_EQ(uv.StateFingerprint(), before);
+  sql::StateDiff diff =
+      sql::DiffDatabases(*uv.db(), *ref.db(), "deadline", "untouched");
+  EXPECT_TRUE(diff.equal()) << diff.ToString();
+  // The abandoned attempt left no trace in the WAL either: recovery
+  // reproduces the pre-attempt state.
+  auto recovered = RecoverState(wal_path);
+  ASSERT_TRUE(recovered.ok());
+  EXPECT_EQ(recovered->report.markers_applied, 0u);
+  EXPECT_EQ(core::FingerprintDatabase(*recovered->db), before);
+
+  // Explain-verdict consistency: with the failpoint gone, the same op
+  // analyzes identically in selective and full-naive modes — the failed
+  // attempt poisoned no cache and skewed no verdict.
+  FailpointRegistry::Global().DisarmAll();
+  auto selective = uv.WhatIfAnalyze(*op, core::SystemMode::kTD);
+  ASSERT_TRUE(selective.ok()) << selective.status().message();
+  auto snap = uv.SnapshotHistory();
+  ASSERT_TRUE(snap.ok());
+  auto naive = uv.WhatIfAnalyzeAt(**snap, *op, core::SystemMode::kTD,
+                                  /*full_naive=*/true);
+  ASSERT_TRUE(naive.ok()) << naive.status().message();
+  EXPECT_EQ(selective->fingerprint, naive->fingerprint);
+  fs::remove(wal_path);
+}
+
+// --- Publish rewrites the durable history ------------------------------------
+
+TEST_F(FaultTest, RecoveryReplaysRewrittenHistoryAfterStackedPublishes) {
+  // Two stacked publishes with live commits in between: the second what-if
+  // (and recovery's replay of both markers) must run against the REWRITTEN
+  // history the first publish produced, not the original one. Regression
+  // for the stale-history-after-publish bug the network gate caught.
+  std::string path = TmpPath("wal_stacked_publish.wal");
+  fs::remove(path);
+  core::Ultraverse::Options options;
+  options.wal_path = path;
+  core::Ultraverse uv(options);
+  for (const auto& stmt : BasicHistory()) {
+    ASSERT_TRUE(uv.ExecuteSql(stmt).ok());
+  }
+
+  auto change = uv.MakeOp(
+      core::RetroOp::Kind::kChange, 4,
+      "UPDATE accounts SET balance = balance + 30 WHERE owner = 'alice'");
+  ASSERT_TRUE(change.ok()) << change.status().message();
+  ASSERT_TRUE(uv.WhatIf(*change, core::SystemMode::kTD).ok());
+
+  // Live traffic on top of the published universe...
+  ASSERT_TRUE(
+      uv.ExecuteSql("INSERT INTO accounts (owner, balance) VALUES ('dave', 5)")
+          .ok());
+  // ...then a second publish whose index addresses the rewritten log.
+  auto remove = uv.MakeOp(core::RetroOp::Kind::kRemove, 6, "");
+  ASSERT_TRUE(remove.ok());
+  ASSERT_TRUE(uv.WhatIf(*remove, core::SystemMode::kTD).ok());
+
+  // The published universe must agree with its ground-truth reference for
+  // a THIRD question asked on top of both publishes...
+  auto probe = uv.MakeOp(core::RetroOp::Kind::kRemove, 2, "");
+  ASSERT_TRUE(probe.ok());
+  auto selective = uv.WhatIfAnalyze(*probe, core::SystemMode::kTD);
+  ASSERT_TRUE(selective.ok()) << selective.status().message();
+  auto snap = uv.SnapshotHistory();
+  ASSERT_TRUE(snap.ok());
+  auto naive = uv.WhatIfAnalyzeAt(**snap, *probe, core::SystemMode::kTD,
+                                  /*full_naive=*/true);
+  ASSERT_TRUE(naive.ok()) << naive.status().message();
+  EXPECT_EQ(selective->fingerprint, naive->fingerprint);
+
+  // ...and cold recovery replays marker-over-marker to the same state.
+  auto recovered = RecoverState(path);
+  ASSERT_TRUE(recovered.ok()) << recovered.status().message();
+  EXPECT_EQ(recovered->report.markers_applied, 2u);
+  sql::StateDiff diff =
+      sql::DiffDatabases(*recovered->db, *uv.db(), "recovered", "live");
+  EXPECT_TRUE(diff.equal()) << diff.ToString();
+  fs::remove(path);
+}
+
 }  // namespace
 }  // namespace ultraverse::fault

@@ -1,0 +1,688 @@
+// TCP server robustness tests (DESIGN.md §16): wire framing (round trip,
+// torn/corrupt/oversized frames), the admission controller's fast-reject
+// and analyze-shed policies, and end-to-end runs against a live in-process
+// UvServer — request/response correctness, MVCC analyze parity over the
+// wire, post-publish history consistency, deadline propagation, overload
+// at 10x capacity, kAborted retry of concurrent publishers, write
+// backpressure under pipelining, the slow-loris idle sweep, and the
+// graceful drain sequence's fingerprint/WAL-recovery contract.
+#include <gtest/gtest.h>
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <atomic>
+#include <chrono>
+#include <cstring>
+#include <filesystem>
+#include <fstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "core/ultraverse.h"
+#include "fault/failpoint.h"
+#include "fault/recovery.h"
+#include "server/admission.h"
+#include "server/client.h"
+#include "server/server.h"
+#include "server/wire.h"
+#include "util/retry.h"
+
+namespace ultraverse::server {
+namespace {
+
+namespace fs = std::filesystem;
+
+std::string TmpPath(const std::string& name) {
+  return ::testing::TempDir() + name;
+}
+
+const char* kSetup[] = {
+    "CREATE TABLE accounts (id INT PRIMARY KEY, balance INT)",
+    "INSERT INTO accounts (id, balance) VALUES (1, 100)",
+    "INSERT INTO accounts (id, balance) VALUES (2, 100)",
+    "INSERT INTO accounts (id, balance) VALUES (3, 100)",
+    "UPDATE accounts SET balance = balance - 10 WHERE id = 1",
+    "UPDATE accounts SET balance = balance + 10 WHERE id = 2",
+};
+
+/// Starts a server on an ephemeral port and seeds the schema above.
+Result<std::unique_ptr<UvServer>> StartSeeded(ServerOptions opts) {
+  UV_ASSIGN_OR_RETURN(auto server, UvServer::Start(std::move(opts)));
+  for (const char* sql : kSetup) {
+    UV_RETURN_NOT_OK(server->engine()->ExecuteSql(sql).status());
+  }
+  return server;
+}
+
+std::string BodyField(const std::string& body, const std::string& key) {
+  size_t pos = 0;
+  while (pos < body.size()) {
+    size_t eol = body.find('\n', pos);
+    if (eol == std::string::npos) eol = body.size();
+    std::string line = body.substr(pos, eol - pos);
+    if (line.rfind(key + "=", 0) == 0) return line.substr(key.size() + 1);
+    pos = eol + 1;
+  }
+  return "";
+}
+
+class ServerTest : public ::testing::Test {
+ protected:
+  void SetUp() override { fault::FailpointRegistry::Global().DisarmAll(); }
+  void TearDown() override { fault::FailpointRegistry::Global().DisarmAll(); }
+};
+
+// --- Wire framing -----------------------------------------------------------
+
+TEST_F(ServerTest, WirePayloadsRoundTrip) {
+  ExecSqlReq exec{7, "SELECT * FROM accounts", 1234};
+  auto exec2 = DecodeExecSql(EncodeExecSql(exec));
+  ASSERT_TRUE(exec2.ok());
+  EXPECT_EQ(exec2->id, exec.id);
+  EXPECT_EQ(exec2->sql, exec.sql);
+  EXPECT_EQ(exec2->deadline_micros, exec.deadline_micros);
+
+  WhatIfReq wi;
+  wi.id = 9;
+  wi.kind = 2;
+  wi.index = 5;
+  wi.new_sql = "UPDATE accounts SET balance = 1 WHERE id = 2";
+  wi.mode = 1;
+  wi.deadline_micros = 99;
+  wi.full_naive = true;
+  wi.want_report = true;
+  wi.max_attempts = 3;
+  auto wi2 = DecodeWhatIf(EncodeWhatIf(wi));
+  ASSERT_TRUE(wi2.ok());
+  EXPECT_EQ(wi2->id, wi.id);
+  EXPECT_EQ(wi2->kind, wi.kind);
+  EXPECT_EQ(wi2->index, wi.index);
+  EXPECT_EQ(wi2->new_sql, wi.new_sql);
+  EXPECT_EQ(wi2->mode, wi.mode);
+  EXPECT_EQ(wi2->deadline_micros, wi.deadline_micros);
+  EXPECT_EQ(wi2->full_naive, wi.full_naive);
+  EXPECT_EQ(wi2->want_report, wi.want_report);
+  EXPECT_EQ(wi2->max_attempts, wi.max_attempts);
+
+  auto simple = DecodeSimple(EncodeSimple({42}));
+  ASSERT_TRUE(simple.ok());
+  EXPECT_EQ(simple->id, 42u);
+
+  auto cancel = DecodeCancel(EncodeCancel({1, 41}));
+  ASSERT_TRUE(cancel.ok());
+  EXPECT_EQ(cancel->target_id, 41u);
+
+  auto ok = DecodeOk(EncodeOk({3, "fingerprint=abc"}));
+  ASSERT_TRUE(ok.ok());
+  EXPECT_EQ(ok->body, "fingerprint=abc");
+
+  auto err = DecodeError(
+      EncodeError({4, StatusCodeToWire(StatusCode::kAborted), "conflict"}));
+  ASSERT_TRUE(err.ok());
+  EXPECT_EQ(WireToStatusCode(err->code), StatusCode::kAborted);
+  EXPECT_EQ(err->message, "conflict");
+
+  auto chunk = DecodeChunk(EncodeChunk({5, "{\"a\":1}"}));
+  ASSERT_TRUE(chunk.ok());
+  EXPECT_EQ(chunk->chunk, "{\"a\":1}");
+
+  EXPECT_EQ(PeekRequestId(EncodeSimple({77})), 77u);
+}
+
+TEST_F(ServerTest, FrameReaderReassemblesByteByByte) {
+  std::string stream;
+  AppendFrame(&stream, MsgType::kHello, EncodeSimple({1}));
+  AppendFrame(&stream, MsgType::kExecSql, EncodeExecSql({2, "SELECT 1", 0}));
+  AppendFrame(&stream, MsgType::kOk, EncodeOk({2, std::string(5000, 'x')}));
+
+  FrameReader reader;
+  std::vector<Frame> frames;
+  for (char c : stream) {
+    reader.Feed(&c, 1);
+    for (;;) {
+      auto next = reader.Next();
+      ASSERT_TRUE(next.ok());
+      if (!next->has_value()) break;
+      frames.push_back(std::move(**next));
+    }
+  }
+  ASSERT_EQ(frames.size(), 3u);
+  EXPECT_EQ(frames[0].type, MsgType::kHello);
+  EXPECT_EQ(frames[1].type, MsgType::kExecSql);
+  EXPECT_EQ(frames[2].payload.size(), EncodeOk({2, std::string(5000, 'x')}).size());
+}
+
+TEST_F(ServerTest, CorruptFrameIsDataLossForTheConnection) {
+  std::string stream;
+  AppendFrame(&stream, MsgType::kHello, EncodeSimple({1}));
+  stream.back() ^= 0x40;  // flip one payload bit: CRC must catch it
+
+  FrameReader reader;
+  reader.Feed(stream.data(), stream.size());
+  auto next = reader.Next();
+  ASSERT_FALSE(next.ok());
+  EXPECT_EQ(next.status().code(), StatusCode::kDataLoss);
+}
+
+TEST_F(ServerTest, OversizedLengthHeaderIsDataLossNotAllocation) {
+  // [type][len=0xFFFFFFFF][crc]: the parser must reject the length header
+  // outright instead of trying to buffer 4GiB.
+  std::string stream;
+  stream.push_back(char(MsgType::kHello));
+  for (int i = 0; i < 4; ++i) stream.push_back(char(0xFF));
+  for (int i = 0; i < 4; ++i) stream.push_back(char(0x00));
+
+  FrameReader reader;
+  reader.Feed(stream.data(), stream.size());
+  auto next = reader.Next();
+  ASSERT_FALSE(next.ok());
+  EXPECT_EQ(next.status().code(), StatusCode::kDataLoss);
+}
+
+// --- Admission control ------------------------------------------------------
+
+TEST_F(ServerTest, AdmissionFastRejectsPastCapPlusQueue) {
+  AdmissionOptions opts;
+  opts.max_inflight = 2;
+  opts.max_queue_depth = 3;
+  AdmissionController adm(opts);
+
+  for (int i = 0; i < 5; ++i) {
+    EXPECT_TRUE(adm.TryEnter(/*is_commit=*/true).ok()) << i;
+  }
+  Status full = adm.TryEnter(/*is_commit=*/true);
+  ASSERT_FALSE(full.ok());
+  EXPECT_EQ(full.code(), StatusCode::kResourceExhausted);
+  EXPECT_EQ(adm.inflight(), 5);
+
+  adm.Exit();
+  EXPECT_TRUE(adm.TryEnter(/*is_commit=*/true).ok());
+  for (int i = 0; i < 5; ++i) adm.Exit();
+  EXPECT_EQ(adm.inflight(), 0);
+}
+
+TEST_F(ServerTest, AdmissionShedsAnalyzeBeforeCommits) {
+  AdmissionOptions opts;
+  opts.max_inflight = 2;
+  opts.max_queue_depth = 4;
+  opts.shed_analyze_watermark = 0.5;
+  AdmissionController adm(opts);
+
+  // Fill to the shed watermark: 2 executing + 2 of 4 queue slots.
+  for (int i = 0; i < 4; ++i) {
+    ASSERT_TRUE(adm.TryEnter(/*is_commit=*/true).ok());
+  }
+  // Past the watermark analyze-only load sheds...
+  Status shed = adm.TryEnter(/*is_commit=*/false);
+  ASSERT_FALSE(shed.ok());
+  EXPECT_EQ(shed.code(), StatusCode::kResourceExhausted);
+  // ...while commits are still admitted up to the hard cap.
+  EXPECT_TRUE(adm.TryEnter(/*is_commit=*/true).ok());
+  for (int i = 0; i < 5; ++i) adm.Exit();
+}
+
+TEST_F(ServerTest, AdmissionConnectionGate) {
+  AdmissionOptions opts;
+  opts.max_connections = 2;
+  AdmissionController adm(opts);
+  EXPECT_TRUE(adm.TryAddConnection());
+  EXPECT_TRUE(adm.TryAddConnection());
+  EXPECT_FALSE(adm.TryAddConnection());
+  adm.RemoveConnection();
+  EXPECT_TRUE(adm.TryAddConnection());
+  adm.RemoveConnection();
+  adm.RemoveConnection();
+}
+
+// --- End-to-end against a live server ---------------------------------------
+
+TEST_F(ServerTest, EndToEndExecAndFingerprint) {
+  auto server = StartSeeded({});
+  ASSERT_TRUE(server.ok()) << server.status().message();
+  auto client = UvClient::Connect("127.0.0.1", (*server)->port());
+  ASSERT_TRUE(client.ok()) << client.status().message();
+
+  auto hello = (*client)->Hello();
+  ASSERT_TRUE(hello.ok());
+  EXPECT_EQ(*hello, "uv-server/1");
+
+  auto health = (*client)->Health();
+  ASSERT_TRUE(health.ok());
+  EXPECT_EQ(*health, "serving");
+
+  auto exec =
+      (*client)->ExecSql("UPDATE accounts SET balance = 77 WHERE id = 3");
+  ASSERT_TRUE(exec.ok()) << exec.status().message();
+
+  auto fp = (*client)->Fingerprint();
+  ASSERT_TRUE(fp.ok());
+  EXPECT_EQ(*fp, (*server)->engine()->StateFingerprint());
+
+  auto metrics = (*client)->Metrics();
+  ASSERT_TRUE(metrics.ok());
+  EXPECT_NE(metrics->find("uv.server.requests"), std::string::npos);
+}
+
+TEST_F(ServerTest, AnalyzeMatchesFullNaiveOverTheWire) {
+  auto server = StartSeeded({});
+  ASSERT_TRUE(server.ok()) << server.status().message();
+  auto client = UvClient::Connect("127.0.0.1", (*server)->port());
+  ASSERT_TRUE(client.ok());
+
+  const std::string before = (*server)->engine()->StateFingerprint();
+
+  ClientWhatIf spec;
+  spec.kind = 1;  // remove
+  spec.index = 5;
+  auto selective = (*client)->Analyze(spec);
+  ASSERT_TRUE(selective.ok()) << selective.status().message();
+  spec.full_naive = true;
+  auto naive = (*client)->Analyze(spec);
+  ASSERT_TRUE(naive.ok()) << naive.status().message();
+
+  EXPECT_EQ(BodyField(*selective, "fingerprint"),
+            BodyField(*naive, "fingerprint"));
+  EXPECT_EQ(BodyField(*selective, "epoch"), BodyField(*naive, "epoch"));
+  // Analyze-only: the live database must be untouched.
+  EXPECT_EQ((*server)->engine()->StateFingerprint(), before);
+}
+
+TEST_F(ServerTest, PublishedHistoryStaysConsistentForLaterRequests) {
+  // Regression for the stale-history-after-publish bug the network gate
+  // caught: a publish must rewrite the in-memory log (and reset the
+  // adopted journals), so every LATER analyze/publish replays the
+  // alternate history — selective and full-naive must keep agreeing.
+  auto server = StartSeeded({});
+  ASSERT_TRUE(server.ok()) << server.status().message();
+  auto client = UvClient::Connect("127.0.0.1", (*server)->port());
+  ASSERT_TRUE(client.ok());
+
+  ClientWhatIf change;
+  change.kind = 2;
+  change.index = 5;
+  change.new_sql = "UPDATE accounts SET balance = balance - 50 WHERE id = 1";
+  auto published = (*client)->Publish(change);
+  ASSERT_TRUE(published.ok()) << published.status().message();
+  EXPECT_EQ(BodyField(*published, "fingerprint"),
+            (*server)->engine()->StateFingerprint());
+
+  // Post-publish what-ifs — both before and after the published index —
+  // must analyze the REWRITTEN history identically in both replay modes.
+  for (uint64_t index : {uint64_t{3}, uint64_t{6}}) {
+    ClientWhatIf probe;
+    probe.kind = 1;  // remove
+    probe.index = index;
+    auto selective = (*client)->Analyze(probe);
+    ASSERT_TRUE(selective.ok())
+        << "index " << index << ": " << selective.status().message();
+    probe.full_naive = true;
+    auto naive = (*client)->Analyze(probe);
+    ASSERT_TRUE(naive.ok())
+        << "index " << index << ": " << naive.status().message();
+    EXPECT_EQ(BodyField(*selective, "fingerprint"),
+              BodyField(*naive, "fingerprint"))
+        << "selective/full-naive divergence after publish at index " << index;
+  }
+}
+
+TEST_F(ServerTest, DeadlinePropagatesAsTypedError) {
+  auto server = StartSeeded({});
+  ASSERT_TRUE(server.ok()) << server.status().message();
+  auto client = UvClient::Connect("127.0.0.1", (*server)->port());
+  ASSERT_TRUE(client.ok());
+
+  const std::string before = (*server)->engine()->StateFingerprint();
+  ClientWhatIf spec;
+  spec.kind = 1;
+  spec.index = 2;
+  spec.deadline_micros = 1;  // expires before the replay can finish
+  auto result = (*client)->Analyze(spec);
+  ASSERT_FALSE(result.ok());
+  EXPECT_TRUE(result.status().code() == StatusCode::kDeadlineExceeded ||
+              result.status().code() == StatusCode::kCancelled)
+      << result.status().ToString();
+  // The connection survives a deadline error and the live DB is untouched.
+  auto health = (*client)->Health();
+  ASSERT_TRUE(health.ok());
+  EXPECT_EQ((*server)->engine()->StateFingerprint(), before);
+}
+
+TEST_F(ServerTest, OverloadFastRejectsAtTenTimesCapacity) {
+  ServerOptions sopts;
+  sopts.workers = 2;
+  sopts.admission.max_inflight = 2;
+  sopts.admission.max_queue_depth = 2;
+  auto server = StartSeeded(sopts);
+  ASSERT_TRUE(server.ok()) << server.status().message();
+
+  // 10x the admission capacity (4) in concurrent client threads. Every
+  // request must come back as either success or a typed fast rejection —
+  // never a hang, never a torn connection.
+  constexpr int kThreads = 8;
+  constexpr int kPerThread = 5;
+  std::atomic<int> ok{0}, rejected{0}, other{0};
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&, t] {
+      auto c = UvClient::Connect("127.0.0.1", (*server)->port());
+      if (!c.ok()) {
+        other.fetch_add(kPerThread);
+        return;
+      }
+      for (int i = 0; i < kPerThread; ++i) {
+        auto r = (*c)->ExecSql("UPDATE accounts SET balance = balance + 1"
+                               " WHERE id = " + std::to_string(1 + (t + i) % 3));
+        if (r.ok()) {
+          ok.fetch_add(1);
+        } else if (r.status().code() == StatusCode::kResourceExhausted) {
+          rejected.fetch_add(1);
+        } else {
+          other.fetch_add(1);
+        }
+      }
+    });
+  }
+  for (auto& th : threads) th.join();
+
+  EXPECT_EQ(other.load(), 0);
+  EXPECT_EQ(ok.load() + rejected.load(), kThreads * kPerThread);
+  EXPECT_GT(ok.load(), 0);
+  // After the storm the server is healthy and admits again.
+  auto c = UvClient::Connect("127.0.0.1", (*server)->port());
+  ASSERT_TRUE(c.ok());
+  auto health = (*c)->Health();
+  ASSERT_TRUE(health.ok());
+  EXPECT_EQ(*health, "serving");
+  auto r = (*c)->ExecSql("UPDATE accounts SET balance = 0 WHERE id = 1");
+  EXPECT_TRUE(r.ok()) << r.status().message();
+}
+
+TEST_F(ServerTest, ConcurrentPublishersRetryAbortsToSuccess) {
+  auto server = StartSeeded({});
+  ASSERT_TRUE(server.ok()) << server.status().message();
+
+  // Concurrent publishers conflict first-committer-wins; with
+  // retry_aborted each loser re-issues (fresh snapshot server-side) after
+  // a jittered backoff, so every publisher eventually lands.
+  constexpr int kPublishers = 4;
+  std::atomic<int> succeeded{0};
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kPublishers; ++t) {
+    threads.emplace_back([&, t] {
+      auto c = UvClient::Connect("127.0.0.1", (*server)->port());
+      if (!c.ok()) return;
+      ClientWhatIf spec;
+      spec.kind = 2;
+      spec.index = 5;
+      spec.new_sql = "UPDATE accounts SET balance = balance - " +
+                     std::to_string(t + 1) + " WHERE id = 1";
+      RetryPolicy retry;
+      retry.max_attempts = 10;
+      retry.retry_aborted = true;
+      retry.jitter_seed = uint64_t(t) + 1;
+      auto r = (*c)->Publish(spec, retry);
+      if (r.ok()) succeeded.fetch_add(1);
+    });
+  }
+  for (auto& th : threads) th.join();
+  EXPECT_EQ(succeeded.load(), kPublishers);
+
+  // Whatever interleaving won, the server's answer is self-consistent.
+  auto c = UvClient::Connect("127.0.0.1", (*server)->port());
+  ASSERT_TRUE(c.ok());
+  auto fp = (*c)->Fingerprint();
+  ASSERT_TRUE(fp.ok());
+  EXPECT_EQ(*fp, (*server)->engine()->StateFingerprint());
+}
+
+TEST_F(ServerTest, BackpressureKeepsPipelinedResponsesIntact) {
+  // Tiny write watermarks force the read-gating path: a client that
+  // pipelines many requests without reading makes the server buffer
+  // responses past the high watermark, stop reading, and resume once the
+  // peer drains. Every response must still arrive, exactly once, in order.
+  ServerOptions sopts;
+  sopts.write_high_watermark = 256;
+  sopts.write_low_watermark = 64;
+  auto server = StartSeeded(sopts);
+  ASSERT_TRUE(server.ok()) << server.status().message();
+
+  int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  ASSERT_GE(fd, 0);
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(uint16_t((*server)->port()));
+  ASSERT_EQ(::inet_pton(AF_INET, "127.0.0.1", &addr.sin_addr), 1);
+  ASSERT_EQ(::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)),
+            0);
+
+  // 40 pipelined Metrics requests: each response is a multi-KiB JSON dump,
+  // so the server's write buffer blows through the 256-byte watermark
+  // almost immediately.
+  constexpr uint32_t kRequests = 40;
+  std::string out;
+  for (uint32_t id = 1; id <= kRequests; ++id) {
+    AppendFrame(&out, MsgType::kMetrics, EncodeSimple({id}));
+  }
+  size_t off = 0;
+  FrameReader reader;
+  uint32_t next_expected = 1;
+  while (off < out.size() || next_expected <= kRequests) {
+    if (off < out.size()) {
+      ssize_t n = ::send(fd, out.data() + off, out.size() - off, MSG_DONTWAIT);
+      if (n > 0) off += size_t(n);
+    }
+    char buf[4096];
+    ssize_t n = ::recv(fd, buf, sizeof(buf), MSG_DONTWAIT);
+    if (n > 0) {
+      reader.Feed(buf, size_t(n));
+      for (;;) {
+        auto next = reader.Next();
+        ASSERT_TRUE(next.ok()) << next.status().ToString();
+        if (!next->has_value()) break;
+        ASSERT_EQ((*next)->type, MsgType::kOk);
+        auto ok = DecodeOk((*next)->payload);
+        ASSERT_TRUE(ok.ok());
+        EXPECT_EQ(ok->id, next_expected);
+        EXPECT_NE(ok->body.find("uv.server"), std::string::npos);
+        ++next_expected;
+      }
+    } else if (n < 0 && errno != EAGAIN && errno != EWOULDBLOCK) {
+      FAIL() << "recv failed: " << std::strerror(errno);
+    } else {
+      std::this_thread::sleep_for(std::chrono::milliseconds(1));
+    }
+  }
+  EXPECT_EQ(next_expected, kRequests + 1);
+  ::close(fd);
+}
+
+TEST_F(ServerTest, IdleSweepReapsSlowLoris) {
+  ServerOptions sopts;
+  sopts.idle_timeout_micros = 100'000;  // 100ms
+  auto server = StartSeeded(sopts);
+  ASSERT_TRUE(server.ok()) << server.status().message();
+
+  int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  ASSERT_GE(fd, 0);
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(uint16_t((*server)->port()));
+  ASSERT_EQ(::inet_pton(AF_INET, "127.0.0.1", &addr.sin_addr), 1);
+  ASSERT_EQ(::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)),
+            0);
+
+  // Half a frame, then silence: a slow-loris peer holding a connection
+  // (and its admission slot) open forever. The idle sweep must close it.
+  std::string frame;
+  AppendFrame(&frame, MsgType::kHello, EncodeSimple({1}));
+  ASSERT_GT(::send(fd, frame.data(), frame.size() / 2, 0), 0);
+
+  char buf[64];
+  ssize_t n = -1;
+  // Blocking read: returns 0 when the server reaps us. Deadline ~5s.
+  for (int i = 0; i < 50; ++i) {
+    timeval tv{0, 100'000};
+    ::setsockopt(fd, SOL_SOCKET, SO_RCVTIMEO, &tv, sizeof(tv));
+    n = ::recv(fd, buf, sizeof(buf), 0);
+    if (n == 0) break;
+  }
+  EXPECT_EQ(n, 0) << "server never reaped the idle half-frame connection";
+  ::close(fd);
+
+  // A live client is unaffected by the sweep as long as it keeps talking.
+  auto c = UvClient::Connect("127.0.0.1", (*server)->port());
+  ASSERT_TRUE(c.ok());
+  EXPECT_TRUE((*c)->Health().ok());
+}
+
+TEST_F(ServerTest, GracefulDrainWritesRecoverableFingerprint) {
+  const std::string wal = TmpPath("server_drain.wal");
+  const std::string fp_path = TmpPath("server_drain.fp");
+  fs::remove(wal);
+  fs::remove(fp_path);
+
+  ServerOptions sopts;
+  sopts.engine.wal_path = wal;
+  sopts.fingerprint_out = fp_path;
+  auto server = StartSeeded(sopts);
+  ASSERT_TRUE(server.ok()) << server.status().message();
+  auto client = UvClient::Connect("127.0.0.1", (*server)->port());
+  ASSERT_TRUE(client.ok());
+
+  ClientWhatIf change;
+  change.kind = 2;
+  change.index = 6;
+  change.new_sql = "UPDATE accounts SET balance = balance + 40 WHERE id = 2";
+  auto published = (*client)->Publish(change);
+  ASSERT_TRUE(published.ok()) << published.status().message();
+
+  const std::string live = (*server)->engine()->StateFingerprint();
+  auto drain = (*client)->Drain();
+  ASSERT_TRUE(drain.ok());
+  EXPECT_EQ(*drain, "draining");
+  Status shutdown = (*server)->WaitShutdown();
+  EXPECT_TRUE(shutdown.ok()) << shutdown.message();
+
+  // The drain sequence fsynced the WAL and wrote the final fingerprint;
+  // a cold single-process recovery must reproduce it exactly.
+  std::ifstream in(fp_path);
+  std::string written;
+  ASSERT_TRUE(bool(std::getline(in, written)));
+  EXPECT_EQ(written, live);
+
+  auto recovered = fault::RecoverState(wal);
+  ASSERT_TRUE(recovered.ok()) << recovered.status().message();
+  EXPECT_EQ(core::FingerprintDatabase(*recovered->db), live);
+  fs::remove(wal);
+  fs::remove(fp_path);
+}
+
+TEST_F(ServerTest, RestartRecoversDurableHistoryBeforeServing) {
+  const std::string wal = TmpPath("server_restart.wal");
+  fs::remove(wal);
+
+  ServerOptions sopts;
+  sopts.engine.wal_path = wal;
+  auto first = StartSeeded(sopts);
+  ASSERT_TRUE(first.ok()) << first.status().message();
+  {
+    auto client = UvClient::Connect("127.0.0.1", (*first)->port());
+    ASSERT_TRUE(client.ok());
+    ClientWhatIf change;
+    change.kind = 2;
+    change.index = 6;
+    change.new_sql = "UPDATE accounts SET balance = balance + 40 WHERE id = 2";
+    ASSERT_TRUE((*client)->Publish(change).ok());
+    ASSERT_TRUE((*client)->Drain().ok());
+  }
+  const std::string drained = (*first)->engine()->StateFingerprint();
+  const uint64_t drained_entries = (*first)->engine()->log()->last_index();
+  ASSERT_TRUE((*first)->WaitShutdown().ok());
+
+  // A second server over the same WAL must serve the drained history, not
+  // an empty database appending over it.
+  auto second = UvServer::Start(sopts);
+  ASSERT_TRUE(second.ok()) << second.status().message();
+  EXPECT_EQ((*second)->recovered_entries(), drained_entries);
+  EXPECT_EQ((*second)->recovered_markers(), 1u);
+  auto client = UvClient::Connect("127.0.0.1", (*second)->port());
+  ASSERT_TRUE(client.ok());
+  auto fp = (*client)->Fingerprint();
+  ASSERT_TRUE(fp.ok()) << fp.status().message();
+  EXPECT_EQ(*fp, drained);
+
+  // Post-restart traffic continues the recovered history: commits append
+  // past it, and the WAL round-trips the whole thing once more.
+  auto ins = (*client)->ExecSql("INSERT INTO accounts VALUES (9, 90)");
+  ASSERT_TRUE(ins.ok()) << ins.status().ToString();
+  const std::string extended = (*second)->engine()->StateFingerprint();
+  ASSERT_TRUE((*client)->Drain().ok());
+  ASSERT_TRUE((*second)->WaitShutdown().ok());
+  auto recovered = fault::RecoverState(wal);
+  ASSERT_TRUE(recovered.ok()) << recovered.status().message();
+  EXPECT_EQ(core::FingerprintDatabase(*recovered->db), extended);
+  EXPECT_EQ(recovered->log->last_index(), drained_entries + 1);
+  fs::remove(wal);
+}
+
+TEST_F(ServerTest, DrainingServerRefusesNewWork) {
+  auto server = StartSeeded({});
+  ASSERT_TRUE(server.ok()) << server.status().message();
+  auto client = UvClient::Connect("127.0.0.1", (*server)->port());
+  ASSERT_TRUE(client.ok());
+
+  (*server)->RequestDrain();
+  // The in-flight connection may observe either the typed refusal or the
+  // drain closing the socket under it — both are clean outcomes; what is
+  // forbidden is new work committing after the drain point.
+  auto r = (*client)->ExecSql("UPDATE accounts SET balance = 0 WHERE id = 1");
+  if (!r.ok()) {
+    EXPECT_EQ(r.status().code(), StatusCode::kUnavailable)
+        << r.status().ToString();
+  }
+  EXPECT_TRUE((*server)->WaitShutdown().ok());
+}
+
+// --- Retry policy (satellite: typed kAborted + jittered backoff) ------------
+
+TEST_F(ServerTest, RetryPolicyGatesAbortedBehindOptIn) {
+  RetryPolicy plain;
+  plain.max_attempts = 3;
+  EXPECT_TRUE(IsRetryable(plain, Status::Unavailable("flaky")));
+  EXPECT_FALSE(IsRetryable(plain, Status::Aborted("conflict")));
+
+  RetryPolicy opted = plain;
+  opted.retry_aborted = true;
+  EXPECT_TRUE(IsRetryable(opted, Status::Aborted("conflict")));
+  // Deadline errors are deterministic: never retryable under any policy.
+  EXPECT_FALSE(IsRetryable(opted, Status::DeadlineExceeded("late")));
+
+  int attempts = 0;
+  Status st = RetryWithBackoff(
+      opted, nullptr,
+      [&]() -> Status {
+        ++attempts;
+        return attempts < 3 ? Status::Aborted("conflict") : Status::OK();
+      },
+      [](int, const Status&) {});
+  EXPECT_TRUE(st.ok());
+  EXPECT_EQ(attempts, 3);
+
+  attempts = 0;
+  st = RetryWithBackoff(
+      plain, nullptr,
+      [&]() -> Status {
+        ++attempts;
+        return Status::Aborted("conflict");
+      },
+      [](int, const Status&) {});
+  EXPECT_EQ(st.code(), StatusCode::kAborted);
+  EXPECT_EQ(attempts, 1) << "kAborted must not retry without the opt-in";
+}
+
+}  // namespace
+}  // namespace ultraverse::server

@@ -213,7 +213,13 @@ function SubmitComment(uid) {
   uv.SetClientEnv("dom_comment", sql::Value::String("great product"));
   uv.SetClientEnv("client_user_agent", sql::Value::String("uvsh/1.0"));
   uint64_t seed_commit = uv.log()->last_index() + 1;
+  // Two disposable commits at consecutive indexes: each published what-if
+  // below removes one. A publish rewrites the log to the now-live history
+  // and renumbers the suffix, so after the first remove the second seed
+  // sits at `seed_commit` — removing the same index twice removes both.
   ASSERT_TRUE(uv.ExecuteSql("INSERT INTO comments VALUES (0, 'seed', '-')")
+                  .ok());
+  ASSERT_TRUE(uv.ExecuteSql("INSERT INTO comments VALUES (0, 'seed2', '-')")
                   .ok());
   for (auto mode : {SystemMode::kB, SystemMode::kT}) {
     ASSERT_TRUE(
@@ -237,6 +243,9 @@ function SubmitComment(uid) {
   r = uv.db()->ExecuteSql(
       "SELECT COUNT(*) FROM comments WHERE body = 'great product'", 9301);
   EXPECT_EQ(r->rows[0][0].AsInt(), 2) << "client values survive the replay";
+  r = uv.db()->ExecuteSql(
+      "SELECT COUNT(*) FROM comments WHERE via = '-'", 9302);
+  EXPECT_EQ(r->rows[0][0].AsInt(), 0) << "both disposable seeds removed";
 }
 
 }  // namespace

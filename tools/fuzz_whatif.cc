@@ -11,6 +11,8 @@
 //   fuzz_whatif --crash-points --histories 5     # crash+recover sweep (§11)
 //   fuzz_whatif --failpoints 'wal.append=error:once'  # arbitrary arming
 //   fuzz_whatif --concurrent --seed 7            # MVCC race oracle (§14)
+//   fuzz_whatif --server-fuzz --clients 4        # multi-process gate (§16)
+//   fuzz_whatif --server-crash --fuzz-seconds 30 # wire-path crash sweep
 //
 // Every generated case runs each selective-replay mode pair against the
 // full-naive reference oracle. Divergences are shrunk to a minimal history
@@ -36,6 +38,7 @@
 #include "oracle/concurrent.h"
 #include "oracle/fuzzer.h"
 #include "oracle/oracle.h"
+#include "server/net_oracle.h"
 #include "sqldb/exec_engine.h"
 
 namespace {
@@ -48,9 +51,58 @@ int Usage(const char* argv0) {
                "          [--exec vm|tree] [--no-shrink] [--repro FILE]\n"
                "          [--out-dir DIR] [--crash-points]\n"
                "          [--metrics-out FILE] [--concurrent] [--rounds N]\n"
+               "          [--server-fuzz] [--server-crash] [--clients N]\n"
+               "          [--requests N] [--no-drain] [--deadline-ms N]\n"
                "          [--failpoints SPEC]   (also: ULTRA_FAILPOINTS)\n",
                argv0);
   return 2;
+}
+
+/// Multi-client differential gate (DESIGN.md §16): forked client processes
+/// hammer a forked server; the over-the-wire MVCC pairs and the post-drain
+/// WAL-recovery fingerprint are the invariants. Wire failpoints arm in the
+/// SERVER child via --failpoints.
+int RunServerFuzz(const ultraverse::server::NetFuzzOptions& options) {
+  auto report = ultraverse::server::NetFuzz(options);
+  if (!report.ok()) {
+    std::fprintf(stderr, "server fuzz failed: %s\n",
+                 report.status().ToString().c_str());
+    return 2;
+  }
+  std::printf(
+      "server-fuzz: %zu ok  %zu rejected  %zu aborts (+%zu retried)  "
+      "%zu deadline  %zu reconnects\n"
+      "oracle: %zu same-epoch pairs  drain %s  recovery %s  "
+      "divergences: %zu\n",
+      report->requests_ok, report->rejected, report->publish_aborts,
+      report->publish_retries, report->deadline_hits, report->reconnects,
+      report->analyze_pairs, report->drained_clean ? "clean" : "DIRTY",
+      report->server_fingerprint == report->recovered_fingerprint &&
+              !report->recovered_fingerprint.empty()
+          ? "matches"
+          : "n/a",
+      report->divergences);
+  for (const auto& failure : report->failures) {
+    std::fprintf(stderr, "[server-fuzz] %s\n", failure.c_str());
+  }
+  return report->divergences == 0 && report->failures.empty() ? 0 : 1;
+}
+
+int RunServerCrash(const ultraverse::server::NetCrashOptions& options) {
+  auto report = ultraverse::server::NetCrashSweep(options);
+  if (!report.ok()) {
+    std::fprintf(stderr, "server crash sweep failed: %s\n",
+                 report.status().ToString().c_str());
+    return 2;
+  }
+  std::printf("server-crash: %zu sites  %zu server deaths  "
+              "%zu recoveries  divergences: %zu\n",
+              report->sites_run, report->server_deaths, report->recoveries,
+              report->divergences);
+  for (const auto& failure : report->failures) {
+    std::fprintf(stderr, "[server-crash] %s\n", failure.c_str());
+  }
+  return report->divergences == 0 && report->failures.empty() ? 0 : 1;
 }
 
 int RunCrashPoints(const ultraverse::fault::CrashSweepOptions& options,
@@ -154,6 +206,12 @@ int main(int argc, char** argv) {
   bool histories_set = false;
   bool crash_points = false;
   bool concurrent = false;
+  bool server_fuzz = false;
+  bool server_crash = false;
+  int clients = 4;
+  int requests = 50;
+  bool drain_mid_run = true;
+  uint64_t deadline_ms = 0;
   size_t rounds = 3;
   std::string failpoint_spec;
   std::string metrics_out;
@@ -227,6 +285,18 @@ int main(int argc, char** argv) {
       crash_points = true;
     } else if (!std::strcmp(argv[i], "--concurrent")) {
       concurrent = true;
+    } else if (!std::strcmp(argv[i], "--server-fuzz")) {
+      server_fuzz = true;
+    } else if (!std::strcmp(argv[i], "--server-crash")) {
+      server_crash = true;
+    } else if (!std::strcmp(argv[i], "--clients")) {
+      clients = std::atoi(need_value("--clients"));
+    } else if (!std::strcmp(argv[i], "--requests")) {
+      requests = std::atoi(need_value("--requests"));
+    } else if (!std::strcmp(argv[i], "--no-drain")) {
+      drain_mid_run = false;
+    } else if (!std::strcmp(argv[i], "--deadline-ms")) {
+      deadline_ms = std::strtoull(need_value("--deadline-ms"), nullptr, 10);
     } else if (!std::strcmp(argv[i], "--rounds")) {
       rounds = std::strtoull(need_value("--rounds"), nullptr, 10);
     } else if (!std::strcmp(argv[i], "--failpoints")) {
@@ -234,6 +304,36 @@ int main(int argc, char** argv) {
     } else {
       return Usage(argv[0]);
     }
+  }
+
+  // Server modes fork their own processes; the failpoint spec is armed in
+  // the SERVER child, never here (the parent runs the recovery oracle and
+  // must stay fault-free).
+  if (server_fuzz) {
+    ultraverse::server::NetFuzzOptions net;
+    net.seed = options.seed;
+    net.clients = clients;
+    net.requests_per_client = requests;
+    net.drain_mid_run = drain_mid_run;
+    net.failpoints = failpoint_spec;
+    net.work_dir = out_dir;
+    net.deadline_micros = deadline_ms * 1000;
+    net.progress = [](const std::string& msg) {
+      std::fprintf(stderr, "[server-fuzz] %s\n", msg.c_str());
+    };
+    return RunServerFuzz(net);
+  }
+  if (server_crash) {
+    ultraverse::server::NetCrashOptions net;
+    net.seed = options.seed;
+    net.seconds = options.seconds > 0 ? options.seconds : 30;
+    net.clients = clients > 2 ? 2 : clients;
+    net.requests_per_client = requests;
+    net.work_dir = out_dir;
+    net.progress = [](const std::string& msg) {
+      std::fprintf(stderr, "[server-crash] %s\n", msg.c_str());
+    };
+    return RunServerCrash(net);
   }
 
   // Explicit arming (--failpoints / ULTRA_FAILPOINTS): lets a plain fuzz

@@ -1,0 +1,147 @@
+// Command-line client for uvserve (DESIGN.md §16).
+//
+//   uvcli --port 7070 exec "INSERT INTO t (id, v) VALUES (1, 2)"
+//   uvcli --port 7070 analyze remove 5
+//   uvcli --port 7070 analyze change 5 "INSERT INTO t (id, v) VALUES (1, 9)"
+//   uvcli --port 7070 --report publish change 5 "..."   # stream the explain
+//   uvcli --port 7070 --deadline-ms 500 analyze remove 5
+//   uvcli --port 7070 --retries 4 publish remove 5      # retry kAborted
+//   uvcli --port 7070 health | metrics | fingerprint | drain
+//
+// Publishes retry typed kAborted conflicts with jittered backoff when
+// --retries is given; everything else maps straight onto one wire request.
+
+#include <unistd.h>
+
+#include <cstdio>
+#include <cstring>
+#include <string>
+
+#include "server/client.h"
+
+namespace {
+
+int Usage(const char* argv0) {
+  std::fprintf(
+      stderr,
+      "usage: %s [--host H] [--port N] [--mode b|t|d|td] [--deadline-ms N]\n"
+      "          [--retries N] [--report] [--full-naive]\n"
+      "          exec SQL | analyze  add|remove|change INDEX [SQL]\n"
+      "                   | publish  add|remove|change INDEX [SQL]\n"
+      "                   | health | metrics | fingerprint | drain\n",
+      argv0);
+  return 2;
+}
+
+int ParseKind(const std::string& word, uint8_t* kind) {
+  if (word == "add") *kind = 0;
+  else if (word == "remove") *kind = 1;
+  else if (word == "change") *kind = 2;
+  else return -1;
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string host = "127.0.0.1";
+  int port = 7070;
+  uint8_t mode = 3;
+  uint64_t deadline_micros = 0;
+  int retries = 0;
+  bool want_report = false;
+  bool full_naive = false;
+  int i = 1;
+  for (; i < argc && argv[i][0] == '-'; ++i) {
+    auto need_value = [&](const char* flag) -> const char* {
+      if (i + 1 >= argc) {
+        std::fprintf(stderr, "%s needs a value\n", flag);
+        std::exit(2);
+      }
+      return argv[++i];
+    };
+    if (!std::strcmp(argv[i], "--host")) {
+      host = need_value("--host");
+    } else if (!std::strcmp(argv[i], "--port")) {
+      port = std::atoi(need_value("--port"));
+    } else if (!std::strcmp(argv[i], "--deadline-ms")) {
+      deadline_micros =
+          std::strtoull(need_value("--deadline-ms"), nullptr, 10) * 1000;
+    } else if (!std::strcmp(argv[i], "--retries")) {
+      retries = std::atoi(need_value("--retries"));
+    } else if (!std::strcmp(argv[i], "--report")) {
+      want_report = true;
+    } else if (!std::strcmp(argv[i], "--full-naive")) {
+      full_naive = true;
+    } else if (!std::strcmp(argv[i], "--mode")) {
+      std::string m = need_value("--mode");
+      if (m == "b") mode = 0;
+      else if (m == "t") mode = 1;
+      else if (m == "d") mode = 2;
+      else if (m == "td") mode = 3;
+      else return Usage(argv[0]);
+    } else {
+      return Usage(argv[0]);
+    }
+  }
+  if (i >= argc) return Usage(argv[0]);
+  std::string verb = argv[i++];
+
+  auto client = ultraverse::server::UvClient::Connect(host, port);
+  if (!client.ok()) {
+    std::fprintf(stderr, "connect failed: %s\n",
+                 client.status().ToString().c_str());
+    return 2;
+  }
+
+  ultraverse::Result<std::string> result = std::string();
+  std::string report_json;
+  if (verb == "exec") {
+    if (i >= argc) return Usage(argv[0]);
+    result = (*client)->ExecSql(argv[i], deadline_micros);
+  } else if (verb == "analyze" || verb == "publish") {
+    if (i + 1 >= argc) return Usage(argv[0]);
+    ultraverse::server::ClientWhatIf spec;
+    if (ParseKind(argv[i], &spec.kind) != 0) return Usage(argv[0]);
+    spec.index = std::strtoull(argv[i + 1], nullptr, 10);
+    if (i + 2 < argc) spec.new_sql = argv[i + 2];
+    spec.mode = mode;
+    spec.deadline_micros = deadline_micros;
+    spec.full_naive = full_naive;
+    spec.want_report = want_report;
+    if (verb == "analyze") {
+      result = (*client)->Analyze(spec, want_report ? &report_json : nullptr);
+    } else {
+      ultraverse::RetryPolicy retry;
+      retry.max_attempts = retries + 1;
+      retry.retry_aborted = true;
+      retry.jitter_seed = uint64_t(::getpid());
+      result = (*client)->Publish(spec, retry,
+                                  want_report ? &report_json : nullptr);
+    }
+  } else if (verb == "health") {
+    result = (*client)->Health();
+  } else if (verb == "metrics") {
+    result = (*client)->Metrics();
+  } else if (verb == "fingerprint") {
+    result = (*client)->Fingerprint();
+  } else if (verb == "drain") {
+    result = (*client)->Drain();
+  } else {
+    return Usage(argv[0]);
+  }
+
+  if (!result.ok()) {
+    std::fprintf(stderr, "%s\n", result.status().ToString().c_str());
+    // Typed errors surface distinct exit codes so scripts can branch:
+    // aborted conflicts (3) vs shed/overload (4) vs everything else (1).
+    switch (result.status().code()) {
+      case ultraverse::StatusCode::kAborted: return 3;
+      case ultraverse::StatusCode::kResourceExhausted: return 4;
+      default: return 1;
+    }
+  }
+  if (!report_json.empty()) std::printf("%s\n", report_json.c_str());
+  std::printf("%s\n", result->c_str());
+  return 0;
+}

@@ -1,0 +1,132 @@
+// Ultraverse what-if server (DESIGN.md §16).
+//
+//   uvserve --port 7070 --wal server.wal                # serve
+//   uvserve --port 0 --workers 8 --max-inflight 16      # ephemeral port
+//   uvserve --wal server.wal --fingerprint-out final.fp # drain artifact
+//   uvserve --failpoints 'server.frame.torn=error:p0.01'
+//
+// SIGTERM (or a client kDrain frame) starts the graceful drain: the listen
+// socket closes, analyze-only work is cancelled, in-flight commits and
+// publishes finish, responses flush, the WAL fsyncs, and the final state
+// fingerprint is written. Exit code 0 means the drain was clean.
+//
+// Restarting over a non-empty --wal file replays the durable history
+// (entries + what-if markers) into the engine before serving; --no-recover
+// skips that and appends over unrecovered state.
+
+#include <csignal>
+#include <cstdio>
+#include <cstring>
+#include <string>
+
+#include "fault/failpoint.h"
+#include "server/server.h"
+
+namespace {
+
+ultraverse::server::UvServer* g_server = nullptr;
+
+void HandleSigterm(int) {
+  if (g_server != nullptr) g_server->RequestDrain();
+}
+
+int Usage(const char* argv0) {
+  std::fprintf(stderr,
+               "usage: %s [--host H] [--port N] [--workers N]\n"
+               "          [--wal FILE] [--fsync-every N]\n"
+               "          [--max-inflight N] [--max-queue N]\n"
+               "          [--max-connections N] [--idle-timeout-ms N]\n"
+               "          [--fingerprint-out FILE] [--no-recover]\n"
+               "          [--failpoints SPEC]   (also: ULTRA_FAILPOINTS)\n",
+               argv0);
+  return 2;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  ultraverse::server::ServerOptions options;
+  options.port = 7070;
+  std::string failpoint_spec;
+  for (int i = 1; i < argc; ++i) {
+    auto need_value = [&](const char* flag) -> const char* {
+      if (i + 1 >= argc) {
+        std::fprintf(stderr, "%s needs a value\n", flag);
+        std::exit(2);
+      }
+      return argv[++i];
+    };
+    if (!std::strcmp(argv[i], "--host")) {
+      options.host = need_value("--host");
+    } else if (!std::strcmp(argv[i], "--port")) {
+      options.port = std::atoi(need_value("--port"));
+    } else if (!std::strcmp(argv[i], "--workers")) {
+      options.workers = std::atoi(need_value("--workers"));
+    } else if (!std::strcmp(argv[i], "--wal")) {
+      options.engine.wal_path = need_value("--wal");
+    } else if (!std::strcmp(argv[i], "--fsync-every")) {
+      options.engine.wal_fsync_every_n =
+          std::strtoull(need_value("--fsync-every"), nullptr, 10);
+    } else if (!std::strcmp(argv[i], "--max-inflight")) {
+      options.admission.max_inflight = std::atoi(need_value("--max-inflight"));
+    } else if (!std::strcmp(argv[i], "--max-queue")) {
+      options.admission.max_queue_depth = std::atoi(need_value("--max-queue"));
+    } else if (!std::strcmp(argv[i], "--max-connections")) {
+      options.admission.max_connections =
+          std::atoi(need_value("--max-connections"));
+    } else if (!std::strcmp(argv[i], "--idle-timeout-ms")) {
+      options.idle_timeout_micros =
+          std::strtoull(need_value("--idle-timeout-ms"), nullptr, 10) * 1000;
+    } else if (!std::strcmp(argv[i], "--fingerprint-out")) {
+      options.fingerprint_out = need_value("--fingerprint-out");
+    } else if (!std::strcmp(argv[i], "--no-recover")) {
+      options.recover_wal = false;
+    } else if (!std::strcmp(argv[i], "--failpoints")) {
+      failpoint_spec = need_value("--failpoints");
+    } else {
+      return Usage(argv[0]);
+    }
+  }
+
+  {
+    auto& registry = ultraverse::fault::FailpointRegistry::Global();
+    ultraverse::Status st = failpoint_spec.empty()
+                                ? registry.ArmFromEnv()
+                                : registry.ArmFromSpec(failpoint_spec);
+    if (!st.ok()) {
+      std::fprintf(stderr, "bad failpoint spec: %s\n", st.message().c_str());
+      return 2;
+    }
+  }
+
+  auto server = ultraverse::server::UvServer::Start(options);
+  if (!server.ok()) {
+    std::fprintf(stderr, "start failed: %s\n",
+                 server.status().ToString().c_str());
+    return 2;
+  }
+  g_server = server->get();
+  struct sigaction sa{};
+  sa.sa_handler = HandleSigterm;
+  ::sigaction(SIGTERM, &sa, nullptr);
+  ::sigaction(SIGINT, &sa, nullptr);
+  if ((*server)->recovered_entries() > 0 ||
+      (*server)->recovered_markers() > 0) {
+    std::printf("recovered %zu entries + %zu what-if markers from %s\n",
+                (*server)->recovered_entries(), (*server)->recovered_markers(),
+                options.engine.wal_path.c_str());
+  }
+  std::printf("uvserve listening on %s:%d (%d workers, %d in-flight cap)\n",
+              options.host.c_str(), (*server)->port(), options.workers,
+              options.admission.max_inflight);
+  std::fflush(stdout);
+
+  ultraverse::Status st = (*server)->WaitShutdown();
+  g_server = nullptr;
+  if (!st.ok()) {
+    std::fprintf(stderr, "drain finished dirty: %s\n", st.ToString().c_str());
+    return 1;
+  }
+  std::printf("drained clean\n");
+  return 0;
+}
